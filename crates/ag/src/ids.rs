@@ -1,0 +1,206 @@
+//! Typed index newtypes used throughout the FNC-2 reproduction.
+//!
+//! Every entity of an attribute grammar (phylum, production, attribute,
+//! production-local attribute) is identified by a small dense index into the
+//! owning [`Grammar`](crate::Grammar)'s tables. Newtypes keep the index
+//! spaces statically distinct (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Ids are normally produced by a
+            /// [`GrammarBuilder`](crate::GrammarBuilder); constructing one
+            /// from a raw index is useful for tables computed outside the
+            /// grammar (analysis results, benches).
+            #[inline]
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index, suitable for indexing side tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a phylum (non-terminal) of a grammar.
+    PhylumId,
+    "X"
+);
+id_type!(
+    /// Identifies a production (operator) of a grammar.
+    ProductionId,
+    "p"
+);
+id_type!(
+    /// Identifies an attribute declaration `(phylum, name, kind)`.
+    ///
+    /// Attribute ids are global to the grammar: two phyla carrying an
+    /// attribute of the same name get two distinct [`AttrId`]s.
+    AttrId,
+    "a"
+);
+id_type!(
+    /// Identifies a production-local attribute within its production.
+    LocalId,
+    "l"
+);
+id_type!(
+    /// Identifies a semantic function in the grammar's function registry.
+    FuncId,
+    "f"
+);
+id_type!(
+    /// Identifies a node of an attributed [`Tree`](crate::Tree).
+    NodeId,
+    "n"
+);
+
+/// An attribute occurrence `pos.attr` inside a production.
+///
+/// `pos == 0` designates the left-hand-side occurrence; `pos == i` for
+/// `1 <= i <= arity` designates the `i`-th right-hand-side occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Occ {
+    /// Position in the production: 0 for the LHS, 1-based for RHS symbols.
+    pub pos: u16,
+    /// The attribute occurring at that position.
+    pub attr: AttrId,
+}
+
+impl Occ {
+    /// Occurrence of `attr` at position `pos` (0 = LHS).
+    #[inline]
+    pub const fn new(pos: u16, attr: AttrId) -> Self {
+        Occ { pos, attr }
+    }
+
+    /// Occurrence on the left-hand-side symbol.
+    #[inline]
+    pub const fn lhs(attr: AttrId) -> Self {
+        Occ { pos: 0, attr }
+    }
+
+    /// True if this is the LHS occurrence.
+    #[inline]
+    pub const fn is_lhs(self) -> bool {
+        self.pos == 0
+    }
+}
+
+impl fmt::Debug for Occ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.pos, self.attr)
+    }
+}
+
+impl fmt::Display for Occ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.pos, self.attr)
+    }
+}
+
+/// A node of a production's dependency graph: either an attribute occurrence
+/// or a production-local attribute.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ONode {
+    /// An attribute occurrence `pos.attr`.
+    Attr(Occ),
+    /// A production-local attribute.
+    Local(LocalId),
+}
+
+impl ONode {
+    /// The occurrence, if this node is one.
+    #[inline]
+    pub fn occ(self) -> Option<Occ> {
+        match self {
+            ONode::Attr(o) => Some(o),
+            ONode::Local(_) => None,
+        }
+    }
+}
+
+impl From<Occ> for ONode {
+    fn from(o: Occ) -> Self {
+        ONode::Attr(o)
+    }
+}
+
+impl From<LocalId> for ONode {
+    fn from(l: LocalId) -> Self {
+        ONode::Local(l)
+    }
+}
+
+impl fmt::Debug for ONode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ONode::Attr(o) => write!(f, "{o}"),
+            ONode::Local(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl fmt::Display for ONode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let p = PhylumId::from_raw(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(format!("{p}"), "X7");
+        assert_eq!(format!("{p:?}"), "X7");
+    }
+
+    #[test]
+    fn occ_display_and_order() {
+        let a = AttrId::from_raw(3);
+        let o = Occ::new(2, a);
+        assert_eq!(format!("{o}"), "2.a3");
+        assert!(Occ::lhs(a) < o);
+        assert!(Occ::lhs(a).is_lhs());
+        assert!(!o.is_lhs());
+    }
+
+    #[test]
+    fn onode_conversions() {
+        let a = AttrId::from_raw(1);
+        let n: ONode = Occ::lhs(a).into();
+        assert_eq!(n.occ(), Some(Occ::lhs(a)));
+        let l: ONode = LocalId::from_raw(0).into();
+        assert_eq!(l.occ(), None);
+        assert_eq!(format!("{l}"), "l0");
+    }
+}

@@ -1,0 +1,543 @@
+//! Attributed abstract trees and attribute-value stores.
+//!
+//! Trees are arena-allocated; nodes carry the applied production, their
+//! children, and optionally a lexical token value (as attached by the
+//! `aic`-style tree constructors, paper §3.3). Attribute values live in a
+//! separate [`AttrValues`] store so that different evaluators (exhaustive,
+//! space-optimized, incremental) can choose their own storage policy — the
+//! whole point of paper §2.2.
+
+use crate::error::TreeError;
+use crate::grammar::Grammar;
+use crate::ids::{AttrId, NodeId, PhylumId, ProductionId};
+use crate::value::Value;
+
+/// A node of an attributed tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub(crate) production: ProductionId,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) token: Option<Value>,
+}
+
+impl Node {
+    /// The production applied at this node.
+    pub fn production(&self) -> ProductionId {
+        self.production
+    }
+
+    /// Children, left to right.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// The parent, or `None` at the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The lexical token attached by the tree constructor, if any.
+    pub fn token(&self) -> Option<&Value> {
+        self.token.as_ref()
+    }
+}
+
+/// An abstract syntax tree conforming to a [`Grammar`].
+///
+/// Build one with [`TreeBuilder`]; edit it with
+/// [`replace_subtree`](Tree::replace_subtree) (the incremental evaluator's
+/// edit operation, paper §2.1.2).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+}
+
+impl Tree {
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node table entry.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of *live* nodes (reachable from the root).
+    pub fn size(&self) -> usize {
+        self.preorder().count()
+    }
+
+    /// Total arena capacity, including nodes detached by replacements.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The phylum a node derives.
+    pub fn phylum(&self, grammar: &Grammar, id: NodeId) -> PhylumId {
+        grammar.production(self.node(id).production).lhs()
+    }
+
+    /// Preorder (node, depth) traversal from the root.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![(self.root, 0)],
+        }
+    }
+
+    /// Replaces the subtree rooted at `at` by `replacement` (grafted into
+    /// this arena). Returns the [`NodeId`] of the new subtree root.
+    ///
+    /// The old subtree's nodes stay in the arena but become unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TreeError::ReplacePhylum`] if the replacement derives a
+    /// different phylum, or [`TreeError::RootPhylum`] when replacing the
+    /// root with a tree of the wrong phylum.
+    pub fn replace_subtree(
+        &mut self,
+        grammar: &Grammar,
+        at: NodeId,
+        replacement: &Tree,
+    ) -> Result<NodeId, TreeError> {
+        let want = self.phylum(grammar, at);
+        let got = replacement.phylum(grammar, replacement.root());
+        if want != got {
+            return Err(TreeError::ReplacePhylum {
+                expected: grammar.phylum(want).name().to_string(),
+                found: grammar.phylum(got).name().to_string(),
+            });
+        }
+        // Graft the replacement nodes, remapping ids.
+        let base = self.nodes.len() as u32;
+        for (i, n) in replacement.nodes.iter().enumerate() {
+            let mut n = n.clone();
+            n.children = n
+                .children
+                .iter()
+                .map(|c| NodeId::from_raw(c.0 + base))
+                .collect();
+            n.parent = if i as u32 == replacement.root.0 {
+                self.nodes[at.index()].parent
+            } else {
+                n.parent.map(|p| NodeId::from_raw(p.0 + base))
+            };
+            self.nodes.push(n);
+        }
+        let new_root = NodeId::from_raw(replacement.root.0 + base);
+        match self.nodes[at.index()].parent {
+            Some(parent) => {
+                let slot = self.nodes[parent.index()]
+                    .children
+                    .iter()
+                    .position(|&c| c == at)
+                    .expect("parent lists child");
+                self.nodes[parent.index()].children[slot] = new_root;
+            }
+            None => self.root = new_root,
+        }
+        Ok(new_root)
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent() {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The 1-based child position of `id` under its parent, or `None` at
+    /// the root. This is the `j` of the paper's `VISIT i, j` instruction.
+    pub fn child_index(&self, id: NodeId) -> Option<usize> {
+        let parent = self.node(id).parent()?;
+        self.node(parent)
+            .children()
+            .iter()
+            .position(|&c| c == id)
+            .map(|i| i + 1)
+    }
+}
+
+/// Preorder traversal iterator over a [`Tree`], yielding `(node, depth)`.
+#[derive(Debug)]
+pub struct Preorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<(NodeId, usize)>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = (NodeId, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (id, depth) = self.stack.pop()?;
+        let node = self.tree.node(id);
+        for &c in node.children().iter().rev() {
+            self.stack.push((c, depth + 1));
+        }
+        Some((id, depth))
+    }
+}
+
+/// Reconstructs a [`Tree`] of `grammar` from an output-tree
+/// [`Term`](crate::Term)
+/// value — the glue of the paper's modularity scheme (§2.3): "each
+/// evaluator takes as input a tree … and produces as output one or more
+/// decorated trees", so one AG's output term becomes the next AG's input
+/// tree. Term operators are resolved by production name; a term child that
+/// is not itself a term becomes the node's lexical token (for leaf
+/// productions carrying a scalar).
+///
+/// # Errors
+///
+/// Fails if an operator name is unknown, the child count mismatches the
+/// production arity, or a child phylum is wrong.
+pub fn term_to_tree(grammar: &Grammar, term: &crate::value::Term) -> Result<Tree, TreeError> {
+    fn build(
+        grammar: &Grammar,
+        tb: &mut TreeBuilder,
+        term: &crate::value::Term,
+    ) -> Result<NodeId, TreeError> {
+        let p = grammar
+            .production_by_name(&term.op)
+            .ok_or_else(|| TreeError::ChildCount {
+                production: format!("<unknown `{}`>", term.op),
+                expected: 0,
+                found: term.children.len(),
+            })?;
+        let mut kids = Vec::new();
+        let mut token = None;
+        for c in &term.children {
+            match c {
+                Value::Term(t) => kids.push(build(grammar, tb, t)?),
+                scalar => token = Some(scalar.clone()),
+            }
+        }
+        tb.node_with_token(p, &kids, token)
+    }
+    let mut tb = TreeBuilder::new(grammar);
+    let root = build(grammar, &mut tb, term)?;
+    Ok(tb.finish(root))
+}
+
+/// Builds [`Tree`]s bottom-up, validating each node against the grammar.
+#[derive(Debug)]
+pub struct TreeBuilder<'g> {
+    grammar: &'g Grammar,
+    nodes: Vec<Node>,
+}
+
+impl<'g> TreeBuilder<'g> {
+    /// Starts building a tree for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        TreeBuilder {
+            grammar,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Creates a node applying `production` to `children`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the child count or a child's phylum does not match the
+    /// production signature.
+    pub fn node(
+        &mut self,
+        production: ProductionId,
+        children: &[NodeId],
+    ) -> Result<NodeId, TreeError> {
+        self.node_with_token(production, children, None)
+    }
+
+    /// Like [`node`](Self::node) but attaches a lexical token value.
+    pub fn node_with_token(
+        &mut self,
+        production: ProductionId,
+        children: &[NodeId],
+        token: Option<Value>,
+    ) -> Result<NodeId, TreeError> {
+        let prod = self.grammar.production(production);
+        if prod.arity() != children.len() {
+            return Err(TreeError::ChildCount {
+                production: prod.name().to_string(),
+                expected: prod.arity(),
+                found: children.len(),
+            });
+        }
+        for (i, (&c, &want)) in children.iter().zip(prod.rhs()).enumerate() {
+            let got = self.grammar.production(self.nodes[c.index()].production).lhs();
+            if got != want {
+                return Err(TreeError::ChildPhylum {
+                    production: prod.name().to_string(),
+                    pos: i + 1,
+                    expected: self.grammar.phylum(want).name().to_string(),
+                    found: self.grammar.phylum(got).name().to_string(),
+                });
+            }
+        }
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            production,
+            children: children.to_vec(),
+            parent: None,
+            token,
+        });
+        for &c in children {
+            self.nodes[c.index()].parent = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// Shorthand: creates a node by production *name*.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is unknown or the node is ill-formed.
+    pub fn op(&mut self, name: &str, children: &[NodeId]) -> Result<NodeId, TreeError> {
+        let p = self
+            .grammar
+            .production_by_name(name)
+            .ok_or_else(|| TreeError::ChildCount {
+                production: format!("<unknown `{name}`>"),
+                expected: 0,
+                found: children.len(),
+            })?;
+        self.node(p, children)
+    }
+
+    /// Finishes the tree with `root`. The root must derive a phylum; it need
+    /// not be the grammar's axiom (subtrees are first-class for incremental
+    /// replacement), but [`finish_root`](Self::finish_root) enforces the
+    /// axiom when wanted.
+    pub fn finish(self, root: NodeId) -> Tree {
+        Tree {
+            nodes: self.nodes,
+            root,
+        }
+    }
+
+    /// Finishes the tree, requiring `root` to derive the grammar's axiom.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TreeError::RootPhylum`] otherwise.
+    pub fn finish_root(self, root: NodeId) -> Result<Tree, TreeError> {
+        let got = self
+            .grammar
+            .production(self.nodes[root.index()].production)
+            .lhs();
+        if got != self.grammar.root() {
+            return Err(TreeError::RootPhylum {
+                expected: self.grammar.phylum(self.grammar.root()).name().to_string(),
+                found: self.grammar.phylum(got).name().to_string(),
+            });
+        }
+        Ok(self.finish(root))
+    }
+}
+
+/// Dense per-node attribute storage: the "attributes at tree nodes" storage
+/// class, and the baseline the space optimizer improves on.
+#[derive(Clone, Debug, Default)]
+pub struct AttrValues {
+    /// `slots[node][attr offset within phylum]`.
+    slots: Vec<Vec<Option<Value>>>,
+}
+
+impl AttrValues {
+    /// Creates an empty store shaped for `tree` under `grammar`.
+    pub fn new(grammar: &Grammar, tree: &Tree) -> Self {
+        let slots = tree
+            .nodes
+            .iter()
+            .map(|n| {
+                let ph = grammar.production(n.production).lhs();
+                vec![None; grammar.phylum(ph).attrs().len()]
+            })
+            .collect();
+        AttrValues { slots }
+    }
+
+    /// Grows the store to cover nodes grafted after creation.
+    pub fn sync(&mut self, grammar: &Grammar, tree: &Tree) {
+        for i in self.slots.len()..tree.nodes.len() {
+            let ph = grammar.production(tree.nodes[i].production).lhs();
+            self.slots
+                .push(vec![None; grammar.phylum(ph).attrs().len()]);
+        }
+    }
+
+    /// The value of `attr` at `node`, if evaluated.
+    pub fn get(&self, grammar: &Grammar, node: NodeId, attr: AttrId) -> Option<&Value> {
+        self.slots[node.index()][grammar.attr(attr).offset()].as_ref()
+    }
+
+    /// Sets the value of `attr` at `node`, returning the previous value.
+    pub fn set(
+        &mut self,
+        grammar: &Grammar,
+        node: NodeId,
+        attr: AttrId,
+        value: Value,
+    ) -> Option<Value> {
+        self.slots[node.index()][grammar.attr(attr).offset()].replace(value)
+    }
+
+    /// Clears the value of `attr` at `node`.
+    pub fn clear(&mut self, grammar: &Grammar, node: NodeId, attr: AttrId) -> Option<Value> {
+        self.slots[node.index()][grammar.attr(attr).offset()].take()
+    }
+
+    /// Number of currently stored (live) attribute values.
+    pub fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.iter().filter(|v| v.is_some()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GrammarBuilder;
+    use crate::ids::Occ;
+
+    use super::*;
+
+    fn list_grammar() -> Grammar {
+        // S ::= L ; L ::= cons(L) | nil
+        let mut g = GrammarBuilder::new("list");
+        let s = g.phylum("S");
+        let l = g.phylum("L");
+        let n = g.syn(s, "n");
+        let len = g.syn(l, "len");
+        g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+        let root = g.production("root", s, &[l]);
+        let cons = g.production("cons", l, &[l]);
+        let nil = g.production("nil", l, &[]);
+        g.copy(root, Occ::lhs(n), Occ::new(1, len));
+        g.call(cons, Occ::lhs(len), "succ", [Occ::new(1, len).into()]);
+        g.constant(nil, Occ::lhs(len), Value::Int(0));
+        g.finish().unwrap()
+    }
+
+    fn chain(g: &Grammar, k: usize) -> Tree {
+        let mut b = TreeBuilder::new(g);
+        let mut cur = b.op("nil", &[]).unwrap();
+        for _ in 0..k {
+            cur = b.op("cons", &[cur]).unwrap();
+        }
+        let root = b.op("root", &[cur]).unwrap();
+        b.finish_root(root).unwrap()
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let g = list_grammar();
+        let t = chain(&g, 3);
+        assert_eq!(t.size(), 5);
+        let kinds: Vec<usize> = t.preorder().map(|(_, d)| d).collect();
+        assert_eq!(kinds, vec![0, 1, 2, 3, 4]);
+        let (deepest, _) = t.preorder().last().unwrap();
+        assert_eq!(t.depth(deepest), 4);
+        assert_eq!(t.child_index(t.root()), None);
+    }
+
+    #[test]
+    fn bad_children_rejected() {
+        let g = list_grammar();
+        let mut b = TreeBuilder::new(&g);
+        let nil = b.op("nil", &[]).unwrap();
+        assert!(matches!(
+            b.op("root", &[nil, nil]),
+            Err(TreeError::ChildCount { .. })
+        ));
+        let root = b.op("root", &[nil]).unwrap();
+        // root derives S, but cons wants L.
+        assert!(matches!(
+            b.op("cons", &[root]),
+            Err(TreeError::ChildPhylum { pos: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn finish_root_checks_axiom() {
+        let g = list_grammar();
+        let mut b = TreeBuilder::new(&g);
+        let nil = b.op("nil", &[]).unwrap();
+        assert!(matches!(
+            b.finish_root(nil),
+            Err(TreeError::RootPhylum { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_subtree_grafts() {
+        let g = list_grammar();
+        let mut t = chain(&g, 2);
+        // replace the innermost `nil` subtree's parent (a cons chain of 1)
+        let target = t
+            .preorder()
+            .find(|&(id, _)| g.production(t.node(id).production()).name() == "cons")
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut b = TreeBuilder::new(&g);
+        let nil = b.op("nil", &[]).unwrap();
+        let c1 = b.op("cons", &[nil]).unwrap();
+        let c2 = b.op("cons", &[c1]).unwrap();
+        let c3 = b.op("cons", &[c2]).unwrap();
+        let sub = b.finish(c3);
+        let before = t.size();
+        let new_root = t.replace_subtree(&g, target, &sub).unwrap();
+        assert_eq!(t.size(), before + 1); // replaced 3-node subtree by 4-node subtree
+        assert_eq!(t.child_index(new_root), Some(1));
+        // Phylum mismatch rejected.
+        let mut b = TreeBuilder::new(&g);
+        let nil = b.op("nil", &[]).unwrap();
+        let s_root = b.op("root", &[nil]).unwrap();
+        let s_tree = b.finish(s_root);
+        assert!(matches!(
+            t.replace_subtree(&g, new_root, &s_tree),
+            Err(TreeError::ReplacePhylum { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_at_root() {
+        let g = list_grammar();
+        let mut t = chain(&g, 1);
+        let sub = chain(&g, 4);
+        let new_root = t.replace_subtree(&g, t.root(), &sub).unwrap();
+        assert_eq!(t.root(), new_root);
+        assert_eq!(t.size(), 6);
+        assert!(t.node(t.root()).parent().is_none());
+    }
+
+    #[test]
+    fn attr_values_store() {
+        let g = list_grammar();
+        let t = chain(&g, 1);
+        let l = g.phylum_by_name("L").unwrap();
+        let len = g.attr_by_name(l, "len").unwrap();
+        let mut vals = AttrValues::new(&g, &t);
+        let leaf = t.preorder().last().unwrap().0;
+        assert_eq!(vals.get(&g, leaf, len), None);
+        assert_eq!(vals.set(&g, leaf, len, Value::Int(0)), None);
+        assert_eq!(
+            vals.set(&g, leaf, len, Value::Int(5)),
+            Some(Value::Int(0))
+        );
+        assert_eq!(vals.get(&g, leaf, len), Some(&Value::Int(5)));
+        assert_eq!(vals.live_count(), 1);
+        assert_eq!(vals.clear(&g, leaf, len), Some(Value::Int(5)));
+        assert_eq!(vals.live_count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Tests for the tree-to-tree composition glue (`term_to_tree`) and
+//! grammar/tree API corners not covered by the unit tests.
+
+use fnc2_ag::{term_to_tree, GrammarBuilder, Occ, Term, TreeError, Value};
+
+fn core_grammar() -> fnc2_ag::Grammar {
+    let mut g = GrammarBuilder::new("core");
+    let c = g.phylum("C");
+    let v = g.syn(c, "v");
+    g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
+    let lit = g.production("clit", c, &[]);
+    g.copy(lit, Occ::lhs(v), fnc2_ag::Arg::Token);
+    let add = g.production("cadd", c, &[c, c]);
+    g.call(
+        add,
+        Occ::lhs(v),
+        "add",
+        [Occ::new(1, v).into(), Occ::new(2, v).into()],
+    );
+    g.finish().unwrap()
+}
+
+#[test]
+fn term_to_tree_roundtrip() {
+    let g = core_grammar();
+    let term = Term {
+        op: "cadd".into(),
+        children: vec![
+            Value::term("clit", [Value::Int(1)]),
+            Value::term("cadd", [
+                Value::term("clit", [Value::Int(2)]),
+                Value::term("clit", [Value::Int(3)]),
+            ]),
+        ],
+    };
+    let tree = term_to_tree(&g, &term).unwrap();
+    assert_eq!(tree.size(), 5);
+    // Tokens landed on the leaves.
+    let tokens: Vec<i64> = tree
+        .preorder()
+        .filter_map(|(n, _)| tree.node(n).token().map(Value::as_int))
+        .collect();
+    assert_eq!(tokens, vec![1, 2, 3]);
+    // And the tree evaluates.
+    let ev = fnc2_visit::DynamicEvaluator::new(&g);
+    let (vals, _) = ev.evaluate(&tree, &Default::default()).unwrap();
+    let c = g.phylum_by_name("C").unwrap();
+    let v = g.attr_by_name(c, "v").unwrap();
+    assert_eq!(vals.get(&g, tree.root(), v), Some(&Value::Int(6)));
+}
+
+#[test]
+fn term_to_tree_rejects_unknown_operator() {
+    let g = core_grammar();
+    let term = Term {
+        op: "nosuch".into(),
+        children: vec![],
+    };
+    assert!(term_to_tree(&g, &term).is_err());
+}
+
+#[test]
+fn term_to_tree_rejects_wrong_arity() {
+    let g = core_grammar();
+    let term = Term {
+        op: "cadd".into(),
+        children: vec![Value::term("clit", [Value::Int(1)])],
+    };
+    assert!(matches!(
+        term_to_tree(&g, &term),
+        Err(TreeError::ChildCount { expected: 2, found: 1, .. })
+    ));
+}
+
+#[test]
+fn grammar_display_and_occ_names_with_repeats() {
+    let g = core_grammar();
+    let add = g.production_by_name("cadd").unwrap();
+    let c = g.phylum_by_name("C").unwrap();
+    let v = g.attr_by_name(c, "v").unwrap();
+    // Repeated phylum occurrences get $k names including the LHS.
+    assert_eq!(g.occ_name(add, fnc2_ag::ONode::Attr(Occ::lhs(v))), "C$1.v");
+    assert_eq!(
+        g.occ_name(add, fnc2_ag::ONode::Attr(Occ::new(2, v))),
+        "C$3.v"
+    );
+}
+
+#[test]
+fn arena_len_tracks_detached_nodes() {
+    let g = core_grammar();
+    let term = Term {
+        op: "clit".into(),
+        children: vec![Value::Int(9)],
+    };
+    let mut tree = term_to_tree(&g, &term).unwrap();
+    let before_arena = tree.arena_len();
+    let replacement = term_to_tree(
+        &g,
+        &Term {
+            op: "cadd".into(),
+            children: vec![
+                Value::term("clit", [Value::Int(1)]),
+                Value::term("clit", [Value::Int(2)]),
+            ],
+        },
+    )
+    .unwrap();
+    tree.replace_subtree(&g, tree.root(), &replacement).unwrap();
+    assert_eq!(tree.size(), 3, "live nodes");
+    assert_eq!(tree.arena_len(), before_arena + 3, "old root detached");
+}

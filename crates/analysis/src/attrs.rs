@@ -1,0 +1,78 @@
+//! Per-phylum attribute indexing shared by all class tests.
+
+use fnc2_ag::{AttrId, AttrKind, Grammar, PhylumId};
+
+/// Maps a phylum's [`AttrId`]s to dense local indices `0..k`, the index
+/// space of the per-phylum relations (`IO`, `OI`, `DS`).
+#[derive(Clone, Debug)]
+pub struct AttrIndex {
+    /// `attrs[phylum][local] = AttrId` (declaration order).
+    per_phylum: Vec<Vec<AttrId>>,
+}
+
+impl AttrIndex {
+    /// Builds the index for `grammar`.
+    pub fn new(grammar: &Grammar) -> Self {
+        let per_phylum = grammar
+            .phyla()
+            .map(|ph| grammar.phylum(ph).attrs().to_vec())
+            .collect();
+        AttrIndex { per_phylum }
+    }
+
+    /// The attributes of `phylum` in local-index order.
+    pub fn attrs(&self, phylum: PhylumId) -> &[AttrId] {
+        &self.per_phylum[phylum.index()]
+    }
+
+    /// Number of attributes of `phylum`.
+    pub fn len(&self, phylum: PhylumId) -> usize {
+        self.per_phylum[phylum.index()].len()
+    }
+
+    /// The local index of `attr` on its phylum (== its declaration offset).
+    pub fn local(&self, grammar: &Grammar, attr: AttrId) -> usize {
+        grammar.attr(attr).offset()
+    }
+
+    /// The attribute at local index `i` of `phylum`.
+    pub fn attr_at(&self, phylum: PhylumId, i: usize) -> AttrId {
+        self.per_phylum[phylum.index()][i]
+    }
+
+    /// Local indices of `phylum`'s attributes of the given kind.
+    pub fn of_kind(&self, grammar: &Grammar, phylum: PhylumId, kind: AttrKind) -> Vec<usize> {
+        self.per_phylum[phylum.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| grammar.attr(a).kind() == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ, Value};
+
+    use super::*;
+
+    #[test]
+    fn index_matches_offsets() {
+        let mut g = GrammarBuilder::new("t");
+        let s = g.phylum("S");
+        let a = g.inh(s, "a");
+        let b = g.syn(s, "b");
+        let p = g.production("leaf", s, &[]);
+        g.copy(p, Occ::lhs(b), Occ::lhs(a));
+        let _ = Value::Unit;
+        let g = g.finish().unwrap();
+        let ix = AttrIndex::new(&g);
+        assert_eq!(ix.len(s), 2);
+        assert_eq!(ix.local(&g, a), 0);
+        assert_eq!(ix.local(&g, b), 1);
+        assert_eq!(ix.attr_at(s, 1), b);
+        assert_eq!(ix.of_kind(&g, s, AttrKind::Synthesized), vec![1]);
+        assert_eq!(ix.of_kind(&g, s, AttrKind::Inherited), vec![0]);
+    }
+}

@@ -1,0 +1,379 @@
+//! The strong (SNC) and double (DNC) non-circularity tests.
+//!
+//! * `IO(X) ⊆ I(X) × S(X)` — induced dependencies *through the subtree*
+//!   below an `X` node, closed "from below" (Courcelle & Franchi-Zannettacci
+//!   [6]). An AG is **strongly non-circular** iff every production graph
+//!   `D(p)` pasted with the `IO` graphs of its RHS occurrences is acyclic.
+//! * `OI(X) ⊆ S(X) × I(X)` — induced dependencies *through the context*
+//!   above an `X` node, closed "from above". An AG is **doubly
+//!   non-circular** (DNC) iff every `D(p) ∪ OI(lhs) ∪ ⋃ IO(rhs)` is acyclic
+//!   — exactly the property that lets an evaluator start at any tree node,
+//!   the basis of FNC-2's incremental evaluation (paper §2.1.2).
+//!
+//! Both are least fixed points computed with the [`fnc2_gfa`] worklist
+//! engine; the DNC test reuses the SNC result, mirroring the cascade of the
+//! paper's Figure 3.
+
+use fnc2_ag::{AttrKind, Grammar, PhylumId, ProductionId, ONode};
+use fnc2_gfa::{fixpoint, BitMatrix, FixpointStats};
+
+use crate::attrs::AttrIndex;
+use crate::paste::Pasted;
+
+/// A dependency cycle witnessing the failure of a class test.
+#[derive(Clone, Debug)]
+pub struct CircWitness {
+    /// The production whose pasted graph is cyclic.
+    pub production: ProductionId,
+    /// The cycle, as occurrence nodes (first node repeated last).
+    pub cycle: Vec<ONode>,
+}
+
+/// Per-phylum relations over local attribute indices.
+#[derive(Clone, Debug)]
+pub struct PhylumRels {
+    rels: Vec<BitMatrix>,
+}
+
+impl PhylumRels {
+    /// Empty relations shaped for `grammar`.
+    pub fn empty(grammar: &Grammar, ix: &AttrIndex) -> Self {
+        PhylumRels {
+            rels: grammar.phyla().map(|ph| BitMatrix::new(ix.len(ph))).collect(),
+        }
+    }
+
+    /// The relation of `phylum`.
+    pub fn get(&self, phylum: PhylumId) -> &BitMatrix {
+        &self.rels[phylum.index()]
+    }
+
+    /// ORs `rel` into the relation of `phylum`; true if it grew.
+    pub fn absorb(&mut self, phylum: PhylumId, rel: &BitMatrix) -> bool {
+        self.rels[phylum.index()].union_in_place(rel)
+    }
+
+    /// Total number of pairs across all phyla.
+    pub fn total_pairs(&self) -> usize {
+        self.rels.iter().map(BitMatrix::count).sum()
+    }
+}
+
+/// Result of the SNC test.
+#[derive(Clone, Debug)]
+pub struct SncResult {
+    /// The `IO` graphs (argument selectors), valid whether or not the test
+    /// passed.
+    pub io: PhylumRels,
+    /// A cycle witness if the AG is *not* strongly non-circular.
+    pub witness: Option<CircWitness>,
+    /// Fixpoint statistics.
+    pub stats: FixpointStats,
+}
+
+impl SncResult {
+    /// True if the AG is strongly non-circular.
+    pub fn is_snc(&self) -> bool {
+        self.witness.is_none()
+    }
+}
+
+/// For each phylum, the productions having it on their right-hand side —
+/// the dependents of a bottom-up grammar flow.
+pub(crate) fn users_of_phylum(grammar: &Grammar) -> Vec<Vec<usize>> {
+    let mut users = vec![Vec::new(); grammar.phylum_count()];
+    for p in grammar.productions() {
+        for &ph in grammar.production(p).rhs() {
+            if !users[ph.index()].contains(&p.index()) {
+                users[ph.index()].push(p.index());
+            }
+        }
+    }
+    users
+}
+
+/// Runs the SNC test on `grammar`.
+pub fn snc_test(grammar: &Grammar) -> SncResult {
+    let ix = AttrIndex::new(grammar);
+    let mut io = PhylumRels::empty(grammar, &ix);
+    let users = users_of_phylum(grammar);
+    let dependents: Vec<Vec<usize>> = grammar
+        .productions()
+        .map(|p| users[grammar.production(p).lhs().index()].clone())
+        .collect();
+
+    let n = grammar.production_count();
+    let stats = fixpoint(n, &dependents, |pi| {
+        let p = ProductionId::from_raw(pi as u32);
+        let pasted = pasted_with_io(grammar, &ix, p, &io, None);
+        let closed = pasted.closure();
+        let lhs = grammar.production(p).lhs();
+        let proj = pasted.project(grammar, &ix, &closed, 0, |i, j| {
+            grammar.attr(ix.attr_at(lhs, i)).kind() == AttrKind::Inherited
+                && grammar.attr(ix.attr_at(lhs, j)).kind() == AttrKind::Synthesized
+        });
+        io.absorb(lhs, &proj)
+    });
+
+    // Final acyclicity check per production.
+    let mut witness = None;
+    for p in grammar.productions() {
+        let pasted = pasted_with_io(grammar, &ix, p, &io, None);
+        if !pasted.closure().is_irreflexive() {
+            witness = Some(CircWitness {
+                production: p,
+                cycle: pasted.find_cycle().expect("cyclic graph has a cycle"),
+            });
+            break;
+        }
+    }
+    SncResult { io, witness, stats }
+}
+
+/// `D(p)` + `IO` pasted on every RHS position, skipping `skip_pos` if given.
+fn pasted_with_io(
+    grammar: &Grammar,
+    ix: &AttrIndex,
+    p: ProductionId,
+    io: &PhylumRels,
+    skip_pos: Option<u16>,
+) -> Pasted {
+    let mut pasted = Pasted::base(grammar, p);
+    let prod = grammar.production(p);
+    for pos in 1..=prod.arity() as u16 {
+        if Some(pos) == skip_pos {
+            continue;
+        }
+        pasted.paste(grammar, ix, pos, io.get(prod.phylum_at(pos)));
+    }
+    pasted
+}
+
+/// Result of the DNC test.
+#[derive(Clone, Debug)]
+pub struct DncResult {
+    /// The `OI` graphs (context selectors).
+    pub oi: PhylumRels,
+    /// A cycle witness if the AG is *not* doubly non-circular.
+    pub witness: Option<CircWitness>,
+    /// Fixpoint statistics.
+    pub stats: FixpointStats,
+}
+
+impl DncResult {
+    /// True if the AG is doubly non-circular.
+    pub fn is_dnc(&self) -> bool {
+        self.witness.is_none()
+    }
+}
+
+/// Runs the DNC test, reusing the `IO` graphs of a prior SNC test (the
+/// cascade of the paper's Figure 3: "the first phase of the [DNC test] is
+/// the SNC test").
+pub fn dnc_test(grammar: &Grammar, snc: &SncResult) -> DncResult {
+    let ix = AttrIndex::new(grammar);
+    let mut oi = PhylumRels::empty(grammar, &ix);
+    // Top-down flow: production p reads oi[lhs(p)] and writes oi of its RHS
+    // phyla, so the dependents of p are the productions of its RHS phyla.
+    let dependents: Vec<Vec<usize>> = grammar
+        .productions()
+        .map(|p| {
+            let mut d: Vec<usize> = Vec::new();
+            for &ph in grammar.production(p).rhs() {
+                for &q in grammar.phylum(ph).productions() {
+                    if !d.contains(&q.index()) {
+                        d.push(q.index());
+                    }
+                }
+            }
+            d
+        })
+        .collect();
+
+    let n = grammar.production_count();
+    let stats = fixpoint(n, &dependents, |pi| {
+        let p = ProductionId::from_raw(pi as u32);
+        let prod = grammar.production(p);
+        let arity = prod.arity() as u16;
+        let mut changed = false;
+        for pos in 1..=arity {
+            // Context of the child at `pos`: everything except its own
+            // subtree — D(p), the LHS context (OI), and the siblings' IO.
+            let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, Some(pos));
+            pasted.paste(grammar, &ix, 0, oi.get(prod.lhs()));
+            let closed = pasted.closure();
+            let ph = prod.phylum_at(pos);
+            let proj = pasted.project(grammar, &ix, &closed, pos, |i, j| {
+                grammar.attr(ix.attr_at(ph, i)).kind() == AttrKind::Synthesized
+                    && grammar.attr(ix.attr_at(ph, j)).kind() == AttrKind::Inherited
+            });
+            changed |= oi.absorb(ph, &proj);
+        }
+        changed
+    });
+
+    // DNC check: D(p) + OI(lhs) + all IO(rhs) acyclic.
+    let mut witness = None;
+    for p in grammar.productions() {
+        let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, None);
+        pasted.paste(grammar, &ix, 0, oi.get(grammar.production(p).lhs()));
+        if !pasted.closure().is_irreflexive() {
+            witness = Some(CircWitness {
+                production: p,
+                cycle: pasted.find_cycle().expect("cyclic graph has a cycle"),
+            });
+            break;
+        }
+    }
+    DncResult { oi, witness, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+
+    use super::*;
+
+    /// Knuth-style two-pass grammar: SNC (and in fact l-ordered).
+    fn two_pass() -> Grammar {
+        // S ::= A ; A ::= a(A) | leaf
+        // A.down (inh), A.up (syn): up depends on down at the leaf.
+        let mut g = GrammarBuilder::new("two_pass");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let down = g.inh(a, "down");
+        let up = g.syn(a, "up");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, up));
+        g.constant(root, Occ::new(1, down), Value::Int(0));
+        let mid = g.production("mid", a, &[a]);
+        g.copy(mid, Occ::new(1, down), Occ::lhs(down));
+        g.copy(mid, Occ::lhs(up), Occ::new(1, up));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(up), Occ::lhs(down));
+        g.finish().unwrap()
+    }
+
+    /// The classic circular AG: A.i := A.s, A.s := A.i through the subtree.
+    fn circular() -> Grammar {
+        let mut g = GrammarBuilder::new("circ");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let i = g.inh(a, "i");
+        let sy = g.syn(a, "s");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, sy));
+        // circular: the child's inherited depends on its own synthesized
+        g.copy(root, Occ::new(1, i), Occ::new(1, sy));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(sy), Occ::lhs(i));
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn two_pass_is_snc_and_dnc() {
+        let g = two_pass();
+        let snc = snc_test(&g);
+        assert!(snc.is_snc());
+        let a = g.phylum_by_name("A").unwrap();
+        // IO(A): down -> up.
+        assert!(snc.io.get(a).get(0, 1));
+        assert_eq!(snc.io.get(a).count(), 1);
+        let dnc = dnc_test(&g, &snc);
+        assert!(dnc.is_dnc());
+        // OI(A) is empty: the context never feeds `up` back into `down`.
+        assert_eq!(dnc.oi.get(a).count(), 0);
+    }
+
+    #[test]
+    fn circular_fails_snc() {
+        let g = circular();
+        let snc = snc_test(&g);
+        assert!(!snc.is_snc());
+        let w = snc.witness.unwrap();
+        assert_eq!(g.production(w.production).name(), "root");
+        assert!(w.cycle.len() >= 3);
+    }
+
+    /// SNC but not DNC: the *context* creates an S→I dependency that,
+    /// combined with the subtree's I→S, is only exploited if evaluation may
+    /// start anywhere. Build: root uses A.s to define A.i of a *sibling*
+    /// whose IO feeds back — here a two-child production crossing deps.
+    #[test]
+    fn oi_captures_context_dependencies() {
+        // root : S ::= A A with A$2.i := A$1.s ; A$1.i := 0 ;
+        // leaf : A.s := A.i.
+        let mut g = GrammarBuilder::new("ctx");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let i = g.inh(a, "i");
+        let sy = g.syn(a, "s");
+        let root = g.production("root", s, &[a, a]);
+        g.copy(root, Occ::lhs(out), Occ::new(2, sy));
+        g.constant(root, Occ::new(1, i), Value::Int(0));
+        g.copy(root, Occ::new(2, i), Occ::new(1, sy));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(sy), Occ::lhs(i));
+        let g = g.finish().unwrap();
+
+        let snc = snc_test(&g);
+        assert!(snc.is_snc());
+        let dnc = dnc_test(&g, &snc);
+        assert!(dnc.is_dnc());
+        // OI(A): s -> i (via the sibling at position 2... seen from pos 1's
+        // context? No: seen from position 2, `i` depends on the sibling's
+        // `s`, which is S->I only for pos-2's *own* attributes if a path
+        // s(2) -> i(2) exists through the context — it does not. But for
+        // position 1, the context maps s(1) -> nothing of pos 1. OI(A) must
+        // stay empty here.
+        assert_eq!(dnc.oi.get(a).count(), 0);
+
+        // Now thread it back: root2 : S ::= A with A.i := A.s would be
+        // directly circular; instead check a genuine OI pair:
+        // mid : A ::= A with A$2... — chain where parent's inh of child
+        // comes from child's own syn through the parent's *other* rules is
+        // the only source of OI pairs; verified in the grammar below.
+        let mut g = GrammarBuilder::new("ctx2");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let b = g.phylum("B");
+        let out = g.syn(s, "out");
+        let ai = g.inh(a, "i");
+        let asy = g.syn(a, "s");
+        let bi = g.inh(b, "i");
+        let bs = g.syn(b, "s");
+        // root : S ::= B ; B.i := 0
+        let root = g.production("root", s, &[b]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, bs));
+        g.constant(root, Occ::new(1, bi), Value::Int(0));
+        // wrap : B ::= A ; A.i := A.s is circular. Use: B.s := A.s;
+        // A.i := B.i — no OI. To get OI non-empty we need the child's syn
+        // to influence the child's *other* inherited via the parent:
+        let aj = g.inh(a, "j");
+        let wrap = g.production("wrap", b, &[a]);
+        g.copy(wrap, Occ::lhs(bs), Occ::new(1, asy));
+        g.copy(wrap, Occ::new(1, ai), Occ::lhs(bi));
+        // j of the child depends on s of the child: a genuine S→I context
+        // dependency (legal: j is not used to compute s).
+        g.copy(wrap, Occ::new(1, aj), Occ::new(1, asy));
+        // leaf : A.s := A.i ; uses j only via a second syn to keep it live.
+        let at = g.syn(a, "t");
+        let leafa = g.production("leafa", a, &[]);
+        g.copy(leafa, Occ::lhs(asy), Occ::lhs(ai));
+        g.copy(leafa, Occ::lhs(at), Occ::lhs(aj));
+        let g = g.finish().unwrap();
+        let snc = snc_test(&g);
+        assert!(snc.is_snc());
+        let dnc = dnc_test(&g, &snc);
+        assert!(dnc.is_dnc());
+        let a = g.phylum_by_name("A").unwrap();
+        // OI(A) contains s -> j.
+        let ix = AttrIndex::new(&g);
+        let s_local = ix.local(&g, asy);
+        let j_local = ix.local(&g, aj);
+        assert!(dnc.oi.get(a).get(s_local, j_local));
+    }
+}

@@ -1,0 +1,172 @@
+//! Building "pasted" production graphs: the local dependency graph `D(p)`
+//! augmented with per-phylum relations (argument selectors / IO-graphs,
+//! OI-graphs, induced dependencies, or partition orders) attached to chosen
+//! occurrence positions.
+
+use fnc2_ag::{DepGraph, Grammar, Occ, ONode, ProductionId};
+use fnc2_gfa::{BitMatrix, Digraph};
+
+use crate::attrs::AttrIndex;
+
+/// `D(p)` plus pasted relations, with matching dense node indexing.
+#[derive(Clone, Debug)]
+pub struct Pasted {
+    /// Node identities (the indexing of `graph`).
+    pub dep: DepGraph,
+    /// The combined digraph.
+    pub graph: Digraph,
+}
+
+impl Pasted {
+    /// Starts from the bare local dependency graph of `p`.
+    pub fn base(grammar: &Grammar, p: ProductionId) -> Pasted {
+        let dep = DepGraph::of(grammar, p);
+        let mut graph = Digraph::new(dep.len());
+        for (u, v) in dep.edges() {
+            graph.add_edge(u, v);
+        }
+        Pasted { dep, graph }
+    }
+
+    /// Pastes relation `rel` (over the local attribute indices of the
+    /// phylum at `pos`) onto position `pos`: for each pair `(i, j)` adds an
+    /// edge between the corresponding occurrences.
+    pub fn paste(&mut self, grammar: &Grammar, ix: &AttrIndex, pos: u16, rel: &BitMatrix) {
+        let p = self.dep.production();
+        let ph = grammar.production(p).phylum_at(pos);
+        debug_assert_eq!(rel.len(), ix.len(ph), "relation sized for phylum");
+        for (i, j) in rel.pairs() {
+            let u = ONode::Attr(Occ::new(pos, ix.attr_at(ph, i)));
+            let v = ONode::Attr(Occ::new(pos, ix.attr_at(ph, j)));
+            let (Some(u), Some(v)) = (self.dep.index_of(u), self.dep.index_of(v)) else {
+                continue;
+            };
+            self.graph.add_edge(u, v);
+        }
+    }
+
+    /// Adds an explicit edge between two occurrence nodes.
+    pub fn add_edge(&mut self, from: ONode, to: ONode) {
+        if let (Some(u), Some(v)) = (self.dep.index_of(from), self.dep.index_of(to)) {
+            self.graph.add_edge(u, v);
+        }
+    }
+
+    /// The transitive closure of the combined graph as a [`BitMatrix`] over
+    /// the dense node indices.
+    pub fn closure(&self) -> BitMatrix {
+        let mut m = BitMatrix::new(self.dep.len());
+        for (u, v) in self.graph.edges() {
+            m.set(u, v);
+        }
+        m.close();
+        m
+    }
+
+    /// Projects `closed` (a closure from [`closure`](Self::closure)) onto
+    /// position `pos`: the relation over local attribute indices of the
+    /// phylum at `pos` induced by paths between its occurrences. Pairs are
+    /// filtered by `keep(i, j)`.
+    pub fn project(
+        &self,
+        grammar: &Grammar,
+        ix: &AttrIndex,
+        closed: &BitMatrix,
+        pos: u16,
+        mut keep: impl FnMut(usize, usize) -> bool,
+    ) -> BitMatrix {
+        let p = self.dep.production();
+        let ph = grammar.production(p).phylum_at(pos);
+        let k = ix.len(ph);
+        let mut out = BitMatrix::new(k);
+        for i in 0..k {
+            let u = self
+                .dep
+                .index_of(ONode::Attr(Occ::new(pos, ix.attr_at(ph, i))))
+                .expect("occurrence exists");
+            for j in 0..k {
+                if i == j || !keep(i, j) {
+                    continue;
+                }
+                let v = self
+                    .dep
+                    .index_of(ONode::Attr(Occ::new(pos, ix.attr_at(ph, j))))
+                    .expect("occurrence exists");
+                if closed.get(u, v) {
+                    out.set(i, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Finds a dependency cycle in the combined graph, as occurrence nodes.
+    pub fn find_cycle(&self) -> Option<Vec<ONode>> {
+        self.graph
+            .find_cycle()
+            .map(|c| c.into_iter().map(|u| self.dep.node(u)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+
+    use super::*;
+
+    /// S ::= A with S.v := A.w, A.i := S.j ; A.w := A.i at the leaf.
+    fn g() -> Grammar {
+        let mut g = GrammarBuilder::new("t");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let j = g.inh(s, "j");
+        let v = g.syn(s, "v");
+        let i = g.inh(a, "i");
+        let w = g.syn(a, "w");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(v), Occ::new(1, w));
+        g.copy(root, Occ::new(1, i), Occ::lhs(j));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(w), Occ::lhs(i));
+        let _ = Value::Unit;
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn paste_and_project() {
+        let g = g();
+        let ix = AttrIndex::new(&g);
+        let root = g.production_by_name("root").unwrap();
+        let a = g.phylum_by_name("A").unwrap();
+        let mut pg = Pasted::base(&g, root);
+        // io(A) = { i -> w }
+        let mut io_a = BitMatrix::new(2);
+        io_a.set(0, 1);
+        pg.paste(&g, &ix, 1, &io_a);
+        let closed = pg.closure();
+        assert!(closed.is_irreflexive());
+        // Path S.j -> A.i -> A.w -> S.v projects to j -> v on S.
+        let proj = pg.project(&g, &ix, &closed, 0, |_, _| true);
+        assert!(proj.get(0, 1));
+        assert!(!proj.get(1, 0));
+        let _ = a;
+    }
+
+    #[test]
+    fn cycle_detected_after_paste() {
+        let g = g();
+        let ix = AttrIndex::new(&g);
+        let root = g.production_by_name("root").unwrap();
+        let mut pg = Pasted::base(&g, root);
+        let mut io_a = BitMatrix::new(2);
+        io_a.set(0, 1);
+        pg.paste(&g, &ix, 1, &io_a);
+        // Paste a bogus S relation v -> j, closing the loop.
+        let mut rel_s = BitMatrix::new(2);
+        rel_s.set(1, 0);
+        pg.paste(&g, &ix, 0, &rel_s);
+        assert!(!pg.closure().is_irreflexive());
+        let cyc = pg.find_cycle().unwrap();
+        assert!(cyc.len() >= 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Human-readable circularity traces.
+//!
+//! When an AG fails the SNC test, FNC-2 offers "an interactive circularity
+//! trace system [39] allowing to easily discover the origin of the failure"
+//! (paper §3.1). This module renders a [`CircWitness`] as the chain of
+//! semantic rules responsible for the cycle, resolving each dependency edge
+//! to the rule that creates it or to the induced (IO/OI) path it abstracts.
+
+use std::fmt::Write as _;
+
+use fnc2_ag::{Grammar, ONode, RuleBody};
+
+use crate::io::CircWitness;
+
+/// Renders `witness` as a multi-line explanation.
+pub fn explain(grammar: &Grammar, witness: &CircWitness) -> String {
+    let p = witness.production;
+    let prod = grammar.production(p);
+    let mut out = String::new();
+    let rhs: Vec<&str> = prod
+        .rhs()
+        .iter()
+        .map(|&x| grammar.phylum(x).name())
+        .collect();
+    let _ = writeln!(
+        out,
+        "circular dependency in production `{}`: {} ::= {}",
+        prod.name(),
+        grammar.phylum(prod.lhs()).name(),
+        if rhs.is_empty() { "<empty>".to_string() } else { rhs.join(" ") },
+    );
+    for pair in witness.cycle.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        let from_name = grammar.occ_name(p, from);
+        let to_name = grammar.occ_name(p, to);
+        match edge_reason(grammar, &witness.production, from, to) {
+            Some(rule_desc) => {
+                let _ = writeln!(out, "  {from_name} -> {to_name}    ({rule_desc})");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {from_name} -> {to_name}    (induced through the subtree or context)"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Describes the semantic rule responsible for edge `from → to` in `p`, if
+/// it is a direct rule dependency.
+fn edge_reason(
+    grammar: &Grammar,
+    p: &fnc2_ag::ProductionId,
+    from: ONode,
+    to: ONode,
+) -> Option<String> {
+    let rule = grammar.rule_for(*p, to)?;
+    if !rule.read_nodes().any(|n| n == from) {
+        return None;
+    }
+    let target = grammar.occ_name(*p, rule.target());
+    Some(match rule.body() {
+        RuleBody::Copy(_) => format!("copy rule {target} := {}", grammar.occ_name(*p, from)),
+        RuleBody::Call { func, .. } => format!(
+            "rule {target} := {}(…)",
+            grammar.function(*func).name()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ};
+
+    use crate::io::snc_test;
+
+    use super::*;
+
+    #[test]
+    fn trace_names_rules_and_occurrences() {
+        let mut g = GrammarBuilder::new("circ");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let i = g.inh(a, "i");
+        let sy = g.syn(a, "s");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, sy));
+        g.copy(root, Occ::new(1, i), Occ::new(1, sy));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(sy), Occ::lhs(i));
+        let g = g.finish().unwrap();
+        let snc = snc_test(&g);
+        let trace = explain(&g, &snc.witness.unwrap());
+        assert!(trace.contains("circular dependency in production `root`"));
+        assert!(trace.contains("A.s -> A.i"), "trace: {trace}");
+        assert!(trace.contains("copy rule A.i := A.s"));
+        assert!(trace.contains("induced through the subtree"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench: generated vs. hand-written vs. demand-driven
+//! evaluation (the §4.2 comparison, Table 2's execution side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fnc2::visit::{DynamicEvaluator, RootInputs};
+use fnc2::Pipeline;
+use fnc2_bench::{bit_string, handwritten_binary_boxed, handwritten_minipascal};
+use fnc2_corpus as corpus;
+
+fn bench_binary(c: &mut Criterion) {
+    let compiled = Pipeline::new().compile(corpus::binary()).expect("compiles");
+    let tree = corpus::binary_tree(&compiled.grammar, &bit_string(1024, 9));
+    let mut group = c.benchmark_group("evaluator/binary-1024");
+    group.sample_size(20);
+    group.bench_function("generated", |b| {
+        b.iter(|| compiled.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            compiled
+                .evaluate_optimized(&tree, &RootInputs::new())
+                .expect("runs")
+        });
+    });
+    group.bench_function("hand-written(boxed)", |b| {
+        b.iter(|| handwritten_binary_boxed(&compiled.grammar, &tree));
+    });
+    group.bench_function("demand-driven", |b| {
+        let dynev = DynamicEvaluator::new(&compiled.grammar);
+        b.iter(|| dynev.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_minipascal(c: &mut Criterion) {
+    let compiled = Pipeline::new()
+        .compile(corpus::minipascal().0)
+        .expect("compiles");
+    let src = corpus::sample_program(32);
+    let tree = corpus::parse_minipascal(&compiled.grammar, &src).expect("parses");
+    let mut group = c.benchmark_group("evaluator/minipascal-32blocks");
+    group.sample_size(20);
+    group.bench_function("generated", |b| {
+        b.iter(|| compiled.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    });
+    group.bench_function("hand-written", |b| {
+        b.iter(|| handwritten_minipascal(&compiled.grammar, &tree));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_binary, bench_minipascal);
+criterion_main!(benches);

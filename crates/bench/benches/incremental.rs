@@ -1,0 +1,93 @@
+//! Criterion bench: incremental reevaluation after a one-leaf edit vs.
+//! exhaustive reevaluation (the §2.1.2 economy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fnc2::ag::{Grammar, GrammarBuilder, NodeId, Occ, TreeBuilder, Value};
+use fnc2::incremental::{Equality, IncrementalEvaluator};
+use fnc2::visit::{DynamicEvaluator, RootInputs};
+
+fn sum_grammar() -> Grammar {
+    let mut g = GrammarBuilder::new("sum");
+    let s = g.phylum("S");
+    let e = g.phylum("E");
+    let total = g.syn(s, "total");
+    let depth = g.inh(e, "depth");
+    let sum = g.syn(e, "sum");
+    g.func("succ", 1, |v| Value::Int(v[0].as_int() + 1));
+    g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+    let root = g.production("root", s, &[e]);
+    g.copy(root, Occ::lhs(total), Occ::new(1, sum));
+    g.constant(root, Occ::new(1, depth), Value::Int(0));
+    let fork = g.production("fork", e, &[e, e]);
+    g.call(fork, Occ::new(1, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(fork, Occ::new(2, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(
+        fork,
+        Occ::lhs(sum),
+        "add",
+        [Occ::new(1, sum).into(), Occ::new(2, sum).into()],
+    );
+    let leaf = g.production("leafe", e, &[]);
+    g.copy(leaf, Occ::lhs(sum), fnc2::ag::Arg::Token);
+    g.finish().expect("well-defined")
+}
+
+fn balanced(g: &Grammar, tb: &mut TreeBuilder, depth: usize, next: &mut i64) -> NodeId {
+    if depth == 0 {
+        *next += 1;
+        tb.node_with_token(
+            g.production_by_name("leafe").unwrap(),
+            &[],
+            Some(Value::Int(*next % 13)),
+        )
+        .unwrap()
+    } else {
+        let a = balanced(g, tb, depth - 1, next);
+        let b = balanced(g, tb, depth - 1, next);
+        tb.op("fork", &[a, b]).unwrap()
+    }
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let g = sum_grammar();
+    let mut tb = TreeBuilder::new(&g);
+    let mut next = 0;
+    let body = balanced(&g, &mut tb, 12, &mut next);
+    let root = tb.op("root", &[body]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+
+    let mut group = c.benchmark_group("incremental/depth-12");
+    group.sample_size(10);
+    group.bench_function("one-leaf-edit", |b| {
+        let mut inc =
+            IncrementalEvaluator::new(&g, tree.clone(), Equality::default()).expect("evaluates");
+        let mut flip = 0i64;
+        b.iter(|| {
+            let victim = inc
+                .tree()
+                .preorder()
+                .find(|&(n, _)| inc.tree().node(n).children().is_empty())
+                .map(|(n, _)| n)
+                .unwrap();
+            let mut tb = TreeBuilder::new(&g);
+            flip += 1;
+            let nl = tb
+                .node_with_token(
+                    g.production_by_name("leafe").unwrap(),
+                    &[],
+                    Some(Value::Int(flip)),
+                )
+                .unwrap();
+            let sub = tb.finish(nl);
+            inc.replace_subtree(victim, &sub).expect("edits");
+        });
+    });
+    group.bench_function("from-scratch", |b| {
+        let dynev = DynamicEvaluator::new(&g);
+        b.iter(|| dynev.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

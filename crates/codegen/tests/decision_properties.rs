@@ -1,0 +1,90 @@
+//! Property test: decision-tree compilation preserves linear first-match
+//! semantics, on random pattern matrices and random scrutinees.
+
+use fnc2_ag::Value;
+use fnc2_codegen::{compile_arms, run_decision};
+use fnc2_olga::ast::Pat;
+use fnc2_olga::Pos;
+use proptest::prelude::*;
+
+fn p0() -> Pos {
+    Pos { line: 0, col: 0 }
+}
+
+/// Random patterns over ints, bools, lists and pairs.
+fn pat_strategy() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        Just(Pat::Wild(p0())),
+        (0i64..4).prop_map(|i| Pat::Int(i, p0())),
+        proptest::bool::ANY.prop_map(|b| Pat::Bool(b, p0())),
+        Just(Pat::Nil(p0())),
+        "[a-c]".prop_map(|s| Pat::Bind(s, p0())),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| Pat::Cons(Box::new(h), Box::new(t), p0())),
+            proptest::collection::vec(inner, 2..3).prop_map(|ps| Pat::Tuple(ps, p0())),
+        ]
+    })
+}
+
+/// Random values in the same space.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (0i64..4).prop_map(Value::Int),
+        proptest::bool::ANY.prop_map(Value::Bool),
+        Just(Value::list([])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::list),
+            proptest::collection::vec(inner, 2..3).prop_map(Value::tuple),
+        ]
+    })
+}
+
+/// Reference: linear first-match with structural semantics.
+fn linear_match(pats: &[Pat], v: &Value) -> Option<usize> {
+    fn matches(p: &Pat, v: &Value) -> bool {
+        match (p, v) {
+            (Pat::Wild(_) | Pat::Bind(..), _) => true,
+            (Pat::Int(i, _), Value::Int(j)) => i == j,
+            (Pat::Bool(b, _), Value::Bool(c)) => b == c,
+            (Pat::Str(s, _), Value::Str(t)) => s.as_str() == &**t,
+            (Pat::Nil(_), Value::List(l)) => l.is_empty(),
+            (Pat::Cons(h, t, _), Value::List(l)) => {
+                !l.is_empty()
+                    && matches(h, &l[0])
+                    && matches(t, &Value::list(l[1..].iter().cloned()))
+            }
+            (Pat::Tuple(ps, _), Value::Tuple(items)) => {
+                ps.len() == items.len() && ps.iter().zip(items.iter()).all(|(p, v)| matches(p, v))
+            }
+            (Pat::Term { op, args, .. }, Value::Term(t)) => {
+                *op == t.op
+                    && args.len() == t.children.len()
+                    && args.iter().zip(&t.children).all(|(p, v)| matches(p, v))
+            }
+            _ => false,
+        }
+    }
+    pats.iter().position(|p| matches(p, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decision_tree_equals_linear_match(
+        pats in proptest::collection::vec(pat_strategy(), 1..6),
+        values in proptest::collection::vec(value_strategy(), 1..6),
+    ) {
+        let tree = compile_arms(&pats);
+        for v in &values {
+            let got = run_decision(&tree, v).map(|(arm, _)| arm);
+            let want = linear_match(&pats, v);
+            prop_assert_eq!(got, want, "patterns {:?} value {:?}", pats, v);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests: generate C and Lisp for a real AG; the C text is
+//! syntax-checked with the system compiler when one is available.
+
+use std::io::Write as _;
+use std::process::Command;
+
+use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+use fnc2_codegen::{to_c, to_lisp};
+use fnc2_olga::{lower, parse_unit, Compiler};
+use fnc2_visit::build_visit_seqs;
+
+const DESK: &str = r#"
+attribute grammar desk;
+  phylum Prog, Expr;
+  root Prog;
+  operator prog : Prog ::= Expr;
+  operator add  : Expr ::= Expr Expr;
+  operator lit  : Expr ::= ;
+  operator var  : Expr ::= ;
+  synthesized value : int of Prog, Expr;
+  inherited env : map of int of Expr;
+  function get(e : map of int, k : string) : int =
+    if bound(e, k) then lookup(e, k) else error("unbound " ++ k) end;
+  function classify(l : list of int) : string =
+    case l of [] => "none" | x :: [] => itoa(x) | _ :: _ => "many" end;
+  for prog {
+    Expr.env := insert(empty_map(), "x", 10);
+    local banner : string := classify([1]);
+    Prog.value := Expr.value + strlen(banner) - 1;
+  }
+  for add { Expr$1.value := Expr$2.value + Expr$3.value; }
+  for lit { Expr.value := token(); }
+  for var { Expr.value := get(Expr.env, token()); }
+end
+"#;
+
+fn artifacts() -> (fnc2_olga::CheckedAg, fnc2_ag::Grammar, fnc2_visit::VisitSeqs) {
+    let fnc2_olga::ast::Unit::Ag(ag) = parse_unit(DESK).unwrap() else {
+        panic!("expected AG")
+    };
+    let checked = Compiler::new().check_ag(ag).unwrap();
+    let (grammar, _) = lower(&checked).unwrap();
+    let snc = snc_test(&grammar);
+    assert!(snc.is_snc());
+    let lo = snc_to_l_ordered(&grammar, &snc, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&grammar, &lo);
+    (checked, grammar, seqs)
+}
+
+#[test]
+fn c_translation_is_complete_and_compiles() {
+    let (checked, grammar, seqs) = artifacts();
+    let c = to_c(&checked, &grammar, &seqs);
+    // Structural checks.
+    assert!(c.contains("static V f_get(V e, V k)"));
+    assert!(c.contains("evaluate_root"));
+    assert!(c.contains("visit_prog_pi0_v1"));
+    assert!(c.contains("n->kids[0]"));
+    assert!(c.contains("no garbage collector"));
+    // Balanced braces.
+    let open = c.matches('{').count();
+    let close = c.matches('}').count();
+    assert_eq!(open, close, "unbalanced braces");
+
+    // Compile with the system C compiler when present.
+    if Command::new("cc").arg("--version").output().is_ok() {
+        let dir = std::env::temp_dir().join("fnc2_codegen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("desk.c");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(c.as_bytes()).unwrap();
+        drop(f);
+        let out = Command::new("cc")
+            .args(["-std=c99", "-fsyntax-only", "-Wno-unused-function"])
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "cc rejected the generated C:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn lisp_translation_is_balanced() {
+    let (checked, grammar, seqs) = artifacts();
+    let l = to_lisp(&checked, &grammar, &seqs);
+    assert!(l.contains("(defun f-get ("));
+    assert!(l.contains("(defun visit "));
+    assert!(l.contains("evaluate-root"));
+    // Balanced parentheses outside strings.
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut prev = ' ';
+    for ch in l.chars() {
+        match ch {
+            '"' if prev != '\\' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced parens");
+        prev = ch;
+    }
+    assert_eq!(depth, 0, "unbalanced parens at end");
+}
+
+#[test]
+fn tail_recursive_function_becomes_a_loop_in_c() {
+    let src = r#"
+attribute grammar t;
+  phylum S;
+  operator leaf : S ::= ;
+  synthesized v : int of S;
+  function count(l : list of int, acc : int) : int =
+    case l of [] => acc | _ :: r => count(r, acc + 1) end;
+  for leaf { S.v := count([1, 2, 3], 0); }
+end
+"#;
+    let fnc2_olga::ast::Unit::Ag(ag) = parse_unit(src).unwrap() else {
+        panic!()
+    };
+    let checked = Compiler::new().check_ag(ag).unwrap();
+    let (grammar, _) = lower(&checked).unwrap();
+    let snc = snc_test(&grammar);
+    let lo = snc_to_l_ordered(&grammar, &snc, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&grammar, &lo);
+    let c = to_c(&checked, &grammar, &seqs);
+    assert!(
+        c.contains("tail-recursion eliminated"),
+        "expected TCO marker in:\n{c}"
+    );
+}
+
+#[test]
+fn model_rules_translate_to_c() {
+    let src = r#"
+attribute grammar modeled;
+  phylum Prog, Stmts, Stmt;
+  root Prog;
+  operator prog : Prog ::= Stmts;
+  operator cons : Stmts ::= Stmt Stmts;
+  operator nil  : Stmts ::= ;
+  operator one  : Stmt ::= ;
+  synthesized count : int of Prog, Stmts, Stmt with sum;
+  synthesized names : list of string of Prog, Stmts, Stmt with concat;
+  threaded lab : int of Stmts, Stmt;
+  for prog { Stmts.lab_in := 0; }
+  for nil { Stmts.count := 0; Stmts.names := []; }
+  for one { Stmt.count := 1; Stmt.names := ["x"]; Stmt.lab_out := Stmt.lab_in + 1; }
+end
+"#;
+    let fnc2_olga::ast::Unit::Ag(ag) = parse_unit(src).unwrap() else {
+        panic!()
+    };
+    let checked = Compiler::new().check_ag(ag).unwrap();
+    let (grammar, _) = lower(&checked).unwrap();
+    let snc = snc_test(&grammar);
+    assert!(snc.is_snc());
+    let lo = snc_to_l_ordered(&grammar, &snc, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&grammar, &lo);
+    let c = to_c(&checked, &grammar, &seqs);
+    assert!(c.contains("v_add") || c.contains("v_append"), "model folds inlined");
+    assert!(!c.contains("unreachable: computed rules"), "all rules emitted");
+    if Command::new("cc").arg("--version").output().is_ok() {
+        let dir = std::env::temp_dir().join("fnc2_codegen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("modeled.c");
+        std::fs::write(&path, &c).unwrap();
+        let out = Command::new("cc")
+            .args(["-std=c99", "-fsyntax-only", "-Wno-unused-function"])
+            .arg(&path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "cc rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let l = to_lisp(&checked, &grammar, &seqs);
+    assert!(l.contains("v-append") || l.contains("(+ "));
+}

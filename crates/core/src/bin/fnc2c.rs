@@ -1,0 +1,144 @@
+//! `fnc2c` — the command-line front door of the reproduction.
+//!
+//! ```text
+//! fnc2c report  <file.olga>       # class, sizes, partitions, storage plan
+//! fnc2c check   <file.olga>       # front-end + well-definedness only
+//! fnc2c c       <file.olga>       # translate the AG to C on stdout
+//! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
+//! fnc2c seqs    <file.olga>       # print the visit sequences
+//! ```
+//!
+//! The input is an OLGA text: any number of modules followed by one
+//! attribute grammar (`-` reads standard input).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use fnc2::{Pipeline, PipelineError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: fnc2c <report|check|c|lisp|seqs> <file.olga | ->");
+            return ExitCode::from(2);
+        }
+    };
+    let source = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("fnc2c: cannot read standard input");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fnc2c: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    match run(cmd, &source) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, source: &str) -> Result<String, String> {
+    // The checked AG is needed for the translators.
+    let checked = || -> Result<fnc2::olga::CheckedAg, String> {
+        let units = fnc2::olga::parse_units(source).map_err(|e| e.to_string())?;
+        let mut compiler = fnc2::olga::Compiler::new();
+        let mut ag = None;
+        for u in units {
+            match u {
+                fnc2::olga::ast::Unit::Module(m) => {
+                    compiler.add_module(m).map_err(|e| e.to_string())?
+                }
+                fnc2::olga::ast::Unit::Ag(a) => ag = Some(a),
+            }
+        }
+        let ag = ag.ok_or_else(|| "fnc2c: source contains no attribute grammar".to_string())?;
+        compiler.check_ag(ag).map_err(|e| e.to_string())
+    };
+
+    match cmd {
+        "check" => {
+            let checked = checked()?;
+            let (grammar, info) = fnc2::olga::lower(&checked).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "ok: {} phyla, {} operators, {} rules ({} explicit copies, {} auto copies)\n",
+                grammar.phylum_count(),
+                grammar.production_count(),
+                grammar.rule_count(),
+                info.explicit_copies,
+                info.auto_copies
+            ))
+        }
+        "report" => {
+            let compiled = compile(source)?;
+            Ok(format!("{}\n", compiled.report))
+        }
+        "c" => {
+            let checked = checked()?;
+            let compiled = compile(source)?;
+            Ok(fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs))
+        }
+        "lisp" => {
+            let checked = checked()?;
+            let compiled = compile(source)?;
+            Ok(fnc2::codegen::to_lisp(
+                &checked,
+                &compiled.grammar,
+                &compiled.seqs,
+            ))
+        }
+        "seqs" => {
+            let compiled = compile(source)?;
+            let mut out = String::new();
+            for (p, pi) in compiled.seqs.keys() {
+                let seq = compiled.seqs.seq(p, pi);
+                let prod = compiled.grammar.production(p);
+                out.push_str(&format!("{} (partition {pi}):\n", prod.name()));
+                for (v, segment) in seq.segments.iter().enumerate() {
+                    out.push_str(&format!("  BEGIN {}\n", v + 1));
+                    for instr in segment {
+                        match instr {
+                            fnc2::visit::Instr::Eval(t) => out.push_str(&format!(
+                                "    EVAL  {}\n",
+                                compiled.grammar.occ_name(p, *t)
+                            )),
+                            fnc2::visit::Instr::Visit {
+                                child,
+                                visit,
+                                partition,
+                            } => out.push_str(&format!(
+                                "    VISIT {visit},{child} (partition {partition})\n"
+                            )),
+                        }
+                    }
+                    out.push_str(&format!("  LEAVE {}\n", v + 1));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(format!("fnc2c: unknown command `{other}`")),
+    }
+}
+
+fn compile(source: &str) -> Result<fnc2::Compiled, String> {
+    Pipeline::new().compile_olga(source).map_err(|e| match e {
+        PipelineError::NotSnc(trace) => format!("fnc2c: grammar is not SNC\n{trace}"),
+        other => format!("fnc2c: {other}"),
+    })
+}

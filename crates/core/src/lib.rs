@@ -1,0 +1,371 @@
+//! # fnc2 — the FNC-2 attribute grammar system, end to end
+//!
+//! The facade crate mirroring the paper's Figure 2: the OLGA front-end,
+//! the evaluator generator (Figure 3's cascade: SNC test → DNC test →
+//! OAG(k) test → SNC-to-l-ordered transformation → visit-sequence
+//! generation → space optimization), the generated evaluators (plain,
+//! space-optimized, demand-driven, incremental), and the translators
+//! (to C and to Lisp).
+//!
+//! ```
+//! use fnc2::Pipeline;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiled = Pipeline::new().compile_olga(r#"
+//!     attribute grammar count;
+//!       phylum S;
+//!       operator leaf : S ::= ;
+//!       operator node : S ::= S;
+//!       synthesized n : int of S;
+//!       for leaf { S.n := 0; }
+//!       for node { S$1.n := S$2.n + 1; }
+//!     end
+//! "#)?;
+//! assert_eq!(compiled.report.class.to_string(), "OAG(0)");
+//!
+//! let mut tb = fnc2::ag::TreeBuilder::new(&compiled.grammar);
+//! let a = tb.op("leaf", &[])?;
+//! let b = tb.op("node", &[a])?;
+//! let tree = tb.finish_root(b)?;
+//! let (values, _) = compiled.evaluate(&tree, &Default::default())?;
+//! let s = compiled.grammar.phylum_by_name("S").unwrap();
+//! let n = compiled.grammar.attr_by_name(s, "n").unwrap();
+//! assert_eq!(values.get(&compiled.grammar, tree.root(), n),
+//!            Some(&fnc2::ag::Value::Int(1)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use fnc2_ag::{AttrValues, Grammar, Tree};
+use fnc2_analysis::{classify, AgClass, Classification, Inclusion};
+use fnc2_space::{analyze_space, FlatProgram, Lifetimes, ObjectIndex, SpacePlan};
+use fnc2_visit::{build_visit_seqs, EvalError, EvalStats, Evaluator, RootInputs, VisitSeqs};
+
+pub use fnc2_ag as ag;
+pub use fnc2_analysis as analysis;
+pub use fnc2_codegen as codegen;
+pub use fnc2_gfa as gfa;
+pub use fnc2_incremental as incremental;
+pub use fnc2_olga as olga;
+pub use fnc2_space as space;
+pub use fnc2_syntax as syntax;
+pub use fnc2_tools as tools;
+pub use fnc2_visit as visit;
+
+/// Pipeline configuration (the knobs of the paper's §3.1).
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Largest `k` tried by the OAG(k) cascade.
+    pub max_oag_k: usize,
+    /// Partition-reuse strategy for the transformation.
+    pub inclusion: Inclusion,
+    /// Whether to run the space optimizer.
+    pub optimize_space: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            max_oag_k: 1,
+            inclusion: Inclusion::Long,
+            optimize_space: true,
+        }
+    }
+}
+
+/// Per-phase wall-clock times of one generator run (the Table 1 "time"
+/// column, split by phase).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Class tests + transformation.
+    pub analysis: Duration,
+    /// Visit-sequence generation.
+    pub visit_sequences: Duration,
+    /// Space optimization.
+    pub space: Duration,
+}
+
+impl PhaseTimes {
+    /// Total generator time.
+    pub fn total(&self) -> Duration {
+        self.analysis + self.visit_sequences + self.space
+    }
+}
+
+/// The generator's summary for one AG (one Table 1 row).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Smallest class found.
+    pub class: AgClass,
+    /// Phyla count.
+    pub phyla: usize,
+    /// Operator (production) count.
+    pub operators: usize,
+    /// Attribute occurrences (sum over phyla of attached attributes).
+    pub occurrences: usize,
+    /// Semantic rule count.
+    pub rules: usize,
+    /// Transformation statistics (partitions per phylum, plans).
+    pub transform: Option<fnc2_analysis::TransformStats>,
+    /// Space statistics (storage classes, packing, copy elimination).
+    pub space: Option<fnc2_space::SpaceStats>,
+    /// Per-phase times.
+    pub times: PhaseTimes,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "class {}; {} phyla, {} operators, {} occurrences, {} rules",
+            self.class, self.phyla, self.operators, self.occurrences, self.rules
+        )?;
+        if let Some(t) = &self.transform {
+            writeln!(
+                f,
+                "partitions/phylum avg {:.2} max {}; {} visit-sequences",
+                t.avg_partitions(),
+                t.max_partitions(),
+                t.plans
+            )?;
+        }
+        if let Some(s) = &self.space {
+            writeln!(
+                f,
+                "storage: {:.0}% vars, {:.0}% stacks, {:.0}% nodes; {} vars, {} stacks; copies eliminated {:.0}% (of possible {:.0}%)",
+                s.pct_variables(),
+                s.pct_stacks(),
+                s.pct_node(),
+                s.variables_after,
+                s.stacks_after,
+                s.pct_eliminated_of_copies(),
+                s.pct_eliminated_of_possible()
+            )?;
+        }
+        write!(f, "generator time {:?}", self.times.total())
+    }
+}
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The OLGA front-end rejected the source.
+    Olga(fnc2_olga::OlgaError),
+    /// The AG is not strongly non-circular; the payload holds the
+    /// circularity trace (paper §3.1's interactive trace, rendered).
+    NotSnc(String),
+    /// Internal transformation failure (cannot happen for SNC grammars).
+    Transform(fnc2_analysis::TransformError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Olga(e) => write!(f, "{e}"),
+            PipelineError::NotSnc(trace) => {
+                write!(f, "grammar is not strongly non-circular:\n{trace}")
+            }
+            PipelineError::Transform(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<fnc2_olga::OlgaError> for PipelineError {
+    fn from(e: fnc2_olga::OlgaError) -> Self {
+        PipelineError::Olga(e)
+    }
+}
+
+/// A fully generated evaluator with all its artifacts.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The (abstract) grammar.
+    pub grammar: Grammar,
+    /// The classification, including IO/OI/DS relations.
+    pub classification: Classification,
+    /// The visit sequences.
+    pub seqs: VisitSeqs,
+    /// The flattened program (when space optimization ran).
+    pub flat: Option<FlatProgram>,
+    /// Object index (when space optimization ran).
+    pub objects: Option<ObjectIndex>,
+    /// Lifetimes (when space optimization ran).
+    pub lifetimes: Option<Lifetimes>,
+    /// The storage plan (when space optimization ran).
+    pub space_plan: Option<SpacePlan>,
+    /// The generator's summary.
+    pub report: Report,
+}
+
+impl Compiled {
+    /// Evaluates `tree` with the plain (node-storage) evaluator.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn evaluate(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        Evaluator::new(&self.grammar, &self.seqs).evaluate(tree, inputs)
+    }
+
+    /// Evaluates `tree` with the space-optimized evaluator.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was configured without space optimization.
+    pub fn evaluate_optimized(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+    ) -> Result<fnc2_space::SpaceOutcome, EvalError> {
+        let fp = self.flat.as_ref().expect("space optimization enabled");
+        let plan = self
+            .space_plan
+            .as_ref()
+            .expect("space optimization enabled");
+        fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan).evaluate(tree, inputs)
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with the default configuration (OAG(k≤1), long
+    /// inclusion, space optimization on).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Runs the full generator on an already-built grammar.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the circularity trace if the grammar is not SNC.
+    pub fn compile(&self, grammar: Grammar) -> Result<Compiled, PipelineError> {
+        let t0 = Instant::now();
+        let classification = classify(&grammar, self.max_oag_k, self.inclusion)
+            .map_err(PipelineError::Transform)?;
+        let analysis_time = t0.elapsed();
+        if !classification.is_evaluable() {
+            let w = classification
+                .snc
+                .witness
+                .as_ref()
+                .expect("not evaluable implies a witness");
+            return Err(PipelineError::NotSnc(fnc2_analysis::explain(&grammar, w)));
+        }
+        let lo = classification
+            .l_ordered
+            .as_ref()
+            .expect("evaluable grammars have plans");
+
+        let t1 = Instant::now();
+        let seqs = build_visit_seqs(&grammar, lo);
+        let vs_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let (flat, objects, lifetimes, space_plan) = if self.optimize_space {
+            let (fp, ox, lt, plan) = analyze_space(&grammar, &seqs);
+            (Some(fp), Some(ox), Some(lt), Some(plan))
+        } else {
+            (None, None, None, None)
+        };
+        let space_time = t2.elapsed();
+
+        let report = Report {
+            class: classification.class,
+            phyla: grammar.phylum_count(),
+            operators: grammar.production_count(),
+            occurrences: grammar.attr_count(),
+            rules: grammar.rule_count(),
+            transform: classification.l_ordered.as_ref().map(|l| l.stats.clone()),
+            space: space_plan.as_ref().map(|p| p.stats.clone()),
+            times: PhaseTimes {
+                analysis: analysis_time,
+                visit_sequences: vs_time,
+                space: space_time,
+            },
+        };
+        Ok(Compiled {
+            grammar,
+            classification,
+            seqs,
+            flat,
+            objects,
+            lifetimes,
+            space_plan,
+            report,
+        })
+    }
+
+    /// Parses, checks and lowers OLGA source, then runs the generator.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors carry positions; non-SNC grammars carry the trace.
+    pub fn compile_olga(&self, source: &str) -> Result<Compiled, PipelineError> {
+        let (grammar, _) = fnc2_olga::compile_ag_source(source)?;
+        self.compile(grammar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_on_builder_grammar() {
+        let g = fnc2_corpus::binary();
+        let compiled = Pipeline::new().compile(g).unwrap();
+        assert_eq!(compiled.report.class, AgClass::Oag0);
+        assert!(compiled.report.space.is_some());
+        let tree = fnc2_corpus::binary_tree(&compiled.grammar, "1101");
+        let (vals, _) = compiled.evaluate(&tree, &Default::default()).unwrap();
+        let number = compiled.grammar.phylum_by_name("Number").unwrap();
+        let value = compiled.grammar.attr_by_name(number, "value").unwrap();
+        assert_eq!(
+            vals.get(&compiled.grammar, tree.root(), value),
+            Some(&fnc2_ag::Value::Real(13.0))
+        );
+        // Optimized evaluator agrees on the root output.
+        let outcome = compiled
+            .evaluate_optimized(&tree, &Default::default())
+            .unwrap();
+        assert_eq!(
+            outcome.node_values.get(&compiled.grammar, tree.root(), value),
+            Some(&fnc2_ag::Value::Real(13.0))
+        );
+    }
+
+    #[test]
+    fn pipeline_reports_circularity_with_trace() {
+        let g = fnc2_corpus::circular();
+        match Pipeline::new().compile(g) {
+            Err(PipelineError::NotSnc(trace)) => {
+                assert!(trace.contains("circular dependency"), "{trace}");
+            }
+            other => panic!("expected NotSnc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let compiled = Pipeline::new().compile(fnc2_corpus::desk()).unwrap();
+        let text = compiled.report.to_string();
+        assert!(text.contains("class OAG(0)"), "{text}");
+        assert!(text.contains("storage:"), "{text}");
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `fnc2c` command-line driver.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const COUNT: &str = r#"
+attribute grammar count;
+  phylum S;
+  operator leaf : S ::= ;
+  operator node : S ::= S;
+  synthesized n : int of S;
+  for leaf { S.n := 0; }
+  for node { S$1.n := S$2.n + 1; }
+end
+"#;
+
+fn fnc2c() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fnc2c"))
+}
+
+#[test]
+fn report_prints_class_and_sizes() {
+    let mut child = fnc2c()
+        .args(["report", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(COUNT.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("class OAG(0)"), "{text}");
+    assert!(text.contains("2 operators"), "{text}");
+}
+
+#[test]
+fn seqs_prints_visit_sequences() {
+    let mut child = fnc2c()
+        .args(["seqs", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(COUNT.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BEGIN 1"), "{text}");
+    assert!(text.contains("VISIT 1,1"), "{text}");
+    assert!(text.contains("EVAL  S$1.n"), "{text}");
+}
+
+#[test]
+fn c_emits_a_translation_unit() {
+    let mut child = fnc2c()
+        .args(["c", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(COUNT.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("evaluate_root"), "truncated: {text}");
+    assert!(text.contains("#include <stdio.h>"));
+}
+
+#[test]
+fn circular_grammar_fails_with_trace() {
+    let mut child = fnc2c()
+        .args(["report", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            br#"
+attribute grammar bad;
+  phylum S, A;
+  operator mk : S ::= A;
+  operator leaf : A ::= ;
+  synthesized out : int of S;
+  inherited i : int of A;
+  synthesized s : int of A;
+  for mk { S.out := A.s; A.i := A.s; }
+  for leaf { A.s := A.i; }
+end
+"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not SNC"), "{err}");
+    assert!(err.contains("circular dependency"), "{err}");
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    let out = fnc2c().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

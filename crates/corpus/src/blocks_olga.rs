@@ -1,0 +1,113 @@
+//! The block-structured scope checker written in OLGA — the corpus's
+//! multi-visit exercise of the full language chain: declarations anywhere
+//! in a block are visible throughout it, which forces two visits per list
+//! phylum (collect `defs` bottom-up, then push `env` down and collect
+//! `errs`). Uses the `concat` rule model for error collection.
+
+use fnc2_ag::Grammar;
+use fnc2_olga::{compile_ag_source, LowerInfo};
+
+/// The OLGA source: definitions tracked as a name list, membership via a
+/// recursive lookup, error collection via the `concat` rule model.
+pub const BLOCKS_OLGA_LIST: &str = r#"
+attribute grammar blocks2;
+  phylum Prog, Items, Item;
+  root Prog;
+  operator prog   : Prog ::= Items;
+  operator cons   : Items ::= Item Items;
+  operator nil    : Items ::= ;
+  operator decl   : Item ::= ;
+  operator use    : Item ::= ;
+  operator nested : Item ::= Items;
+
+  synthesized errs : list of string of Prog, Items, Item with concat;
+  synthesized defs : list of string of Items, Item with concat;
+  inherited env : list of string of Items, Item;
+
+  function member(k : string, l : list of string) : bool =
+    case l of [] => false | x :: rest => x = k or member(k, rest) end;
+
+  for prog {
+    Items.env := Items.defs;
+  }
+  -- cons: defs and errs come from the concat model; env copies down.
+  for nil { Items.defs := []; Items.errs := []; }
+  for decl {
+    Item.defs := [token()];
+    Item.errs := [];
+  }
+  for use {
+    Item.defs := [];
+    Item.errs :=
+      if member(token(), Item.env) then [] else ["undeclared " ++ token()] end;
+  }
+  for nested {
+    Item.defs := [];
+    Items.env := Item.env ++ Items.defs;
+  }
+end
+"#;
+
+/// Compiles the OLGA source.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to compile (a corpus bug).
+pub fn blocks_olga() -> (Grammar, LowerInfo) {
+    compile_ag_source(BLOCKS_OLGA_LIST).expect("embedded blocks AG compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_analysis::{classify, AgClass, Inclusion};
+    use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+    use super::*;
+
+    fn tree_from_spec(g: &Grammar, spec: &str) -> fnc2_ag::Tree {
+        // Reuse the builder-corpus spec syntax: d:x, u:x, [ … ].
+        // (Identical abstract operator names.)
+        crate::blocks_tree_generic(g, spec)
+    }
+
+    #[test]
+    fn two_visits_from_olga() {
+        let (g, info) = blocks_olga();
+        assert!(info.auto_copies >= 2, "env copies generated: {info:?}");
+        let c = classify(&g, 1, Inclusion::Long).unwrap();
+        assert_eq!(c.class, AgClass::Oag0);
+        let lo = c.l_ordered.unwrap();
+        let items = g.phylum_by_name("Items").unwrap();
+        assert_eq!(
+            lo.partitions_of(items)[0].visit_count(),
+            2,
+            "defs in visit 1, env/errs in visit 2"
+        );
+    }
+
+    #[test]
+    fn scope_semantics_match_the_builder_version() {
+        let (g, _) = blocks_olga();
+        let c = classify(&g, 1, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+        let ev = Evaluator::new(&g, &seqs);
+        for (spec, want) in [
+            ("u:x d:x u:y", vec!["undeclared y"]),
+            ("d:a [ u:a u:b ] u:b", vec!["undeclared b", "undeclared b"]),
+            ("[ d:p u:p ] u:p", vec!["undeclared p"]),
+        ] {
+            let tree = tree_from_spec(&g, spec);
+            let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+            let prog = g.phylum_by_name("Prog").unwrap();
+            let errs = g.attr_by_name(prog, "errs").unwrap();
+            let got: Vec<String> = vals
+                .get(&g, tree.root(), errs)
+                .unwrap()
+                .as_list()
+                .iter()
+                .map(|v| v.as_str().to_string())
+                .collect();
+            assert_eq!(got, want, "spec {spec}");
+        }
+    }
+}

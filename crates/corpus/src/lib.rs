@@ -1,0 +1,27 @@
+//! # fnc2-corpus — the attribute-grammar corpus of the reproduction
+//!
+//! Real and synthetic AGs standing in for the paper's evaluation inputs
+//! (which were FNC-2's own OLGA sources): the classics (Knuth's binary
+//! numbers, a desk calculator, a two-visit block scope checker), the
+//! mini-Pascal → P-code compiler written in OLGA, the class-ladder witness
+//! grammars, and a seeded synthetic generator matched to Table 1's size
+//! profiles.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod blocks_olga;
+mod classic;
+mod minipascal;
+mod pathological;
+mod synthetic;
+mod olga_sources;
+
+pub use blocks_olga::{blocks_olga, BLOCKS_OLGA_LIST};
+pub use classic::{binary, binary_tree, blocks, blocks_tree, blocks_tree_generic, desk};
+pub use minipascal::{
+    minipascal, minipascal_scanner, parse_minipascal, sample_program, MINIPASCAL_OLGA,
+};
+pub use pathological::{circular, dnc_not_oag, nc_not_snc, oag1_not_oag0, snc_only};
+pub use synthetic::{synthetic, synthetic_tree, SynthProfile, TargetClass, TABLE1_PROFILES};
+pub use olga_sources::{module_source, sized_ag_source, TABLE3_MODULES};

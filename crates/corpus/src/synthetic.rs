@@ -1,0 +1,398 @@
+//! Seeded synthetic attribute grammars matched to Table 1's size and class
+//! profiles.
+//!
+//! The paper's seven AGs are parts of FNC-2 itself (mkfnc2's dependency
+//! graph, asx well-definedness, OLGA type-checking, …) whose OLGA sources
+//! are not available. Per DESIGN.md, the substitution is a generator that
+//! reproduces their *measured shape*: phylum/operator/occurrence/rule
+//! counts in the paper's range, a realistic copy-rule proportion, and the
+//! same smallest-class ladder (four OAG(0) rows, one DNC row, one row that
+//! is not OAG(k) for any k, one OAG(1) row).
+
+use fnc2_ag::{Arg, Grammar, GrammarBuilder, Occ, PhylumId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The class a synthetic grammar is steered into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetClass {
+    /// Plain ordered (Kastens).
+    Oag0,
+    /// Ordered only after one repair.
+    Oag1,
+    /// Doubly non-circular but not OAG(k) for small k.
+    Dnc,
+    /// Strongly non-circular only (two partitions on some phylum).
+    SncOnly,
+}
+
+/// A Table 1 row profile.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthProfile {
+    /// Row label ("AG1" … "AG7").
+    pub name: &'static str,
+    /// Number of pipeline phyla.
+    pub phyla: usize,
+    /// Extra inherited/synthesized attribute *pairs* per phylum (0–3).
+    pub attr_pairs: usize,
+    /// Target class.
+    pub class: TargetClass,
+    /// RNG seed (deterministic grammars).
+    pub seed: u64,
+}
+
+/// The seven profiles standing in for the paper's AG 1–7 (sizes in the
+/// paper's range; AG5 is the big not-OAG(k) one, AG7 the OAG(1) one).
+pub const TABLE1_PROFILES: [SynthProfile; 7] = [
+    SynthProfile { name: "AG1", phyla: 20, attr_pairs: 1, class: TargetClass::Oag0, seed: 101 },
+    SynthProfile { name: "AG2", phyla: 33, attr_pairs: 2, class: TargetClass::Oag0, seed: 102 },
+    SynthProfile { name: "AG3", phyla: 35, attr_pairs: 2, class: TargetClass::Oag0, seed: 103 },
+    SynthProfile { name: "AG4", phyla: 44, attr_pairs: 2, class: TargetClass::Dnc, seed: 104 },
+    SynthProfile { name: "AG5", phyla: 74, attr_pairs: 3, class: TargetClass::SncOnly, seed: 105 },
+    SynthProfile { name: "AG6", phyla: 28, attr_pairs: 1, class: TargetClass::Oag0, seed: 106 },
+    SynthProfile { name: "AG7", phyla: 48, attr_pairs: 2, class: TargetClass::Oag1, seed: 107 },
+];
+
+/// Generates a synthetic grammar for a profile. Deterministic in the seed.
+pub fn synthetic(profile: &SynthProfile) -> Grammar {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut g = GrammarBuilder::new(profile.name);
+    g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+    g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
+    g.func("pair2", 2, |a| Value::tuple([a[0].clone(), a[1].clone()]));
+
+    let root = g.phylum("Root");
+    let out = g.syn(root, "out");
+
+    // Pipeline phyla X0..X{n-1}, each with a down/up pair plus
+    // `attr_pairs` extra pairs (one of which lives in a later visit for a
+    // third of the phyla, giving real 2-visit partitions).
+    struct Ph {
+        id: PhylumId,
+        down: fnc2_ag::AttrId,
+        up: fnc2_ag::AttrId,
+        extra: Vec<(fnc2_ag::AttrId, fnc2_ag::AttrId)>,
+        two_visit: bool,
+    }
+    let n = profile.phyla.max(2);
+    let mut phs: Vec<Ph> = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = g.phylum(format!("X{i}"));
+        let down = g.inh(id, "down");
+        let up = g.syn(id, "up");
+        let pairs = if profile.attr_pairs == 0 {
+            0
+        } else {
+            rng.gen_range(0..=profile.attr_pairs)
+        };
+        let extra = (0..pairs)
+            .map(|k| {
+                let i_ = g.inh(id, format!("e{k}"));
+                let s_ = g.syn(id, format!("f{k}"));
+                (i_, s_)
+            })
+            .collect();
+        phs.push(Ph {
+            id,
+            down,
+            up,
+            extra,
+            two_visit: i % 3 == 1,
+        });
+    }
+
+    // Root production drives X0.
+    let rp = g.production("start", root, &[phs[0].id]);
+    g.constant(rp, Occ::new(1, phs[0].down), Value::Int(0));
+    for &(e, _) in &phs[0].extra {
+        g.constant(rp, Occ::new(1, e), Value::Int(1));
+    }
+    g.copy(rp, Occ::lhs(out), Occ::new(1, phs[0].up));
+
+    // Per phylum: a leaf, a chain to the next phylum, sometimes a fork and
+    // a self-recursion. Rule mix: mostly copies (the realistic profile the
+    // space optimizer feeds on), some computed.
+    for i in 0..n {
+        let x = &phs[i];
+        // leaf
+        let leaf = g.production(format!("leaf{i}"), x.id, &[]);
+        g.copy(leaf, Occ::lhs(x.up), Occ::lhs(x.down));
+        for (k, &(e, s)) in x.extra.iter().enumerate() {
+            if x.two_visit && k == 0 {
+                // f0 depends on up's inputs only; e0 is consumed by a
+                // *later* computation fed back by the context: model by
+                // s := e (still one visit at the leaf; the 2-visit order
+                // is forced by the chain production below).
+                g.copy(leaf, Occ::lhs(s), Occ::lhs(e));
+            } else if rng.gen_bool(0.5) {
+                g.copy(leaf, Occ::lhs(s), Occ::lhs(e));
+            } else {
+                g.call(leaf, Occ::lhs(s), "succ", [Occ::lhs(e).into()]);
+            }
+        }
+        // chain to the next phylum.
+        if i + 1 < n {
+            let y = &phs[i + 1];
+            let chain = g.production(format!("chain{i}"), x.id, &[y.id]);
+            g.copy(chain, Occ::new(1, y.down), Occ::lhs(x.down));
+            g.copy(chain, Occ::lhs(x.up), Occ::new(1, y.up));
+            // Define each of the child's extra inherited attributes once.
+            for (k, &(ye, _)) in y.extra.iter().enumerate() {
+                match x.extra.get(k) {
+                    Some(&(e, _)) if x.two_visit && k == 0 => {
+                        // Forces a second visit on y: its extra inherited
+                        // depends on its own up.
+                        g.call(
+                            chain,
+                            Occ::new(1, ye),
+                            "add",
+                            [Occ::lhs(e).into(), Occ::new(1, y.up).into()],
+                        );
+                    }
+                    Some(&(e, _)) => g.copy(chain, Occ::new(1, ye), Occ::lhs(e)),
+                    None => g.copy(chain, Occ::new(1, ye), Occ::lhs(x.down)),
+                }
+            }
+            // Define each of x's extra synthesized attributes once.
+            for (k, &(e, s)) in x.extra.iter().enumerate() {
+                match y.extra.get(k) {
+                    Some(&(_, ys)) => g.copy(chain, Occ::lhs(s), Occ::new(1, ys)),
+                    None => g.copy(chain, Occ::lhs(s), Occ::lhs(e)),
+                }
+            }
+        }
+        // self recursion for every 4th phylum: forces stack storage.
+        if i % 4 == 2 {
+            let rec = g.production(format!("rec{i}"), x.id, &[x.id]);
+            g.call(rec, Occ::new(1, x.down), "succ", [Occ::lhs(x.down).into()]);
+            g.call(
+                rec,
+                Occ::lhs(x.up),
+                "add",
+                [Occ::new(1, x.up).into(), Occ::lhs(x.down).into()],
+            );
+            for &(e, s) in &x.extra {
+                g.copy(rec, Occ::new(1, e), Occ::lhs(e));
+                g.copy(rec, Occ::lhs(s), Occ::new(1, s));
+            }
+        }
+        // binary fork for every 5th phylum.
+        if i % 5 == 3 && i + 1 < n {
+            let y = &phs[i + 1];
+            let fork = g.production(format!("fork{i}"), x.id, &[y.id, y.id]);
+            g.copy(fork, Occ::new(1, y.down), Occ::lhs(x.down));
+            g.call(fork, Occ::new(2, y.down), "succ", [Occ::new(1, y.up).into()]);
+            g.call(
+                fork,
+                Occ::lhs(x.up),
+                "add",
+                [Occ::new(1, y.up).into(), Occ::new(2, y.up).into()],
+            );
+            // Define both children's extra inherited attributes once.
+            for pos in [1u16, 2] {
+                for (k, &(ye, _)) in y.extra.iter().enumerate() {
+                    match x.extra.get(k) {
+                        Some(&(e, _)) if pos == 2 => {
+                            g.call(fork, Occ::new(2, ye), "succ", [Occ::lhs(e).into()]);
+                        }
+                        Some(&(e, _)) => g.copy(fork, Occ::new(pos, ye), Occ::lhs(e)),
+                        None => g.copy(fork, Occ::new(pos, ye), Occ::lhs(x.down)),
+                    }
+                }
+            }
+            // Define x's extra synthesized attributes once.
+            for (k, &(e, s)) in x.extra.iter().enumerate() {
+                match y.extra.get(k) {
+                    Some(&(_, ys)) => g.call(
+                        fork,
+                        Occ::lhs(s),
+                        "add",
+                        [Occ::new(1, ys).into(), Occ::new(2, ys).into()],
+                    ),
+                    None => g.copy(fork, Occ::lhs(s), Occ::lhs(e)),
+                }
+            }
+        }
+    }
+
+    // Class gadget, attached as extra root alternatives.
+    match profile.class {
+        TargetClass::Oag0 => {}
+        TargetClass::Oag1 => attach_cross(&mut g, root, out, 1),
+        TargetClass::Dnc => attach_cross(&mut g, root, out, 3),
+        TargetClass::SncOnly => attach_snc_only(&mut g, root, out),
+    }
+
+    g.finish().expect("synthetic grammar is well-defined")
+}
+
+/// The OAG(0)-breaking crossing gadget (`pairs` independent copies).
+fn attach_cross(
+    g: &mut GrammarBuilder,
+    root: PhylumId,
+    out: fnc2_ag::AttrId,
+    pairs: usize,
+) {
+    for k in 0..pairs {
+        let x = g.phylum(format!("Cross{k}"));
+        let i1 = g.inh(x, "i1");
+        let s1 = g.syn(x, "s1");
+        let s2 = g.syn(x, "s2");
+        let leaf = g.production(format!("crossleaf{k}"), x, &[]);
+        g.copy(leaf, Occ::lhs(s1), Occ::lhs(i1));
+        g.constant(leaf, Occ::lhs(s2), Value::Int(1));
+        let cross = g.production(format!("cross{k}"), root, &[x, x]);
+        g.copy(cross, Occ::new(1, i1), Occ::new(2, s2));
+        g.copy(cross, Occ::new(2, i1), Occ::new(1, s2));
+        g.call(
+            cross,
+            Occ::lhs(out),
+            "add",
+            [Occ::new(1, s1).into(), Occ::new(2, s1).into()],
+        );
+    }
+}
+
+/// The AG5-style gadget: two contexts forcing opposite visit orders.
+fn attach_snc_only(g: &mut GrammarBuilder, root: PhylumId, out: fnc2_ag::AttrId) {
+    let x = g.phylum("Twist");
+    let i1 = g.inh(x, "i1");
+    let i2 = g.inh(x, "i2");
+    let s1 = g.syn(x, "s1");
+    let s2 = g.syn(x, "s2");
+    let ctx_a = g.production("twist_a", root, &[x]);
+    g.constant(ctx_a, Occ::new(1, i1), Value::Int(0));
+    g.copy(ctx_a, Occ::new(1, i2), Occ::new(1, s1));
+    g.call(
+        ctx_a,
+        Occ::lhs(out),
+        "pair2",
+        [Occ::new(1, s1).into(), Occ::new(1, s2).into()],
+    );
+    let ctx_b = g.production("twist_b", root, &[x]);
+    g.constant(ctx_b, Occ::new(1, i2), Value::Int(0));
+    g.copy(ctx_b, Occ::new(1, i1), Occ::new(1, s2));
+    g.call(
+        ctx_b,
+        Occ::lhs(out),
+        "pair2",
+        [Occ::new(1, s1).into(), Occ::new(1, s2).into()],
+    );
+    let leaf = g.production("twistleaf", x, &[]);
+    g.copy(leaf, Occ::lhs(s1), Occ::lhs(i1));
+    g.copy(leaf, Occ::lhs(s2), Occ::lhs(i2));
+    let _ = Arg::Token; // silence unused-import lints on some configs
+}
+
+/// Builds a random tree of roughly `target` nodes for a synthetic grammar
+/// (following `chain`/`leaf` productions; forks and recursion with small
+/// probability so trees stay bounded).
+pub fn synthetic_tree(g: &Grammar, profile: &SynthProfile, target: usize, seed: u64) -> fnc2_ag::Tree {
+    let _ = profile;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tb = fnc2_ag::TreeBuilder::new(g);
+    // Recursive descent over phylum indices.
+    fn grow(
+        g: &Grammar,
+        tb: &mut fnc2_ag::TreeBuilder,
+        rng: &mut StdRng,
+        i: usize,
+        budget: &mut isize,
+    ) -> fnc2_ag::NodeId {
+        *budget -= 1;
+        let leaf = g.production_by_name(&format!("leaf{i}")).expect("leaf");
+        let chain = g.production_by_name(&format!("chain{i}"));
+        let rec = g.production_by_name(&format!("rec{i}"));
+        if *budget <= 0 {
+            return tb.node(leaf, &[]).expect("leaf builds");
+        }
+        if let Some(r) = rec {
+            // Spend the remaining budget on recursion chains: depth is the
+            // input-size knob of synthetic workloads.
+            let reps = if *budget > 8 {
+                rng.gen_range(1..=(*budget / 20).clamp(1, 64)) as usize
+            } else {
+                0
+            };
+            if reps > 0 {
+                *budget -= reps as isize;
+                let mut cur = grow(g, tb, rng, i, budget);
+                for _ in 0..reps {
+                    cur = tb.node(r, &[cur]).expect("rec builds");
+                }
+                return cur;
+            }
+        }
+        match chain {
+            Some(c) => {
+                let child = grow(g, tb, rng, i + 1, budget);
+                tb.node(c, &[child]).expect("chain builds")
+            }
+            None => tb.node(leaf, &[]).expect("leaf builds"),
+        }
+    }
+    let mut budget = target as isize;
+    let first = grow(g, &mut tb, &mut rng, 0, &mut budget);
+    let start = g.production_by_name("start").expect("start");
+    let root = tb.node(start, &[first]).expect("start builds");
+    tb.finish_root(root).expect("root phylum")
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_analysis::{classify, AgClass, Inclusion};
+
+    use super::*;
+
+    #[test]
+    fn profiles_hit_their_classes() {
+        for p in &TABLE1_PROFILES {
+            let g = synthetic(p);
+            let c = classify(&g, 1, Inclusion::Long).unwrap();
+            let want = match p.class {
+                TargetClass::Oag0 => AgClass::Oag0,
+                TargetClass::Oag1 => AgClass::OagK(1),
+                TargetClass::Dnc => AgClass::Dnc,
+                TargetClass::SncOnly => AgClass::Snc,
+            };
+            assert_eq!(c.class, want, "profile {}", p.name);
+            assert!(c.is_evaluable());
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = synthetic(&TABLE1_PROFILES[0]);
+        let b = synthetic(&TABLE1_PROFILES[0]);
+        assert_eq!(a.production_count(), b.production_count());
+        assert_eq!(a.rule_count(), b.rule_count());
+        assert_eq!(a.copy_rule_count(), b.copy_rule_count());
+    }
+
+    #[test]
+    fn sizes_scale_with_profile() {
+        let small = synthetic(&TABLE1_PROFILES[0]);
+        let big = synthetic(&TABLE1_PROFILES[4]);
+        assert!(big.phylum_count() > 2 * small.phylum_count());
+        assert!(big.rule_count() > 2 * small.rule_count());
+        // A realistic copy-rule proportion (> 40%).
+        let ratio = big.copy_rule_count() as f64 / big.rule_count() as f64;
+        assert!(ratio > 0.4, "copy ratio {ratio}");
+    }
+
+    #[test]
+    fn synthetic_trees_evaluate() {
+        let p = &TABLE1_PROFILES[0];
+        let g = synthetic(p);
+        let c = classify(&g, 1, Inclusion::Long).unwrap();
+        let seqs = fnc2_visit::build_visit_seqs(&g, &c.l_ordered.unwrap());
+        let ev = fnc2_visit::Evaluator::new(&g, &seqs);
+        let tree = synthetic_tree(&g, p, 200, 7);
+        assert!(tree.size() >= 20);
+        let (vals, stats) = ev.evaluate(&tree, &Default::default()).unwrap();
+        let root = g.phylum_by_name("Root").unwrap();
+        let out = g.attr_by_name(root, "out").unwrap();
+        assert!(vals.get(&g, tree.root(), out).is_some());
+        assert!(stats.evals > 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Adjacency-list digraphs: deterministic topological sorting, cycle
+//! extraction (for the circularity trace, paper §3.1), strongly connected
+//! components, and reachability.
+
+use std::collections::VecDeque;
+
+/// A directed graph on dense node indices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Digraph {
+    succs: Vec<Vec<usize>>,
+}
+
+impl Digraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds the edge `u → v` (duplicates ignored). Returns `true` if new.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(v < self.succs.len(), "node {v} out of range");
+        let s = &mut self.succs[u];
+        if s.contains(&v) {
+            false
+        } else {
+            s.push(v);
+            true
+        }
+    }
+
+    /// Successors of `u`.
+    pub fn succs(&self, u: usize) -> &[usize] {
+        &self.succs[u]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Deterministic topological order: Kahn's algorithm, breaking ties by
+    /// the caller-supplied priority (lower key first), then by node index.
+    ///
+    /// Returns `None` if the graph has a cycle. The priority hook is what
+    /// lets the visit-sequence generator group actions by visit while still
+    /// respecting dependencies.
+    pub fn topo_order_by<K: Ord>(&self, key: impl Fn(usize) -> K) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for (_, v) in self.edges() {
+            indeg[v] += 1;
+        }
+        // Simple selection loop: n is small for production graphs, and
+        // determinism matters more than asymptotics here.
+        let mut ready: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while !ready.is_empty() {
+            let (pos, _) = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &u)| (key(u), u))
+                .expect("nonempty");
+            let u = ready.swap_remove(pos);
+            out.push(u);
+            for &v in &self.succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// Plain deterministic topological order (ties by node index).
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        self.topo_order_by(|_| 0u8)
+    }
+
+    /// Finds a cycle and returns it as a node sequence `v0 → v1 → … → v0`
+    /// (first node repeated at the end), or `None` if acyclic. Used by the
+    /// interactive circularity trace to show *why* an AG fails a test.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.len();
+        let mut color = vec![Color::White; n];
+        let mut stack: Vec<usize> = Vec::new();
+
+        // Iterative DFS keeping the grey path in `stack`.
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Grey;
+            stack.push(start);
+            while let Some(&mut (u, ref mut i)) = dfs.last_mut() {
+                if *i < self.succs[u].len() {
+                    let v = self.succs[u][*i];
+                    *i += 1;
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Grey;
+                            stack.push(v);
+                            dfs.push((v, 0));
+                        }
+                        Color::Grey => {
+                            let at = stack.iter().position(|&x| x == v).expect("grey on stack");
+                            let mut cycle: Vec<usize> = stack[at..].to_vec();
+                            cycle.push(v);
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                    dfs.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (Tarjan, iterative).
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+            index[root] = next;
+            low[root] = next;
+            next += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(&mut (u, ref mut i)) = dfs.last_mut() {
+                if *i < self.succs[u].len() {
+                    let v = self.succs[u][*i];
+                    *i += 1;
+                    if index[v] == usize::MAX {
+                        index[v] = next;
+                        low[v] = next;
+                        next += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        dfs.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    dfs.pop();
+                    if let Some(&(p, _)) = dfs.last() {
+                        low[p] = low[p].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Nodes reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: usize) -> Vec<usize> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = q.pop_front() {
+            for &v in &self.succs[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        (0..n).filter(|&u| seen[u]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn topo_order_is_deterministic() {
+        let g = diamond();
+        assert_eq!(g.topo_order(), Some(vec![0, 1, 2, 3]));
+        // Priority can flip the tie between 1 and 2.
+        let order = g.topo_order_by(std::cmp::Reverse).unwrap();
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn topo_order_none_on_cycle() {
+        let mut g = diamond();
+        g.add_edge(3, 0);
+        assert_eq!(g.topo_order(), None);
+    }
+
+    #[test]
+    fn cycle_extraction() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        g.add_edge(3, 4);
+        let cyc = g.find_cycle().unwrap();
+        assert_eq!(cyc.first(), cyc.last());
+        assert!(cyc.len() >= 4, "1→2→3→1 plus repeat");
+        for w in cyc.windows(2) {
+            assert!(g.succs(w[0]).contains(&w[1]), "cycle uses real edges");
+        }
+        assert!(diamond().find_cycle().is_none());
+    }
+
+    #[test]
+    fn sccs_partition_nodes() {
+        let mut g = Digraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3);
+        let mut comps = g.sccs();
+        comps.sort();
+        assert!(comps.contains(&vec![0, 1, 2]));
+        assert!(comps.contains(&vec![3, 4]));
+        assert!(comps.contains(&vec![5]));
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert_eq!(g.reachable_from(1), vec![1, 3]);
+        assert_eq!(g.reachable_from(0).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Digraph::new(2);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+}

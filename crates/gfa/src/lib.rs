@@ -1,0 +1,35 @@
+//! # fnc2-gfa — the Grammar Flow Analysis substrate
+//!
+//! FNC-2's evaluator generator is built on *Grammar Flow Analysis*
+//! (Möncke \[38\], improved by Jourdan & Parigot \[26\]): every global AG
+//! property — the `IO`/`OI` graphs of the (strong/double) non-circularity
+//! tests, Kastens' induced dependencies, the space optimizer's may-evaluate
+//! sets — is a least fixed point over the grammar. This crate provides the
+//! shared machinery:
+//!
+//! * [`BitMatrix`] — dense relations with fast transitive closure,
+//! * [`Digraph`] — deterministic topological sorting, cycle extraction
+//!   (feeding the circularity trace), SCCs,
+//! * [`fixpoint`] — the dependency-driven worklist engine.
+//!
+//! ```
+//! use fnc2_gfa::BitMatrix;
+//!
+//! let mut dep = BitMatrix::new(3);
+//! dep.set(0, 1);
+//! dep.set(1, 2);
+//! let closed = dep.closure();
+//! assert!(closed.get(0, 2));
+//! assert!(closed.is_irreflexive()); // acyclic
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitmat;
+mod digraph;
+mod fixpoint;
+
+pub use bitmat::BitMatrix;
+pub use digraph::Digraph;
+pub use fixpoint::{fixpoint, FixpointStats, Worklist};

@@ -1,0 +1,127 @@
+//! Property tests for the GFA substrate: transitive-closure laws and
+//! topological-order correctness on random digraphs.
+
+use fnc2_gfa::{BitMatrix, Digraph};
+use proptest::prelude::*;
+
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..n * 3)
+}
+
+proptest! {
+    #[test]
+    fn closure_is_idempotent_and_contains_base(edges in edges_strategy(12)) {
+        let n = 12;
+        let mut m = BitMatrix::new(n);
+        for (u, v) in &edges {
+            m.set(*u, *v);
+        }
+        let c1 = m.closure();
+        let c2 = c1.closure();
+        prop_assert_eq!(&c1, &c2, "closure is idempotent");
+        prop_assert!(m.is_subset(&c1), "closure contains the base");
+        // Transitivity: (a,b) and (b,c) in closure => (a,c).
+        for a in 0..n {
+            for b in 0..n {
+                if !c1.get(a, b) {
+                    continue;
+                }
+                for cc in 0..n {
+                    if c1.get(b, cc) {
+                        prop_assert!(c1.get(a, cc), "({a},{b}),({b},{cc}) but not ({a},{cc})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matches_reachability(edges in edges_strategy(10)) {
+        let n = 10;
+        let mut m = BitMatrix::new(n);
+        let mut g = Digraph::new(n);
+        for (u, v) in &edges {
+            m.set(*u, *v);
+            g.add_edge(*u, *v);
+        }
+        let c = m.closure();
+        for start in 0..n {
+            // Nodes reachable via at least one edge.
+            let mut reach: Vec<usize> = Vec::new();
+            for &mid in g.succs(start) {
+                for r in g.reachable_from(mid) {
+                    if !reach.contains(&r) {
+                        reach.push(r);
+                    }
+                }
+            }
+            for v in 0..n {
+                prop_assert_eq!(
+                    c.get(start, v),
+                    reach.contains(&v),
+                    "start {} v {}",
+                    start,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_is_a_valid_linearization(edges in edges_strategy(14)) {
+        let n = 14;
+        let mut g = Digraph::new(n);
+        for (u, v) in &edges {
+            if u != v {
+                g.add_edge(*u, *v);
+            }
+        }
+        match g.topo_order() {
+            Some(order) => {
+                prop_assert_eq!(order.len(), n);
+                let mut rank = vec![0usize; n];
+                for (r, &u) in order.iter().enumerate() {
+                    rank[u] = r;
+                }
+                for (u, v) in g.edges() {
+                    prop_assert!(rank[u] < rank[v], "edge {u}->{v} violated");
+                }
+                prop_assert!(g.find_cycle().is_none());
+            }
+            None => {
+                let cycle = g.find_cycle().expect("no topo order implies a cycle");
+                prop_assert!(cycle.len() >= 2);
+                for w in cycle.windows(2) {
+                    prop_assert!(g.succs(w[0]).contains(&w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sccs_partition_and_respect_cycles(edges in edges_strategy(10)) {
+        let n = 10;
+        let mut g = Digraph::new(n);
+        for (u, v) in &edges {
+            g.add_edge(*u, *v);
+        }
+        let comps = g.sccs();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n, "components partition the nodes");
+        // Two nodes share a component iff mutually reachable.
+        let mut m = BitMatrix::new(n);
+        for (u, v) in g.edges() {
+            m.set(u, v);
+        }
+        let c = m.closure();
+        for comp in &comps {
+            for &a in comp {
+                for &b in comp {
+                    if a != b {
+                        prop_assert!(c.get(a, b) && c.get(b, a), "{a},{b} in one SCC");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The DNC-based incremental evaluator.
+//!
+//! Keeps a fully decorated tree; after one or more subtree replacements it
+//! (1) evaluates the fresh subtree *starting at its root* — legal exactly
+//! because DNC argument selectors are closed from above and below — and
+//! (2) runs the semantic-control propagation: dependents of a **Changed**
+//! instance are reevaluated, and propagation is **cut** at instances whose
+//! new value equals the old one.
+
+use std::collections::{HashMap, VecDeque};
+
+use fnc2_ag::{
+    AttrKind, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, TreeError, Value,
+};
+use fnc2_visit::{eval_rule, EvalError, RootInputs, Store};
+
+use crate::status::Equality;
+
+/// Counters for one incremental wave (the §2.1.2 economy argument: compare
+/// `reevaluated` with the instance count of a full evaluation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Rule evaluations performed (fresh subtree + propagation).
+    pub reevaluated: usize,
+    /// Instances whose value actually changed.
+    pub changed: usize,
+    /// Instances reevaluated to an equal value (propagation cut there).
+    pub cut: usize,
+}
+
+/// An incrementally maintained attributed tree.
+#[derive(Debug)]
+pub struct IncrementalEvaluator<'g> {
+    grammar: &'g Grammar,
+    tree: Tree,
+    values: AttrValues,
+    locals: HashMap<(NodeId, LocalId), Value>,
+    inputs: RootInputs,
+    eq: Equality,
+}
+
+struct ValStore<'a> {
+    grammar: &'a Grammar,
+    values: &'a AttrValues,
+    locals: &'a HashMap<(NodeId, LocalId), Value>,
+}
+
+impl Store for ValStore<'_> {
+    fn value(&self, node: NodeId, attr: fnc2_ag::AttrId) -> Option<Value> {
+        self.values.get(self.grammar, node, attr).cloned()
+    }
+    fn local(&self, node: NodeId, local: LocalId) -> Option<Value> {
+        self.locals.get(&(node, local)).cloned()
+    }
+}
+
+/// An attribute or local instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Inst {
+    Attr(NodeId, fnc2_ag::AttrId),
+    Local(NodeId, LocalId),
+}
+
+impl<'g> IncrementalEvaluator<'g> {
+    /// Fully evaluates `tree` (which must have no root inherited
+    /// attributes) and takes ownership of it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tree's instances are circular or a token is missing.
+    pub fn new(grammar: &'g Grammar, tree: Tree, eq: Equality) -> Result<Self, EvalError> {
+        Self::with_inputs(grammar, tree, RootInputs::new(), eq)
+    }
+
+    /// Like [`new`](Self::new) but supplies the root's inherited
+    /// attributes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a root input is missing or evaluation fails.
+    pub fn with_inputs(
+        grammar: &'g Grammar,
+        tree: Tree,
+        inputs: RootInputs,
+        eq: Equality,
+    ) -> Result<Self, EvalError> {
+        let mut this = IncrementalEvaluator {
+            grammar,
+            tree,
+            values: AttrValues::default(),
+            locals: HashMap::new(),
+            inputs,
+            eq,
+        };
+        this.values = AttrValues::new(grammar, &this.tree);
+        let root = this.tree.root();
+        let root_ph = grammar.production(this.tree.node(root).production()).lhs();
+        for attr in grammar.inherited(root_ph) {
+            let v = this
+                .inputs
+                .get(&attr)
+                .ok_or_else(|| EvalError::MissingRootInput {
+                    what: grammar.attr(attr).name().to_string(),
+                })?
+                .clone();
+            this.values.set(grammar, root, attr, v);
+        }
+        let mut stats = IncrementalStats::default();
+        this.eval_subtree(root, &mut stats)?;
+        Ok(this)
+    }
+
+    /// The decorated tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The current value of `(node, attr)`.
+    pub fn value(&self, node: NodeId, attr: fnc2_ag::AttrId) -> Option<&Value> {
+        self.values.get(self.grammar, node, attr)
+    }
+
+    /// Total number of live attribute instances (for comparing incremental
+    /// cost with exhaustive cost).
+    pub fn instance_count(&self) -> usize {
+        self.tree
+            .preorder()
+            .map(|(n, _)| {
+                let ph = self.tree.phylum(self.grammar, n);
+                self.grammar.phylum(ph).attrs().len()
+            })
+            .sum()
+    }
+
+    /// Replaces the subtree at `at` and reevaluates incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replacement derives the wrong phylum, or evaluation
+    /// fails.
+    pub fn replace_subtree(
+        &mut self,
+        at: NodeId,
+        replacement: &Tree,
+    ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
+        self.replace_subtrees(vec![(at, replacement.clone())])
+    }
+
+    /// Applies several subtree replacements, then runs one combined
+    /// reevaluation wave (paper §2.1.2: "this method can accommodate
+    /// multiple subtree replacements").
+    ///
+    /// # Errors
+    ///
+    /// Fails if a replacement derives the wrong phylum ([`TreeError`]), or
+    /// evaluation fails ([`EvalError`]).
+    pub fn replace_subtrees(
+        &mut self,
+        edits: Vec<(NodeId, Tree)>,
+    ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
+        let g = self.grammar;
+        let mut stats = IncrementalStats::default();
+        let mut frontier: Vec<NodeId> = Vec::new();
+
+        for (at, replacement) in edits {
+            // Save the old boundary values of the replaced node.
+            let ph = self.tree.phylum(g, at);
+            let old: Vec<(fnc2_ag::AttrId, Option<Value>)> = g
+                .phylum(ph)
+                .attrs()
+                .iter()
+                .map(|&a| (a, self.values.get(g, at, a).cloned()))
+                .collect();
+            let new_root = self
+                .tree
+                .replace_subtree(g, at, &replacement)
+                .map_err(Box::<TreeError>::new)?;
+            self.values.sync(g, &self.tree);
+
+            // Re-establish the inherited attributes of the new subtree root
+            // (same defining rules in the parent, hence the old values).
+            for (a, v) in &old {
+                if g.attr(*a).kind() == AttrKind::Inherited {
+                    if let Some(v) = v.clone() {
+                        self.values.set(g, new_root, *a, v);
+                    }
+                }
+            }
+            if self.tree.node(new_root).parent().is_none() {
+                // Replacing the root: supply the root inputs.
+                for a in g.inherited(ph) {
+                    if let Some(v) = self.inputs.get(&a) {
+                        self.values.set(g, new_root, a, v.clone());
+                    }
+                }
+            }
+            // Evaluate the fresh subtree, starting at its root (DNC).
+            self.eval_subtree(new_root, &mut stats)
+                .map_err(Box::new)?;
+            // Seed propagation with the synthesized attributes whose value
+            // differs from the replaced node's.
+            for (a, oldv) in old {
+                if g.attr(a).kind() != AttrKind::Synthesized {
+                    continue;
+                }
+                let newv = self.values.get(g, new_root, a);
+                let same = match (&oldv, newv) {
+                    (Some(o), Some(n)) => self.eq.same(o, n),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !same {
+                    stats.changed += 1;
+                    frontier.push(new_root);
+                }
+            }
+        }
+
+        // Propagation wave over changed instances.
+        let mut queue: VecDeque<Inst> = VecDeque::new();
+        let mut seed_changed: Vec<Inst> = Vec::new();
+        for n in frontier {
+            let ph = self.tree.phylum(g, n);
+            for a in g.synthesized(ph) {
+                seed_changed.push(Inst::Attr(n, a));
+            }
+        }
+        for inst in seed_changed {
+            self.enqueue_dependents(inst, &mut queue);
+        }
+        while let Some(inst) = queue.pop_front() {
+            let (newv, oldv) = {
+                let old = match inst {
+                    Inst::Attr(n, a) => self.values.get(g, n, a).cloned(),
+                    Inst::Local(n, l) => self.locals.get(&(n, l)).cloned(),
+                };
+                let new = self.compute_instance(inst).map_err(Box::new)?;
+                (new, old)
+            };
+            stats.reevaluated += 1;
+            let same = oldv.as_ref().map(|o| self.eq.same(o, &newv)).unwrap_or(false);
+            if same {
+                stats.cut += 1;
+                continue;
+            }
+            stats.changed += 1;
+            match inst {
+                Inst::Attr(n, a) => {
+                    self.values.set(g, n, a, newv);
+                }
+                Inst::Local(n, l) => {
+                    self.locals.insert((n, l), newv);
+                }
+            }
+            self.enqueue_dependents(inst, &mut queue);
+        }
+        Ok(stats)
+    }
+
+    /// Exhaustively evaluates the subtree rooted at `node`, whose inherited
+    /// attributes must already have values.
+    fn eval_subtree(&mut self, node: NodeId, stats: &mut IncrementalStats) -> Result<(), EvalError> {
+        let g = self.grammar;
+        // Demand-driven over the subtree's instances (memoized by
+        // presence).
+        let subtree: Vec<NodeId> = {
+            let mut v = Vec::new();
+            let mut stack = vec![node];
+            while let Some(n) = stack.pop() {
+                v.push(n);
+                stack.extend(self.tree.node(n).children().iter().copied());
+            }
+            v
+        };
+        let goals: Vec<Inst> = subtree
+            .iter()
+            .flat_map(|&n| {
+                let ph = self.tree.phylum(g, n);
+                g.phylum(ph)
+                    .attrs()
+                    .iter()
+                    .map(move |&a| Inst::Attr(n, a))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for goal in goals {
+            self.demand(goal, stats)?;
+        }
+        Ok(())
+    }
+
+    /// Demand-evaluates `goal` within the subtree rooted at `limit`;
+    /// instances outside the subtree must already have values.
+    fn demand(&mut self, goal: Inst, stats: &mut IncrementalStats) -> Result<(), EvalError> {
+        let g = self.grammar;
+        match goal {
+            Inst::Attr(n, a) if self.values.get(g, n, a).is_some() => return Ok(()),
+            Inst::Local(n, l) if self.locals.contains_key(&(n, l)) => return Ok(()),
+            _ => {}
+        }
+        // Resolve the defining rule.
+        let (def_node, target) = self.definition_of(goal);
+        let p = self.tree.node(def_node).production();
+        let rule = g.rule_for(p, target).expect("validated grammar");
+        let subgoals: Vec<Inst> = rule
+            .read_nodes()
+            .map(|arg| match arg {
+                ONode::Attr(Occ { pos, attr }) => {
+                    let at = if pos == 0 {
+                        def_node
+                    } else {
+                        self.tree.node(def_node).children()[pos as usize - 1]
+                    };
+                    Inst::Attr(at, attr)
+                }
+                ONode::Local(l) => Inst::Local(def_node, l),
+            })
+            .collect();
+        for sub in subgoals {
+            self.demand(sub, stats)?;
+        }
+        let v = self.compute_instance(goal)?;
+        stats.reevaluated += 1;
+        match goal {
+            Inst::Attr(n, a) => {
+                self.values.set(g, n, a, v);
+            }
+            Inst::Local(n, l) => {
+                self.locals.insert((n, l), v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The (defining node, target occurrence) of an instance.
+    fn definition_of(&self, inst: Inst) -> (NodeId, ONode) {
+        let g = self.grammar;
+        match inst {
+            Inst::Local(n, l) => (n, ONode::Local(l)),
+            Inst::Attr(n, a) => match g.attr(a).kind() {
+                AttrKind::Synthesized => (n, ONode::Attr(Occ::lhs(a))),
+                AttrKind::Inherited => {
+                    let parent = self
+                        .tree
+                        .node(n)
+                        .parent()
+                        .expect("root inherited supplied as inputs");
+                    let pos = self.tree.child_index(n).expect("child position") as u16;
+                    (parent, ONode::Attr(Occ::new(pos, a)))
+                }
+            },
+        }
+    }
+
+    /// Recomputes an instance's value from its rule and current storage.
+    fn compute_instance(&self, inst: Inst) -> Result<Value, EvalError> {
+        let g = self.grammar;
+        let (def_node, target) = self.definition_of(inst);
+        let p = self.tree.node(def_node).production();
+        let store = ValStore {
+            grammar: g,
+            values: &self.values,
+            locals: &self.locals,
+        };
+        eval_rule(g, &self.tree, p, def_node, target, &store).map(|(v, _)| v)
+    }
+
+    /// Enqueues the instances that read `inst`.
+    fn enqueue_dependents(&self, inst: Inst, queue: &mut VecDeque<Inst>) {
+        let g = self.grammar;
+        let mut push = |i: Inst| {
+            if !queue.contains(&i) {
+                queue.push_back(i);
+            }
+        };
+        // Readers live in the production at the node (LHS occurrence of an
+        // attribute, or a local) and — for attributes — in the parent's
+        // production (child occurrence).
+        let mut contexts: Vec<(NodeId, ONode)> = Vec::new();
+        match inst {
+            Inst::Local(n, l) => contexts.push((n, ONode::Local(l))),
+            Inst::Attr(n, a) => {
+                contexts.push((n, ONode::Attr(Occ::lhs(a))));
+                if let Some(parent) = self.tree.node(n).parent() {
+                    let pos = self.tree.child_index(n).expect("child position") as u16;
+                    contexts.push((parent, ONode::Attr(Occ::new(pos, a))));
+                }
+            }
+        }
+        for (host, as_node) in contexts {
+            let p = self.tree.node(host).production();
+            for rule in g.production(p).rules() {
+                if !rule.read_nodes().any(|r| r == as_node) {
+                    continue;
+                }
+                let dep = match rule.target() {
+                    ONode::Attr(Occ { pos, attr }) => {
+                        let at = if pos == 0 {
+                            host
+                        } else {
+                            self.tree.node(host).children()[pos as usize - 1]
+                        };
+                        Inst::Attr(at, attr)
+                    }
+                    ONode::Local(l) => Inst::Local(host, l),
+                };
+                push(dep);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, TreeBuilder, Value};
+    use fnc2_visit::DynamicEvaluator;
+
+    use super::*;
+
+    /// Summing leaves with a threaded depth: exercises inherited and
+    /// synthesized propagation.
+    fn sum_grammar() -> Grammar {
+        let mut g = GrammarBuilder::new("sum");
+        let s = g.phylum("S");
+        let e = g.phylum("E");
+        let total = g.syn(s, "total");
+        let depth = g.inh(e, "depth");
+        let sum = g.syn(e, "sum");
+        g.func("succ", 1, |v| Value::Int(v[0].as_int() + 1));
+        g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+        let root = g.production("root", s, &[e]);
+        g.copy(root, Occ::lhs(total), Occ::new(1, sum));
+        g.constant(root, Occ::new(1, depth), Value::Int(0));
+        let fork = g.production("fork", e, &[e, e]);
+        g.call(fork, Occ::new(1, depth), "succ", [Occ::lhs(depth).into()]);
+        g.call(fork, Occ::new(2, depth), "succ", [Occ::lhs(depth).into()]);
+        g.call(
+            fork,
+            Occ::lhs(sum),
+            "add",
+            [Occ::new(1, sum).into(), Occ::new(2, sum).into()],
+        );
+        let leaf = g.production("leafe", e, &[]);
+        g.copy(leaf, Occ::lhs(sum), fnc2_ag::Arg::Token);
+        g.finish().unwrap()
+    }
+
+    fn build_tree(g: &Grammar, values: &[i64]) -> Tree {
+        let mut tb = TreeBuilder::new(g);
+        let leafe = g.production_by_name("leafe").unwrap();
+        let mut nodes: Vec<NodeId> = values
+            .iter()
+            .map(|&v| {
+                tb.node_with_token(leafe, &[], Some(Value::Int(v)))
+                    .unwrap()
+            })
+            .collect();
+        while nodes.len() > 1 {
+            let b = nodes.pop().unwrap();
+            let a = nodes.pop().unwrap();
+            nodes.push(tb.op("fork", &[a, b]).unwrap());
+        }
+        let root = tb.op("root", &[nodes[0]]).unwrap();
+        tb.finish_root(root).unwrap()
+    }
+
+    #[test]
+    fn initial_evaluation_matches_dynamic() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[1, 2, 3, 4]);
+        let dynev = DynamicEvaluator::new(&g);
+        let (want, _) = dynev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let inc = IncrementalEvaluator::new(&g, tree.clone(), Equality::default()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let total = g.attr_by_name(s, "total").unwrap();
+        assert_eq!(
+            inc.value(tree.root(), total),
+            want.get(&g, tree.root(), total)
+        );
+        assert_eq!(inc.value(tree.root(), total), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn small_edit_reevaluates_little() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+        let total_instances = inc.instance_count();
+
+        // Replace one leaf (token 1 -> 100).
+        let target = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| {
+                inc.tree().node(n).token() == Some(&Value::Int(1))
+            })
+            .map(|(n, _)| n)
+            .unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let leafe = g.production_by_name("leafe").unwrap();
+        let nl = tb
+            .node_with_token(leafe, &[], Some(Value::Int(100)))
+            .unwrap();
+        let sub = tb.finish(nl);
+        let stats = inc.replace_subtree(target, &sub).unwrap();
+
+        let s = g.phylum_by_name("S").unwrap();
+        let total = g.attr_by_name(s, "total").unwrap();
+        let root = inc.tree().root();
+        assert_eq!(inc.value(root, total), Some(&Value::Int(135)));
+        // Only the spine to the root reevaluates, far less than everything.
+        assert!(
+            stats.reevaluated * 2 < total_instances,
+            "reevaluated {} of {total_instances}",
+            stats.reevaluated
+        );
+    }
+
+    #[test]
+    fn equal_value_edit_cuts_propagation() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[5, 2, 3]);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+        // Replace the 5-leaf by another 5-leaf: nothing changes above.
+        let target = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| inc.tree().node(n).token() == Some(&Value::Int(5)))
+            .map(|(n, _)| n)
+            .unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let leafe = g.production_by_name("leafe").unwrap();
+        let nl = tb
+            .node_with_token(leafe, &[], Some(Value::Int(5)))
+            .unwrap();
+        let sub = tb.finish(nl);
+        let stats = inc.replace_subtree(target, &sub).unwrap();
+        // The fresh leaf is evaluated but no propagation occurs.
+        assert_eq!(stats.changed, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn multiple_replacements_in_one_wave() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[1, 2, 3, 4]);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+        let leaves: Vec<NodeId> = inc
+            .tree()
+            .preorder()
+            .filter(|&(n, _)| inc.tree().node(n).children().is_empty())
+            .map(|(n, _)| n)
+            .collect();
+        let leafe = g.production_by_name("leafe").unwrap();
+        let mk = |v: i64| {
+            let mut tb = TreeBuilder::new(&g);
+            let nl = tb.node_with_token(leafe, &[], Some(Value::Int(v))).unwrap();
+            tb.finish(nl)
+        };
+        let edits = vec![(leaves[0], mk(10)), (leaves[1], mk(20))];
+        inc.replace_subtrees(edits).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let total = g.attr_by_name(s, "total").unwrap();
+        // Replaced two of {1,2,3,4} (preorder order) by 10 and 20.
+        let dynev = DynamicEvaluator::new(&g);
+        let (want, _) = dynev
+            .evaluate(inc.tree(), &RootInputs::new())
+            .unwrap();
+        assert_eq!(
+            inc.value(inc.tree().root(), total),
+            want.get(&g, inc.tree().root(), total)
+        );
+    }
+
+    #[test]
+    fn custom_equality_cuts_more() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[4, 2, 3]);
+        // Equality modulo 2: replacing 4 by 6 changes the leaf sum 4→6 but
+        // both are even, so the coarse equality cuts immediately.
+        let eq = Equality::new(|a, b| a.as_int() % 2 == b.as_int() % 2);
+        let mut inc = IncrementalEvaluator::new(&g, tree, eq).unwrap();
+        let target = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| inc.tree().node(n).token() == Some(&Value::Int(4)))
+            .map(|(n, _)| n)
+            .unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let leafe = g.production_by_name("leafe").unwrap();
+        let nl = tb.node_with_token(leafe, &[], Some(Value::Int(6))).unwrap();
+        let sub = tb.finish(nl);
+        let stats = inc.replace_subtree(target, &sub).unwrap();
+        assert_eq!(stats.changed, 0, "{stats:?}");
+    }
+}

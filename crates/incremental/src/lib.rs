@@ -1,0 +1,48 @@
+//! # fnc2-incremental — incremental attribute evaluation (paper §2.1.2)
+//!
+//! FNC-2's incremental method rests on the **doubly non-circular** class:
+//! an exhaustive evaluator whose argument selectors are closed both "from
+//! below" (`IO`) and "from above" (`OI`) can *start at any node in the
+//! tree*. Incrementality is then "a set of semantic-control functions
+//! limiting the reevaluation process to affected instances", based on the
+//! status of each attribute instance — **Changed**, **Unchanged** or
+//! **Unknown** — and the comparison of old and new values, where "the
+//! notion of equality used in this comparison can be adapted to the problem
+//! at hand" ([`Equality`]). Multiple subtree replacements are supported
+//! ([`IncrementalEvaluator::replace_subtrees`]).
+//!
+//! ```
+//! use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder, Value};
+//! use fnc2_incremental::IncrementalEvaluator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = GrammarBuilder::new("count");
+//! let s = g.phylum("S");
+//! let n = g.syn(s, "n");
+//! let leaf = g.production("leaf", s, &[]);
+//! g.constant(leaf, Occ::lhs(n), Value::Int(0));
+//! let node = g.production("node", s, &[s]);
+//! g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+//! g.call(node, Occ::lhs(n), "succ", [Occ::new(1, n).into()]);
+//! let grammar = g.finish()?;
+//!
+//! let mut tb = TreeBuilder::new(&grammar);
+//! let a = tb.op("leaf", &[])?;
+//! let b = tb.op("node", &[a])?;
+//! let tree = tb.finish_root(b)?;
+//!
+//! let mut inc = IncrementalEvaluator::new(&grammar, tree, Default::default())?;
+//! let root = inc.tree().root();
+//! assert_eq!(inc.value(root, n), Some(&Value::Int(1)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod evaluator;
+mod status;
+
+pub use evaluator::{IncrementalEvaluator, IncrementalStats};
+pub use status::{Equality, Status};

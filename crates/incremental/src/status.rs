@@ -1,0 +1,78 @@
+//! Semantic-control status and adaptable equality.
+
+use std::fmt;
+use std::rc::Rc;
+
+use fnc2_ag::Value;
+
+/// The status of an attribute instance during incremental reevaluation
+/// (paper §2.1.2): the semantic-control functions compare old and new
+/// values and propagate only past `Changed` instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The new value differs from the old one (per the chosen equality).
+    Changed,
+    /// The new value equals the old one: propagation is cut here.
+    Unchanged,
+    /// Not yet reevaluated in this wave.
+    Unknown,
+}
+
+/// The boxed comparison implementation.
+type EqImpl = Rc<dyn Fn(&Value, &Value) -> bool>;
+
+/// The notion of equality used to compare old and new attribute values.
+///
+/// The default compares with `PartialEq`; an application can plug a coarser
+/// comparison (e.g. treating two symbol tables as equal when the visible
+/// bindings agree) to cut propagation earlier — the paper calls this
+/// adaptability a key source of versatility.
+#[derive(Clone)]
+pub struct Equality {
+    eq: EqImpl,
+}
+
+impl Equality {
+    /// Wraps a custom comparison.
+    pub fn new(eq: impl Fn(&Value, &Value) -> bool + 'static) -> Self {
+        Equality { eq: Rc::new(eq) }
+    }
+
+    /// Applies the comparison.
+    pub fn same(&self, a: &Value, b: &Value) -> bool {
+        (self.eq)(a, b)
+    }
+}
+
+impl Default for Equality {
+    /// Structural equality via `PartialEq`.
+    fn default() -> Self {
+        Equality::new(|a, b| a == b)
+    }
+}
+
+impl fmt::Debug for Equality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Equality(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_structural() {
+        let eq = Equality::default();
+        assert!(eq.same(&Value::Int(1), &Value::Int(1)));
+        assert!(!eq.same(&Value::Int(1), &Value::Int(2)));
+    }
+
+    #[test]
+    fn custom_equality() {
+        // "Equal modulo sign".
+        let eq = Equality::new(|a, b| a.as_int().abs() == b.as_int().abs());
+        assert!(eq.same(&Value::Int(-3), &Value::Int(3)));
+        assert!(!eq.same(&Value::Int(2), &Value::Int(3)));
+    }
+}

@@ -1,0 +1,540 @@
+//! The OLGA expression interpreter.
+//!
+//! Evaluates checked expressions over the dynamic [`Value`] model: this is
+//! the role the paper's OLGA-to-C/Lisp translators play at run time (the
+//! generated C text is produced by `fnc2-codegen`; measurement runs execute
+//! in-process through this interpreter).
+//!
+//! # Panics
+//!
+//! OLGA's `error("…")` builtin raises a Rust panic carrying the message —
+//! the paper's OLGA has exceptions *designed but not implemented* ("the
+//! most notable omissions are … exceptions"), and `error` is the documented
+//! abort path.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fnc2_ag::Value;
+
+use crate::ast::{Expr, Pat};
+use crate::check::UnitEnv;
+
+/// Immutable evaluation context: functions and constant values.
+#[derive(Clone, Debug)]
+pub struct EvalCtx {
+    env: Rc<UnitEnv>,
+    consts: Rc<HashMap<String, Value>>,
+}
+
+impl EvalCtx {
+    /// Builds the context for a checked unit: constant definitions are
+    /// evaluated once, in dependency order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on circular constant definitions.
+    pub fn new(env: &UnitEnv) -> EvalCtx {
+        let env = Rc::new(env.clone());
+        // Dependency-order the constants by the constant names their
+        // bodies reference.
+        let mut names: Vec<&String> = env.consts.keys().collect();
+        names.sort();
+        let mut order: Vec<&String> = Vec::new();
+        let mut state: HashMap<&str, u8> = HashMap::new(); // 1=visiting, 2=done
+        fn visit<'a>(
+            n: &'a String,
+            env: &'a UnitEnv,
+            state: &mut HashMap<&'a str, u8>,
+            order: &mut Vec<&'a String>,
+        ) {
+            match state.get(n.as_str()) {
+                Some(2) => return,
+                Some(1) => panic!("circular constant definition involving `{n}`"),
+                _ => {}
+            }
+            state.insert(n, 1);
+            let mut refs = Vec::new();
+            collect_const_refs(&env.consts[n].1, env, &mut refs);
+            for r in refs {
+                visit(r, env, state, order);
+            }
+            state.insert(n, 2);
+            order.push(n);
+        }
+        for n in names {
+            visit(n, &env, &mut state, &mut order);
+        }
+        let mut done: HashMap<String, Value> = HashMap::new();
+        for n in order {
+            let ctx = EvalCtx {
+                env: env.clone(),
+                consts: Rc::new(done.clone()),
+            };
+            let v = ctx.eval_closed(&env.consts[n].1.clone());
+            done.insert(n.clone(), v);
+        }
+        EvalCtx {
+            env,
+            consts: Rc::new(done),
+        }
+    }
+
+    /// The unit environment.
+    pub fn env(&self) -> &UnitEnv {
+        &self.env
+    }
+
+    /// Evaluates a closed expression.
+    pub fn eval_closed(&self, e: &Expr) -> Value {
+        let mut scope = Scope::default();
+        self.eval(e, &mut scope)
+    }
+
+    /// Evaluates `e` under `bindings` (used by lowered semantic rules).
+    pub fn eval_with(&self, e: &Expr, bindings: &[(String, Value)]) -> Value {
+        let mut scope = Scope::default();
+        for (n, v) in bindings {
+            scope.bind(n.clone(), v.clone());
+        }
+        self.eval(e, &mut scope)
+    }
+
+    /// Applies a user function by name.
+    ///
+    /// # Panics
+    /// Panics if the function is unknown or the arity is wrong (the checker
+    /// prevents both).
+    pub fn apply(&self, name: &str, args: Vec<Value>) -> Value {
+        let sig = self
+            .env
+            .funcs
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown function `{name}`"));
+        assert_eq!(sig.params.len(), args.len(), "arity of `{name}`");
+        let mut scope = Scope::default();
+        for ((p, _), v) in sig.params.iter().zip(args) {
+            scope.bind(p.clone(), v);
+        }
+        self.eval(&sig.body, &mut scope)
+    }
+
+    fn eval(&self, e: &Expr, scope: &mut Scope) -> Value {
+        match e {
+            Expr::Int(i, _) => Value::Int(*i),
+            Expr::Real(r, _) => Value::Real(*r),
+            Expr::Bool(b, _) => Value::Bool(*b),
+            Expr::Str(s, _) => Value::str(s),
+            Expr::Var(n, _) => match scope.lookup(n) {
+                Some(v) => v.clone(),
+                None => self
+                    .consts
+                    .get(n)
+                    .unwrap_or_else(|| panic!("unbound `{n}` (checker admits consts only)"))
+                    .clone(),
+            },
+            Expr::Occ(o) => panic!(
+                "occurrence `{}.{}` reached the interpreter; lowering must substitute it",
+                o.name, o.attr
+            ),
+            Expr::Call { name, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a, scope)).collect();
+                self.call(name, vals)
+            }
+            Expr::Unop { op, expr, .. } => {
+                let v = self.eval(expr, scope);
+                match (*op, v) {
+                    ("-", Value::Int(i)) => Value::Int(-i),
+                    ("-", Value::Real(r)) => Value::Real(-r),
+                    ("not", Value::Bool(b)) => Value::Bool(!b),
+                    (op, v) => panic!("unop `{op}` on {v:?}"),
+                }
+            }
+            Expr::Binop { op, lhs, rhs, .. } => {
+                // Short-circuit and/or.
+                if *op == "and" {
+                    return if self.eval(lhs, scope).as_bool() {
+                        self.eval(rhs, scope)
+                    } else {
+                        Value::Bool(false)
+                    };
+                }
+                if *op == "or" {
+                    return if self.eval(lhs, scope).as_bool() {
+                        Value::Bool(true)
+                    } else {
+                        self.eval(rhs, scope)
+                    };
+                }
+                let l = self.eval(lhs, scope);
+                let r = self.eval(rhs, scope);
+                binop(op, l, r)
+            }
+            Expr::If { cond, then, els, .. } => {
+                if self.eval(cond, scope).as_bool() {
+                    self.eval(then, scope)
+                } else {
+                    self.eval(els, scope)
+                }
+            }
+            Expr::Let { name, value, body, .. } => {
+                let v = self.eval(value, scope);
+                scope.bind(name.clone(), v);
+                let out = self.eval(body, scope);
+                scope.unbind(1);
+                out
+            }
+            Expr::Case { scrutinee, arms, .. } => {
+                let v = self.eval(scrutinee, scope);
+                for (pat, body) in arms {
+                    let mut n = 0;
+                    if match_pat(pat, &v, scope, &mut n) {
+                        let out = self.eval(body, scope);
+                        scope.unbind(n);
+                        return out;
+                    }
+                    scope.unbind(n);
+                }
+                panic!("case expression: no arm matched {v:?}")
+            }
+            Expr::ListLit(items, _) => {
+                Value::list(items.iter().map(|i| self.eval(i, scope)))
+            }
+            Expr::TupleLit(items, _) => {
+                Value::tuple(items.iter().map(|i| self.eval(i, scope)))
+            }
+            Expr::TreeCons { op, args, .. } => {
+                Value::term(op.clone(), args.iter().map(|a| self.eval(a, scope)))
+            }
+        }
+    }
+
+    fn call(&self, name: &str, args: Vec<Value>) -> Value {
+        match name {
+            "to_real" => Value::Real(args[0].as_int() as f64),
+            "to_int" => Value::Int(args[0].as_real() as i64),
+            "abs" => Value::Int(args[0].as_int().abs()),
+            "min" => Value::Int(args[0].as_int().min(args[1].as_int())),
+            "max" => Value::Int(args[0].as_int().max(args[1].as_int())),
+            "len" => Value::Int(args[0].as_list().len() as i64),
+            "null" => Value::Bool(args[0].as_list().is_empty()),
+            "hd" => args[0]
+                .as_list()
+                .first()
+                .cloned()
+                .unwrap_or_else(|| panic!("hd of empty list")),
+            "tl" => Value::list(args[0].as_list().iter().skip(1).cloned()),
+            "rev" => Value::list(args[0].as_list().iter().rev().cloned()),
+            "empty_map" => Value::empty_map(),
+            "size" => Value::Int(args[0].as_map().len() as i64),
+            "insert" => args[0].map_insert(args[1].as_str(), args[2].clone()),
+            "lookup" => args[0]
+                .map_get(args[1].as_str())
+                .cloned()
+                .unwrap_or_else(|| panic!("lookup: unbound key {:?}", args[1].as_str())),
+            "bound" => Value::Bool(args[0].map_get(args[1].as_str()).is_some()),
+            "remove" => {
+                let mut m = args[0].as_map().clone();
+                m.remove(args[1].as_str());
+                Value::Map(Rc::new(m))
+            }
+            "itoa" => Value::str(args[0].as_int().to_string()),
+            "rtoa" => Value::str(format!("{}", args[0].as_real())),
+            "strlen" => Value::Int(args[0].as_str().chars().count() as i64),
+            "error" => panic!("OLGA error: {}", args[0].as_str()),
+            _ => self.apply(name, args),
+        }
+    }
+}
+
+/// Collects references to constant names in `e` (for dependency ordering;
+/// let/case binders may shadow, which only over-approximates the edges).
+fn collect_const_refs<'a>(e: &Expr, env: &'a UnitEnv, out: &mut Vec<&'a String>) {
+    match e {
+        Expr::Var(n, _) => {
+            if let Some((k, _)) = env.consts.get_key_value(n) {
+                out.push(k);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_const_refs(a, env, out);
+            }
+        }
+        Expr::Unop { expr, .. } => collect_const_refs(expr, env, out),
+        Expr::Binop { lhs, rhs, .. } => {
+            collect_const_refs(lhs, env, out);
+            collect_const_refs(rhs, env, out);
+        }
+        Expr::If { cond, then, els, .. } => {
+            collect_const_refs(cond, env, out);
+            collect_const_refs(then, env, out);
+            collect_const_refs(els, env, out);
+        }
+        Expr::Let { value, body, .. } => {
+            collect_const_refs(value, env, out);
+            collect_const_refs(body, env, out);
+        }
+        Expr::Case { scrutinee, arms, .. } => {
+            collect_const_refs(scrutinee, env, out);
+            for (_, b) in arms {
+                collect_const_refs(b, env, out);
+            }
+        }
+        Expr::ListLit(items, _) | Expr::TupleLit(items, _) => {
+            for i in items {
+                collect_const_refs(i, env, out);
+            }
+        }
+        Expr::TreeCons { args, .. } => {
+            for a in args {
+                collect_const_refs(a, env, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Lexical runtime scope.
+#[derive(Default, Debug)]
+struct Scope {
+    stack: Vec<(String, Value)>,
+}
+
+impl Scope {
+    fn bind(&mut self, name: String, v: Value) {
+        self.stack.push((name, v));
+    }
+    fn unbind(&mut self, n: usize) {
+        self.stack.truncate(self.stack.len() - n);
+    }
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.stack.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+fn binop(op: &str, l: Value, r: Value) -> Value {
+    use Value::*;
+    match (op, &l, &r) {
+        ("+", Int(a), Int(b)) => Int(a + b),
+        ("+", Real(a), Real(b)) => Real(a + b),
+        ("+", Str(a), Str(b)) => Value::str(format!("{a}{b}")),
+        ("-", Int(a), Int(b)) => Int(a - b),
+        ("-", Real(a), Real(b)) => Real(a - b),
+        ("*", Int(a), Int(b)) => Int(a * b),
+        ("*", Real(a), Real(b)) => Real(a * b),
+        ("/", Int(a), Int(b)) => Int(a / b),
+        ("/", Real(a), Real(b)) => Real(a / b),
+        ("%", Int(a), Int(b)) => Int(a % b),
+        ("=", a, b) => Bool(a == b),
+        ("<>", a, b) => Bool(a != b),
+        ("<", a, b) => Bool(a.partial_cmp(b) == Some(std::cmp::Ordering::Less)),
+        ("<=", a, b) => Bool(matches!(
+            a.partial_cmp(b),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )),
+        (">", a, b) => Bool(a.partial_cmp(b) == Some(std::cmp::Ordering::Greater)),
+        (">=", a, b) => Bool(matches!(
+            a.partial_cmp(b),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        )),
+        ("::", _, List(items)) => {
+            let mut v = Vec::with_capacity(items.len() + 1);
+            v.push(l.clone());
+            v.extend(items.iter().cloned());
+            Value::list(v)
+        }
+        ("++", Str(a), Str(b)) => Value::str(format!("{a}{b}")),
+        ("++", List(a), List(b)) => Value::list(a.iter().chain(b.iter()).cloned()),
+        (op, l, r) => panic!("binop `{op}` on {l:?} and {r:?}"),
+    }
+}
+
+/// Pattern match; pushes bindings into `scope` (caller pops `*pushed`).
+fn match_pat(pat: &Pat, v: &Value, scope: &mut Scope, pushed: &mut usize) -> bool {
+    match (pat, v) {
+        (Pat::Wild(_), _) => true,
+        (Pat::Bind(n, _), v) => {
+            scope.bind(n.clone(), v.clone());
+            *pushed += 1;
+            true
+        }
+        (Pat::Int(i, _), Value::Int(j)) => i == j,
+        (Pat::Bool(b, _), Value::Bool(c)) => b == c,
+        (Pat::Str(s, _), Value::Str(t)) => s.as_str() == &**t,
+        (Pat::Nil(_), Value::List(items)) => items.is_empty(),
+        (Pat::Cons(h, t, _), Value::List(items)) => {
+            if items.is_empty() {
+                return false;
+            }
+            match_pat(h, &items[0], scope, pushed)
+                && match_pat(
+                    t,
+                    &Value::list(items[1..].iter().cloned()),
+                    scope,
+                    pushed,
+                )
+        }
+        (Pat::Tuple(ps, _), Value::Tuple(items)) => {
+            ps.len() == items.len()
+                && ps
+                    .iter()
+                    .zip(items.iter())
+                    .all(|(p, v)| match_pat(p, v, scope, pushed))
+        }
+        (Pat::Term { op, args, .. }, Value::Term(t)) => {
+            op == &t.op
+                && args.len() == t.children.len()
+                && args
+                    .iter()
+                    .zip(&t.children)
+                    .all(|(p, v)| match_pat(p, v, scope, pushed))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Unit;
+    use crate::check::Compiler;
+    use crate::parser::parse_unit;
+
+    use super::*;
+
+    fn ctx_for(src: &str) -> EvalCtx {
+        let Unit::Module(m) = parse_unit(src).unwrap() else {
+            panic!("expected module")
+        };
+        let mut c = Compiler::new();
+        c.add_module(m.clone()).unwrap();
+        EvalCtx::new(&c.module(&m.name).unwrap().env)
+    }
+
+    #[test]
+    fn arithmetic_and_recursion() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function fact(n : int) : int = if n <= 1 then 1 else n * fact(n - 1) end;
+              function fib(n : int) : int =
+                if n < 2 then n else fib(n - 1) + fib(n - 2) end;
+            end
+            "#,
+        );
+        assert_eq!(ctx.apply("fact", vec![Value::Int(6)]), Value::Int(720));
+        assert_eq!(ctx.apply("fib", vec![Value::Int(10)]), Value::Int(55));
+    }
+
+    #[test]
+    fn lists_and_patterns() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function suml(l : list of int) : int =
+                case l of [] => 0 | x :: r => x + suml(r) end;
+              function second(l : list of int) : int =
+                case l of _ :: y :: _ => y | _ => -1 end;
+            end
+            "#,
+        );
+        let l = Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(ctx.apply("suml", vec![l.clone()]), Value::Int(6));
+        assert_eq!(ctx.apply("second", vec![l]), Value::Int(2));
+        assert_eq!(
+            ctx.apply("second", vec![Value::list([Value::Int(9)])]),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn maps_and_strings() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function note(e : map of string, k : string, v : string) : map of string =
+                insert(e, k, v);
+              function get(e : map of string, k : string) : string =
+                if bound(e, k) then lookup(e, k) else "?" end;
+              const greeting : string = "hi " ++ "there";
+            end
+            "#,
+        );
+        let m0 = Value::empty_map();
+        let m1 = ctx.apply("note", vec![m0, Value::str("a"), Value::str("1")]);
+        assert_eq!(
+            ctx.apply("get", vec![m1.clone(), Value::str("a")]),
+            Value::str("1")
+        );
+        assert_eq!(
+            ctx.apply("get", vec![m1, Value::str("b")]),
+            Value::str("?")
+        );
+        assert_eq!(ctx.eval_closed(&crate::ast::Expr::Var(
+            "greeting".into(),
+            crate::lexer::Pos { line: 0, col: 0 }
+        )), Value::str("hi there"));
+    }
+
+    #[test]
+    fn trees_and_term_patterns() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function mk(n : int) : tree = @leaf(n);
+              function depth(t : tree) : int =
+                case t of @leaf(_) => 1 | @fork(a, b) => 1 + max(depth(a), depth(b)) end;
+              function grow(n : int) : tree =
+                if n = 0 then @leaf(0) else @fork(grow(n - 1), @leaf(n)) end;
+            end
+            "#,
+        );
+        let t = ctx.apply("grow", vec![Value::Int(3)]);
+        assert_eq!(ctx.apply("depth", vec![t]), Value::Int(4));
+    }
+
+    #[test]
+    fn consts_depending_on_consts() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              const b : int = a + 1;
+              const a : int = 41;
+            end
+            "#,
+        );
+        assert_eq!(
+            ctx.eval_closed(&crate::ast::Expr::Var(
+                "b".into(),
+                crate::lexer::Pos { line: 0, col: 0 }
+            )),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "OLGA error: boom")]
+    fn error_builtin_panics() {
+        let ctx = ctx_for(
+            "module m; function f(x : int) : int = error(\"boom\"); end",
+        );
+        ctx.apply("f", vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn short_circuit() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function safe(l : list of int) : bool =
+                not null(l) and hd(l) > 0;
+            end
+            "#,
+        );
+        assert_eq!(
+            ctx.apply("safe", vec![Value::list([])]),
+            Value::Bool(false),
+            "hd must not run on the empty list"
+        );
+    }
+}

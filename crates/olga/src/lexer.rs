@@ -1,0 +1,343 @@
+//! The OLGA lexer.
+//!
+//! OLGA is FNC-2's specially designed AG-description language (paper §2.4).
+//! This reproduction implements a faithful subset: strongly typed,
+//! purely applicative, block-structured, with modules, attribute grammars
+//! as tree-to-tree mappings, pattern matching and automatic copy rules.
+//! Comments run from `--` to end of line.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// A reserved word of the OLGA subset.
+    Kw(&'static str),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Real(r) => write!(f, "real `{r}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// The reserved words of the OLGA subset.
+pub const KEYWORDS: &[&str] = &[
+    "module", "end", "attribute", "grammar", "phylum", "root", "operator", "synthesized",
+    "inherited", "of", "phase", "for", "local", "function", "const", "type", "import", "from",
+    "export", "opaque", "if", "then", "else", "let", "in", "case", "and", "or", "not", "true", "threaded", "with",
+    "false", "int", "real", "bool", "string", "unit", "list", "map", "tree", "tuple",
+];
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "::=", ":=", "=>", "<>", "<=", ">=", "::", "++", "(", ")", "{", "}", "[", "]", ",", ";", ":",
+    ".", "$", "@", "+", "-", "*", "/", "%", "=", "<", ">", "|", "_",
+];
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: lexical error: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Fails on unterminated strings, malformed numbers, or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+
+    let advance = |c: char, line: &mut u32, col: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_whitespace() {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        // Comment: -- to end of line.
+        if c == '-' && i + 1 < n && bytes[i + 1] == '-' {
+            while i < n && bytes[i] != '\n' {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let tok = match KEYWORDS.iter().find(|&&k| k == word) {
+                Some(&k) => Tok::Kw(k),
+                None => Tok::Ident(word),
+            };
+            out.push(Token { tok, pos });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && bytes[i].is_ascii_digit() {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            let mut is_real = false;
+            if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                is_real = true;
+                advance('.', &mut line, &mut col);
+                i += 1;
+                while i < n && bytes[i].is_ascii_digit() {
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let tok = if is_real {
+                Tok::Real(text.parse().map_err(|_| LexError {
+                    message: format!("malformed real literal `{text}`"),
+                    pos,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    pos,
+                })?)
+            };
+            out.push(Token { tok, pos });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= n {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        pos,
+                    });
+                }
+                let c = bytes[i];
+                advance(c, &mut line, &mut col);
+                i += 1;
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        if i >= n {
+                            return Err(LexError {
+                                message: "unterminated escape".into(),
+                                pos,
+                            });
+                        }
+                        let e = bytes[i];
+                        advance(e, &mut line, &mut col);
+                        i += 1;
+                        s.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '"' => '"',
+                            other => {
+                                return Err(LexError {
+                                    message: format!("unknown escape `\\{other}`"),
+                                    pos,
+                                })
+                            }
+                        });
+                    }
+                    other => s.push(other),
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                pos,
+            });
+            continue;
+        }
+        // Punctuation.
+        let rest: String = bytes[i..(i + 3).min(n)].iter().collect();
+        match PUNCTS.iter().find(|&&p| rest.starts_with(p)) {
+            Some(&p) => {
+                for c in p.chars() {
+                    advance(c, &mut line, &mut col);
+                }
+                i += p.chars().count();
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+            }
+            None => {
+                return Err(LexError {
+                    message: format!("unexpected character `{c}`"),
+                    pos,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("phylum Number;"),
+            vec![
+                Tok::Kw("phylum"),
+                Tok::Ident("Number".into()),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25"),
+            vec![Tok::Int(42), Tok::Real(3.25), Tok::Eof]
+        );
+        // `1.` without digits is Int then Punct.
+        assert_eq!(
+            kinds("1."),
+            vec![Tok::Int(1), Tok::Punct("."), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- comment ::= junk\n2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn longest_punct_wins() {
+        assert_eq!(
+            kinds("::= := :: : <> <="),
+            vec![
+                Tok::Punct("::="),
+                Tok::Punct(":="),
+                Tok::Punct("::"),
+                Tok::Punct(":"),
+                Tok::Punct("<>"),
+                Tok::Punct("<="),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_is_not_comment() {
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![Tok::Int(1), Tok::Punct("-"), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+}

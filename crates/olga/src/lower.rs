@@ -1,0 +1,765 @@
+//! Lowering a checked OLGA attribute grammar to the abstract AG of
+//! `fnc2-ag`.
+//!
+//! This is the front-end/generator interface of the paper (Figure 2): the
+//! OLGA front-end "is responsible for constructing the *abstract AG* to be
+//! input to the evaluator generator". Semantic-rule expressions become
+//! registered semantic functions (closures over the interpreter); rules
+//! that are plain occurrence references stay **copy rules** so the space
+//! optimizer can see and eliminate them; and "most copy rules … are
+//! automatically generated and need not be specified explicitly" (§2.4):
+//! a missing inherited occurrence copies the same-named LHS attribute, and
+//! a missing LHS synthesized attribute copies the unique same-named child
+//! attribute.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use fnc2_ag::{Arg, AttrId, Grammar, GrammarBuilder, LocalId, Occ, ONode, PhylumId, ProductionId};
+
+use crate::ast::{Expr, Pat, RuleTarget};
+use crate::check::{CheckedAg, OpCtx};
+use crate::eval::EvalCtx;
+use crate::lexer::Pos;
+
+/// Lowering errors: semantic errors surfaced late (well-definedness) keep
+/// their grammar-level description.
+#[derive(Debug)]
+pub enum LowerError {
+    /// Well-definedness failure (missing/duplicate rules after auto-copy).
+    Grammar(fnc2_ag::GrammarError),
+    /// An occurrence failed to re-resolve (internal; the checker already
+    /// validated it).
+    Internal(String, Pos),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Grammar(e) => write!(f, "{e}"),
+            LowerError::Internal(m, p) => write!(f, "{p}: internal lowering error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<fnc2_ag::GrammarError> for LowerError {
+    fn from(e: fnc2_ag::GrammarError) -> Self {
+        LowerError::Grammar(e)
+    }
+}
+
+/// Statistics of one lowering (feeds Table 1's rule counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowerInfo {
+    /// Copy rules written explicitly in the OLGA text.
+    pub explicit_copies: usize,
+    /// Copy rules generated automatically.
+    pub auto_copies: usize,
+    /// Non-copy rules (registered semantic functions).
+    pub computed_rules: usize,
+}
+
+/// Lowers a checked AG to an executable [`Grammar`].
+///
+/// # Errors
+///
+/// Fails if, even after automatic copy-rule generation, some output
+/// occurrence has no rule (or any other well-definedness violation).
+pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
+    let ag = &checked.ast;
+    let ctx = EvalCtx::new(&checked.env);
+    let mut b = GrammarBuilder::new(ag.name.clone());
+    let mut info = LowerInfo::default();
+
+    // Phyla.
+    let mut phylum_ids: HashMap<&str, PhylumId> = HashMap::new();
+    for p in &ag.phyla {
+        phylum_ids.insert(p, b.phylum(p.clone()));
+    }
+    if let Some(root) = &ag.root {
+        b.set_root(phylum_ids[root.as_str()]);
+    }
+
+    // Attributes, in declaration order per phylum.
+    let mut attr_ids: HashMap<(&str, &str), AttrId> = HashMap::new();
+    for a in &ag.attrs {
+        for p in &a.phyla {
+            let id = if a.synthesized {
+                b.syn(phylum_ids[p.as_str()], a.name.clone())
+            } else {
+                b.inh(phylum_ids[p.as_str()], a.name.clone())
+            };
+            attr_ids.insert((p, &a.name), id);
+        }
+    }
+
+    // Productions.
+    let mut prod_ids: HashMap<&str, ProductionId> = HashMap::new();
+    for op in &ag.operators {
+        let rhs: Vec<PhylumId> = op.rhs.iter().map(|r| phylum_ids[r.as_str()]).collect();
+        let id = b.production(op.name.clone(), phylum_ids[op.lhs.as_str()], &rhs);
+        prod_ids.insert(&op.name, id);
+    }
+
+    // Rules per production, across phases.
+    let mut defined: HashMap<ProductionId, HashSet<ONode>> = HashMap::new();
+    for op in &ag.operators {
+        let pid = prod_ids[op.name.as_str()];
+        let octx = OpCtx::new(op, &checked.attr_table);
+        // Locals from every block of this operator.
+        let mut local_ids: HashMap<&str, LocalId> = HashMap::new();
+        for phase in &ag.phases {
+            for block in phase.blocks.iter().filter(|bl| bl.operator == op.name) {
+                for l in &block.locals {
+                    let id = b.local(pid, l.name.clone());
+                    local_ids.insert(&l.name, id);
+                }
+            }
+        }
+        let resolve_occ = |o: &crate::ast::OccRef| -> ONode {
+            let (pos, _, _) = octx.resolve(o).expect("checker validated occurrences");
+            let ph = if pos == 0 { &op.lhs } else { &op.rhs[pos as usize - 1] };
+            ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), o.attr.as_str())]))
+        };
+
+        for phase in &ag.phases {
+            for block in phase.blocks.iter().filter(|bl| bl.operator == op.name) {
+                // Local definitions are rules targeting locals.
+                for l in &block.locals {
+                    let target = ONode::Local(local_ids[l.name.as_str()]);
+                    add_rule(
+                        &mut b,
+                        pid,
+                        target,
+                        &l.body,
+                        &resolve_occ,
+                        &local_ids,
+                        &ctx,
+                        &mut info,
+                    );
+                    defined.entry(pid).or_default().insert(target);
+                }
+                for rule in &block.rules {
+                    let target = match &rule.target {
+                        RuleTarget::Occ(o) => resolve_occ(o),
+                        RuleTarget::Local(name, _) => {
+                            ONode::Local(local_ids[name.as_str()])
+                        }
+                    };
+                    add_rule(
+                        &mut b,
+                        pid,
+                        target,
+                        &rule.body,
+                        &resolve_occ,
+                        &local_ids,
+                        &ctx,
+                        &mut info,
+                    );
+                    defined.entry(pid).or_default().insert(target);
+                }
+            }
+        }
+    }
+
+    // Rule-model instantiation (paper §2.4 / [35]): threading pairs and
+    // collection classes fill missing outputs before the generic copy
+    // rules.
+    for op in &ag.operators {
+        let pid = prod_ids[op.name.as_str()];
+        let table = &checked.attr_table.attrs;
+        // --- threading: base_in snakes through the carrying children ---
+        for t in &checked.threads {
+            let inn = format!("{}_in", t.base);
+            let outn = format!("{}_out", t.base);
+            let lhs_carries = t.phyla.contains(&op.lhs);
+            // Positions of carrying children, left to right.
+            let carriers: Vec<(u16, &String)> = op
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(_, ph)| t.phyla.contains(ph))
+                .map(|(j, ph)| ((j + 1) as u16, ph))
+                .collect();
+            // Source of the incoming state at each point.
+            let mut prev: Option<(u16, &String)> = None;
+            for &(pos, ph) in &carriers {
+                let target =
+                    ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), inn.as_str())]));
+                let have = defined.entry(pid).or_default();
+                if !have.contains(&target) {
+                    let src = match prev {
+                        Some((ppos, pph)) => {
+                            Occ::new(ppos, attr_ids[&(pph.as_str(), outn.as_str())])
+                        }
+                        None if lhs_carries => {
+                            Occ::new(0, attr_ids[&(op.lhs.as_str(), inn.as_str())])
+                        }
+                        None => continue, // no upstream state: leave missing
+                    };
+                    b.copy(pid, target, src);
+                    info.auto_copies += 1;
+                    defined.entry(pid).or_default().insert(target);
+                }
+                prev = Some((pos, ph));
+            }
+            // Outgoing state of the LHS.
+            if lhs_carries {
+                let target =
+                    ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), outn.as_str())]));
+                let have = defined.entry(pid).or_default();
+                if !have.contains(&target) {
+                    let src = match prev {
+                        Some((ppos, pph)) => {
+                            Occ::new(ppos, attr_ids[&(pph.as_str(), outn.as_str())])
+                        }
+                        None => Occ::new(0, attr_ids[&(op.lhs.as_str(), inn.as_str())]),
+                    };
+                    b.copy(pid, target, src);
+                    info.auto_copies += 1;
+                    defined.entry(pid).or_default().insert(target);
+                }
+            }
+        }
+        // --- collection classes: concat / sum over carrying children ---
+        for (aname, class) in &checked.classes {
+            let Some((true, ty)) = table[&op.lhs].get(aname) else {
+                continue;
+            };
+            let target =
+                ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), aname.as_str())]));
+            if defined.entry(pid).or_default().contains(&target) {
+                continue;
+            }
+            let carriers: Vec<Arg> = op
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(_, ph)| matches!(table[ph.as_str()].get(aname), Some((true, _))))
+                .map(|(j, ph)| {
+                    Arg::from(Occ::new(
+                        (j + 1) as u16,
+                        attr_ids[&(ph.as_str(), aname.as_str())],
+                    ))
+                })
+                .collect();
+            let is_str = matches!(ty, crate::types::Ty::Str);
+            match (carriers.len(), class) {
+                (0, crate::ast::AttrClass::Concat) => {
+                    let empty = if is_str {
+                        fnc2_ag::Value::str("")
+                    } else {
+                        fnc2_ag::Value::list([])
+                    };
+                    b.constant(pid, target, empty);
+                    info.computed_rules += 1;
+                }
+                (0, crate::ast::AttrClass::Sum) => {
+                    b.constant(pid, target, fnc2_ag::Value::Int(0));
+                    info.computed_rules += 1;
+                }
+                (1, _) => {
+                    b.copy(pid, target, carriers.into_iter().next().expect("one"));
+                    info.auto_copies += 1;
+                }
+                (n, cls) => {
+                    let fname = format!("model@{cls:?}@{n}@{}@{aname}", op.name);
+                    let summing = matches!(cls, crate::ast::AttrClass::Sum);
+                    b.func(fname.clone(), n, move |vals: &[fnc2_ag::Value]| {
+                        if summing {
+                            fnc2_ag::Value::Int(vals.iter().map(|v| v.as_int()).sum())
+                        } else if matches!(vals[0], fnc2_ag::Value::Str(_)) {
+                            fnc2_ag::Value::str(
+                                vals.iter().map(|v| v.as_str()).collect::<String>(),
+                            )
+                        } else {
+                            fnc2_ag::Value::list(
+                                vals.iter().flat_map(|v| v.as_list().to_vec()),
+                            )
+                        }
+                    });
+                    b.call(pid, target, &fname, carriers);
+                    info.computed_rules += 1;
+                }
+            }
+            defined.entry(pid).or_default().insert(target);
+        }
+    }
+
+    // Automatic copy rules for missing output occurrences.
+    for op in &ag.operators {
+        let pid = prod_ids[op.name.as_str()];
+        let have = defined.entry(pid).or_default().clone();
+        let table = &checked.attr_table.attrs;
+        // RHS inherited occurrences.
+        for (j, rhs_ph) in op.rhs.iter().enumerate() {
+            let pos = (j + 1) as u16;
+            for (aname, (syn, ty)) in &table[rhs_ph] {
+                if *syn {
+                    continue;
+                }
+                let node = ONode::Attr(Occ::new(pos, attr_ids[&(rhs_ph.as_str(), aname.as_str())]));
+                if have.contains(&node) {
+                    continue;
+                }
+                // Same-named inherited attribute on the LHS?
+                if let Some((false, lty)) = table[&op.lhs].get(aname) {
+                    if lty.compatible(ty) {
+                        let src = Occ::new(0, attr_ids[&(op.lhs.as_str(), aname.as_str())]);
+                        b.copy(pid, node, src);
+                        info.auto_copies += 1;
+                    }
+                }
+            }
+        }
+        // LHS synthesized occurrences.
+        for (aname, (syn, ty)) in &table[&op.lhs] {
+            if !*syn {
+                continue;
+            }
+            let node = ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), aname.as_str())]));
+            if have.contains(&node) {
+                continue;
+            }
+            let candidates: Vec<u16> = op
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(_, ph)| {
+                    matches!(table[ph.as_str()].get(aname), Some((true, cty)) if cty.compatible(ty))
+                })
+                .map(|(j, _)| (j + 1) as u16)
+                .collect();
+            if let [only] = candidates[..] {
+                let ph = &op.rhs[only as usize - 1];
+                let src = Occ::new(only, attr_ids[&(ph.as_str(), aname.as_str())]);
+                b.copy(pid, node, src);
+                info.auto_copies += 1;
+            }
+        }
+    }
+
+    let grammar = b.finish()?;
+    Ok((grammar, info))
+}
+
+/// Adds one rule: plain occurrence bodies become copy rules, literals
+/// become constants, everything else becomes a registered closure over the
+/// interpreter.
+#[allow(clippy::too_many_arguments)]
+fn add_rule(
+    b: &mut GrammarBuilder,
+    pid: ProductionId,
+    target: ONode,
+    body: &Expr,
+    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> ONode,
+    local_ids: &HashMap<&str, LocalId>,
+    ctx: &EvalCtx,
+    info: &mut LowerInfo,
+) {
+    // Literal constants.
+    match body {
+        Expr::Int(i, _) => {
+            b.constant(pid, target, fnc2_ag::Value::Int(*i));
+            info.computed_rules += 1;
+            return;
+        }
+        Expr::Real(r, _) => {
+            b.constant(pid, target, fnc2_ag::Value::Real(*r));
+            info.computed_rules += 1;
+            return;
+        }
+        Expr::Bool(v, _) => {
+            b.constant(pid, target, fnc2_ag::Value::Bool(*v));
+            info.computed_rules += 1;
+            return;
+        }
+        Expr::Str(s, _) => {
+            b.constant(pid, target, fnc2_ag::Value::str(s));
+            info.computed_rules += 1;
+            return;
+        }
+        _ => {}
+    }
+
+    // Extract occurrence/local/token references into argument slots.
+    let mut args: Vec<Arg> = Vec::new();
+    let mut keys: Vec<ArgKey> = Vec::new();
+    let mut bound: Vec<String> = Vec::new();
+    let transformed = extract(
+        body,
+        resolve_occ,
+        local_ids,
+        &mut args,
+        &mut keys,
+        &mut bound,
+    );
+
+    // A bare occurrence/local/token reference is a copy rule.
+    if args.len() == 1 {
+        if let Expr::Var(v, _) = &transformed {
+            if v == "$0" {
+                b.copy(pid, target, args.remove(0));
+                info.explicit_copies += 1;
+                return;
+            }
+        }
+    }
+
+    let fname = format!("rule@{pid}@{target:?}");
+    let ctx = ctx.clone();
+    let arity = args.len();
+    b.func(fname.clone(), arity, move |vals: &[fnc2_ag::Value]| {
+        let bindings: Vec<(String, fnc2_ag::Value)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("${i}"), v.clone()))
+            .collect();
+        ctx.eval_with(&transformed, &bindings)
+    });
+    b.call(pid, target, &fname, args);
+    info.computed_rules += 1;
+}
+
+/// Identity of an extracted argument, for deduplication.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ArgKey {
+    Node(ONode),
+    Token,
+}
+
+/// Rewrites occurrence references, production-local references, and
+/// `token()` calls into `$k` variables, collecting the argument list.
+fn extract(
+    e: &Expr,
+    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> ONode,
+    local_ids: &HashMap<&str, LocalId>,
+    args: &mut Vec<Arg>,
+    keys: &mut Vec<ArgKey>,
+    bound: &mut Vec<String>,
+) -> Expr {
+    let slot = |key: ArgKey, args: &mut Vec<Arg>, keys: &mut Vec<ArgKey>| -> Expr {
+        let i = match keys.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                keys.push(key.clone());
+                args.push(match key {
+                    ArgKey::Node(n) => Arg::Node(n),
+                    ArgKey::Token => Arg::Token,
+                });
+                keys.len() - 1
+            }
+        };
+        Expr::Var(format!("${i}"), Pos { line: 0, col: 0 })
+    };
+    match e {
+        Expr::Occ(o) => slot(ArgKey::Node(resolve_occ(o)), args, keys),
+        Expr::Var(n, p) => {
+            if !bound.contains(n) {
+                if let Some(&l) = local_ids.get(n.as_str()) {
+                    return slot(ArgKey::Node(ONode::Local(l)), args, keys);
+                }
+            }
+            Expr::Var(n.clone(), *p)
+        }
+        Expr::Call { name, args: cargs, pos } if name == "token" && cargs.is_empty() => {
+            slot(ArgKey::Token, args, keys)
+        }
+        Expr::Call { name, args: cargs, pos } => Expr::Call {
+            name: name.clone(),
+            args: cargs
+                .iter()
+                .map(|a| extract(a, resolve_occ, local_ids, args, keys, bound))
+                .collect(),
+            pos: *pos,
+        },
+        Expr::Unop { op, expr, pos } => Expr::Unop {
+            op,
+            expr: Box::new(extract(expr, resolve_occ, local_ids, args, keys, bound)),
+            pos: *pos,
+        },
+        Expr::Binop { op, lhs, rhs, pos } => Expr::Binop {
+            op,
+            lhs: Box::new(extract(lhs, resolve_occ, local_ids, args, keys, bound)),
+            rhs: Box::new(extract(rhs, resolve_occ, local_ids, args, keys, bound)),
+            pos: *pos,
+        },
+        Expr::If { cond, then, els, pos } => Expr::If {
+            cond: Box::new(extract(cond, resolve_occ, local_ids, args, keys, bound)),
+            then: Box::new(extract(then, resolve_occ, local_ids, args, keys, bound)),
+            els: Box::new(extract(els, resolve_occ, local_ids, args, keys, bound)),
+            pos: *pos,
+        },
+        Expr::Let { name, value, body, pos } => {
+            let value = Box::new(extract(value, resolve_occ, local_ids, args, keys, bound));
+            bound.push(name.clone());
+            let body = Box::new(extract(body, resolve_occ, local_ids, args, keys, bound));
+            bound.pop();
+            Expr::Let {
+                name: name.clone(),
+                value,
+                body,
+                pos: *pos,
+            }
+        }
+        Expr::Case { scrutinee, arms, pos } => {
+            let scrutinee =
+                Box::new(extract(scrutinee, resolve_occ, local_ids, args, keys, bound));
+            let arms = arms
+                .iter()
+                .map(|(p, b)| {
+                    let binders: Vec<String> =
+                        p.binders().into_iter().map(String::from).collect();
+                    let n = binders.len();
+                    bound.extend(binders);
+                    let b = extract(b, resolve_occ, local_ids, args, keys, bound);
+                    bound.truncate(bound.len() - n);
+                    (clone_pat(p), b)
+                })
+                .collect();
+            Expr::Case {
+                scrutinee,
+                arms,
+                pos: *pos,
+            }
+        }
+        Expr::ListLit(items, pos) => Expr::ListLit(
+            items
+                .iter()
+                .map(|i| extract(i, resolve_occ, local_ids, args, keys, bound))
+                .collect(),
+            *pos,
+        ),
+        Expr::TupleLit(items, pos) => Expr::TupleLit(
+            items
+                .iter()
+                .map(|i| extract(i, resolve_occ, local_ids, args, keys, bound))
+                .collect(),
+            *pos,
+        ),
+        Expr::TreeCons { op, args: targs, pos } => Expr::TreeCons {
+            op: op.clone(),
+            args: targs
+                .iter()
+                .map(|a| extract(a, resolve_occ, local_ids, args, keys, bound))
+                .collect(),
+            pos: *pos,
+        },
+        other => other.clone(),
+    }
+}
+
+fn clone_pat(p: &Pat) -> Pat {
+    p.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{TreeBuilder, Value};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+    use crate::ast::Unit;
+    use crate::check::Compiler;
+    use crate::parser::parse_unit;
+
+    use super::*;
+
+    fn lower_src(src: &str) -> (Grammar, LowerInfo) {
+        let Unit::Ag(ag) = parse_unit(src).unwrap() else {
+            panic!("expected AG")
+        };
+        let checked = Compiler::new().check_ag(ag).unwrap();
+        lower(&checked).unwrap()
+    }
+
+    #[test]
+    fn binary_numbers_end_to_end() {
+        let (g, info) = lower_src(
+            r#"
+            attribute grammar binary;
+              phylum Number, Seq, Bit;
+              root Number;
+              operator number : Number ::= Seq;
+              operator pair   : Seq ::= Seq Bit;
+              operator single : Seq ::= Bit;
+              operator zero   : Bit ::= ;
+              operator one    : Bit ::= ;
+              synthesized value : real of Number, Seq, Bit;
+              synthesized length : int of Seq;
+              inherited scale : int of Seq, Bit;
+              function pow2(n : int) : real =
+                if n = 0 then 1.0 else 2.0 * pow2(n - 1) end;
+              for number { Seq.scale := 0; }
+              for pair {
+                Seq$1.value := Seq$2.value + Bit.value;
+                Seq$1.length := Seq$2.length + 1;
+                Seq$2.scale := Seq$1.scale + 1;
+              }
+              for single { Seq.length := 1; }
+              for zero { Bit.value := 0.0; }
+              for one  { Bit.value := pow2(Bit.scale); }
+            end
+            "#,
+        );
+        // Auto-copies: number.value (unique child), pair.Bit.scale (same
+        // name on LHS), single.value, single.Bit.scale.
+        assert_eq!(info.auto_copies, 4, "{info:?}");
+        assert_eq!(g.production_count(), 5);
+
+        // Evaluate "1101" = 13.
+        let snc = snc_test(&g);
+        assert!(snc.is_snc());
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let mut tb = TreeBuilder::new(&g);
+        let mut seq = {
+            let b = tb.op("one", &[]).unwrap();
+            tb.op("single", &[b]).unwrap()
+        };
+        for c in "101".chars() {
+            let b = tb
+                .op(if c == '1' { "one" } else { "zero" }, &[])
+                .unwrap();
+            seq = tb.op("pair", &[seq, b]).unwrap();
+        }
+        let root = tb.op("number", &[seq]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+        let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let number = g.phylum_by_name("Number").unwrap();
+        let value = g.attr_by_name(number, "value").unwrap();
+        assert_eq!(vals.get(&g, tree.root(), value), Some(&Value::Real(13.0)));
+    }
+
+    #[test]
+    fn explicit_copies_stay_copies() {
+        let (g, info) = lower_src(
+            r#"
+            attribute grammar t;
+              phylum S, A;
+              operator mk : S ::= A;
+              operator leaf : A ::= ;
+              synthesized v : int of S, A;
+              for mk { S.v := A.v; }
+              for leaf { A.v := 7; }
+            end
+            "#,
+        );
+        assert_eq!(info.explicit_copies, 1);
+        assert_eq!(g.copy_rule_count(), 1);
+    }
+
+    #[test]
+    fn locals_lower_to_local_attributes() {
+        let (g, _) = lower_src(
+            r#"
+            attribute grammar t;
+              phylum S;
+              operator leaf : S ::= ;
+              synthesized v : int of S;
+              for leaf {
+                local t : int := 20 + 1;
+                S.v := t * 2;
+              }
+            end
+            "#,
+        );
+        let leaf = g.production_by_name("leaf").unwrap();
+        assert_eq!(g.production(leaf).locals().len(), 1);
+        // Evaluate.
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let mut tb = TreeBuilder::new(&g);
+        let n = tb.op("leaf", &[]).unwrap();
+        let tree = tb.finish_root(n).unwrap();
+        let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let v = g.attr_by_name(s, "v").unwrap();
+        assert_eq!(vals.get(&g, tree.root(), v), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn token_rules_read_the_lexeme() {
+        let (g, _) = lower_src(
+            r#"
+            attribute grammar t;
+              phylum S;
+              operator leaf : S ::= ;
+              synthesized v : int of S;
+              for leaf { S.v := token(); }
+            end
+            "#,
+        );
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let mut tb = TreeBuilder::new(&g);
+        let leaf = g.production_by_name("leaf").unwrap();
+        let n = tb
+            .node_with_token(leaf, &[], Some(Value::Int(5)))
+            .unwrap();
+        let tree = tb.finish_root(n).unwrap();
+        let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let v = g.attr_by_name(s, "v").unwrap();
+        assert_eq!(vals.get(&g, tree.root(), v), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn missing_rule_reported_after_autocopy() {
+        let Unit::Ag(ag) = parse_unit(
+            r#"
+            attribute grammar t;
+              phylum S, A;
+              operator mk : S ::= A;
+              operator leaf : A ::= ;
+              synthesized v : int of S;
+              synthesized w : int of A;
+              for leaf { A.w := 1; }
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let checked = Compiler::new().check_ag(ag).unwrap();
+        let err = lower(&checked).unwrap_err();
+        // S.v has no rule and no same-named child attribute.
+        assert!(err.to_string().contains("S.v"), "{err}");
+    }
+
+    #[test]
+    fn shadowed_locals_are_not_extracted() {
+        let (g, _) = lower_src(
+            r#"
+            attribute grammar t;
+              phylum S;
+              operator leaf : S ::= ;
+              synthesized v : int of S;
+              for leaf {
+                local x : int := 10;
+                S.v := let x = 2 in x + x end + x;
+              }
+            end
+            "#,
+        );
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let mut tb = TreeBuilder::new(&g);
+        let n = tb.op("leaf", &[]).unwrap();
+        let tree = tb.finish_root(n).unwrap();
+        let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let v = g.attr_by_name(s, "v").unwrap();
+        // let-bound x = 2 (2+2) plus local x = 10 → 14.
+        assert_eq!(vals.get(&g, tree.root(), v), Some(&Value::Int(14)));
+    }
+}

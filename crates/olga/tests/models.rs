@@ -1,0 +1,194 @@
+//! Rule-model tests (paper §2.4 / \[35\]): the `threaded` pair model and
+//! the `with concat` / `with sum` collection classes.
+
+use fnc2_olga::compile_ag_source;
+
+fn eval_root(
+    g: &fnc2_ag::Grammar,
+    tree: &fnc2_ag::Tree,
+    attr: &str,
+) -> fnc2_ag::Value {
+    let c = fnc2_analysis::classify(g, 1, fnc2_analysis::Inclusion::Long).unwrap();
+    let seqs = fnc2_visit::build_visit_seqs(g, &c.l_ordered.unwrap());
+    let ev = fnc2_visit::Evaluator::new(g, &seqs);
+    let (vals, _) = ev.evaluate(tree, &Default::default()).unwrap();
+    let ph = g.production(tree.node(tree.root()).production()).lhs();
+    let a = g.attr_by_name(ph, attr).unwrap();
+    vals.get(g, tree.root(), a).unwrap().clone()
+}
+
+#[test]
+fn threaded_pair_generates_the_snake() {
+    // A label counter threaded through a statement list, with NO explicit
+    // threading rules except where the model must be overridden.
+    let (g, info) = compile_ag_source(
+        r#"
+        attribute grammar labels;
+          phylum Prog, Stmts, Stmt;
+          root Prog;
+          operator prog : Prog ::= Stmts;
+          operator cons : Stmts ::= Stmt Stmts;
+          operator nil  : Stmts ::= ;
+          operator simple : Stmt ::= ;
+          operator looped : Stmt ::= ;
+          synthesized nlabels : int of Prog;
+          threaded lab : int of Stmts, Stmt;
+          for prog {
+            Stmts.lab_in := 0;
+            Prog.nlabels := Stmts.lab_out;
+          }
+          -- cons/nil get their threading entirely from the model.
+          for simple { }
+          for looped { Stmt.lab_out := Stmt.lab_in + 2; }
+        end
+        "#,
+    )
+    .unwrap();
+    assert!(info.auto_copies >= 5, "threading was instantiated: {info:?}");
+
+    // simple needs lab_out := lab_in (model, no carriers); looped adds 2.
+    let mut tb = fnc2_ag::TreeBuilder::new(&g);
+    let mut list = tb.op("nil", &[]).unwrap();
+    for name in ["looped", "simple", "looped"] {
+        let s = tb.op(name, &[]).unwrap();
+        list = tb.op("cons", &[s, list]).unwrap();
+    }
+    let root = tb.op("prog", &[list]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    assert_eq!(eval_root(&g, &tree, "nlabels"), fnc2_ag::Value::Int(4));
+}
+
+#[test]
+fn concat_class_collects_over_children() {
+    let (g, _) = compile_ag_source(
+        r#"
+        attribute grammar errsup;
+          phylum S, A;
+          root S;
+          operator mk : S ::= A A A;
+          operator ok : A ::= ;
+          operator bad : A ::= ;
+          synthesized errs : list of string of S, A with concat;
+          for ok { A.errs := []; }
+          for bad { A.errs := ["bad"]; }
+          -- mk has NO errs rule: the concat model folds the children.
+        end
+        "#,
+    )
+    .unwrap();
+    let mut tb = fnc2_ag::TreeBuilder::new(&g);
+    let a = tb.op("bad", &[]).unwrap();
+    let b = tb.op("ok", &[]).unwrap();
+    let c = tb.op("bad", &[]).unwrap();
+    let root = tb.op("mk", &[a, b, c]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    let errs = eval_root(&g, &tree, "errs");
+    assert_eq!(errs.as_list().len(), 2);
+}
+
+#[test]
+fn sum_class_and_leaf_default() {
+    let (g, _) = compile_ag_source(
+        r#"
+        attribute grammar sizes;
+          phylum T;
+          root T;
+          operator fork : T ::= T T;
+          operator leaf : T ::= ;
+          synthesized size : int of T with sum;
+          for leaf { T.size := 1; }
+          -- fork's size = sum of children... plus nothing: the model sums.
+        end
+        "#,
+    )
+    .unwrap();
+    let mut tb = fnc2_ag::TreeBuilder::new(&g);
+    let l1 = tb.op("leaf", &[]).unwrap();
+    let l2 = tb.op("leaf", &[]).unwrap();
+    let f1 = tb.op("fork", &[l1, l2]).unwrap();
+    let l3 = tb.op("leaf", &[]).unwrap();
+    let root = tb.op("fork", &[f1, l3]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    assert_eq!(eval_root(&g, &tree, "size"), fnc2_ag::Value::Int(3));
+}
+
+#[test]
+fn explicit_rules_override_models() {
+    // `fork` overrides the sum model with max-like semantics.
+    let (g, _) = compile_ag_source(
+        r#"
+        attribute grammar depth;
+          phylum T;
+          root T;
+          operator fork : T ::= T T;
+          operator leaf : T ::= ;
+          synthesized d : int of T with sum;
+          for leaf { T.d := 1; }
+          for fork { T$1.d := 1 + max(T$2.d, T$3.d); }
+        end
+        "#,
+    )
+    .unwrap();
+    let mut tb = fnc2_ag::TreeBuilder::new(&g);
+    let l1 = tb.op("leaf", &[]).unwrap();
+    let l2 = tb.op("leaf", &[]).unwrap();
+    let f1 = tb.op("fork", &[l1, l2]).unwrap();
+    let l3 = tb.op("leaf", &[]).unwrap();
+    let root = tb.op("fork", &[f1, l3]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    assert_eq!(eval_root(&g, &tree, "d"), fnc2_ag::Value::Int(3));
+}
+
+#[test]
+fn class_misuse_is_rejected() {
+    let e = compile_ag_source(
+        "attribute grammar g; phylum S; operator l : S ::= ; inherited x : int of S with sum; for l { } end",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("synthesized"), "{e}");
+    let e = compile_ag_source(
+        "attribute grammar g; phylum S; operator l : S ::= ; synthesized x : bool of S with concat; for l { S.x := true; } end",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("list or string"), "{e}");
+    let e = compile_ag_source(
+        "attribute grammar g; phylum S; operator l : S ::= ; synthesized x : int of S with frobnicate; for l { S.x := 1; } end",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("unknown rule model"), "{e}");
+}
+
+#[test]
+fn string_concat_class() {
+    let (g, _) = compile_ag_source(
+        r#"
+        attribute grammar strs;
+          phylum S, W;
+          root S;
+          operator mk : S ::= W W;
+          operator word : W ::= ;
+          synthesized text : string of S, W with concat;
+          for word { W.text := token(); }
+        end
+        "#,
+    )
+    .unwrap();
+    let mut tb = fnc2_ag::TreeBuilder::new(&g);
+    let w1 = tb
+        .node_with_token(
+            g.production_by_name("word").unwrap(),
+            &[],
+            Some(fnc2_ag::Value::str("foo")),
+        )
+        .unwrap();
+    let w2 = tb
+        .node_with_token(
+            g.production_by_name("word").unwrap(),
+            &[],
+            Some(fnc2_ag::Value::str("bar")),
+        )
+        .unwrap();
+    let root = tb.op("mk", &[w1, w2]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    assert_eq!(eval_root(&g, &tree, "text"), fnc2_ag::Value::str("foobar"));
+}

@@ -1,0 +1,396 @@
+//! Flattened visit-sequences and attribute-instance lifetime intervals.
+//!
+//! Lifetime analysis (Kastens [30,31], Julié [27,28]) works on
+//! visit-sequence *positions*: each occurrence of an attribute in a
+//! production has, within that production's sequence, a definition position
+//! and use positions; dependencies that live in other sequences are folded
+//! into the `BEGIN`/`LEAVE` markers (LHS occurrences) and the `VISIT`
+//! instructions (child occurrences).
+
+use std::collections::HashMap;
+
+use fnc2_ag::{AttrKind, Grammar, LocalId, Occ, ONode, PhylumId, ProductionId};
+use fnc2_visit::{Instr, VisitSeqs};
+
+use crate::object::Object;
+
+/// One position of a flattened sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlatItem {
+    /// `BEGIN v` (1-based).
+    Begin(usize),
+    /// An `EVAL`/`VISIT` instruction inside visit `visit`.
+    Op {
+        /// The 1-based visit this instruction belongs to.
+        visit: usize,
+        /// The instruction.
+        instr: Instr,
+    },
+    /// `LEAVE v`.
+    Leave(usize),
+}
+
+/// A flattened visit-sequence with positions `0..items.len()`.
+#[derive(Clone, Debug)]
+pub struct FlatSeq {
+    /// The (production, LHS partition) this flattens.
+    pub key: (ProductionId, usize),
+    /// Items in execution order.
+    pub items: Vec<FlatItem>,
+}
+
+impl FlatSeq {
+    fn new(key: (ProductionId, usize), seqs: &VisitSeqs) -> FlatSeq {
+        let seq = seqs.seq(key.0, key.1);
+        let mut items = Vec::new();
+        for (i, segment) in seq.segments.iter().enumerate() {
+            let v = i + 1;
+            items.push(FlatItem::Begin(v));
+            for instr in segment {
+                items.push(FlatItem::Op {
+                    visit: v,
+                    instr: instr.clone(),
+                });
+            }
+            items.push(FlatItem::Leave(v));
+        }
+        FlatSeq { key, items }
+    }
+
+    /// The visit a position belongs to.
+    pub fn visit_at(&self, pos: usize) -> usize {
+        match &self.items[pos] {
+            FlatItem::Begin(v) | FlatItem::Leave(v) => *v,
+            FlatItem::Op { visit, .. } => *visit,
+        }
+    }
+}
+
+/// How an instance appears in a sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// The LHS occurrence of an inherited attribute: defined by the parent,
+    /// available from `BEGIN v`.
+    LhsInh,
+    /// The LHS occurrence of a synthesized attribute: defined by `EVAL`,
+    /// handed to the parent at `LEAVE v`.
+    LhsSyn,
+    /// A child occurrence of an inherited attribute: defined by `EVAL`,
+    /// consumed through the `VISIT`s.
+    ChildInh,
+    /// A child occurrence of a synthesized attribute: materializes at the
+    /// `VISIT` that computes it.
+    ChildSyn,
+    /// A production-local attribute.
+    Local,
+}
+
+/// The lifetime interval of one attribute-occurrence instance within one
+/// flattened sequence.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The occurrence (or local) this instance is of.
+    pub node: ONode,
+    /// The storage object it belongs to.
+    pub object: Object,
+    /// How it appears here.
+    pub kind: InstanceKind,
+    /// Position where the value becomes available in this sequence.
+    pub def_pos: usize,
+    /// Positions where the value is read in this sequence (`EVAL` argument
+    /// reads; for [`InstanceKind::ChildInh`] also the `VISIT`s during which
+    /// the child reads it; for [`InstanceKind::LhsSyn`] the `LEAVE` that
+    /// hands it up).
+    pub uses: Vec<usize>,
+}
+
+impl Instance {
+    /// The last position at which the instance must still be alive.
+    pub fn last_use(&self) -> usize {
+        self.uses.iter().copied().max().unwrap_or(self.def_pos)
+    }
+}
+
+/// Flattened sequences plus instance tables for the whole grammar.
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    /// Flattened sequences, keyed like [`VisitSeqs`].
+    pub seqs: HashMap<(ProductionId, usize), FlatSeq>,
+    /// Instances per sequence, same keys.
+    pub instances: HashMap<(ProductionId, usize), Vec<Instance>>,
+    /// `last_read_visit[(phylum, partition, attr)]`: the latest visit in
+    /// which any production of `phylum` (under that partition) reads the
+    /// LHS occurrence of the inherited attribute. Missing = never read.
+    pub last_read_visit: HashMap<(PhylumId, usize, fnc2_ag::AttrId), usize>,
+}
+
+impl FlatProgram {
+    /// Builds the flattened program for `grammar` under `seqs`.
+    pub fn new(grammar: &Grammar, seqs: &VisitSeqs) -> FlatProgram {
+        let keys = seqs.keys();
+        let flat: HashMap<_, _> = keys
+            .iter()
+            .map(|&k| (k, FlatSeq::new(k, seqs)))
+            .collect();
+
+        // Pass 1: latest visit reading each (phylum, partition, inherited
+        // attr) at its LHS occurrence.
+        let mut last_read_visit: HashMap<(PhylumId, usize, fnc2_ag::AttrId), usize> =
+            HashMap::new();
+        for (&(p, pi), fs) in &flat {
+            let lhs = grammar.production(p).lhs();
+            for (pos, item) in fs.items.iter().enumerate() {
+                let FlatItem::Op { visit, instr: Instr::Eval(target) } = item else {
+                    continue;
+                };
+                let _ = pos;
+                let rule = grammar.rule_for(p, *target).expect("rule exists");
+                for read in rule.read_nodes() {
+                    if let ONode::Attr(Occ { pos: 0, attr }) = read {
+                        if grammar.attr(attr).kind() == AttrKind::Inherited {
+                            let e = last_read_visit.entry((lhs, pi, attr)).or_insert(0);
+                            *e = (*e).max(*visit);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: instances per sequence.
+        let mut instances = HashMap::new();
+        for (&(p, pi), fs) in &flat {
+            instances.insert((p, pi), build_instances(grammar, seqs, fs, &last_read_visit));
+        }
+
+        FlatProgram {
+            seqs: flat,
+            instances,
+            last_read_visit,
+        }
+    }
+
+    /// Instances of a sequence.
+    pub fn instances_of(&self, key: (ProductionId, usize)) -> &[Instance] {
+        &self.instances[&key]
+    }
+}
+
+fn build_instances(
+    grammar: &Grammar,
+    seqs: &VisitSeqs,
+    fs: &FlatSeq,
+    last_read_visit: &HashMap<(PhylumId, usize, fnc2_ag::AttrId), usize>,
+) -> Vec<Instance> {
+    let (p, pi) = fs.key;
+    let prod = grammar.production(p);
+    let lhs = prod.lhs();
+    let lhs_part = &seqs.partitions_of(lhs)[pi];
+
+    // Where is each node defined / visited?
+    let mut def_pos: HashMap<ONode, usize> = HashMap::new();
+    let mut begin_pos: HashMap<usize, usize> = HashMap::new(); // visit -> position
+    let mut leave_pos: HashMap<usize, usize> = HashMap::new();
+    let mut visit_pos: HashMap<(u16, usize), (usize, usize)> = HashMap::new(); // (child, visit) -> (pos, partition)
+    for (pos, item) in fs.items.iter().enumerate() {
+        match item {
+            FlatItem::Begin(v) => {
+                begin_pos.insert(*v, pos);
+            }
+            FlatItem::Leave(v) => {
+                leave_pos.insert(*v, pos);
+            }
+            FlatItem::Op { instr, .. } => match instr {
+                Instr::Eval(target) => {
+                    def_pos.insert(*target, pos);
+                }
+                Instr::Visit {
+                    child,
+                    visit,
+                    partition,
+                } => {
+                    visit_pos.insert((*child, *visit), (pos, *partition));
+                }
+            },
+        }
+    }
+
+    // Reads: occurrence -> positions of EVALs whose rule reads it.
+    let mut reads: HashMap<ONode, Vec<usize>> = HashMap::new();
+    for (pos, item) in fs.items.iter().enumerate() {
+        let FlatItem::Op { instr: Instr::Eval(target), .. } = item else {
+            continue;
+        };
+        let rule = grammar.rule_for(p, *target).expect("rule exists");
+        for read in rule.read_nodes() {
+            reads.entry(read).or_default().push(pos);
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // LHS occurrences.
+    for &attr in grammar.phylum(lhs).attrs() {
+        let node = ONode::Attr(Occ::lhs(attr));
+        let v = lhs_part.visit_of(attr).expect("partition is complete");
+        match grammar.attr(attr).kind() {
+            AttrKind::Inherited => {
+                out.push(Instance {
+                    node,
+                    object: Object::Attr(attr),
+                    kind: InstanceKind::LhsInh,
+                    def_pos: begin_pos[&v],
+                    uses: reads.get(&node).cloned().unwrap_or_default(),
+                });
+            }
+            AttrKind::Synthesized => {
+                let mut uses = reads.get(&node).cloned().unwrap_or_default();
+                uses.push(leave_pos[&v]); // handoff to the parent
+                out.push(Instance {
+                    node,
+                    object: Object::Attr(attr),
+                    kind: InstanceKind::LhsSyn,
+                    def_pos: def_pos[&node],
+                    uses,
+                });
+            }
+        }
+    }
+
+    // Child occurrences.
+    for pos_j in 1..=prod.arity() as u16 {
+        let ph = prod.phylum_at(pos_j);
+        for &attr in grammar.phylum(ph).attrs() {
+            let node = ONode::Attr(Occ::new(pos_j, attr));
+            // Partition used on this child: from any VISIT instruction.
+            let (_, cpart) = visit_pos
+                .iter()
+                .find(|((c, _), _)| *c == pos_j)
+                .map(|(_, v)| *v)
+                .expect("every child is visited at least once");
+            let part = &seqs.partitions_of(ph)[cpart];
+            let w = part.visit_of(attr).expect("partition is complete");
+            match grammar.attr(attr).kind() {
+                AttrKind::Inherited => {
+                    let mut uses = reads.get(&node).cloned().unwrap_or_default();
+                    // The child consumes it during visits w ..= last read.
+                    let last = last_read_visit
+                        .get(&(ph, cpart, attr))
+                        .copied()
+                        .unwrap_or(0)
+                        .max(w);
+                    for wv in w..=last {
+                        if let Some(&(vp, _)) = visit_pos.get(&(pos_j, wv)) {
+                            uses.push(vp);
+                        }
+                    }
+                    out.push(Instance {
+                        node,
+                        object: Object::Attr(attr),
+                        kind: InstanceKind::ChildInh,
+                        def_pos: def_pos[&node],
+                        uses,
+                    });
+                }
+                AttrKind::Synthesized => {
+                    let (vp, _) = visit_pos[&(pos_j, w)];
+                    out.push(Instance {
+                        node,
+                        object: Object::Attr(attr),
+                        kind: InstanceKind::ChildSyn,
+                        def_pos: vp,
+                        uses: reads.get(&node).cloned().unwrap_or_default(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Locals.
+    for l in 0..prod.locals().len() as u32 {
+        let node = ONode::Local(LocalId::from_raw(l));
+        out.push(Instance {
+            node,
+            object: Object::Local(p, LocalId::from_raw(l)),
+            kind: InstanceKind::Local,
+            def_pos: def_pos[&node],
+            uses: reads.get(&node).cloned().unwrap_or_default(),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_visit::build_visit_seqs;
+
+    use super::*;
+
+    fn two_pass() -> (Grammar, VisitSeqs) {
+        let mut g = GrammarBuilder::new("two_pass");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let down = g.inh(a, "down");
+        let up = g.syn(a, "up");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, up));
+        g.constant(root, Occ::new(1, down), Value::Int(0));
+        let mid = g.production("mid", a, &[a]);
+        g.copy(mid, Occ::new(1, down), Occ::lhs(down));
+        g.copy(mid, Occ::lhs(up), Occ::new(1, up));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(up), Occ::lhs(down));
+        let g = g.finish().unwrap();
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        (g, seqs)
+    }
+
+    #[test]
+    fn flatten_marks_visits() {
+        let (g, seqs) = two_pass();
+        let fp = FlatProgram::new(&g, &seqs);
+        let root = g.production_by_name("root").unwrap();
+        let fs = &fp.seqs[&(root, 0)];
+        // BEGIN, EVAL down, VISIT, EVAL out, LEAVE.
+        assert_eq!(fs.items.len(), 5);
+        assert!(matches!(fs.items[0], FlatItem::Begin(1)));
+        assert!(matches!(fs.items[4], FlatItem::Leave(1)));
+        assert_eq!(fs.visit_at(2), 1);
+    }
+
+    #[test]
+    fn instances_have_sane_intervals() {
+        let (g, seqs) = two_pass();
+        let fp = FlatProgram::new(&g, &seqs);
+        let mid = g.production_by_name("mid").unwrap();
+        let insts = fp.instances_of((mid, 0));
+        // A.down(lhs), A.up(lhs), A.down(child), A.up(child).
+        assert_eq!(insts.len(), 4);
+        for inst in insts {
+            assert!(inst.last_use() >= inst.def_pos, "{inst:?}");
+        }
+        // The child `down` instance is used by the VISIT.
+        let a = g.phylum_by_name("A").unwrap();
+        let down = g.attr_by_name(a, "down").unwrap();
+        let child_down = insts
+            .iter()
+            .find(|i| i.kind == InstanceKind::ChildInh && i.object == Object::Attr(down))
+            .unwrap();
+        assert!(!child_down.uses.is_empty());
+    }
+
+    #[test]
+    fn last_read_visit_computed() {
+        let (g, seqs) = two_pass();
+        let fp = FlatProgram::new(&g, &seqs);
+        let a = g.phylum_by_name("A").unwrap();
+        let down = g.attr_by_name(a, "down").unwrap();
+        // `down` is read at visit 1 (in mid and leaf).
+        assert_eq!(fp.last_read_visit.get(&(a, 0, down)), Some(&1));
+    }
+}

@@ -1,0 +1,385 @@
+//! The temporary test and the may-evaluate sets.
+//!
+//! An object is *temporary* when every instance's lifetime is contained in
+//! a single visit of every sequence it appears in — the paper reports that
+//! temporaries "typically account for more than 80% of all attributes"
+//! (§2.2) and stores all of them outside the tree. The may-evaluate sets
+//! (`attributes evaluated during visit v of an X-rooted subtree`) drive the
+//! global-variable test; they are a grammar-flow fixpoint over the
+//! sequences, FNC-2's "grammar of visits and contexts" in set form.
+
+use std::collections::HashMap;
+
+use fnc2_ag::{Grammar, Occ, ONode, PhylumId, ProductionId};
+use fnc2_visit::{Instr, VisitSeqs};
+
+use crate::flat::{FlatItem, FlatProgram};
+use crate::object::{Object, ObjectIndex, ObjectSet};
+
+/// Lifetime facts about every storage object.
+#[derive(Clone, Debug)]
+pub struct Lifetimes {
+    /// `temporary[i]`: object `i`'s lifetime never crosses a visit
+    /// boundary.
+    pub temporary: Vec<bool>,
+    /// `may_eval[(phylum, partition, visit)]`: objects that may be
+    /// evaluated during that visit of a subtree of that phylum.
+    pub may_eval: HashMap<(PhylumId, usize, usize), ObjectSet>,
+}
+
+impl Lifetimes {
+    /// Computes lifetimes for the whole program.
+    pub fn analyze(
+        grammar: &Grammar,
+        seqs: &VisitSeqs,
+        fp: &FlatProgram,
+        objects: &ObjectIndex,
+    ) -> Lifetimes {
+        let temporary = temporaries(fp, objects);
+        let may_eval = may_eval_sets(grammar, seqs, fp, objects);
+        Lifetimes {
+            temporary,
+            may_eval,
+        }
+    }
+
+    /// True if `o` is temporary.
+    pub fn is_temporary(&self, objects: &ObjectIndex, o: Object) -> bool {
+        self.temporary[objects.index(o)]
+    }
+
+    /// Fraction of objects that are temporary.
+    pub fn temporary_ratio(&self) -> f64 {
+        if self.temporary.is_empty() {
+            return 1.0;
+        }
+        self.temporary.iter().filter(|&&b| b).count() as f64 / self.temporary.len() as f64
+    }
+}
+
+/// Marks each object temporary iff, in every sequence, every instance's
+/// uses stay in the visit of its definition.
+fn temporaries(fp: &FlatProgram, objects: &ObjectIndex) -> Vec<bool> {
+    let mut temp = vec![true; objects.len()];
+    for (key, insts) in &fp.instances {
+        let fs = &fp.seqs[key];
+        for inst in insts {
+            let dv = fs.visit_at(inst.def_pos);
+            if inst.uses.iter().any(|&u| fs.visit_at(u) != dv) {
+                temp[objects.index(inst.object)] = false;
+            }
+        }
+    }
+    temp
+}
+
+/// The least fixpoint of the may-evaluate sets.
+fn may_eval_sets(
+    grammar: &Grammar,
+    seqs: &VisitSeqs,
+    fp: &FlatProgram,
+    objects: &ObjectIndex,
+) -> HashMap<(PhylumId, usize, usize), ObjectSet> {
+    // Enumerate keys (phylum, partition, visit).
+    let mut keys: Vec<(PhylumId, usize, usize)> = Vec::new();
+    for ph in grammar.phyla() {
+        for (pi, part) in seqs.partitions_of(ph).iter().enumerate() {
+            for v in 1..=part.visit_count() {
+                keys.push((ph, pi, v));
+            }
+        }
+    }
+    let key_ix: HashMap<(PhylumId, usize, usize), usize> =
+        keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+    let mut sets: Vec<ObjectSet> = keys.iter().map(|_| ObjectSet::new(objects.len())).collect();
+
+    // Per key, the (sequence, visit) bodies contributing to it, and the
+    // nested keys referenced by their VISITs.
+    struct Body {
+        direct: ObjectSet,
+        nested: Vec<usize>, // key indices
+    }
+    let mut bodies: Vec<Vec<Body>> = keys.iter().map(|_| Vec::new()).collect();
+    for (&(p, pi), fs) in &fp.seqs {
+        let lhs = grammar.production(p).lhs();
+        let prod = grammar.production(p);
+        // Group items by visit.
+        let nvisits = seqs.partitions_of(lhs)[pi].visit_count();
+        for v in 1..=nvisits {
+            let Some(&ki) = key_ix.get(&(lhs, pi, v)) else {
+                continue;
+            };
+            let mut direct = ObjectSet::new(objects.len());
+            let mut nested = Vec::new();
+            for item in &fs.items {
+                let FlatItem::Op { visit, instr } = item else {
+                    continue;
+                };
+                if *visit != v {
+                    continue;
+                }
+                match instr {
+                    Instr::Eval(target) => {
+                        let obj = match target {
+                            ONode::Attr(Occ { attr, .. }) => Object::Attr(*attr),
+                            ONode::Local(l) => Object::Local(p, *l),
+                        };
+                        direct.insert(objects.index(obj));
+                    }
+                    Instr::Visit {
+                        child,
+                        visit: w,
+                        partition,
+                    } => {
+                        let ph = prod.phylum_at(*child);
+                        nested.push(key_ix[&(ph, *partition, *w)]);
+                    }
+                }
+            }
+            bodies[ki].push(Body { direct, nested });
+        }
+    }
+
+    // Dependents: key k is read by keys whose bodies nest k.
+    let mut dependents: Vec<Vec<usize>> = keys.iter().map(|_| Vec::new()).collect();
+    for (ki, bs) in bodies.iter().enumerate() {
+        for b in bs {
+            for &nk in &b.nested {
+                if !dependents[nk].contains(&ki) {
+                    dependents[nk].push(ki);
+                }
+            }
+        }
+    }
+
+    fnc2_gfa::fixpoint(keys.len(), &dependents, |ki| {
+        let mut acc = ObjectSet::new(objects.len());
+        for b in &bodies[ki] {
+            acc.union_in_place(&b.direct);
+            for &nk in &b.nested {
+                if nk != ki {
+                    let nested = sets[nk].clone();
+                    acc.union_in_place(&nested);
+                } else {
+                    // Self-nesting (recursive phylum): already included.
+                    let own = sets[ki].clone();
+                    acc.union_in_place(&own);
+                }
+            }
+        }
+        sets[ki].union_in_place(&acc)
+    });
+
+    keys.into_iter().zip(sets).collect()
+}
+
+/// The strict-stack test for **non-temporary** attributes — the extension
+/// the paper announces as work in progress (§2.2: "it seems possible to
+/// use the grammar of visits and contexts … to determine whether a
+/// non-temporary attribute can be stored in a strict stack, i.e., with
+/// accesses only to the top element and without trying to extend the
+/// lifetimes").
+///
+/// The conservative criterion implemented here: the object's instances may
+/// cross visit boundaries only at their **own node** (LHS occurrences),
+/// its parent-side interval must span from its definition to the last
+/// visit that reads it with no parent-side reads in between, and no
+/// intervening visit may evaluate the object in a *sibling* subtree (which
+/// would break LIFO). Returns the candidate objects; the storage plan
+/// itself still keeps non-temporaries at the nodes (matching the paper's
+/// implementation state), so this feeds the §4.1 "will be even better"
+/// projection.
+pub fn strict_stack_candidates(
+    grammar: &Grammar,
+    fp: &FlatProgram,
+    lt: &Lifetimes,
+    objects: &ObjectIndex,
+) -> Vec<usize> {
+    use crate::flat::InstanceKind;
+    let mut candidates = Vec::new();
+    'obj: for (oi, obj) in objects.iter() {
+        if lt.temporary[oi] {
+            continue; // already handled by the temporary machinery
+        }
+        let Object::Attr(a) = obj else {
+            continue; // locals that cross visits stay at the node
+        };
+        if grammar.attr(a).phylum() == grammar.root() {
+            continue;
+        }
+        for (key, insts) in &fp.instances {
+            let fs = &fp.seqs[key];
+            for inst in insts.iter().filter(|i| i.object == obj) {
+                match inst.kind {
+                    // Cross-visit uses at the own node are the allowed
+                    // lifetime extension.
+                    InstanceKind::LhsInh | InstanceKind::LhsSyn => {}
+                    // Parent-side: every use must be a VISIT (top-only
+                    // access: the child consumes it; the parent itself
+                    // never reads it back), and no intervening visit may
+                    // evaluate the object elsewhere.
+                    InstanceKind::ChildInh | InstanceKind::ChildSyn => {
+                        for &u in &inst.uses {
+                            let is_visit = matches!(
+                                fs.items[u],
+                                FlatItem::Op { instr: Instr::Visit { .. }, .. }
+                            );
+                            if !is_visit && fs.visit_at(u) != fs.visit_at(inst.def_pos) {
+                                continue 'obj;
+                            }
+                        }
+                        if interval_hits_visit(
+                            grammar,
+                            fp,
+                            &lt.may_eval,
+                            *key,
+                            inst.def_pos,
+                            inst.last_use(),
+                            oi,
+                            &inst.uses,
+                        ) {
+                            continue 'obj;
+                        }
+                    }
+                    InstanceKind::Local => continue 'obj,
+                }
+            }
+        }
+        candidates.push(oi);
+    }
+    candidates
+}
+
+/// Returns true if the interval `[def, last]` of a sequence contains a
+/// `VISIT` that may evaluate object index `oi` — the global-variable
+/// conflict test. Positions listed in `exclude` (the instance's own uses:
+/// visits during which the visited subtree reads the instance and whose
+/// sequences are checked directly) are skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn interval_hits_visit(
+    grammar: &Grammar,
+    fp: &FlatProgram,
+    may_eval: &HashMap<(PhylumId, usize, usize), ObjectSet>,
+    key: (ProductionId, usize),
+    def: usize,
+    last: usize,
+    oi: usize,
+    exclude: &[usize],
+) -> bool {
+    let fs = &fp.seqs[&key];
+    let prod = grammar.production(key.0);
+    for pos in def + 1..=last.min(fs.items.len().saturating_sub(1)) {
+        if exclude.contains(&pos) {
+            continue;
+        }
+        if let FlatItem::Op {
+            instr:
+                Instr::Visit {
+                    child,
+                    visit,
+                    partition,
+                },
+            ..
+        } = &fs.items[pos]
+        {
+            let ph = prod.phylum_at(*child);
+            if may_eval[&(ph, *partition, *visit)].contains(oi) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_visit::build_visit_seqs;
+
+    use super::*;
+
+    fn pipeline(g: &Grammar) -> (VisitSeqs, FlatProgram, ObjectIndex, Lifetimes) {
+        let snc = snc_test(g);
+        let lo = snc_to_l_ordered(g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(g, &lo);
+        let fp = FlatProgram::new(g, &seqs);
+        let objects = ObjectIndex::new(g);
+        let lt = Lifetimes::analyze(g, &seqs, &fp, &objects);
+        (seqs, fp, objects, lt)
+    }
+
+    fn two_pass() -> Grammar {
+        let mut g = GrammarBuilder::new("two_pass");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let down = g.inh(a, "down");
+        let up = g.syn(a, "up");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, up));
+        g.constant(root, Occ::new(1, down), Value::Int(0));
+        let mid = g.production("mid", a, &[a]);
+        g.copy(mid, Occ::new(1, down), Occ::lhs(down));
+        g.copy(mid, Occ::lhs(up), Occ::new(1, up));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(up), Occ::lhs(down));
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn single_visit_grammar_is_all_temporary() {
+        let g = two_pass();
+        let (_seqs, _fp, objects, lt) = pipeline(&g);
+        assert_eq!(lt.temporary.len(), objects.len());
+        assert!(lt.temporary.iter().all(|&b| b), "{:?}", lt.temporary);
+        assert_eq!(lt.temporary_ratio(), 1.0);
+    }
+
+    /// Force a cross-visit lifetime: i1 read again during visit 2.
+    #[test]
+    fn cross_visit_use_is_non_temporary() {
+        let mut g = GrammarBuilder::new("twovisit");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let i1 = g.inh(a, "i1");
+        let s1 = g.syn(a, "s1");
+        let i2 = g.inh(a, "i2");
+        let s2 = g.syn(a, "s2");
+        g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+        let root = g.production("root", s, &[a]);
+        g.constant(root, Occ::new(1, i1), Value::Int(3));
+        g.copy(root, Occ::new(1, i2), Occ::new(1, s1));
+        g.copy(root, Occ::lhs(out), Occ::new(1, s2));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(s1), Occ::lhs(i1));
+        // s2 := i1 + i2 — reads i1 again in visit 2.
+        g.call(
+            leaf,
+            Occ::lhs(s2),
+            "add",
+            [Occ::lhs(i1).into(), Occ::lhs(i2).into()],
+        );
+        let g = g.finish().unwrap();
+        let (_seqs, _fp, objects, lt) = pipeline(&g);
+        let a = g.phylum_by_name("A").unwrap();
+        let i1 = g.attr_by_name(a, "i1").unwrap();
+        let s1 = g.attr_by_name(a, "s1").unwrap();
+        assert!(!lt.is_temporary(&objects, Object::Attr(i1)), "i1 crosses visits");
+        assert!(lt.is_temporary(&objects, Object::Attr(s1)), "s1 stays in visit 1");
+    }
+
+    #[test]
+    fn may_eval_propagates_through_recursion() {
+        let g = two_pass();
+        let (_seqs, _fp, objects, lt) = pipeline(&g);
+        let a = g.phylum_by_name("A").unwrap();
+        let down = g.attr_by_name(a, "down").unwrap();
+        let up = g.attr_by_name(a, "up").unwrap();
+        let me = &lt.may_eval[&(a, 0, 1)];
+        // Visiting an A subtree evaluates nested down (via mid) and up.
+        assert!(me.contains(objects.index(Object::Attr(down))));
+        assert!(me.contains(objects.index(Object::Attr(up))));
+    }
+}

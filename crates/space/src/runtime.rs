@@ -1,0 +1,424 @@
+//! The space-optimized visit-sequence interpreter.
+//!
+//! Executes the same visit-sequences as `fnc2_visit::Evaluator` but stores
+//! attributes according to the [`SpacePlan`]: global variables, global
+//! stacks (with below-top reads at the statically computed depths and the
+//! scheduled delayed pops), and tree nodes only as a last resort. Tracks
+//! the high-water mark of live storage cells — the dynamic measure behind
+//! the paper's "decrease of the number of attribute storage cells by a
+//! factor of 4 to 8" (§4.1).
+
+use std::collections::HashMap;
+
+use fnc2_ag::{
+    Arg, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, ProductionId, RuleBody, Tree,
+    Value,
+};
+use fnc2_visit::{EvalError, Instr, RootInputs, VisitSeqs};
+
+use crate::alloc::{ReadPath, SpacePlan, WritePath};
+use crate::flat::{FlatItem, FlatProgram};
+
+/// Counters from one space-optimized run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpaceRunStats {
+    /// `VISIT` instructions executed.
+    pub visits: usize,
+    /// `EVAL` instructions executed (eliminated copies not counted).
+    pub evals: usize,
+    /// Copy rules skipped thanks to elimination.
+    pub copies_skipped: usize,
+    /// Maximum number of simultaneously live storage cells (variables +
+    /// stack slots + node slots).
+    pub max_live_cells: usize,
+    /// Storage cells still allocated at the end (tree-resident attributes).
+    pub final_node_cells: usize,
+}
+
+/// Result of a space-optimized evaluation.
+#[derive(Debug)]
+pub struct SpaceOutcome {
+    /// Tree-stored attribute values (the non-temporaries and the root's
+    /// attributes).
+    pub node_values: AttrValues,
+    /// Run counters.
+    pub stats: SpaceRunStats,
+}
+
+/// The space-optimized evaluator.
+#[derive(Debug)]
+pub struct SpaceEvaluator<'g> {
+    grammar: &'g Grammar,
+    seqs: &'g VisitSeqs,
+    fp: &'g FlatProgram,
+    plan: &'g SpacePlan,
+}
+
+struct RunState {
+    globals: Vec<Option<Value>>,
+    stacks: Vec<Vec<Value>>,
+    node_values: AttrValues,
+    node_locals: HashMap<(NodeId, LocalId), Value>,
+    live: usize,
+    max_live: usize,
+    stats: SpaceRunStats,
+}
+
+impl RunState {
+    fn bump(&mut self, delta: isize) {
+        self.live = (self.live as isize + delta) as usize;
+        self.max_live = self.max_live.max(self.live);
+    }
+}
+
+impl<'g> SpaceEvaluator<'g> {
+    /// Creates the evaluator from the generator's artifacts.
+    pub fn new(
+        grammar: &'g Grammar,
+        seqs: &'g VisitSeqs,
+        fp: &'g FlatProgram,
+        plan: &'g SpacePlan,
+    ) -> Self {
+        SpaceEvaluator {
+            grammar,
+            seqs,
+            fp,
+            plan,
+        }
+    }
+
+    /// Evaluates `tree` with optimized storage.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as the unoptimized evaluator: missing root
+    /// inputs, missing tokens.
+    pub fn evaluate(&self, tree: &Tree, inputs: &RootInputs) -> Result<SpaceOutcome, EvalError> {
+        let g = self.grammar;
+        let mut st = RunState {
+            globals: vec![None; self.plan.n_variables],
+            stacks: vec![Vec::new(); self.plan.n_stacks],
+            node_values: AttrValues::new(g, tree),
+            node_locals: HashMap::new(),
+            live: 0,
+            max_live: 0,
+            stats: SpaceRunStats::default(),
+        };
+        let root = tree.root();
+        let root_ph = g.production(tree.node(root).production()).lhs();
+        for attr in g.inherited(root_ph) {
+            let v = inputs
+                .get(&attr)
+                .ok_or_else(|| EvalError::MissingRootInput {
+                    what: g.attr(attr).name().to_string(),
+                })?;
+            st.node_values.set(g, root, attr, v.clone());
+            st.bump(1);
+        }
+        let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
+        for v in 1..=visits {
+            self.run_visit(tree, root, 0, v, &mut st)?;
+        }
+        st.stats.max_live_cells = st.max_live;
+        st.stats.final_node_cells = st.node_values.live_count() + st.node_locals.len();
+        Ok(SpaceOutcome {
+            node_values: st.node_values,
+            stats: st.stats,
+        })
+    }
+
+    fn run_visit(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        partition: usize,
+        visit: usize,
+        st: &mut RunState,
+    ) -> Result<(), EvalError> {
+        st.stats.visits += 1;
+        let p = tree.node(node).production();
+        let key = (p, partition);
+        let fs = &self.fp.seqs[&key];
+        let acc = &self.plan.access[&key];
+        for (pos, item) in fs.items.iter().enumerate() {
+            if fs.visit_at(pos) != visit {
+                continue;
+            }
+            let step = &acc.steps[pos];
+            match item {
+                FlatItem::Begin(_) | FlatItem::Leave(_) => {}
+                FlatItem::Op { instr, .. } => match instr {
+                    Instr::Eval(target) => {
+                        let write = step.write.as_ref().expect("eval step has a write");
+                        match write {
+                            WritePath::SkipVariable | WritePath::SkipStackTop => {
+                                st.stats.copies_skipped += 1;
+                                self.pops(step, st);
+                            }
+                            _ => {
+                                let value = self.compute(tree, p, node, *target, step, st)?;
+                                st.stats.evals += 1;
+                                // Dead sources pop before the fresh push
+                                // (mirrors the static simulation).
+                                self.pops(step, st);
+                                self.write(tree, node, *target, write, value, st);
+                            }
+                        }
+                    }
+                    Instr::Visit {
+                        child,
+                        visit: w,
+                        partition: cpart,
+                    } => {
+                        let c = tree.node(node).children()[*child as usize - 1];
+                        self.run_visit(tree, c, *cpart, *w, st)?;
+                        self.pops(step, st);
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    fn pops(&self, step: &crate::alloc::StepAccess, st: &mut RunState) {
+        for &sid in &step.pops_after {
+            st.stacks[sid].pop().expect("scheduled pop finds a value");
+            st.bump(-1);
+        }
+    }
+
+    fn compute(
+        &self,
+        tree: &Tree,
+        p: ProductionId,
+        node: NodeId,
+        target: ONode,
+        step: &crate::alloc::StepAccess,
+        st: &RunState,
+    ) -> Result<Value, EvalError> {
+        let g = self.grammar;
+        let rule = g.rule_for(p, target).expect("rule exists");
+        let args: Vec<&Arg> = match rule.body() {
+            RuleBody::Copy(a) => vec![a],
+            RuleBody::Call { args, .. } => args.iter().collect(),
+        };
+        debug_assert_eq!(args.len(), step.args.len());
+        let mut vals = Vec::with_capacity(args.len());
+        for (arg, path) in args.iter().zip(&step.args) {
+            let v = match path {
+                ReadPath::Immediate => match arg {
+                    Arg::Const(v) => v.clone(),
+                    Arg::Token => tree.node(node).token().cloned().ok_or_else(|| {
+                        EvalError::MissingToken {
+                            node,
+                            production: g.production(p).name().to_string(),
+                        }
+                    })?,
+                    Arg::Node(_) => unreachable!("occurrence args have storage paths"),
+                },
+                ReadPath::Variable(id) => st.globals[*id]
+                    .clone()
+                    .unwrap_or_else(|| panic!("variable {id} read before write")),
+                ReadPath::Stack(id, depth) => {
+                    let s = &st.stacks[*id];
+                    s[s.len() - 1 - depth].clone()
+                }
+                ReadPath::Node => match arg {
+                    Arg::Node(ONode::Attr(Occ { pos, attr })) => {
+                        let at = if *pos == 0 {
+                            node
+                        } else {
+                            tree.node(node).children()[*pos as usize - 1]
+                        };
+                        st.node_values
+                            .get(g, at, *attr)
+                            .cloned()
+                            .ok_or_else(|| EvalError::MissingValue {
+                                node: at,
+                                what: g.attr(*attr).name().to_string(),
+                            })?
+                    }
+                    Arg::Node(ONode::Local(l)) => st
+                        .node_locals
+                        .get(&(node, *l))
+                        .cloned()
+                        .ok_or_else(|| EvalError::MissingValue {
+                            node,
+                            what: g.production(p).locals()[l.index()].name().to_string(),
+                        })?,
+                    _ => unreachable!("Node path implies an occurrence arg"),
+                },
+            };
+            vals.push(v);
+        }
+        Ok(match rule.body() {
+            RuleBody::Copy(_) => vals.pop().expect("copy has one argument"),
+            RuleBody::Call { func, .. } => g.function(*func).apply(&vals),
+        })
+    }
+
+    fn write(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        target: ONode,
+        write: &WritePath,
+        value: Value,
+        st: &mut RunState,
+    ) {
+        let g = self.grammar;
+        match write {
+            WritePath::Variable(id) => {
+                if st.globals[*id].replace(value).is_none() {
+                    st.bump(1);
+                }
+            }
+            WritePath::Stack(id) => {
+                st.stacks[*id].push(value);
+                st.bump(1);
+            }
+            WritePath::Node => match target {
+                ONode::Attr(Occ { pos, attr }) => {
+                    let at = if pos == 0 {
+                        node
+                    } else {
+                        tree.node(node).children()[pos as usize - 1]
+                    };
+                    if st.node_values.set(g, at, attr, value).is_none() {
+                        st.bump(1);
+                    }
+                }
+                ONode::Local(l) => {
+                    if st.node_locals.insert((node, l), value).is_none() {
+                        st.bump(1);
+                    }
+                }
+            },
+            WritePath::SkipVariable | WritePath::SkipStackTop => {
+                unreachable!("skips are handled before computing")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, TreeBuilder};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_visit::{build_visit_seqs, Evaluator};
+
+    use crate::flat::FlatProgram;
+    use crate::lifetime::Lifetimes;
+    use crate::object::ObjectIndex;
+
+    use super::*;
+
+    /// Builds everything for a grammar and runs both evaluators on a tree,
+    /// asserting identical tree-visible results for the given attributes.
+    fn assert_equivalent(g: &Grammar, tree: &Tree, inputs: &RootInputs) -> (SpaceRunStats, usize) {
+        let snc = snc_test(g);
+        assert!(snc.is_snc());
+        let lo = snc_to_l_ordered(g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(g, &lo);
+        let fp = FlatProgram::new(g, &seqs);
+        let objects = ObjectIndex::new(g);
+        let lt = Lifetimes::analyze(g, &seqs, &fp, &objects);
+        let plan = crate::alloc::plan_storage(g, &seqs, &fp, &objects, &lt);
+
+        let plain = Evaluator::new(g, &seqs);
+        let (want, _) = plain.evaluate(tree, inputs).unwrap();
+        let opt = SpaceEvaluator::new(g, &seqs, &fp, &plan);
+        let outcome = opt.evaluate(tree, inputs).unwrap();
+
+        // Root synthesized attributes must agree (they are node-stored).
+        let root_ph = g.production(tree.node(tree.root()).production()).lhs();
+        for attr in g.synthesized(root_ph) {
+            assert_eq!(
+                outcome.node_values.get(g, tree.root(), attr),
+                want.get(g, tree.root(), attr),
+                "root attribute {}",
+                g.attr(attr).name()
+            );
+        }
+        // Total instance count for the ÷4–8 comparison.
+        let total_instances = want.live_count();
+        (outcome.stats, total_instances)
+    }
+
+    fn two_pass() -> Grammar {
+        let mut g = GrammarBuilder::new("two_pass");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let down = g.inh(a, "down");
+        let up = g.syn(a, "up");
+        g.func("succ", 1, |v| Value::Int(v[0].as_int() + 1));
+        let root = g.production("root", s, &[a]);
+        g.copy(root, fnc2_ag::Occ::lhs(out), fnc2_ag::Occ::new(1, up));
+        g.constant(root, fnc2_ag::Occ::new(1, down), Value::Int(0));
+        let mid = g.production("mid", a, &[a]);
+        g.call(
+            mid,
+            fnc2_ag::Occ::new(1, down),
+            "succ",
+            [fnc2_ag::Occ::lhs(down).into()],
+        );
+        g.call(
+            mid,
+            fnc2_ag::Occ::lhs(up),
+            "succ",
+            [fnc2_ag::Occ::new(1, up).into()],
+        );
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, fnc2_ag::Occ::lhs(up), fnc2_ag::Occ::lhs(down));
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn equivalence_and_cell_reduction_on_chain() {
+        let g = two_pass();
+        let mut tb = TreeBuilder::new(&g);
+        let mut cur = tb.op("leaf", &[]).unwrap();
+        for _ in 0..40 {
+            cur = tb.op("mid", &[cur]).unwrap();
+        }
+        let root = tb.op("root", &[cur]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+
+        let (stats, total_instances) = assert_equivalent(&g, &tree, &RootInputs::new());
+        // The chain has ~84 instances but the stacks hold at most a couple
+        // of cells at a time: the dynamic high-water mark must be far
+        // smaller than tree storage.
+        assert!(
+            stats.max_live_cells * 4 <= total_instances,
+            "max_live {} vs instances {total_instances}",
+            stats.max_live_cells
+        );
+        assert!(stats.copies_skipped > 0 || stats.evals > 0);
+    }
+
+    #[test]
+    fn stacks_drain_completely() {
+        let g = two_pass();
+        let mut tb = TreeBuilder::new(&g);
+        let mut cur = tb.op("leaf", &[]).unwrap();
+        for _ in 0..5 {
+            cur = tb.op("mid", &[cur]).unwrap();
+        }
+        let root = tb.op("root", &[cur]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let fp = FlatProgram::new(&g, &seqs);
+        let objects = ObjectIndex::new(&g);
+        let lt = Lifetimes::analyze(&g, &seqs, &fp, &objects);
+        let plan = crate::alloc::plan_storage(&g, &seqs, &fp, &objects, &lt);
+        let opt = SpaceEvaluator::new(&g, &seqs, &fp, &plan);
+        let outcome = opt.evaluate(&tree, &RootInputs::new()).unwrap();
+        // Nothing but node-resident cells remains live at the end: the
+        // final count equals root in+out plus any node-class attributes.
+        assert!(outcome.stats.final_node_cells <= tree.size());
+    }
+}

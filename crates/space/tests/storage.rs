@@ -1,0 +1,221 @@
+//! Space-optimizer integration tests: non-temporary node storage,
+//! strict-stack candidates, equivalence on two-visit grammars, and the
+//! static/dynamic accounting contracts.
+
+use fnc2_ag::{GrammarBuilder, Grammar, Occ, TreeBuilder, Value};
+use fnc2_analysis::{classify, Inclusion};
+use fnc2_space::{analyze_space, strict_stack_candidates, Object, SpaceEvaluator, Storage};
+use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+/// A two-visit grammar where `i1` is read again during visit 2: `i1` is
+/// non-temporary and must stay at the node — and the optimized evaluator
+/// must still agree with the plain one.
+fn two_visit_nontemp() -> Grammar {
+    let mut g = GrammarBuilder::new("nontemp");
+    let s = g.phylum("S");
+    let a = g.phylum("A");
+    let out = g.syn(s, "out");
+    let i1 = g.inh(a, "i1");
+    let s1 = g.syn(a, "s1");
+    let i2 = g.inh(a, "i2");
+    let s2 = g.syn(a, "s2");
+    g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+    let root = g.production("root", s, &[a]);
+    g.constant(root, Occ::new(1, i1), Value::Int(5));
+    g.copy(root, Occ::new(1, i2), Occ::new(1, s1));
+    g.copy(root, Occ::lhs(out), Occ::new(1, s2));
+    // chain : A ::= A keeps it recursive so stacks matter too.
+    let chain = g.production("chain", a, &[a]);
+    g.call(chain, Occ::new(1, i1), "add", [Occ::lhs(i1).into(), Occ::lhs(i1).into()]);
+    g.copy(chain, Occ::lhs(s1), Occ::new(1, s1));
+    g.copy(chain, Occ::new(1, i2), Occ::lhs(i2));
+    g.copy(chain, Occ::lhs(s2), Occ::new(1, s2));
+    let leaf = g.production("leafa", a, &[]);
+    g.copy(leaf, Occ::lhs(s1), Occ::lhs(i1));
+    // s2 (visit 2) re-reads i1 (made available in visit 1): non-temporary.
+    g.call(leaf, Occ::lhs(s2), "add", [Occ::lhs(i1).into(), Occ::lhs(i2).into()]);
+    g.finish().unwrap()
+}
+
+#[test]
+fn non_temporary_goes_to_node_and_still_evaluates() {
+    let g = two_visit_nontemp();
+    let c = classify(&g, 1, Inclusion::Long).unwrap();
+    let lo = c.l_ordered.unwrap();
+    let seqs = build_visit_seqs(&g, &lo);
+    let (fp, objects, lt, plan) = analyze_space(&g, &seqs);
+    let a = g.phylum_by_name("A").unwrap();
+    let i1 = g.attr_by_name(a, "i1").unwrap();
+    assert!(!lt.is_temporary(&objects, Object::Attr(i1)), "i1 crosses visits");
+    assert_eq!(plan.storage_of(&objects, Object::Attr(i1)), Storage::Node);
+
+    // Equivalence on a chain.
+    let mut tb = TreeBuilder::new(&g);
+    let mut cur = tb.op("leafa", &[]).unwrap();
+    for _ in 0..6 {
+        cur = tb.op("chain", &[cur]).unwrap();
+    }
+    let root = tb.op("root", &[cur]).unwrap();
+    let tree = tb.finish_root(root).unwrap();
+    let plain = Evaluator::new(&g, &seqs);
+    let (want, _) = plain.evaluate(&tree, &RootInputs::new()).unwrap();
+    let opt = SpaceEvaluator::new(&g, &seqs, &fp, &plan);
+    let got = opt.evaluate(&tree, &RootInputs::new()).unwrap();
+    let s = g.phylum_by_name("S").unwrap();
+    let out = g.attr_by_name(s, "out").unwrap();
+    assert_eq!(
+        got.node_values.get(&g, tree.root(), out),
+        want.get(&g, tree.root(), out)
+    );
+    // Node-resident cells remain at the end (i1 instances), far fewer than
+    // the full decoration.
+    assert!(got.stats.final_node_cells > 0);
+    assert!(got.stats.final_node_cells < want.live_count());
+}
+
+#[test]
+fn strict_stack_analysis_finds_the_clean_nontemporaries() {
+    // In `two_visit_nontemp`, i1 is non-temporary but its only lifetime
+    // extension is at its own node (re-read in visit 2): a strict-stack
+    // candidate per the §2.2 extension.
+    let g = two_visit_nontemp();
+    let c = classify(&g, 1, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+    let (fp, objects, lt, _) = analyze_space(&g, &seqs);
+    let cands = strict_stack_candidates(&g, &fp, &lt, &objects);
+    let a = g.phylum_by_name("A").unwrap();
+    let i1 = g.attr_by_name(a, "i1").unwrap();
+    assert!(
+        cands.contains(&objects.index(Object::Attr(i1))),
+        "i1 is a strict-stack candidate"
+    );
+}
+
+#[test]
+fn storage_proportions_account_for_every_occurrence() {
+    for g in [
+        fnc2_corpus::binary(),
+        fnc2_corpus::desk(),
+        fnc2_corpus::blocks(),
+        fnc2_corpus::minipascal().0,
+        two_visit_nontemp(),
+    ] {
+        let c = classify(&g, 1, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+        let (_, _, lt, plan) = analyze_space(&g, &seqs);
+        let total: usize = g.productions().map(|p| g.occurrences(p).len()).sum();
+        assert_eq!(plan.stats.occ_total(), total, "{}", g.name());
+        assert!(plan.stats.copies_eliminated <= plan.stats.copies_eliminable);
+        assert!(lt.temporary_ratio() >= 0.0 && lt.temporary_ratio() <= 1.0);
+        // Packing never yields more groups than objects.
+        assert!(plan.stats.variables_after <= plan.stats.variables_before.max(1));
+        assert!(plan.stats.stacks_after <= plan.stats.stacks_before.max(1));
+        let _ = total;
+    }
+}
+
+#[test]
+fn optimized_runtime_drains_stacks_on_every_corpus_grammar() {
+    // After a full evaluation the stacks must be empty: every scheduled
+    // pop fired (the delayed-pop schedule is complete).
+    for (g, tree) in [
+        {
+            let g = fnc2_corpus::binary();
+            let t = fnc2_corpus::binary_tree(&g, "110101");
+            (g, t)
+        },
+        {
+            let g = fnc2_corpus::blocks();
+            let t = fnc2_corpus::blocks_tree(&g, "d:a u:a [ d:b u:b u:a ]");
+            (g, t)
+        },
+    ] {
+        let c = classify(&g, 1, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+        let (fp, _, _, plan) = analyze_space(&g, &seqs);
+        let opt = SpaceEvaluator::new(&g, &seqs, &fp, &plan);
+        let out = opt.evaluate(&tree, &RootInputs::new()).unwrap();
+        // max live is at least the final node-resident count.
+        assert!(out.stats.max_live_cells >= out.stats.final_node_cells);
+    }
+}
+
+#[test]
+fn space_plan_is_deterministic() {
+    let g = fnc2_corpus::minipascal().0;
+    let c = classify(&g, 1, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+    let (_, _, _, p1) = analyze_space(&g, &seqs);
+    let (_, _, _, p2) = analyze_space(&g, &seqs);
+    assert_eq!(p1.storage, p2.storage);
+    assert_eq!(p1.n_variables, p2.n_variables);
+    assert_eq!(p1.n_stacks, p2.n_stacks);
+    assert_eq!(p1.eliminated, p2.eliminated);
+}
+
+/// §2.2: "since with that scheme the only purpose of the tree is to
+/// conduct the evaluator, it needs not be a physical object any more…
+/// attributes evaluation on DAGs (i.e., trees with shared subtrees) comes
+/// for free." With node storage the two instances of a shared subtree
+/// collide; with global variables/stacks they do not.
+#[test]
+fn dag_evaluation_works_with_global_storage_only() {
+    let mut g = GrammarBuilder::new("dag");
+    let s = g.phylum("S");
+    let a = g.phylum("A");
+    let out = g.syn(s, "out");
+    let d = g.inh(a, "d");
+    let u = g.syn(a, "u");
+    g.func("double", 1, |v| Value::Int(v[0].as_int() * 2));
+    g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+    let fork = g.production("fork", s, &[a, a]);
+    g.constant(fork, Occ::new(1, d), Value::Int(1));
+    g.constant(fork, Occ::new(2, d), Value::Int(5));
+    g.call(
+        fork,
+        Occ::lhs(out),
+        "add",
+        [Occ::new(1, u).into(), Occ::new(2, u).into()],
+    );
+    let leaf = g.production("leafa", a, &[]);
+    g.call(leaf, Occ::lhs(u), "double", [Occ::lhs(d).into()]);
+    let g = g.finish().unwrap();
+
+    let c = classify(&g, 1, Inclusion::Long).unwrap();
+    let seqs = build_visit_seqs(&g, &c.l_ordered.unwrap());
+    let (fp, objects, _, plan) = analyze_space(&g, &seqs);
+    // Both A attributes live out of the tree.
+    let d_st = plan.storage_of(&objects, Object::Attr(d));
+    let u_st = plan.storage_of(&objects, Object::Attr(u));
+    assert_ne!(d_st, Storage::Node, "d: {d_st:?}");
+    assert_ne!(u_st, Storage::Node, "u: {u_st:?}");
+
+    // Build a DAG: ONE leaf node used as both children.
+    let mut tb = TreeBuilder::new(&g);
+    let shared = tb.node(g.production_by_name("leafa").unwrap(), &[]).unwrap();
+    let root = tb
+        .node(g.production_by_name("fork").unwrap(), &[shared, shared])
+        .unwrap();
+    let tree = tb.finish(root);
+
+    // The optimized evaluator is correct: 1*2 + 5*2 = 12.
+    let opt = SpaceEvaluator::new(&g, &seqs, &fp, &plan);
+    let got = opt.evaluate(&tree, &RootInputs::new()).unwrap();
+    let sroot = tree.root();
+    assert_eq!(
+        got.node_values.get(&g, sroot, g.attr_by_name(s, "out").unwrap()),
+        Some(&Value::Int(12))
+    );
+
+    // The tree-storing evaluator collides on the shared node: the second
+    // visit overwrites the first instance's cells — both reads then see
+    // the *last* value (5*2), yielding 20. This is precisely why storing
+    // attributes out of the tree makes DAGs free.
+    let plain = Evaluator::new(&g, &seqs);
+    let (vals, _) = plain.evaluate(&tree, &RootInputs::new()).unwrap();
+    assert_eq!(
+        vals.get(&g, sroot, g.attr_by_name(s, "out").unwrap()),
+        Some(&Value::Int(20)),
+        "node storage cannot tell the two instances apart"
+    );
+}

@@ -1,0 +1,333 @@
+//! A specification-driven scanner — the lexical half of the `aic`/SYNTAX
+//! substrate (paper §3.3).
+//!
+//! `aic` "generates abstract tree constructors which run in parallel with,
+//! and are driven by, parsers constructed by the SYNTAX system". Our
+//! reproduction provides a table-free scanner configured by a
+//! [`ScannerSpec`]: keyword and operator literals plus the standard lexeme
+//! classes (identifiers, integers, reals, strings), with line comments.
+
+use std::fmt;
+
+/// The class of a scanned token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lexeme {
+    /// A keyword (exact identifier match from the spec).
+    Keyword(String),
+    /// An operator/punctuation literal from the spec.
+    Op(String),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal.
+    Real(f64),
+    /// A string literal.
+    Str(String),
+    /// End of input.
+    Eof,
+}
+
+impl Lexeme {
+    /// The terminal name used by grammar specifications: keywords and
+    /// operators are their literal text; classes are `IDENT`, `INT`,
+    /// `REAL`, `STRING`, `EOF`.
+    pub fn terminal(&self) -> String {
+        match self {
+            Lexeme::Keyword(k) => k.clone(),
+            Lexeme::Op(o) => o.clone(),
+            Lexeme::Ident(_) => "IDENT".into(),
+            Lexeme::Int(_) => "INT".into(),
+            Lexeme::Real(_) => "REAL".into(),
+            Lexeme::Str(_) => "STRING".into(),
+            Lexeme::Eof => "EOF".into(),
+        }
+    }
+}
+
+impl fmt::Display for Lexeme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lexeme::Keyword(k) => write!(f, "`{k}`"),
+            Lexeme::Op(o) => write!(f, "`{o}`"),
+            Lexeme::Ident(s) => write!(f, "identifier `{s}`"),
+            Lexeme::Int(i) => write!(f, "integer `{i}`"),
+            Lexeme::Real(r) => write!(f, "real `{r}`"),
+            Lexeme::Str(s) => write!(f, "string {s:?}"),
+            Lexeme::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A scanned token with 1-based line/column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scanned {
+    /// The lexeme.
+    pub lexeme: Lexeme,
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+/// Scanner configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ScannerSpec {
+    /// Reserved identifiers.
+    pub keywords: Vec<String>,
+    /// Operator literals (longest match wins).
+    pub operators: Vec<String>,
+    /// Line-comment introducer (e.g. `"--"` or `"//"`), if any.
+    pub line_comment: Option<String>,
+    /// Whether the language has real literals (`12.5`).
+    pub reals: bool,
+}
+
+impl ScannerSpec {
+    /// Spec with the given keywords and operators, `--` comments, reals on.
+    pub fn new<K: Into<String> + Clone, O: Into<String> + Clone>(
+        keywords: &[K],
+        operators: &[O],
+    ) -> ScannerSpec {
+        let mut operators: Vec<String> =
+            operators.iter().cloned().map(Into::into).collect();
+        operators.sort_by_key(|o| std::cmp::Reverse(o.len()));
+        ScannerSpec {
+            keywords: keywords.iter().cloned().map(Into::into).collect(),
+            operators,
+            line_comment: Some("--".into()),
+            reals: true,
+        }
+    }
+}
+
+/// A scan error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanError {
+    /// Description.
+    pub message: String,
+    /// Line.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: scan error: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Scans `src` under `spec`.
+///
+/// # Errors
+///
+/// Fails on stray characters or unterminated strings.
+pub fn scan(spec: &ScannerSpec, src: &str) -> Result<Vec<Scanned>, ScanError> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let advance = |c: char, line: &mut u32, col: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    'outer: while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        if let Some(cm) = &spec.line_comment {
+            if chars[i..].starts_with(&cm.chars().collect::<Vec<_>>()[..]) {
+                while i < n && chars[i] != '\n' {
+                    advance(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        let (tl, tc) = (line, col);
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                advance(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let lexeme = if spec.keywords.contains(&word) {
+                Lexeme::Keyword(word)
+            } else {
+                Lexeme::Ident(word)
+            };
+            out.push(Scanned {
+                lexeme,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && chars[i].is_ascii_digit() {
+                advance(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            let mut is_real = false;
+            if spec.reals && i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                is_real = true;
+                advance('.', &mut line, &mut col);
+                i += 1;
+                while i < n && chars[i].is_ascii_digit() {
+                    advance(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let lexeme = if is_real {
+                Lexeme::Real(text.parse().map_err(|_| ScanError {
+                    message: format!("malformed real `{text}`"),
+                    line: tl,
+                    col: tc,
+                })?)
+            } else {
+                Lexeme::Int(text.parse().map_err(|_| ScanError {
+                    message: format!("integer `{text}` out of range"),
+                    line: tl,
+                    col: tc,
+                })?)
+            };
+            out.push(Scanned {
+                lexeme,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            let quote = c;
+            advance(c, &mut line, &mut col);
+            i += 1;
+            let mut s = String::new();
+            while i < n {
+                let d = chars[i];
+                advance(d, &mut line, &mut col);
+                i += 1;
+                if d == quote {
+                    out.push(Scanned {
+                        lexeme: Lexeme::Str(s),
+                        line: tl,
+                        col: tc,
+                    });
+                    continue 'outer;
+                }
+                s.push(d);
+            }
+            return Err(ScanError {
+                message: "unterminated string".into(),
+                line: tl,
+                col: tc,
+            });
+        }
+        // Operators: longest-first from the (pre-sorted) spec.
+        for op in &spec.operators {
+            let opc: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&opc[..]) {
+                for &d in &opc {
+                    advance(d, &mut line, &mut col);
+                }
+                i += opc.len();
+                out.push(Scanned {
+                    lexeme: Lexeme::Op(op.clone()),
+                    line: tl,
+                    col: tc,
+                });
+                continue 'outer;
+            }
+        }
+        return Err(ScanError {
+            message: format!("unexpected character `{c}`"),
+            line,
+            col,
+        });
+    }
+    out.push(Scanned {
+        lexeme: Lexeme::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScannerSpec {
+        ScannerSpec::new(
+            &["program", "begin", "end", "if", "then"],
+            &[":=", "+", "-", "*", "(", ")", ";", "<=", "<"],
+        )
+    }
+
+    #[test]
+    fn scans_program_fragment() {
+        let toks = scan(&spec(), "begin x := 1 + 2; end").unwrap();
+        let kinds: Vec<String> = toks.iter().map(|t| t.lexeme.terminal()).collect();
+        assert_eq!(
+            kinds,
+            vec!["begin", "IDENT", ":=", "INT", "+", "INT", ";", "end", "EOF"]
+        );
+    }
+
+    #[test]
+    fn longest_operator_wins() {
+        let toks = scan(&spec(), "a <= b < c").unwrap();
+        let kinds: Vec<String> = toks.iter().map(|t| t.lexeme.terminal()).collect();
+        assert_eq!(kinds, vec!["IDENT", "<=", "IDENT", "<", "IDENT", "EOF"]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = scan(&spec(), "x -- rest\ny").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 1);
+    }
+
+    #[test]
+    fn strings_single_or_double_quote() {
+        let toks = scan(&spec(), "'abc' \"d\"").unwrap();
+        assert_eq!(toks[0].lexeme, Lexeme::Str("abc".into()));
+        assert_eq!(toks[1].lexeme, Lexeme::Str("d".into()));
+        assert!(scan(&spec(), "'oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let e = scan(&spec(), "a ? b").unwrap_err();
+        assert!(e.message.contains('?'));
+    }
+
+    #[test]
+    fn reals_toggle() {
+        let mut s = spec();
+        let toks = scan(&s, "1.5").unwrap();
+        assert_eq!(toks[0].lexeme, Lexeme::Real(1.5));
+        s.reals = false;
+        // With reals off `1.5` is INT `.`-op? `.` is not an operator in
+        // the spec, so it errors.
+        assert!(scan(&s, "1.5").is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! `asx` — analysis of attributed abstract syntaxes (paper §3.3).
+//!
+//! "Asx analyses attributed abstract syntax descriptions, which play a
+//! great role in our formalism since they describe the input and output
+//! data of the evaluators." Beyond the hard well-definedness rules enforced
+//! by grammar construction, `asx` reports structural diagnostics: phyla
+//! unreachable from the root, phyla that cannot derive a finite tree, and
+//! attributes that are computed but never used.
+
+use fnc2_ag::{AttrKind, Grammar, Occ, ONode, PhylumId};
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsxDiag {
+    /// Phylum not reachable from the root.
+    Unreachable {
+        /// Phylum name.
+        phylum: String,
+    },
+    /// Phylum from which no finite tree derives (every production loops).
+    NotProductive {
+        /// Phylum name.
+        phylum: String,
+    },
+    /// Attribute never read by any rule (and not a root output).
+    UnusedAttribute {
+        /// Phylum name.
+        phylum: String,
+        /// Attribute name.
+        attr: String,
+    },
+}
+
+impl std::fmt::Display for AsxDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsxDiag::Unreachable { phylum } => {
+                write!(f, "phylum `{phylum}` is unreachable from the root")
+            }
+            AsxDiag::NotProductive { phylum } => {
+                write!(f, "phylum `{phylum}` cannot derive a finite tree")
+            }
+            AsxDiag::UnusedAttribute { phylum, attr } => {
+                write!(f, "attribute `{phylum}.{attr}` is never used")
+            }
+        }
+    }
+}
+
+/// The report of one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct AsxReport {
+    /// Structural warnings.
+    pub diags: Vec<AsxDiag>,
+}
+
+impl AsxReport {
+    /// True if no diagnostics were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Analyzes a (well-defined) grammar.
+pub fn analyze(grammar: &Grammar) -> AsxReport {
+    let mut diags = Vec::new();
+
+    // Reachability from the root.
+    let mut reach = vec![false; grammar.phylum_count()];
+    let mut stack = vec![grammar.root()];
+    reach[grammar.root().index()] = true;
+    while let Some(ph) = stack.pop() {
+        for &p in grammar.phylum(ph).productions() {
+            for &r in grammar.production(p).rhs() {
+                if !reach[r.index()] {
+                    reach[r.index()] = true;
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    for ph in grammar.phyla() {
+        if !reach[ph.index()] {
+            diags.push(AsxDiag::Unreachable {
+                phylum: grammar.phylum(ph).name().to_string(),
+            });
+        }
+    }
+
+    // Productivity: fixpoint of "has a production whose RHS phyla are all
+    // productive".
+    let mut productive = vec![false; grammar.phylum_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ph in grammar.phyla() {
+            if productive[ph.index()] {
+                continue;
+            }
+            let ok = grammar.phylum(ph).productions().iter().any(|&p| {
+                grammar
+                    .production(p)
+                    .rhs()
+                    .iter()
+                    .all(|r| productive[r.index()])
+            });
+            if ok {
+                productive[ph.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    for ph in grammar.phyla() {
+        if !productive[ph.index()] {
+            diags.push(AsxDiag::NotProductive {
+                phylum: grammar.phylum(ph).name().to_string(),
+            });
+        }
+    }
+
+    // Unused attributes: never read anywhere, and not synthesized on the
+    // root (root outputs are the evaluator's results).
+    let mut used = vec![false; grammar.attr_count()];
+    for p in grammar.productions() {
+        for rule in grammar.production(p).rules() {
+            for n in rule.read_nodes() {
+                if let ONode::Attr(Occ { attr, .. }) = n {
+                    used[attr.index()] = true;
+                }
+            }
+        }
+    }
+    for ph in grammar.phyla() {
+        for &a in grammar.phylum(ph).attrs() {
+            let info = grammar.attr(a);
+            let root_output =
+                ph == grammar.root() && info.kind() == AttrKind::Synthesized;
+            if !used[a.index()] && !root_output {
+                diags.push(AsxDiag::UnusedAttribute {
+                    phylum: grammar.phylum(ph).name().to_string(),
+                    attr: info.name().to_string(),
+                });
+            }
+        }
+    }
+
+    AsxReport { diags }
+}
+
+/// The phyla reachable from the root (diagnostic helper for the module
+/// graph display of Figure 4).
+pub fn reachable(grammar: &Grammar) -> Vec<PhylumId> {
+    let mut reach = vec![false; grammar.phylum_count()];
+    let mut stack = vec![grammar.root()];
+    reach[grammar.root().index()] = true;
+    let mut out = vec![grammar.root()];
+    while let Some(ph) = stack.pop() {
+        for &p in grammar.phylum(ph).productions() {
+            for &r in grammar.production(p).rhs() {
+                if !reach[r.index()] {
+                    reach[r.index()] = true;
+                    stack.push(r);
+                    out.push(r);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Value};
+
+    use super::*;
+
+    #[test]
+    fn clean_grammar() {
+        let mut g = GrammarBuilder::new("ok");
+        let s = g.phylum("S");
+        let v = g.syn(s, "v");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        let g = g.finish().unwrap();
+        assert!(analyze(&g).is_clean());
+        assert_eq!(reachable(&g).len(), 1);
+    }
+
+    #[test]
+    fn unreachable_and_unproductive_reported() {
+        let mut g = GrammarBuilder::new("odd");
+        let s = g.phylum("S");
+        let dead = g.phylum("Dead"); // never on any RHS of a reachable phylum
+        let inf = g.phylum("Inf"); // only recursive productions
+        let v = g.syn(s, "v");
+        let w = g.syn(dead, "w");
+        let u = g.syn(inf, "u");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        let dleaf = g.production("dleaf", dead, &[]);
+        g.constant(dleaf, Occ::lhs(w), Value::Int(2));
+        let spin = g.production("spin", inf, &[inf]);
+        g.copy(spin, Occ::lhs(u), Occ::new(1, u));
+        let g = g.finish().unwrap();
+        let r = analyze(&g);
+        assert!(r.diags.contains(&AsxDiag::Unreachable {
+            phylum: "Dead".into()
+        }));
+        assert!(r.diags.contains(&AsxDiag::Unreachable {
+            phylum: "Inf".into()
+        }));
+        assert!(r.diags.contains(&AsxDiag::NotProductive {
+            phylum: "Inf".into()
+        }));
+        // Dead.w and Inf.u are unused (not root outputs).
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| matches!(d, AsxDiag::UnusedAttribute { attr, .. } if attr == "w")));
+    }
+
+    #[test]
+    fn root_outputs_are_not_unused() {
+        let mut g = GrammarBuilder::new("t");
+        let s = g.phylum("S");
+        let v = g.syn(s, "v"); // root synthesized: the result
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        let g = g.finish().unwrap();
+        assert!(analyze(&g).is_clean());
+    }
+}

@@ -1,0 +1,356 @@
+//! `mkfnc2` — application construction: module dependency graphs, build
+//! order, and source statistics (paper §3.3 and Table 4).
+//!
+//! "Mkfnc2 automates the construction of complete applications using FNC-2
+//! and the other processors"; its first job (AG 1 of Table 1) is "the
+//! construction of the module dependency graph". Given a set of OLGA
+//! source files, this module parses them, extracts the import relation,
+//! computes a topological build order (diagnosing cycles), and produces the
+//! per-subsystem source statistics of Table 4.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fnc2_gfa::Digraph;
+use fnc2_olga::ast::Unit;
+use fnc2_olga::{parse_units, ParseError};
+
+/// A source file of the application.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// File name (for reports).
+    pub name: String,
+    /// Subsystem it belongs to (Table 4 groups by subsystem).
+    pub subsystem: String,
+    /// OLGA source text.
+    pub text: String,
+}
+
+/// One unit in the project graph.
+#[derive(Clone, Debug)]
+pub struct UnitInfo {
+    /// Unit name.
+    pub name: String,
+    /// Defining file.
+    pub file: String,
+    /// Whether it is an AG (vs. a module).
+    pub is_ag: bool,
+    /// Modules it imports.
+    pub imports: Vec<String>,
+    /// Line count of its file.
+    pub lines: usize,
+}
+
+/// Project analysis errors.
+#[derive(Debug)]
+pub enum ProjectError {
+    /// A file failed to parse.
+    Parse {
+        /// File name.
+        file: String,
+        /// Underlying error.
+        error: ParseError,
+    },
+    /// Two units share a name.
+    Duplicate {
+        /// The clashing name.
+        name: String,
+    },
+    /// An import cannot be resolved.
+    Unresolved {
+        /// Importing unit.
+        unit: String,
+        /// Missing module.
+        import: String,
+    },
+    /// The import relation is cyclic.
+    Cycle {
+        /// Unit names along the cycle.
+        units: Vec<String>,
+    },
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::Parse { file, error } => write!(f, "{file}: {error}"),
+            ProjectError::Duplicate { name } => write!(f, "duplicate unit name `{name}`"),
+            ProjectError::Unresolved { unit, import } => {
+                write!(f, "unit `{unit}` imports unknown module `{import}`")
+            }
+            ProjectError::Cycle { units } => {
+                write!(f, "import cycle: {}", units.join(" -> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// The Table 4 row of one subsystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsystemStats {
+    /// Subsystem name.
+    pub name: String,
+    /// Number of files.
+    pub files: usize,
+    /// Minimum lines per file.
+    pub min_lines: usize,
+    /// Maximum lines per file.
+    pub max_lines: usize,
+    /// Total lines.
+    pub total_lines: usize,
+}
+
+impl SubsystemStats {
+    /// Average lines per file.
+    pub fn avg_lines(&self) -> usize {
+        self.total_lines.checked_div(self.files).unwrap_or(0)
+    }
+}
+
+/// The analyzed project.
+#[derive(Clone, Debug)]
+pub struct Project {
+    /// All units, indexed densely.
+    pub units: Vec<UnitInfo>,
+    /// A topological build order (dependencies first).
+    pub build_order: Vec<String>,
+    /// Per-subsystem statistics, sorted by name.
+    pub stats: Vec<SubsystemStats>,
+}
+
+/// Analyzes a set of source files.
+///
+/// # Errors
+///
+/// Reports parse errors, duplicate unit names, unresolved imports, and
+/// import cycles (with the cycle's members).
+pub fn analyze_project(files: &[SourceFile]) -> Result<Project, ProjectError> {
+    let mut units: Vec<UnitInfo> = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    for f in files {
+        let parsed = parse_units(&f.text).map_err(|error| ProjectError::Parse {
+            file: f.name.clone(),
+            error,
+        })?;
+        let lines = f.text.lines().count();
+        for u in parsed {
+            let (name, is_ag, imports) = match &u {
+                Unit::Module(m) => (
+                    m.name.clone(),
+                    false,
+                    m.imports.iter().map(|i| i.from.clone()).collect::<Vec<_>>(),
+                ),
+                Unit::Ag(a) => (
+                    a.name.clone(),
+                    true,
+                    a.imports.iter().map(|i| i.from.clone()).collect::<Vec<_>>(),
+                ),
+            };
+            if by_name.contains_key(&name) {
+                return Err(ProjectError::Duplicate { name });
+            }
+            by_name.insert(name.clone(), units.len());
+            units.push(UnitInfo {
+                name,
+                file: f.name.clone(),
+                is_ag,
+                imports,
+                lines,
+            });
+        }
+    }
+
+    // Dependency graph: edge importee -> importer.
+    let mut g = Digraph::new(units.len());
+    for (i, u) in units.iter().enumerate() {
+        for imp in &u.imports {
+            let Some(&j) = by_name.get(imp) else {
+                return Err(ProjectError::Unresolved {
+                    unit: u.name.clone(),
+                    import: imp.clone(),
+                });
+            };
+            g.add_edge(j, i);
+        }
+    }
+    let build_order = match g.topo_order() {
+        Some(order) => order.into_iter().map(|i| units[i].name.clone()).collect(),
+        None => {
+            let cycle = g.find_cycle().expect("cyclic graph has a cycle");
+            return Err(ProjectError::Cycle {
+                units: cycle.into_iter().map(|i| units[i].name.clone()).collect(),
+            });
+        }
+    };
+
+    // Table 4 statistics (per file, grouped by subsystem).
+    let mut per: HashMap<&str, Vec<usize>> = HashMap::new();
+    for f in files {
+        per.entry(&f.subsystem).or_default().push(f.text.lines().count());
+    }
+    let mut stats: Vec<SubsystemStats> = per
+        .into_iter()
+        .map(|(name, lines)| SubsystemStats {
+            name: name.to_string(),
+            files: lines.len(),
+            min_lines: lines.iter().copied().min().unwrap_or(0),
+            max_lines: lines.iter().copied().max().unwrap_or(0),
+            total_lines: lines.iter().sum(),
+        })
+        .collect();
+    stats.sort_by(|a, b| a.name.cmp(&b.name));
+
+    Ok(Project {
+        units,
+        build_order,
+        stats,
+    })
+}
+
+/// Renders the Table-4-style report.
+pub fn render_stats(stats: &[SubsystemStats]) -> String {
+    let mut out = String::new();
+    out.push_str("subsystem        # files   min   max   total   ave.\n");
+    let mut files = 0;
+    let mut total = 0;
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for s in stats {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>5} {:>5} {:>7} {:>6}\n",
+            s.name,
+            s.files,
+            s.min_lines,
+            s.max_lines,
+            s.total_lines,
+            s.avg_lines()
+        ));
+        files += s.files;
+        total += s.total_lines;
+        min = min.min(s.min_lines);
+        max = max.max(s.max_lines);
+    }
+    if files > 0 {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>5} {:>5} {:>7} {:>6}\n",
+            "total",
+            files,
+            min,
+            max,
+            total,
+            total / files
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(name: &str, subsystem: &str, text: &str) -> SourceFile {
+        SourceFile {
+            name: name.into(),
+            subsystem: subsystem.into(),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn build_order_respects_imports() {
+        let files = vec![
+            file(
+                "app.olga",
+                "app",
+                "module app; import helper from util; function go(x : int) : int = helper(x); end",
+            ),
+            file(
+                "util.olga",
+                "util",
+                "module util; export helper; function helper(x : int) : int = x; end",
+            ),
+        ];
+        let p = analyze_project(&files).unwrap();
+        let order = &p.build_order;
+        let util_at = order.iter().position(|n| n == "util").unwrap();
+        let app_at = order.iter().position(|n| n == "app").unwrap();
+        assert!(util_at < app_at);
+    }
+
+    #[test]
+    fn cycles_are_diagnosed() {
+        let files = vec![
+            file("a.olga", "s", "module a; import x from b; end"),
+            file("b.olga", "s", "module b; import y from a; end"),
+        ];
+        match analyze_project(&files) {
+            Err(ProjectError::Cycle { units }) => {
+                assert!(units.contains(&"a".to_string()));
+                assert!(units.contains(&"b".to_string()));
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_import_reported() {
+        let files = vec![file("a.olga", "s", "module a; import x from ghost; end")];
+        assert!(matches!(
+            analyze_project(&files),
+            Err(ProjectError::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_are_per_subsystem() {
+        let files = vec![
+            file("a.olga", "front", "module a;\nend\n"),
+            file("b.olga", "front", "module b;\n\n\nend\n"),
+            file("c.olga", "back", "module c;\nend\n"),
+        ];
+        let p = analyze_project(&files).unwrap();
+        assert_eq!(p.stats.len(), 2);
+        let front = p.stats.iter().find(|s| s.name == "front").unwrap();
+        assert_eq!(front.files, 2);
+        assert_eq!(front.min_lines, 2);
+        assert_eq!(front.max_lines, 4);
+        assert_eq!(front.total_lines, 6);
+        assert_eq!(front.avg_lines(), 3);
+        let report = render_stats(&p.stats);
+        assert!(report.contains("front"));
+        assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn ags_participate_in_the_graph() {
+        let files = vec![
+            file(
+                "lib.olga",
+                "lib",
+                "module lib; export two; const two : int = 2; end",
+            ),
+            file(
+                "g.olga",
+                "ag",
+                r#"
+                attribute grammar g;
+                  import two from lib;
+                  phylum S;
+                  operator leaf : S ::= ;
+                  synthesized v : int of S;
+                  for leaf { S.v := two; }
+                end
+                "#,
+            ),
+        ];
+        let p = analyze_project(&files).unwrap();
+        assert!(p.units.iter().any(|u| u.is_ag && u.name == "g"));
+        let order = &p.build_order;
+        assert!(
+            order.iter().position(|n| n == "lib").unwrap()
+                < order.iter().position(|n| n == "g").unwrap()
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! `ppat` — generation of unparsers for attributed abstract trees
+//! (paper §3.3, Figure 4).
+//!
+//! A [`PpatSpec`] gives one template per operator: literal text, child
+//! splices, the node's token, and simple box-style layout (newline,
+//! indent/dedent — the `boxes` files of Figure 4). [`Unparser`] renders
+//! both input [`Tree`]s and the output [`Term`] values of tree-to-tree
+//! mappings; "most of the unparser is independent from the input tree
+//! language", which is why one generator covers both.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fnc2_ag::{Grammar, NodeId, Tree, Value};
+
+/// One template item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// Literal text.
+    Text(String),
+    /// Splice the `i`-th child (1-based, like `VISIT`).
+    Child(usize),
+    /// Splice the node's lexical token.
+    Token,
+    /// Line break at the current indentation.
+    Newline,
+    /// Increase indentation.
+    Indent,
+    /// Decrease indentation.
+    Dedent,
+}
+
+/// Templates per operator name.
+#[derive(Clone, Debug, Default)]
+pub struct PpatSpec {
+    templates: HashMap<String, Vec<Item>>,
+    /// Text emitted for operators without a template:
+    /// `op(child, …)`.
+    pub generic_fallback: bool,
+}
+
+impl PpatSpec {
+    /// An empty spec with the generic fallback enabled.
+    pub fn new() -> PpatSpec {
+        PpatSpec {
+            templates: HashMap::new(),
+            generic_fallback: true,
+        }
+    }
+
+    /// Adds a template for `operator`.
+    pub fn template(&mut self, operator: impl Into<String>, items: Vec<Item>) -> &mut Self {
+        self.templates.insert(operator.into(), items);
+        self
+    }
+}
+
+/// Specification errors found by the generator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PpatError {
+    /// Template names an operator the grammar lacks.
+    UnknownOperator(String),
+    /// `Child(i)` out of the operator's arity.
+    ChildOutOfRange {
+        /// Operator.
+        operator: String,
+        /// The index used.
+        index: usize,
+        /// The operator's arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for PpatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpatError::UnknownOperator(o) => write!(f, "unknown operator `{o}`"),
+            PpatError::ChildOutOfRange {
+                operator,
+                index,
+                arity,
+            } => write!(
+                f,
+                "child ${index} out of range in template of `{operator}` (arity {arity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PpatError {}
+
+/// A generated unparser.
+#[derive(Clone, Debug)]
+pub struct Unparser {
+    spec: PpatSpec,
+}
+
+impl Unparser {
+    /// Generates an unparser for `grammar`, validating every template.
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown operators and out-of-range child splices.
+    pub fn generate(grammar: &Grammar, spec: PpatSpec) -> Result<Unparser, PpatError> {
+        for (op, items) in &spec.templates {
+            let Some(p) = grammar.production_by_name(op) else {
+                return Err(PpatError::UnknownOperator(op.clone()));
+            };
+            let arity = grammar.production(p).arity();
+            for item in items {
+                if let Item::Child(i) = item {
+                    if *i == 0 || *i > arity {
+                        return Err(PpatError::ChildOutOfRange {
+                            operator: op.clone(),
+                            index: *i,
+                            arity,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Unparser { spec })
+    }
+
+    /// Builds an unparser without validating templates against an input
+    /// grammar — for unparsers of *output* trees (the target language of a
+    /// tree-to-tree mapping has no grammar object on this side).
+    pub fn generate_unchecked(spec: PpatSpec) -> Unparser {
+        Unparser { spec }
+    }
+
+    /// Unparses an abstract tree.
+    pub fn unparse(&self, grammar: &Grammar, tree: &Tree) -> String {
+        let mut out = Render::new();
+        self.node(grammar, tree, tree.root(), &mut out);
+        out.text
+    }
+
+    fn node(&self, grammar: &Grammar, tree: &Tree, id: NodeId, out: &mut Render) {
+        let prod = grammar.production(tree.node(id).production());
+        match self.spec.templates.get(prod.name()) {
+            Some(items) => {
+                for item in items {
+                    match item {
+                        Item::Text(t) => out.push(t),
+                        Item::Token => {
+                            if let Some(v) = tree.node(id).token() {
+                                out.push(&v.to_string());
+                            }
+                        }
+                        Item::Child(i) => {
+                            let c = tree.node(id).children()[i - 1];
+                            self.node(grammar, tree, c, out);
+                        }
+                        Item::Newline => out.newline(),
+                        Item::Indent => out.indent += 1,
+                        Item::Dedent => out.indent = out.indent.saturating_sub(1),
+                    }
+                }
+            }
+            None => {
+                out.push(prod.name());
+                if prod.arity() > 0 {
+                    out.push("(");
+                    for (i, &c) in tree.node(id).children().iter().enumerate() {
+                        if i > 0 {
+                            out.push(", ");
+                        }
+                        self.node(grammar, tree, c, out);
+                    }
+                    out.push(")");
+                }
+            }
+        }
+    }
+
+    /// Unparses an output-tree [`Value::Term`] (and scalars embedded in
+    /// it), using the same templates keyed by term operator.
+    pub fn unparse_term(&self, value: &Value) -> String {
+        let mut out = Render::new();
+        self.term(value, &mut out);
+        out.text
+    }
+
+    fn term(&self, value: &Value, out: &mut Render) {
+        match value {
+            Value::Term(t) => match self.spec.templates.get(&t.op) {
+                Some(items) => {
+                    for item in items {
+                        match item {
+                            Item::Text(s) => out.push(s),
+                            Item::Token => {}
+                            Item::Child(i) => {
+                                if let Some(c) = t.children.get(i - 1) {
+                                    self.term(c, out);
+                                }
+                            }
+                            Item::Newline => out.newline(),
+                            Item::Indent => out.indent += 1,
+                            Item::Dedent => out.indent = out.indent.saturating_sub(1),
+                        }
+                    }
+                }
+                None => {
+                    out.push(&t.op);
+                    if !t.children.is_empty() {
+                        out.push("(");
+                        for (i, c) in t.children.iter().enumerate() {
+                            if i > 0 {
+                                out.push(", ");
+                            }
+                            self.term(c, out);
+                        }
+                        out.push(")");
+                    }
+                }
+            },
+            other => out.push(&other.to_string()),
+        }
+    }
+}
+
+struct Render {
+    text: String,
+    indent: usize,
+    at_line_start: bool,
+}
+
+impl Render {
+    fn new() -> Render {
+        Render {
+            text: String::new(),
+            indent: 0,
+            at_line_start: true,
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        if self.at_line_start && !s.is_empty() {
+            self.text.push_str(&"    ".repeat(self.indent));
+            self.at_line_start = false;
+        }
+        self.text.push_str(s);
+    }
+
+    fn newline(&mut self) {
+        self.text.push('\n');
+        self.at_line_start = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder};
+
+    use super::*;
+
+    fn expr_grammar() -> Grammar {
+        let mut g = GrammarBuilder::new("expr");
+        let e = g.phylum("E");
+        let v = g.syn(e, "v");
+        g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
+        let add = g.production("add", e, &[e, e]);
+        g.call(add, Occ::lhs(v), "add", [Occ::new(1, v).into(), Occ::new(2, v).into()]);
+        let lit = g.production("lit", e, &[]);
+        g.copy(lit, Occ::lhs(v), fnc2_ag::Arg::Token);
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn template_unparse_roundtrip() {
+        let g = expr_grammar();
+        let mut spec = PpatSpec::new();
+        spec.template(
+            "add",
+            vec![
+                Item::Text("(".into()),
+                Item::Child(1),
+                Item::Text(" + ".into()),
+                Item::Child(2),
+                Item::Text(")".into()),
+            ],
+        );
+        spec.template("lit", vec![Item::Token]);
+        let up = Unparser::generate(&g, spec).unwrap();
+
+        let mut tb = TreeBuilder::new(&g);
+        let lit = g.production_by_name("lit").unwrap();
+        let a = tb.node_with_token(lit, &[], Some(Value::Int(1))).unwrap();
+        let b = tb.node_with_token(lit, &[], Some(Value::Int(2))).unwrap();
+        let c = tb.node_with_token(lit, &[], Some(Value::Int(3))).unwrap();
+        let ab = tb.op("add", &[a, b]).unwrap();
+        let root = tb.op("add", &[ab, c]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+        assert_eq!(up.unparse(&g, &tree), "((1 + 2) + 3)");
+    }
+
+    #[test]
+    fn generic_fallback() {
+        let g = expr_grammar();
+        let up = Unparser::generate(&g, PpatSpec::new()).unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let lit = g.production_by_name("lit").unwrap();
+        let a = tb.node_with_token(lit, &[], Some(Value::Int(1))).unwrap();
+        let b = tb.node_with_token(lit, &[], Some(Value::Int(2))).unwrap();
+        let root = tb.op("add", &[a, b]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+        assert_eq!(up.unparse(&g, &tree), "add(lit, lit)");
+    }
+
+    #[test]
+    fn layout_items() {
+        let g = expr_grammar();
+        let mut spec = PpatSpec::new();
+        spec.template(
+            "add",
+            vec![
+                Item::Text("add".into()),
+                Item::Indent,
+                Item::Newline,
+                Item::Child(1),
+                Item::Newline,
+                Item::Child(2),
+                Item::Dedent,
+            ],
+        );
+        spec.template("lit", vec![Item::Token]);
+        let up = Unparser::generate(&g, spec).unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let lit = g.production_by_name("lit").unwrap();
+        let a = tb.node_with_token(lit, &[], Some(Value::Int(1))).unwrap();
+        let b = tb.node_with_token(lit, &[], Some(Value::Int(2))).unwrap();
+        let root = tb.op("add", &[a, b]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+        assert_eq!(up.unparse(&g, &tree), "add\n    1\n    2");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = expr_grammar();
+        let mut spec = PpatSpec::new();
+        spec.template("nope", vec![]);
+        assert!(matches!(
+            Unparser::generate(&g, spec),
+            Err(PpatError::UnknownOperator(_))
+        ));
+        let mut spec = PpatSpec::new();
+        spec.template("lit", vec![Item::Child(1)]);
+        assert!(matches!(
+            Unparser::generate(&g, spec),
+            Err(PpatError::ChildOutOfRange { arity: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn term_unparse() {
+        let g = expr_grammar();
+        let mut spec = PpatSpec::new();
+        spec.template(
+            "push",
+            vec![Item::Text("PUSH ".into()), Item::Child(1), Item::Newline],
+        );
+        let up = Unparser::generate_unchecked(spec);
+        let code = Value::term(
+            "seq",
+            [
+                Value::term("push", [Value::Int(1)]),
+                Value::term("push", [Value::Int(2)]),
+            ],
+        );
+        let text = up.unparse_term(&code);
+        assert!(text.contains("PUSH 1\n"));
+        assert!(text.contains("PUSH 2\n"));
+        let _ = g;
+    }
+}

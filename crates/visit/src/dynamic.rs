@@ -1,0 +1,285 @@
+//! The demand-driven (dynamically scheduled) evaluator.
+//!
+//! FNC-2 "ruled out methods based on dynamic scheduling" for production
+//! evaluators (paper §2.1.1) but still ships one: during development, the
+//! system can emit "non-deterministic visit-sequences directly after the
+//! SNC test" with no space optimization. This module plays that role — it
+//! needs no plans at all, works for every non-circular tree (even when the
+//! grammar is outside SNC), detects circular instances at run time, and is
+//! the baseline the deterministic evaluator is benchmarked against.
+
+use std::collections::HashMap;
+
+use fnc2_ag::{
+    AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, Value,
+};
+
+use crate::exhaustive::{EvalStats, RootInputs};
+use crate::rules::{eval_rule, EvalError, Store};
+
+/// The demand-driven evaluator.
+#[derive(Debug)]
+pub struct DynamicEvaluator<'g> {
+    grammar: &'g Grammar,
+}
+
+/// An attribute instance: an occurrence to evaluate at a node. For
+/// inherited attributes the *defining* production is the parent's.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Goal {
+    Attr(NodeId, AttrId),
+    Local(NodeId, LocalId),
+}
+
+struct DynStore<'a> {
+    grammar: &'a Grammar,
+    values: &'a AttrValues,
+    locals: &'a HashMap<(NodeId, LocalId), Value>,
+}
+
+impl Store for DynStore<'_> {
+    fn value(&self, node: NodeId, attr: AttrId) -> Option<Value> {
+        self.values.get(self.grammar, node, attr).cloned()
+    }
+    fn local(&self, node: NodeId, local: LocalId) -> Option<Value> {
+        self.locals.get(&(node, local)).cloned()
+    }
+}
+
+impl<'g> DynamicEvaluator<'g> {
+    /// Creates a demand-driven evaluator for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        DynamicEvaluator { grammar }
+    }
+
+    /// Evaluates every attribute instance of `tree`, demand-driven with
+    /// memoization.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::CircularInstance`] when the tree's instances
+    /// are circular, or [`EvalError::MissingRootInput`] when a root
+    /// inherited attribute is not supplied.
+    pub fn evaluate(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        let g = self.grammar;
+        let mut values = AttrValues::new(g, tree);
+        let mut locals: HashMap<(NodeId, LocalId), Value> = HashMap::new();
+        let mut stats = EvalStats::default();
+        let root = tree.root();
+        let root_ph = g.production(tree.node(root).production()).lhs();
+        for attr in g.inherited(root_ph) {
+            let v = inputs
+                .get(&attr)
+                .ok_or_else(|| EvalError::MissingRootInput {
+                    what: g.attr(attr).name().to_string(),
+                })?;
+            values.set(g, root, attr, v.clone());
+        }
+
+        // Demand every instance of every node.
+        let all: Vec<(NodeId, AttrId)> = tree
+            .preorder()
+            .flat_map(|(n, _)| {
+                let ph = tree.phylum(g, n);
+                g.phylum(ph).attrs().iter().map(move |&a| (n, a)).collect::<Vec<_>>()
+            })
+            .collect();
+        let mut in_progress: HashMap<Goal, bool> = HashMap::new();
+        for (n, a) in all {
+            self.demand(
+                tree,
+                Goal::Attr(n, a),
+                &mut values,
+                &mut locals,
+                &mut in_progress,
+                &mut stats,
+            )?;
+        }
+        Ok((values, stats))
+    }
+
+    /// Recursively evaluates `goal` with memoization and cycle detection.
+    #[allow(clippy::too_many_arguments)]
+    fn demand(
+        &self,
+        tree: &Tree,
+        goal: Goal,
+        values: &mut AttrValues,
+        locals: &mut HashMap<(NodeId, LocalId), Value>,
+        in_progress: &mut HashMap<Goal, bool>,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        let g = self.grammar;
+        match goal {
+            Goal::Attr(n, a) if values.get(g, n, a).is_some() => return Ok(()),
+            Goal::Local(n, l) if locals.contains_key(&(n, l)) => return Ok(()),
+            _ => {}
+        }
+        if in_progress.insert(goal, true).is_some() {
+            let what = match goal {
+                Goal::Attr(_, a) => g.attr(a).name().to_string(),
+                Goal::Local(n, l) => {
+                    let p = tree.node(n).production();
+                    g.production(p).locals()[l.index()].name().to_string()
+                }
+            };
+            let node = match goal {
+                Goal::Attr(n, _) | Goal::Local(n, _) => n,
+            };
+            return Err(EvalError::CircularInstance { node, what });
+        }
+
+        // Locate the defining production and the occurrence to evaluate.
+        let (def_node, def_prod, target) = match goal {
+            Goal::Attr(n, a) => match g.attr(a).kind() {
+                AttrKind::Synthesized => {
+                    let p = tree.node(n).production();
+                    (n, p, ONode::Attr(Occ::lhs(a)))
+                }
+                AttrKind::Inherited => {
+                    let parent = tree
+                        .node(n)
+                        .parent()
+                        .expect("root inherited supplied as inputs");
+                    let pos = tree.child_index(n).expect("child has an index") as u16;
+                    let p = tree.node(parent).production();
+                    (parent, p, ONode::Attr(Occ::new(pos, a)))
+                }
+            },
+            Goal::Local(n, l) => (n, tree.node(n).production(), ONode::Local(l)),
+        };
+
+        // Demand the rule's arguments first.
+        let rule = g
+            .rule_for(def_prod, target)
+            .expect("validated grammar defines every output");
+        let arg_goals: Vec<Goal> = rule
+            .read_nodes()
+            .map(|arg| match arg {
+                ONode::Attr(Occ { pos, attr }) => {
+                    let at = if pos == 0 {
+                        def_node
+                    } else {
+                        tree.node(def_node).children()[pos as usize - 1]
+                    };
+                    Goal::Attr(at, attr)
+                }
+                ONode::Local(l) => Goal::Local(def_node, l),
+            })
+            .collect();
+        for sub in arg_goals {
+            self.demand(tree, sub, values, locals, in_progress, stats)?;
+        }
+
+        let (value, is_copy) = {
+            let store = DynStore {
+                grammar: g,
+                values,
+                locals,
+            };
+            eval_rule(g, tree, def_prod, def_node, target, &store)?
+        };
+        stats.evals += 1;
+        if is_copy {
+            stats.copies += 1;
+        }
+        match goal {
+            Goal::Attr(n, a) => {
+                values.set(g, n, a, value);
+            }
+            Goal::Local(n, l) => {
+                locals.insert((n, l), value);
+            }
+        }
+        in_progress.remove(&goal);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder};
+
+    use super::*;
+
+    #[test]
+    fn dynamic_matches_semantics() {
+        // Count the chain length two ways.
+        let mut g = GrammarBuilder::new("count");
+        let s = g.phylum("S");
+        let n = g.syn(s, "n");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(n), Value::Int(0));
+        let node = g.production("node", s, &[s]);
+        g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+        g.call(node, Occ::lhs(n), "succ", [Occ::new(1, n).into()]);
+        let g = g.finish().unwrap();
+
+        let mut tb = TreeBuilder::new(&g);
+        let mut cur = tb.op("leaf", &[]).unwrap();
+        for _ in 0..10 {
+            cur = tb.op("node", &[cur]).unwrap();
+        }
+        let tree = tb.finish_root(cur).unwrap();
+        let ev = DynamicEvaluator::new(&g);
+        let (values, stats) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        assert_eq!(
+            values.get(&g, tree.root(), g.attr_by_name(s, "n").unwrap()),
+            Some(&Value::Int(10))
+        );
+        assert_eq!(stats.evals, 11, "memoized: one eval per instance");
+    }
+
+    #[test]
+    fn circular_tree_detected_at_runtime() {
+        // i := s at the parent, s := i at the leaf.
+        let mut g = GrammarBuilder::new("circ");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let i = g.inh(a, "i");
+        let sy = g.syn(a, "s");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, sy));
+        g.copy(root, Occ::new(1, i), Occ::new(1, sy));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(sy), Occ::lhs(i));
+        let g = g.finish().unwrap();
+
+        let mut tb = TreeBuilder::new(&g);
+        let l = tb.op("leaf", &[]).unwrap();
+        let r = tb.op("root", &[l]).unwrap();
+        let tree = tb.finish_root(r).unwrap();
+        let ev = DynamicEvaluator::new(&g);
+        assert!(matches!(
+            ev.evaluate(&tree, &RootInputs::new()),
+            Err(EvalError::CircularInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn locals_evaluated_on_demand() {
+        let mut g = GrammarBuilder::new("loc");
+        let s = g.phylum("S");
+        let out = g.syn(s, "out");
+        let leaf = g.production("leaf", s, &[]);
+        let tmp = g.local(leaf, "tmp");
+        g.constant(leaf, ONode::Local(tmp), Value::Int(20));
+        g.func("double", 1, |a| Value::Int(a[0].as_int() * 2));
+        g.call(leaf, Occ::lhs(out), "double", [fnc2_ag::Arg::Node(ONode::Local(tmp))]);
+        let g = g.finish().unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        let n = tb.op("leaf", &[]).unwrap();
+        let tree = tb.finish_root(n).unwrap();
+        let ev = DynamicEvaluator::new(&g);
+        let (values, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        assert_eq!(
+            values.get(&g, tree.root(), out),
+            Some(&Value::Int(40))
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! The exhaustive visit-sequence evaluator (paper §2.1.1).
+//!
+//! A deterministic interpreter of the visit-sequences: no run-time
+//! scheduling at all — "as much information as possible about the
+//! evaluation order [is] embodied in the code of the evaluator itself".
+//! Attribute instances live at tree nodes here; the space-optimized
+//! interpreter in `fnc2-space` replaces this storage with global variables
+//! and stacks.
+
+use std::collections::HashMap;
+
+use fnc2_ag::{
+    AttrId, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, Value,
+};
+
+use crate::rules::EvalError;
+use crate::seq::{Instr, VisitSeqs};
+
+/// Counters describing one evaluation run (feed the §4 claims: visit
+/// overhead of partition replacement, copy-rule volume, cell counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of `VISIT` instructions executed (tree-walk volume).
+    pub visits: usize,
+    /// Number of `EVAL` instructions executed.
+    pub evals: usize,
+    /// How many executed evaluations were copy rules.
+    pub copies: usize,
+}
+
+/// Values of the root's inherited attributes, supplied by the caller.
+pub type RootInputs = HashMap<AttrId, Value>;
+
+/// A pre-resolved visit-sequence instruction: the rule to run is looked
+/// up once at evaluator-construction time ("as much information as
+/// possible … embodied in the code of the evaluator itself").
+#[derive(Clone, Debug)]
+enum CInstr {
+    Eval { rule: u32, target: ONode },
+    Visit { child: u16, visit: u16, partition: u16 },
+}
+
+/// The exhaustive visit-sequence evaluator.
+#[derive(Debug)]
+pub struct Evaluator<'g> {
+    grammar: &'g Grammar,
+    seqs: &'g VisitSeqs,
+    /// `compiled[prod][partition][visit-1]` — instruction streams with
+    /// rule indices resolved.
+    compiled: Vec<Vec<Vec<Vec<CInstr>>>>,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Creates an evaluator for `grammar` driven by `seqs`, resolving every
+    /// `EVAL` to its rule index up front.
+    pub fn new(grammar: &'g Grammar, seqs: &'g VisitSeqs) -> Self {
+        let mut compiled: Vec<Vec<Vec<Vec<CInstr>>>> =
+            vec![Vec::new(); grammar.production_count()];
+        for (p, pi) in seqs.keys() {
+            let seq = seqs.seq(p, pi);
+            let prod = grammar.production(p);
+            let slot = &mut compiled[p.index()];
+            if slot.len() <= pi {
+                slot.resize(pi + 1, Vec::new());
+            }
+            slot[pi] = seq
+                .segments
+                .iter()
+                .map(|segment| {
+                    segment
+                        .iter()
+                        .map(|instr| match instr {
+                            Instr::Eval(target) => CInstr::Eval {
+                                rule: prod
+                                    .rules()
+                                    .iter()
+                                    .position(|r| r.target() == *target)
+                                    .expect("validated grammar defines every output")
+                                    as u32,
+                                target: *target,
+                            },
+                            Instr::Visit {
+                                child,
+                                visit,
+                                partition,
+                            } => CInstr::Visit {
+                                child: *child,
+                                visit: *visit as u16,
+                                partition: *partition as u16,
+                            },
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+        Evaluator {
+            grammar,
+            seqs,
+            compiled,
+        }
+    }
+
+    /// Evaluates every attribute instance of `tree`, whose root must derive
+    /// the grammar's axiom. `inputs` supplies the root's inherited
+    /// attributes (if any).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a root inherited attribute is missing from `inputs`, or on
+    /// the internal scheduling errors documented in [`EvalError`] (which a
+    /// generated plan never triggers).
+    pub fn evaluate(&self, tree: &Tree, inputs: &RootInputs) -> Result<(AttrValues, EvalStats), EvalError> {
+        let mut values = AttrValues::new(self.grammar, tree);
+        let mut locals = HashMap::new();
+        let mut stats = EvalStats::default();
+        let root = tree.root();
+        let root_ph = self.grammar.production(tree.node(root).production()).lhs();
+        // Supply the root's inherited attributes up front (its single-visit
+        // partition makes them all available at visit 1).
+        for attr in self.grammar.inherited(root_ph) {
+            let v = inputs
+                .get(&attr)
+                .ok_or_else(|| EvalError::MissingRootInput {
+                    what: self.grammar.attr(attr).name().to_string(),
+                })?;
+            values.set(self.grammar, root, attr, v.clone());
+        }
+        let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
+        let mut buf = Vec::with_capacity(8);
+        for v in 1..=visits {
+            self.run_visit(tree, root, 0, v, &mut values, &mut locals, &mut stats, &mut buf)?;
+        }
+        Ok((values, stats))
+    }
+
+    /// Evaluates one rule with a reusable argument buffer — the hot path.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn eval_with_buf(
+        &self,
+        tree: &Tree,
+        rule: &fnc2_ag::SemRule,
+        node: NodeId,
+        values: &AttrValues,
+        locals: &HashMap<(NodeId, LocalId), Value>,
+        buf: &mut Vec<Value>,
+    ) -> Result<(Value, bool), EvalError> {
+        use fnc2_ag::{Arg, RuleBody};
+        let g = self.grammar;
+        let fetch = |arg: &Arg| -> Result<Value, EvalError> {
+            match arg {
+                Arg::Const(v) => Ok(v.clone()),
+                Arg::Token => {
+                    tree.node(node)
+                        .token()
+                        .cloned()
+                        .ok_or_else(|| EvalError::MissingToken {
+                            node,
+                            production: g
+                                .production(tree.node(node).production())
+                                .name()
+                                .to_string(),
+                        })
+                }
+                Arg::Node(ONode::Attr(Occ { pos, attr })) => {
+                    let at = if *pos == 0 {
+                        node
+                    } else {
+                        tree.node(node).children()[*pos as usize - 1]
+                    };
+                    values
+                        .get(g, at, *attr)
+                        .cloned()
+                        .ok_or_else(|| EvalError::MissingValue {
+                            node: at,
+                            what: g.attr(*attr).name().to_string(),
+                        })
+                }
+                Arg::Node(ONode::Local(l)) => {
+                    locals
+                        .get(&(node, *l))
+                        .cloned()
+                        .ok_or_else(|| EvalError::MissingValue {
+                            node,
+                            what: g
+                                .production(tree.node(node).production())
+                                .locals()[l.index()]
+                                .name()
+                                .to_string(),
+                        })
+                }
+            }
+        };
+        match rule.body() {
+            RuleBody::Copy(arg) => Ok((fetch(arg)?, rule.is_copy())),
+            RuleBody::Call { func, args } => {
+                buf.clear();
+                for a in args {
+                    buf.push(fetch(a)?);
+                }
+                Ok((g.function(*func).apply(buf), false))
+            }
+        }
+    }
+
+    /// Performs visit `visit` of `node` under `partition`, iteratively
+    /// (an explicit frame stack: generated evaluators must digest trees of
+    /// arbitrary depth — list-like programs produce very deep spines).
+    #[allow(clippy::too_many_arguments)]
+    fn run_visit(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        partition: usize,
+        visit: usize,
+        values: &mut AttrValues,
+        locals: &mut HashMap<(NodeId, LocalId), Value>,
+        stats: &mut EvalStats,
+        buf: &mut Vec<Value>,
+    ) -> Result<(), EvalError> {
+        struct Frame {
+            node: NodeId,
+            partition: usize,
+            visit: usize,
+            at: usize,
+        }
+        let mut stack = vec![Frame {
+            node,
+            partition,
+            visit,
+            at: 0,
+        }];
+        stats.visits += 1;
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.node;
+            let p = tree.node(node).production();
+            let segment: &[CInstr] =
+                &self.compiled[p.index()][frame.partition][frame.visit - 1];
+            if frame.at == segment.len() {
+                stack.pop();
+                continue;
+            }
+            let instr = &segment[frame.at];
+            frame.at += 1;
+            match instr {
+                CInstr::Eval { rule, target } => {
+                    let prod = self.grammar.production(p);
+                    let rule = &prod.rules()[*rule as usize];
+                    let (value, is_copy) =
+                        self.eval_with_buf(tree, rule, node, values, locals, buf)?;
+                    stats.evals += 1;
+                    if is_copy {
+                        stats.copies += 1;
+                    }
+                    match target {
+                        ONode::Attr(Occ { pos, attr }) => {
+                            let at = if *pos == 0 {
+                                node
+                            } else {
+                                tree.node(node).children()[*pos as usize - 1]
+                            };
+                            values.set(self.grammar, at, *attr, value);
+                        }
+                        ONode::Local(l) => {
+                            locals.insert((node, *l), value);
+                        }
+                    }
+                }
+                CInstr::Visit {
+                    child,
+                    visit: w,
+                    partition: cpart,
+                } => {
+                    let c = tree.node(node).children()[*child as usize - 1];
+                    stats.visits += 1;
+                    stack.push(Frame {
+                        node: c,
+                        partition: *cpart as usize,
+                        visit: *w as usize,
+                        at: 0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, TreeBuilder};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+
+    use crate::seq::build_visit_seqs;
+
+    use super::*;
+
+    /// Knuth's binary numbers: `value` of "1101" is 13, of "110.01" shapes
+    /// omitted (no fraction here), scales propagate right-to-left.
+    fn binary() -> Grammar {
+        let mut g = GrammarBuilder::new("binary");
+        let number = g.phylum("Number");
+        let seq = g.phylum("Seq");
+        let bit = g.phylum("Bit");
+        let n_value = g.syn(number, "value");
+        let s_value = g.syn(seq, "value");
+        let s_len = g.syn(seq, "length");
+        let s_scale = g.inh(seq, "scale");
+        let b_value = g.syn(bit, "value");
+        let b_scale = g.inh(bit, "scale");
+        g.func("add", 2, |a| Value::Real(a[0].as_real() + a[1].as_real()));
+        g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+        g.func("pow2", 1, |a| Value::Real(2f64.powi(a[0].as_int() as i32)));
+        let number_p = g.production("number", number, &[seq]);
+        g.copy(number_p, fnc2_ag::Occ::lhs(n_value), fnc2_ag::Occ::new(1, s_value));
+        g.constant(number_p, fnc2_ag::Occ::new(1, s_scale), Value::Int(0));
+        let pair = g.production("pair", seq, &[seq, bit]);
+        g.call(
+            pair,
+            fnc2_ag::Occ::lhs(s_value),
+            "add",
+            [
+                fnc2_ag::Occ::new(1, s_value).into(),
+                fnc2_ag::Occ::new(2, b_value).into(),
+            ],
+        );
+        g.call(pair, fnc2_ag::Occ::lhs(s_len), "succ", [fnc2_ag::Occ::new(1, s_len).into()]);
+        g.call(
+            pair,
+            fnc2_ag::Occ::new(1, s_scale),
+            "succ",
+            [fnc2_ag::Occ::lhs(s_scale).into()],
+        );
+        g.copy(pair, fnc2_ag::Occ::new(2, b_scale), fnc2_ag::Occ::lhs(s_scale));
+        let single = g.production("single", seq, &[bit]);
+        g.copy(single, fnc2_ag::Occ::lhs(s_value), fnc2_ag::Occ::new(1, b_value));
+        g.constant(single, fnc2_ag::Occ::lhs(s_len), Value::Int(1));
+        g.copy(single, fnc2_ag::Occ::new(1, b_scale), fnc2_ag::Occ::lhs(s_scale));
+        let zero = g.production("zero", bit, &[]);
+        g.constant(zero, fnc2_ag::Occ::lhs(b_value), Value::Real(0.0));
+        let one = g.production("one", bit, &[]);
+        g.call(one, fnc2_ag::Occ::lhs(b_value), "pow2", [fnc2_ag::Occ::lhs(b_scale).into()]);
+        g.finish().unwrap()
+    }
+
+    /// Builds the tree of a bit string like "1101".
+    fn bits_tree(g: &Grammar, bits: &str) -> fnc2_ag::Tree {
+        let mut tb = TreeBuilder::new(g);
+        let mut it = bits.chars();
+        let first = it.next().expect("nonempty");
+        let bit_node = |tb: &mut TreeBuilder, c: char| {
+            tb.op(if c == '1' { "one" } else { "zero" }, &[]).unwrap()
+        };
+        let b = bit_node(&mut tb, first);
+        let mut seq = tb.op("single", &[b]).unwrap();
+        for c in it {
+            let b = bit_node(&mut tb, c);
+            seq = tb.op("pair", &[seq, b]).unwrap();
+        }
+        let root = tb.op("number", &[seq]).unwrap();
+        tb.finish_root(root).unwrap()
+    }
+
+    #[test]
+    fn binary_number_value() {
+        let g = binary();
+        let snc = snc_test(&g);
+        assert!(snc.is_snc());
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+
+        let tree = bits_tree(&g, "1101");
+        let (values, stats) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let number = g.phylum_by_name("Number").unwrap();
+        let value = g.attr_by_name(number, "value").unwrap();
+        assert_eq!(
+            values.get(&g, tree.root(), value),
+            Some(&Value::Real(13.0))
+        );
+        assert!(stats.evals > 0);
+        assert!(stats.visits >= tree.size());
+        // Every instance is decorated (exhaustive evaluation).
+        let mut instances = 0;
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(&g, n);
+            instances += g.phylum(ph).attrs().len();
+        }
+        assert_eq!(values.live_count(), instances);
+    }
+
+    #[test]
+    fn missing_root_input_reported() {
+        // Root with an inherited attribute and no input.
+        let mut g = GrammarBuilder::new("t");
+        let s = g.phylum("S");
+        let base = g.inh(s, "base");
+        let out = g.syn(s, "out");
+        let leaf = g.production("leaf", s, &[]);
+        g.copy(leaf, fnc2_ag::Occ::lhs(out), fnc2_ag::Occ::lhs(base));
+        let g = g.finish().unwrap();
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let mut tb = TreeBuilder::new(&g);
+        let leaf_p = g.production_by_name("leaf").unwrap();
+        let n = tb.node(leaf_p, &[]).unwrap();
+        let tree = tb.finish_root(n).unwrap();
+        assert!(matches!(
+            ev.evaluate(&tree, &RootInputs::new()),
+            Err(EvalError::MissingRootInput { .. })
+        ));
+        // And with the input supplied it works.
+        let mut inputs = RootInputs::new();
+        inputs.insert(base, Value::Int(9));
+        let (values, _) = ev.evaluate(&tree, &inputs).unwrap();
+        assert_eq!(values.get(&g, tree.root(), out), Some(&Value::Int(9)));
+    }
+}

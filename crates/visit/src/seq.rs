@@ -1,0 +1,358 @@
+//! Visit-sequence construction (paper §2.1.1).
+//!
+//! A visit-sequence evaluator is "a visit-sequence interpreter: there
+//! exists one visit-sequence per production" — per (production, LHS
+//! partition) pair after the SNC → l-ordered transformation — "which is a
+//! sequence of instructions" `BEGIN i / EVAL s / VISIT i,j / LEAVE i`.
+//! Here a sequence is stored as its segments: `segments[i-1]` holds the
+//! instructions between `BEGIN i+…+LEAVE i`, so `BEGIN`/`LEAVE` are
+//! implicit in the segment structure.
+
+use std::collections::HashMap;
+
+use fnc2_ag::{Grammar, Occ, ONode, PhylumId, ProductionId};
+use fnc2_analysis::{LOrdered, TotalOrder};
+
+/// One visit-sequence instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Evaluate the semantic rule defining this occurrence (a synthesized
+    /// attribute of the LHS, an inherited attribute of a child, or a
+    /// production-local attribute).
+    Eval(ONode),
+    /// Perform visit number `visit` (1-based) to child `child` (1-based),
+    /// interpreting the child under `partition` — the extra parameter the
+    /// transformation threads through recursive visits (paper §2.1.1,
+    /// step 3).
+    Visit {
+        /// 1-based child position.
+        child: u16,
+        /// 1-based visit number on the child.
+        visit: usize,
+        /// Index of the partition to use on the child.
+        partition: usize,
+    },
+}
+
+/// The visit-sequence of one (production, LHS-partition) pair.
+#[derive(Clone, Debug)]
+pub struct VisitSeq {
+    /// The production this sequence interprets.
+    pub production: ProductionId,
+    /// Index of the LHS partition this sequence serves.
+    pub lhs_partition: usize,
+    /// `segments[v-1]` = instructions of visit `v`.
+    pub segments: Vec<Vec<Instr>>,
+}
+
+impl VisitSeq {
+    /// Total number of instructions.
+    pub fn instr_count(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Number of `Visit` instructions.
+    pub fn visit_instr_count(&self) -> usize {
+        self.segments
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Instr::Visit { .. }))
+            .count()
+    }
+}
+
+/// The complete set of visit-sequences of a grammar, plus the partitions
+/// they follow — the "abstract evaluator" handed to the translators.
+#[derive(Clone, Debug)]
+pub struct VisitSeqs {
+    seqs: HashMap<(ProductionId, usize), VisitSeq>,
+    partitions: Vec<Vec<TotalOrder>>,
+}
+
+impl VisitSeqs {
+    /// The sequence for `(production, lhs_partition)`.
+    pub fn seq(&self, production: ProductionId, lhs_partition: usize) -> &VisitSeq {
+        &self.seqs[&(production, lhs_partition)]
+    }
+
+    /// Iterates all sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &VisitSeq> {
+        self.seqs.values()
+    }
+
+    /// All (production, partition) keys, sorted for determinism.
+    pub fn keys(&self) -> Vec<(ProductionId, usize)> {
+        let mut ks: Vec<_> = self.seqs.keys().copied().collect();
+        ks.sort();
+        ks
+    }
+
+    /// The partitions of `phylum`.
+    pub fn partitions_of(&self, phylum: PhylumId) -> &[TotalOrder] {
+        &self.partitions[phylum.index()]
+    }
+
+    /// Number of visits the root partition prescribes.
+    pub fn root_visits(&self, grammar: &Grammar) -> usize {
+        self.partitions[grammar.root().index()][0].visit_count()
+    }
+
+    /// Number of sequences (the evaluator-size figure the transformation's
+    /// partition count drives).
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True if there are no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+}
+
+/// Builds the visit-sequences from the transformation's plans.
+///
+/// # Panics
+///
+/// Panics if `lo` is internally inconsistent (a plan referencing an
+/// unregistered partition); [`fnc2_analysis::snc_to_l_ordered`] and
+/// [`fnc2_analysis::l_ordered_from_partitions`] never produce such plans.
+pub fn build_visit_seqs(grammar: &Grammar, lo: &LOrdered) -> VisitSeqs {
+    let mut seqs = HashMap::new();
+    for (&(p, pi), plan) in &lo.plans {
+        let prod = grammar.production(p);
+        let lhs_part = &lo.partitions_of(prod.lhs())[pi];
+        let nvisits = lhs_part.visit_count();
+        let mut segments: Vec<Vec<Instr>> = vec![Vec::new(); nvisits];
+        let mut current = 1usize;
+        // Number of visits already emitted per child (1-based positions).
+        let mut done = vec![0usize; prod.arity() + 1];
+        for &node in &plan.linear {
+            match node {
+                ONode::Attr(Occ { pos: 0, attr }) => {
+                    let v = lhs_part
+                        .visit_of(attr)
+                        .expect("LHS partition covers all attributes");
+                    current = current.max(v);
+                    if grammar.attr(attr).kind() == fnc2_ag::AttrKind::Synthesized {
+                        segments[v - 1].push(Instr::Eval(node));
+                    }
+                }
+                ONode::Attr(Occ { pos, attr }) => {
+                    match grammar.attr(attr).kind() {
+                        fnc2_ag::AttrKind::Inherited => {
+                            segments[current - 1].push(Instr::Eval(node));
+                        }
+                        fnc2_ag::AttrKind::Synthesized => {
+                            let part_idx = plan.rhs_partitions[pos as usize - 1];
+                            let ph = prod.phylum_at(pos);
+                            let part = &lo.partitions_of(ph)[part_idx];
+                            let w = part
+                                .visit_of(attr)
+                                .expect("child partition covers all attributes");
+                            while done[pos as usize] < w {
+                                done[pos as usize] += 1;
+                                segments[current - 1].push(Instr::Visit {
+                                    child: pos,
+                                    visit: done[pos as usize],
+                                    partition: part_idx,
+                                });
+                            }
+                        }
+                    }
+                }
+                ONode::Local(_) => segments[current - 1].push(Instr::Eval(node)),
+            }
+        }
+        // Exhaustive evaluation: drive the remaining visits of every child
+        // so the whole tree is decorated even when some synthesized results
+        // are unused in this context.
+        #[allow(clippy::needless_range_loop)] // pos is also the child index
+        for pos in 1..=prod.arity() {
+            let part_idx = plan.rhs_partitions[pos - 1];
+            let ph = prod.phylum_at(pos as u16);
+            let total = lo.partitions_of(ph)[part_idx].visit_count();
+            while done[pos] < total {
+                done[pos] += 1;
+                segments[nvisits - 1].push(Instr::Visit {
+                    child: pos as u16,
+                    visit: done[pos],
+                    partition: part_idx,
+                });
+            }
+        }
+        // Schedule refinement: sink every EVAL to just before its first
+        // use in the segment. This shortens instance lifetimes (more
+        // variables/stacks for the space optimizer) and groups each
+        // child's inherited attributes right before the visit that
+        // consumes them — without touching the partitions.
+        for segment in &mut segments {
+            sink_evals(grammar, p, segment);
+        }
+        seqs.insert(
+            (p, pi),
+            VisitSeq {
+                production: p,
+                lhs_partition: pi,
+                segments,
+            },
+        );
+    }
+    VisitSeqs {
+        seqs,
+        partitions: lo.partitions.clone(),
+    }
+}
+
+/// True if `later` consumes the value produced by `target`.
+fn instr_uses(grammar: &Grammar, p: ProductionId, target: ONode, later: &Instr) -> bool {
+    match later {
+        Instr::Eval(t2) => grammar
+            .rule_for(p, *t2)
+            .expect("validated grammar")
+            .read_nodes()
+            .any(|n| n == target),
+        Instr::Visit { child, .. } => {
+            matches!(target, ONode::Attr(Occ { pos, .. }) if pos == *child)
+        }
+    }
+}
+
+/// Sinks each `EVAL` as late as the segment allows: to just before the
+/// first later instruction that uses its result (or to the segment end if
+/// nothing in the segment does — LHS synthesized attributes are handed to
+/// the parent at `LEAVE`).
+fn sink_evals(grammar: &Grammar, p: ProductionId, segment: &mut Vec<Instr>) {
+    // Each EVAL moves at most once, processed right-to-left (so already
+    // sunk instructions stay put and the pass terminates).
+    let targets: Vec<ONode> = segment
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Eval(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+    for &target in targets.iter().rev() {
+        let i = segment
+            .iter()
+            .position(|x| matches!(x, Instr::Eval(t) if *t == target))
+            .expect("target still present");
+        let first_use = (i + 1..segment.len())
+            .find(|&k| instr_uses(grammar, p, target, &segment[k]));
+        let dest = match first_use {
+            Some(k) => k - 1,
+            None => segment.len() - 1,
+        };
+        if dest > i {
+            let instr = segment.remove(i);
+            segment.insert(dest, instr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+
+    use super::*;
+
+    fn two_pass() -> Grammar {
+        let mut g = GrammarBuilder::new("two_pass");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let down = g.inh(a, "down");
+        let up = g.syn(a, "up");
+        let root = g.production("root", s, &[a]);
+        g.copy(root, Occ::lhs(out), Occ::new(1, up));
+        g.constant(root, Occ::new(1, down), Value::Int(0));
+        let mid = g.production("mid", a, &[a]);
+        g.copy(mid, Occ::new(1, down), Occ::lhs(down));
+        g.copy(mid, Occ::lhs(up), Occ::new(1, up));
+        let leaf = g.production("leaf", a, &[]);
+        g.copy(leaf, Occ::lhs(up), Occ::lhs(down));
+        g.finish().unwrap()
+    }
+
+    fn seqs_for(g: &Grammar) -> VisitSeqs {
+        let snc = snc_test(g);
+        let lo = snc_to_l_ordered(g, &snc, Inclusion::Long).unwrap();
+        build_visit_seqs(g, &lo)
+    }
+
+    #[test]
+    fn two_pass_sequences() {
+        let g = two_pass();
+        let seqs = seqs_for(&g);
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(seqs.root_visits(&g), 1);
+
+        let root = g.production_by_name("root").unwrap();
+        let rs = seqs.seq(root, 0);
+        assert_eq!(rs.segments.len(), 1);
+        // EVAL A.down ; VISIT 1,1 ; EVAL S.out.
+        let a = g.phylum_by_name("A").unwrap();
+        let down = g.attr_by_name(a, "down").unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let out = g.attr_by_name(s, "out").unwrap();
+        assert_eq!(
+            rs.segments[0],
+            vec![
+                Instr::Eval(ONode::Attr(Occ::new(1, down))),
+                Instr::Visit {
+                    child: 1,
+                    visit: 1,
+                    partition: 0
+                },
+                Instr::Eval(ONode::Attr(Occ::lhs(out))),
+            ]
+        );
+
+        let mid = g.production_by_name("mid").unwrap();
+        let ms = seqs.seq(mid, 0);
+        assert_eq!(ms.visit_instr_count(), 1);
+
+        let leaf = g.production_by_name("leaf").unwrap();
+        let ls = seqs.seq(leaf, 0);
+        assert_eq!(ls.visit_instr_count(), 0);
+        assert_eq!(ls.instr_count(), 1);
+    }
+
+    #[test]
+    fn every_output_evaluated_exactly_once() {
+        let g = two_pass();
+        let seqs = seqs_for(&g);
+        for p in g.productions() {
+            let seq = seqs.seq(p, 0);
+            let mut evals: Vec<ONode> = seq
+                .segments
+                .iter()
+                .flatten()
+                .filter_map(|i| match i {
+                    Instr::Eval(n) => Some(*n),
+                    _ => None,
+                })
+                .collect();
+            evals.sort();
+            let mut outputs = g.outputs(p);
+            outputs.sort();
+            assert_eq!(evals, outputs, "production {}", g.production(p).name());
+        }
+    }
+
+    #[test]
+    fn child_visits_are_sequential() {
+        let g = two_pass();
+        let seqs = seqs_for(&g);
+        for seq in seqs.iter() {
+            let arity = g.production(seq.production).arity();
+            let mut next = vec![1usize; arity + 1];
+            for instr in seq.segments.iter().flatten() {
+                if let Instr::Visit { child, visit, .. } = instr {
+                    assert_eq!(*visit, next[*child as usize], "visits in order");
+                    next[*child as usize] += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The circularity trace (paper §3.1): when an AG fails the SNC test,
+//! FNC-2 explains *why* with the chain of semantic rules closing the cycle,
+//! "allowing to take full advantage of the power of the SNC class".
+//!
+//! Run with `cargo run --example circularity_trace`.
+
+use fnc2::{Pipeline, PipelineError};
+
+fn main() {
+    // A subtly circular grammar: the inherited `env` of a block depends on
+    // its own synthesized `defs`, which (by a typo) includes the part of
+    // the block computed *under* that env.
+    let result = Pipeline::new().compile_olga(
+        r#"
+        attribute grammar scoped;
+          phylum Prog, Block;
+          root Prog;
+          operator prog : Prog ::= Block;
+          operator blk  : Block ::= ;
+          synthesized out : int of Prog;
+          synthesized defs : int of Block;
+          inherited env : int of Block;
+          for prog {
+            Block.env := Block.defs;   -- intended: defs of the *header* only
+            Prog.out := Block.defs;
+          }
+          for blk {
+            Block.defs := Block.env;   -- typo: defs must not read env
+          }
+        end
+        "#,
+    );
+    match result {
+        Err(PipelineError::NotSnc(trace)) => {
+            println!("the generator rejected the grammar:\n");
+            println!("{trace}");
+            println!("fix: compute `defs` from the block's own declarations, not from `env`.");
+        }
+        Ok(_) => println!("unexpected: the grammar passed"),
+        Err(other) => println!("unexpected error: {other}"),
+    }
+
+    // The ladder in one glance: the corpus witnesses and their classes.
+    println!("\nclass ladder on the corpus witnesses:");
+    for (name, g) in [
+        ("circular", fnc2_corpus::circular()),
+        ("nc_not_snc", fnc2_corpus::nc_not_snc()),
+        ("snc_only (AG5 shape)", fnc2_corpus::snc_only()),
+        ("oag1_not_oag0 (AG7 shape)", fnc2_corpus::oag1_not_oag0()),
+        ("dnc_not_oag (AG4 shape)", fnc2_corpus::dnc_not_oag(3)),
+        ("binary", fnc2_corpus::binary()),
+    ] {
+        let c = fnc2::analysis::classify(&g, 1, fnc2::analysis::Inclusion::Long)
+            .expect("classification runs");
+        println!("  {name:<24} -> {}", c.class);
+    }
+}

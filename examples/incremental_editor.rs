@@ -1,0 +1,119 @@
+//! Incremental evaluation (paper §2.1.2): keep a decorated tree, apply
+//! subtree replacements, and watch how few instances the semantic-control
+//! propagation reevaluates compared to exhaustive reevaluation — including
+//! a coarse, application-specific equality that cuts propagation earlier.
+//!
+//! Run with `cargo run --example incremental_editor`.
+
+use fnc2::ag::{Grammar, GrammarBuilder, NodeId, Occ, TreeBuilder, Value};
+use fnc2::incremental::{Equality, IncrementalEvaluator};
+
+/// A fold over leaves with a depth attribute threaded down.
+fn sum_grammar() -> Grammar {
+    let mut g = GrammarBuilder::new("sum");
+    let s = g.phylum("S");
+    let e = g.phylum("E");
+    let total = g.syn(s, "total");
+    let depth = g.inh(e, "depth");
+    let sum = g.syn(e, "sum");
+    g.func("succ", 1, |v| Value::Int(v[0].as_int() + 1));
+    g.func("add", 2, |v| Value::Int(v[0].as_int() + v[1].as_int()));
+    let root = g.production("root", s, &[e]);
+    g.copy(root, Occ::lhs(total), Occ::new(1, sum));
+    g.constant(root, Occ::new(1, depth), Value::Int(0));
+    let fork = g.production("fork", e, &[e, e]);
+    g.call(fork, Occ::new(1, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(fork, Occ::new(2, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(
+        fork,
+        Occ::lhs(sum),
+        "add",
+        [Occ::new(1, sum).into(), Occ::new(2, sum).into()],
+    );
+    let leaf = g.production("leafe", e, &[]);
+    g.copy(leaf, Occ::lhs(sum), fnc2::ag::Arg::Token);
+    g.finish().expect("well-defined")
+}
+
+fn balanced(g: &Grammar, tb: &mut TreeBuilder, depth: usize, next: &mut i64) -> NodeId {
+    if depth == 0 {
+        let leaf = g.production_by_name("leafe").expect("leafe");
+        *next += 1;
+        tb.node_with_token(leaf, &[], Some(Value::Int(*next)))
+            .expect("leaf builds")
+    } else {
+        let a = balanced(g, tb, depth - 1, next);
+        let b = balanced(g, tb, depth - 1, next);
+        tb.op("fork", &[a, b]).expect("fork builds")
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = sum_grammar();
+    let mut tb = TreeBuilder::new(&g);
+    let mut next = 0;
+    let body = balanced(&g, &mut tb, 10, &mut next); // 1024 leaves
+    let root = tb.op("root", &[body])?;
+    let tree = tb.finish_root(root)?;
+
+    let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default())?;
+    let instances = inc.instance_count();
+    let s = g.phylum_by_name("S").expect("phylum");
+    let total = g.attr_by_name(s, "total").expect("attribute");
+    println!(
+        "initial: {} attribute instances, total = {}",
+        instances,
+        inc.value(inc.tree().root(), total).expect("evaluated")
+    );
+
+    // Edit one leaf at a time and watch the economy.
+    for edit in 1..=3 {
+        let victim = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| inc.tree().node(n).children().is_empty())
+            .map(|(n, _)| n)
+            .expect("a leaf exists");
+        let mut tb = TreeBuilder::new(&g);
+        let leaf = g.production_by_name("leafe").expect("leafe");
+        let nl = tb.node_with_token(leaf, &[], Some(Value::Int(1000 * edit)))?;
+        let sub = tb.finish(nl);
+        let stats = inc.replace_subtree(victim, &sub)?;
+        println!(
+            "edit {edit}: reevaluated {} of {} instances ({} changed, {} cut); total = {}",
+            stats.reevaluated,
+            instances,
+            stats.changed,
+            stats.cut,
+            inc.value(inc.tree().root(), total).expect("evaluated")
+        );
+    }
+
+    // An adapted equality (paper: "the notion of equality used in this
+    // comparison can be adapted to the problem at hand"): only the sign
+    // matters, so same-sign edits stop propagating immediately.
+    let g2 = sum_grammar();
+    let mut tb = TreeBuilder::new(&g2);
+    let mut next = 0;
+    let body = balanced(&g2, &mut tb, 10, &mut next);
+    let root = tb.op("root", &[body])?;
+    let tree = tb.finish_root(root)?;
+    let sign_eq = Equality::new(|a, b| a.as_int().signum() == b.as_int().signum());
+    let mut coarse = IncrementalEvaluator::new(&g2, tree, sign_eq)?;
+    let victim = coarse
+        .tree()
+        .preorder()
+        .find(|&(n, _)| coarse.tree().node(n).children().is_empty())
+        .map(|(n, _)| n)
+        .expect("a leaf exists");
+    let mut tb = TreeBuilder::new(&g2);
+    let leaf = g2.production_by_name("leafe").expect("leafe");
+    let nl = tb.node_with_token(leaf, &[], Some(Value::Int(999_999)))?;
+    let sub = tb.finish(nl);
+    let stats = coarse.replace_subtree(victim, &sub)?;
+    println!(
+        "coarse equality: reevaluated {} instance(s), {} changed (sign unchanged, wave cut at the leaf)",
+        stats.reevaluated, stats.changed
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Attribute-coupled composition (paper §2.3): an application as a chain
+//! of AG modules, each "a tree-to-tree mapping" — here a **desugaring**
+//! phase whose output tree feeds an **evaluation** phase.
+//!
+//! Phase 1 (OLGA AG `sugar`): a surface expression language with `neg`,
+//! `double` and `square` sugar; its single synthesized attribute is the
+//! desugared *output tree* over the core operators.
+//! Phase 2 (OLGA AG `core`): evaluates core trees.
+//!
+//! The glue is `fnc2::ag::term_to_tree`: the paper's scheme of interfacing
+//! evaluators "providing that the latter be also based on the tree-to-tree
+//! mapping paradigm".
+//!
+//! Run with `cargo run --example two_phase_compiler`.
+
+use fnc2::ag::{term_to_tree, TreeBuilder, Value};
+use fnc2::Pipeline;
+
+const SUGAR: &str = r#"
+attribute grammar sugar;
+  phylum E;
+  operator lit    : E ::= ;
+  operator add    : E ::= E E;
+  operator neg    : E ::= E;        -- sugar: 0 - e
+  operator double : E ::= E;        -- sugar: e + e
+  operator square : E ::= E;        -- sugar: e * e
+  synthesized out : tree of E;
+  for lit    { E.out := @clit(token()); }
+  for add    { E$1.out := @cadd(E$2.out, E$3.out); }
+  for neg    { E$1.out := @csub(@clit(0), E$2.out); }
+  for double { E$1.out := @cadd(E$2.out, E$2.out); }
+  for square { E$1.out := @cmul(E$2.out, E$2.out); }
+end
+"#;
+
+const CORE: &str = r#"
+attribute grammar core;
+  phylum C;
+  operator clit : C ::= ;
+  operator cadd : C ::= C C;
+  operator csub : C ::= C C;
+  operator cmul : C ::= C C;
+  synthesized v : int of C;
+  for clit { C.v := token(); }
+  for cadd { C$1.v := C$2.v + C$3.v; }
+  for csub { C$1.v := C$2.v - C$3.v; }
+  for cmul { C$1.v := C$2.v * C$3.v; }
+end
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sugar = Pipeline::new().compile_olga(SUGAR)?;
+    let core = Pipeline::new().compile_olga(CORE)?;
+    println!("phase 1 (desugar): {}", sugar.report.class);
+    println!("phase 2 (evaluate): {}\n", core.report.class);
+
+    // Surface program: square(double(3)) + neg(4)  ==  (3+3)^2 - 4 = 32.
+    let g1 = &sugar.grammar;
+    let mut tb = TreeBuilder::new(g1);
+    let three = tb.node_with_token(
+        g1.production_by_name("lit").expect("lit"),
+        &[],
+        Some(Value::Int(3)),
+    )?;
+    let doubled = tb.op("double", &[three])?;
+    let squared = tb.op("square", &[doubled])?;
+    let four = tb.node_with_token(
+        g1.production_by_name("lit").expect("lit"),
+        &[],
+        Some(Value::Int(4)),
+    )?;
+    let negged = tb.op("neg", &[four])?;
+    let surface = tb.op("add", &[squared, negged])?;
+    let tree1 = tb.finish_root(surface)?;
+
+    // Run phase 1: the output attribute is a term over the core operators.
+    let (vals1, _) = sugar.evaluate(&tree1, &Default::default())?;
+    let e = g1.phylum_by_name("E").expect("phylum");
+    let out = g1.attr_by_name(e, "out").expect("attr");
+    let term = vals1
+        .get(g1, tree1.root(), out)
+        .expect("evaluated")
+        .as_term()
+        .clone();
+    println!("desugared tree: {}", Value::Term(std::rc::Rc::new(term.clone())));
+
+    // Feed it to phase 2 as an input tree.
+    let tree2 = term_to_tree(&core.grammar, &term)?;
+    let (vals2, _) = core.evaluate(&tree2, &Default::default())?;
+    let c = core.grammar.phylum_by_name("C").expect("phylum");
+    let v = core.grammar.attr_by_name(c, "v").expect("attr");
+    println!(
+        "evaluated: {}",
+        vals2.get(&core.grammar, tree2.root(), v).expect("evaluated")
+    );
+    assert_eq!(
+        vals2.get(&core.grammar, tree2.root(), v),
+        Some(&Value::Int(32))
+    );
+    println!("\n(square(double(3)) + neg(4) = 32 — two AGs, one intermediate tree)");
+    Ok(())
+}

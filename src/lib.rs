@@ -1,0 +1,5 @@
+//! Integration-test umbrella for the FNC-2 reproduction workspace.
+//!
+//! The library target is intentionally empty: the content of this package
+//! is the workspace-spanning integration tests in `tests/` and the
+//! runnable examples in `examples/`.

@@ -1,0 +1,221 @@
+//! Property-based equivalence of the four evaluators.
+//!
+//! The reproduction's central internal invariant: for any tree of any
+//! corpus grammar, the deterministic visit-sequence evaluator, the
+//! demand-driven evaluator, the space-optimized evaluator, and the
+//! incremental evaluator (after arbitrary edits) compute the same
+//! attribute values.
+
+use fnc2::ag::{Grammar, NodeId, Tree, TreeBuilder, Value};
+use fnc2::incremental::{Equality, IncrementalEvaluator};
+use fnc2::visit::{DynamicEvaluator, RootInputs};
+use fnc2::Pipeline;
+use proptest::prelude::*;
+
+/// Generates a random bit-string for the binary grammar.
+fn bits_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(prop_oneof![Just('0'), Just('1')], 1..24),
+        proptest::option::of(proptest::collection::vec(
+            prop_oneof![Just('0'), Just('1')],
+            1..12,
+        )),
+    )
+        .prop_map(|(int, frac)| {
+            let mut s: String = int.into_iter().collect();
+            if let Some(f) = frac {
+                s.push('.');
+                s.extend(f);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_evaluators_agree(bits in bits_strategy()) {
+        let compiled = Pipeline::new().compile(fnc2_corpus::binary()).unwrap();
+        let g = &compiled.grammar;
+        let tree = fnc2_corpus::binary_tree(g, &bits);
+        let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g).evaluate(&tree, &RootInputs::new()).unwrap();
+        let c = compiled.evaluate_optimized(&tree, &RootInputs::new()).unwrap();
+        let number = g.phylum_by_name("Number").unwrap();
+        for attr in g.phylum(number).attrs() {
+            prop_assert_eq!(
+                a.get(g, tree.root(), *attr),
+                b.get(g, tree.root(), *attr)
+            );
+            prop_assert_eq!(
+                a.get(g, tree.root(), *attr),
+                c.node_values.get(g, tree.root(), *attr)
+            );
+        }
+        // Exhaustive evaluation decorates every instance identically.
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for attr in g.phylum(ph).attrs() {
+                prop_assert_eq!(a.get(g, n, *attr), b.get(g, n, *attr));
+            }
+        }
+    }
+}
+
+/// A random item-spec for the blocks grammar.
+fn blocks_spec() -> impl Strategy<Value = String> {
+    let item = prop_oneof![
+        (0u8..4).prop_map(|i| format!("d:v{i}")),
+        (0u8..6).prop_map(|i| format!("u:v{i}")),
+    ];
+    proptest::collection::vec(item, 0..12).prop_map(|items| items.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocks_evaluators_agree(outer in blocks_spec(), inner in blocks_spec()) {
+        let compiled = Pipeline::new().compile(fnc2_corpus::blocks()).unwrap();
+        let g = &compiled.grammar;
+        let spec = format!("{outer} [ {inner} ]");
+        let tree = fnc2_corpus::blocks_tree(g, &spec);
+        let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g).evaluate(&tree, &RootInputs::new()).unwrap();
+        let c = compiled.evaluate_optimized(&tree, &RootInputs::new()).unwrap();
+        let prog = g.phylum_by_name("Prog").unwrap();
+        let errors = g.attr_by_name(prog, "errors").unwrap();
+        prop_assert_eq!(a.get(g, tree.root(), errors), b.get(g, tree.root(), errors));
+        prop_assert_eq!(
+            a.get(g, tree.root(), errors),
+            c.node_values.get(g, tree.root(), errors)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental vs. from-scratch under random edit sequences
+// ---------------------------------------------------------------------------
+
+fn sum_grammar() -> Grammar {
+    use fnc2::ag::{GrammarBuilder, Occ};
+    let mut g = GrammarBuilder::new("sum");
+    let s = g.phylum("S");
+    let e = g.phylum("E");
+    let total = g.syn(s, "total");
+    let depth = g.inh(e, "depth");
+    let sum = g.syn(e, "sum");
+    g.func("succ", 1, |v| Value::Int(v[0].as_int() + 1));
+    g.func("addd", 3, |v| {
+        Value::Int(v[0].as_int() + v[1].as_int() + v[2].as_int())
+    });
+    let root = g.production("root", s, &[e]);
+    g.copy(root, Occ::lhs(total), Occ::new(1, sum));
+    g.constant(root, Occ::new(1, depth), Value::Int(0));
+    let fork = g.production("fork", e, &[e, e]);
+    g.call(fork, Occ::new(1, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(fork, Occ::new(2, depth), "succ", [Occ::lhs(depth).into()]);
+    g.call(
+        fork,
+        Occ::lhs(sum),
+        "addd",
+        [
+            Occ::new(1, sum).into(),
+            Occ::new(2, sum).into(),
+            Occ::lhs(depth).into(),
+        ],
+    );
+    let leaf = g.production("leafe", e, &[]);
+    g.copy(leaf, Occ::lhs(sum), fnc2::ag::Arg::Token);
+    g.finish().unwrap()
+}
+
+/// Builds a tree from a shape term: leaves carry the next value.
+fn build_shape(g: &Grammar, tb: &mut TreeBuilder, shape: &ShapeTree, next: &mut i64) -> NodeId {
+    match shape {
+        ShapeTree::Leaf => {
+            *next += 1;
+            tb.node_with_token(
+                g.production_by_name("leafe").unwrap(),
+                &[],
+                Some(Value::Int(*next * 3 % 17)),
+            )
+            .unwrap()
+        }
+        ShapeTree::Fork(a, b) => {
+            let x = build_shape(g, tb, a, next);
+            let y = build_shape(g, tb, b, next);
+            tb.op("fork", &[x, y]).unwrap()
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ShapeTree {
+    Leaf,
+    Fork(Box<ShapeTree>, Box<ShapeTree>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = ShapeTree> {
+    let leaf = Just(ShapeTree::Leaf);
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        (inner.clone(), inner)
+            .prop_map(|(a, b)| ShapeTree::Fork(Box::new(a), Box::new(b)))
+    })
+}
+
+fn tree_of(g: &Grammar, shape: &ShapeTree) -> Tree {
+    let mut tb = TreeBuilder::new(g);
+    let mut next = 0;
+    let body = build_shape(g, &mut tb, shape, &mut next);
+    let root = tb.op("root", &[body]).unwrap();
+    tb.finish_root(root).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_matches_from_scratch(
+        base in shape_strategy(),
+        edits in proptest::collection::vec((shape_strategy(), 0usize..1000), 1..4)
+    ) {
+        let g = sum_grammar();
+        let tree = tree_of(&g, &base);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+
+        for (shape, pick) in edits {
+            // Pick a node deriving E (any non-root node).
+            let candidates: Vec<NodeId> = inc
+                .tree()
+                .preorder()
+                .map(|(n, _)| n)
+                .filter(|&n| inc.tree().node(n).parent().is_some())
+                .collect();
+            let at = candidates[pick % candidates.len()];
+            let mut tb = TreeBuilder::new(&g);
+            let mut next = 100;
+            let sub_root = build_shape(&g, &mut tb, &shape, &mut next);
+            let sub = tb.finish(sub_root);
+            inc.replace_subtree(at, &sub).unwrap();
+
+            // From-scratch on the edited tree must agree everywhere live.
+            let (want, _) = DynamicEvaluator::new(&g)
+                .evaluate(inc.tree(), &RootInputs::new())
+                .unwrap();
+            for (n, _) in inc.tree().preorder() {
+                let ph = inc.tree().phylum(&g, n);
+                for attr in g.phylum(ph).attrs() {
+                    prop_assert_eq!(
+                        inc.value(n, *attr),
+                        want.get(&g, n, *attr),
+                        "node {:?} attr {}",
+                        n,
+                        g.attr(*attr).name()
+                    );
+                }
+            }
+        }
+    }
+}

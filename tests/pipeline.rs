@@ -1,0 +1,201 @@
+//! End-to-end pipeline tests across the whole corpus: classification,
+//! visit-sequence generation, space planning, evaluation, translators, and
+//! the companion processors — the full Figure 2 wiring.
+
+use fnc2::analysis::{AgClass, Inclusion};
+use fnc2::visit::RootInputs;
+use fnc2::Pipeline;
+use fnc2_corpus as corpus;
+
+#[test]
+fn every_evaluable_corpus_grammar_compiles_and_runs() {
+    let grammars = vec![
+        corpus::binary(),
+        corpus::desk(),
+        corpus::blocks(),
+        corpus::minipascal().0,
+        corpus::snc_only(),
+        corpus::oag1_not_oag0(),
+        corpus::dnc_not_oag(3),
+    ];
+    for g in grammars {
+        let name = g.name().to_string();
+        let compiled = Pipeline::new()
+            .compile(g)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            compiled.report.transform.is_some(),
+            "{name}: transform stats"
+        );
+        let space = compiled.report.space.as_ref().expect("space stats");
+        assert_eq!(
+            space.occ_total(),
+            compiled
+                .grammar
+                .productions()
+                .map(|p| compiled.grammar.occurrences(p).len())
+                .sum::<usize>(),
+            "{name}: occurrence accounting"
+        );
+    }
+}
+
+#[test]
+fn synthetic_profiles_compile_and_evaluate() {
+    for p in &corpus::TABLE1_PROFILES {
+        let g = corpus::synthetic(p);
+        let compiled = Pipeline::new()
+            .compile(g)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let tree = corpus::synthetic_tree(&compiled.grammar, p, 300, 42);
+        let (plain, stats) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+        assert!(stats.evals > 0, "{}", p.name);
+        let opt = compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .unwrap();
+        // Root outputs agree between plain and optimized.
+        let root_ph = compiled.grammar.root();
+        for attr in compiled.grammar.synthesized(root_ph) {
+            assert_eq!(
+                plain.get(&compiled.grammar, tree.root(), attr),
+                opt.node_values.get(&compiled.grammar, tree.root(), attr),
+                "{}: root attr {}",
+                p.name,
+                compiled.grammar.attr(attr).name()
+            );
+        }
+        // The optimizer stores a solid majority of occurrences out of the
+        // tree (the paper's §4.1 shape).
+        let space = compiled.report.space.as_ref().unwrap();
+        assert!(
+            space.pct_node() < 50.0,
+            "{}: {:.0}% left at nodes",
+            p.name,
+            space.pct_node()
+        );
+    }
+}
+
+#[test]
+fn classes_match_the_table1_ladder() {
+    use corpus::TargetClass;
+    for p in &corpus::TABLE1_PROFILES {
+        let g = corpus::synthetic(p);
+        let c = fnc2::analysis::classify(&g, 1, Inclusion::Long).unwrap();
+        let want = match p.class {
+            TargetClass::Oag0 => AgClass::Oag0,
+            TargetClass::Oag1 => AgClass::OagK(1),
+            TargetClass::Dnc => AgClass::Dnc,
+            TargetClass::SncOnly => AgClass::Snc,
+        };
+        assert_eq!(c.class, want, "{}", p.name);
+    }
+}
+
+#[test]
+fn translators_cover_the_corpus_olga_ags() {
+    // Generate C and Lisp for the mini-Pascal AG; both texts are
+    // structurally complete.
+    let units = fnc2::olga::parse_units(corpus::MINIPASCAL_OLGA).unwrap();
+    let mut compiler = fnc2::olga::Compiler::new();
+    let mut ag = None;
+    for u in units {
+        match u {
+            fnc2::olga::ast::Unit::Module(m) => compiler.add_module(m).unwrap(),
+            fnc2::olga::ast::Unit::Ag(a) => ag = Some(a),
+        }
+    }
+    let checked = compiler.check_ag(ag.unwrap()).unwrap();
+    let (grammar, _) = fnc2::olga::lower(&checked).unwrap();
+    let compiled = Pipeline::new().compile(grammar).unwrap();
+    let c = fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs);
+    assert!(c.contains("evaluate_root"));
+    assert_eq!(c.matches('{').count(), c.matches('}').count());
+    let l = fnc2::codegen::to_lisp(&checked, &compiled.grammar, &compiled.seqs);
+    assert!(l.contains("evaluate-root"));
+}
+
+#[test]
+fn long_inclusion_never_worse_than_equality() {
+    // On every corpus grammar the long-inclusion transformation registers
+    // at most as many partitions (and plans) as the classical one.
+    let grammars = vec![
+        corpus::binary(),
+        corpus::desk(),
+        corpus::blocks(),
+        corpus::minipascal().0,
+        corpus::snc_only(),
+        corpus::synthetic(&corpus::TABLE1_PROFILES[4]),
+    ];
+    for g in grammars {
+        let snc = fnc2::analysis::snc_test(&g);
+        assert!(snc.is_snc(), "{}", g.name());
+        let long = fnc2::analysis::snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let eq = fnc2::analysis::snc_to_l_ordered(&g, &snc, Inclusion::Equality).unwrap();
+        assert!(
+            long.stats.partitions_per_phylum.iter().sum::<usize>()
+                <= eq.stats.partitions_per_phylum.iter().sum::<usize>(),
+            "{}: {:?} vs {:?}",
+            g.name(),
+            long.stats.partitions_per_phylum,
+            eq.stats.partitions_per_phylum
+        );
+        assert!(long.stats.plans <= eq.stats.plans, "{}", g.name());
+    }
+}
+
+#[test]
+fn asx_is_clean_on_real_grammars() {
+    for g in [corpus::binary(), corpus::desk(), corpus::minipascal().0] {
+        let report = fnc2::tools::analyze(&g);
+        assert!(report.is_clean(), "{}: {:?}", g.name(), report.diags);
+    }
+}
+
+#[test]
+fn visit_overhead_of_long_inclusion_is_small() {
+    // §2.1.1: partition replacement "tends to increase the number of
+    // visits", but "on all the practical AGs we have used, this increase
+    // is less than 2% in average". Measure dynamically on the corpus.
+    for g in [corpus::binary(), corpus::desk(), corpus::blocks(), corpus::minipascal().0] {
+        let name = g.name().to_string();
+        let snc = fnc2::analysis::snc_test(&g);
+        let long = fnc2::analysis::snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let eq = fnc2::analysis::snc_to_l_ordered(&g, &snc, Inclusion::Equality).unwrap();
+        let seqs_long = fnc2::visit::build_visit_seqs(&g, &long);
+        let seqs_eq = fnc2::visit::build_visit_seqs(&g, &eq);
+        let tree = match name.as_str() {
+            "binary" => corpus::binary_tree(&g, "110101101.0101"),
+            "desk" => {
+                // reuse the static evaluator corpus path via a quick tree
+                corpus::binary_tree(&corpus::binary(), "1");
+                // build a small desk tree inline
+                let mut tb = fnc2::ag::TreeBuilder::new(&g);
+                let l = tb
+                    .node_with_token(
+                        g.production_by_name("lit").unwrap(),
+                        &[],
+                        Some(fnc2::ag::Value::Int(4)),
+                    )
+                    .unwrap();
+                let r = tb.op("prog", &[l]).unwrap();
+                tb.finish_root(r).unwrap()
+            }
+            "blocks" => corpus::blocks_tree(&g, "d:a u:a [ d:b u:b u:a ]"),
+            _ => corpus::parse_minipascal(&g, &corpus::sample_program(4)).unwrap(),
+        };
+        let (_, s1) = fnc2::visit::Evaluator::new(&g, &seqs_long)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let (_, s2) = fnc2::visit::Evaluator::new(&g, &seqs_eq)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let overhead = s1.visits as f64 / s2.visits as f64;
+        assert!(
+            overhead <= 1.02,
+            "{name}: visit overhead {overhead:.3} ({} vs {})",
+            s1.visits,
+            s2.visits
+        );
+    }
+}
