@@ -93,11 +93,7 @@ impl GrammarBuilder {
 
     fn declare_attr(&mut self, phylum: PhylumId, name: String, kind: AttrKind) -> AttrId {
         let ph = &self.phyla[phylum.index()];
-        if ph
-            .attrs
-            .iter()
-            .any(|&a| self.attrs[a.index()].name == name)
-        {
+        if ph.attrs.iter().any(|&a| self.attrs[a.index()].name == name) {
             self.errors.push(GrammarError::DuplicateName {
                 kind: "attribute",
                 name: format!("{}.{}", ph.name, name),
@@ -387,7 +383,10 @@ mod tests {
         let leaf = g.production("leaf", s, &[]);
         g.constant(leaf, Occ::lhs(v), Value::Int(0));
         g.constant(leaf, Occ::lhs(v), Value::Int(1));
-        assert!(matches!(g.finish(), Err(GrammarError::DuplicateRule { .. })));
+        assert!(matches!(
+            g.finish(),
+            Err(GrammarError::DuplicateRule { .. })
+        ));
     }
 
     #[test]
@@ -424,7 +423,11 @@ mod tests {
         g.call(leaf, Occ::lhs(v), "two", []);
         assert!(matches!(
             g.finish(),
-            Err(GrammarError::ArityMismatch { expected: 2, found: 0, .. })
+            Err(GrammarError::ArityMismatch {
+                expected: 2,
+                found: 0,
+                ..
+            })
         ));
     }
 
@@ -482,6 +485,11 @@ mod tests {
         g.call(leaf, Occ::lhs(v), "succ", [Arg::Node(ONode::Local(l))]);
         let g = g.finish().unwrap();
         assert_eq!(g.rule_count(), 2);
-        assert_eq!(g.production(g.production_by_name("leaf").unwrap()).locals().len(), 1);
+        assert_eq!(
+            g.production(g.production_by_name("leaf").unwrap())
+                .locals()
+                .len(),
+            1
+        );
     }
 }

@@ -35,8 +35,12 @@ impl DepGraph {
         for i in 0..prod.locals().len() as u32 {
             nodes.push(ONode::Local(crate::ids::LocalId::from_raw(i)));
         }
-        let index: HashMap<ONode, usize> =
-            nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+        let index: HashMap<ONode, usize> = nodes
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
         let mut succs = vec![Vec::new(); nodes.len()];
         for rule in prod.rules() {
             let t = index[&rule.target()];

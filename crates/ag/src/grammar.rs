@@ -8,7 +8,7 @@
 use std::fmt;
 use std::rc::Rc;
 
-use crate::ids::{AttrId, FuncId, LocalId, Occ, ONode, PhylumId, ProductionId};
+use crate::ids::{AttrId, FuncId, LocalId, ONode, Occ, PhylumId, ProductionId};
 use crate::value::Value;
 
 /// Whether an attribute flows down (inherited) or up (synthesized).
@@ -451,9 +451,7 @@ impl Grammar {
             ONode::Attr(o) => {
                 let prod = &self.productions[p.index()];
                 let ph = prod.phylum_at(o.pos);
-                let nth = (0..=o.pos)
-                    .filter(|&q| prod.phylum_at(q) == ph)
-                    .count();
+                let nth = (0..=o.pos).filter(|&q| prod.phylum_at(q) == ph).count();
                 let total = (0..=prod.rhs.len() as u16)
                     .filter(|&q| prod.phylum_at(q) == ph)
                     .count();
@@ -466,7 +464,10 @@ impl Grammar {
                 }
             }
             ONode::Local(l) => {
-                format!("local {}", self.productions[p.index()].locals[l.index()].name)
+                format!(
+                    "local {}",
+                    self.productions[p.index()].locals[l.index()].name
+                )
             }
         }
     }
@@ -483,7 +484,12 @@ impl Grammar {
 
 impl fmt::Display for Grammar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "attribute grammar {} (root {})", self.name, self.phyla[self.root.index()].name)?;
+        writeln!(
+            f,
+            "attribute grammar {} (root {})",
+            self.name,
+            self.phyla[self.root.index()].name
+        )?;
         for p in self.productions() {
             let prod = self.production(p);
             let rhs: Vec<&str> = prod

@@ -273,7 +273,10 @@ impl<'g> TreeBuilder<'g> {
             });
         }
         for (i, (&c, &want)) in children.iter().zip(prod.rhs()).enumerate() {
-            let got = self.grammar.production(self.nodes[c.index()].production).lhs();
+            let got = self
+                .grammar
+                .production(self.nodes[c.index()].production)
+                .lhs();
             if got != want {
                 return Err(TreeError::ChildPhylum {
                     production: prod.name().to_string(),
@@ -531,10 +534,7 @@ mod tests {
         let leaf = t.preorder().last().unwrap().0;
         assert_eq!(vals.get(&g, leaf, len), None);
         assert_eq!(vals.set(&g, leaf, len, Value::Int(0)), None);
-        assert_eq!(
-            vals.set(&g, leaf, len, Value::Int(5)),
-            Some(Value::Int(0))
-        );
+        assert_eq!(vals.set(&g, leaf, len, Value::Int(5)), Some(Value::Int(0)));
         assert_eq!(vals.get(&g, leaf, len), Some(&Value::Int(5)));
         assert_eq!(vals.live_count(), 1);
         assert_eq!(vals.clear(&g, leaf, len), Some(Value::Int(5)));

@@ -16,8 +16,7 @@ use std::fmt;
 use std::rc::Rc;
 
 /// A dynamically typed attribute value.
-#[derive(Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Default)]
 pub enum Value {
     /// The unit (void) value.
     #[default]
@@ -224,7 +223,6 @@ impl Value {
         }
     }
 }
-
 
 impl PartialOrd for Value {
     /// Orders scalars of the same type; compound values and mixed types are

@@ -27,10 +27,13 @@ fn term_to_tree_roundtrip() {
         op: "cadd".into(),
         children: vec![
             Value::term("clit", [Value::Int(1)]),
-            Value::term("cadd", [
-                Value::term("clit", [Value::Int(2)]),
-                Value::term("clit", [Value::Int(3)]),
-            ]),
+            Value::term(
+                "cadd",
+                [
+                    Value::term("clit", [Value::Int(2)]),
+                    Value::term("clit", [Value::Int(3)]),
+                ],
+            ),
         ],
     };
     let tree = term_to_tree(&g, &term).unwrap();
@@ -68,7 +71,11 @@ fn term_to_tree_rejects_wrong_arity() {
     };
     assert!(matches!(
         term_to_tree(&g, &term),
-        Err(TreeError::ChildCount { expected: 2, found: 1, .. })
+        Err(TreeError::ChildCount {
+            expected: 2,
+            found: 1,
+            ..
+        })
     ));
 }
 

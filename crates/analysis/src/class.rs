@@ -8,10 +8,11 @@
 //! transformation).
 
 use fnc2_ag::Grammar;
+use fnc2_obs::{Key, Obs, Recorder};
 
-use crate::io::{dnc_test, snc_test, DncResult, SncResult};
-use crate::oag::{oag_test, OagResult};
-use crate::transform::{snc_to_l_ordered, Inclusion, LOrdered, TransformError};
+use crate::io::{dnc_test_recorded, snc_test_recorded, DncResult, SncResult};
+use crate::oag::{oag_test_recorded, OagResult};
+use crate::transform::{snc_to_l_ordered, Inclusion, LOrdered, TransformError, TransformStats};
 
 /// The smallest class of the ladder an AG belongs to, as determined by the
 /// generator (the "class" row of Table 1).
@@ -77,7 +78,32 @@ pub fn classify(
     max_k: usize,
     inclusion: Inclusion,
 ) -> Result<Classification, TransformError> {
-    let snc = snc_test(grammar);
+    classify_recorded(grammar, max_k, inclusion, &mut Obs::new())
+}
+
+/// Records the partition/plan economy of a transformation run.
+fn record_transform<R: Recorder>(stats: &TransformStats, rec: &mut R) {
+    let partitions: usize = stats.partitions_per_phylum.iter().sum();
+    rec.count(Key::TransformPartitions, partitions as u64);
+    rec.count(Key::TransformPlans, stats.plans as u64);
+    rec.count(Key::TransformReuses, stats.reuses as u64);
+    rec.count(Key::TransformFresh, stats.fresh as u64);
+}
+
+/// [`classify`], instrumented: each cascade stage runs inside a nested
+/// phase span (`analysis.snc`, `analysis.dnc`, `analysis.oag`,
+/// `analysis.transform`), every GFA fixpoint feeds the
+/// `gfa.fixpoint.*` counters, and the transformation's partition/plan
+/// economy lands in the `transform.*` counters.
+pub fn classify_recorded(
+    grammar: &Grammar,
+    max_k: usize,
+    inclusion: Inclusion,
+    obs: &mut Obs,
+) -> Result<Classification, TransformError> {
+    obs.phases.enter("analysis.snc");
+    let snc = snc_test_recorded(grammar, obs);
+    obs.phases.leave();
     if !snc.is_snc() {
         return Ok(Classification {
             class: AgClass::NotSnc,
@@ -87,10 +113,15 @@ pub fn classify(
             l_ordered: None,
         });
     }
-    let dnc = dnc_test(grammar, &snc);
+    obs.phases.enter("analysis.dnc");
+    let dnc = dnc_test_recorded(grammar, &snc, obs);
+    obs.phases.leave();
     if !dnc.is_dnc() {
         // SNC but not DNC: the transformation still applies.
+        obs.phases.enter("analysis.transform");
         let lo = snc_to_l_ordered(grammar, &snc, inclusion)?;
+        record_transform(&lo.stats, obs);
+        obs.phases.leave();
         return Ok(Classification {
             class: AgClass::Snc,
             snc,
@@ -101,8 +132,9 @@ pub fn classify(
     }
     // OAG(0), then larger k on demand.
     let mut best: Option<(usize, OagResult)> = None;
+    obs.phases.enter("analysis.oag");
     for k in 0..=max_k {
-        let r = oag_test(grammar, k);
+        let r = oag_test_recorded(grammar, k, obs);
         if r.is_oag() {
             best = Some((k, r));
             break;
@@ -111,12 +143,20 @@ pub fn classify(
             best = Some((k, r));
         }
     }
+    obs.phases.leave();
     let (k, oag) = best.expect("loop ran at least once");
     if oag.is_oag() {
         let parts = oag.partitions.clone().expect("ordered");
+        obs.phases.enter("analysis.transform");
         let lo = crate::transform::l_ordered_from_partitions(grammar, parts)?;
+        record_transform(&lo.stats, obs);
+        obs.phases.leave();
         return Ok(Classification {
-            class: if k == 0 { AgClass::Oag0 } else { AgClass::OagK(k) },
+            class: if k == 0 {
+                AgClass::Oag0
+            } else {
+                AgClass::OagK(k)
+            },
             snc,
             dnc: Some(dnc),
             oag: Some(oag),
@@ -124,7 +164,10 @@ pub fn classify(
         });
     }
     // DNC but not OAG(max_k): transformation.
+    obs.phases.enter("analysis.transform");
     let lo = snc_to_l_ordered(grammar, &snc, inclusion)?;
+    record_transform(&lo.stats, obs);
+    obs.phases.leave();
     Ok(Classification {
         class: AgClass::Dnc,
         snc,

@@ -14,8 +14,9 @@
 //! engine; the DNC test reuses the SNC result, mirroring the cascade of the
 //! paper's Figure 3.
 
-use fnc2_ag::{AttrKind, Grammar, PhylumId, ProductionId, ONode};
-use fnc2_gfa::{fixpoint, BitMatrix, FixpointStats};
+use fnc2_ag::{AttrKind, Grammar, ONode, PhylumId, ProductionId};
+use fnc2_gfa::{fixpoint_recorded, BitMatrix, FixpointStats};
+use fnc2_obs::{NoopRecorder, Recorder};
 
 use crate::attrs::AttrIndex;
 use crate::paste::Pasted;
@@ -39,7 +40,10 @@ impl PhylumRels {
     /// Empty relations shaped for `grammar`.
     pub fn empty(grammar: &Grammar, ix: &AttrIndex) -> Self {
         PhylumRels {
-            rels: grammar.phyla().map(|ph| BitMatrix::new(ix.len(ph))).collect(),
+            rels: grammar
+                .phyla()
+                .map(|ph| BitMatrix::new(ix.len(ph)))
+                .collect(),
         }
     }
 
@@ -94,6 +98,11 @@ pub(crate) fn users_of_phylum(grammar: &Grammar) -> Vec<Vec<usize>> {
 
 /// Runs the SNC test on `grammar`.
 pub fn snc_test(grammar: &Grammar) -> SncResult {
+    snc_test_recorded(grammar, &mut NoopRecorder)
+}
+
+/// [`snc_test`], with the underlying fixpoint run recorded into `rec`.
+pub fn snc_test_recorded<R: Recorder>(grammar: &Grammar, rec: &mut R) -> SncResult {
     let ix = AttrIndex::new(grammar);
     let mut io = PhylumRels::empty(grammar, &ix);
     let users = users_of_phylum(grammar);
@@ -103,17 +112,22 @@ pub fn snc_test(grammar: &Grammar) -> SncResult {
         .collect();
 
     let n = grammar.production_count();
-    let stats = fixpoint(n, &dependents, |pi| {
-        let p = ProductionId::from_raw(pi as u32);
-        let pasted = pasted_with_io(grammar, &ix, p, &io, None);
-        let closed = pasted.closure();
-        let lhs = grammar.production(p).lhs();
-        let proj = pasted.project(grammar, &ix, &closed, 0, |i, j| {
-            grammar.attr(ix.attr_at(lhs, i)).kind() == AttrKind::Inherited
-                && grammar.attr(ix.attr_at(lhs, j)).kind() == AttrKind::Synthesized
-        });
-        io.absorb(lhs, &proj)
-    });
+    let stats = fixpoint_recorded(
+        n,
+        &dependents,
+        |pi| {
+            let p = ProductionId::from_raw(pi as u32);
+            let pasted = pasted_with_io(grammar, &ix, p, &io, None);
+            let closed = pasted.closure();
+            let lhs = grammar.production(p).lhs();
+            let proj = pasted.project(grammar, &ix, &closed, 0, |i, j| {
+                grammar.attr(ix.attr_at(lhs, i)).kind() == AttrKind::Inherited
+                    && grammar.attr(ix.attr_at(lhs, j)).kind() == AttrKind::Synthesized
+            });
+            io.absorb(lhs, &proj)
+        },
+        rec,
+    );
 
     // Final acyclicity check per production.
     let mut witness = None;
@@ -171,6 +185,15 @@ impl DncResult {
 /// cascade of the paper's Figure 3: "the first phase of the [DNC test] is
 /// the SNC test").
 pub fn dnc_test(grammar: &Grammar, snc: &SncResult) -> DncResult {
+    dnc_test_recorded(grammar, snc, &mut NoopRecorder)
+}
+
+/// [`dnc_test`], with the underlying fixpoint run recorded into `rec`.
+pub fn dnc_test_recorded<R: Recorder>(
+    grammar: &Grammar,
+    snc: &SncResult,
+    rec: &mut R,
+) -> DncResult {
     let ix = AttrIndex::new(grammar);
     let mut oi = PhylumRels::empty(grammar, &ix);
     // Top-down flow: production p reads oi[lhs(p)] and writes oi of its RHS
@@ -191,26 +214,31 @@ pub fn dnc_test(grammar: &Grammar, snc: &SncResult) -> DncResult {
         .collect();
 
     let n = grammar.production_count();
-    let stats = fixpoint(n, &dependents, |pi| {
-        let p = ProductionId::from_raw(pi as u32);
-        let prod = grammar.production(p);
-        let arity = prod.arity() as u16;
-        let mut changed = false;
-        for pos in 1..=arity {
-            // Context of the child at `pos`: everything except its own
-            // subtree — D(p), the LHS context (OI), and the siblings' IO.
-            let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, Some(pos));
-            pasted.paste(grammar, &ix, 0, oi.get(prod.lhs()));
-            let closed = pasted.closure();
-            let ph = prod.phylum_at(pos);
-            let proj = pasted.project(grammar, &ix, &closed, pos, |i, j| {
-                grammar.attr(ix.attr_at(ph, i)).kind() == AttrKind::Synthesized
-                    && grammar.attr(ix.attr_at(ph, j)).kind() == AttrKind::Inherited
-            });
-            changed |= oi.absorb(ph, &proj);
-        }
-        changed
-    });
+    let stats = fixpoint_recorded(
+        n,
+        &dependents,
+        |pi| {
+            let p = ProductionId::from_raw(pi as u32);
+            let prod = grammar.production(p);
+            let arity = prod.arity() as u16;
+            let mut changed = false;
+            for pos in 1..=arity {
+                // Context of the child at `pos`: everything except its own
+                // subtree — D(p), the LHS context (OI), and the siblings' IO.
+                let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, Some(pos));
+                pasted.paste(grammar, &ix, 0, oi.get(prod.lhs()));
+                let closed = pasted.closure();
+                let ph = prod.phylum_at(pos);
+                let proj = pasted.project(grammar, &ix, &closed, pos, |i, j| {
+                    grammar.attr(ix.attr_at(ph, i)).kind() == AttrKind::Synthesized
+                        && grammar.attr(ix.attr_at(ph, j)).kind() == AttrKind::Inherited
+                });
+                changed |= oi.absorb(ph, &proj);
+            }
+            changed
+        },
+        rec,
+    );
 
     // DNC check: D(p) + OI(lhs) + all IO(rhs) acyclic.
     let mut witness = None;
@@ -230,7 +258,7 @@ pub fn dnc_test(grammar: &Grammar, snc: &SncResult) -> DncResult {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
 
     use super::*;
 

@@ -53,10 +53,13 @@ mod trace;
 mod transform;
 
 pub use attrs::AttrIndex;
-pub use class::{classify, AgClass, Classification};
-pub use io::{dnc_test, snc_test, CircWitness, DncResult, PhylumRels, SncResult};
+pub use class::{classify, classify_recorded, AgClass, Classification};
+pub use io::{
+    dnc_test, dnc_test_recorded, snc_test, snc_test_recorded, CircWitness, DncResult, PhylumRels,
+    SncResult,
+};
 pub use nc::{nc_test, NcResult};
-pub use oag::{oag_test, OagResult};
+pub use oag::{oag_test, oag_test_recorded, OagResult};
 pub use partition::{TotalOrder, VisitSlot};
 pub use paste::Pasted;
 pub use trace::explain;

@@ -15,8 +15,9 @@
 //! repair can only coarsen the schedule, so `OAG(0) ⊆ OAG(1) ⊆ … ⊆`
 //! l-ordered, with witnesses separating the levels (see the corpus).
 
-use fnc2_ag::{AttrKind, Grammar, Occ, ONode, PhylumId, ProductionId};
-use fnc2_gfa::{fixpoint, FixpointStats};
+use fnc2_ag::{AttrKind, Grammar, ONode, Occ, PhylumId, ProductionId};
+use fnc2_gfa::{fixpoint_recorded, FixpointStats};
+use fnc2_obs::{NoopRecorder, Recorder};
 
 use crate::attrs::AttrIndex;
 use crate::io::{CircWitness, PhylumRels};
@@ -47,8 +48,13 @@ impl OagResult {
 
 /// Runs the OAG(k) test. `k = 0` is Kastens' classical test.
 pub fn oag_test(grammar: &Grammar, k: usize) -> OagResult {
+    oag_test_recorded(grammar, k, &mut NoopRecorder)
+}
+
+/// [`oag_test`], with the `DS` fixpoint run recorded into `rec`.
+pub fn oag_test_recorded<R: Recorder>(grammar: &Grammar, k: usize, rec: &mut R) -> OagResult {
     let ix = AttrIndex::new(grammar);
-    let (ds, stats) = induced_dependencies(grammar, &ix);
+    let (ds, stats) = induced_dependencies(grammar, &ix, rec);
 
     // DS(X) must be acyclic for a partition to exist at all.
     for ph in grammar.phyla() {
@@ -99,9 +105,7 @@ pub fn oag_test(grammar: &Grammar, k: usize) -> OagResult {
                 }
             }
             Some(witness) => {
-                if repairs_used >= k
-                    || !repair(grammar, &ix, &ds, &mut slots, &witness)
-                {
+                if repairs_used >= k || !repair(grammar, &ix, &ds, &mut slots, &witness) {
                     return OagResult {
                         ds,
                         partitions: None,
@@ -118,7 +122,11 @@ pub fn oag_test(grammar: &Grammar, k: usize) -> OagResult {
 
 /// Computes `DS(X)` for every phylum: the up-and-down fixpoint of projected
 /// transitive closures (Kastens [29], in GFA form).
-fn induced_dependencies(grammar: &Grammar, ix: &AttrIndex) -> (PhylumRels, FixpointStats) {
+fn induced_dependencies<R: Recorder>(
+    grammar: &Grammar,
+    ix: &AttrIndex,
+    rec: &mut R,
+) -> (PhylumRels, FixpointStats) {
     let mut ds = PhylumRels::empty(grammar, ix);
     // A production reads and writes the DS of every phylum it mentions, so
     // its dependents are all productions sharing a phylum with it.
@@ -148,21 +156,26 @@ fn induced_dependencies(grammar: &Grammar, ix: &AttrIndex) -> (PhylumRels, Fixpo
         })
         .collect();
 
-    let stats = fixpoint(grammar.production_count(), &dependents, |pi| {
-        let p = ProductionId::from_raw(pi as u32);
-        let prod = grammar.production(p);
-        let mut pasted = Pasted::base(grammar, p);
-        for pos in 0..=prod.arity() as u16 {
-            pasted.paste(grammar, ix, pos, ds.get(prod.phylum_at(pos)));
-        }
-        let closed = pasted.closure();
-        let mut changed = false;
-        for pos in 0..=prod.arity() as u16 {
-            let proj = pasted.project(grammar, ix, &closed, pos, |_, _| true);
-            changed |= ds.absorb(prod.phylum_at(pos), &proj);
-        }
-        changed
-    });
+    let stats = fixpoint_recorded(
+        grammar.production_count(),
+        &dependents,
+        |pi| {
+            let p = ProductionId::from_raw(pi as u32);
+            let prod = grammar.production(p);
+            let mut pasted = Pasted::base(grammar, p);
+            for pos in 0..=prod.arity() as u16 {
+                pasted.paste(grammar, ix, pos, ds.get(prod.phylum_at(pos)));
+            }
+            let closed = pasted.closure();
+            let mut changed = false;
+            for pos in 0..=prod.arity() as u16 {
+                let proj = pasted.project(grammar, ix, &closed, pos, |_, _| true);
+                changed |= ds.absorb(prod.phylum_at(pos), &proj);
+            }
+            changed
+        },
+        rec,
+    );
     (ds, stats)
 }
 
@@ -231,7 +244,8 @@ fn peel_slots(
     debug_assert!(slot
         .iter()
         .enumerate()
-        .all(|(a, &s)| (s % 2 == 1) == (grammar.attr(ix.attr_at(ph, a)).kind() == AttrKind::Synthesized)));
+        .all(|(a, &s)| (s % 2 == 1)
+            == (grammar.attr(ix.attr_at(ph, a)).kind() == AttrKind::Synthesized)));
     Some(slot)
 }
 
@@ -264,17 +278,18 @@ fn slots_to_partition(
 
 /// Checks every production's EDP (D(p) + partition orders pasted at all
 /// positions); returns a witness for the first cyclic one.
-fn edp_check(
-    grammar: &Grammar,
-    ix: &AttrIndex,
-    partitions: &[TotalOrder],
-) -> Option<CircWitness> {
+fn edp_check(grammar: &Grammar, ix: &AttrIndex, partitions: &[TotalOrder]) -> Option<CircWitness> {
     for p in grammar.productions() {
         let prod = grammar.production(p);
         let mut pasted = Pasted::base(grammar, p);
         for pos in 0..=prod.arity() as u16 {
             let ph = prod.phylum_at(pos);
-            pasted.paste(grammar, ix, pos, &partitions[ph.index()].as_matrix(grammar, ix));
+            pasted.paste(
+                grammar,
+                ix,
+                pos,
+                &partitions[ph.index()].as_matrix(grammar, ix),
+            );
         }
         if let Some(cycle) = pasted.find_cycle() {
             return Some(CircWitness {
@@ -396,15 +411,19 @@ fn cycle_witness_for_phylum(
             });
         }
     }
-    grammar.phylum(ph).productions().first().map(|&p| CircWitness {
-        production: p,
-        cycle: vec![ONode::Attr(Occ::lhs(ix.attr_at(ph, 0)))],
-    })
+    grammar
+        .phylum(ph)
+        .productions()
+        .first()
+        .map(|&p| CircWitness {
+            production: p,
+            cycle: vec![ONode::Attr(Occ::lhs(ix.attr_at(ph, 0)))],
+        })
 }
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
 
     use super::*;
 

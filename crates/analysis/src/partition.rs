@@ -194,7 +194,7 @@ impl TotalOrder {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ};
 
     use super::*;
 

@@ -3,7 +3,7 @@
 //! OI-graphs, induced dependencies, or partition orders) attached to chosen
 //! occurrence positions.
 
-use fnc2_ag::{DepGraph, Grammar, Occ, ONode, ProductionId};
+use fnc2_ag::{DepGraph, Grammar, ONode, Occ, ProductionId};
 use fnc2_gfa::{BitMatrix, Digraph};
 
 use crate::attrs::AttrIndex;
@@ -110,7 +110,7 @@ impl Pasted {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
 
     use super::*;
 

@@ -27,7 +27,11 @@ pub fn explain(grammar: &Grammar, witness: &CircWitness) -> String {
         "circular dependency in production `{}`: {} ::= {}",
         prod.name(),
         grammar.phylum(prod.lhs()).name(),
-        if rhs.is_empty() { "<empty>".to_string() } else { rhs.join(" ") },
+        if rhs.is_empty() {
+            "<empty>".to_string()
+        } else {
+            rhs.join(" ")
+        },
     );
     for pair in witness.cycle.windows(2) {
         let (from, to) = (pair[0], pair[1]);
@@ -63,10 +67,9 @@ fn edge_reason(
     let target = grammar.occ_name(*p, rule.target());
     Some(match rule.body() {
         RuleBody::Copy(_) => format!("copy rule {target} := {}", grammar.occ_name(*p, from)),
-        RuleBody::Call { func, .. } => format!(
-            "rule {target} := {}(…)",
-            grammar.function(*func).name()
-        ),
+        RuleBody::Call { func, .. } => {
+            format!("rule {target} := {}(…)", grammar.function(*func).name())
+        }
     })
 }
 

@@ -18,7 +18,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use fnc2_ag::{Grammar, Occ, ONode, PhylumId, ProductionId};
+use fnc2_ag::{Grammar, ONode, Occ, PhylumId, ProductionId};
 use fnc2_gfa::Digraph;
 
 use crate::attrs::AttrIndex;
@@ -73,7 +73,11 @@ impl TransformStats {
 
     /// Maximum number of partitions on any phylum.
     pub fn max_partitions(&self) -> usize {
-        self.partitions_per_phylum.iter().copied().max().unwrap_or(0)
+        self.partitions_per_phylum
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -129,12 +133,10 @@ impl std::error::Error for TransformError {}
 /// as possible, so derived child partitions stay coarse (few visits).
 fn topo_key(grammar: &Grammar, node: ONode) -> u8 {
     match node {
-        ONode::Attr(Occ { pos: 0, attr }) => {
-            match grammar.attr(attr).kind() {
-                fnc2_ag::AttrKind::Inherited => 0,
-                fnc2_ag::AttrKind::Synthesized => 3,
-            }
-        }
+        ONode::Attr(Occ { pos: 0, attr }) => match grammar.attr(attr).kind() {
+            fnc2_ag::AttrKind::Inherited => 0,
+            fnc2_ag::AttrKind::Synthesized => 3,
+        },
         ONode::Attr(Occ { attr, .. }) => match grammar.attr(attr).kind() {
             fnc2_ag::AttrKind::Inherited => 1,
             fnc2_ag::AttrKind::Synthesized => 4,
@@ -315,7 +317,11 @@ pub fn l_ordered_from_partitions(
     grammar: &Grammar,
     parts: Vec<TotalOrder>,
 ) -> Result<LOrdered, TransformError> {
-    assert_eq!(parts.len(), grammar.phylum_count(), "one partition per phylum");
+    assert_eq!(
+        parts.len(),
+        grammar.phylum_count(),
+        "one partition per phylum"
+    );
     let ix = AttrIndex::new(grammar);
     let mut plans = HashMap::new();
     for p in grammar.productions() {
@@ -323,7 +329,12 @@ pub fn l_ordered_from_partitions(
         let mut pasted = Pasted::base(grammar, p);
         for pos in 0..=prod.arity() as u16 {
             let ph = prod.phylum_at(pos);
-            pasted.paste(grammar, &ix, pos, &parts[ph.index()].as_matrix(grammar, &ix));
+            pasted.paste(
+                grammar,
+                &ix,
+                pos,
+                &parts[ph.index()].as_matrix(grammar, &ix),
+            );
         }
         let Some(linear) = topo_order(grammar, &pasted) else {
             return Err(TransformError {
@@ -367,7 +378,7 @@ pub fn linear_respects(pasted_edges: &Digraph, order: &[usize]) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
 
     use crate::io::snc_test;
 

@@ -6,7 +6,6 @@ use fnc2_ag::{AttrKind, Grammar, GrammarBuilder, Occ, Value};
 use fnc2_analysis::{
     classify, dnc_test, nc_test, oag_test, snc_test, AgClass, Inclusion, TotalOrder,
 };
-use proptest::prelude::*;
 
 /// `pairs` independent OAG(0) conflicts on distinct phyla: needs exactly
 /// `pairs` repairs.
@@ -150,34 +149,42 @@ fn order_grammar() -> (Grammar, Vec<fnc2_ag::AttrId>) {
     (g.finish().unwrap(), attrs)
 }
 
-proptest! {
-    #[test]
-    fn partitions_from_random_orders_are_complete(perm in Just(()).prop_perturb(|_, mut rng| {
+#[test]
+fn partitions_from_random_orders_are_complete() {
+    // Seeded Fisher–Yates permutations (inline SplitMix64, same cases
+    // every run).
+    let mut state = 0x0a9du64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let (g, attrs) = order_grammar();
+    let a = g.phylum_by_name("A").unwrap();
+    for _ in 0..256 {
         let mut idx: Vec<usize> = (0..6).collect();
         for i in (1..6).rev() {
-            let j = (rng.next_u32() as usize) % (i + 1);
+            let j = (next() as usize) % (i + 1);
             idx.swap(i, j);
         }
-        idx
-    })) {
-        let (g, attrs) = order_grammar();
-        let a = g.phylum_by_name("A").unwrap();
-        let order: Vec<fnc2_ag::AttrId> = perm.iter().map(|&i| attrs[i]).collect();
+        let order: Vec<fnc2_ag::AttrId> = idx.iter().map(|&i| attrs[i]).collect();
         let t = TotalOrder::from_linear(&g, a, &order);
-        prop_assert!(t.is_complete(&g));
-        prop_assert!(t.visit_count() >= 1 && t.visit_count() <= 4);
+        assert!(t.is_complete(&g));
+        assert!(t.visit_count() >= 1 && t.visit_count() <= 4);
         // Every attribute appears in exactly one slot, kind respected.
         for &attr in &attrs {
             let v = t.visit_of(attr).expect("covered");
             let slot = &t.visits[v - 1];
             match g.attr(attr).kind() {
-                AttrKind::Inherited => prop_assert!(slot.inh.contains(&attr)),
-                AttrKind::Synthesized => prop_assert!(slot.syn.contains(&attr)),
+                AttrKind::Inherited => assert!(slot.inh.contains(&attr)),
+                AttrKind::Synthesized => assert!(slot.syn.contains(&attr)),
             }
         }
         // The matrix it induces is a strict partial order (irreflexive
         // after closure).
         let ix = fnc2_analysis::AttrIndex::new(&g);
-        prop_assert!(t.as_matrix(&g, &ix).closure().is_irreflexive());
+        assert!(t.as_matrix(&g, &ix).closure().is_irreflexive());
     }
 }

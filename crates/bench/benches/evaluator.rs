@@ -1,53 +1,69 @@
-//! Criterion bench: generated vs. hand-written vs. demand-driven
-//! evaluation (the §4.2 comparison, Table 2's execution side).
+//! Bench: generated vs. hand-written vs. demand-driven evaluation (the
+//! §4.2 comparison, Table 2's execution side) — plus the zero-cost check
+//! for the instrumentation layer: `evaluate` (which routes through the
+//! no-op `Recorder`) must stay within ~2% of the explicit
+//! `NoopRecorder` instantiation, and the `Obs`-instrumented run is
+//! reported alongside so the metrics overhead stays visible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fnc2::visit::{DynamicEvaluator, RootInputs};
 use fnc2::Pipeline;
+use fnc2_bench::harness::bench;
 use fnc2_bench::{bit_string, handwritten_binary_boxed, handwritten_minipascal};
 use fnc2_corpus as corpus;
+use fnc2_obs::{NoopRecorder, Obs};
 
-fn bench_binary(c: &mut Criterion) {
+fn bench_binary() {
     let compiled = Pipeline::new().compile(corpus::binary()).expect("compiles");
     let tree = corpus::binary_tree(&compiled.grammar, &bit_string(1024, 9));
-    let mut group = c.benchmark_group("evaluator/binary-1024");
-    group.sample_size(20);
-    group.bench_function("generated", |b| {
-        b.iter(|| compiled.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    let generated = bench("evaluator/binary-1024/generated", 20, || {
+        compiled.evaluate(&tree, &RootInputs::new()).expect("runs")
     });
-    group.bench_function("optimized", |b| {
-        b.iter(|| {
-            compiled
-                .evaluate_optimized(&tree, &RootInputs::new())
-                .expect("runs")
-        });
+    let noop = bench("evaluator/binary-1024/generated-noop-recorder", 20, || {
+        compiled
+            .evaluate_recorded(&tree, &RootInputs::new(), &mut NoopRecorder)
+            .expect("runs")
     });
-    group.bench_function("hand-written(boxed)", |b| {
-        b.iter(|| handwritten_binary_boxed(&compiled.grammar, &tree));
+    bench("evaluator/binary-1024/generated-obs", 20, || {
+        let mut obs = Obs::new();
+        compiled
+            .evaluate_recorded(&tree, &RootInputs::new(), &mut obs)
+            .expect("runs")
     });
-    group.bench_function("demand-driven", |b| {
-        let dynev = DynamicEvaluator::new(&compiled.grammar);
-        b.iter(|| dynev.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    bench("evaluator/binary-1024/optimized", 20, || {
+        compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .expect("runs")
     });
-    group.finish();
+    bench("evaluator/binary-1024/hand-written(boxed)", 20, || {
+        handwritten_binary_boxed(&compiled.grammar, &tree)
+    });
+    let dynev = DynamicEvaluator::new(&compiled.grammar);
+    bench("evaluator/binary-1024/demand-driven", 20, || {
+        dynev.evaluate(&tree, &RootInputs::new()).expect("runs")
+    });
+
+    // The instrumentation acceptance check: the public path and the
+    // explicit no-op instantiation are the same monomorphization, so the
+    // ratio should sit at 1.0 give or take scheduler noise.
+    let ratio = generated.median_ns / noop.median_ns;
+    println!("evaluator/binary-1024: evaluate vs noop-recorder ratio {ratio:.3} (target <= 1.02)");
 }
 
-fn bench_minipascal(c: &mut Criterion) {
+fn bench_minipascal() {
     let compiled = Pipeline::new()
         .compile(corpus::minipascal().0)
         .expect("compiles");
     let src = corpus::sample_program(32);
     let tree = corpus::parse_minipascal(&compiled.grammar, &src).expect("parses");
-    let mut group = c.benchmark_group("evaluator/minipascal-32blocks");
-    group.sample_size(20);
-    group.bench_function("generated", |b| {
-        b.iter(|| compiled.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    bench("evaluator/minipascal-32blocks/generated", 20, || {
+        compiled.evaluate(&tree, &RootInputs::new()).expect("runs")
     });
-    group.bench_function("hand-written", |b| {
-        b.iter(|| handwritten_minipascal(&compiled.grammar, &tree));
+    bench("evaluator/minipascal-32blocks/hand-written", 20, || {
+        handwritten_minipascal(&compiled.grammar, &tree)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_binary, bench_minipascal);
-criterion_main!(benches);
+fn main() {
+    bench_binary();
+    bench_minipascal();
+}

@@ -1,32 +1,22 @@
-//! Criterion bench: the evaluator generator (Table 1's time column).
+//! Bench: the evaluator generator (Table 1's time column).
 //!
 //! Times the generator's phases — classification (SNC/DNC/OAG cascade +
 //! transformation), visit-sequence generation, and space optimization — on
 //! the seven Table 1 profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fnc2::analysis::{classify, Inclusion};
 use fnc2::Pipeline;
+use fnc2_bench::harness::bench;
 use fnc2_corpus::{synthetic, TABLE1_PROFILES};
 
-fn bench_generator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generator");
-    group.sample_size(10);
+fn main() {
     for profile in &TABLE1_PROFILES {
         let grammar = synthetic(profile);
-        group.bench_with_input(BenchmarkId::new("full", profile.name), &grammar, |b, g| {
-            b.iter(|| Pipeline::new().compile(g.clone()).expect("compiles"));
+        bench(&format!("generator/full/{}", profile.name), 10, || {
+            Pipeline::new().compile(grammar.clone()).expect("compiles")
         });
-        group.bench_with_input(
-            BenchmarkId::new("classify", profile.name),
-            &grammar,
-            |b, g| {
-                b.iter(|| classify(g, 1, Inclusion::Long).expect("classifies"));
-            },
-        );
+        bench(&format!("generator/classify/{}", profile.name), 10, || {
+            classify(&grammar, 1, Inclusion::Long).expect("classifies")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_generator);
-criterion_main!(benches);

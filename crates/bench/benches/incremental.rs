@@ -1,10 +1,10 @@
-//! Criterion bench: incremental reevaluation after a one-leaf edit vs.
-//! exhaustive reevaluation (the §2.1.2 economy).
+//! Bench: incremental reevaluation after a one-leaf edit vs. exhaustive
+//! reevaluation (the §2.1.2 economy).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fnc2::ag::{Grammar, GrammarBuilder, NodeId, Occ, TreeBuilder, Value};
 use fnc2::incremental::{Equality, IncrementalEvaluator};
 use fnc2::visit::{DynamicEvaluator, RootInputs};
+use fnc2_bench::harness::bench;
 
 fn sum_grammar() -> Grammar {
     let mut g = GrammarBuilder::new("sum");
@@ -48,7 +48,7 @@ fn balanced(g: &Grammar, tb: &mut TreeBuilder, depth: usize, next: &mut i64) -> 
     }
 }
 
-fn bench_incremental(c: &mut Criterion) {
+fn main() {
     let g = sum_grammar();
     let mut tb = TreeBuilder::new(&g);
     let mut next = 0;
@@ -56,38 +56,30 @@ fn bench_incremental(c: &mut Criterion) {
     let root = tb.op("root", &[body]).unwrap();
     let tree = tb.finish_root(root).unwrap();
 
-    let mut group = c.benchmark_group("incremental/depth-12");
-    group.sample_size(10);
-    group.bench_function("one-leaf-edit", |b| {
-        let mut inc =
-            IncrementalEvaluator::new(&g, tree.clone(), Equality::default()).expect("evaluates");
-        let mut flip = 0i64;
-        b.iter(|| {
-            let victim = inc
-                .tree()
-                .preorder()
-                .find(|&(n, _)| inc.tree().node(n).children().is_empty())
-                .map(|(n, _)| n)
-                .unwrap();
-            let mut tb = TreeBuilder::new(&g);
-            flip += 1;
-            let nl = tb
-                .node_with_token(
-                    g.production_by_name("leafe").unwrap(),
-                    &[],
-                    Some(Value::Int(flip)),
-                )
-                .unwrap();
-            let sub = tb.finish(nl);
-            inc.replace_subtree(victim, &sub).expect("edits");
-        });
+    let mut inc =
+        IncrementalEvaluator::new(&g, tree.clone(), Equality::default()).expect("evaluates");
+    let mut flip = 0i64;
+    bench("incremental/depth-12/one-leaf-edit", 10, || {
+        let victim = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| inc.tree().node(n).children().is_empty())
+            .map(|(n, _)| n)
+            .unwrap();
+        let mut tb = TreeBuilder::new(&g);
+        flip += 1;
+        let nl = tb
+            .node_with_token(
+                g.production_by_name("leafe").unwrap(),
+                &[],
+                Some(Value::Int(flip)),
+            )
+            .unwrap();
+        let sub = tb.finish(nl);
+        inc.replace_subtree(victim, &sub).expect("edits");
     });
-    group.bench_function("from-scratch", |b| {
-        let dynev = DynamicEvaluator::new(&g);
-        b.iter(|| dynev.evaluate(&tree, &RootInputs::new()).expect("runs"));
+    let dynev = DynamicEvaluator::new(&g);
+    bench("incremental/depth-12/from-scratch", 10, || {
+        dynev.evaluate(&tree, &RootInputs::new()).expect("runs")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);

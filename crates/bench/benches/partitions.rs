@@ -1,30 +1,24 @@
-//! Criterion bench: the SNC → l-ordered transformation, classical equality
-//! vs. long inclusion (the §2.1.1 "runs much faster … in almost-linear
-//! time" claim).
+//! Bench: the SNC → l-ordered transformation, classical equality vs. long
+//! inclusion (the §2.1.1 "runs much faster … in almost-linear time"
+//! claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fnc2::analysis::{snc_test, snc_to_l_ordered, Inclusion};
+use fnc2_bench::harness::bench;
 use fnc2_corpus::{synthetic, TABLE1_PROFILES};
 
-fn bench_transform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transform");
-    group.sample_size(10);
-    for profile in [&TABLE1_PROFILES[0], &TABLE1_PROFILES[4], &TABLE1_PROFILES[6]] {
+fn main() {
+    for profile in [
+        &TABLE1_PROFILES[0],
+        &TABLE1_PROFILES[4],
+        &TABLE1_PROFILES[6],
+    ] {
         let grammar = synthetic(profile);
         let snc = snc_test(&grammar);
         assert!(snc.is_snc());
         for (label, inc) in [("long", Inclusion::Long), ("equality", Inclusion::Equality)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, profile.name),
-                &(&grammar, &snc),
-                |b, (g, snc)| {
-                    b.iter(|| snc_to_l_ordered(g, snc, inc).expect("transforms"));
-                },
-            );
+            bench(&format!("transform/{label}/{}", profile.name), 10, || {
+                snc_to_l_ordered(&grammar, &snc, inc).expect("transforms")
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_transform);
-criterion_main!(benches);

@@ -1,46 +1,27 @@
-//! Criterion bench: space analysis cost and optimized-evaluator throughput
-//! (the §2.2 / §4.1 machinery).
+//! Bench: space analysis cost and optimized-evaluator throughput (the
+//! §2.2 / §4.1 machinery).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fnc2::space::analyze_space;
 use fnc2::visit::RootInputs;
 use fnc2::Pipeline;
+use fnc2_bench::harness::bench;
 use fnc2_corpus as corpus;
 
-fn bench_space(c: &mut Criterion) {
-    let mut group = c.benchmark_group("space");
-    group.sample_size(10);
+fn main() {
     for profile in [&corpus::TABLE1_PROFILES[0], &corpus::TABLE1_PROFILES[4]] {
         let grammar = corpus::synthetic(profile);
         let compiled = Pipeline::new().compile(grammar.clone()).expect("compiles");
-        group.bench_with_input(
-            BenchmarkId::new("analysis", profile.name),
-            &compiled,
-            |b, cpl| {
-                b.iter(|| analyze_space(&cpl.grammar, &cpl.seqs));
-            },
-        );
+        bench(&format!("space/analysis/{}", profile.name), 10, || {
+            analyze_space(&compiled.grammar, &compiled.seqs)
+        });
         let tree = corpus::synthetic_tree(&compiled.grammar, profile, 800, 3);
-        group.bench_with_input(
-            BenchmarkId::new("run-plain", profile.name),
-            &(&compiled, &tree),
-            |b, (cpl, tree)| {
-                b.iter(|| cpl.evaluate(tree, &RootInputs::new()).expect("runs"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("run-optimized", profile.name),
-            &(&compiled, &tree),
-            |b, (cpl, tree)| {
-                b.iter(|| {
-                    cpl.evaluate_optimized(tree, &RootInputs::new())
-                        .expect("runs")
-                });
-            },
-        );
+        bench(&format!("space/run-plain/{}", profile.name), 10, || {
+            compiled.evaluate(&tree, &RootInputs::new()).expect("runs")
+        });
+        bench(&format!("space/run-optimized/{}", profile.name), 10, || {
+            compiled
+                .evaluate_optimized(&tree, &RootInputs::new())
+                .expect("runs")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_space);
-criterion_main!(benches);

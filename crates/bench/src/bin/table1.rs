@@ -19,8 +19,20 @@ fn main() {
     println!("(synthetic AGs matched to the paper's size/class profiles; see DESIGN.md)\n");
 
     let headers = [
-        "AG", "phyla", "operators", "occ. attr.", "sem. rules", "class", "% vars", "% stacks",
-        "% non-temp.", "# variables", "# stacks", "% elim./copy", "% elim./poss.", "time",
+        "AG",
+        "phyla",
+        "operators",
+        "occ. attr.",
+        "sem. rules",
+        "class",
+        "% vars",
+        "% stacks",
+        "% non-temp.",
+        "# variables",
+        "# stacks",
+        "% elim./copy",
+        "% elim./poss.",
+        "time",
     ];
     let mut rows = Vec::new();
     let mut tot_occ = 0usize;
@@ -77,6 +89,7 @@ fn main() {
         String::new(),
     ]);
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table1", &headers, &rows);
     println!("Paper shape: mostly-OAG(0) class column with one DNC, one not-OAG(k) (SNC),");
     println!("one OAG(1); storage dominated by variables+stacks (>80% of occurrences out");
     println!("of the tree); near-optimal elimination of the eliminable copy rules;");

@@ -28,11 +28,28 @@ fn lines_per_min(lines: usize, d: Duration) -> String {
 fn main() {
     println!("Table 2: statistics gathered for the FNC-2 system (on AGs)");
     println!("(generated OLGA AG sources; phases: input = lex+parse, typing = check,");
-    println!(" translator = OLGA-to-C of the non-AG parts; evaluator generation included in total)\n");
+    println!(
+        " translator = OLGA-to-C of the non-AG parts; evaluator generation included in total)\n"
+    );
 
-    let sizes = [("AG1", 320), ("AG2", 520), ("AG3", 760), ("AG4", 1000), ("AG5", 1500), ("AG6", 440), ("AG7", 1150)];
+    let sizes = [
+        ("AG1", 320),
+        ("AG2", 520),
+        ("AG3", 760),
+        ("AG4", 1000),
+        ("AG5", 1500),
+        ("AG6", 440),
+        ("AG7", 1150),
+    ];
     let headers = [
-        "AG", "# lines", "input", "typing", "translator", "generator", "memory(KB)", "total",
+        "AG",
+        "# lines",
+        "input",
+        "typing",
+        "translator",
+        "generator",
+        "memory(KB)",
+        "total",
         "l/mn typing",
     ];
     let mut rows = Vec::new();
@@ -92,6 +109,7 @@ fn main() {
         ]);
     }
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table2", &headers, &rows);
     println!("Paper shape: typing dominates input; the whole process is roughly linear in");
     println!("lines except the generator phase; memory grows with source size (the paper");
     println!("reports 1.3–1.4 KB/line on a Sun-3/60).");

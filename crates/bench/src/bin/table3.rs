@@ -27,7 +27,14 @@ fn main() {
     println!("Table 3: statistics gathered for the FNC-2 system (on modules)");
     println!("(generated module sources at the paper's line counts)\n");
     let headers = [
-        "module", "# lines", "input", "typing", "translator", "memory(KB)", "total", "l/mn",
+        "module",
+        "# lines",
+        "input",
+        "typing",
+        "translator",
+        "memory(KB)",
+        "total",
+        "l/mn",
     ];
     let mut rows = Vec::new();
     // Warm up lazy allocations/caches so the first row is not inflated.
@@ -81,6 +88,7 @@ fn main() {
         ]);
     }
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table3", &headers, &rows);
     println!("Paper shape: module processing is roughly linear in lines (these phases are");
     println!("\"typical of a compiler-like application\"); small modules show constant");
     println!("overhead in the input phase; typing dominates.");

@@ -46,6 +46,22 @@ fn main() {
 
     let project = analyze_project(&files).expect("corpus project is consistent");
     println!("{}", render_stats(&project.stats));
+    let headers = ["subsystem", "files", "min", "avg", "max", "total"];
+    let rows: Vec<Vec<String>> = project
+        .stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.files.to_string(),
+                s.min_lines.to_string(),
+                s.avg_lines().to_string(),
+                s.max_lines.to_string(),
+                s.total_lines.to_string(),
+            ]
+        })
+        .collect();
+    fnc2_bench::maybe_emit_json("table4", &headers, &rows);
     println!(
         "{} units; build order: {}",
         project.units.len(),

@@ -14,7 +14,10 @@ use std::time::{Duration, Instant};
 
 use fnc2::visit::{DynamicEvaluator, Evaluator, RootInputs};
 use fnc2::Pipeline;
-use fnc2_bench::{bit_string, desk_tree, handwritten_binary, handwritten_binary_boxed, handwritten_desk, handwritten_minipascal, render_table};
+use fnc2_bench::{
+    bit_string, desk_tree, handwritten_binary, handwritten_binary_boxed, handwritten_desk,
+    handwritten_minipascal, render_table,
+};
 use fnc2_corpus as corpus;
 
 fn time_n<F: FnMut()>(n: usize, mut f: F) -> Duration {
@@ -32,7 +35,13 @@ fn time_n<F: FnMut()>(n: usize, mut f: F) -> Duration {
 fn main() {
     println!("Section 4.2: generated evaluator vs. hand-written (per-run times)\n");
     let headers = [
-        "AG", "input", "hand(native)", "hand(boxed)", "generated", "ratio", "demand-driven",
+        "AG",
+        "input",
+        "hand(native)",
+        "hand(boxed)",
+        "generated",
+        "ratio",
+        "demand-driven",
         "dd ratio",
     ];
     let mut rows = Vec::new();
@@ -128,6 +137,7 @@ fn main() {
     }
 
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table_evaluator", &headers, &rows);
     println!("Paper shape: a small constant factor over hand-written code (2-4x in the");
     println!("paper), bracketed here: trivial-rule AGs pay the full interpretation");
     println!("overhead (~4-11x), while AGs whose semantic functions do real work (the");

@@ -56,7 +56,11 @@ fn balanced(g: &Grammar, tb: &mut TreeBuilder, depth: usize, next: &mut i64) -> 
 fn leaf_sub(g: &Grammar, v: i64) -> fnc2::ag::Tree {
     let mut tb = TreeBuilder::new(g);
     let n = tb
-        .node_with_token(g.production_by_name("leafe").unwrap(), &[], Some(Value::Int(v)))
+        .node_with_token(
+            g.production_by_name("leafe").unwrap(),
+            &[],
+            Some(Value::Int(v)),
+        )
         .unwrap();
     tb.finish(n)
 }
@@ -64,7 +68,13 @@ fn leaf_sub(g: &Grammar, v: i64) -> fnc2::ag::Tree {
 fn main() {
     println!("Section 2.1.2: incremental vs. exhaustive reevaluation\n");
     let headers = [
-        "tree depth", "instances", "edit", "reevaluated", "changed", "cut", "fraction",
+        "tree depth",
+        "instances",
+        "edit",
+        "reevaluated",
+        "changed",
+        "cut",
+        "fraction",
     ];
     let mut rows = Vec::new();
     let g = sum_grammar();
@@ -75,8 +85,7 @@ fn main() {
         let body = balanced(&g, &mut tb, depth, &mut next);
         let root = tb.op("root", &[body]).unwrap();
         let tree = tb.finish_root(root).unwrap();
-        let mut inc =
-            IncrementalEvaluator::new(&g, tree, Equality::default()).expect("evaluates");
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).expect("evaluates");
         let instances = inc.instance_count();
 
         // One leaf, new value.
@@ -94,7 +103,10 @@ fn main() {
             stats.reevaluated.to_string(),
             stats.changed.to_string(),
             stats.cut.to_string(),
-            format!("{:.3}%", 100.0 * stats.reevaluated as f64 / instances as f64),
+            format!(
+                "{:.3}%",
+                100.0 * stats.reevaluated as f64 / instances as f64
+            ),
         ]);
 
         // Same-value edit: propagation cut immediately.
@@ -118,7 +130,10 @@ fn main() {
             stats.reevaluated.to_string(),
             stats.changed.to_string(),
             stats.cut.to_string(),
-            format!("{:.3}%", 100.0 * stats.reevaluated as f64 / instances as f64),
+            format!(
+                "{:.3}%",
+                100.0 * stats.reevaluated as f64 / instances as f64
+            ),
         ]);
 
         // Multiple subtree replacements in one wave.
@@ -142,10 +157,14 @@ fn main() {
             stats.reevaluated.to_string(),
             stats.changed.to_string(),
             stats.cut.to_string(),
-            format!("{:.3}%", 100.0 * stats.reevaluated as f64 / instances as f64),
+            format!(
+                "{:.3}%",
+                100.0 * stats.reevaluated as f64 / instances as f64
+            ),
         ]);
     }
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table_incremental", &headers, &rows);
     println!("Expected shape: reevaluation touches O(depth) instances per edit (the spine");
     println!("to the root), a vanishing fraction as the tree grows; equal-value edits cut");
     println!("immediately; multiple replacements share one propagation wave.");

@@ -23,7 +23,12 @@ use fnc2_corpus as corpus;
 fn main() {
     println!("Figure 1 / section 2.1.1: classical (equality) vs. long-inclusion transformation\n");
     let headers = [
-        "AG", "strategy", "part/NT avg", "part/NT max", "visit-seqs", "transform time",
+        "AG",
+        "strategy",
+        "part/NT avg",
+        "part/NT max",
+        "visit-seqs",
+        "transform time",
         "dyn. visits",
     ];
     let mut rows = Vec::new();
@@ -33,7 +38,10 @@ fn main() {
         ("blocks".into(), corpus::blocks()),
         ("minipascal".into(), corpus::minipascal().0),
         ("snc_only(AG5)".into(), corpus::snc_only()),
-        ("synthAG5".into(), corpus::synthetic(&corpus::TABLE1_PROFILES[4])),
+        (
+            "synthAG5".into(),
+            corpus::synthetic(&corpus::TABLE1_PROFILES[4]),
+        ),
     ];
     for (name, g) in &grammars {
         let snc = snc_test(g);
@@ -63,8 +71,8 @@ fn main() {
                 }
                 "minipascal" => {
                     let seqs = build_visit_seqs(g, &lo);
-                    let tree = corpus::parse_minipascal(g, &corpus::sample_program(6))
-                        .expect("parses");
+                    let tree =
+                        corpus::parse_minipascal(g, &corpus::sample_program(6)).expect("parses");
                     let (_, s) = Evaluator::new(g, &seqs)
                         .evaluate(&tree, &RootInputs::new())
                         .expect("evaluates");
@@ -84,6 +92,7 @@ fn main() {
         }
     }
     println!("{}", render_table(&headers, &rows));
+    fnc2_bench::maybe_emit_json("table_partitions", &headers, &rows);
     println!("Expected shape: long inclusion never registers more partitions than equality,");
     println!("collapses to ~1 partition/NT on realistic AGs (max 2 on the AG5 shape), and");
     println!("the dynamic visit counts of the two strategies differ by <2%.");

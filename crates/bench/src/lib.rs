@@ -2,9 +2,11 @@
 //!
 //! Shared machinery for the table binaries (`table1` … `table4`,
 //! `table_partitions`, `table_space`, `table_evaluator`,
-//! `table_incremental`) and the Criterion benches: hand-written reference
+//! `table_incremental`) and the `benches/` targets: hand-written reference
 //! evaluators (the §4.2 comparison point), a byte-counting global-allocator
-//! hook (the Table 2/3 "memory" column), and table rendering.
+//! hook (the Table 2/3 "memory" column), a dependency-free timing harness
+//! ([`harness`]), table rendering, and optional JSON table dumps
+//! ([`maybe_emit_json`]).
 
 #![warn(missing_docs)]
 
@@ -258,7 +260,11 @@ pub fn handwritten_minipascal(g: &Grammar, tree: &Tree) -> (Vec<String>, Vec<Str
                 "<" => "LT",
                 _ => "EQ",
             };
-            (out, cat1(&cat(&c1, &c2), opc.to_string()), cat(&cat(&errs, &e1), &e2))
+            (
+                out,
+                cat1(&cat(&c1, &c2), opc.to_string()),
+                cat(&cat(&errs, &e1), &e2),
+            )
         };
         match prod {
             "eadd" => binop("+", "int", "int"),
@@ -273,7 +279,11 @@ pub fn handwritten_minipascal(g: &Grammar, tree: &Tree) -> (Vec<String>, Vec<Str
                 } else {
                     L::new()
                 };
-                ("bool", cat1(&cat(&c1, &c2), "EQ".into()), cat(&cat(&head, &e1), &e2))
+                (
+                    "bool",
+                    cat1(&cat(&c1, &c2), "EQ".into()),
+                    cat(&cat(&head, &e1), &e2),
+                )
             }
             "enot" => {
                 let (t, c, e) = expr(g, tree, kids[0], env);
@@ -329,7 +339,10 @@ pub fn handwritten_minipascal(g: &Grammar, tree: &Tree) -> (Vec<String>, Vec<Str
                 let (addr, head) = match env.get(&name) {
                     Some((a, want)) => {
                         if t != *want && t != "?" {
-                            (*a, vec![format!("assignment to {name}: expected {want}, got {t}")])
+                            (
+                                *a,
+                                vec![format!("assignment to {name}: expected {want}, got {t}")],
+                            )
                         } else {
                             (*a, L::new())
                         }
@@ -440,7 +453,9 @@ pub fn bit_string(len: usize, seed: u64) -> String {
     let mut s = String::with_capacity(len + 1);
     s.push('1');
     for _ in 1..len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s.push(if x >> 62 & 1 == 0 { '0' } else { '1' });
     }
     s
@@ -475,6 +490,132 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line(&mut out, row);
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// JSON table dumps (the perf trajectory)
+// ---------------------------------------------------------------------------
+
+/// Writes `BENCH_<name>.json` when `FNC2_BENCH_JSON` is set (to a
+/// directory, or to `1` for the current directory), so table runs start
+/// accumulating a machine-readable perf trajectory.
+///
+/// The document is `{"table": name, "headers": [...], "rows": [[...]]}`.
+/// Returns the path written, or `None` when the env var is unset.
+pub fn maybe_emit_json(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Option<std::path::PathBuf> {
+    let dest = std::env::var("FNC2_BENCH_JSON").ok()?;
+    let dir = if dest == "1" {
+        std::path::PathBuf::from(".")
+    } else {
+        std::path::PathBuf::from(dest)
+    };
+    let doc = fnc2_obs::Json::obj([
+        ("table", fnc2_obs::Json::str(name)),
+        (
+            "headers",
+            fnc2_obs::Json::Arr(headers.iter().map(|h| fnc2_obs::Json::str(*h)).collect()),
+        ),
+        (
+            "rows",
+            fnc2_obs::Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        fnc2_obs::Json::Arr(
+                            row.iter().map(|c| fnc2_obs::Json::str(c.clone())).collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing harness (replaces the external bench framework; offline builds)
+// ---------------------------------------------------------------------------
+
+/// A minimal measurement harness for the `benches/` targets
+/// (`harness = false`): fixed warmup, fixed sample count, median-of-samples
+/// reporting. Dependency-free by construction — the workspace builds
+/// offline.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// One benchmark's result.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        /// Group/name label, e.g. `"evaluator/binary-1024/generated"`.
+        pub name: String,
+        /// Median nanoseconds per iteration.
+        pub median_ns: f64,
+        /// Minimum nanoseconds per iteration.
+        pub min_ns: f64,
+        /// Number of timed samples.
+        pub samples: usize,
+    }
+
+    impl Measurement {
+        /// `"name  median  (min)"` with µs/ms scaling.
+        pub fn render(&self) -> String {
+            format!(
+                "{:<48} {:>12} (min {})",
+                self.name,
+                fmt_ns(self.median_ns),
+                fmt_ns(self.min_ns)
+            )
+        }
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Runs `f` for `warmup` untimed and `samples` timed iterations and
+    /// prints the median. The closure's result is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+        let samples = samples.max(3);
+        let warmup = (samples / 4).max(1);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            samples,
+        };
+        println!("{}", m.render());
+        m
+    }
 }
 
 #[cfg(test)]

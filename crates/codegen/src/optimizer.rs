@@ -54,7 +54,9 @@ fn walk(name: &str, e: &Expr, tail: bool, info: &mut TailInfo) {
             walk(name, lhs, false, info);
             walk(name, rhs, false, info);
         }
-        Expr::If { cond, then, els, .. } => {
+        Expr::If {
+            cond, then, els, ..
+        } => {
             walk(name, cond, false, info);
             walk(name, then, tail, info);
             walk(name, els, tail, info);
@@ -63,7 +65,9 @@ fn walk(name: &str, e: &Expr, tail: bool, info: &mut TailInfo) {
             walk(name, value, false, info);
             walk(name, body, tail, info);
         }
-        Expr::Case { scrutinee, arms, .. } => {
+        Expr::Case {
+            scrutinee, arms, ..
+        } => {
             walk(name, scrutinee, false, info);
             for (_, b) in arms {
                 walk(name, b, tail, info);
@@ -314,7 +318,10 @@ pub fn run_decision(
     d: &Decision,
     scrutinee: &fnc2_ag::Value,
 ) -> Option<(usize, HashMap<String, fnc2_ag::Value>)> {
-    fn at<'v>(v: &'v fnc2_ag::Value, path: &[usize]) -> Option<std::borrow::Cow<'v, fnc2_ag::Value>> {
+    fn at<'v>(
+        v: &'v fnc2_ag::Value,
+        path: &[usize],
+    ) -> Option<std::borrow::Cow<'v, fnc2_ag::Value>> {
         use std::borrow::Cow;
         let mut cur = Cow::Borrowed(v);
         for &i in path {
@@ -343,7 +350,12 @@ pub fn run_decision(
             }
             Some((*arm, env))
         }
-        Decision::Test { path, test, yes, no } => {
+        Decision::Test {
+            path,
+            test,
+            yes,
+            no,
+        } => {
             let v = at(scrutinee, path)?;
             let pass = match (test, &*v) {
                 (Test::IntIs(i), fnc2_ag::Value::Int(j)) => i == j,

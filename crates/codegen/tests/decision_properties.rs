@@ -1,47 +1,68 @@
 //! Property test: decision-tree compilation preserves linear first-match
-//! semantics, on random pattern matrices and random scrutinees.
+//! semantics, on random pattern matrices and random scrutinees drawn
+//! from a seeded inline generator (same cases every run).
 
 use fnc2_ag::Value;
 use fnc2_codegen::{compile_arms, run_decision};
 use fnc2_olga::ast::Pat;
 use fnc2_olga::Pos;
-use proptest::prelude::*;
 
 fn p0() -> Pos {
     Pos { line: 0, col: 0 }
 }
 
-/// Random patterns over ints, bools, lists and pairs.
-fn pat_strategy() -> impl Strategy<Value = Pat> {
-    let leaf = prop_oneof![
-        Just(Pat::Wild(p0())),
-        (0i64..4).prop_map(|i| Pat::Int(i, p0())),
-        proptest::bool::ANY.prop_map(|b| Pat::Bool(b, p0())),
-        Just(Pat::Nil(p0())),
-        "[a-c]".prop_map(|s| Pat::Bind(s, p0())),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(h, t)| Pat::Cons(Box::new(h), Box::new(t), p0())),
-            proptest::collection::vec(inner, 2..3).prop_map(|ps| Pat::Tuple(ps, p0())),
-        ]
-    })
+/// Inline SplitMix64 (this crate sits below the corpus, which hosts the
+/// shared test PRNG, so a local copy avoids a dependency cycle).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Random patterns over ints, bools, lists and pairs, depth-bounded.
+fn random_pat(rng: &mut Rng, depth: usize) -> Pat {
+    let leaf_only = depth == 0;
+    match rng.below(if leaf_only { 5 } else { 7 }) {
+        0 => Pat::Wild(p0()),
+        1 => Pat::Int(rng.below(4) as i64, p0()),
+        2 => Pat::Bool(rng.below(2) == 0, p0()),
+        3 => Pat::Nil(p0()),
+        4 => {
+            let name = ["a", "b", "c"][rng.below(3)];
+            Pat::Bind(name.to_string(), p0())
+        }
+        5 => Pat::Cons(
+            Box::new(random_pat(rng, depth - 1)),
+            Box::new(random_pat(rng, depth - 1)),
+            p0(),
+        ),
+        _ => Pat::Tuple((0..2).map(|_| random_pat(rng, depth - 1)).collect(), p0()),
+    }
 }
 
 /// Random values in the same space.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        (0i64..4).prop_map(Value::Int),
-        proptest::bool::ANY.prop_map(Value::Bool),
-        Just(Value::list([])),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::list),
-            proptest::collection::vec(inner, 2..3).prop_map(Value::tuple),
-        ]
-    })
+fn random_value(rng: &mut Rng, depth: usize) -> Value {
+    let leaf_only = depth == 0;
+    match rng.below(if leaf_only { 3 } else { 5 }) {
+        0 => Value::Int(rng.below(4) as i64),
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::list([]),
+        3 => {
+            let n = rng.below(3);
+            Value::list((0..n).map(|_| random_value(rng, depth - 1)))
+        }
+        _ => Value::tuple((0..2).map(|_| random_value(rng, depth - 1))),
+    }
 }
 
 /// Reference: linear first-match with structural semantics.
@@ -72,19 +93,19 @@ fn linear_match(pats: &[Pat], v: &Value) -> Option<usize> {
     pats.iter().position(|p| matches(p, v))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn decision_tree_equals_linear_match(
-        pats in proptest::collection::vec(pat_strategy(), 1..6),
-        values in proptest::collection::vec(value_strategy(), 1..6),
-    ) {
+#[test]
+fn decision_tree_equals_linear_match() {
+    let mut rng = Rng(0xdec1);
+    for _ in 0..256 {
+        let n_pats = 1 + rng.below(5);
+        let pats: Vec<Pat> = (0..n_pats).map(|_| random_pat(&mut rng, 3)).collect();
+        let n_vals = 1 + rng.below(5);
+        let values: Vec<Value> = (0..n_vals).map(|_| random_value(&mut rng, 3)).collect();
         let tree = compile_arms(&pats);
         for v in &values {
             let got = run_decision(&tree, v).map(|(arm, _)| arm);
             let want = linear_match(&pats, v);
-            prop_assert_eq!(got, want, "patterns {:?} value {:?}", pats, v);
+            assert_eq!(got, want, "patterns {pats:?} value {v:?}");
         }
     }
 }

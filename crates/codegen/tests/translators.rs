@@ -34,7 +34,11 @@ attribute grammar desk;
 end
 "#;
 
-fn artifacts() -> (fnc2_olga::CheckedAg, fnc2_ag::Grammar, fnc2_visit::VisitSeqs) {
+fn artifacts() -> (
+    fnc2_olga::CheckedAg,
+    fnc2_ag::Grammar,
+    fnc2_visit::VisitSeqs,
+) {
     let fnc2_olga::ast::Unit::Ag(ag) = parse_unit(DESK).unwrap() else {
         panic!("expected AG")
     };
@@ -162,8 +166,14 @@ end
     let lo = snc_to_l_ordered(&grammar, &snc, Inclusion::Long).unwrap();
     let seqs = build_visit_seqs(&grammar, &lo);
     let c = to_c(&checked, &grammar, &seqs);
-    assert!(c.contains("v_add") || c.contains("v_append"), "model folds inlined");
-    assert!(!c.contains("unreachable: computed rules"), "all rules emitted");
+    assert!(
+        c.contains("v_add") || c.contains("v_append"),
+        "model folds inlined"
+    );
+    assert!(
+        !c.contains("unreachable: computed rules"),
+        "all rules emitted"
+    );
     if Command::new("cc").arg("--version").output().is_ok() {
         let dir = std::env::temp_dir().join("fnc2_codegen_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -8,20 +8,79 @@
 //! fnc2c seqs    <file.olga>       # print the visit sequences
 //! ```
 //!
-//! The input is an OLGA text: any number of modules followed by one
-//! attribute grammar (`-` reads standard input).
+//! Instrumentation flags (any command that runs the generator):
+//!
+//! ```text
+//! --report json|text   report format (json bundles phases+counters+trace)
+//! --metrics            print phase times and counters (stderr for c/lisp/seqs)
+//! --trace[=N]          capture an event trace (ring of N entries, default 4096)
+//! ```
+//!
+//! With flags but no command, `report` is assumed, so
+//! `fnc2c --report json grammar.olga` emits the single-document JSON
+//! report. The input is an OLGA text: any number of modules followed by
+//! one attribute grammar (`-` reads standard input).
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use fnc2::{Pipeline, PipelineError};
+use fnc2::obs::Obs;
+use fnc2::{GrammarResolver, Pipeline, PipelineError};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Opts {
+    metrics: bool,
+    trace: Option<usize>,
+    report_json: bool,
+}
+
+const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+fn usage() -> String {
+    "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] \
+     <report|check|c|lisp|seqs> <file.olga | ->"
+        .to_string()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path) = match args.as_slice() {
-        [cmd, path] => (cmd.as_str(), path.as_str()),
+    let mut opts = Opts::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => opts.metrics = true,
+            "--trace" => opts.trace = Some(DEFAULT_TRACE_CAPACITY),
+            "--report" => match it.next().as_deref() {
+                Some("json") => opts.report_json = true,
+                Some("text") => opts.report_json = false,
+                _ => {
+                    eprintln!("fnc2c: --report takes `json` or `text`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--trace=") => {
+                match other["--trace=".len()..].parse::<usize>() {
+                    Ok(n) if n > 0 => opts.trace = Some(n),
+                    _ => {
+                        eprintln!("fnc2c: --trace=N needs a positive count\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("fnc2c: unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let (cmd, path) = match positional.as_slice() {
+        [cmd, path] => (cmd.clone(), path.clone()),
+        // Flags-only invocations default to the report command.
+        [path] => ("report".to_string(), path.clone()),
         _ => {
-            eprintln!("usage: fnc2c <report|check|c|lisp|seqs> <file.olga | ->");
+            eprintln!("{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -33,7 +92,7 @@ fn main() -> ExitCode {
         }
         s
     } else {
-        match std::fs::read_to_string(path) {
+        match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("fnc2c: {path}: {e}");
@@ -42,7 +101,7 @@ fn main() -> ExitCode {
         }
     };
 
-    match run(cmd, &source) {
+    match run(&cmd, &source, opts) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -54,7 +113,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(cmd: &str, source: &str) -> Result<String, String> {
+fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
     // The checked AG is needed for the translators.
     let checked = || -> Result<fnc2::olga::CheckedAg, String> {
         let units = fnc2::olga::parse_units(source).map_err(|e| e.to_string())?;
@@ -72,6 +131,11 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
         compiler.check_ag(ag).map_err(|e| e.to_string())
     };
 
+    let mut obs = match opts.trace {
+        Some(n) => Obs::with_trace(n),
+        None => Obs::new(),
+    };
+
     match cmd {
         "check" => {
             let checked = checked()?;
@@ -86,25 +150,37 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
             ))
         }
         "report" => {
-            let compiled = compile(source)?;
-            Ok(format!("{}\n", compiled.report))
+            let compiled = compile(source, &mut obs)?;
+            // Exercise the generated evaluators on a minimal tree so the
+            // run counters (visits, evals, copies, storage classes) are
+            // populated alongside the static generator statistics.
+            compiled.smoke_evaluate(&mut obs);
+            if opts.report_json {
+                Ok(format!("{}\n", compiled.report_json(&obs)))
+            } else {
+                let mut out = format!("{}\n", compiled.report);
+                if opts.metrics || opts.trace.is_some() {
+                    out.push_str(&obs.render(&GrammarResolver(&compiled.grammar)));
+                }
+                Ok(out)
+            }
         }
         "c" => {
             let checked = checked()?;
-            let compiled = compile(source)?;
-            Ok(fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs))
+            let compiled = compile(source, &mut obs)?;
+            let out = fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs);
+            emit_side_channel(&opts, &obs, &compiled.grammar);
+            Ok(out)
         }
         "lisp" => {
             let checked = checked()?;
-            let compiled = compile(source)?;
-            Ok(fnc2::codegen::to_lisp(
-                &checked,
-                &compiled.grammar,
-                &compiled.seqs,
-            ))
+            let compiled = compile(source, &mut obs)?;
+            let out = fnc2::codegen::to_lisp(&checked, &compiled.grammar, &compiled.seqs);
+            emit_side_channel(&opts, &obs, &compiled.grammar);
+            Ok(out)
         }
         "seqs" => {
-            let compiled = compile(source)?;
+            let compiled = compile(source, &mut obs)?;
             let mut out = String::new();
             for (p, pi) in compiled.seqs.keys() {
                 let seq = compiled.seqs.seq(p, pi);
@@ -130,15 +206,26 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
                     out.push_str(&format!("  LEAVE {}\n", v + 1));
                 }
             }
+            emit_side_channel(&opts, &obs, &compiled.grammar);
             Ok(out)
         }
         other => Err(format!("fnc2c: unknown command `{other}`")),
     }
 }
 
-fn compile(source: &str) -> Result<fnc2::Compiled, String> {
-    Pipeline::new().compile_olga(source).map_err(|e| match e {
-        PipelineError::NotSnc(trace) => format!("fnc2c: grammar is not SNC\n{trace}"),
-        other => format!("fnc2c: {other}"),
-    })
+/// Prints the instrumentation report to stderr for commands whose stdout
+/// is a generated artifact (C, Lisp, visit sequences).
+fn emit_side_channel(opts: &Opts, obs: &Obs, grammar: &fnc2::ag::Grammar) {
+    if opts.metrics || opts.trace.is_some() {
+        eprint!("{}", obs.render(&GrammarResolver(grammar)));
+    }
+}
+
+fn compile(source: &str, obs: &mut Obs) -> Result<fnc2::Compiled, String> {
+    Pipeline::new()
+        .compile_olga_recorded(source, obs)
+        .map_err(|e| match e {
+            PipelineError::NotSnc(trace) => format!("fnc2c: grammar is not SNC\n{trace}"),
+            other => format!("fnc2c: {other}"),
+        })
 }

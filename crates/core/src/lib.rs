@@ -40,10 +40,14 @@
 #![warn(missing_debug_implementations)]
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
-use fnc2_ag::{AttrValues, Grammar, Tree};
-use fnc2_analysis::{classify, AgClass, Classification, Inclusion};
+use fnc2_ag::{
+    AttrId, AttrValues, Grammar, NodeId, PhylumId, ProductionId, Tree, TreeBuilder, Value,
+};
+use fnc2_analysis::{classify_recorded, AgClass, Classification, Inclusion};
+use fnc2_obs::{Json, Key, Obs, Recorder, Resolver};
 use fnc2_space::{analyze_space, FlatProgram, Lifetimes, ObjectIndex, SpacePlan};
 use fnc2_visit::{build_visit_seqs, EvalError, EvalStats, Evaluator, RootInputs, VisitSeqs};
 
@@ -52,6 +56,7 @@ pub use fnc2_analysis as analysis;
 pub use fnc2_codegen as codegen;
 pub use fnc2_gfa as gfa;
 pub use fnc2_incremental as incremental;
+pub use fnc2_obs as obs;
 pub use fnc2_olga as olga;
 pub use fnc2_space as space;
 pub use fnc2_syntax as syntax;
@@ -240,6 +245,205 @@ impl Compiled {
             .expect("space optimization enabled");
         fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan).evaluate(tree, inputs)
     }
+
+    /// [`evaluate`](Self::evaluate), instrumented: run counters are
+    /// replayed into `rec` under the `eval.*` keys and, when tracing is
+    /// on, visits and rule firings emit events.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        Evaluator::new(&self.grammar, &self.seqs).evaluate_recorded(tree, inputs, rec)
+    }
+
+    /// [`evaluate_optimized`](Self::evaluate_optimized), instrumented
+    /// with the `space.*` counters and `AttrStored` events.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was configured without space optimization.
+    pub fn evaluate_optimized_recorded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        rec: &mut R,
+    ) -> Result<fnc2_space::SpaceOutcome, EvalError> {
+        let fp = self.flat.as_ref().expect("space optimization enabled");
+        let plan = self
+            .space_plan
+            .as_ref()
+            .expect("space optimization enabled");
+        fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan)
+            .evaluate_recorded(tree, inputs, rec)
+    }
+
+    /// Runs the generated evaluators once on a minimal derivation of the
+    /// grammar so the `eval.*` (and, with space optimization, `space.*`)
+    /// run counters are non-zero in a report. Tokens default to `0` and
+    /// root inherited attributes to `Int(0)`; evaluation is sandboxed, so
+    /// grammars whose minimal tree needs typed tokens simply contribute no
+    /// run counters. Returns whether the plain evaluation succeeded.
+    pub fn smoke_evaluate<R: Recorder>(&self, rec: &mut R) -> bool {
+        let Some(tree) = smoke_tree(&self.grammar) else {
+            return false;
+        };
+        let mut inputs = RootInputs::new();
+        for attr in self.grammar.inherited(self.grammar.root()) {
+            inputs.insert(attr, Value::Int(0));
+        }
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            self.evaluate_recorded(&tree, &inputs, rec).is_ok()
+        }))
+        .unwrap_or(false);
+        if ok && self.space_plan.is_some() {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _ = self.evaluate_optimized_recorded(&tree, &inputs, rec);
+            }));
+        }
+        ok
+    }
+
+    /// The report and the instrumentation layer's view of the run as one
+    /// JSON document: grammar sizes and class, per-phase durations,
+    /// counters, histograms, and the event trace when one was captured.
+    pub fn report_json(&self, obs: &Obs) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("grammar".into(), Json::str(self.grammar.name())),
+            ("class".into(), Json::str(self.report.class.to_string())),
+            ("phyla".into(), Json::Int(self.report.phyla as i64)),
+            ("operators".into(), Json::Int(self.report.operators as i64)),
+            (
+                "occurrences".into(),
+                Json::Int(self.report.occurrences as i64),
+            ),
+            ("rules".into(), Json::Int(self.report.rules as i64)),
+        ];
+        if let Some(t) = &self.report.transform {
+            pairs.push((
+                "transform".into(),
+                Json::obj([
+                    ("plans", Json::Int(t.plans as i64)),
+                    ("reuses", Json::Int(t.reuses as i64)),
+                    ("fresh", Json::Int(t.fresh as i64)),
+                    ("max_partitions", Json::Int(t.max_partitions() as i64)),
+                ]),
+            ));
+        }
+        if let Some(s) = &self.report.space {
+            pairs.push((
+                "space".into(),
+                Json::obj([
+                    ("variables", Json::Int(s.variables_after as i64)),
+                    ("stacks", Json::Int(s.stacks_after as i64)),
+                    ("node_occurrences", Json::Int(s.occ_node as i64)),
+                    ("copies_eliminated", Json::Int(s.copies_eliminated as i64)),
+                    ("copies_total", Json::Int(s.copies_total as i64)),
+                ]),
+            ));
+        }
+        if let Json::Obj(obs_pairs) = obs.to_json() {
+            pairs.extend(obs_pairs);
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A [`Resolver`] that maps the raw indices carried by trace events back
+/// to grammar names, for pretty-printed traces.
+#[derive(Clone, Copy, Debug)]
+pub struct GrammarResolver<'g>(pub &'g Grammar);
+
+impl Resolver for GrammarResolver<'_> {
+    fn production(&self, production: u32) -> String {
+        self.0
+            .production(ProductionId::from_raw(production))
+            .name()
+            .to_string()
+    }
+
+    fn attribute(&self, attr: u32) -> String {
+        self.0.attr(AttrId::from_raw(attr)).name().to_string()
+    }
+
+    fn rule(&self, production: u32, rule: u32) -> String {
+        let p = ProductionId::from_raw(production);
+        let prod = self.0.production(p);
+        match prod.rules().get(rule as usize) {
+            Some(r) => self.0.occ_name(p, r.target()),
+            None => format!("r{rule}"),
+        }
+    }
+}
+
+/// Builds a minimal derivation of the grammar's axiom: for every phylum
+/// the production of least derivation height, tokens defaulting to
+/// `Int(0)`. Returns `None` if some phylum on the minimal path derives no
+/// finite tree (useless phyla elsewhere don't matter).
+pub fn smoke_tree(grammar: &Grammar) -> Option<Tree> {
+    // Least derivation height per phylum (a small fixpoint).
+    let nph = grammar.phylum_count();
+    let mut height: Vec<Option<usize>> = vec![None; nph];
+    let prod_height = |height: &[Option<usize>], p: ProductionId| -> Option<usize> {
+        let prod = grammar.production(p);
+        let mut h = 0;
+        for ph in prod.rhs() {
+            h = h.max(height[ph.index()]?);
+        }
+        Some(h + 1)
+    };
+    loop {
+        let mut changed = false;
+        for p in grammar.productions() {
+            if let Some(h) = prod_height(&height, p) {
+                let lhs = grammar.production(p).lhs().index();
+                if height[lhs].is_none_or(|old| h < old) {
+                    height[lhs] = Some(h);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // The height-minimal production of each phylum.
+    let mut best: Vec<Option<ProductionId>> = vec![None; nph];
+    for p in grammar.productions() {
+        let lhs = grammar.production(p).lhs().index();
+        if best[lhs].is_none() && prod_height(&height, p) == height[lhs] {
+            best[lhs] = Some(p);
+        }
+    }
+
+    fn build(
+        grammar: &Grammar,
+        best: &[Option<ProductionId>],
+        tb: &mut TreeBuilder<'_>,
+        ph: PhylumId,
+    ) -> Option<NodeId> {
+        let p = best[ph.index()]?;
+        let children: Option<Vec<NodeId>> = grammar
+            .production(p)
+            .rhs()
+            .iter()
+            .map(|&c| build(grammar, best, tb, c))
+            .collect();
+        tb.node_with_token(p, &children?, Some(Value::Int(0))).ok()
+    }
+
+    let mut tb = TreeBuilder::new(grammar);
+    let root = build(grammar, &best, &mut tb, grammar.root())?;
+    tb.finish_root(root).ok()
 }
 
 impl Pipeline {
@@ -255,10 +459,28 @@ impl Pipeline {
     ///
     /// Fails with the circularity trace if the grammar is not SNC.
     pub fn compile(&self, grammar: Grammar) -> Result<Compiled, PipelineError> {
-        let t0 = Instant::now();
-        let classification = classify(&grammar, self.max_oag_k, self.inclusion)
-            .map_err(PipelineError::Transform)?;
-        let analysis_time = t0.elapsed();
+        self.compile_recorded(grammar, &mut Obs::new())
+    }
+
+    /// [`compile`](Self::compile), instrumented: every Figure-3 cascade
+    /// stage runs inside a phase span (`analysis` with its nested
+    /// `analysis.snc`/`analysis.dnc`/`analysis.oag`/`analysis.transform`
+    /// children, then `visit.sequences` and `space.analysis`), the GFA
+    /// fixpoints feed the `gfa.*` counters, and the storage plan feeds the
+    /// `space.plan.*` counters.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`compile`](Self::compile).
+    pub fn compile_recorded(
+        &self,
+        grammar: Grammar,
+        obs: &mut Obs,
+    ) -> Result<Compiled, PipelineError> {
+        obs.phases.enter("analysis");
+        let classified = classify_recorded(&grammar, self.max_oag_k, self.inclusion, obs);
+        obs.phases.leave();
+        let classification = classified.map_err(PipelineError::Transform)?;
         if !classification.is_evaluable() {
             let w = classification
                 .snc
@@ -272,18 +494,32 @@ impl Pipeline {
             .as_ref()
             .expect("evaluable grammars have plans");
 
-        let t1 = Instant::now();
+        obs.phases.enter("visit.sequences");
         let seqs = build_visit_seqs(&grammar, lo);
-        let vs_time = t1.elapsed();
+        obs.phases.leave();
 
-        let t2 = Instant::now();
+        obs.phases.enter("space.analysis");
         let (flat, objects, lifetimes, space_plan) = if self.optimize_space {
             let (fp, ox, lt, plan) = analyze_space(&grammar, &seqs);
             (Some(fp), Some(ox), Some(lt), Some(plan))
         } else {
             (None, None, None, None)
         };
-        let space_time = t2.elapsed();
+        if let Some(plan) = &space_plan {
+            obs.count(Key::SpacePlanVariables, plan.stats.variables_after as u64);
+            obs.count(Key::SpacePlanStacks, plan.stats.stacks_after as u64);
+            obs.count(Key::SpacePlanNode, plan.stats.occ_node as u64);
+            obs.count(
+                Key::SpacePlanCopiesEliminated,
+                plan.stats.copies_eliminated as u64,
+            );
+        }
+        obs.phases.leave();
+
+        let nanos = |name| Duration::from_nanos(obs.phases.nanos_of(name) as u64);
+        let analysis_time = nanos("analysis");
+        let vs_time = nanos("visit.sequences");
+        let space_time = nanos("space.analysis");
 
         let report = Report {
             class: classification.class,
@@ -317,8 +553,63 @@ impl Pipeline {
     ///
     /// Front-end errors carry positions; non-SNC grammars carry the trace.
     pub fn compile_olga(&self, source: &str) -> Result<Compiled, PipelineError> {
-        let (grammar, _) = fnc2_olga::compile_ag_source(source)?;
-        self.compile(grammar)
+        self.compile_olga_recorded(source, &mut Obs::new())
+    }
+
+    /// [`compile_olga`](Self::compile_olga), instrumented: the front-end
+    /// runs inside the `olga.parse`/`olga.check`/`olga.lower` phase spans
+    /// before the [`compile_recorded`](Self::compile_recorded) cascade.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`compile_olga`](Self::compile_olga).
+    pub fn compile_olga_recorded(
+        &self,
+        source: &str,
+        obs: &mut Obs,
+    ) -> Result<Compiled, PipelineError> {
+        use fnc2_olga::ast::Unit;
+
+        obs.phases.enter("olga.parse");
+        let parsed = fnc2_olga::parse_units(source);
+        obs.phases.leave();
+        let units = parsed.map_err(|e| PipelineError::Olga(e.into()))?;
+
+        obs.phases.enter("olga.check");
+        let checked = (|| {
+            let mut compiler = fnc2_olga::Compiler::new();
+            let mut ag = None;
+            for unit in units {
+                match unit {
+                    Unit::Module(m) => compiler.add_module(m)?,
+                    Unit::Ag(a) => {
+                        if ag.is_some() {
+                            return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
+                                message: "source contains more than one attribute grammar".into(),
+                                pos: fnc2_olga::Pos { line: 1, col: 1 },
+                            }));
+                        }
+                        ag = Some(a);
+                    }
+                }
+            }
+            let Some(ag) = ag else {
+                return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
+                    message: "source contains no attribute grammar".into(),
+                    pos: fnc2_olga::Pos { line: 1, col: 1 },
+                }));
+            };
+            Ok(compiler.check_ag(ag)?)
+        })();
+        obs.phases.leave();
+        let checked = checked.map_err(PipelineError::Olga)?;
+
+        obs.phases.enter("olga.lower");
+        let lowered = fnc2_olga::lower(&checked);
+        obs.phases.leave();
+        let (grammar, _) = lowered.map_err(|e| PipelineError::Olga(e.into()))?;
+
+        self.compile_recorded(grammar, obs)
     }
 }
 
@@ -345,7 +636,9 @@ mod tests {
             .evaluate_optimized(&tree, &Default::default())
             .unwrap();
         assert_eq!(
-            outcome.node_values.get(&compiled.grammar, tree.root(), value),
+            outcome
+                .node_values
+                .get(&compiled.grammar, tree.root(), value),
             Some(&fnc2_ag::Value::Real(13.0))
         );
     }

@@ -21,9 +21,7 @@ pub fn binary() -> Grammar {
     g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
     g.func("neg", 1, |a| Value::Int(-a[0].as_int()));
     g.func("sub_len", 1, |a| Value::Int(-a[0].as_int()));
-    g.func("pow2", 1, |a| {
-        Value::Real(2f64.powi(a[0].as_int() as i32))
-    });
+    g.func("pow2", 1, |a| Value::Real(2f64.powi(a[0].as_int() as i32)));
 
     // number : Number ::= Seq
     let number_p = g.production("number", number, &[seq]);
@@ -88,7 +86,9 @@ pub fn binary_tree(g: &Grammar, text: &str) -> Tree {
         let mut it = bits.chars();
         let first = it.next().expect("nonempty bit string");
         let mut cur = {
-            let b = tb.op(if first == '1' { "one" } else { "zero" }, &[]).unwrap();
+            let b = tb
+                .op(if first == '1' { "one" } else { "zero" }, &[])
+                .unwrap();
             tb.op("single", &[b]).unwrap()
         };
         for c in it {
@@ -129,9 +129,7 @@ pub fn desk() -> Grammar {
     g.func("mul", 2, |a| {
         Value::Int(a[0].as_int().wrapping_mul(a[1].as_int()))
     });
-    g.func("bind", 3, |a| {
-        a[0].map_insert(a[1].as_str(), a[2].clone())
-    });
+    g.func("bind", 3, |a| a[0].map_insert(a[1].as_str(), a[2].clone()));
     g.func("deref", 2, |a| {
         a[0].map_get(a[1].as_str())
             .cloned()
@@ -344,11 +342,7 @@ pub fn blocks_tree_generic(g: &Grammar, spec: &str) -> Tree {
         }
         out
     }
-    fn build_items(
-        g: &Grammar,
-        tb: &mut TreeBuilder,
-        items: &[ItemSpec],
-    ) -> fnc2_ag::NodeId {
+    fn build_items(g: &Grammar, tb: &mut TreeBuilder, items: &[ItemSpec]) -> fnc2_ag::NodeId {
         match items.split_first() {
             None => tb.op("nil", &[]).unwrap(),
             Some((first, rest)) => {
@@ -421,17 +415,33 @@ mod tests {
         // let x = 2+3 in x * x
         let mut tb = TreeBuilder::new(&g);
         let lit2 = tb
-            .node_with_token(g.production_by_name("lit").unwrap(), &[], Some(Value::Int(2)))
+            .node_with_token(
+                g.production_by_name("lit").unwrap(),
+                &[],
+                Some(Value::Int(2)),
+            )
             .unwrap();
         let lit3 = tb
-            .node_with_token(g.production_by_name("lit").unwrap(), &[], Some(Value::Int(3)))
+            .node_with_token(
+                g.production_by_name("lit").unwrap(),
+                &[],
+                Some(Value::Int(3)),
+            )
             .unwrap();
         let sum = tb.op("add", &[lit2, lit3]).unwrap();
         let x1 = tb
-            .node_with_token(g.production_by_name("var").unwrap(), &[], Some(Value::str("x")))
+            .node_with_token(
+                g.production_by_name("var").unwrap(),
+                &[],
+                Some(Value::str("x")),
+            )
             .unwrap();
         let x2 = tb
-            .node_with_token(g.production_by_name("var").unwrap(), &[], Some(Value::str("x")))
+            .node_with_token(
+                g.production_by_name("var").unwrap(),
+                &[],
+                Some(Value::str("x")),
+            )
             .unwrap();
         let body = tb.op("mul", &[x1, x2]).unwrap();
         let letx = tb
@@ -458,7 +468,11 @@ mod tests {
         let vals = evaluate(&g, &tree);
         let prog = g.phylum_by_name("Prog").unwrap();
         let errors = g.attr_by_name(prog, "errors").unwrap();
-        let errs = vals.get(&g, tree.root(), errors).unwrap().as_list().to_vec();
+        let errs = vals
+            .get(&g, tree.root(), errors)
+            .unwrap()
+            .as_list()
+            .to_vec();
         assert_eq!(errs.len(), 1, "{errs:?}");
         assert_eq!(errs[0].as_str(), "undeclared `y`");
     }

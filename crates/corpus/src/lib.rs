@@ -13,15 +13,16 @@
 mod blocks_olga;
 mod classic;
 mod minipascal;
-mod pathological;
-mod synthetic;
 mod olga_sources;
+mod pathological;
+pub mod rng;
+mod synthetic;
 
 pub use blocks_olga::{blocks_olga, BLOCKS_OLGA_LIST};
 pub use classic::{binary, binary_tree, blocks, blocks_tree, blocks_tree_generic, desk};
 pub use minipascal::{
     minipascal, minipascal_scanner, parse_minipascal, sample_program, MINIPASCAL_OLGA,
 };
+pub use olga_sources::{module_source, sized_ag_source, TABLE3_MODULES};
 pub use pathological::{circular, dnc_not_oag, nc_not_snc, oag1_not_oag0, snc_only};
 pub use synthetic::{synthetic, synthetic_tree, SynthProfile, TargetClass, TABLE1_PROFILES};
-pub use olga_sources::{module_source, sized_ag_source, TABLE3_MODULES};

@@ -122,10 +122,8 @@ mod tests {
     fn sized_ags_compile_and_classify() {
         for lines in [150, 400] {
             let src = sized_ag_source("g", lines);
-            let (grammar, _) =
-                fnc2_olga::compile_ag_source(&src).unwrap_or_else(|e| panic!("{e}"));
-            let c =
-                fnc2_analysis::classify(&grammar, 0, fnc2_analysis::Inclusion::Long).unwrap();
+            let (grammar, _) = fnc2_olga::compile_ag_source(&src).unwrap_or_else(|e| panic!("{e}"));
+            let c = fnc2_analysis::classify(&grammar, 0, fnc2_analysis::Inclusion::Long).unwrap();
             assert!(c.is_evaluable());
             assert!(grammar.production_count() >= 5);
         }

@@ -182,12 +182,16 @@ mod tests {
             AgClass::Snc
         );
         assert_eq!(
-            classify(&oag1_not_oag0(), 0, Inclusion::Long).unwrap().class,
+            classify(&oag1_not_oag0(), 0, Inclusion::Long)
+                .unwrap()
+                .class,
             AgClass::Dnc,
             "with max_k = 0 it falls through to the transformation"
         );
         assert_eq!(
-            classify(&oag1_not_oag0(), 1, Inclusion::Long).unwrap().class,
+            classify(&oag1_not_oag0(), 1, Inclusion::Long)
+                .unwrap()
+                .class,
             AgClass::OagK(1)
         );
         // Several independent conflicts: k = 1 is not enough.

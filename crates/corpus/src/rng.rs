@@ -1,0 +1,116 @@
+//! A tiny deterministic PRNG (SplitMix64) for the synthetic corpus,
+//! property tests, and benchmarks.
+//!
+//! The repo builds offline, so the corpus cannot lean on an external
+//! `rand`; SplitMix64 is more than enough for seeded test-input shaping
+//! (it is *not* cryptographic and is not meant to be).
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`; the same seed always yields the
+    /// same stream.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "gen_range: {lo} > {hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform `usize` in `lo..=hi`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as i64, hi as i64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_usize(0, items.len() - 1)]
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_usize(0, i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_covered() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_range(2, 6);
+            assert!((2..=6).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(r.gen_range(3, 3), 3);
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_right() {
+        let mut r = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "hits {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+}

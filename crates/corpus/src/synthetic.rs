@@ -10,8 +10,8 @@
 //! is not OAG(k) for any k, one OAG(1) row).
 
 use fnc2_ag::{Arg, Grammar, GrammarBuilder, Occ, PhylumId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::Rng;
 
 /// The class a synthetic grammar is steered into.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,18 +44,60 @@ pub struct SynthProfile {
 /// The seven profiles standing in for the paper's AG 1–7 (sizes in the
 /// paper's range; AG5 is the big not-OAG(k) one, AG7 the OAG(1) one).
 pub const TABLE1_PROFILES: [SynthProfile; 7] = [
-    SynthProfile { name: "AG1", phyla: 20, attr_pairs: 1, class: TargetClass::Oag0, seed: 101 },
-    SynthProfile { name: "AG2", phyla: 33, attr_pairs: 2, class: TargetClass::Oag0, seed: 102 },
-    SynthProfile { name: "AG3", phyla: 35, attr_pairs: 2, class: TargetClass::Oag0, seed: 103 },
-    SynthProfile { name: "AG4", phyla: 44, attr_pairs: 2, class: TargetClass::Dnc, seed: 104 },
-    SynthProfile { name: "AG5", phyla: 74, attr_pairs: 3, class: TargetClass::SncOnly, seed: 105 },
-    SynthProfile { name: "AG6", phyla: 28, attr_pairs: 1, class: TargetClass::Oag0, seed: 106 },
-    SynthProfile { name: "AG7", phyla: 48, attr_pairs: 2, class: TargetClass::Oag1, seed: 107 },
+    SynthProfile {
+        name: "AG1",
+        phyla: 20,
+        attr_pairs: 1,
+        class: TargetClass::Oag0,
+        seed: 101,
+    },
+    SynthProfile {
+        name: "AG2",
+        phyla: 33,
+        attr_pairs: 2,
+        class: TargetClass::Oag0,
+        seed: 102,
+    },
+    SynthProfile {
+        name: "AG3",
+        phyla: 35,
+        attr_pairs: 2,
+        class: TargetClass::Oag0,
+        seed: 103,
+    },
+    SynthProfile {
+        name: "AG4",
+        phyla: 44,
+        attr_pairs: 2,
+        class: TargetClass::Dnc,
+        seed: 104,
+    },
+    SynthProfile {
+        name: "AG5",
+        phyla: 74,
+        attr_pairs: 3,
+        class: TargetClass::SncOnly,
+        seed: 105,
+    },
+    SynthProfile {
+        name: "AG6",
+        phyla: 28,
+        attr_pairs: 1,
+        class: TargetClass::Oag0,
+        seed: 106,
+    },
+    SynthProfile {
+        name: "AG7",
+        phyla: 48,
+        attr_pairs: 2,
+        class: TargetClass::Oag1,
+        seed: 107,
+    },
 ];
 
 /// Generates a synthetic grammar for a profile. Deterministic in the seed.
 pub fn synthetic(profile: &SynthProfile) -> Grammar {
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = Rng::seed_from_u64(profile.seed);
     let mut g = GrammarBuilder::new(profile.name);
     g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
     g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
@@ -83,7 +125,7 @@ pub fn synthetic(profile: &SynthProfile) -> Grammar {
         let pairs = if profile.attr_pairs == 0 {
             0
         } else {
-            rng.gen_range(0..=profile.attr_pairs)
+            rng.gen_usize(0, profile.attr_pairs)
         };
         let extra = (0..pairs)
             .map(|k| {
@@ -181,7 +223,12 @@ pub fn synthetic(profile: &SynthProfile) -> Grammar {
             let y = &phs[i + 1];
             let fork = g.production(format!("fork{i}"), x.id, &[y.id, y.id]);
             g.copy(fork, Occ::new(1, y.down), Occ::lhs(x.down));
-            g.call(fork, Occ::new(2, y.down), "succ", [Occ::new(1, y.up).into()]);
+            g.call(
+                fork,
+                Occ::new(2, y.down),
+                "succ",
+                [Occ::new(1, y.up).into()],
+            );
             g.call(
                 fork,
                 Occ::lhs(x.up),
@@ -227,12 +274,7 @@ pub fn synthetic(profile: &SynthProfile) -> Grammar {
 }
 
 /// The OAG(0)-breaking crossing gadget (`pairs` independent copies).
-fn attach_cross(
-    g: &mut GrammarBuilder,
-    root: PhylumId,
-    out: fnc2_ag::AttrId,
-    pairs: usize,
-) {
+fn attach_cross(g: &mut GrammarBuilder, root: PhylumId, out: fnc2_ag::AttrId, pairs: usize) {
     for k in 0..pairs {
         let x = g.phylum(format!("Cross{k}"));
         let i1 = g.inh(x, "i1");
@@ -287,15 +329,20 @@ fn attach_snc_only(g: &mut GrammarBuilder, root: PhylumId, out: fnc2_ag::AttrId)
 /// Builds a random tree of roughly `target` nodes for a synthetic grammar
 /// (following `chain`/`leaf` productions; forks and recursion with small
 /// probability so trees stay bounded).
-pub fn synthetic_tree(g: &Grammar, profile: &SynthProfile, target: usize, seed: u64) -> fnc2_ag::Tree {
+pub fn synthetic_tree(
+    g: &Grammar,
+    profile: &SynthProfile,
+    target: usize,
+    seed: u64,
+) -> fnc2_ag::Tree {
     let _ = profile;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut tb = fnc2_ag::TreeBuilder::new(g);
     // Recursive descent over phylum indices.
     fn grow(
         g: &Grammar,
         tb: &mut fnc2_ag::TreeBuilder,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         i: usize,
         budget: &mut isize,
     ) -> fnc2_ag::NodeId {
@@ -310,7 +357,7 @@ pub fn synthetic_tree(g: &Grammar, profile: &SynthProfile, target: usize, seed: 
             // Spend the remaining budget on recursion chains: depth is the
             // input-size knob of synthetic workloads.
             let reps = if *budget > 8 {
-                rng.gen_range(1..=(*budget / 20).clamp(1, 64)) as usize
+                rng.gen_range(1, (*budget / 20).clamp(1, 64) as i64) as usize
             } else {
                 0
             };

@@ -42,7 +42,11 @@ impl BitMatrix {
     /// # Panics
     /// Panics if `i` or `j` is out of range.
     pub fn set(&mut self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "bit ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "bit ({i},{j}) out of range {}",
+            self.n
+        );
         let w = &mut self.rows[i * self.words + j / 64];
         let bit = 1u64 << (j % 64);
         let new = *w & bit == 0;
@@ -78,8 +82,7 @@ impl BitMatrix {
     /// Replaces `self` by its transitive closure (Warshall, row-OR form).
     pub fn close(&mut self) {
         for k in 0..self.n {
-            let k_row: Vec<u64> =
-                self.rows[k * self.words..(k + 1) * self.words].to_vec();
+            let k_row: Vec<u64> = self.rows[k * self.words..(k + 1) * self.words].to_vec();
             for i in 0..self.n {
                 if self.get(i, k) {
                     let row = &mut self.rows[i * self.words..(i + 1) * self.words];
@@ -107,7 +110,11 @@ impl BitMatrix {
 
     /// Iterates the pairs of the relation.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| (0..self.n).filter(move |&j| self.get(i, j)).map(move |j| (i, j)))
+        (0..self.n).flat_map(move |i| {
+            (0..self.n)
+                .filter(move |&j| self.get(i, j))
+                .map(move |j| (i, j))
+        })
     }
 
     /// Number of pairs in the relation.
@@ -121,10 +128,7 @@ impl BitMatrix {
     /// Panics if dimensions differ.
     pub fn is_subset(&self, other: &BitMatrix) -> bool {
         assert_eq!(self.n, other.n);
-        self.rows
-            .iter()
-            .zip(&other.rows)
-            .all(|(a, b)| a & !b == 0)
+        self.rows.iter().zip(&other.rows).all(|(a, b)| a & !b == 0)
     }
 }
 

@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use fnc2_obs::{Key, NoopRecorder, Recorder};
+
 /// A deduplicating FIFO worklist over dense item indices.
 #[derive(Clone, Debug)]
 pub struct Worklist {
@@ -78,7 +80,20 @@ pub struct FixpointStats {
 pub fn fixpoint(
     n: usize,
     dependents: &[Vec<usize>],
+    step: impl FnMut(usize) -> bool,
+) -> FixpointStats {
+    fixpoint_recorded(n, dependents, step, &mut NoopRecorder)
+}
+
+/// [`fixpoint`], instrumented: the run's step and change counts are added
+/// to `rec` under `gfa.fixpoint.steps` / `gfa.fixpoint.changes` (several
+/// fixpoints in one cascade accumulate), and the worklist volume is
+/// recorded in the `gfa.fixpoint.run_steps` histogram.
+pub fn fixpoint_recorded<R: Recorder>(
+    n: usize,
+    dependents: &[Vec<usize>],
     mut step: impl FnMut(usize) -> bool,
+    rec: &mut R,
 ) -> FixpointStats {
     assert_eq!(dependents.len(), n, "one dependents list per item");
     let mut wl = Worklist::full(n);
@@ -92,6 +107,9 @@ pub fn fixpoint(
             }
         }
     }
+    rec.count(Key::GfaFixpointSteps, stats.steps as u64);
+    rec.count(Key::GfaFixpointChanges, stats.changes as u64);
+    rec.observe("gfa.fixpoint.run_steps", stats.steps as u64);
     stats
 }
 
@@ -116,8 +134,9 @@ mod tests {
         // Items 0..4 in a chain: value[i] = value[i-1] + 1, seeded at 0.
         // dependents[i] = [i+1].
         let n = 5;
-        let dependents: Vec<Vec<usize>> =
-            (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let dependents: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
         let mut value = vec![0u32; n];
         let stats = fixpoint(n, &dependents, |i| {
             let next = if i == 0 { 0 } else { value[i - 1] + 1 };

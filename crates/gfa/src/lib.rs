@@ -32,4 +32,4 @@ mod fixpoint;
 
 pub use bitmat::BitMatrix;
 pub use digraph::Digraph;
-pub use fixpoint::{fixpoint, FixpointStats, Worklist};
+pub use fixpoint::{fixpoint, fixpoint_recorded, FixpointStats, Worklist};

@@ -1,25 +1,49 @@
 //! Property tests for the GFA substrate: transitive-closure laws and
-//! topological-order correctness on random digraphs.
+//! topological-order correctness on random digraphs, driven by a small
+//! inline seeded generator so every run covers the same cases.
 
 use fnc2_gfa::{BitMatrix, Digraph};
-use proptest::prelude::*;
 
-fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..n, 0..n), 0..n * 3)
+/// Inline SplitMix64 (this crate sits below the corpus, which hosts the
+/// shared test PRNG, so a local copy avoids a dependency cycle).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
 }
 
-proptest! {
-    #[test]
-    fn closure_is_idempotent_and_contains_base(edges in edges_strategy(12)) {
+/// Up to `3n` random edges over `n` nodes.
+fn random_edges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
+    let count = rng.below(n * 3 + 1);
+    (0..count).map(|_| (rng.below(n), rng.below(n))).collect()
+}
+
+const CASES: usize = 64;
+
+#[test]
+fn closure_is_idempotent_and_contains_base() {
+    let mut rng = Rng(0xc105);
+    for _ in 0..CASES {
         let n = 12;
+        let edges = random_edges(&mut rng, n);
         let mut m = BitMatrix::new(n);
         for (u, v) in &edges {
             m.set(*u, *v);
         }
         let c1 = m.closure();
         let c2 = c1.closure();
-        prop_assert_eq!(&c1, &c2, "closure is idempotent");
-        prop_assert!(m.is_subset(&c1), "closure contains the base");
+        assert_eq!(&c1, &c2, "closure is idempotent");
+        assert!(m.is_subset(&c1), "closure contains the base");
         // Transitivity: (a,b) and (b,c) in closure => (a,c).
         for a in 0..n {
             for b in 0..n {
@@ -28,16 +52,20 @@ proptest! {
                 }
                 for cc in 0..n {
                     if c1.get(b, cc) {
-                        prop_assert!(c1.get(a, cc), "({a},{b}),({b},{cc}) but not ({a},{cc})");
+                        assert!(c1.get(a, cc), "({a},{b}),({b},{cc}) but not ({a},{cc})");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn closure_matches_reachability(edges in edges_strategy(10)) {
+#[test]
+fn closure_matches_reachability() {
+    let mut rng = Rng(0x4eac);
+    for _ in 0..CASES {
         let n = 10;
+        let edges = random_edges(&mut rng, n);
         let mut m = BitMatrix::new(n);
         let mut g = Digraph::new(n);
         for (u, v) in &edges {
@@ -56,20 +84,18 @@ proptest! {
                 }
             }
             for v in 0..n {
-                prop_assert_eq!(
-                    c.get(start, v),
-                    reach.contains(&v),
-                    "start {} v {}",
-                    start,
-                    v
-                );
+                assert_eq!(c.get(start, v), reach.contains(&v), "start {start} v {v}");
             }
         }
     }
+}
 
-    #[test]
-    fn topo_order_is_a_valid_linearization(edges in edges_strategy(14)) {
+#[test]
+fn topo_order_is_a_valid_linearization() {
+    let mut rng = Rng(0x7090);
+    for _ in 0..CASES {
         let n = 14;
+        let edges = random_edges(&mut rng, n);
         let mut g = Digraph::new(n);
         for (u, v) in &edges {
             if u != v {
@@ -78,36 +104,40 @@ proptest! {
         }
         match g.topo_order() {
             Some(order) => {
-                prop_assert_eq!(order.len(), n);
+                assert_eq!(order.len(), n);
                 let mut rank = vec![0usize; n];
                 for (r, &u) in order.iter().enumerate() {
                     rank[u] = r;
                 }
                 for (u, v) in g.edges() {
-                    prop_assert!(rank[u] < rank[v], "edge {u}->{v} violated");
+                    assert!(rank[u] < rank[v], "edge {u}->{v} violated");
                 }
-                prop_assert!(g.find_cycle().is_none());
+                assert!(g.find_cycle().is_none());
             }
             None => {
                 let cycle = g.find_cycle().expect("no topo order implies a cycle");
-                prop_assert!(cycle.len() >= 2);
+                assert!(cycle.len() >= 2);
                 for w in cycle.windows(2) {
-                    prop_assert!(g.succs(w[0]).contains(&w[1]));
+                    assert!(g.succs(w[0]).contains(&w[1]));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn sccs_partition_and_respect_cycles(edges in edges_strategy(10)) {
+#[test]
+fn sccs_partition_and_respect_cycles() {
+    let mut rng = Rng(0x5cc5);
+    for _ in 0..CASES {
         let n = 10;
+        let edges = random_edges(&mut rng, n);
         let mut g = Digraph::new(n);
         for (u, v) in &edges {
             g.add_edge(*u, *v);
         }
         let comps = g.sccs();
         let total: usize = comps.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, n, "components partition the nodes");
+        assert_eq!(total, n, "components partition the nodes");
         // Two nodes share a component iff mutually reachable.
         let mut m = BitMatrix::new(n);
         for (u, v) in g.edges() {
@@ -118,7 +148,7 @@ proptest! {
             for &a in comp {
                 for &b in comp {
                     if a != b {
-                        prop_assert!(c.get(a, b) && c.get(b, a), "{a},{b} in one SCC");
+                        assert!(c.get(a, b) && c.get(b, a), "{a},{b} in one SCC");
                     }
                 }
             }

@@ -9,9 +9,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use fnc2_ag::{
-    AttrKind, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, TreeError, Value,
-};
+use fnc2_ag::{AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, TreeError, Value};
+use fnc2_obs::{ChangeStatus, Counters, Event, Key, NoopRecorder, Recorder};
 use fnc2_visit::{eval_rule, EvalError, RootInputs, Store};
 
 use crate::status::Equality;
@@ -26,6 +25,29 @@ pub struct IncrementalStats {
     pub changed: usize,
     /// Instances reevaluated to an equal value (propagation cut there).
     pub cut: usize,
+}
+
+impl IncrementalStats {
+    /// The stats as seen through the shared [`fnc2_obs`] counter
+    /// vocabulary (`cut` maps to `inc.unchanged`).
+    pub fn from_counters(counters: &Counters) -> IncrementalStats {
+        IncrementalStats {
+            reevaluated: counters.get(Key::IncReevaluated) as usize,
+            changed: counters.get(Key::IncChanged) as usize,
+            cut: counters.get(Key::IncUnchanged) as usize,
+        }
+    }
+
+    /// The stats as a dense counter block (inverse of
+    /// [`IncrementalStats::from_counters`]; `inc.unknown` is tracked by
+    /// the evaluator itself, not by this view).
+    pub fn to_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set(Key::IncReevaluated, self.reevaluated as u64);
+        c.set(Key::IncChanged, self.changed as u64);
+        c.set(Key::IncUnchanged, self.cut as u64);
+        c
+    }
 }
 
 /// An incrementally maintained attributed tree.
@@ -106,7 +128,8 @@ impl<'g> IncrementalEvaluator<'g> {
             this.values.set(grammar, root, attr, v);
         }
         let mut stats = IncrementalStats::default();
-        this.eval_subtree(root, &mut stats)?;
+        let mut unknown = 0usize;
+        this.eval_subtree(root, &mut stats, &mut unknown, &mut NoopRecorder)?;
         Ok(this)
     }
 
@@ -158,8 +181,26 @@ impl<'g> IncrementalEvaluator<'g> {
         &mut self,
         edits: Vec<(NodeId, Tree)>,
     ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
+        self.replace_subtrees_recorded(edits, &mut NoopRecorder)
+    }
+
+    /// [`replace_subtrees`](Self::replace_subtrees), instrumented: the
+    /// wave's counters are replayed into `rec` under the `inc.*` keys
+    /// (`inc.unknown` counts fresh instances with no prior value), and
+    /// when tracing is on every semantic-control decision emits a
+    /// `StatusComputed` event.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`replace_subtrees`](Self::replace_subtrees).
+    pub fn replace_subtrees_recorded<R: Recorder>(
+        &mut self,
+        edits: Vec<(NodeId, Tree)>,
+        rec: &mut R,
+    ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
         let g = self.grammar;
         let mut stats = IncrementalStats::default();
+        let mut unknown = 0usize;
         let mut frontier: Vec<NodeId> = Vec::new();
 
         for (at, replacement) in edits {
@@ -195,7 +236,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 }
             }
             // Evaluate the fresh subtree, starting at its root (DNC).
-            self.eval_subtree(new_root, &mut stats)
+            self.eval_subtree(new_root, &mut stats, &mut unknown, rec)
                 .map_err(Box::new)?;
             // Seed propagation with the synthesized attributes whose value
             // differs from the replaced node's.
@@ -238,7 +279,29 @@ impl<'g> IncrementalEvaluator<'g> {
                 (new, old)
             };
             stats.reevaluated += 1;
-            let same = oldv.as_ref().map(|o| self.eq.same(o, &newv)).unwrap_or(false);
+            let same = oldv
+                .as_ref()
+                .map(|o| self.eq.same(o, &newv))
+                .unwrap_or(false);
+            if oldv.is_none() {
+                unknown += 1;
+            }
+            if rec.trace() {
+                if let Inst::Attr(n, a) = inst {
+                    let status = if oldv.is_none() {
+                        ChangeStatus::Unknown
+                    } else if same {
+                        ChangeStatus::Unchanged
+                    } else {
+                        ChangeStatus::Changed
+                    };
+                    rec.emit(Event::StatusComputed {
+                        node: n.index() as u32,
+                        attr: a.index() as u32,
+                        status,
+                    });
+                }
+            }
             if same {
                 stats.cut += 1;
                 continue;
@@ -254,12 +317,21 @@ impl<'g> IncrementalEvaluator<'g> {
             }
             self.enqueue_dependents(inst, &mut queue);
         }
+        let mut counters = stats.to_counters();
+        counters.set(Key::IncUnknown, unknown as u64);
+        counters.replay(rec);
         Ok(stats)
     }
 
     /// Exhaustively evaluates the subtree rooted at `node`, whose inherited
     /// attributes must already have values.
-    fn eval_subtree(&mut self, node: NodeId, stats: &mut IncrementalStats) -> Result<(), EvalError> {
+    fn eval_subtree<R: Recorder>(
+        &mut self,
+        node: NodeId,
+        stats: &mut IncrementalStats,
+        unknown: &mut usize,
+        rec: &mut R,
+    ) -> Result<(), EvalError> {
         let g = self.grammar;
         // Demand-driven over the subtree's instances (memoized by
         // presence).
@@ -284,14 +356,20 @@ impl<'g> IncrementalEvaluator<'g> {
             })
             .collect();
         for goal in goals {
-            self.demand(goal, stats)?;
+            self.demand(goal, stats, unknown, rec)?;
         }
         Ok(())
     }
 
     /// Demand-evaluates `goal` within the subtree rooted at `limit`;
     /// instances outside the subtree must already have values.
-    fn demand(&mut self, goal: Inst, stats: &mut IncrementalStats) -> Result<(), EvalError> {
+    fn demand<R: Recorder>(
+        &mut self,
+        goal: Inst,
+        stats: &mut IncrementalStats,
+        unknown: &mut usize,
+        rec: &mut R,
+    ) -> Result<(), EvalError> {
         let g = self.grammar;
         match goal {
             Inst::Attr(n, a) if self.values.get(g, n, a).is_some() => return Ok(()),
@@ -317,10 +395,20 @@ impl<'g> IncrementalEvaluator<'g> {
             })
             .collect();
         for sub in subgoals {
-            self.demand(sub, stats)?;
+            self.demand(sub, stats, unknown, rec)?;
         }
         let v = self.compute_instance(goal)?;
         stats.reevaluated += 1;
+        *unknown += 1;
+        if rec.trace() {
+            if let Inst::Attr(n, a) = goal {
+                rec.emit(Event::StatusComputed {
+                    node: n.index() as u32,
+                    attr: a.index() as u32,
+                    status: ChangeStatus::Unknown,
+                });
+            }
+        }
         match goal {
             Inst::Attr(n, a) => {
                 self.values.set(g, n, a, v);
@@ -450,10 +538,7 @@ mod tests {
         let leafe = g.production_by_name("leafe").unwrap();
         let mut nodes: Vec<NodeId> = values
             .iter()
-            .map(|&v| {
-                tb.node_with_token(leafe, &[], Some(Value::Int(v)))
-                    .unwrap()
-            })
+            .map(|&v| tb.node_with_token(leafe, &[], Some(Value::Int(v))).unwrap())
             .collect();
         while nodes.len() > 1 {
             let b = nodes.pop().unwrap();
@@ -491,9 +576,7 @@ mod tests {
         let target = inc
             .tree()
             .preorder()
-            .find(|&(n, _)| {
-                inc.tree().node(n).token() == Some(&Value::Int(1))
-            })
+            .find(|&(n, _)| inc.tree().node(n).token() == Some(&Value::Int(1)))
             .map(|(n, _)| n)
             .unwrap();
         let mut tb = TreeBuilder::new(&g);
@@ -530,9 +613,7 @@ mod tests {
             .unwrap();
         let mut tb = TreeBuilder::new(&g);
         let leafe = g.production_by_name("leafe").unwrap();
-        let nl = tb
-            .node_with_token(leafe, &[], Some(Value::Int(5)))
-            .unwrap();
+        let nl = tb.node_with_token(leafe, &[], Some(Value::Int(5))).unwrap();
         let sub = tb.finish(nl);
         let stats = inc.replace_subtree(target, &sub).unwrap();
         // The fresh leaf is evaluated but no propagation occurs.
@@ -562,9 +643,7 @@ mod tests {
         let total = g.attr_by_name(s, "total").unwrap();
         // Replaced two of {1,2,3,4} (preorder order) by 10 and 20.
         let dynev = DynamicEvaluator::new(&g);
-        let (want, _) = dynev
-            .evaluate(inc.tree(), &RootInputs::new())
-            .unwrap();
+        let (want, _) = dynev.evaluate(inc.tree(), &RootInputs::new()).unwrap();
         assert_eq!(
             inc.value(inc.tree().root(), total),
             want.get(&g, inc.tree().root(), total)

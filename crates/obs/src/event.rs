@@ -1,0 +1,472 @@
+//! Evaluation event tracing.
+//!
+//! The tracer extends the spirit of the circularity trace in
+//! `fnc2-analysis` from failures to successful runs: every visit entry,
+//! rule firing, attribute store, and incremental status decision can be
+//! captured into a bounded ring buffer and exported as JSON lines or
+//! pretty-printed for a human.
+//!
+//! Events carry raw indices (node ids, production ids, attribute ids, …)
+//! because this crate sits below `fnc2-ag` in the dependency order; the
+//! pretty-printer accepts a [`Resolver`] so higher layers can map the
+//! indices back to grammar names.
+
+use crate::json::Json;
+
+/// Where an attribute instance was stored by the space-optimized runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageClass {
+    /// A global variable (single live instance per run).
+    Global,
+    /// A global stack slot.
+    Stack,
+    /// Retained in the tree node.
+    Node,
+}
+
+impl StorageClass {
+    /// Lowercase tag used in JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            StorageClass::Global => "global",
+            StorageClass::Stack => "stack",
+            StorageClass::Node => "node",
+        }
+    }
+}
+
+/// The incremental evaluator's verdict for a recomputed instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChangeStatus {
+    /// Recomputed and the value differed.
+    Changed,
+    /// Recomputed (or compared) and the value was equal — propagation cut.
+    Unchanged,
+    /// No previous value existed (fresh subtree); nothing to compare.
+    Unknown,
+}
+
+impl ChangeStatus {
+    /// Lowercase tag used in JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ChangeStatus::Changed => "changed",
+            ChangeStatus::Unchanged => "unchanged",
+            ChangeStatus::Unknown => "unknown",
+        }
+    }
+}
+
+/// One evaluation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A visit-sequence visit started at `node`.
+    VisitEnter {
+        /// Tree node index.
+        node: u32,
+        /// Production applied at the node.
+        production: u32,
+        /// 1-based visit number.
+        visit: u16,
+    },
+    /// The matching visit finished.
+    VisitLeave {
+        /// Tree node index.
+        node: u32,
+        /// Production applied at the node.
+        production: u32,
+        /// 1-based visit number.
+        visit: u16,
+    },
+    /// A semantic rule was evaluated.
+    RuleFired {
+        /// Tree node index the rule ran at.
+        node: u32,
+        /// Production the rule belongs to.
+        production: u32,
+        /// Rule index within the production.
+        rule: u32,
+    },
+    /// The space-optimized runtime wrote an attribute instance.
+    AttrStored {
+        /// Tree node index.
+        node: u32,
+        /// Attribute id.
+        attr: u32,
+        /// Where the instance went.
+        class: StorageClass,
+    },
+    /// The incremental evaluator classified a recomputed instance.
+    StatusComputed {
+        /// Tree node index.
+        node: u32,
+        /// Attribute id.
+        attr: u32,
+        /// The verdict.
+        status: ChangeStatus,
+    },
+}
+
+impl Event {
+    /// The event's type tag as used in JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::VisitEnter { .. } => "visit_enter",
+            Event::VisitLeave { .. } => "visit_leave",
+            Event::RuleFired { .. } => "rule_fired",
+            Event::AttrStored { .. } => "attr_stored",
+            Event::StatusComputed { .. } => "status_computed",
+        }
+    }
+
+    /// The event as a JSON object (without its sequence number).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Event::VisitEnter {
+                node,
+                production,
+                visit,
+            }
+            | Event::VisitLeave {
+                node,
+                production,
+                visit,
+            } => Json::obj([
+                ("event", Json::str(self.kind())),
+                ("node", Json::Int(node as i64)),
+                ("production", Json::Int(production as i64)),
+                ("visit", Json::Int(visit as i64)),
+            ]),
+            Event::RuleFired {
+                node,
+                production,
+                rule,
+            } => Json::obj([
+                ("event", Json::str(self.kind())),
+                ("node", Json::Int(node as i64)),
+                ("production", Json::Int(production as i64)),
+                ("rule", Json::Int(rule as i64)),
+            ]),
+            Event::AttrStored { node, attr, class } => Json::obj([
+                ("event", Json::str(self.kind())),
+                ("node", Json::Int(node as i64)),
+                ("attr", Json::Int(attr as i64)),
+                ("class", Json::str(class.tag())),
+            ]),
+            Event::StatusComputed { node, attr, status } => Json::obj([
+                ("event", Json::str(self.kind())),
+                ("node", Json::Int(node as i64)),
+                ("attr", Json::Int(attr as i64)),
+                ("status", Json::str(status.tag())),
+            ]),
+        }
+    }
+}
+
+/// Maps raw event indices back to grammar names for pretty-printing.
+///
+/// The default implementations print bare indices; `fnc2` implements
+/// this against a checked grammar.
+pub trait Resolver {
+    /// Name of production `production`.
+    fn production(&self, production: u32) -> String {
+        format!("p{production}")
+    }
+    /// Name of attribute `attr`.
+    fn attribute(&self, attr: u32) -> String {
+        format!("a{attr}")
+    }
+    /// Display of rule `rule` of production `production`.
+    fn rule(&self, production: u32, rule: u32) -> String {
+        let _ = production;
+        format!("r{rule}")
+    }
+}
+
+/// A [`Resolver`] that prints bare indices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RawResolver;
+
+impl Resolver for RawResolver {}
+
+/// A bounded ring buffer of traced events.
+///
+/// When full, the oldest events are dropped and counted; sequence
+/// numbers are global, so the exporter can show exactly which prefix was
+/// lost.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    events: Vec<(u64, Event)>,
+    head: usize,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            events: Vec::new(),
+            head: 0,
+            next_seq: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full. Returns the event's
+    /// sequence number.
+    pub fn push(&mut self, event: Event) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() < self.capacity {
+            self.events.push((seq, event));
+        } else {
+            self.events[self.head] = (seq, event);
+            self.head = (self.head + 1) % self.capacity;
+        }
+        seq
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of events evicted by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.events.len() as u64
+    }
+
+    /// Retained events, oldest first, with their sequence numbers.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Event)> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+            .map(|(seq, e)| (*seq, e))
+    }
+
+    /// Number of retained events matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Exports the retained events as JSON lines, one object per event,
+    /// each carrying its `seq`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in self.iter() {
+            let mut obj = match event.to_json() {
+                Json::Obj(pairs) => pairs,
+                _ => unreachable!("events serialize to objects"),
+            };
+            obj.insert(0, ("seq".to_string(), Json::Int(seq as i64)));
+            out.push_str(&Json::Obj(obj).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-lines export back into `(seq, object)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line's error.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<(u64, Json)>, crate::json::JsonError> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line)?;
+            let seq = v.get("seq").and_then(Json::as_int).unwrap_or(0) as u64;
+            out.push((seq, v));
+        }
+        Ok(out)
+    }
+
+    /// Renders the retained events for a human, using `resolver` for
+    /// names. Visit nesting is shown by indentation.
+    pub fn render(&self, resolver: &dyn Resolver) -> String {
+        let mut out = String::new();
+        if self.dropped() > 0 {
+            out.push_str(&format!(
+                "... {} earlier events dropped (buffer capacity {})\n",
+                self.dropped(),
+                self.capacity
+            ));
+        }
+        let mut depth = 0usize;
+        for (seq, event) in self.iter() {
+            if matches!(event, Event::VisitLeave { .. }) {
+                depth = depth.saturating_sub(1);
+            }
+            let indent = "  ".repeat(depth);
+            let line = match *event {
+                Event::VisitEnter {
+                    node,
+                    production,
+                    visit,
+                } => format!(
+                    "visit {visit} of node {node} [{}]",
+                    resolver.production(production)
+                ),
+                Event::VisitLeave { visit, node, .. } => {
+                    format!("end visit {visit} of node {node}")
+                }
+                Event::RuleFired {
+                    node,
+                    production,
+                    rule,
+                } => format!("fire {} at node {node}", resolver.rule(production, rule)),
+                Event::AttrStored { node, attr, class } => format!(
+                    "store {}@{node} -> {}",
+                    resolver.attribute(attr),
+                    class.tag()
+                ),
+                Event::StatusComputed { node, attr, status } => format!(
+                    "status {}@{node}: {}",
+                    resolver.attribute(attr),
+                    status.tag()
+                ),
+            };
+            out.push_str(&format!("{seq:>6}  {indent}{line}\n"));
+            if matches!(event, Event::VisitEnter { .. }) {
+                depth += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u32) -> Event {
+        Event::RuleFired {
+            node,
+            production: 0,
+            rule: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order_on_overflow() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..7 {
+            buf.push(ev(i));
+        }
+        assert_eq!(buf.total(), 7);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 4);
+        let got: Vec<(u64, u32)> = buf
+            .iter()
+            .map(|(seq, e)| match e {
+                Event::RuleFired { node, .. } => (seq, *node),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![(4, 4), (5, 5), (6, 6)]);
+    }
+
+    #[test]
+    fn ring_without_overflow_keeps_everything() {
+        let mut buf = TraceBuffer::new(8);
+        for i in 0..5 {
+            buf.push(ev(i));
+        }
+        assert_eq!(buf.dropped(), 0);
+        let seqs: Vec<u64> = buf.iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut buf = TraceBuffer::new(16);
+        buf.push(Event::VisitEnter {
+            node: 1,
+            production: 2,
+            visit: 1,
+        });
+        buf.push(Event::RuleFired {
+            node: 1,
+            production: 2,
+            rule: 0,
+        });
+        buf.push(Event::AttrStored {
+            node: 1,
+            attr: 3,
+            class: StorageClass::Stack,
+        });
+        buf.push(Event::StatusComputed {
+            node: 1,
+            attr: 3,
+            status: ChangeStatus::Unchanged,
+        });
+        buf.push(Event::VisitLeave {
+            node: 1,
+            production: 2,
+            visit: 1,
+        });
+        let text = buf.to_jsonl();
+        assert_eq!(text.lines().count(), 5);
+        let parsed = TraceBuffer::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed[0].0, 0);
+        assert_eq!(
+            parsed[0].1.get("event").and_then(Json::as_str),
+            Some("visit_enter")
+        );
+        assert_eq!(
+            parsed[2].1.get("class").and_then(Json::as_str),
+            Some("stack")
+        );
+        assert_eq!(
+            parsed[3].1.get("status").and_then(Json::as_str),
+            Some("unchanged")
+        );
+        assert_eq!(parsed[4].0, 4);
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_bad_lines() {
+        assert!(TraceBuffer::parse_jsonl("{\"seq\":0}\nnot json\n").is_err());
+    }
+
+    #[test]
+    fn pretty_print_indents_visits_and_reports_drops() {
+        let mut buf = TraceBuffer::new(4);
+        buf.push(ev(99)); // will be evicted
+        buf.push(Event::VisitEnter {
+            node: 0,
+            production: 1,
+            visit: 1,
+        });
+        buf.push(ev(0));
+        buf.push(Event::VisitLeave {
+            node: 0,
+            production: 1,
+            visit: 1,
+        });
+        buf.push(ev(7));
+        let text = buf.render(&RawResolver);
+        assert!(text.contains("1 earlier events dropped"));
+        assert!(text.contains("visit 1 of node 0 [p1]"));
+        // The rule inside the visit is indented one level deeper than the
+        // trailing rule outside it.
+        let inside = text.lines().find(|l| l.contains("at node 0")).unwrap();
+        let outside = text.lines().find(|l| l.contains("at node 7")).unwrap();
+        let lead = |l: &str| l.chars().skip(8).take_while(|c| *c == ' ').count();
+        assert!(lead(inside) > lead(outside));
+    }
+}

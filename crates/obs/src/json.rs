@@ -1,0 +1,425 @@
+//! A minimal, dependency-free JSON value: compact emitter plus a strict
+//! parser, enough for the instrumentation reports, the JSON-lines event
+//! exporter, and the benchmark table dumps. Not a general-purpose JSON
+//! library — numbers are `i64` or `f64`, strings are UTF-8 only.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// A float (emitted with enough precision to round-trip).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints shortest-round-trip floats ("1.5", "0.1").
+                    let s = format!("{x:?}");
+                    f.write_str(&s)
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::with_capacity(k.len() + 2);
+                    escape_into(&mut buf, k);
+                    f.write_str(&buf)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<&BTreeMap<String, u64>> for Json {
+    fn from(map: &BTreeMap<String, u64>) -> Json {
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                .collect(),
+        )
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            at: self.at,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected [")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected {")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected :")?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.at + 5 > self.bytes.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.at + 1..self.at + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are rejected; the emitter never
+                            // produces them.
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.at += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_parse_round_trip() {
+        let v = Json::obj([
+            ("name", Json::str("fnc2 \"obs\"\n")),
+            ("n", Json::Int(-42)),
+            ("x", Json::Float(1.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::Int(1), Json::str("two"), Json::Arr(vec![])]),
+            ),
+        ]);
+        let text = v.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("01x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let text = Json::str("a\u{1}b").to_string();
+        assert_eq!(text, "\"a\\u0001b\"");
+        assert_eq!(Json::parse(&text).unwrap(), Json::str("a\u{1}b"));
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Json::obj([("k", Json::Int(7))]);
+        assert_eq!(v.get("k").and_then(Json::as_int), Some(7));
+        assert_eq!(v.get("missing"), None);
+    }
+}

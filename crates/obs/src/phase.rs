@@ -1,0 +1,157 @@
+//! Nested phase timing for the generator cascade.
+//!
+//! A [`PhaseTimer`] records wall-clock spans for every stage of the
+//! Figure 3 cascade (OLGA parse/check/lower, the class tests, the
+//! transformation, visit-sequence generation, space analysis). Spans nest:
+//! the facade opens an `analysis` span and the class tests open `snc`,
+//! `dnc`, … inside it. The finished report is the per-AG generation-time
+//! breakdown of the paper's Table 1.
+
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One (possibly still open) phase span.
+#[derive(Clone, Debug)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `"analysis.snc"`.
+    pub name: &'static str,
+    /// Nesting depth (0 for top-level phases).
+    pub depth: usize,
+    /// Elapsed wall-clock nanoseconds; 0 while the span is open.
+    pub nanos: u128,
+}
+
+/// A stack-disciplined phase timer.
+///
+/// `enter`/`leave` must nest; [`PhaseTimer::time`] enforces that shape.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    spans: Vec<PhaseSpan>,
+    open: Vec<(usize, Instant)>,
+}
+
+impl PhaseTimer {
+    /// An empty timer.
+    pub fn new() -> PhaseTimer {
+        PhaseTimer::default()
+    }
+
+    /// Opens a span named `name` nested under the currently open span.
+    pub fn enter(&mut self, name: &'static str) {
+        let depth = self.open.len();
+        self.spans.push(PhaseSpan {
+            name,
+            depth,
+            nanos: 0,
+        });
+        self.open.push((self.spans.len() - 1, Instant::now()));
+    }
+
+    /// Closes the innermost open span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open (an `enter`/`leave` imbalance).
+    pub fn leave(&mut self) {
+        let (ix, started) = self.open.pop().expect("leave without enter");
+        self.spans[ix].nanos = started.elapsed().as_nanos();
+    }
+
+    /// Runs `f` inside a span named `name`.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.enter(name);
+        let out = f(self);
+        self.leave();
+        out
+    }
+
+    /// All spans, in the order they were entered.
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Total nanoseconds of the completed span named `name` (summing over
+    /// repeats, e.g. one `oag` span per tested `k`).
+    pub fn nanos_of(&self, name: &str) -> u128 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// Renders the spans as an indented text table (ns → ms formatting).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let ms = s.nanos as f64 / 1e6;
+            out.push_str(&format!(
+                "{:indent$}{:<24} {:>10.3} ms\n",
+                "",
+                s.name,
+                ms,
+                indent = s.depth * 2
+            ));
+        }
+        out
+    }
+
+    /// The spans as a JSON array of `{name, depth, nanos}` objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("name", Json::str(s.name)),
+                        ("depth", Json::Int(s.depth as i64)),
+                        ("nanos", Json::Int(s.nanos.min(i64::MAX as u128) as i64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_order() {
+        let mut t = PhaseTimer::new();
+        t.time("outer", |t| {
+            t.time("inner-a", |_| {});
+            t.time("inner-b", |_| {});
+        });
+        t.time("tail", |_| {});
+        let names: Vec<_> = t.spans().iter().map(|s| (s.name, s.depth)).collect();
+        assert_eq!(
+            names,
+            vec![("outer", 0), ("inner-a", 1), ("inner-b", 1), ("tail", 0)]
+        );
+        // The outer span covers its children.
+        assert!(t.nanos_of("outer") >= t.nanos_of("inner-a") + t.nanos_of("inner-b"));
+    }
+
+    #[test]
+    fn repeated_names_accumulate() {
+        let mut t = PhaseTimer::new();
+        t.time("oag", |_| {});
+        t.time("oag", |_| {});
+        assert_eq!(t.spans().len(), 2);
+        let total = t.nanos_of("oag");
+        assert_eq!(total, t.spans().iter().map(|s| s.nanos).sum::<u128>());
+    }
+
+    #[test]
+    fn render_and_json_carry_all_spans() {
+        let mut t = PhaseTimer::new();
+        t.time("a", |t| t.time("b", |_| {}));
+        let txt = t.render();
+        assert!(txt.contains("a") && txt.contains("  b"));
+        let j = t.to_json();
+        assert_eq!(j.as_arr().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,458 @@
+//! The `Recorder` trait, the shared counter vocabulary, and the
+//! all-in-one [`Obs`] session.
+//!
+//! The evaluators and analysis fixpoints are generic over `R: Recorder`.
+//! [`NoopRecorder`]'s methods are empty and `trace()` is `false`, so the
+//! uninstrumented instantiation monomorphizes to the exact code that ran
+//! before this layer existed — hot paths pay nothing. [`Obs`] is the live
+//! implementation bundling a phase timer, a metrics registry, and an
+//! optional trace buffer.
+
+use crate::event::{Event, Resolver, TraceBuffer};
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+use crate::phase::PhaseTimer;
+
+/// The shared counter vocabulary.
+///
+/// Every counter that used to live in one of the three ad-hoc stats
+/// structs (`EvalStats`, `SpaceRunStats`, `IncrementalStats`) plus the
+/// cascade-side tallies is a `Key`. Dense numbering lets instrumented
+/// code count into a fixed array ([`Counters`]) without string hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Key {
+    /// Visits performed by the exhaustive evaluator.
+    EvalVisits,
+    /// Semantic rules fired by the exhaustive evaluator.
+    EvalEvals,
+    /// Copy rules executed by the exhaustive evaluator.
+    EvalCopies,
+    /// Visits performed by the space-optimized evaluator.
+    SpaceVisits,
+    /// Semantic rules fired by the space-optimized evaluator.
+    SpaceEvals,
+    /// Copy rules skipped (storage-shared) by the space-optimized evaluator.
+    SpaceCopiesSkipped,
+    /// High-water mark of live attribute cells (max semantics).
+    SpaceMaxLiveCells,
+    /// Attribute cells still resident in the tree after a run.
+    SpaceFinalNodeCells,
+    /// Attribute instances recomputed by the incremental evaluator.
+    IncReevaluated,
+    /// Recomputed instances whose value changed.
+    IncChanged,
+    /// Recomputed instances whose value was unchanged (propagation cut).
+    IncUnchanged,
+    /// Fresh instances with no previous value to compare against.
+    IncUnknown,
+    /// Worklist pops across all GFA fixpoints.
+    GfaFixpointSteps,
+    /// Worklist pops that changed their node's value.
+    GfaFixpointChanges,
+    /// Total partitions over all phyla after the transformation.
+    TransformPartitions,
+    /// Visit plans computed by the transformation.
+    TransformPlans,
+    /// Plans served from the memo table.
+    TransformReuses,
+    /// Plans computed fresh.
+    TransformFresh,
+    /// Attribute occurrences assigned to global variables.
+    SpacePlanVariables,
+    /// Attribute occurrences assigned to global stacks.
+    SpacePlanStacks,
+    /// Attribute occurrences left in tree nodes.
+    SpacePlanNode,
+    /// Copy rules eliminated by storage grouping.
+    SpacePlanCopiesEliminated,
+}
+
+impl Key {
+    /// Number of keys; the length of a [`Counters`] block.
+    pub const COUNT: usize = Key::ALL.len();
+
+    /// Every key, in numbering order.
+    pub const ALL: [Key; 22] = [
+        Key::EvalVisits,
+        Key::EvalEvals,
+        Key::EvalCopies,
+        Key::SpaceVisits,
+        Key::SpaceEvals,
+        Key::SpaceCopiesSkipped,
+        Key::SpaceMaxLiveCells,
+        Key::SpaceFinalNodeCells,
+        Key::IncReevaluated,
+        Key::IncChanged,
+        Key::IncUnchanged,
+        Key::IncUnknown,
+        Key::GfaFixpointSteps,
+        Key::GfaFixpointChanges,
+        Key::TransformPartitions,
+        Key::TransformPlans,
+        Key::TransformReuses,
+        Key::TransformFresh,
+        Key::SpacePlanVariables,
+        Key::SpacePlanStacks,
+        Key::SpacePlanNode,
+        Key::SpacePlanCopiesEliminated,
+    ];
+
+    /// The canonical dotted metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Key::EvalVisits => "eval.visits",
+            Key::EvalEvals => "eval.evals",
+            Key::EvalCopies => "eval.copies",
+            Key::SpaceVisits => "space.visits",
+            Key::SpaceEvals => "space.evals",
+            Key::SpaceCopiesSkipped => "space.copies_skipped",
+            Key::SpaceMaxLiveCells => "space.max_live_cells",
+            Key::SpaceFinalNodeCells => "space.final_node_cells",
+            Key::IncReevaluated => "inc.reevaluated",
+            Key::IncChanged => "inc.changed",
+            Key::IncUnchanged => "inc.unchanged",
+            Key::IncUnknown => "inc.unknown",
+            Key::GfaFixpointSteps => "gfa.fixpoint.steps",
+            Key::GfaFixpointChanges => "gfa.fixpoint.changes",
+            Key::TransformPartitions => "transform.partitions",
+            Key::TransformPlans => "transform.plans",
+            Key::TransformReuses => "transform.reuses",
+            Key::TransformFresh => "transform.fresh",
+            Key::SpacePlanVariables => "space.plan.variables",
+            Key::SpacePlanStacks => "space.plan.stacks",
+            Key::SpacePlanNode => "space.plan.node",
+            Key::SpacePlanCopiesEliminated => "space.plan.copies_eliminated",
+        }
+    }
+
+    /// True for keys with high-water-mark (max) semantics rather than
+    /// additive semantics.
+    pub fn is_high_water(self) -> bool {
+        matches!(self, Key::SpaceMaxLiveCells)
+    }
+}
+
+/// A dense block of counters indexed by [`Key`].
+///
+/// This is what the evaluators count into internally; the legacy stats
+/// structs are thin views over one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Counters {
+    values: [u64; Key::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters {
+            values: [0; Key::COUNT],
+        }
+    }
+}
+
+impl Counters {
+    /// An all-zero block.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `delta` to `key`.
+    #[inline]
+    pub fn add(&mut self, key: Key, delta: u64) {
+        self.values[key as usize] += delta;
+    }
+
+    /// Raises `key` to at least `value` (high-water mark).
+    #[inline]
+    pub fn raise(&mut self, key: Key, value: u64) {
+        let slot = &mut self.values[key as usize];
+        *slot = (*slot).max(value);
+    }
+
+    /// Reads `key`.
+    #[inline]
+    pub fn get(&self, key: Key) -> u64 {
+        self.values[key as usize]
+    }
+
+    /// Sets `key` to `value`.
+    #[inline]
+    pub fn set(&mut self, key: Key, value: u64) {
+        self.values[key as usize] = value;
+    }
+
+    /// Replays this block into a recorder, respecting each key's
+    /// additive or high-water semantics. Zero values are skipped.
+    pub fn replay<R: Recorder + ?Sized>(&self, rec: &mut R) {
+        for key in Key::ALL {
+            let v = self.get(key);
+            if v == 0 {
+                continue;
+            }
+            if key.is_high_water() {
+                rec.count_max(key, v);
+            } else {
+                rec.count(key, v);
+            }
+        }
+    }
+}
+
+/// The instrumentation sink the cascade and the evaluators are generic
+/// over.
+///
+/// All methods default to no-ops; `trace()` defaults to `false` so event
+/// construction can be skipped entirely at call sites
+/// (`if rec.trace() { rec.emit(...) }`).
+pub trait Recorder {
+    /// Adds `delta` to the counter `key`.
+    #[inline]
+    fn count(&mut self, key: Key, delta: u64) {
+        let _ = (key, delta);
+    }
+
+    /// Raises the counter `key` to at least `value`.
+    #[inline]
+    fn count_max(&mut self, key: Key, value: u64) {
+        let _ = (key, value);
+    }
+
+    /// Records `value` into the histogram named `name`.
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Whether event tracing is active. Call sites must gate `emit` on
+    /// this so uninstrumented runs never build an [`Event`].
+    #[inline]
+    fn trace(&self) -> bool {
+        false
+    }
+
+    /// Captures an event. Only called when `trace()` is true.
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        let _ = event;
+    }
+}
+
+/// The zero-cost recorder: every method is a no-op and `trace()` is
+/// `false`, so instrumented code monomorphizes back to the bare loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl Recorder for &mut NoopRecorder {}
+
+/// A live instrumentation session: phase timer + metrics registry +
+/// optional bounded event trace.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Cascade phase spans.
+    pub phases: PhaseTimer,
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// The event ring, when tracing is enabled.
+    pub events: Option<TraceBuffer>,
+}
+
+impl Obs {
+    /// A session with metrics and phase timing but no event tracing.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// A session that additionally traces events into a ring of
+    /// `capacity` entries.
+    pub fn with_trace(capacity: usize) -> Obs {
+        Obs {
+            events: Some(TraceBuffer::new(capacity)),
+            ..Obs::default()
+        }
+    }
+
+    /// The full report — `{phases, counters, histograms, trace?}` — as a
+    /// single JSON document.
+    pub fn to_json(&self) -> Json {
+        let metrics = self.metrics.to_json();
+        let mut pairs = vec![
+            ("phases".to_string(), self.phases.to_json()),
+            (
+                "counters".to_string(),
+                metrics.get("counters").cloned().unwrap_or(Json::Null),
+            ),
+            (
+                "histograms".to_string(),
+                metrics.get("histograms").cloned().unwrap_or(Json::Null),
+            ),
+        ];
+        if let Some(buf) = &self.events {
+            pairs.push((
+                "trace".to_string(),
+                Json::obj([
+                    ("total", Json::Int(buf.total() as i64)),
+                    ("dropped", Json::Int(buf.dropped() as i64)),
+                    (
+                        "events",
+                        Json::Arr(
+                            buf.iter()
+                                .map(|(seq, e)| {
+                                    let mut obj = match e.to_json() {
+                                        Json::Obj(p) => p,
+                                        _ => unreachable!(),
+                                    };
+                                    obj.insert(0, ("seq".to_string(), Json::Int(seq as i64)));
+                                    Json::Obj(obj)
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Renders the report for a human: phases, then metrics, then (if
+    /// traced) the event log via `resolver`.
+    pub fn render(&self, resolver: &dyn Resolver) -> String {
+        let mut out = String::new();
+        if !self.phases.spans().is_empty() {
+            out.push_str("phases:\n");
+            out.push_str(&self.phases.render());
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("metrics:\n");
+            out.push_str(&self.metrics.render());
+        }
+        if let Some(buf) = &self.events {
+            out.push_str(&format!(
+                "trace ({} events, {} dropped):\n",
+                buf.total(),
+                buf.dropped()
+            ));
+            out.push_str(&buf.render(resolver));
+        }
+        out
+    }
+}
+
+impl Recorder for Obs {
+    #[inline]
+    fn count(&mut self, key: Key, delta: u64) {
+        self.metrics.count(key.name(), delta);
+    }
+
+    #[inline]
+    fn count_max(&mut self, key: Key, value: u64) {
+        self.metrics.count_max(key.name(), value);
+    }
+
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.metrics.observe(name, value);
+    }
+
+    #[inline]
+    fn trace(&self) -> bool {
+        self.events.is_some()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        if let Some(buf) = &mut self.events {
+            buf.push(event);
+        }
+    }
+}
+
+impl Recorder for &mut Obs {
+    #[inline]
+    fn count(&mut self, key: Key, delta: u64) {
+        (**self).count(key, delta);
+    }
+
+    #[inline]
+    fn count_max(&mut self, key: Key, value: u64) {
+        (**self).count_max(key, value);
+    }
+
+    #[inline]
+    fn observe(&mut self, name: &'static str, value: u64) {
+        (**self).observe(name, value);
+    }
+
+    #[inline]
+    fn trace(&self) -> bool {
+        (**self).trace()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        (**self).emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_names_are_unique_and_ordered() {
+        let mut names: Vec<_> = Key::ALL.iter().map(|k| k.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        for (i, k) in Key::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+        }
+    }
+
+    #[test]
+    fn counters_replay_respects_semantics() {
+        let mut c = Counters::new();
+        c.add(Key::EvalVisits, 3);
+        c.raise(Key::SpaceMaxLiveCells, 9);
+        c.raise(Key::SpaceMaxLiveCells, 4);
+        assert_eq!(c.get(Key::SpaceMaxLiveCells), 9);
+
+        let mut obs = Obs::new();
+        obs.count_max(Key::SpaceMaxLiveCells, 20);
+        c.replay(&mut obs);
+        assert_eq!(obs.metrics.counter("eval.visits"), 3);
+        // replay must not lower an existing high-water mark
+        assert_eq!(obs.metrics.counter("space.max_live_cells"), 20);
+    }
+
+    #[test]
+    fn noop_recorder_reports_no_tracing() {
+        let rec = NoopRecorder;
+        assert!(!rec.trace());
+    }
+
+    #[test]
+    fn obs_collects_counts_and_events() {
+        let mut obs = Obs::with_trace(4);
+        obs.count(Key::EvalEvals, 2);
+        obs.observe("wave", 5);
+        assert!(obs.trace());
+        obs.emit(Event::RuleFired {
+            node: 0,
+            production: 1,
+            rule: 2,
+        });
+        let j = obs.to_json();
+        assert_eq!(
+            j.get("counters")
+                .and_then(|c| c.get("eval.evals"))
+                .and_then(Json::as_int),
+            Some(2)
+        );
+        let trace = j.get("trace").unwrap();
+        assert_eq!(trace.get("total").and_then(Json::as_int), Some(1));
+        assert_eq!(trace.get("events").and_then(Json::as_arr).unwrap().len(), 1);
+    }
+}

@@ -187,7 +187,10 @@ impl Compiler {
         }
         if let Some(root) = &ag.root {
             if !phyla.contains(&root.as_str()) {
-                return err(format!("unknown root phylum `{root}`"), Pos { line: 1, col: 1 });
+                return err(
+                    format!("unknown root phylum `{root}`"),
+                    Pos { line: 1, col: 1 },
+                );
             }
         }
         // Operators.
@@ -207,24 +210,24 @@ impl Compiler {
         }
         // Attributes.
         let mut attr_table = AgAttrTable {
-            attrs: phyla.iter().map(|&p| (p.to_string(), HashMap::new())).collect(),
+            attrs: phyla
+                .iter()
+                .map(|&p| (p.to_string(), HashMap::new()))
+                .collect(),
         };
         let mut classes: HashMap<String, AttrClass> = HashMap::new();
         for a in &ag.attrs {
-            let ty = resolve_type(&a.ty, &env.types, a.pos)
-                .map_err(|(n, pos)| CheckError {
-                    message: format!("unknown type `{n}`"),
-                    pos,
-                })?;
+            let ty = resolve_type(&a.ty, &env.types, a.pos).map_err(|(n, pos)| CheckError {
+                message: format!("unknown type `{n}`"),
+                pos,
+            })?;
             match a.class {
                 AttrClass::Plain => {}
                 AttrClass::Concat => {
                     if !a.synthesized {
                         return err("`with concat` applies to synthesized attributes", a.pos);
                     }
-                    if !ty.compatible(&Ty::List(Box::new(Ty::Any)))
-                        && !ty.compatible(&Ty::Str)
-                    {
+                    if !ty.compatible(&Ty::List(Box::new(Ty::Any))) && !ty.compatible(&Ty::Str) {
                         return err(
                             format!("`with concat` needs a list or string attribute, found `{ty}`"),
                             a.pos,
@@ -249,7 +252,10 @@ impl Compiler {
                 let Some(per) = attr_table.attrs.get_mut(p) else {
                     return err(format!("unknown phylum `{p}`"), a.pos);
                 };
-                if per.insert(a.name.clone(), (a.synthesized, ty.clone())).is_some() {
+                if per
+                    .insert(a.name.clone(), (a.synthesized, ty.clone()))
+                    .is_some()
+                {
                     return err(
                         format!("attribute `{}` declared twice on `{p}`", a.name),
                         a.pos,
@@ -267,12 +273,11 @@ impl Compiler {
                 let ctx = OpCtx::new(op, &attr_table);
                 let mut locals: HashMap<String, Ty> = HashMap::new();
                 for l in &block.locals {
-                    let ty = resolve_type(&l.ty, &env.types, l.pos).map_err(|(n, pos)| {
-                        CheckError {
+                    let ty =
+                        resolve_type(&l.ty, &env.types, l.pos).map_err(|(n, pos)| CheckError {
                             message: format!("unknown type `{n}`"),
                             pos,
-                        }
-                    })?;
+                        })?;
                     let mut scope = Scope::new();
                     let got = check_expr(
                         &l.body,
@@ -316,9 +321,7 @@ impl Compiler {
                         }
                         RuleTarget::Local(name, pos) => match locals.get(name) {
                             Some(t) => t.clone(),
-                            None => {
-                                return err(format!("unknown local `{name}`"), *pos)
-                            }
+                            None => return err(format!("unknown local `{name}`"), *pos),
                         },
                     };
                     let mut scope = Scope::new();
@@ -418,7 +421,10 @@ impl Compiler {
                 }
                 if !found {
                     return err(
-                        format!("exported `{}` is not defined in module `{}`", e.name, m.name),
+                        format!(
+                            "exported `{}` is not defined in module `{}`",
+                            e.name, m.name
+                        ),
                         Pos { line: 1, col: 1 },
                     );
                 }
@@ -504,7 +510,9 @@ fn collect_refs(e: &Expr, out: &mut Vec<String>) {
             collect_refs(lhs, out);
             collect_refs(rhs, out);
         }
-        Expr::If { cond, then, els, .. } => {
+        Expr::If {
+            cond, then, els, ..
+        } => {
             collect_refs(cond, out);
             collect_refs(then, out);
             collect_refs(els, out);
@@ -513,7 +521,9 @@ fn collect_refs(e: &Expr, out: &mut Vec<String>) {
             collect_refs(value, out);
             collect_refs(body, out);
         }
-        Expr::Case { scrutinee, arms, .. } => {
+        Expr::Case {
+            scrutinee, arms, ..
+        } => {
             collect_refs(scrutinee, out);
             for (_, b) in arms {
                 collect_refs(b, out);
@@ -622,7 +632,10 @@ fn declare_consts(consts: &[ConstDef], env: &mut UnitEnv) -> Result<(), CheckErr
         let got = check_expr(&c.body, env, &mut scope, None)?;
         if !got.compatible(&ty) {
             return err(
-                format!("constant `{}` declared `{ty}` but defined with `{got}`", c.name),
+                format!(
+                    "constant `{}` declared `{ty}` but defined with `{got}`",
+                    c.name
+                ),
                 c.pos,
             );
         }
@@ -729,7 +742,11 @@ impl Scope {
         self.stack.truncate(self.stack.len() - n);
     }
     fn lookup(&self, name: &str) -> Option<&Ty> {
-        self.stack.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 }
 
@@ -780,7 +797,12 @@ fn check_expr(
             let rt = check_expr(rhs, env, scope, rule_ctx)?;
             check_binop(op, &lt, &rt, *pos)
         }
-        Expr::If { cond, then, els, pos } => {
+        Expr::If {
+            cond,
+            then,
+            els,
+            pos,
+        } => {
             let ct = check_expr(cond, env, scope, rule_ctx)?;
             if !ct.compatible(&Ty::Bool) {
                 return err(format!("if condition must be bool, found `{ct}`"), *pos);
@@ -788,21 +810,24 @@ fn check_expr(
             let tt = check_expr(then, env, scope, rule_ctx)?;
             let et = check_expr(els, env, scope, rule_ctx)?;
             if !tt.compatible(&et) {
-                return err(
-                    format!("if branches disagree: `{tt}` vs `{et}`"),
-                    *pos,
-                );
+                return err(format!("if branches disagree: `{tt}` vs `{et}`"), *pos);
             }
             Ok(tt.join(&et))
         }
-        Expr::Let { name, value, body, .. } => {
+        Expr::Let {
+            name, value, body, ..
+        } => {
             let vt = check_expr(value, env, scope, rule_ctx)?;
             scope.bind(name.clone(), vt);
             let bt = check_expr(body, env, scope, rule_ctx)?;
             scope.unbind(1);
             Ok(bt)
         }
-        Expr::Case { scrutinee, arms, pos } => {
+        Expr::Case {
+            scrutinee,
+            arms,
+            pos,
+        } => {
             let st = check_expr(scrutinee, env, scope, rule_ctx)?;
             let mut result: Option<Ty> = None;
             for (pat, body) in arms {
@@ -813,10 +838,7 @@ fn check_expr(
                     None => bt,
                     Some(prev) => {
                         if !prev.compatible(&bt) {
-                            return err(
-                                format!("case arms disagree: `{prev}` vs `{bt}`"),
-                                *pos,
-                            );
+                            return err(format!("case arms disagree: `{prev}` vs `{bt}`"), *pos);
                         }
                         prev.join(&bt)
                     }
@@ -883,7 +905,11 @@ fn check_call(
     let want = |i: usize, t: Ty| -> Result<(), CheckError> {
         if !tys[i].compatible(&t) {
             err(
-                format!("argument {} of `{name}` has type `{}`, expected `{t}`", i + 1, tys[i]),
+                format!(
+                    "argument {} of `{name}` has type `{}`, expected `{t}`",
+                    i + 1,
+                    tys[i]
+                ),
                 pos,
             )
         } else {
@@ -957,10 +983,7 @@ fn check_call(
                 _ => Ty::Any,
             };
             if !tys[2].compatible(&elem) {
-                return err(
-                    format!("inserting `{}` into `map of {elem}`", tys[2]),
-                    pos,
-                );
+                return err(format!("inserting `{}` into `map of {elem}`", tys[2]), pos);
             }
             Ok(Ty::Map(Box::new(elem.join(&tys[2]))))
         }
@@ -1067,7 +1090,10 @@ fn check_binop(op: &str, lt: &Ty, rt: &Ty, pos: Pos) -> Result<Ty, CheckError> {
             if both(&Bool) {
                 Ok(Bool)
             } else {
-                err(format!("`{op}` needs booleans, found `{lt}` and `{rt}`"), pos)
+                err(
+                    format!("`{op}` needs booleans, found `{lt}` and `{rt}`"),
+                    pos,
+                )
             }
         }
         "::" => {
@@ -1207,16 +1233,11 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        let e = check_module_src(
-            "module m; function f(x : int) : int = x + \"a\"; end",
-        )
-        .unwrap_err();
+        let e =
+            check_module_src("module m; function f(x : int) : int = x + \"a\"; end").unwrap_err();
         assert!(e.message.contains("`+`"), "{e}");
 
-        let e = check_module_src(
-            "module m; function f(x : int) : string = x; end",
-        )
-        .unwrap_err();
+        let e = check_module_src("module m; function f(x : int) : string = x; end").unwrap_err();
         assert!(e.message.contains("declared to return"), "{e}");
 
         let e = check_module_src("module m; const c : int = nope; end").unwrap_err();
@@ -1271,10 +1292,10 @@ mod tests {
             panic!()
         };
         c.add_module(m2).unwrap();
-        let Unit::Module(m3) = parse_unit(
-            "module bad; import handle, mk from base; const x : int = mk(); end",
-        )
-        .unwrap() else {
+        let Unit::Module(m3) =
+            parse_unit("module bad; import handle, mk from base; const x : int = mk(); end")
+                .unwrap()
+        else {
             panic!()
         };
         let e = c.add_module(m3).unwrap_err();
@@ -1351,7 +1372,10 @@ mod tests {
     #[test]
     fn token_only_in_rules() {
         let e = check_module_src("module m; const c : int = token(); end").unwrap_err();
-        assert!(e.message.contains("only available in semantic rules"), "{e}");
+        assert!(
+            e.message.contains("only available in semantic rules"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -170,21 +170,27 @@ impl EvalCtx {
                 let r = self.eval(rhs, scope);
                 binop(op, l, r)
             }
-            Expr::If { cond, then, els, .. } => {
+            Expr::If {
+                cond, then, els, ..
+            } => {
                 if self.eval(cond, scope).as_bool() {
                     self.eval(then, scope)
                 } else {
                     self.eval(els, scope)
                 }
             }
-            Expr::Let { name, value, body, .. } => {
+            Expr::Let {
+                name, value, body, ..
+            } => {
                 let v = self.eval(value, scope);
                 scope.bind(name.clone(), v);
                 let out = self.eval(body, scope);
                 scope.unbind(1);
                 out
             }
-            Expr::Case { scrutinee, arms, .. } => {
+            Expr::Case {
+                scrutinee, arms, ..
+            } => {
                 let v = self.eval(scrutinee, scope);
                 for (pat, body) in arms {
                     let mut n = 0;
@@ -197,12 +203,8 @@ impl EvalCtx {
                 }
                 panic!("case expression: no arm matched {v:?}")
             }
-            Expr::ListLit(items, _) => {
-                Value::list(items.iter().map(|i| self.eval(i, scope)))
-            }
-            Expr::TupleLit(items, _) => {
-                Value::tuple(items.iter().map(|i| self.eval(i, scope)))
-            }
+            Expr::ListLit(items, _) => Value::list(items.iter().map(|i| self.eval(i, scope))),
+            Expr::TupleLit(items, _) => Value::tuple(items.iter().map(|i| self.eval(i, scope))),
             Expr::TreeCons { op, args, .. } => {
                 Value::term(op.clone(), args.iter().map(|a| self.eval(a, scope)))
             }
@@ -266,7 +268,9 @@ fn collect_const_refs<'a>(e: &Expr, env: &'a UnitEnv, out: &mut Vec<&'a String>)
             collect_const_refs(lhs, env, out);
             collect_const_refs(rhs, env, out);
         }
-        Expr::If { cond, then, els, .. } => {
+        Expr::If {
+            cond, then, els, ..
+        } => {
             collect_const_refs(cond, env, out);
             collect_const_refs(then, env, out);
             collect_const_refs(els, env, out);
@@ -275,7 +279,9 @@ fn collect_const_refs<'a>(e: &Expr, env: &'a UnitEnv, out: &mut Vec<&'a String>)
             collect_const_refs(value, env, out);
             collect_const_refs(body, env, out);
         }
-        Expr::Case { scrutinee, arms, .. } => {
+        Expr::Case {
+            scrutinee, arms, ..
+        } => {
             collect_const_refs(scrutinee, env, out);
             for (_, b) in arms {
                 collect_const_refs(b, env, out);
@@ -309,7 +315,11 @@ impl Scope {
         self.stack.truncate(self.stack.len() - n);
     }
     fn lookup(&self, name: &str) -> Option<&Value> {
-        self.stack.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -368,12 +378,7 @@ fn match_pat(pat: &Pat, v: &Value, scope: &mut Scope, pushed: &mut usize) -> boo
                 return false;
             }
             match_pat(h, &items[0], scope, pushed)
-                && match_pat(
-                    t,
-                    &Value::list(items[1..].iter().cloned()),
-                    scope,
-                    pushed,
-                )
+                && match_pat(t, &Value::list(items[1..].iter().cloned()), scope, pushed)
         }
         (Pat::Tuple(ps, _), Value::Tuple(items)) => {
             ps.len() == items.len()
@@ -466,14 +471,14 @@ mod tests {
             ctx.apply("get", vec![m1.clone(), Value::str("a")]),
             Value::str("1")
         );
+        assert_eq!(ctx.apply("get", vec![m1, Value::str("b")]), Value::str("?"));
         assert_eq!(
-            ctx.apply("get", vec![m1, Value::str("b")]),
-            Value::str("?")
+            ctx.eval_closed(&crate::ast::Expr::Var(
+                "greeting".into(),
+                crate::lexer::Pos { line: 0, col: 0 }
+            )),
+            Value::str("hi there")
         );
-        assert_eq!(ctx.eval_closed(&crate::ast::Expr::Var(
-            "greeting".into(),
-            crate::lexer::Pos { line: 0, col: 0 }
-        )), Value::str("hi there"));
     }
 
     #[test]
@@ -515,9 +520,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "OLGA error: boom")]
     fn error_builtin_panics() {
-        let ctx = ctx_for(
-            "module m; function f(x : int) : int = error(\"boom\"); end",
-        );
+        let ctx = ctx_for("module m; function f(x : int) : int = error(\"boom\"); end");
         ctx.apply("f", vec![Value::Int(0)]);
     }
 

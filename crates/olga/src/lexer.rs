@@ -67,10 +67,48 @@ pub struct Token {
 
 /// The reserved words of the OLGA subset.
 pub const KEYWORDS: &[&str] = &[
-    "module", "end", "attribute", "grammar", "phylum", "root", "operator", "synthesized",
-    "inherited", "of", "phase", "for", "local", "function", "const", "type", "import", "from",
-    "export", "opaque", "if", "then", "else", "let", "in", "case", "and", "or", "not", "true", "threaded", "with",
-    "false", "int", "real", "bool", "string", "unit", "list", "map", "tree", "tuple",
+    "module",
+    "end",
+    "attribute",
+    "grammar",
+    "phylum",
+    "root",
+    "operator",
+    "synthesized",
+    "inherited",
+    "of",
+    "phase",
+    "for",
+    "local",
+    "function",
+    "const",
+    "type",
+    "import",
+    "from",
+    "export",
+    "opaque",
+    "if",
+    "then",
+    "else",
+    "let",
+    "in",
+    "case",
+    "and",
+    "or",
+    "not",
+    "true",
+    "threaded",
+    "with",
+    "false",
+    "int",
+    "real",
+    "bool",
+    "string",
+    "unit",
+    "list",
+    "map",
+    "tree",
+    "tuple",
 ];
 
 /// Multi-character punctuation, longest first.
@@ -287,10 +325,7 @@ mod tests {
             vec![Tok::Int(42), Tok::Real(3.25), Tok::Eof]
         );
         // `1.` without digits is Int then Punct.
-        assert_eq!(
-            kinds("1."),
-            vec![Tok::Int(1), Tok::Punct("."), Tok::Eof]
-        );
+        assert_eq!(kinds("1."), vec![Tok::Int(1), Tok::Punct("."), Tok::Eof]);
     }
 
     #[test]

@@ -44,8 +44,7 @@ mod parser;
 mod types;
 
 pub use check::{
-    AgAttrTable, CheckError, CheckedAg, CheckedModule, Compiler, FunSig, OpCtx, ThreadInfo,
-    UnitEnv,
+    AgAttrTable, CheckError, CheckedAg, CheckedModule, Compiler, FunSig, OpCtx, ThreadInfo, UnitEnv,
 };
 pub use eval::EvalCtx;
 pub use lexer::{lex, LexError, Pos, Tok, Token};

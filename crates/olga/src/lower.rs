@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use fnc2_ag::{Arg, AttrId, Grammar, GrammarBuilder, LocalId, Occ, ONode, PhylumId, ProductionId};
+use fnc2_ag::{Arg, AttrId, Grammar, GrammarBuilder, LocalId, ONode, Occ, PhylumId, ProductionId};
 
 use crate::ast::{Expr, Pat, RuleTarget};
 use crate::check::{CheckedAg, OpCtx};
@@ -120,7 +120,11 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
         }
         let resolve_occ = |o: &crate::ast::OccRef| -> ONode {
             let (pos, _, _) = octx.resolve(o).expect("checker validated occurrences");
-            let ph = if pos == 0 { &op.lhs } else { &op.rhs[pos as usize - 1] };
+            let ph = if pos == 0 {
+                &op.lhs
+            } else {
+                &op.rhs[pos as usize - 1]
+            };
             ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), o.attr.as_str())]))
         };
 
@@ -144,9 +148,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                 for rule in &block.rules {
                     let target = match &rule.target {
                         RuleTarget::Occ(o) => resolve_occ(o),
-                        RuleTarget::Local(name, _) => {
-                            ONode::Local(local_ids[name.as_str()])
-                        }
+                        RuleTarget::Local(name, _) => ONode::Local(local_ids[name.as_str()]),
                     };
                     add_rule(
                         &mut b,
@@ -186,8 +188,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
             // Source of the incoming state at each point.
             let mut prev: Option<(u16, &String)> = None;
             for &(pos, ph) in &carriers {
-                let target =
-                    ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), inn.as_str())]));
+                let target = ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), inn.as_str())]));
                 let have = defined.entry(pid).or_default();
                 if !have.contains(&target) {
                     let src = match prev {
@@ -207,8 +208,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
             }
             // Outgoing state of the LHS.
             if lhs_carries {
-                let target =
-                    ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), outn.as_str())]));
+                let target = ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), outn.as_str())]));
                 let have = defined.entry(pid).or_default();
                 if !have.contains(&target) {
                     let src = match prev {
@@ -228,8 +228,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
             let Some((true, ty)) = table[&op.lhs].get(aname) else {
                 continue;
             };
-            let target =
-                ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), aname.as_str())]));
+            let target = ONode::Attr(Occ::new(0, attr_ids[&(op.lhs.as_str(), aname.as_str())]));
             if defined.entry(pid).or_default().contains(&target) {
                 continue;
             }
@@ -271,13 +270,9 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                         if summing {
                             fnc2_ag::Value::Int(vals.iter().map(|v| v.as_int()).sum())
                         } else if matches!(vals[0], fnc2_ag::Value::Str(_)) {
-                            fnc2_ag::Value::str(
-                                vals.iter().map(|v| v.as_str()).collect::<String>(),
-                            )
+                            fnc2_ag::Value::str(vals.iter().map(|v| v.as_str()).collect::<String>())
                         } else {
-                            fnc2_ag::Value::list(
-                                vals.iter().flat_map(|v| v.as_list().to_vec()),
-                            )
+                            fnc2_ag::Value::list(vals.iter().flat_map(|v| v.as_list().to_vec()))
                         }
                     });
                     b.call(pid, target, &fname, carriers);
@@ -464,10 +459,16 @@ fn extract(
             }
             Expr::Var(n.clone(), *p)
         }
-        Expr::Call { name, args: cargs, pos } if name == "token" && cargs.is_empty() => {
-            slot(ArgKey::Token, args, keys)
-        }
-        Expr::Call { name, args: cargs, pos } => Expr::Call {
+        Expr::Call {
+            name,
+            args: cargs,
+            pos,
+        } if name == "token" && cargs.is_empty() => slot(ArgKey::Token, args, keys),
+        Expr::Call {
+            name,
+            args: cargs,
+            pos,
+        } => Expr::Call {
             name: name.clone(),
             args: cargs
                 .iter()
@@ -486,13 +487,23 @@ fn extract(
             rhs: Box::new(extract(rhs, resolve_occ, local_ids, args, keys, bound)),
             pos: *pos,
         },
-        Expr::If { cond, then, els, pos } => Expr::If {
+        Expr::If {
+            cond,
+            then,
+            els,
+            pos,
+        } => Expr::If {
             cond: Box::new(extract(cond, resolve_occ, local_ids, args, keys, bound)),
             then: Box::new(extract(then, resolve_occ, local_ids, args, keys, bound)),
             els: Box::new(extract(els, resolve_occ, local_ids, args, keys, bound)),
             pos: *pos,
         },
-        Expr::Let { name, value, body, pos } => {
+        Expr::Let {
+            name,
+            value,
+            body,
+            pos,
+        } => {
             let value = Box::new(extract(value, resolve_occ, local_ids, args, keys, bound));
             bound.push(name.clone());
             let body = Box::new(extract(body, resolve_occ, local_ids, args, keys, bound));
@@ -504,14 +515,23 @@ fn extract(
                 pos: *pos,
             }
         }
-        Expr::Case { scrutinee, arms, pos } => {
-            let scrutinee =
-                Box::new(extract(scrutinee, resolve_occ, local_ids, args, keys, bound));
+        Expr::Case {
+            scrutinee,
+            arms,
+            pos,
+        } => {
+            let scrutinee = Box::new(extract(
+                scrutinee,
+                resolve_occ,
+                local_ids,
+                args,
+                keys,
+                bound,
+            ));
             let arms = arms
                 .iter()
                 .map(|(p, b)| {
-                    let binders: Vec<String> =
-                        p.binders().into_iter().map(String::from).collect();
+                    let binders: Vec<String> = p.binders().into_iter().map(String::from).collect();
                     let n = binders.len();
                     bound.extend(binders);
                     let b = extract(b, resolve_occ, local_ids, args, keys, bound);
@@ -539,7 +559,11 @@ fn extract(
                 .collect(),
             *pos,
         ),
-        Expr::TreeCons { op, args: targs, pos } => Expr::TreeCons {
+        Expr::TreeCons {
+            op,
+            args: targs,
+            pos,
+        } => Expr::TreeCons {
             op: op.clone(),
             args: targs
                 .iter()
@@ -621,9 +645,7 @@ mod tests {
             tb.op("single", &[b]).unwrap()
         };
         for c in "101".chars() {
-            let b = tb
-                .op(if c == '1' { "one" } else { "zero" }, &[])
-                .unwrap();
+            let b = tb.op(if c == '1' { "one" } else { "zero" }, &[]).unwrap();
             seq = tb.op("pair", &[seq, b]).unwrap();
         }
         let root = tb.op("number", &[seq]).unwrap();
@@ -701,9 +723,7 @@ mod tests {
         let ev = Evaluator::new(&g, &seqs);
         let mut tb = TreeBuilder::new(&g);
         let leaf = g.production_by_name("leaf").unwrap();
-        let n = tb
-            .node_with_token(leaf, &[], Some(Value::Int(5)))
-            .unwrap();
+        let n = tb.node_with_token(leaf, &[], Some(Value::Int(5))).unwrap();
         let tree = tb.finish_root(n).unwrap();
         let (vals, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
         let s = g.phylum_by_name("S").unwrap();

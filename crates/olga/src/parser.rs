@@ -55,7 +55,10 @@ pub fn parse_unit(src: &str) -> Result<Unit, ParseError> {
     let mut units = parse_units(src)?;
     if units.len() != 1 {
         return Err(ParseError {
-            message: format!("expected exactly one compilation unit, found {}", units.len()),
+            message: format!(
+                "expected exactly one compilation unit, found {}",
+                units.len()
+            ),
             pos: Pos { line: 1, col: 1 },
         });
     }
@@ -791,9 +794,7 @@ impl Parser {
                     let index = if self.eat_punct("$") {
                         match self.bump() {
                             Tok::Int(i) if i >= 1 => Some(i as u32),
-                            _ => {
-                                return self.err("expected a positive occurrence index after `$`")
-                            }
+                            _ => return self.err("expected a positive occurrence index after `$`"),
                         }
                     } else {
                         None

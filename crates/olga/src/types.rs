@@ -127,10 +127,7 @@ pub fn resolve_type(
                 .map(|t| resolve_type(t, named, pos))
                 .collect::<Result<_, _>>()?,
         ),
-        TypeExpr::Named(n) => named
-            .get(n)
-            .cloned()
-            .ok_or_else(|| (n.clone(), pos))?,
+        TypeExpr::Named(n) => named.get(n).cloned().ok_or_else(|| (n.clone(), pos))?,
     })
 }
 

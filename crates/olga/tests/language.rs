@@ -183,14 +183,11 @@ fn module_chains_resolve_transitively() {
 #[test]
 fn import_of_missing_entity_reported_with_module_name() {
     let mut c = Compiler::new();
-    let Unit::Module(m) = parse_unit("module m; export a; const a : int = 1; end").unwrap()
-    else {
+    let Unit::Module(m) = parse_unit("module m; export a; const a : int = 1; end").unwrap() else {
         panic!()
     };
     c.add_module(m).unwrap();
-    let Unit::Module(bad) =
-        parse_unit("module bad; import nope from m; end").unwrap()
-    else {
+    let Unit::Module(bad) = parse_unit("module bad; import nope from m; end").unwrap() else {
         panic!()
     };
     let err = c.add_module(bad).unwrap_err();

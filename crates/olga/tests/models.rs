@@ -3,11 +3,7 @@
 
 use fnc2_olga::compile_ag_source;
 
-fn eval_root(
-    g: &fnc2_ag::Grammar,
-    tree: &fnc2_ag::Tree,
-    attr: &str,
-) -> fnc2_ag::Value {
+fn eval_root(g: &fnc2_ag::Grammar, tree: &fnc2_ag::Tree, attr: &str) -> fnc2_ag::Value {
     let c = fnc2_analysis::classify(g, 1, fnc2_analysis::Inclusion::Long).unwrap();
     let seqs = fnc2_visit::build_visit_seqs(g, &c.l_ordered.unwrap());
     let ev = fnc2_visit::Evaluator::new(g, &seqs);
@@ -44,7 +40,10 @@ fn threaded_pair_generates_the_snake() {
         "#,
     )
     .unwrap();
-    assert!(info.auto_copies >= 5, "threading was instantiated: {info:?}");
+    assert!(
+        info.auto_copies >= 5,
+        "threading was instantiated: {info:?}"
+    );
 
     // simple needs lab_out := lab_in (model, no carriers); looped adds 2.
     let mut tb = fnc2_ag::TreeBuilder::new(&g);

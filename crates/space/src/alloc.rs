@@ -20,7 +20,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use fnc2_ag::{Grammar, Occ, ONode, ProductionId, RuleBody};
+use fnc2_ag::{Grammar, ONode, Occ, ProductionId, RuleBody};
 use fnc2_visit::{Instr, VisitSeqs};
 
 use crate::flat::{FlatItem, FlatProgram, InstanceKind};
@@ -327,7 +327,13 @@ pub fn plan_storage(
     // sequence's simulation.
     let (access, eliminated) = loop {
         match build_access(
-            grammar, seqs, fp, objects, &storage, &eliminated, &stack_ids,
+            grammar,
+            seqs,
+            fp,
+            objects,
+            &storage,
+            &eliminated,
+            &stack_ids,
         ) {
             Ok(access) => break (access, eliminated.clone()),
             Err(reject) => {
@@ -599,21 +605,22 @@ impl StackSim {
         // For EVAL positions this runs between the reads and the push, so
         // dead sources never get trapped under the fresh value.
         let do_pops = |stack: &mut Vec<ONode>,
-                           pending: &mut HashSet<ONode>,
-                           rec: &mut SimRecord,
-                           pops_at: &HashMap<usize, Vec<ONode>>,
-                           pos: usize|
+                       pending: &mut HashSet<ONode>,
+                       rec: &mut SimRecord,
+                       pops_at: &HashMap<usize, Vec<ONode>>,
+                       pos: usize|
          -> bool {
-            let drain = |stack: &mut Vec<ONode>, pending: &mut HashSet<ONode>, rec: &mut SimRecord| {
-                while let Some(top) = stack.last().copied() {
-                    if pending.remove(&top) {
-                        stack.pop();
-                        *rec.pops.entry(pos).or_insert(0) += 1;
-                    } else {
-                        break;
+            let drain =
+                |stack: &mut Vec<ONode>, pending: &mut HashSet<ONode>, rec: &mut SimRecord| {
+                    while let Some(top) = stack.last().copied() {
+                        if pending.remove(&top) {
+                            stack.pop();
+                            *rec.pops.entry(pos).or_insert(0) += 1;
+                        } else {
+                            break;
+                        }
                     }
-                }
-            };
+                };
             if let Some(nodes) = pops_at.get(&pos) {
                 for &node in nodes {
                     if stack.last() == Some(&node) {
@@ -842,7 +849,9 @@ fn build_access(
                 let rule = grammar.rule_for(p, *target).expect("rule exists");
                 // Argument paths, in rule-argument order.
                 let args: Vec<ReadPath> = match rule.body() {
-                    RuleBody::Copy(a) => vec![arg_path(grammar, objects, storage, &recs, key, pos, p, a)],
+                    RuleBody::Copy(a) => {
+                        vec![arg_path(grammar, objects, storage, &recs, key, pos, p, a)]
+                    }
                     RuleBody::Call { args, .. } => args
                         .iter()
                         .map(|a| arg_path(grammar, objects, storage, &recs, key, pos, p, a))
@@ -931,7 +940,7 @@ fn arg_path(
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
     use fnc2_visit::build_visit_seqs;
 
@@ -1012,7 +1021,12 @@ mod tests {
         // pair : Seq ::= Seq, with scale := succ(scale) and value summed
         // with the own scale read *after* the recursive visit.
         let pair = g.production("pair", seq, &[seq]);
-        g.call(pair, Occ::new(1, s_scale), "succ", [Occ::lhs(s_scale).into()]);
+        g.call(
+            pair,
+            Occ::new(1, s_scale),
+            "succ",
+            [Occ::lhs(s_scale).into()],
+        );
         g.call(
             pair,
             Occ::lhs(s_value),

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{AttrKind, Grammar, LocalId, Occ, ONode, PhylumId, ProductionId};
+use fnc2_ag::{AttrKind, Grammar, LocalId, ONode, Occ, PhylumId, ProductionId};
 use fnc2_visit::{Instr, VisitSeqs};
 
 use crate::object::Object;
@@ -128,10 +128,7 @@ impl FlatProgram {
     /// Builds the flattened program for `grammar` under `seqs`.
     pub fn new(grammar: &Grammar, seqs: &VisitSeqs) -> FlatProgram {
         let keys = seqs.keys();
-        let flat: HashMap<_, _> = keys
-            .iter()
-            .map(|&k| (k, FlatSeq::new(k, seqs)))
-            .collect();
+        let flat: HashMap<_, _> = keys.iter().map(|&k| (k, FlatSeq::new(k, seqs))).collect();
 
         // Pass 1: latest visit reading each (phylum, partition, inherited
         // attr) at its LHS occurrence.
@@ -140,7 +137,11 @@ impl FlatProgram {
         for (&(p, pi), fs) in &flat {
             let lhs = grammar.production(p).lhs();
             for (pos, item) in fs.items.iter().enumerate() {
-                let FlatItem::Op { visit, instr: Instr::Eval(target) } = item else {
+                let FlatItem::Op {
+                    visit,
+                    instr: Instr::Eval(target),
+                } = item
+                else {
                     continue;
                 };
                 let _ = pos;
@@ -159,7 +160,10 @@ impl FlatProgram {
         // Pass 2: instances per sequence.
         let mut instances = HashMap::new();
         for (&(p, pi), fs) in &flat {
-            instances.insert((p, pi), build_instances(grammar, seqs, fs, &last_read_visit));
+            instances.insert(
+                (p, pi),
+                build_instances(grammar, seqs, fs, &last_read_visit),
+            );
         }
 
         FlatProgram {
@@ -217,7 +221,11 @@ fn build_instances(
     // Reads: occurrence -> positions of EVALs whose rule reads it.
     let mut reads: HashMap<ONode, Vec<usize>> = HashMap::new();
     for (pos, item) in fs.items.iter().enumerate() {
-        let FlatItem::Op { instr: Instr::Eval(target), .. } = item else {
+        let FlatItem::Op {
+            instr: Instr::Eval(target),
+            ..
+        } = item
+        else {
             continue;
         };
         let rule = grammar.rule_for(p, *target).expect("rule exists");
@@ -322,7 +330,7 @@ fn build_instances(
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
     use fnc2_visit::build_visit_seqs;
 

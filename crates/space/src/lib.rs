@@ -27,7 +27,9 @@ mod lifetime;
 mod object;
 mod runtime;
 
-pub use alloc::{plan_storage, ReadPath, SeqAccess, SpacePlan, SpaceStats, StepAccess, Storage, WritePath};
+pub use alloc::{
+    plan_storage, ReadPath, SeqAccess, SpacePlan, SpaceStats, StepAccess, Storage, WritePath,
+};
 pub use flat::{FlatItem, FlatProgram, FlatSeq, Instance, InstanceKind};
 pub use lifetime::{interval_hits_visit, strict_stack_candidates, Lifetimes};
 pub use object::{Object, ObjectIndex, ObjectSet};
@@ -37,7 +39,10 @@ use fnc2_ag::Grammar;
 use fnc2_visit::VisitSeqs;
 
 /// One-call space analysis: flattening, lifetimes, storage plan.
-pub fn analyze_space(grammar: &Grammar, seqs: &VisitSeqs) -> (FlatProgram, ObjectIndex, Lifetimes, SpacePlan) {
+pub fn analyze_space(
+    grammar: &Grammar,
+    seqs: &VisitSeqs,
+) -> (FlatProgram, ObjectIndex, Lifetimes, SpacePlan) {
     let fp = FlatProgram::new(grammar, seqs);
     let objects = ObjectIndex::new(grammar);
     let lt = Lifetimes::analyze(grammar, seqs, &fp, &objects);

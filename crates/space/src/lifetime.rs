@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{Grammar, Occ, ONode, PhylumId, ProductionId};
+use fnc2_ag::{Grammar, ONode, Occ, PhylumId, ProductionId};
 use fnc2_visit::{Instr, VisitSeqs};
 
 use crate::flat::{FlatItem, FlatProgram};
@@ -89,8 +89,12 @@ fn may_eval_sets(
             }
         }
     }
-    let key_ix: HashMap<(PhylumId, usize, usize), usize> =
-        keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+    let key_ix: HashMap<(PhylumId, usize, usize), usize> = keys
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
     let mut sets: Vec<ObjectSet> = keys.iter().map(|_| ObjectSet::new(objects.len())).collect();
 
     // Per key, the (sequence, visit) bodies contributing to it, and the
@@ -222,7 +226,10 @@ pub fn strict_stack_candidates(
                         for &u in &inst.uses {
                             let is_visit = matches!(
                                 fs.items[u],
-                                FlatItem::Op { instr: Instr::Visit { .. }, .. }
+                                FlatItem::Op {
+                                    instr: Instr::Visit { .. },
+                                    ..
+                                }
                             );
                             if !is_visit && fs.visit_at(u) != fs.visit_at(inst.def_pos) {
                                 continue 'obj;
@@ -293,7 +300,7 @@ pub fn interval_hits_visit(
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
     use fnc2_visit::build_visit_seqs;
 
@@ -366,8 +373,14 @@ mod tests {
         let a = g.phylum_by_name("A").unwrap();
         let i1 = g.attr_by_name(a, "i1").unwrap();
         let s1 = g.attr_by_name(a, "s1").unwrap();
-        assert!(!lt.is_temporary(&objects, Object::Attr(i1)), "i1 crosses visits");
-        assert!(lt.is_temporary(&objects, Object::Attr(s1)), "s1 stays in visit 1");
+        assert!(
+            !lt.is_temporary(&objects, Object::Attr(i1)),
+            "i1 crosses visits"
+        );
+        assert!(
+            lt.is_temporary(&objects, Object::Attr(s1)),
+            "s1 stays in visit 1"
+        );
     }
 
     #[test]

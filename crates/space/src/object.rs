@@ -23,11 +23,7 @@ impl Object {
         match self {
             Object::Attr(a) => {
                 let info = grammar.attr(*a);
-                format!(
-                    "{}.{}",
-                    grammar.phylum(info.phylum()).name(),
-                    info.name()
-                )
+                format!("{}.{}", grammar.phylum(info.phylum()).name(), info.name())
             }
             Object::Local(p, l) => {
                 let prod = grammar.production(*p);
@@ -55,7 +51,12 @@ impl ObjectIndex {
                 list.push(Object::Local(p, LocalId::from_raw(l)));
             }
         }
-        let map = list.iter().copied().enumerate().map(|(i, o)| (o, i)).collect();
+        let map = list
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, o)| (o, i))
+            .collect();
         ObjectIndex { list, map }
     }
 
@@ -132,7 +133,7 @@ impl ObjectSet {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Occ, ONode, Value};
+    use fnc2_ag::{GrammarBuilder, ONode, Occ, Value};
 
     use super::*;
 

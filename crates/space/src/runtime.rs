@@ -11,9 +11,9 @@
 use std::collections::HashMap;
 
 use fnc2_ag::{
-    Arg, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, ProductionId, RuleBody, Tree,
-    Value,
+    Arg, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, ProductionId, RuleBody, Tree, Value,
 };
+use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder, StorageClass};
 use fnc2_visit::{EvalError, Instr, RootInputs, VisitSeqs};
 
 use crate::alloc::{ReadPath, SpacePlan, WritePath};
@@ -33,6 +33,32 @@ pub struct SpaceRunStats {
     pub max_live_cells: usize,
     /// Storage cells still allocated at the end (tree-resident attributes).
     pub final_node_cells: usize,
+}
+
+impl SpaceRunStats {
+    /// The stats as seen through the shared [`fnc2_obs`] counter
+    /// vocabulary.
+    pub fn from_counters(counters: &Counters) -> SpaceRunStats {
+        SpaceRunStats {
+            visits: counters.get(Key::SpaceVisits) as usize,
+            evals: counters.get(Key::SpaceEvals) as usize,
+            copies_skipped: counters.get(Key::SpaceCopiesSkipped) as usize,
+            max_live_cells: counters.get(Key::SpaceMaxLiveCells) as usize,
+            final_node_cells: counters.get(Key::SpaceFinalNodeCells) as usize,
+        }
+    }
+
+    /// The stats as a dense counter block (inverse of
+    /// [`SpaceRunStats::from_counters`]).
+    pub fn to_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set(Key::SpaceVisits, self.visits as u64);
+        c.set(Key::SpaceEvals, self.evals as u64);
+        c.set(Key::SpaceCopiesSkipped, self.copies_skipped as u64);
+        c.set(Key::SpaceMaxLiveCells, self.max_live_cells as u64);
+        c.set(Key::SpaceFinalNodeCells, self.final_node_cells as u64);
+        c
+    }
 }
 
 /// Result of a space-optimized evaluation.
@@ -61,7 +87,7 @@ struct RunState {
     node_locals: HashMap<(NodeId, LocalId), Value>,
     live: usize,
     max_live: usize,
-    stats: SpaceRunStats,
+    counters: Counters,
 }
 
 impl RunState {
@@ -94,6 +120,23 @@ impl<'g> SpaceEvaluator<'g> {
     /// Same failure modes as the unoptimized evaluator: missing root
     /// inputs, missing tokens.
     pub fn evaluate(&self, tree: &Tree, inputs: &RootInputs) -> Result<SpaceOutcome, EvalError> {
+        self.evaluate_recorded(tree, inputs, &mut NoopRecorder)
+    }
+
+    /// [`SpaceEvaluator::evaluate`], instrumented: run counters are
+    /// replayed into `rec` under the `space.*` keys, and when tracing is
+    /// on each storage write emits an `AttrStored` event tagged with its
+    /// storage class.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SpaceEvaluator::evaluate`].
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        rec: &mut R,
+    ) -> Result<SpaceOutcome, EvalError> {
         let g = self.grammar;
         let mut st = RunState {
             globals: vec![None; self.plan.n_variables],
@@ -102,7 +145,7 @@ impl<'g> SpaceEvaluator<'g> {
             node_locals: HashMap::new(),
             live: 0,
             max_live: 0,
-            stats: SpaceRunStats::default(),
+            counters: Counters::new(),
         };
         let root = tree.root();
         let root_ph = g.production(tree.node(root).production()).lhs();
@@ -117,25 +160,38 @@ impl<'g> SpaceEvaluator<'g> {
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         for v in 1..=visits {
-            self.run_visit(tree, root, 0, v, &mut st)?;
+            self.run_visit(tree, root, 0, v, &mut st, rec)?;
         }
-        st.stats.max_live_cells = st.max_live;
-        st.stats.final_node_cells = st.node_values.live_count() + st.node_locals.len();
+        st.counters
+            .raise(Key::SpaceMaxLiveCells, st.max_live as u64);
+        st.counters.set(
+            Key::SpaceFinalNodeCells,
+            (st.node_values.live_count() + st.node_locals.len()) as u64,
+        );
+        st.counters.replay(rec);
         Ok(SpaceOutcome {
             node_values: st.node_values,
-            stats: st.stats,
+            stats: SpaceRunStats::from_counters(&st.counters),
         })
     }
 
-    fn run_visit(
+    fn run_visit<R: Recorder>(
         &self,
         tree: &Tree,
         node: NodeId,
         partition: usize,
         visit: usize,
         st: &mut RunState,
+        rec: &mut R,
     ) -> Result<(), EvalError> {
-        st.stats.visits += 1;
+        st.counters.add(Key::SpaceVisits, 1);
+        if rec.trace() {
+            rec.emit(Event::VisitEnter {
+                node: node.index() as u32,
+                production: tree.node(node).production().index() as u32,
+                visit: visit as u16,
+            });
+        }
         let p = tree.node(node).production();
         let key = (p, partition);
         let fs = &self.fp.seqs[&key];
@@ -152,16 +208,16 @@ impl<'g> SpaceEvaluator<'g> {
                         let write = step.write.as_ref().expect("eval step has a write");
                         match write {
                             WritePath::SkipVariable | WritePath::SkipStackTop => {
-                                st.stats.copies_skipped += 1;
+                                st.counters.add(Key::SpaceCopiesSkipped, 1);
                                 self.pops(step, st);
                             }
                             _ => {
                                 let value = self.compute(tree, p, node, *target, step, st)?;
-                                st.stats.evals += 1;
+                                st.counters.add(Key::SpaceEvals, 1);
                                 // Dead sources pop before the fresh push
                                 // (mirrors the static simulation).
                                 self.pops(step, st);
-                                self.write(tree, node, *target, write, value, st);
+                                self.write(tree, node, *target, write, value, st, rec);
                             }
                         }
                     }
@@ -171,11 +227,18 @@ impl<'g> SpaceEvaluator<'g> {
                         partition: cpart,
                     } => {
                         let c = tree.node(node).children()[*child as usize - 1];
-                        self.run_visit(tree, c, *cpart, *w, st)?;
+                        self.run_visit(tree, c, *cpart, *w, st, rec)?;
                         self.pops(step, st);
                     }
                 },
             }
+        }
+        if rec.trace() {
+            rec.emit(Event::VisitLeave {
+                node: node.index() as u32,
+                production: p.index() as u32,
+                visit: visit as u16,
+            });
         }
         Ok(())
     }
@@ -205,50 +268,50 @@ impl<'g> SpaceEvaluator<'g> {
         debug_assert_eq!(args.len(), step.args.len());
         let mut vals = Vec::with_capacity(args.len());
         for (arg, path) in args.iter().zip(&step.args) {
-            let v = match path {
-                ReadPath::Immediate => match arg {
-                    Arg::Const(v) => v.clone(),
-                    Arg::Token => tree.node(node).token().cloned().ok_or_else(|| {
-                        EvalError::MissingToken {
-                            node,
-                            production: g.production(p).name().to_string(),
-                        }
-                    })?,
-                    Arg::Node(_) => unreachable!("occurrence args have storage paths"),
-                },
-                ReadPath::Variable(id) => st.globals[*id]
-                    .clone()
-                    .unwrap_or_else(|| panic!("variable {id} read before write")),
-                ReadPath::Stack(id, depth) => {
-                    let s = &st.stacks[*id];
-                    s[s.len() - 1 - depth].clone()
-                }
-                ReadPath::Node => match arg {
-                    Arg::Node(ONode::Attr(Occ { pos, attr })) => {
-                        let at = if *pos == 0 {
-                            node
-                        } else {
-                            tree.node(node).children()[*pos as usize - 1]
-                        };
-                        st.node_values
-                            .get(g, at, *attr)
-                            .cloned()
-                            .ok_or_else(|| EvalError::MissingValue {
-                                node: at,
-                                what: g.attr(*attr).name().to_string(),
-                            })?
-                    }
-                    Arg::Node(ONode::Local(l)) => st
-                        .node_locals
-                        .get(&(node, *l))
-                        .cloned()
-                        .ok_or_else(|| EvalError::MissingValue {
-                            node,
-                            what: g.production(p).locals()[l.index()].name().to_string(),
+            let v =
+                match path {
+                    ReadPath::Immediate => match arg {
+                        Arg::Const(v) => v.clone(),
+                        Arg::Token => tree.node(node).token().cloned().ok_or_else(|| {
+                            EvalError::MissingToken {
+                                node,
+                                production: g.production(p).name().to_string(),
+                            }
                         })?,
-                    _ => unreachable!("Node path implies an occurrence arg"),
-                },
-            };
+                        Arg::Node(_) => unreachable!("occurrence args have storage paths"),
+                    },
+                    ReadPath::Variable(id) => st.globals[*id]
+                        .clone()
+                        .unwrap_or_else(|| panic!("variable {id} read before write")),
+                    ReadPath::Stack(id, depth) => {
+                        let s = &st.stacks[*id];
+                        s[s.len() - 1 - depth].clone()
+                    }
+                    ReadPath::Node => match arg {
+                        Arg::Node(ONode::Attr(Occ { pos, attr })) => {
+                            let at = if *pos == 0 {
+                                node
+                            } else {
+                                tree.node(node).children()[*pos as usize - 1]
+                            };
+                            st.node_values.get(g, at, *attr).cloned().ok_or_else(|| {
+                                EvalError::MissingValue {
+                                    node: at,
+                                    what: g.attr(*attr).name().to_string(),
+                                }
+                            })?
+                        }
+                        Arg::Node(ONode::Local(l)) => {
+                            st.node_locals.get(&(node, *l)).cloned().ok_or_else(|| {
+                                EvalError::MissingValue {
+                                    node,
+                                    what: g.production(p).locals()[l.index()].name().to_string(),
+                                }
+                            })?
+                        }
+                        _ => unreachable!("Node path implies an occurrence arg"),
+                    },
+                };
             vals.push(v);
         }
         Ok(match rule.body() {
@@ -257,7 +320,8 @@ impl<'g> SpaceEvaluator<'g> {
         })
     }
 
-    fn write(
+    #[allow(clippy::too_many_arguments)]
+    fn write<R: Recorder>(
         &self,
         tree: &Tree,
         node: NodeId,
@@ -265,8 +329,31 @@ impl<'g> SpaceEvaluator<'g> {
         write: &WritePath,
         value: Value,
         st: &mut RunState,
+        rec: &mut R,
     ) {
         let g = self.grammar;
+        if rec.trace() {
+            if let ONode::Attr(Occ { pos, attr }) = target {
+                let at = if pos == 0 {
+                    node
+                } else {
+                    tree.node(node).children()[pos as usize - 1]
+                };
+                let class = match write {
+                    WritePath::Variable(_) => Some(StorageClass::Global),
+                    WritePath::Stack(_) => Some(StorageClass::Stack),
+                    WritePath::Node => Some(StorageClass::Node),
+                    WritePath::SkipVariable | WritePath::SkipStackTop => None,
+                };
+                if let Some(class) = class {
+                    rec.emit(Event::AttrStored {
+                        node: at.index() as u32,
+                        attr: attr.index() as u32,
+                        class,
+                    });
+                }
+            }
+        }
         match write {
             WritePath::Variable(id) => {
                 if st.globals[*id].replace(value).is_none() {
@@ -303,7 +390,7 @@ impl<'g> SpaceEvaluator<'g> {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, TreeBuilder};
+    use fnc2_ag::{Grammar, GrammarBuilder, TreeBuilder};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
     use fnc2_visit::{build_visit_seqs, Evaluator};
 

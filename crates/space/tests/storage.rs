@@ -2,7 +2,7 @@
 //! strict-stack candidates, equivalence on two-visit grammars, and the
 //! static/dynamic accounting contracts.
 
-use fnc2_ag::{GrammarBuilder, Grammar, Occ, TreeBuilder, Value};
+use fnc2_ag::{Grammar, GrammarBuilder, Occ, TreeBuilder, Value};
 use fnc2_analysis::{classify, Inclusion};
 use fnc2_space::{analyze_space, strict_stack_candidates, Object, SpaceEvaluator, Storage};
 use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
@@ -26,14 +26,24 @@ fn two_visit_nontemp() -> Grammar {
     g.copy(root, Occ::lhs(out), Occ::new(1, s2));
     // chain : A ::= A keeps it recursive so stacks matter too.
     let chain = g.production("chain", a, &[a]);
-    g.call(chain, Occ::new(1, i1), "add", [Occ::lhs(i1).into(), Occ::lhs(i1).into()]);
+    g.call(
+        chain,
+        Occ::new(1, i1),
+        "add",
+        [Occ::lhs(i1).into(), Occ::lhs(i1).into()],
+    );
     g.copy(chain, Occ::lhs(s1), Occ::new(1, s1));
     g.copy(chain, Occ::new(1, i2), Occ::lhs(i2));
     g.copy(chain, Occ::lhs(s2), Occ::new(1, s2));
     let leaf = g.production("leafa", a, &[]);
     g.copy(leaf, Occ::lhs(s1), Occ::lhs(i1));
     // s2 (visit 2) re-reads i1 (made available in visit 1): non-temporary.
-    g.call(leaf, Occ::lhs(s2), "add", [Occ::lhs(i1).into(), Occ::lhs(i2).into()]);
+    g.call(
+        leaf,
+        Occ::lhs(s2),
+        "add",
+        [Occ::lhs(i1).into(), Occ::lhs(i2).into()],
+    );
     g.finish().unwrap()
 }
 
@@ -46,7 +56,10 @@ fn non_temporary_goes_to_node_and_still_evaluates() {
     let (fp, objects, lt, plan) = analyze_space(&g, &seqs);
     let a = g.phylum_by_name("A").unwrap();
     let i1 = g.attr_by_name(a, "i1").unwrap();
-    assert!(!lt.is_temporary(&objects, Object::Attr(i1)), "i1 crosses visits");
+    assert!(
+        !lt.is_temporary(&objects, Object::Attr(i1)),
+        "i1 crosses visits"
+    );
     assert_eq!(plan.storage_of(&objects, Object::Attr(i1)), Storage::Node);
 
     // Equivalence on a chain.
@@ -192,7 +205,9 @@ fn dag_evaluation_works_with_global_storage_only() {
 
     // Build a DAG: ONE leaf node used as both children.
     let mut tb = TreeBuilder::new(&g);
-    let shared = tb.node(g.production_by_name("leafa").unwrap(), &[]).unwrap();
+    let shared = tb
+        .node(g.production_by_name("leafa").unwrap(), &[])
+        .unwrap();
     let root = tb
         .node(g.production_by_name("fork").unwrap(), &[shared, shared])
         .unwrap();
@@ -203,7 +218,8 @@ fn dag_evaluation_works_with_global_storage_only() {
     let got = opt.evaluate(&tree, &RootInputs::new()).unwrap();
     let sroot = tree.root();
     assert_eq!(
-        got.node_values.get(&g, sroot, g.attr_by_name(s, "out").unwrap()),
+        got.node_values
+            .get(&g, sroot, g.attr_by_name(s, "out").unwrap()),
         Some(&Value::Int(12))
     );
 

@@ -105,9 +105,9 @@ impl fmt::Display for CfgError {
                 f,
                 "operator `{operator}` has arity {expected}, rule provides {found} subtree(s)"
             ),
-            CfgError::BadForward(n) =>
-
-                write!(f, "forward rule of `{n}` must have exactly one nonterminal"),
+            CfgError::BadForward(n) => {
+                write!(f, "forward rule of `{n}` must have exactly one nonterminal")
+            }
             CfgError::BadTokenIndex(n) => write!(f, "token index out of range in a rule of `{n}`"),
             CfgError::Ll1Conflict {
                 nonterminal,
@@ -135,7 +135,11 @@ pub struct DriveError {
 
 impl fmt::Display for DriveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: syntax error: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "{}:{}: syntax error: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -474,7 +478,12 @@ mod tests {
         let v = g.syn(e, "v");
         g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
         let add = g.production("add", e, &[e, e]);
-        g.call(add, Occ::lhs(v), "add", [Occ::new(1, v).into(), Occ::new(2, v).into()]);
+        g.call(
+            add,
+            Occ::lhs(v),
+            "add",
+            [Occ::new(1, v).into(), Occ::new(2, v).into()],
+        );
         let lit = g.production("lit", e, &[]);
         g.copy(lit, Occ::lhs(v), fnc2_ag::Arg::Token);
         g.finish().unwrap()
@@ -582,10 +591,7 @@ mod tests {
         let (vals, _) = dynev
             .evaluate(&tree, &fnc2_visit::RootInputs::new())
             .unwrap();
-        assert_eq!(
-            vals.get(&g, tree.root(), v),
-            Some(&Value::Int(10))
-        );
+        assert_eq!(vals.get(&g, tree.root(), v), Some(&Value::Int(10)));
     }
 
     #[test]
@@ -632,7 +638,11 @@ mod tests {
         };
         assert!(matches!(
             Ll1Parser::new(cfg, &g),
-            Err(CfgError::ArityMismatch { expected: 2, found: 0, .. })
+            Err(CfgError::ArityMismatch {
+                expected: 2,
+                found: 0,
+                ..
+            })
         ));
     }
 

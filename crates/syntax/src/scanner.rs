@@ -89,8 +89,7 @@ impl ScannerSpec {
         keywords: &[K],
         operators: &[O],
     ) -> ScannerSpec {
-        let mut operators: Vec<String> =
-            operators.iter().cloned().map(Into::into).collect();
+        let mut operators: Vec<String> = operators.iter().cloned().map(Into::into).collect();
         operators.sort_by_key(|o| std::cmp::Reverse(o.len()));
         ScannerSpec {
             keywords: keywords.iter().cloned().map(Into::into).collect(),
@@ -114,7 +113,11 @@ pub struct ScanError {
 
 impl fmt::Display for ScanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: scan error: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "{}:{}: scan error: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -7,7 +7,7 @@
 //! unreachable from the root, phyla that cannot derive a finite tree, and
 //! attributes that are computed but never used.
 
-use fnc2_ag::{AttrKind, Grammar, Occ, ONode, PhylumId};
+use fnc2_ag::{AttrKind, Grammar, ONode, Occ, PhylumId};
 
 /// One diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,8 +133,7 @@ pub fn analyze(grammar: &Grammar) -> AsxReport {
     for ph in grammar.phyla() {
         for &a in grammar.phylum(ph).attrs() {
             let info = grammar.attr(a);
-            let root_output =
-                ph == grammar.root() && info.kind() == AttrKind::Synthesized;
+            let root_output = ph == grammar.root() && info.kind() == AttrKind::Synthesized;
             if !used[a.index()] && !root_output {
                 diags.push(AsxDiag::UnusedAttribute {
                     phylum: grammar.phylum(ph).name().to_string(),

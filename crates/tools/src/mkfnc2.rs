@@ -188,7 +188,9 @@ pub fn analyze_project(files: &[SourceFile]) -> Result<Project, ProjectError> {
     // Table 4 statistics (per file, grouped by subsystem).
     let mut per: HashMap<&str, Vec<usize>> = HashMap::new();
     for f in files {
-        per.entry(&f.subsystem).or_default().push(f.text.lines().count());
+        per.entry(&f.subsystem)
+            .or_default()
+            .push(f.text.lines().count());
     }
     let mut stats: Vec<SubsystemStats> = per
         .into_iter()

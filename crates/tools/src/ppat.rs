@@ -261,7 +261,12 @@ mod tests {
         let v = g.syn(e, "v");
         g.func("add", 2, |a| Value::Int(a[0].as_int() + a[1].as_int()));
         let add = g.production("add", e, &[e, e]);
-        g.call(add, Occ::lhs(v), "add", [Occ::new(1, v).into(), Occ::new(2, v).into()]);
+        g.call(
+            add,
+            Occ::lhs(v),
+            "add",
+            [Occ::new(1, v).into(), Occ::new(2, v).into()],
+        );
         let lit = g.production("lit", e, &[]);
         g.copy(lit, Occ::lhs(v), fnc2_ag::Arg::Token);
         g.finish().unwrap()

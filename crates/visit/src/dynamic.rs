@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{
-    AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, Value,
-};
+use fnc2_ag::{AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, Value};
 
 use crate::exhaustive::{EvalStats, RootInputs};
 use crate::rules::{eval_rule, EvalError, Store};
@@ -85,7 +83,11 @@ impl<'g> DynamicEvaluator<'g> {
             .preorder()
             .flat_map(|(n, _)| {
                 let ph = tree.phylum(g, n);
-                g.phylum(ph).attrs().iter().map(move |&a| (n, a)).collect::<Vec<_>>()
+                g.phylum(ph)
+                    .attrs()
+                    .iter()
+                    .map(move |&a| (n, a))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mut in_progress: HashMap<Goal, bool> = HashMap::new();
@@ -270,16 +272,18 @@ mod tests {
         let tmp = g.local(leaf, "tmp");
         g.constant(leaf, ONode::Local(tmp), Value::Int(20));
         g.func("double", 1, |a| Value::Int(a[0].as_int() * 2));
-        g.call(leaf, Occ::lhs(out), "double", [fnc2_ag::Arg::Node(ONode::Local(tmp))]);
+        g.call(
+            leaf,
+            Occ::lhs(out),
+            "double",
+            [fnc2_ag::Arg::Node(ONode::Local(tmp))],
+        );
         let g = g.finish().unwrap();
         let mut tb = TreeBuilder::new(&g);
         let n = tb.op("leaf", &[]).unwrap();
         let tree = tb.finish_root(n).unwrap();
         let ev = DynamicEvaluator::new(&g);
         let (values, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
-        assert_eq!(
-            values.get(&g, tree.root(), out),
-            Some(&Value::Int(40))
-        );
+        assert_eq!(values.get(&g, tree.root(), out), Some(&Value::Int(40)));
     }
 }

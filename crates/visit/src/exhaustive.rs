@@ -9,15 +9,18 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{
-    AttrId, AttrValues, Grammar, LocalId, NodeId, Occ, ONode, Tree, Value,
-};
+use fnc2_ag::{AttrId, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, Value};
+use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder};
 
 use crate::rules::EvalError;
 use crate::seq::{Instr, VisitSeqs};
 
 /// Counters describing one evaluation run (feed the §4 claims: visit
 /// overhead of partition replacement, copy-rule volume, cell counts).
+///
+/// A thin view over the shared `fnc2-obs` counter vocabulary: the
+/// evaluator counts into an [`fnc2_obs::Counters`] block and this struct
+/// is materialized from it when the run finishes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of `VISIT` instructions executed (tree-walk volume).
@@ -28,6 +31,26 @@ pub struct EvalStats {
     pub copies: usize,
 }
 
+impl EvalStats {
+    /// Extracts the exhaustive-evaluator view from a counter block.
+    pub fn from_counters(c: &Counters) -> EvalStats {
+        EvalStats {
+            visits: c.get(Key::EvalVisits) as usize,
+            evals: c.get(Key::EvalEvals) as usize,
+            copies: c.get(Key::EvalCopies) as usize,
+        }
+    }
+
+    /// Re-expresses this view as a counter block.
+    pub fn to_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set(Key::EvalVisits, self.visits as u64);
+        c.set(Key::EvalEvals, self.evals as u64);
+        c.set(Key::EvalCopies, self.copies as u64);
+        c
+    }
+}
+
 /// Values of the root's inherited attributes, supplied by the caller.
 pub type RootInputs = HashMap<AttrId, Value>;
 
@@ -36,8 +59,15 @@ pub type RootInputs = HashMap<AttrId, Value>;
 /// possible … embodied in the code of the evaluator itself").
 #[derive(Clone, Debug)]
 enum CInstr {
-    Eval { rule: u32, target: ONode },
-    Visit { child: u16, visit: u16, partition: u16 },
+    Eval {
+        rule: u32,
+        target: ONode,
+    },
+    Visit {
+        child: u16,
+        visit: u16,
+        partition: u16,
+    },
 }
 
 /// The exhaustive visit-sequence evaluator.
@@ -54,11 +84,23 @@ impl<'g> Evaluator<'g> {
     /// Creates an evaluator for `grammar` driven by `seqs`, resolving every
     /// `EVAL` to its rule index up front.
     pub fn new(grammar: &'g Grammar, seqs: &'g VisitSeqs) -> Self {
-        let mut compiled: Vec<Vec<Vec<Vec<CInstr>>>> =
-            vec![Vec::new(); grammar.production_count()];
+        let mut compiled: Vec<Vec<Vec<Vec<CInstr>>>> = vec![Vec::new(); grammar.production_count()];
+        // target → rule index, built once per production. The former
+        // linear `position()` scan per EVAL instruction made construction
+        // quadratic in rules-per-production, which shows on the large
+        // synthetic grammars.
+        let mut rule_maps: Vec<Option<HashMap<ONode, u32>>> =
+            vec![None; grammar.production_count()];
         for (p, pi) in seqs.keys() {
             let seq = seqs.seq(p, pi);
             let prod = grammar.production(p);
+            let rule_map = rule_maps[p.index()].get_or_insert_with(|| {
+                prod.rules()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (r.target(), i as u32))
+                    .collect()
+            });
             let slot = &mut compiled[p.index()];
             if slot.len() <= pi {
                 slot.resize(pi + 1, Vec::new());
@@ -71,12 +113,9 @@ impl<'g> Evaluator<'g> {
                         .iter()
                         .map(|instr| match instr {
                             Instr::Eval(target) => CInstr::Eval {
-                                rule: prod
-                                    .rules()
-                                    .iter()
-                                    .position(|r| r.target() == *target)
-                                    .expect("validated grammar defines every output")
-                                    as u32,
+                                rule: *rule_map
+                                    .get(target)
+                                    .expect("validated grammar defines every output"),
                                 target: *target,
                             },
                             Instr::Visit {
@@ -109,10 +148,32 @@ impl<'g> Evaluator<'g> {
     /// Fails if a root inherited attribute is missing from `inputs`, or on
     /// the internal scheduling errors documented in [`EvalError`] (which a
     /// generated plan never triggers).
-    pub fn evaluate(&self, tree: &Tree, inputs: &RootInputs) -> Result<(AttrValues, EvalStats), EvalError> {
+    pub fn evaluate(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_recorded(tree, inputs, &mut NoopRecorder)
+    }
+
+    /// [`Evaluator::evaluate`], instrumented: counters are replayed into
+    /// `rec` when the run finishes, and (when `rec.trace()` is on)
+    /// `VisitEnter`/`VisitLeave`/`RuleFired` events are emitted along the
+    /// way. With [`NoopRecorder`] this monomorphizes to the bare loop —
+    /// `evaluate` is exactly that instantiation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`].
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
         let mut values = AttrValues::new(self.grammar, tree);
         let mut locals = HashMap::new();
-        let mut stats = EvalStats::default();
+        let mut counters = Counters::new();
         let root = tree.root();
         let root_ph = self.grammar.production(tree.node(root).production()).lhs();
         // Supply the root's inherited attributes up front (its single-visit
@@ -128,9 +189,20 @@ impl<'g> Evaluator<'g> {
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         let mut buf = Vec::with_capacity(8);
         for v in 1..=visits {
-            self.run_visit(tree, root, 0, v, &mut values, &mut locals, &mut stats, &mut buf)?;
+            self.run_visit(
+                tree,
+                root,
+                0,
+                v,
+                &mut values,
+                &mut locals,
+                &mut counters,
+                &mut buf,
+                rec,
+            )?;
         }
-        Ok((values, stats))
+        counters.replay(rec);
+        Ok((values, EvalStats::from_counters(&counters)))
     }
 
     /// Evaluates one rule with a reusable argument buffer — the hot path.
@@ -182,9 +254,7 @@ impl<'g> Evaluator<'g> {
                         .cloned()
                         .ok_or_else(|| EvalError::MissingValue {
                             node,
-                            what: g
-                                .production(tree.node(node).production())
-                                .locals()[l.index()]
+                            what: g.production(tree.node(node).production()).locals()[l.index()]
                                 .name()
                                 .to_string(),
                         })
@@ -207,7 +277,7 @@ impl<'g> Evaluator<'g> {
     /// (an explicit frame stack: generated evaluators must digest trees of
     /// arbitrary depth — list-like programs produce very deep spines).
     #[allow(clippy::too_many_arguments)]
-    fn run_visit(
+    fn run_visit<R: Recorder>(
         &self,
         tree: &Tree,
         node: NodeId,
@@ -215,8 +285,9 @@ impl<'g> Evaluator<'g> {
         visit: usize,
         values: &mut AttrValues,
         locals: &mut HashMap<(NodeId, LocalId), Value>,
-        stats: &mut EvalStats,
+        counters: &mut Counters,
         buf: &mut Vec<Value>,
+        rec: &mut R,
     ) -> Result<(), EvalError> {
         struct Frame {
             node: NodeId,
@@ -230,13 +301,26 @@ impl<'g> Evaluator<'g> {
             visit,
             at: 0,
         }];
-        stats.visits += 1;
+        counters.add(Key::EvalVisits, 1);
+        if rec.trace() {
+            rec.emit(Event::VisitEnter {
+                node: node.index() as u32,
+                production: tree.node(node).production().index() as u32,
+                visit: visit as u16,
+            });
+        }
         while let Some(frame) = stack.last_mut() {
             let node = frame.node;
             let p = tree.node(node).production();
-            let segment: &[CInstr] =
-                &self.compiled[p.index()][frame.partition][frame.visit - 1];
+            let segment: &[CInstr] = &self.compiled[p.index()][frame.partition][frame.visit - 1];
             if frame.at == segment.len() {
+                if rec.trace() {
+                    rec.emit(Event::VisitLeave {
+                        node: node.index() as u32,
+                        production: p.index() as u32,
+                        visit: frame.visit as u16,
+                    });
+                }
                 stack.pop();
                 continue;
             }
@@ -245,12 +329,20 @@ impl<'g> Evaluator<'g> {
             match instr {
                 CInstr::Eval { rule, target } => {
                     let prod = self.grammar.production(p);
-                    let rule = &prod.rules()[*rule as usize];
+                    let rule_ix = *rule;
+                    let rule = &prod.rules()[rule_ix as usize];
                     let (value, is_copy) =
                         self.eval_with_buf(tree, rule, node, values, locals, buf)?;
-                    stats.evals += 1;
+                    counters.add(Key::EvalEvals, 1);
                     if is_copy {
-                        stats.copies += 1;
+                        counters.add(Key::EvalCopies, 1);
+                    }
+                    if rec.trace() {
+                        rec.emit(Event::RuleFired {
+                            node: node.index() as u32,
+                            production: p.index() as u32,
+                            rule: rule_ix,
+                        });
                     }
                     match target {
                         ONode::Attr(Occ { pos, attr }) => {
@@ -272,7 +364,14 @@ impl<'g> Evaluator<'g> {
                     partition: cpart,
                 } => {
                     let c = tree.node(node).children()[*child as usize - 1];
-                    stats.visits += 1;
+                    counters.add(Key::EvalVisits, 1);
+                    if rec.trace() {
+                        rec.emit(Event::VisitEnter {
+                            node: c.index() as u32,
+                            production: tree.node(c).production().index() as u32,
+                            visit: *w,
+                        });
+                    }
                     stack.push(Frame {
                         node: c,
                         partition: *cpart as usize,
@@ -288,7 +387,7 @@ impl<'g> Evaluator<'g> {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, TreeBuilder};
+    use fnc2_ag::{Grammar, GrammarBuilder, TreeBuilder};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
 
     use crate::seq::build_visit_seqs;
@@ -312,7 +411,11 @@ mod tests {
         g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
         g.func("pow2", 1, |a| Value::Real(2f64.powi(a[0].as_int() as i32)));
         let number_p = g.production("number", number, &[seq]);
-        g.copy(number_p, fnc2_ag::Occ::lhs(n_value), fnc2_ag::Occ::new(1, s_value));
+        g.copy(
+            number_p,
+            fnc2_ag::Occ::lhs(n_value),
+            fnc2_ag::Occ::new(1, s_value),
+        );
         g.constant(number_p, fnc2_ag::Occ::new(1, s_scale), Value::Int(0));
         let pair = g.production("pair", seq, &[seq, bit]);
         g.call(
@@ -324,22 +427,44 @@ mod tests {
                 fnc2_ag::Occ::new(2, b_value).into(),
             ],
         );
-        g.call(pair, fnc2_ag::Occ::lhs(s_len), "succ", [fnc2_ag::Occ::new(1, s_len).into()]);
+        g.call(
+            pair,
+            fnc2_ag::Occ::lhs(s_len),
+            "succ",
+            [fnc2_ag::Occ::new(1, s_len).into()],
+        );
         g.call(
             pair,
             fnc2_ag::Occ::new(1, s_scale),
             "succ",
             [fnc2_ag::Occ::lhs(s_scale).into()],
         );
-        g.copy(pair, fnc2_ag::Occ::new(2, b_scale), fnc2_ag::Occ::lhs(s_scale));
+        g.copy(
+            pair,
+            fnc2_ag::Occ::new(2, b_scale),
+            fnc2_ag::Occ::lhs(s_scale),
+        );
         let single = g.production("single", seq, &[bit]);
-        g.copy(single, fnc2_ag::Occ::lhs(s_value), fnc2_ag::Occ::new(1, b_value));
+        g.copy(
+            single,
+            fnc2_ag::Occ::lhs(s_value),
+            fnc2_ag::Occ::new(1, b_value),
+        );
         g.constant(single, fnc2_ag::Occ::lhs(s_len), Value::Int(1));
-        g.copy(single, fnc2_ag::Occ::new(1, b_scale), fnc2_ag::Occ::lhs(s_scale));
+        g.copy(
+            single,
+            fnc2_ag::Occ::new(1, b_scale),
+            fnc2_ag::Occ::lhs(s_scale),
+        );
         let zero = g.production("zero", bit, &[]);
         g.constant(zero, fnc2_ag::Occ::lhs(b_value), Value::Real(0.0));
         let one = g.production("one", bit, &[]);
-        g.call(one, fnc2_ag::Occ::lhs(b_value), "pow2", [fnc2_ag::Occ::lhs(b_scale).into()]);
+        g.call(
+            one,
+            fnc2_ag::Occ::lhs(b_value),
+            "pow2",
+            [fnc2_ag::Occ::lhs(b_scale).into()],
+        );
         g.finish().unwrap()
     }
 
@@ -374,10 +499,7 @@ mod tests {
         let (values, stats) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
         let number = g.phylum_by_name("Number").unwrap();
         let value = g.attr_by_name(number, "value").unwrap();
-        assert_eq!(
-            values.get(&g, tree.root(), value),
-            Some(&Value::Real(13.0))
-        );
+        assert_eq!(values.get(&g, tree.root(), value), Some(&Value::Real(13.0)));
         assert!(stats.evals > 0);
         assert!(stats.visits >= tree.size());
         // Every instance is decorated (exhaustive evaluation).

@@ -50,6 +50,6 @@ mod rules;
 mod seq;
 
 pub use dynamic::DynamicEvaluator;
-pub use exhaustive::{Evaluator, EvalStats, RootInputs};
+pub use exhaustive::{EvalStats, Evaluator, RootInputs};
 pub use rules::{eval_rule, eval_rule_resolved, EvalError, Store};
 pub use seq::{build_visit_seqs, Instr, VisitSeq, VisitSeqs};

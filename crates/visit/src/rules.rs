@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use fnc2_ag::{Arg, Grammar, NodeId, Occ, ONode, ProductionId, RuleBody, Tree, Value};
+use fnc2_ag::{Arg, Grammar, NodeId, ONode, Occ, ProductionId, RuleBody, Tree, Value};
 
 /// Errors raised while evaluating attribute instances.
 #[derive(Clone, Debug, PartialEq)]
@@ -123,16 +123,20 @@ pub fn eval_rule_resolved<S: Store>(
                 } else {
                     tree.node(node).children()[*pos as usize - 1]
                 };
-                store.value(at, *attr).ok_or_else(|| EvalError::MissingValue {
-                    node: at,
-                    what: grammar.attr(*attr).name().to_string(),
-                })
+                store
+                    .value(at, *attr)
+                    .ok_or_else(|| EvalError::MissingValue {
+                        node: at,
+                        what: grammar.attr(*attr).name().to_string(),
+                    })
             }
             Arg::Node(ONode::Local(l)) => {
-                store.local(node, *l).ok_or_else(|| EvalError::MissingValue {
-                    node,
-                    what: grammar.production(p).locals()[l.index()].name().to_string(),
-                })
+                store
+                    .local(node, *l)
+                    .ok_or_else(|| EvalError::MissingValue {
+                        node,
+                        what: grammar.production(p).locals()[l.index()].name().to_string(),
+                    })
             }
         }
     };

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{Grammar, Occ, ONode, PhylumId, ProductionId};
+use fnc2_ag::{Grammar, ONode, Occ, PhylumId, ProductionId};
 use fnc2_analysis::{LOrdered, TotalOrder};
 
 /// One visit-sequence instruction.
@@ -137,29 +137,27 @@ pub fn build_visit_seqs(grammar: &Grammar, lo: &LOrdered) -> VisitSeqs {
                         segments[v - 1].push(Instr::Eval(node));
                     }
                 }
-                ONode::Attr(Occ { pos, attr }) => {
-                    match grammar.attr(attr).kind() {
-                        fnc2_ag::AttrKind::Inherited => {
-                            segments[current - 1].push(Instr::Eval(node));
-                        }
-                        fnc2_ag::AttrKind::Synthesized => {
-                            let part_idx = plan.rhs_partitions[pos as usize - 1];
-                            let ph = prod.phylum_at(pos);
-                            let part = &lo.partitions_of(ph)[part_idx];
-                            let w = part
-                                .visit_of(attr)
-                                .expect("child partition covers all attributes");
-                            while done[pos as usize] < w {
-                                done[pos as usize] += 1;
-                                segments[current - 1].push(Instr::Visit {
-                                    child: pos,
-                                    visit: done[pos as usize],
-                                    partition: part_idx,
-                                });
-                            }
+                ONode::Attr(Occ { pos, attr }) => match grammar.attr(attr).kind() {
+                    fnc2_ag::AttrKind::Inherited => {
+                        segments[current - 1].push(Instr::Eval(node));
+                    }
+                    fnc2_ag::AttrKind::Synthesized => {
+                        let part_idx = plan.rhs_partitions[pos as usize - 1];
+                        let ph = prod.phylum_at(pos);
+                        let part = &lo.partitions_of(ph)[part_idx];
+                        let w = part
+                            .visit_of(attr)
+                            .expect("child partition covers all attributes");
+                        while done[pos as usize] < w {
+                            done[pos as usize] += 1;
+                            segments[current - 1].push(Instr::Visit {
+                                child: pos,
+                                visit: done[pos as usize],
+                                partition: part_idx,
+                            });
                         }
                     }
-                }
+                },
                 ONode::Local(_) => segments[current - 1].push(Instr::Eval(node)),
             }
         }
@@ -236,8 +234,8 @@ fn sink_evals(grammar: &Grammar, p: ProductionId, segment: &mut Vec<Instr>) {
             .iter()
             .position(|x| matches!(x, Instr::Eval(t) if *t == target))
             .expect("target still present");
-        let first_use = (i + 1..segment.len())
-            .find(|&k| instr_uses(grammar, p, target, &segment[k]));
+        let first_use =
+            (i + 1..segment.len()).find(|&k| instr_uses(grammar, p, target, &segment[k]));
         let dest = match first_use {
             Some(k) => k - 1,
             None => segment.len() - 1,
@@ -251,7 +249,7 @@ fn sink_evals(grammar: &Grammar, p: ProductionId, segment: &mut Vec<Instr>) {
 
 #[cfg(test)]
 mod tests {
-    use fnc2_ag::{GrammarBuilder, Grammar, Occ, Value};
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
 
     use super::*;

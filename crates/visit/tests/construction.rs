@@ -1,0 +1,45 @@
+//! Regression test for evaluator construction cost: `Evaluator::new`
+//! used to resolve every EVAL instruction with a linear `position()` scan
+//! over the production's rules, making construction quadratic in
+//! rules-per-production. It now uses a precomputed target→rule-index map
+//! per production; this test pins construction on the biggest Table 1
+//! synthetic grammar under a loose wall-clock bound so the scan cannot
+//! quietly come back.
+
+use std::time::Instant;
+
+use fnc2_analysis::{classify, Inclusion};
+use fnc2_corpus::{synthetic, TABLE1_PROFILES};
+use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+#[test]
+fn construction_on_large_grammar_is_fast() {
+    // AG5: the largest profile (74 phyla, 3 attr pairs, SNC-only, so some
+    // phyla carry two partitions — the most visit-sequence material).
+    let profile = &TABLE1_PROFILES[4];
+    let grammar = synthetic(profile);
+    let c = classify(&grammar, 1, Inclusion::Long).expect("classifies");
+    let seqs = build_visit_seqs(&grammar, &c.l_ordered.expect("evaluable"));
+
+    // Warm: also proves a constructed evaluator still works.
+    let ev = Evaluator::new(&grammar, &seqs);
+    let tree = fnc2_corpus::synthetic_tree(&grammar, profile, 120, 1);
+    let (_, stats) = ev.evaluate(&tree, &RootInputs::new()).expect("runs");
+    assert!(stats.evals > 0);
+
+    let t0 = Instant::now();
+    const REPS: usize = 50;
+    for _ in 0..REPS {
+        let ev = Evaluator::new(&grammar, &seqs);
+        // Keep the construction observable.
+        std::hint::black_box(&ev);
+    }
+    let elapsed = t0.elapsed();
+    // Loose bound: with the precomputed map, 50 constructions take a few
+    // milliseconds even on a loaded CI machine; the quadratic scan pushed
+    // well past this on AG5-sized grammars.
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "{REPS} constructions took {elapsed:?}"
+    );
+}

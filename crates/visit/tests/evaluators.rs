@@ -1,7 +1,7 @@
 //! Evaluator integration tests: multi-partition dispatch, cross-visit
 //! locals, deep trees, and visit accounting.
 
-use fnc2_ag::{GrammarBuilder, Grammar, Occ, ONode, TreeBuilder, Value};
+use fnc2_ag::{Grammar, GrammarBuilder, ONode, Occ, TreeBuilder, Value};
 use fnc2_analysis::{classify, snc_test, snc_to_l_ordered, Inclusion};
 use fnc2_visit::{build_visit_seqs, DynamicEvaluator, Evaluator, RootInputs};
 

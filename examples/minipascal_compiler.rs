@@ -57,8 +57,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nP-code ({} visits, {} evaluations):", stats.visits, stats.evals);
-    for instr in values.get(g, tree.root(), code).expect("evaluated").as_list() {
+    println!(
+        "\nP-code ({} visits, {} evaluations):",
+        stats.visits, stats.evals
+    );
+    for instr in values
+        .get(g, tree.root(), code)
+        .expect("evaluated")
+        .as_list()
+    {
         println!("  {instr}");
     }
 

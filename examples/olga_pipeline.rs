@@ -66,7 +66,10 @@ end
     ];
     let project = analyze_project(&files)?;
     println!("build order: {}", project.build_order.join(" -> "));
-    println!("\nsource statistics (Table 4 style):\n{}", render_stats(&project.stats));
+    println!(
+        "\nsource statistics (Table 4 style):\n{}",
+        render_stats(&project.stats)
+    );
 
     // ---- compile the whole application ---------------------------------
     let source = format!("{arith}\n{trees}\n{ag}");
@@ -93,7 +96,9 @@ end
     let depth = compiled.grammar.attr_by_name(s, "depth").expect("attr");
     println!(
         "\noutput tree depth = {}",
-        values.get(&compiled.grammar, tree.root(), depth).expect("evaluated")
+        values
+            .get(&compiled.grammar, tree.root(), depth)
+            .expect("evaluated")
     );
 
     let mut spec = PpatSpec::new();
@@ -115,7 +120,11 @@ end
     let unparser = Unparser::generate_unchecked(spec);
     println!(
         "unparsed output tree:\n{}",
-        unparser.unparse_term(values.get(&compiled.grammar, tree.root(), shape).expect("evaluated"))
+        unparser.unparse_term(
+            values
+                .get(&compiled.grammar, tree.root(), shape)
+                .expect("evaluated")
+        )
     );
     Ok(())
 }

@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("evaluated")
         .as_term()
         .clone();
-    println!("desugared tree: {}", Value::Term(std::rc::Rc::new(term.clone())));
+    println!(
+        "desugared tree: {}",
+        Value::Term(std::rc::Rc::new(term.clone()))
+    );
 
     // Feed it to phase 2 as an input tree.
     let tree2 = term_to_tree(&core.grammar, &term)?;
@@ -91,7 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v = core.grammar.attr_by_name(c, "v").expect("attr");
     println!(
         "evaluated: {}",
-        vals2.get(&core.grammar, tree2.root(), v).expect("evaluated")
+        vals2
+            .get(&core.grammar, tree2.root(), v)
+            .expect("evaluated")
     );
     assert_eq!(
         vals2.get(&core.grammar, tree2.root(), v),

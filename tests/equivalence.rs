@@ -1,95 +1,113 @@
-//! Property-based equivalence of the four evaluators.
+//! Seeded equivalence of the four evaluators.
 //!
 //! The reproduction's central internal invariant: for any tree of any
 //! corpus grammar, the deterministic visit-sequence evaluator, the
 //! demand-driven evaluator, the space-optimized evaluator, and the
 //! incremental evaluator (after arbitrary edits) compute the same
-//! attribute values.
+//! attribute values. Inputs are drawn from the in-repo deterministic
+//! generator (`fnc2_corpus::rng`), so every run covers the same cases.
 
 use fnc2::ag::{Grammar, NodeId, Tree, TreeBuilder, Value};
 use fnc2::incremental::{Equality, IncrementalEvaluator};
 use fnc2::visit::{DynamicEvaluator, RootInputs};
 use fnc2::Pipeline;
-use proptest::prelude::*;
+use fnc2_corpus::rng::Rng;
 
 /// Generates a random bit-string for the binary grammar.
-fn bits_strategy() -> impl Strategy<Value = String> {
-    (
-        proptest::collection::vec(prop_oneof![Just('0'), Just('1')], 1..24),
-        proptest::option::of(proptest::collection::vec(
-            prop_oneof![Just('0'), Just('1')],
-            1..12,
-        )),
-    )
-        .prop_map(|(int, frac)| {
-            let mut s: String = int.into_iter().collect();
-            if let Some(f) = frac {
-                s.push('.');
-                s.extend(f);
-            }
-            s
-        })
+fn random_bits(rng: &mut Rng) -> String {
+    let int_len = rng.gen_usize(1, 23);
+    let mut s: String = (0..int_len)
+        .map(|_| if rng.gen_bool(0.5) { '1' } else { '0' })
+        .collect();
+    if rng.gen_bool(0.5) {
+        s.push('.');
+        let frac_len = rng.gen_usize(1, 11);
+        s.extend((0..frac_len).map(|_| if rng.gen_bool(0.5) { '1' } else { '0' }));
+    }
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn binary_evaluators_agree(bits in bits_strategy()) {
-        let compiled = Pipeline::new().compile(fnc2_corpus::binary()).unwrap();
-        let g = &compiled.grammar;
+#[test]
+fn binary_evaluators_agree() {
+    let compiled = Pipeline::new().compile(fnc2_corpus::binary()).unwrap();
+    let g = &compiled.grammar;
+    let mut rng = Rng::seed_from_u64(0xb17);
+    for _ in 0..64 {
+        let bits = random_bits(&mut rng);
         let tree = fnc2_corpus::binary_tree(g, &bits);
         let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
-        let (b, _) = DynamicEvaluator::new(g).evaluate(&tree, &RootInputs::new()).unwrap();
-        let c = compiled.evaluate_optimized(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let c = compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .unwrap();
         let number = g.phylum_by_name("Number").unwrap();
         for attr in g.phylum(number).attrs() {
-            prop_assert_eq!(
+            assert_eq!(
                 a.get(g, tree.root(), *attr),
-                b.get(g, tree.root(), *attr)
+                b.get(g, tree.root(), *attr),
+                "bits {bits}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 a.get(g, tree.root(), *attr),
-                c.node_values.get(g, tree.root(), *attr)
+                c.node_values.get(g, tree.root(), *attr),
+                "bits {bits}"
             );
         }
         // Exhaustive evaluation decorates every instance identically.
         for (n, _) in tree.preorder() {
             let ph = tree.phylum(g, n);
             for attr in g.phylum(ph).attrs() {
-                prop_assert_eq!(a.get(g, n, *attr), b.get(g, n, *attr));
+                assert_eq!(a.get(g, n, *attr), b.get(g, n, *attr), "bits {bits}");
             }
         }
     }
 }
 
 /// A random item-spec for the blocks grammar.
-fn blocks_spec() -> impl Strategy<Value = String> {
-    let item = prop_oneof![
-        (0u8..4).prop_map(|i| format!("d:v{i}")),
-        (0u8..6).prop_map(|i| format!("u:v{i}")),
-    ];
-    proptest::collection::vec(item, 0..12).prop_map(|items| items.join(" "))
+fn random_blocks_spec(rng: &mut Rng) -> String {
+    let n = rng.gen_usize(0, 11);
+    let items: Vec<String> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                format!("d:v{}", rng.gen_usize(0, 3))
+            } else {
+                format!("u:v{}", rng.gen_usize(0, 5))
+            }
+        })
+        .collect();
+    items.join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn blocks_evaluators_agree(outer in blocks_spec(), inner in blocks_spec()) {
-        let compiled = Pipeline::new().compile(fnc2_corpus::blocks()).unwrap();
-        let g = &compiled.grammar;
+#[test]
+fn blocks_evaluators_agree() {
+    let compiled = Pipeline::new().compile(fnc2_corpus::blocks()).unwrap();
+    let g = &compiled.grammar;
+    let mut rng = Rng::seed_from_u64(0xb10c);
+    for _ in 0..48 {
+        let outer = random_blocks_spec(&mut rng);
+        let inner = random_blocks_spec(&mut rng);
         let spec = format!("{outer} [ {inner} ]");
         let tree = fnc2_corpus::blocks_tree(g, &spec);
         let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
-        let (b, _) = DynamicEvaluator::new(g).evaluate(&tree, &RootInputs::new()).unwrap();
-        let c = compiled.evaluate_optimized(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let c = compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .unwrap();
         let prog = g.phylum_by_name("Prog").unwrap();
         let errors = g.attr_by_name(prog, "errors").unwrap();
-        prop_assert_eq!(a.get(g, tree.root(), errors), b.get(g, tree.root(), errors));
-        prop_assert_eq!(
+        assert_eq!(
             a.get(g, tree.root(), errors),
-            c.node_values.get(g, tree.root(), errors)
+            b.get(g, tree.root(), errors),
+            "spec {spec}"
+        );
+        assert_eq!(
+            a.get(g, tree.root(), errors),
+            c.node_values.get(g, tree.root(), errors),
+            "spec {spec}"
         );
     }
 }
@@ -157,12 +175,16 @@ enum ShapeTree {
     Fork(Box<ShapeTree>, Box<ShapeTree>),
 }
 
-fn shape_strategy() -> impl Strategy<Value = ShapeTree> {
-    let leaf = Just(ShapeTree::Leaf);
-    leaf.prop_recursive(5, 48, 2, |inner| {
-        (inner.clone(), inner)
-            .prop_map(|(a, b)| ShapeTree::Fork(Box::new(a), Box::new(b)))
-    })
+/// A random shape of bounded depth, forking with decreasing probability.
+fn random_shape(rng: &mut Rng, depth: usize) -> ShapeTree {
+    if depth == 0 || rng.gen_bool(0.4) {
+        ShapeTree::Leaf
+    } else {
+        ShapeTree::Fork(
+            Box::new(random_shape(rng, depth - 1)),
+            Box::new(random_shape(rng, depth - 1)),
+        )
+    }
 }
 
 fn tree_of(g: &Grammar, shape: &ShapeTree) -> Tree {
@@ -173,19 +195,19 @@ fn tree_of(g: &Grammar, shape: &ShapeTree) -> Tree {
     tb.finish_root(root).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn incremental_matches_from_scratch(
-        base in shape_strategy(),
-        edits in proptest::collection::vec((shape_strategy(), 0usize..1000), 1..4)
-    ) {
-        let g = sum_grammar();
+#[test]
+fn incremental_matches_from_scratch() {
+    let g = sum_grammar();
+    let mut rng = Rng::seed_from_u64(0x1c);
+    for _ in 0..32 {
+        let base = random_shape(&mut rng, 5);
         let tree = tree_of(&g, &base);
         let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
 
-        for (shape, pick) in edits {
+        let n_edits = rng.gen_usize(1, 3);
+        for _ in 0..n_edits {
+            let shape = random_shape(&mut rng, 5);
+            let pick = rng.gen_usize(0, 999);
             // Pick a node deriving E (any non-root node).
             let candidates: Vec<NodeId> = inc
                 .tree()
@@ -207,7 +229,7 @@ proptest! {
             for (n, _) in inc.tree().preorder() {
                 let ph = inc.tree().phylum(&g, n);
                 for attr in g.phylum(ph).attrs() {
-                    prop_assert_eq!(
+                    assert_eq!(
                         inc.value(n, *attr),
                         want.get(&g, n, *attr),
                         "node {:?} attr {}",

@@ -77,6 +77,68 @@ fn synthetic_profiles_compile_and_evaluate() {
 }
 
 #[test]
+fn instrumented_pipeline_reports_phases_and_rule_firings() {
+    use fnc2::obs::{Event, Obs};
+
+    // The doc-comment `count` grammar from the fnc2 crate root.
+    let source = r#"
+        attribute grammar count;
+          phylum S;
+          operator leaf : S ::= ;
+          operator node : S ::= S;
+          synthesized n : int of S;
+          for leaf { S.n := 0; }
+          for node { S$1.n := S$2.n + 1; }
+        end
+    "#;
+    let mut obs = Obs::with_trace(256);
+    let compiled = Pipeline::new()
+        .compile_olga_recorded(source, &mut obs)
+        .unwrap();
+
+    // Every Figure-3 cascade stage shows up, in order, with the analysis
+    // sub-phases nested one level deep.
+    let phases: Vec<(&str, usize)> = obs
+        .phases
+        .spans()
+        .iter()
+        .map(|s| (s.name, s.depth))
+        .collect();
+    assert_eq!(
+        phases,
+        vec![
+            ("olga.parse", 0),
+            ("olga.check", 0),
+            ("olga.lower", 0),
+            ("analysis", 0),
+            ("analysis.snc", 1),
+            ("analysis.dnc", 1),
+            ("analysis.oag", 1),
+            ("analysis.transform", 1),
+            ("visit.sequences", 0),
+            ("space.analysis", 0),
+        ]
+    );
+
+    // Evaluating a small tree under the tracer fires semantic rules.
+    let mut tb = fnc2::ag::TreeBuilder::new(&compiled.grammar);
+    let a = tb.op("leaf", &[]).unwrap();
+    let b = tb.op("node", &[a]).unwrap();
+    let tree = tb.finish_root(b).unwrap();
+    let (_, stats) = compiled
+        .evaluate_recorded(&tree, &RootInputs::new(), &mut obs)
+        .unwrap();
+    let fired = obs
+        .events
+        .as_ref()
+        .unwrap()
+        .count_matching(|e| matches!(e, Event::RuleFired { .. }));
+    assert!(fired > 0, "no RuleFired events captured");
+    assert_eq!(fired as u64, obs.metrics.counter("eval.evals"));
+    assert_eq!(stats.evals as u64, obs.metrics.counter("eval.evals"));
+}
+
+#[test]
 fn classes_match_the_table1_ladder() {
     use corpus::TargetClass;
     for p in &corpus::TABLE1_PROFILES {
@@ -157,7 +219,12 @@ fn visit_overhead_of_long_inclusion_is_small() {
     // §2.1.1: partition replacement "tends to increase the number of
     // visits", but "on all the practical AGs we have used, this increase
     // is less than 2% in average". Measure dynamically on the corpus.
-    for g in [corpus::binary(), corpus::desk(), corpus::blocks(), corpus::minipascal().0] {
+    for g in [
+        corpus::binary(),
+        corpus::desk(),
+        corpus::blocks(),
+        corpus::minipascal().0,
+    ] {
         let name = g.name().to_string();
         let snc = fnc2::analysis::snc_test(&g);
         let long = fnc2::analysis::snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
