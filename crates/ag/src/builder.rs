@@ -5,7 +5,8 @@ use std::rc::Rc;
 
 use crate::error::GrammarError;
 use crate::grammar::{
-    Arg, AttrInfo, AttrKind, Grammar, LocalInfo, Phylum, Production, RuleBody, SemFn, SemRule,
+    Arg, AttrInfo, AttrKind, Grammar, LocalInfo, Phylum, Production, RuleBody, SemError, SemFn,
+    SemRule,
 };
 use crate::ids::{AttrId, FuncId, LocalId, ONode, PhylumId, ProductionId};
 use crate::value::Value;
@@ -173,6 +174,29 @@ impl GrammarBuilder {
         arity: usize,
         cost: u32,
         f: impl Fn(&[Value]) -> Value + 'static,
+    ) -> FuncId {
+        self.func_fallible_with_cost(name, arity, cost, move |args| Ok(f(args)))
+    }
+
+    /// Registers a semantic function that may fail at runtime (e.g. the
+    /// OLGA `error` builtin), with unit cost.
+    pub fn func_fallible(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        f: impl Fn(&[Value]) -> Result<Value, SemError> + 'static,
+    ) -> FuncId {
+        self.func_fallible_with_cost(name, arity, 1, f)
+    }
+
+    /// Registers a fallible semantic function with an abstract evaluation
+    /// cost.
+    pub fn func_fallible_with_cost(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        cost: u32,
+        f: impl Fn(&[Value]) -> Result<Value, SemError> + 'static,
     ) -> FuncId {
         let name = name.into();
         if self.func_names.contains_key(&name) {

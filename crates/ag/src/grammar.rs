@@ -233,8 +233,37 @@ impl Production {
     }
 }
 
+/// A runtime failure reported by a semantic function.
+///
+/// Semantic functions are ordinary host-language closures; most are total,
+/// but functions lowered from OLGA may abort (the `error` builtin, a partial
+/// list accessor, …). Such failures surface as values of this type instead
+/// of unwinding, so every evaluator can report them as diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl SemError {
+    /// A semantic failure with the given message.
+    pub fn new(message: impl Into<String>) -> SemError {
+        SemError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SemError {}
+
 /// The boxed implementation of a semantic function.
-pub type SemFnImpl = Rc<dyn Fn(&[Value]) -> Value>;
+pub type SemFnImpl = Rc<dyn Fn(&[Value]) -> Result<Value, SemError>>;
 
 /// A registered semantic function.
 #[derive(Clone)]
@@ -266,10 +295,14 @@ impl SemFn {
 
     /// Applies the function.
     ///
+    /// # Errors
+    /// Returns [`SemError`] when the function aborts at runtime (e.g. the
+    /// OLGA `error` builtin or a partial accessor applied out of domain).
+    ///
     /// # Panics
     /// May panic if the argument count or dynamic types are wrong; the
     /// grammar validator checks arity and the OLGA type checker types.
-    pub fn apply(&self, args: &[Value]) -> Value {
+    pub fn apply(&self, args: &[Value]) -> Result<Value, SemError> {
         (self.f)(args)
     }
 }

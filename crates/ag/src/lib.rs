@@ -76,7 +76,8 @@ pub use builder::GrammarBuilder;
 pub use deps::DepGraph;
 pub use error::{GrammarError, TreeError};
 pub use grammar::{
-    Arg, AttrInfo, AttrKind, Grammar, LocalInfo, Phylum, Production, RuleBody, SemFn, SemRule,
+    Arg, AttrInfo, AttrKind, Grammar, LocalInfo, Phylum, Production, RuleBody, SemError, SemFn,
+    SemRule,
 };
 pub use ids::{AttrId, FuncId, LocalId, NodeId, ONode, Occ, PhylumId, ProductionId};
 pub use tree::{term_to_tree, AttrValues, Node, Preorder, Tree, TreeBuilder};

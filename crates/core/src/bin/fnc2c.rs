@@ -6,6 +6,8 @@
 //! fnc2c c       <file.olga>       # translate the AG to C on stdout
 //! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
 //! fnc2c seqs    <file.olga>       # print the visit sequences
+//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]
+//!                                 # differential fuzzing oracle (no input file)
 //! ```
 //!
 //! Instrumentation flags (any command that runs the generator):
@@ -38,12 +40,16 @@ const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 fn usage() -> String {
     "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] \
-     <report|check|c|lisp|seqs> <file.olga | ->"
+     <report|check|c|lisp|seqs> <file.olga | ->\n\
+     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]"
         .to_string()
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return run_fuzz(&args[1..]);
+    }
     let mut opts = Opts::default();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -154,7 +160,11 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
             // Exercise the generated evaluators on a minimal tree so the
             // run counters (visits, evals, copies, storage classes) are
             // populated alongside the static generator statistics.
-            compiled.smoke_evaluate(&mut obs);
+            if let fnc2::SmokeOutcome::SemanticFailure(msg) = compiled.smoke_evaluate(&mut obs) {
+                return Err(format!(
+                    "fnc2c: error: semantic rule aborted during evaluation: {msg}"
+                ));
+            }
             if opts.report_json {
                 Ok(format!("{}\n", compiled.report_json(&obs)))
             } else {
@@ -210,6 +220,68 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
             Ok(out)
         }
         other => Err(format!("fnc2c: unknown command `{other}`")),
+    }
+}
+
+/// The `fuzz` subcommand: runs the differential oracle with the given
+/// seed and budgets, prints the counter summary, and on failure prints
+/// the (shrunk) reproducer to stderr and exits nonzero.
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let mut cfg = fnc2::fuzz::FuzzConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("fnc2c: {name} takes a number\n{}", usage()))
+        };
+        let r = match arg.as_str() {
+            "--seed" => numeric("--seed").map(|n| cfg.seed = n),
+            "--cases" => numeric("--cases").map(|n| cfg.grammar_cases = n),
+            "--front" => numeric("--front").map(|n| cfg.front_cases = n),
+            "--no-shrink" => {
+                cfg.shrink = false;
+                Ok(())
+            }
+            other => Err(format!("fnc2c: unknown fuzz flag `{other}`\n{}", usage())),
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut obs = Obs::new();
+    let report = fnc2::fuzz::run(&cfg, &mut obs);
+    println!(
+        "fuzz: seed {}: {} grammar cases ({} tree nodes, {} edits), \
+         {} front-end cases ({} accepted, {} rejected)",
+        cfg.seed,
+        report.grammar_cases,
+        report.nodes,
+        report.edits,
+        report.front_cases,
+        report.front_accepted,
+        report.front_rejected
+    );
+    match report.failure {
+        None => {
+            println!("fuzz: no divergence, no panic");
+            ExitCode::SUCCESS
+        }
+        Some(fnc2::fuzz::FuzzFailure::Divergence(d)) => {
+            eprintln!("fuzz: DIVERGENCE at stage `{}`", d.stage);
+            eprint!("{}", fnc2::fuzz::render_reproducer(&d));
+            ExitCode::FAILURE
+        }
+        Some(fnc2::fuzz::FuzzFailure::FrontPanic(f)) => {
+            eprintln!(
+                "fuzz: FRONT-END PANIC on case {} (base {}, mutations: {}): {}",
+                f.case, f.base, f.mutations, f.panic
+            );
+            eprintln!("-- mutated source --\n{}", f.source);
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -54,6 +54,7 @@ use fnc2_visit::{build_visit_seqs, EvalError, EvalStats, Evaluator, RootInputs, 
 pub use fnc2_ag as ag;
 pub use fnc2_analysis as analysis;
 pub use fnc2_codegen as codegen;
+pub use fnc2_fuzz as fuzz;
 pub use fnc2_gfa as gfa;
 pub use fnc2_incremental as incremental;
 pub use fnc2_obs as obs;
@@ -210,6 +211,19 @@ pub struct Compiled {
     pub report: Report,
 }
 
+/// Result of [`Compiled::smoke_evaluate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmokeOutcome {
+    /// The plain evaluation ran to completion.
+    Ok,
+    /// No smoke tree exists or evaluation failed for a non-semantic reason
+    /// (missing typed token, sandboxed panic); run counters stay empty.
+    Skipped,
+    /// A semantic function aborted — user-level AG code called the OLGA
+    /// `error` builtin (or hit a partial builtin out of domain).
+    SemanticFailure(String),
+}
+
 impl Compiled {
     /// Evaluates `tree` with the plain (node-storage) evaluator.
     ///
@@ -292,25 +306,33 @@ impl Compiled {
     /// run counters are non-zero in a report. Tokens default to `0` and
     /// root inherited attributes to `Int(0)`; evaluation is sandboxed, so
     /// grammars whose minimal tree needs typed tokens simply contribute no
-    /// run counters. Returns whether the plain evaluation succeeded.
-    pub fn smoke_evaluate<R: Recorder>(&self, rec: &mut R) -> bool {
+    /// run counters. A semantic failure (user-level AG code calling the
+    /// OLGA `error` builtin) is reported distinctly so callers can turn it
+    /// into a diagnostic.
+    pub fn smoke_evaluate<R: Recorder>(&self, rec: &mut R) -> SmokeOutcome {
         let Some(tree) = smoke_tree(&self.grammar) else {
-            return false;
+            return SmokeOutcome::Skipped;
         };
         let mut inputs = RootInputs::new();
         for attr in self.grammar.inherited(self.grammar.root()) {
             inputs.insert(attr, Value::Int(0));
         }
-        let ok = catch_unwind(AssertUnwindSafe(|| {
-            self.evaluate_recorded(&tree, &inputs, rec).is_ok()
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match self.evaluate_recorded(&tree, &inputs, rec) {
+                Ok(_) => SmokeOutcome::Ok,
+                Err(EvalError::SemanticFailure { message, .. }) => {
+                    SmokeOutcome::SemanticFailure(message)
+                }
+                Err(_) => SmokeOutcome::Skipped,
+            }
         }))
-        .unwrap_or(false);
-        if ok && self.space_plan.is_some() {
+        .unwrap_or(SmokeOutcome::Skipped);
+        if matches!(outcome, SmokeOutcome::Ok) && self.space_plan.is_some() {
             let _ = catch_unwind(AssertUnwindSafe(|| {
                 let _ = self.evaluate_optimized_recorded(&tree, &inputs, rec);
             }));
         }
-        ok
+        outcome
     }
 
     /// The report and the instrumentation layer's view of the run as one

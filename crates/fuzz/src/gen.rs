@@ -1,0 +1,557 @@
+//! Deterministic case generation: SNC-by-construction attribute grammars,
+//! budget-bounded random trees, and random edit scripts.
+//!
+//! Every case is a pure function of a [`CaseParams`] record, so the
+//! rendered params line *is* the reproducer: parse it back and the exact
+//! grammar, tree, and edit script are regenerated bit for bit.
+//!
+//! ## The pass-partition scheme
+//!
+//! Generated grammars are strongly non-circular **by construction**. Each
+//! non-root phylum carries `passes` inherited/synthesized attribute pairs
+//! `(i_v, s_v)`; visit `v` of a node computes `i_v` of each child in
+//! order, visits it, and finally computes `s_v` of the node itself. A rule
+//! defining `i_v` of child `j` may read the LHS `i_w` for `w ≤ v`, any
+//! child's `s_w` for `w < v`, and `s_v` of children left of `j`; a rule
+//! defining the LHS `s_v` may read the LHS `i_w` and any child's `s_w` for
+//! `w ≤ v` (optionally through a production-local). This is exactly an
+//! l-ordered discipline with the identity partition, so the whole cascade
+//! (SNC test onward) must accept every generated grammar.
+
+use std::fmt;
+
+use fnc2_ag::{
+    Arg, AttrId, Grammar, GrammarBuilder, NodeId, ONode, Occ, PhylumId, ProductionId, Tree,
+    TreeBuilder, Value,
+};
+use fnc2_corpus::rng::Rng;
+
+/// The complete, self-describing parameter record of one differential
+/// case. The generator is deterministic in these fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaseParams {
+    /// Seed of every random choice in the case.
+    pub seed: u64,
+    /// Number of non-root phyla.
+    pub phyla: usize,
+    /// Number of inherited/synthesized passes per phylum.
+    pub passes: usize,
+    /// Maximum arity of non-leaf productions.
+    pub max_children: usize,
+    /// Approximate node budget of the generated tree.
+    pub tree_budget: usize,
+    /// Number of subtree-replacement edits fed to the incremental
+    /// evaluator.
+    pub edits: usize,
+    /// `0` for a faithful case; otherwise selects one semantic rule whose
+    /// body is deliberately corrupted in a second grammar build (used to
+    /// prove the oracle catches injected mutations).
+    pub inject: u64,
+}
+
+impl CaseParams {
+    /// Derives the parameters of case number `case` of a fuzzing run
+    /// seeded with `master_seed`.
+    pub fn for_case(master_seed: u64, case: u64) -> CaseParams {
+        let mut r = Rng::seed_from_u64(
+            master_seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case.wrapping_add(1)),
+        );
+        CaseParams {
+            seed: r.next_u64(),
+            phyla: r.gen_usize(1, 4),
+            passes: r.gen_usize(1, 3),
+            max_children: r.gen_usize(1, 3),
+            tree_budget: r.gen_usize(4, 48),
+            edits: r.gen_usize(0, 3),
+            inject: 0,
+        }
+    }
+
+    /// Parses a params line as printed by [`fmt::Display`], i.e.
+    /// whitespace-separated `key=value` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token or missing key.
+    pub fn parse(s: &str) -> Result<CaseParams, String> {
+        let mut p = CaseParams {
+            seed: 0,
+            phyla: 0,
+            passes: 0,
+            max_children: 0,
+            tree_budget: 0,
+            edits: 0,
+            inject: 0,
+        };
+        let mut seen = [false; 7];
+        for tok in s.split_whitespace() {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("`{key}` needs an integer, got `{value}`"))?;
+            let slot = match key {
+                "seed" => {
+                    p.seed = n;
+                    0
+                }
+                "phyla" => {
+                    p.phyla = n as usize;
+                    1
+                }
+                "passes" => {
+                    p.passes = n as usize;
+                    2
+                }
+                "max_children" => {
+                    p.max_children = n as usize;
+                    3
+                }
+                "tree_budget" => {
+                    p.tree_budget = n as usize;
+                    4
+                }
+                "edits" => {
+                    p.edits = n as usize;
+                    5
+                }
+                "inject" => {
+                    p.inject = n;
+                    6
+                }
+                other => return Err(format!("unknown key `{other}`")),
+            };
+            seen[slot] = true;
+        }
+        const KEYS: [&str; 7] = [
+            "seed",
+            "phyla",
+            "passes",
+            "max_children",
+            "tree_budget",
+            "edits",
+            "inject",
+        ];
+        for (i, ok) in seen.iter().enumerate() {
+            if !ok {
+                return Err(format!("missing key `{}`", KEYS[i]));
+            }
+        }
+        Ok(p)
+    }
+}
+
+impl fmt::Display for CaseParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} phyla={} passes={} max_children={} tree_budget={} edits={} inject={}",
+            self.seed,
+            self.phyla,
+            self.passes,
+            self.max_children,
+            self.tree_budget,
+            self.edits,
+            self.inject
+        )
+    }
+}
+
+/// A generated grammar plus the structural indexes the tree and edit
+/// generators navigate by.
+#[derive(Debug)]
+pub struct GenGrammar {
+    /// The grammar itself.
+    pub grammar: Grammar,
+    /// The non-root phyla, in generation order (`P0`, `P1`, …).
+    pub phyla: Vec<PhylumId>,
+    /// The nullary production of each phylum, parallel to `phyla`.
+    pub leaf_of: Vec<ProductionId>,
+    /// The non-leaf productions of each phylum, with the phylum *indexes*
+    /// of their children.
+    pub inner_of: Vec<Vec<(ProductionId, Vec<usize>)>>,
+    /// The root production (`start : Root ::= P0`).
+    pub start: ProductionId,
+}
+
+impl GenGrammar {
+    /// The index into `phyla` of phylum `ph`, or `None` for the root.
+    pub fn phylum_index(&self, ph: PhylumId) -> Option<usize> {
+        self.phyla.iter().position(|&x| x == ph)
+    }
+}
+
+/// The constant an injected mutant rule is replaced by — far outside the
+/// small-integer pools the faithful generator draws from.
+pub const MUTANT_CONSTANT: i64 = 24269;
+
+/// Builds the faithful grammar for `params` and, when `params.inject` is
+/// nonzero, a structurally identical mutant grammar with exactly one rule
+/// body replaced by [`MUTANT_CONSTANT`]. Phylum/production/attribute ids
+/// coincide between the two, so trees built against the faithful grammar
+/// evaluate under the mutant as well.
+pub fn build_grammar_pair(params: &CaseParams) -> (GenGrammar, Option<Grammar>) {
+    let (gg, rules) = build_with(params, None);
+    if params.inject == 0 || rules == 0 {
+        return (gg, None);
+    }
+    let idx = ((params.inject - 1) % rules as u64) as usize;
+    let (mutant, _) = build_with(params, Some(idx));
+    (gg, Some(mutant.grammar))
+}
+
+/// Builds only the faithful grammar for `params`.
+pub fn build_grammar(params: &CaseParams) -> GenGrammar {
+    build_with(params, None).0
+}
+
+/// Per-phylum attribute table of the generator.
+struct Ph {
+    id: PhylumId,
+    inh: Vec<AttrId>,
+    syn: Vec<AttrId>,
+}
+
+/// The (name, arity) menu of total, wrapping semantic functions.
+const FUNCS: [(&str, usize); 5] = [
+    ("incw", 1),
+    ("addw", 2),
+    ("subw", 2),
+    ("mulw", 2),
+    ("mix3", 3),
+];
+
+fn build_with(params: &CaseParams, inject_idx: Option<usize>) -> (GenGrammar, usize) {
+    let mut rng = Rng::seed_from_u64(params.seed);
+    let mut g = GrammarBuilder::new("fuzzcase");
+    g.func("incw", 1, |a| Value::Int(a[0].as_int().wrapping_add(1)));
+    g.func("addw", 2, |a| {
+        Value::Int(a[0].as_int().wrapping_add(a[1].as_int()))
+    });
+    g.func("subw", 2, |a| {
+        Value::Int(a[0].as_int().wrapping_sub(a[1].as_int()))
+    });
+    g.func("mulw", 2, |a| {
+        Value::Int(a[0].as_int().wrapping_mul(a[1].as_int()))
+    });
+    g.func("mix3", 3, |a| {
+        Value::Int((a[0].as_int() ^ a[1].as_int().rotate_left(7)).wrapping_add(a[2].as_int()))
+    });
+
+    let n = params.phyla.max(1);
+    let passes = params.passes.clamp(1, 4);
+    let max_children = params.max_children.clamp(1, 4);
+
+    let root = g.phylum("Root");
+    let out = g.syn(root, "out");
+
+    let mut phs: Vec<Ph> = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = g.phylum(format!("P{i}"));
+        let inh = (1..=passes).map(|v| g.inh(id, format!("i{v}"))).collect();
+        let syn = (1..=passes).map(|v| g.syn(id, format!("s{v}"))).collect();
+        phs.push(Ph { id, inh, syn });
+    }
+
+    // Structural draws first (identical between faithful and mutant
+    // builds): leaf + 1–2 inner productions per phylum.
+    let mut leaf_of = Vec::with_capacity(n);
+    let mut inner_of: Vec<Vec<(ProductionId, Vec<usize>)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        leaf_of.push(g.production(format!("leaf{i}"), phs[i].id, &[]));
+        let count = rng.gen_usize(1, 2);
+        let mut inner = Vec::with_capacity(count);
+        for j in 0..count {
+            let arity = rng.gen_usize(1, max_children);
+            let kids: Vec<usize> = (0..arity).map(|_| rng.gen_usize(0, n - 1)).collect();
+            let rhs: Vec<PhylumId> = kids.iter().map(|&k| phs[k].id).collect();
+            inner.push((g.production(format!("p{i}_{j}"), phs[i].id, &rhs), kids));
+        }
+        inner_of.push(inner);
+    }
+    let start = g.production("start", root, &[phs[0].id]);
+
+    // Rule emission. `counter` numbers every emitted rule so the injected
+    // mutation can address one deterministically.
+    let mut counter = 0usize;
+    for i in 0..n {
+        let prods: Vec<(ProductionId, Vec<usize>)> = std::iter::once((leaf_of[i], Vec::new()))
+            .chain(inner_of[i].iter().cloned())
+            .collect();
+        for (p, kids) in prods {
+            emit_production_rules(
+                &mut g,
+                &mut rng,
+                &phs,
+                p,
+                i,
+                &kids,
+                passes,
+                inject_idx,
+                &mut counter,
+            );
+        }
+    }
+
+    // Root production: the child's inherited attributes per pass, then the
+    // output from the child's synthesized attributes.
+    for v in 1..=passes {
+        let pool: Vec<Arg> = (1..v)
+            .map(|w| Occ::new(1, phs[0].syn[w - 1]).into())
+            .collect();
+        emit_rule(
+            &mut g,
+            &mut rng,
+            start,
+            Occ::new(1, phs[0].inh[v - 1]).into(),
+            &pool,
+            inject_idx,
+            &mut counter,
+        );
+    }
+    let out_pool: Vec<Arg> = (1..=passes)
+        .map(|v| Occ::new(1, phs[0].syn[v - 1]).into())
+        .collect();
+    emit_rule(
+        &mut g,
+        &mut rng,
+        start,
+        Occ::lhs(out).into(),
+        &out_pool,
+        inject_idx,
+        &mut counter,
+    );
+
+    let grammar = g.finish().expect("generated grammar is well-formed");
+    (
+        GenGrammar {
+            grammar,
+            phyla: phs.iter().map(|p| p.id).collect(),
+            leaf_of,
+            inner_of,
+            start,
+        },
+        counter,
+    )
+}
+
+/// Emits the full rule set of one production of phylum `i` under the
+/// pass-partition discipline described in the module docs.
+#[allow(clippy::too_many_arguments)]
+fn emit_production_rules(
+    g: &mut GrammarBuilder,
+    rng: &mut Rng,
+    phs: &[Ph],
+    p: ProductionId,
+    i: usize,
+    kids: &[usize],
+    passes: usize,
+    inject_idx: Option<usize>,
+    counter: &mut usize,
+) {
+    let lhs_inh = |v: usize| -> Arg { Occ::lhs(phs[i].inh[v - 1]).into() };
+    let child_syn =
+        |j: usize, v: usize| -> Arg { Occ::new(j as u16, phs[kids[j - 1]].syn[v - 1]).into() };
+    for v in 1..=passes {
+        // Child inherited attributes, in visit order.
+        for j in 1..=kids.len() {
+            let mut pool: Vec<Arg> = (1..=v).map(&lhs_inh).collect();
+            for w in 1..v {
+                for m in 1..=kids.len() {
+                    pool.push(child_syn(m, w));
+                }
+            }
+            for m in 1..j {
+                pool.push(child_syn(m, v));
+            }
+            emit_rule(
+                g,
+                rng,
+                p,
+                Occ::new(j as u16, phs[kids[j - 1]].inh[v - 1]).into(),
+                &pool,
+                inject_idx,
+                counter,
+            );
+        }
+        // Sources available once every child has completed pass v.
+        let mut pool: Vec<Arg> = (1..=v).map(&lhs_inh).collect();
+        for w in 1..=v {
+            for m in 1..=kids.len() {
+                pool.push(child_syn(m, w));
+            }
+        }
+        // Optionally route through a production-local.
+        if rng.gen_bool(0.4) {
+            let local = g.local(p, format!("t{v}"));
+            emit_rule(g, rng, p, ONode::Local(local), &pool, inject_idx, counter);
+            pool.push(Arg::Node(ONode::Local(local)));
+        }
+        emit_rule(
+            g,
+            rng,
+            p,
+            Occ::lhs(phs[i].syn[v - 1]).into(),
+            &pool,
+            inject_idx,
+            counter,
+        );
+    }
+}
+
+/// Emits one rule for `target`, drawn from `pool`: a small constant, a
+/// copy, or a call of a random total function. The random draws are made
+/// unconditionally so the faithful and mutant builds consume the same
+/// stream; when `counter` matches `inject_idx` the drawn rule is replaced
+/// by `target := MUTANT_CONSTANT`.
+fn emit_rule(
+    g: &mut GrammarBuilder,
+    rng: &mut Rng,
+    p: ProductionId,
+    target: ONode,
+    pool: &[Arg],
+    inject_idx: Option<usize>,
+    counter: &mut usize,
+) {
+    let mutate = inject_idx == Some(*counter);
+    *counter += 1;
+    if mutate {
+        // Draw exactly what the faithful build draws, then discard.
+        if pool.is_empty() || rng.gen_bool(0.15) {
+            let _ = rng.gen_range(-8, 8);
+        } else if rng.gen_bool(0.5) {
+            let _ = rng.choose(pool);
+        } else {
+            let (_, arity) = *rng.choose(&FUNCS);
+            for _ in 0..arity {
+                let _ = rng.choose(pool);
+            }
+        }
+        g.constant(p, target, Value::Int(MUTANT_CONSTANT));
+        return;
+    }
+    if pool.is_empty() || rng.gen_bool(0.15) {
+        let k = rng.gen_range(-8, 8);
+        g.constant(p, target, Value::Int(k));
+    } else if rng.gen_bool(0.5) {
+        let src = rng.choose(pool).clone();
+        g.copy(p, target, src);
+    } else {
+        let (f, arity) = *rng.choose(&FUNCS);
+        let args: Vec<Arg> = (0..arity).map(|_| rng.choose(pool).clone()).collect();
+        g.call(p, target, f, args);
+    }
+}
+
+/// Builds the case's random tree, bounded by `params.tree_budget` nodes.
+pub fn build_tree(gg: &GenGrammar, params: &CaseParams) -> Tree {
+    let mut rng = Rng::seed_from_u64(params.seed ^ 0xdead_beef);
+    let mut tb = TreeBuilder::new(&gg.grammar);
+    let mut budget = params.tree_budget.max(1) as isize;
+    let first = grow(gg, &mut tb, &mut rng, 0, &mut budget);
+    let root = tb.node(gg.start, &[first]).expect("start builds");
+    tb.finish_root(root).expect("root phylum")
+}
+
+/// Builds a random standalone subtree deriving phylum index `i` (for edit
+/// scripts); `finish` without the axiom check.
+pub fn build_subtree(gg: &GenGrammar, rng: &mut Rng, i: usize, budget: usize) -> Tree {
+    let mut tb = TreeBuilder::new(&gg.grammar);
+    let mut b = budget.max(1) as isize;
+    let root = grow(gg, &mut tb, rng, i, &mut b);
+    tb.finish(root)
+}
+
+fn grow(
+    gg: &GenGrammar,
+    tb: &mut TreeBuilder<'_>,
+    rng: &mut Rng,
+    i: usize,
+    budget: &mut isize,
+) -> NodeId {
+    *budget -= 1;
+    let inner = &gg.inner_of[i];
+    if *budget <= 0 || inner.is_empty() || rng.gen_bool(0.25) {
+        return tb.node(gg.leaf_of[i], &[]).expect("leaf builds");
+    }
+    let (p, kids) = rng.choose(inner).clone();
+    let children: Vec<NodeId> = kids.iter().map(|&k| grow(gg, tb, rng, k, budget)).collect();
+    tb.node(p, &children).expect("inner builds")
+}
+
+/// Renders a tree as an indented preorder listing of production names —
+/// the human-readable half of a reproducer (the params line is the
+/// machine-readable half).
+pub fn render_tree(g: &Grammar, tree: &Tree) -> String {
+    let mut out = String::new();
+    for (n, depth) in tree.preorder() {
+        let prod = g.production(tree.node(n).production());
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(prod.name());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip_through_display() {
+        let p = CaseParams {
+            seed: 0xfeed_beef,
+            phyla: 3,
+            passes: 2,
+            max_children: 2,
+            tree_budget: 17,
+            edits: 1,
+            inject: 4,
+        };
+        assert_eq!(CaseParams::parse(&p.to_string()), Ok(p));
+        assert!(CaseParams::parse("seed=1 phyla=2").is_err());
+        assert!(CaseParams::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_injection_preserves_structure() {
+        let p = CaseParams::for_case(42, 3);
+        let a = build_grammar(&p);
+        let b = build_grammar(&p);
+        assert_eq!(a.grammar.rule_count(), b.grammar.rule_count());
+        assert_eq!(a.grammar.production_count(), b.grammar.production_count());
+
+        let injected = CaseParams { inject: 7, ..p };
+        let (gg, mutant) = build_grammar_pair(&injected);
+        let mutant = mutant.expect("inject > 0 yields a mutant");
+        assert_eq!(gg.grammar.production_count(), mutant.production_count());
+        assert_eq!(gg.grammar.rule_count(), mutant.rule_count());
+        assert_eq!(gg.grammar.phylum_count(), mutant.phylum_count());
+    }
+
+    #[test]
+    fn every_generated_grammar_is_snc() {
+        use fnc2_analysis::{classify, Inclusion};
+        for case in 0..24 {
+            let p = CaseParams::for_case(0xfc2, case);
+            let gg = build_grammar(&p);
+            let c = classify(&gg.grammar, 2, Inclusion::Long).expect("transform succeeds");
+            assert!(c.is_evaluable(), "case {case} ({p}) fell out of SNC");
+        }
+    }
+
+    #[test]
+    fn trees_fit_their_budget() {
+        for case in 0..12 {
+            let p = CaseParams::for_case(99, case);
+            let gg = build_grammar(&p);
+            let t = build_tree(&gg, &p);
+            assert!(t.size() >= 2);
+            // Once the budget is spent every pending child slot still costs
+            // one forced leaf, so the hard bound carries a max_children factor.
+            let bound = p.tree_budget * p.max_children + 2;
+            assert!(t.size() <= bound, "{} > {}", t.size(), bound);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! # fnc2-fuzz — differential fuzzing oracle over the evaluator cascade
+//!
+//! The FNC-2 reproduction ships four evaluators for the same attribute
+//! grammars — the exhaustive visit-sequence evaluator, the demand-driven
+//! dynamic evaluator, the space-optimized evaluator, and the incremental
+//! evaluator — plus a static space plan with a symbolic stack simulation.
+//! Any two of them disagreeing on any attribute of any tree is a bug by
+//! definition. This crate turns that redundancy into an oracle:
+//!
+//! * [`gen`] draws random **SNC-by-construction** attribute grammars
+//!   (mixed synthesized/inherited attributes, production-locals,
+//!   well-typed random semantic rules), random trees, and random edit
+//!   scripts — all as pure functions of a [`gen::CaseParams`] value, so a
+//!   one-line params string *is* the reproducer.
+//! * [`oracle`] runs each case through the whole cascade, re-validates
+//!   the space plan from first principles ([`fnc2_space::validate_plan`]),
+//!   reports the first divergence, and shrinks it by deterministic
+//!   parameter reduction.
+//! * [`front`] feeds mutated and truncated OLGA sources through the
+//!   lexer → parser → checker → lowering pipeline and asserts it returns
+//!   `Err` instead of panicking.
+//!
+//! The `fnc2c fuzz` subcommand drives [`run`] with a seed and budgets.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod front;
+pub mod gen;
+pub mod oracle;
+
+pub use front::{FrontFailure, FrontStats};
+pub use gen::{build_grammar_pair, build_tree, CaseParams, GenGrammar, MUTANT_CONSTANT};
+pub use oracle::{render_reproducer, run_case, shrink, CaseStats, Divergence};
+
+use fnc2_obs::Obs;
+
+/// Budgets and switches for one fuzzing run.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; every case derives its own stream from it.
+    pub seed: u64,
+    /// Number of differential grammar cases.
+    pub grammar_cases: u64,
+    /// Number of front-end mutation cases.
+    pub front_cases: u64,
+    /// Whether to shrink the first divergence before reporting it.
+    pub shrink: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0,
+            grammar_cases: 256,
+            front_cases: 512,
+            shrink: true,
+        }
+    }
+}
+
+/// What a fuzzing run found, if anything.
+#[derive(Clone, Debug)]
+pub enum FuzzFailure {
+    /// Two cascade stages disagreed on a generated case.
+    Divergence(Divergence),
+    /// The OLGA front end panicked on a mutated source.
+    FrontPanic(FrontFailure),
+}
+
+/// The outcome of a fuzzing run: counters plus the first failure.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Grammar cases run to completion (clean or diverged).
+    pub grammar_cases: u64,
+    /// Total tree nodes evaluated across clean cases.
+    pub nodes: u64,
+    /// Incremental edits applied across clean cases.
+    pub edits: u64,
+    /// Front-end cases run.
+    pub front_cases: u64,
+    /// Front-end mutants the pipeline still accepted.
+    pub front_accepted: u64,
+    /// Front-end mutants rejected with a proper error.
+    pub front_rejected: u64,
+    /// First failure found, already shrunk when shrinking is on.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// `true` when the run finished with no divergence and no panic.
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs the full oracle: `grammar_cases` differential cases, then
+/// `front_cases` front-end mutations, stopping at the first failure.
+/// Counters are recorded through `obs` under the `fuzz.` prefix.
+pub fn run(cfg: &FuzzConfig, obs: &mut Obs) -> FuzzReport {
+    obs.phases.enter("fuzz");
+    let report = run_inner(cfg, obs);
+    obs.phases.leave();
+    report
+}
+
+fn run_inner(cfg: &FuzzConfig, obs: &mut Obs) -> FuzzReport {
+    let mut report = FuzzReport::default();
+
+    for case in 0..cfg.grammar_cases {
+        let params = CaseParams::for_case(cfg.seed, case);
+        report.grammar_cases += 1;
+        obs.metrics.count("fuzz.grammar_cases", 1);
+        match run_case(&params) {
+            Ok(stats) => {
+                report.nodes += stats.nodes as u64;
+                report.edits += stats.edits as u64;
+                obs.metrics.count("fuzz.tree_nodes", stats.nodes as u64);
+                obs.metrics.count("fuzz.edits", stats.edits as u64);
+            }
+            Err(d) => {
+                obs.metrics.count("fuzz.divergences", 1);
+                let d = if cfg.shrink { shrink(d) } else { d };
+                report.failure = Some(FuzzFailure::Divergence(d));
+                return report;
+            }
+        }
+    }
+
+    for case in 0..cfg.front_cases {
+        report.front_cases += 1;
+        obs.metrics.count("fuzz.front_cases", 1);
+        match front::run_front_case(cfg.seed, case) {
+            Ok(true) => {
+                report.front_accepted += 1;
+                obs.metrics.count("fuzz.front_accepted", 1);
+            }
+            Ok(false) => {
+                report.front_rejected += 1;
+                obs.metrics.count("fuzz.front_rejected", 1);
+            }
+            Err(f) => {
+                obs.metrics.count("fuzz.front_panics", 1);
+                report.failure = Some(FuzzFailure::FrontPanic(f));
+                return report;
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_clean_and_counts() {
+        let cfg = FuzzConfig {
+            seed: 0,
+            grammar_cases: 12,
+            front_cases: 24,
+            shrink: true,
+        };
+        let mut obs = Obs::new();
+        let report = run(&cfg, &mut obs);
+        if let Some(f) = &report.failure {
+            match f {
+                FuzzFailure::Divergence(d) => {
+                    panic!("divergence: {}", render_reproducer(d))
+                }
+                FuzzFailure::FrontPanic(p) => panic!("front panic: {p:?}"),
+            }
+        }
+        assert_eq!(report.grammar_cases, 12);
+        assert_eq!(report.front_cases, 24);
+        assert!(report.nodes > 0);
+        assert_eq!(obs.metrics.counter("fuzz.grammar_cases"), 12);
+        assert_eq!(obs.metrics.counter("fuzz.front_cases"), 24);
+        assert_eq!(
+            obs.metrics.counter("fuzz.front_accepted") + obs.metrics.counter("fuzz.front_rejected"),
+            24
+        );
+    }
+}

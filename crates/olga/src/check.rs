@@ -385,38 +385,44 @@ impl Compiler {
                     exports.types.insert(e.name.clone(), t.clone());
                     found = true;
                 }
-                if env.consts.contains_key(&e.name) {
-                    let def = m
-                        .consts
-                        .iter()
-                        .find(|c| c.name == e.name)
-                        .expect("declared const has a definition");
-                    let ty = reresolve(&def.ty, def.pos)?;
-                    exports
-                        .consts
-                        .insert(e.name.clone(), (ty, def.body.clone()));
+                if let Some(imported) = env.consts.get(&e.name) {
+                    // Defined here: re-resolve from the syntactic type under
+                    // the abstracted view. Imported: re-export as checked.
+                    match m.consts.iter().find(|c| c.name == e.name) {
+                        Some(def) => {
+                            let ty = reresolve(&def.ty, def.pos)?;
+                            exports
+                                .consts
+                                .insert(e.name.clone(), (ty, def.body.clone()));
+                        }
+                        None => {
+                            exports.consts.insert(e.name.clone(), imported.clone());
+                        }
+                    }
                     found = true;
                 }
-                if env.funcs.contains_key(&e.name) {
-                    let def = m
-                        .funcs
-                        .iter()
-                        .find(|f| f.name == e.name)
-                        .expect("declared function has a definition");
-                    let params = def
-                        .params
-                        .iter()
-                        .map(|(n, te)| reresolve(te, def.pos).map(|t| (n.clone(), t)))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let ret = reresolve(&def.ret, def.pos)?;
-                    exports.funcs.insert(
-                        e.name.clone(),
-                        FunSig {
-                            params,
-                            ret,
-                            body: def.body.clone(),
-                        },
-                    );
+                if let Some(imported) = env.funcs.get(&e.name) {
+                    match m.funcs.iter().find(|f| f.name == e.name) {
+                        Some(def) => {
+                            let params = def
+                                .params
+                                .iter()
+                                .map(|(n, te)| reresolve(te, def.pos).map(|t| (n.clone(), t)))
+                                .collect::<Result<Vec<_>, _>>()?;
+                            let ret = reresolve(&def.ret, def.pos)?;
+                            exports.funcs.insert(
+                                e.name.clone(),
+                                FunSig {
+                                    params,
+                                    ret,
+                                    body: def.body.clone(),
+                                },
+                            );
+                        }
+                        None => {
+                            exports.funcs.insert(e.name.clone(), imported.clone());
+                        }
+                    }
                     found = true;
                 }
                 if !found {
@@ -494,49 +500,65 @@ fn pull_private_deps(body: &Expr, src: &UnitEnv, dst: &mut UnitEnv) {
     }
 }
 
-/// Names an expression references as variables or calls (over-approximate:
-/// shadowed binders may appear; harmless for dependency pulling).
+/// Names an expression references as free variables or calls. The scan is
+/// binder-aware: `let`- and `case`-bound names shadow outer constants, so
+/// a shadowed occurrence is not a reference (a naive scan would pull — or
+/// later cycle-check — entities the body never uses). Call names are always
+/// collected: value binders never shadow the function namespace.
 fn collect_refs(e: &Expr, out: &mut Vec<String>) {
+    let mut bound = Vec::new();
+    collect_refs_bound(e, &mut bound, out);
+}
+
+fn collect_refs_bound(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
     match e {
-        Expr::Var(n, _) => out.push(n.clone()),
+        Expr::Var(n, _) if !bound.iter().any(|b| b == n) => out.push(n.clone()),
+        Expr::Var(..) => {}
         Expr::Call { name, args, .. } => {
             out.push(name.clone());
             for a in args {
-                collect_refs(a, out);
+                collect_refs_bound(a, bound, out);
             }
         }
-        Expr::Unop { expr, .. } => collect_refs(expr, out),
+        Expr::Unop { expr, .. } => collect_refs_bound(expr, bound, out),
         Expr::Binop { lhs, rhs, .. } => {
-            collect_refs(lhs, out);
-            collect_refs(rhs, out);
+            collect_refs_bound(lhs, bound, out);
+            collect_refs_bound(rhs, bound, out);
         }
         Expr::If {
             cond, then, els, ..
         } => {
-            collect_refs(cond, out);
-            collect_refs(then, out);
-            collect_refs(els, out);
+            collect_refs_bound(cond, bound, out);
+            collect_refs_bound(then, bound, out);
+            collect_refs_bound(els, bound, out);
         }
-        Expr::Let { value, body, .. } => {
-            collect_refs(value, out);
-            collect_refs(body, out);
+        Expr::Let {
+            name, value, body, ..
+        } => {
+            collect_refs_bound(value, bound, out);
+            bound.push(name.clone());
+            collect_refs_bound(body, bound, out);
+            bound.pop();
         }
         Expr::Case {
             scrutinee, arms, ..
         } => {
-            collect_refs(scrutinee, out);
-            for (_, b) in arms {
-                collect_refs(b, out);
+            collect_refs_bound(scrutinee, bound, out);
+            for (p, b) in arms {
+                let before = bound.len();
+                bound.extend(p.binders().into_iter().map(String::from));
+                collect_refs_bound(b, bound, out);
+                bound.truncate(before);
             }
         }
         Expr::ListLit(items, _) | Expr::TupleLit(items, _) => {
             for i in items {
-                collect_refs(i, out);
+                collect_refs_bound(i, bound, out);
             }
         }
         Expr::TreeCons { args, .. } => {
             for a in args {
-                collect_refs(a, out);
+                collect_refs_bound(a, bound, out);
             }
         }
         _ => {}
@@ -1394,5 +1416,88 @@ mod tests {
             "#,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn reexporting_imported_names_is_not_a_panic() {
+        // `hub` exports entities it only imported; the export loop used to
+        // expect a local definition and aborted the process.
+        let mut c = Compiler::new();
+        let Unit::Module(m) = parse_unit(
+            r#"
+            module base;
+              export k, twice;
+              const k : int = 21;
+              function twice(n : int) : int = n * 2;
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        c.add_module(m).unwrap();
+        let Unit::Module(m2) = parse_unit(
+            r#"
+            module hub;
+              import k, twice from base;
+              export k, twice;
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        c.add_module(m2).unwrap();
+        let Unit::Module(m3) = parse_unit(
+            r#"
+            module user;
+              import k, twice from hub;
+              const answer : int = twice(k);
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        c.add_module(m3).unwrap();
+    }
+
+    #[test]
+    fn shadowed_binders_do_not_pull_false_deps() {
+        // The free-variable scan that drives dependency pulling must not
+        // report `let`/`case`-bound names: `helper`'s body binds `secret`,
+        // which shares its name with a private const of `base` that the
+        // body never actually references.
+        let mut c = Compiler::new();
+        let Unit::Module(m) = parse_unit(
+            r#"
+            module base;
+              export helper;
+              const secret : int = 7;
+              function helper(n : int) : int = let secret = n in secret + 1 end;
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        c.add_module(m).unwrap();
+        let Unit::Module(m2) = parse_unit(
+            r#"
+            module user;
+              import helper from base;
+              const out : int = helper(1);
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        c.add_module(m2).unwrap();
+        let env = &c.module("user").unwrap().env;
+        assert!(
+            !env.consts.contains_key("secret"),
+            "shadowed binder must not pull the unrelated private const"
+        );
     }
 }

@@ -5,20 +5,76 @@
 //! generated C text is produced by `fnc2-codegen`; measurement runs execute
 //! in-process through this interpreter).
 //!
-//! # Panics
+//! # Errors
 //!
-//! OLGA's `error("…")` builtin raises a Rust panic carrying the message —
-//! the paper's OLGA has exceptions *designed but not implemented* ("the
-//! most notable omissions are … exceptions"), and `error` is the documented
-//! abort path.
+//! OLGA's `error("…")` builtin — the documented abort path of a language
+//! whose exceptions were *designed but not implemented* ("the most notable
+//! omissions are … exceptions") — and every other runtime failure (partial
+//! accessors such as `hd`/`lookup`, an unmatched `case`, a circular
+//! constant) surface as [`EvalAbort`] values, never as Rust panics, so the
+//! surrounding pipeline can report them as ordinary diagnostics.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::rc::Rc;
 
 use fnc2_ag::Value;
 
 use crate::ast::{Expr, Pat};
 use crate::check::UnitEnv;
+use crate::lexer::Pos;
+
+/// A runtime failure inside the OLGA interpreter: the `error` builtin, a
+/// partial builtin applied out of domain, an unmatched `case`, a circular
+/// constant definition, or a dynamic type confusion that slipped past the
+/// checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalAbort {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Source position, when the failing construct carries one.
+    pub pos: Option<Pos>,
+}
+
+impl EvalAbort {
+    /// An abort without a source position.
+    pub fn new(message: impl Into<String>) -> EvalAbort {
+        EvalAbort {
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// An abort at a known source position.
+    pub fn at(message: impl Into<String>, pos: Pos) -> EvalAbort {
+        EvalAbort {
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+}
+
+impl fmt::Display for EvalAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{} at {pos}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for EvalAbort {}
+
+/// Internal result type: the abort is boxed so the `Result` temporaries in
+/// the interpreter's (deeply recursive) frames stay pointer-sized — debug
+/// builds do not coalesce stack slots, and OLGA programs recurse hundreds
+/// of frames deep.
+type EResult = Result<Value, Box<EvalAbort>>;
+
+#[cold]
+fn abort(message: String, pos: Pos) -> Box<EvalAbort> {
+    Box::new(EvalAbort::at(message, pos))
+}
 
 /// Immutable evaluation context: functions and constant values.
 #[derive(Clone, Debug)]
@@ -31,10 +87,11 @@ impl EvalCtx {
     /// Builds the context for a checked unit: constant definitions are
     /// evaluated once, in dependency order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on circular constant definitions.
-    pub fn new(env: &UnitEnv) -> EvalCtx {
+    /// Fails on circular constant definitions (the checker defers the cycle
+    /// check to here) or when a constant's body aborts at evaluation time.
+    pub fn new(env: &UnitEnv) -> Result<EvalCtx, EvalAbort> {
         let env = Rc::new(env.clone());
         // Dependency-order the constants by the constant names their
         // bodies reference.
@@ -47,23 +104,30 @@ impl EvalCtx {
             env: &'a UnitEnv,
             state: &mut HashMap<&'a str, u8>,
             order: &mut Vec<&'a String>,
-        ) {
+        ) -> Result<(), EvalAbort> {
             match state.get(n.as_str()) {
-                Some(2) => return,
-                Some(1) => panic!("circular constant definition involving `{n}`"),
+                Some(2) => return Ok(()),
+                Some(1) => {
+                    return Err(EvalAbort::at(
+                        format!("circular constant definition involving `{n}`"),
+                        env.consts[n].1.pos(),
+                    ))
+                }
                 _ => {}
             }
             state.insert(n, 1);
             let mut refs = Vec::new();
-            collect_const_refs(&env.consts[n].1, env, &mut refs);
+            let mut bound = Vec::new();
+            collect_const_refs(&env.consts[n].1, env, &mut bound, &mut refs);
             for r in refs {
-                visit(r, env, state, order);
+                visit(r, env, state, order)?;
             }
             state.insert(n, 2);
             order.push(n);
+            Ok(())
         }
         for n in names {
-            visit(n, &env, &mut state, &mut order);
+            visit(n, &env, &mut state, &mut order)?;
         }
         let mut done: HashMap<String, Value> = HashMap::new();
         for n in order {
@@ -71,13 +135,13 @@ impl EvalCtx {
                 env: env.clone(),
                 consts: Rc::new(done.clone()),
             };
-            let v = ctx.eval_closed(&env.consts[n].1.clone());
+            let v = ctx.eval_closed(&env.consts[n].1.clone())?;
             done.insert(n.clone(), v);
         }
-        EvalCtx {
+        Ok(EvalCtx {
             env,
             consts: Rc::new(done),
-        }
+        })
     }
 
     /// The unit environment.
@@ -86,32 +150,48 @@ impl EvalCtx {
     }
 
     /// Evaluates a closed expression.
-    pub fn eval_closed(&self, e: &Expr) -> Value {
+    ///
+    /// # Errors
+    /// Fails when evaluation aborts (see [`EvalAbort`]).
+    pub fn eval_closed(&self, e: &Expr) -> Result<Value, EvalAbort> {
         let mut scope = Scope::default();
-        self.eval(e, &mut scope)
+        self.eval(e, &mut scope).map_err(|e| *e)
     }
 
     /// Evaluates `e` under `bindings` (used by lowered semantic rules).
-    pub fn eval_with(&self, e: &Expr, bindings: &[(String, Value)]) -> Value {
+    ///
+    /// # Errors
+    /// Fails when evaluation aborts (see [`EvalAbort`]).
+    pub fn eval_with(&self, e: &Expr, bindings: &[(String, Value)]) -> Result<Value, EvalAbort> {
         let mut scope = Scope::default();
         for (n, v) in bindings {
             scope.bind(n.clone(), v.clone());
         }
-        self.eval(e, &mut scope)
+        self.eval(e, &mut scope).map_err(|e| *e)
     }
 
     /// Applies a user function by name.
     ///
-    /// # Panics
-    /// Panics if the function is unknown or the arity is wrong (the checker
-    /// prevents both).
-    pub fn apply(&self, name: &str, args: Vec<Value>) -> Value {
+    /// # Errors
+    /// Fails if the function is unknown, the arity is wrong (the checker
+    /// prevents both for checked programs), or the body aborts.
+    pub fn apply(&self, name: &str, args: Vec<Value>) -> Result<Value, EvalAbort> {
+        self.apply_inner(name, args).map_err(|e| *e)
+    }
+
+    fn apply_inner(&self, name: &str, args: Vec<Value>) -> EResult {
         let sig = self
             .env
             .funcs
             .get(name)
-            .unwrap_or_else(|| panic!("unknown function `{name}`"));
-        assert_eq!(sig.params.len(), args.len(), "arity of `{name}`");
+            .ok_or_else(|| Box::new(EvalAbort::new(format!("unknown function `{name}`"))))?;
+        if sig.params.len() != args.len() {
+            return Err(Box::new(EvalAbort::new(format!(
+                "arity mismatch applying `{name}`: expected {} arguments, got {}",
+                sig.params.len(),
+                args.len()
+            ))));
+        }
         let mut scope = Scope::default();
         for ((p, _), v) in sig.params.iter().zip(args) {
             scope.bind(p.clone(), v);
@@ -119,61 +199,70 @@ impl EvalCtx {
         self.eval(&sig.body, &mut scope)
     }
 
-    fn eval(&self, e: &Expr, scope: &mut Scope) -> Value {
+    fn eval(&self, e: &Expr, scope: &mut Scope) -> EResult {
         match e {
-            Expr::Int(i, _) => Value::Int(*i),
-            Expr::Real(r, _) => Value::Real(*r),
-            Expr::Bool(b, _) => Value::Bool(*b),
-            Expr::Str(s, _) => Value::str(s),
-            Expr::Var(n, _) => match scope.lookup(n) {
-                Some(v) => v.clone(),
+            Expr::Int(i, _) => Ok(Value::Int(*i)),
+            Expr::Real(r, _) => Ok(Value::Real(*r)),
+            Expr::Bool(b, _) => Ok(Value::Bool(*b)),
+            Expr::Str(s, _) => Ok(Value::str(s)),
+            Expr::Var(n, pos) => match scope.lookup(n) {
+                Some(v) => Ok(v.clone()),
                 None => self
                     .consts
                     .get(n)
-                    .unwrap_or_else(|| panic!("unbound `{n}` (checker admits consts only)"))
-                    .clone(),
+                    .cloned()
+                    .ok_or_else(|| abort(format!("unbound variable `{n}`"), *pos)),
             },
-            Expr::Occ(o) => panic!(
-                "occurrence `{}.{}` reached the interpreter; lowering must substitute it",
-                o.name, o.attr
-            ),
-            Expr::Call { name, args, .. } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.eval(a, scope)).collect();
-                self.call(name, vals)
+            Expr::Occ(o) => Err(abort(
+                format!(
+                    "occurrence `{}.{}` reached the interpreter; lowering must substitute it",
+                    o.name, o.attr
+                ),
+                o.pos,
+            )),
+            Expr::Call { name, args, pos } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scope)?);
+                }
+                self.call(name, vals, *pos)
             }
-            Expr::Unop { op, expr, .. } => {
-                let v = self.eval(expr, scope);
+            Expr::Unop { op, expr, pos } => {
+                let v = self.eval(expr, scope)?;
                 match (*op, v) {
-                    ("-", Value::Int(i)) => Value::Int(-i),
-                    ("-", Value::Real(r)) => Value::Real(-r),
-                    ("not", Value::Bool(b)) => Value::Bool(!b),
-                    (op, v) => panic!("unop `{op}` on {v:?}"),
+                    ("-", Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
+                    ("-", Value::Real(r)) => Ok(Value::Real(-r)),
+                    ("not", Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (op, v) => Err(abort(
+                        format!("unary `{op}` applied to a {}", v.type_name()),
+                        *pos,
+                    )),
                 }
             }
-            Expr::Binop { op, lhs, rhs, .. } => {
+            Expr::Binop { op, lhs, rhs, pos } => {
                 // Short-circuit and/or.
                 if *op == "and" {
-                    return if self.eval(lhs, scope).as_bool() {
+                    return if want_bool(&self.eval(lhs, scope)?, *pos)? {
                         self.eval(rhs, scope)
                     } else {
-                        Value::Bool(false)
+                        Ok(Value::Bool(false))
                     };
                 }
                 if *op == "or" {
-                    return if self.eval(lhs, scope).as_bool() {
-                        Value::Bool(true)
+                    return if want_bool(&self.eval(lhs, scope)?, *pos)? {
+                        Ok(Value::Bool(true))
                     } else {
                         self.eval(rhs, scope)
                     };
                 }
-                let l = self.eval(lhs, scope);
-                let r = self.eval(rhs, scope);
-                binop(op, l, r)
+                let l = self.eval(lhs, scope)?;
+                let r = self.eval(rhs, scope)?;
+                binop(op, l, r, *pos)
             }
             Expr::If {
                 cond, then, els, ..
             } => {
-                if self.eval(cond, scope).as_bool() {
+                if want_bool(&self.eval(cond, scope)?, cond.pos())? {
                     self.eval(then, scope)
                 } else {
                     self.eval(els, scope)
@@ -182,16 +271,18 @@ impl EvalCtx {
             Expr::Let {
                 name, value, body, ..
             } => {
-                let v = self.eval(value, scope);
+                let v = self.eval(value, scope)?;
                 scope.bind(name.clone(), v);
                 let out = self.eval(body, scope);
                 scope.unbind(1);
                 out
             }
             Expr::Case {
-                scrutinee, arms, ..
+                scrutinee,
+                arms,
+                pos,
             } => {
-                let v = self.eval(scrutinee, scope);
+                let v = self.eval(scrutinee, scope)?;
                 for (pat, body) in arms {
                     let mut n = 0;
                     if match_pat(pat, &v, scope, &mut n) {
@@ -201,100 +292,157 @@ impl EvalCtx {
                     }
                     scope.unbind(n);
                 }
-                panic!("case expression: no arm matched {v:?}")
+                Err(abort(format!("case expression: no arm matched {v}"), *pos))
             }
-            Expr::ListLit(items, _) => Value::list(items.iter().map(|i| self.eval(i, scope))),
-            Expr::TupleLit(items, _) => Value::tuple(items.iter().map(|i| self.eval(i, scope))),
+            Expr::ListLit(items, _) => {
+                let mut vs = Vec::with_capacity(items.len());
+                for i in items {
+                    vs.push(self.eval(i, scope)?);
+                }
+                Ok(Value::list(vs))
+            }
+            Expr::TupleLit(items, _) => {
+                let mut vs = Vec::with_capacity(items.len());
+                for i in items {
+                    vs.push(self.eval(i, scope)?);
+                }
+                Ok(Value::tuple(vs))
+            }
             Expr::TreeCons { op, args, .. } => {
-                Value::term(op.clone(), args.iter().map(|a| self.eval(a, scope)))
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval(a, scope)?);
+                }
+                Ok(Value::term(op.clone(), vs))
             }
         }
     }
 
-    fn call(&self, name: &str, args: Vec<Value>) -> Value {
+    fn call(&self, name: &str, args: Vec<Value>, pos: Pos) -> EResult {
+        let arg = |i: usize| -> Result<&Value, Box<EvalAbort>> {
+            args.get(i)
+                .ok_or_else(|| abort(format!("builtin `{name}`: missing argument {i}"), pos))
+        };
         match name {
-            "to_real" => Value::Real(args[0].as_int() as f64),
-            "to_int" => Value::Int(args[0].as_real() as i64),
-            "abs" => Value::Int(args[0].as_int().abs()),
-            "min" => Value::Int(args[0].as_int().min(args[1].as_int())),
-            "max" => Value::Int(args[0].as_int().max(args[1].as_int())),
-            "len" => Value::Int(args[0].as_list().len() as i64),
-            "null" => Value::Bool(args[0].as_list().is_empty()),
-            "hd" => args[0]
-                .as_list()
+            "to_real" => Ok(Value::Real(want_int(arg(0)?, pos)? as f64)),
+            "to_int" => Ok(Value::Int(want_real(arg(0)?, pos)? as i64)),
+            "abs" => Ok(Value::Int(want_int(arg(0)?, pos)?.wrapping_abs())),
+            "min" => Ok(Value::Int(
+                want_int(arg(0)?, pos)?.min(want_int(arg(1)?, pos)?),
+            )),
+            "max" => Ok(Value::Int(
+                want_int(arg(0)?, pos)?.max(want_int(arg(1)?, pos)?),
+            )),
+            "len" => Ok(Value::Int(want_list(arg(0)?, pos)?.len() as i64)),
+            "null" => Ok(Value::Bool(want_list(arg(0)?, pos)?.is_empty())),
+            "hd" => want_list(arg(0)?, pos)?
                 .first()
                 .cloned()
-                .unwrap_or_else(|| panic!("hd of empty list")),
-            "tl" => Value::list(args[0].as_list().iter().skip(1).cloned()),
-            "rev" => Value::list(args[0].as_list().iter().rev().cloned()),
-            "empty_map" => Value::empty_map(),
-            "size" => Value::Int(args[0].as_map().len() as i64),
-            "insert" => args[0].map_insert(args[1].as_str(), args[2].clone()),
-            "lookup" => args[0]
-                .map_get(args[1].as_str())
-                .cloned()
-                .unwrap_or_else(|| panic!("lookup: unbound key {:?}", args[1].as_str())),
-            "bound" => Value::Bool(args[0].map_get(args[1].as_str()).is_some()),
-            "remove" => {
-                let mut m = args[0].as_map().clone();
-                m.remove(args[1].as_str());
-                Value::Map(Rc::new(m))
+                .ok_or_else(|| abort("hd of empty list".to_string(), pos)),
+            "tl" => Ok(Value::list(
+                want_list(arg(0)?, pos)?.iter().skip(1).cloned(),
+            )),
+            "rev" => Ok(Value::list(want_list(arg(0)?, pos)?.iter().rev().cloned())),
+            "empty_map" => Ok(Value::empty_map()),
+            "size" => Ok(Value::Int(want_map(arg(0)?, pos)?.len() as i64)),
+            "insert" => {
+                let key = want_str(arg(1)?, pos)?.to_string();
+                Ok(arg(0)?.map_insert(key, arg(2)?.clone()))
             }
-            "itoa" => Value::str(args[0].as_int().to_string()),
-            "rtoa" => Value::str(format!("{}", args[0].as_real())),
-            "strlen" => Value::Int(args[0].as_str().chars().count() as i64),
-            "error" => panic!("OLGA error: {}", args[0].as_str()),
-            _ => self.apply(name, args),
+            "lookup" => {
+                want_map(arg(0)?, pos)?;
+                let key = want_str(arg(1)?, pos)?;
+                arg(0)?
+                    .map_get(key)
+                    .cloned()
+                    .ok_or_else(|| abort(format!("lookup: unbound key {key:?}"), pos))
+            }
+            "bound" => {
+                want_map(arg(0)?, pos)?;
+                let key = want_str(arg(1)?, pos)?;
+                Ok(Value::Bool(arg(0)?.map_get(key).is_some()))
+            }
+            "remove" => {
+                let mut m = want_map(arg(0)?, pos)?.clone();
+                m.remove(want_str(arg(1)?, pos)?);
+                Ok(Value::Map(Rc::new(m)))
+            }
+            "itoa" => Ok(Value::str(want_int(arg(0)?, pos)?.to_string())),
+            "rtoa" => Ok(Value::str(format!("{}", want_real(arg(0)?, pos)?))),
+            "strlen" => Ok(Value::Int(want_str(arg(0)?, pos)?.chars().count() as i64)),
+            "error" => Err(abort(
+                format!("OLGA error: {}", want_str(arg(0)?, pos)?),
+                pos,
+            )),
+            _ => self.apply_inner(name, args),
         }
     }
 }
 
-/// Collects references to constant names in `e` (for dependency ordering;
-/// let/case binders may shadow, which only over-approximates the edges).
-fn collect_const_refs<'a>(e: &Expr, env: &'a UnitEnv, out: &mut Vec<&'a String>) {
+/// Collects references to constant names in `e` for dependency ordering.
+///
+/// The scan is binder-aware: `let` and `case` binders shadow constants of
+/// the same name, so a shadowed occurrence contributes no dependency edge
+/// (a naive scan reports `let c = 1 in c end` as a self-cycle of `c`).
+fn collect_const_refs<'a>(
+    e: &Expr,
+    env: &'a UnitEnv,
+    bound: &mut Vec<String>,
+    out: &mut Vec<&'a String>,
+) {
     match e {
         Expr::Var(n, _) => {
+            if bound.iter().any(|b| b == n) {
+                return;
+            }
             if let Some((k, _)) = env.consts.get_key_value(n) {
                 out.push(k);
             }
         }
         Expr::Call { args, .. } => {
             for a in args {
-                collect_const_refs(a, env, out);
+                collect_const_refs(a, env, bound, out);
             }
         }
-        Expr::Unop { expr, .. } => collect_const_refs(expr, env, out),
+        Expr::Unop { expr, .. } => collect_const_refs(expr, env, bound, out),
         Expr::Binop { lhs, rhs, .. } => {
-            collect_const_refs(lhs, env, out);
-            collect_const_refs(rhs, env, out);
+            collect_const_refs(lhs, env, bound, out);
+            collect_const_refs(rhs, env, bound, out);
         }
         Expr::If {
             cond, then, els, ..
         } => {
-            collect_const_refs(cond, env, out);
-            collect_const_refs(then, env, out);
-            collect_const_refs(els, env, out);
+            collect_const_refs(cond, env, bound, out);
+            collect_const_refs(then, env, bound, out);
+            collect_const_refs(els, env, bound, out);
         }
-        Expr::Let { value, body, .. } => {
-            collect_const_refs(value, env, out);
-            collect_const_refs(body, env, out);
+        Expr::Let {
+            name, value, body, ..
+        } => {
+            collect_const_refs(value, env, bound, out);
+            bound.push(name.clone());
+            collect_const_refs(body, env, bound, out);
+            bound.pop();
         }
         Expr::Case {
             scrutinee, arms, ..
         } => {
-            collect_const_refs(scrutinee, env, out);
-            for (_, b) in arms {
-                collect_const_refs(b, env, out);
+            collect_const_refs(scrutinee, env, bound, out);
+            for (p, b) in arms {
+                let before = bound.len();
+                bound.extend(p.binders().into_iter().map(String::from));
+                collect_const_refs(b, env, bound, out);
+                bound.truncate(before);
             }
         }
         Expr::ListLit(items, _) | Expr::TupleLit(items, _) => {
             for i in items {
-                collect_const_refs(i, env, out);
+                collect_const_refs(i, env, bound, out);
             }
         }
         Expr::TreeCons { args, .. } => {
             for a in args {
-                collect_const_refs(a, env, out);
+                collect_const_refs(a, env, bound, out);
             }
         }
         _ => {}
@@ -323,19 +471,78 @@ impl Scope {
     }
 }
 
-fn binop(op: &str, l: Value, r: Value) -> Value {
+fn want_int(v: &Value, pos: Pos) -> Result<i64, Box<EvalAbort>> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        v => Err(type_confusion("int", v, pos)),
+    }
+}
+
+fn want_real(v: &Value, pos: Pos) -> Result<f64, Box<EvalAbort>> {
+    match v {
+        Value::Real(r) => Ok(*r),
+        v => Err(type_confusion("real", v, pos)),
+    }
+}
+
+fn want_bool(v: &Value, pos: Pos) -> Result<bool, Box<EvalAbort>> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        v => Err(type_confusion("bool", v, pos)),
+    }
+}
+
+fn want_str(v: &Value, pos: Pos) -> Result<&str, Box<EvalAbort>> {
+    match v {
+        Value::Str(s) => Ok(s),
+        v => Err(type_confusion("string", v, pos)),
+    }
+}
+
+fn want_list(v: &Value, pos: Pos) -> Result<&[Value], Box<EvalAbort>> {
+    match v {
+        Value::List(l) => Ok(l),
+        v => Err(type_confusion("list", v, pos)),
+    }
+}
+
+fn want_map(
+    v: &Value,
+    pos: Pos,
+) -> Result<&std::collections::BTreeMap<String, Value>, Box<EvalAbort>> {
+    match v {
+        Value::Map(m) => Ok(m),
+        v => Err(type_confusion("map", v, pos)),
+    }
+}
+
+#[cold]
+fn type_confusion(wanted: &str, got: &Value, pos: Pos) -> Box<EvalAbort> {
+    abort(
+        format!("expected a {wanted}, got a {} ({got})", got.type_name()),
+        pos,
+    )
+}
+
+fn binop(op: &str, l: Value, r: Value, pos: Pos) -> EResult {
     use Value::*;
-    match (op, &l, &r) {
-        ("+", Int(a), Int(b)) => Int(a + b),
+    Ok(match (op, &l, &r) {
+        ("+", Int(a), Int(b)) => Int(a.wrapping_add(*b)),
         ("+", Real(a), Real(b)) => Real(a + b),
         ("+", Str(a), Str(b)) => Value::str(format!("{a}{b}")),
-        ("-", Int(a), Int(b)) => Int(a - b),
+        ("-", Int(a), Int(b)) => Int(a.wrapping_sub(*b)),
         ("-", Real(a), Real(b)) => Real(a - b),
-        ("*", Int(a), Int(b)) => Int(a * b),
+        ("*", Int(a), Int(b)) => Int(a.wrapping_mul(*b)),
         ("*", Real(a), Real(b)) => Real(a * b),
-        ("/", Int(a), Int(b)) => Int(a / b),
+        ("/", Int(_), Int(0)) => {
+            return Err(abort("integer division by zero".to_string(), pos));
+        }
+        ("/", Int(a), Int(b)) => Int(a.wrapping_div(*b)),
         ("/", Real(a), Real(b)) => Real(a / b),
-        ("%", Int(a), Int(b)) => Int(a % b),
+        ("%", Int(_), Int(0)) => {
+            return Err(abort("integer remainder by zero".to_string(), pos));
+        }
+        ("%", Int(a), Int(b)) => Int(a.wrapping_rem(*b)),
         ("=", a, b) => Bool(a == b),
         ("<>", a, b) => Bool(a != b),
         ("<", a, b) => Bool(a.partial_cmp(b) == Some(std::cmp::Ordering::Less)),
@@ -356,8 +563,17 @@ fn binop(op: &str, l: Value, r: Value) -> Value {
         }
         ("++", Str(a), Str(b)) => Value::str(format!("{a}{b}")),
         ("++", List(a), List(b)) => Value::list(a.iter().chain(b.iter()).cloned()),
-        (op, l, r) => panic!("binop `{op}` on {l:?} and {r:?}"),
-    }
+        (op, l, r) => {
+            return Err(abort(
+                format!(
+                    "binary `{op}` applied to a {} and a {}",
+                    l.type_name(),
+                    r.type_name()
+                ),
+                pos,
+            ));
+        }
+    })
 }
 
 /// Pattern match; pushes bindings into `scope` (caller pops `*pushed`).
@@ -408,12 +624,20 @@ mod tests {
     use super::*;
 
     fn ctx_for(src: &str) -> EvalCtx {
+        try_ctx_for(src).unwrap()
+    }
+
+    fn try_ctx_for(src: &str) -> Result<EvalCtx, EvalAbort> {
         let Unit::Module(m) = parse_unit(src).unwrap() else {
             panic!("expected module")
         };
         let mut c = Compiler::new();
         c.add_module(m.clone()).unwrap();
         EvalCtx::new(&c.module(&m.name).unwrap().env)
+    }
+
+    fn apply(ctx: &EvalCtx, name: &str, args: Vec<Value>) -> Value {
+        ctx.apply(name, args).unwrap()
     }
 
     #[test]
@@ -427,8 +651,8 @@ mod tests {
             end
             "#,
         );
-        assert_eq!(ctx.apply("fact", vec![Value::Int(6)]), Value::Int(720));
-        assert_eq!(ctx.apply("fib", vec![Value::Int(10)]), Value::Int(55));
+        assert_eq!(apply(&ctx, "fact", vec![Value::Int(6)]), Value::Int(720));
+        assert_eq!(apply(&ctx, "fib", vec![Value::Int(10)]), Value::Int(55));
     }
 
     #[test]
@@ -444,10 +668,10 @@ mod tests {
             "#,
         );
         let l = Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]);
-        assert_eq!(ctx.apply("suml", vec![l.clone()]), Value::Int(6));
-        assert_eq!(ctx.apply("second", vec![l]), Value::Int(2));
+        assert_eq!(apply(&ctx, "suml", vec![l.clone()]), Value::Int(6));
+        assert_eq!(apply(&ctx, "second", vec![l]), Value::Int(2));
         assert_eq!(
-            ctx.apply("second", vec![Value::list([Value::Int(9)])]),
+            apply(&ctx, "second", vec![Value::list([Value::Int(9)])]),
             Value::Int(-1)
         );
     }
@@ -466,17 +690,21 @@ mod tests {
             "#,
         );
         let m0 = Value::empty_map();
-        let m1 = ctx.apply("note", vec![m0, Value::str("a"), Value::str("1")]);
+        let m1 = apply(&ctx, "note", vec![m0, Value::str("a"), Value::str("1")]);
         assert_eq!(
-            ctx.apply("get", vec![m1.clone(), Value::str("a")]),
+            apply(&ctx, "get", vec![m1.clone(), Value::str("a")]),
             Value::str("1")
         );
-        assert_eq!(ctx.apply("get", vec![m1, Value::str("b")]), Value::str("?"));
+        assert_eq!(
+            apply(&ctx, "get", vec![m1, Value::str("b")]),
+            Value::str("?")
+        );
         assert_eq!(
             ctx.eval_closed(&crate::ast::Expr::Var(
                 "greeting".into(),
                 crate::lexer::Pos { line: 0, col: 0 }
-            )),
+            ))
+            .unwrap(),
             Value::str("hi there")
         );
     }
@@ -494,8 +722,8 @@ mod tests {
             end
             "#,
         );
-        let t = ctx.apply("grow", vec![Value::Int(3)]);
-        assert_eq!(ctx.apply("depth", vec![t]), Value::Int(4));
+        let t = apply(&ctx, "grow", vec![Value::Int(3)]);
+        assert_eq!(apply(&ctx, "depth", vec![t]), Value::Int(4));
     }
 
     #[test]
@@ -512,16 +740,94 @@ mod tests {
             ctx.eval_closed(&crate::ast::Expr::Var(
                 "b".into(),
                 crate::lexer::Pos { line: 0, col: 0 }
-            )),
+            ))
+            .unwrap(),
             Value::Int(42)
         );
     }
 
     #[test]
-    #[should_panic(expected = "OLGA error: boom")]
-    fn error_builtin_panics() {
+    fn error_builtin_reports_abort() {
         let ctx = ctx_for("module m; function f(x : int) : int = error(\"boom\"); end");
-        ctx.apply("f", vec![Value::Int(0)]);
+        let err = ctx.apply("f", vec![Value::Int(0)]).unwrap_err();
+        assert_eq!(err.message, "OLGA error: boom");
+        assert!(err.pos.is_some(), "error builtin reports its call site");
+    }
+
+    #[test]
+    fn partial_builtins_report_aborts() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              function first(l : list of int) : int = hd(l);
+              function get(e : map of string, k : string) : string = lookup(e, k);
+              function halve(n : int) : int = n / 0;
+            end
+            "#,
+        );
+        let err = ctx.apply("first", vec![Value::list([])]).unwrap_err();
+        assert_eq!(err.message, "hd of empty list");
+        let err = ctx
+            .apply("get", vec![Value::empty_map(), Value::str("k")])
+            .unwrap_err();
+        assert!(err.message.starts_with("lookup: unbound key"));
+        let err = ctx.apply("halve", vec![Value::Int(4)]).unwrap_err();
+        assert_eq!(err.message, "integer division by zero");
+    }
+
+    #[test]
+    fn circular_consts_report_abort() {
+        let err = try_ctx_for(
+            r#"
+            module m;
+              const a : int = b + 1;
+              const b : int = a + 1;
+            end
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("circular constant definition"));
+        assert!(err.pos.is_some());
+    }
+
+    #[test]
+    fn let_shadowing_is_not_a_constant_cycle() {
+        // A naive free-variable scan sees `c` in the let body and reports a
+        // self-cycle; the binder-aware scan must not.
+        let ctx = ctx_for(
+            r#"
+            module m;
+              const c : int = let c = 1 in c + 41 end;
+            end
+            "#,
+        );
+        assert_eq!(
+            ctx.eval_closed(&crate::ast::Expr::Var(
+                "c".into(),
+                crate::lexer::Pos { line: 0, col: 0 }
+            ))
+            .unwrap(),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn case_binder_shadowing_is_not_a_constant_cycle() {
+        let ctx = ctx_for(
+            r#"
+            module m;
+              const c : int = case [7] of c :: _ => c | _ => 0 end;
+            end
+            "#,
+        );
+        assert_eq!(
+            ctx.eval_closed(&crate::ast::Expr::Var(
+                "c".into(),
+                crate::lexer::Pos { line: 0, col: 0 }
+            ))
+            .unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -535,7 +841,7 @@ mod tests {
             "#,
         );
         assert_eq!(
-            ctx.apply("safe", vec![Value::list([])]),
+            apply(&ctx, "safe", vec![Value::list([])]),
             Value::Bool(false),
             "hd must not run on the empty list"
         );

@@ -46,7 +46,7 @@ mod types;
 pub use check::{
     AgAttrTable, CheckError, CheckedAg, CheckedModule, Compiler, FunSig, OpCtx, ThreadInfo, UnitEnv,
 };
-pub use eval::EvalCtx;
+pub use eval::{EvalAbort, EvalCtx};
 pub use lexer::{lex, LexError, Pos, Tok, Token};
 pub use lower::{lower, LowerError, LowerInfo};
 pub use parser::{parse_unit, parse_units, ParseError};

@@ -19,7 +19,7 @@ use fnc2_ag::{Arg, AttrId, Grammar, GrammarBuilder, LocalId, ONode, Occ, PhylumI
 
 use crate::ast::{Expr, Pat, RuleTarget};
 use crate::check::{CheckedAg, OpCtx};
-use crate::eval::EvalCtx;
+use crate::eval::{EvalAbort, EvalCtx};
 use crate::lexer::Pos;
 
 /// Lowering errors: semantic errors surfaced late (well-definedness) keep
@@ -28,6 +28,9 @@ use crate::lexer::Pos;
 pub enum LowerError {
     /// Well-definedness failure (missing/duplicate rules after auto-copy).
     Grammar(fnc2_ag::GrammarError),
+    /// Constant evaluation aborted while building the interpreter context
+    /// (a circular constant definition or a failing constant body).
+    Eval(EvalAbort),
     /// An occurrence failed to re-resolve (internal; the checker already
     /// validated it).
     Internal(String, Pos),
@@ -37,6 +40,7 @@ impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::Grammar(e) => write!(f, "{e}"),
+            LowerError::Eval(e) => write!(f, "constant evaluation failed: {e}"),
             LowerError::Internal(m, p) => write!(f, "{p}: internal lowering error: {m}"),
         }
     }
@@ -69,7 +73,7 @@ pub struct LowerInfo {
 /// occurrence has no rule (or any other well-definedness violation).
 pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
     let ag = &checked.ast;
-    let ctx = EvalCtx::new(&checked.env);
+    let ctx = EvalCtx::new(&checked.env).map_err(LowerError::Eval)?;
     let mut b = GrammarBuilder::new(ag.name.clone());
     let mut info = LowerInfo::default();
 
@@ -406,13 +410,14 @@ fn add_rule(
     let fname = format!("rule@{pid}@{target:?}");
     let ctx = ctx.clone();
     let arity = args.len();
-    b.func(fname.clone(), arity, move |vals: &[fnc2_ag::Value]| {
+    b.func_fallible(fname.clone(), arity, move |vals: &[fnc2_ag::Value]| {
         let bindings: Vec<(String, fnc2_ag::Value)> = vals
             .iter()
             .enumerate()
             .map(|(i, v)| (format!("${i}"), v.clone()))
             .collect();
         ctx.eval_with(&transformed, &bindings)
+            .map_err(|e| fnc2_ag::SemError::new(e.to_string()))
     });
     b.call(pid, target, &fname, args);
     info.computed_rules += 1;

@@ -938,6 +938,111 @@ fn arg_path(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plan validation
+// ---------------------------------------------------------------------------
+
+/// Re-validates a finished [`SpacePlan`] from first principles — the
+/// independent oracle used by the differential fuzzer over the space
+/// optimizer. Every final variable group must still pass the
+/// lifetime-disjointness test, every final stack group must still admit a
+/// consistent symbolic stack simulation under the plan's copy eliminations,
+/// and every eliminated copy must actually share its storage between source
+/// and target.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated property.
+pub fn validate_plan(
+    grammar: &Grammar,
+    seqs: &VisitSeqs,
+    fp: &FlatProgram,
+    objects: &ObjectIndex,
+    lt: &Lifetimes,
+    plan: &SpacePlan,
+) -> Result<(), String> {
+    let mut variables: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut stacks: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (oi, s) in plan.storage.iter().enumerate() {
+        match s {
+            Storage::Variable(id) => variables.entry(*id).or_default().push(oi),
+            Storage::Stack(id) => stacks.entry(*id).or_default().push(oi),
+            Storage::Node => {}
+        }
+    }
+    if variables.len() != plan.n_variables {
+        return Err(format!(
+            "plan claims {} variables but the storage map uses {}",
+            plan.n_variables,
+            variables.len()
+        ));
+    }
+    if stacks.len() != plan.n_stacks {
+        return Err(format!(
+            "plan claims {} stacks but the storage map uses {}",
+            plan.n_stacks,
+            stacks.len()
+        ));
+    }
+    let mut var_ids: Vec<usize> = variables.keys().copied().collect();
+    var_ids.sort_unstable();
+    for id in var_ids {
+        if !variable_feasible(grammar, fp, lt, objects, &variables[&id]) {
+            return Err(format!(
+                "variable {id} groups objects with overlapping lifetimes"
+            ));
+        }
+    }
+    let mut stack_ids: Vec<usize> = stacks.keys().copied().collect();
+    stack_ids.sort_unstable();
+    for id in stack_ids {
+        let elim: HashSet<(ProductionId, ONode)> = plan
+            .eliminated
+            .iter()
+            .filter(|(p, t)| {
+                let obj = match t {
+                    ONode::Attr(o) => Object::Attr(o.attr),
+                    ONode::Local(l) => Object::Local(*p, *l),
+                };
+                plan.storage[objects.index(obj)] == Storage::Stack(id)
+            })
+            .copied()
+            .collect();
+        if StackSim::run(grammar, seqs, fp, objects, &stacks[&id], &elim).is_none() {
+            return Err(format!(
+                "stack {id} fails the symbolic simulation under the plan's eliminations"
+            ));
+        }
+    }
+    // Every eliminated copy must be a real copy rule whose source and
+    // target share a variable or a stack.
+    for &(p, target) in &plan.eliminated {
+        let prod = grammar.production(p).name();
+        let Some(rule) = grammar.rule_for(p, target) else {
+            return Err(format!("eliminated copy in `{prod}` names a missing rule"));
+        };
+        let Some((src, dst)) = copy_objects(grammar, p, rule) else {
+            return Err(format!(
+                "eliminated rule in `{prod}` is not a copy between objects"
+            ));
+        };
+        let (ss, ds) = (
+            plan.storage[objects.index(src)],
+            plan.storage[objects.index(dst)],
+        );
+        let shared = matches!(
+            (ss, ds),
+            (Storage::Variable(x), Storage::Variable(y)) if x == y
+        ) || matches!((ss, ds), (Storage::Stack(x), Storage::Stack(y)) if x == y);
+        if !shared {
+            return Err(format!(
+                "eliminated copy in `{prod}` does not share storage ({ss:?} vs {ds:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use fnc2_ag::{Grammar, GrammarBuilder, Occ, Value};

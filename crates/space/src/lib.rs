@@ -28,7 +28,8 @@ mod object;
 mod runtime;
 
 pub use alloc::{
-    plan_storage, ReadPath, SeqAccess, SpacePlan, SpaceStats, StepAccess, Storage, WritePath,
+    plan_storage, validate_plan, ReadPath, SeqAccess, SpacePlan, SpaceStats, StepAccess, Storage,
+    WritePath,
 };
 pub use flat::{FlatItem, FlatProgram, FlatSeq, Instance, InstanceKind};
 pub use lifetime::{interval_hits_visit, strict_stack_candidates, Lifetimes};

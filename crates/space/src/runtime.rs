@@ -316,7 +316,14 @@ impl<'g> SpaceEvaluator<'g> {
         }
         Ok(match rule.body() {
             RuleBody::Copy(_) => vals.pop().expect("copy has one argument"),
-            RuleBody::Call { func, .. } => g.function(*func).apply(&vals),
+            RuleBody::Call { func, .. } => {
+                g.function(*func)
+                    .apply(&vals)
+                    .map_err(|e| EvalError::SemanticFailure {
+                        node,
+                        message: e.message,
+                    })?
+            }
         })
     }
 

@@ -268,7 +268,14 @@ impl<'g> Evaluator<'g> {
                 for a in args {
                     buf.push(fetch(a)?);
                 }
-                Ok((g.function(*func).apply(buf), false))
+                let v = g
+                    .function(*func)
+                    .apply(buf)
+                    .map_err(|e| EvalError::SemanticFailure {
+                        node,
+                        message: e.message,
+                    })?;
+                Ok((v, false))
             }
         }
     }

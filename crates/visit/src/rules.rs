@@ -36,6 +36,14 @@ pub enum EvalError {
         /// Display name of the attribute.
         what: String,
     },
+    /// A semantic function aborted at runtime (e.g. the OLGA `error`
+    /// builtin fired in user-level attribution code).
+    SemanticFailure {
+        /// The node whose rule was being evaluated.
+        node: NodeId,
+        /// The failure message reported by the function.
+        message: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -52,6 +60,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::MissingRootInput { what } => {
                 write!(f, "no value supplied for root inherited attribute `{what}`")
+            }
+            EvalError::SemanticFailure { node, message } => {
+                write!(f, "semantic function failed at {node}: {message}")
             }
         }
     }
@@ -147,7 +158,15 @@ pub fn eval_rule_resolved<S: Store>(
             for a in args {
                 vals.push(fetch(a)?);
             }
-            Ok((grammar.function(*func).apply(&vals), false))
+            let v =
+                grammar
+                    .function(*func)
+                    .apply(&vals)
+                    .map_err(|e| EvalError::SemanticFailure {
+                        node,
+                        message: e.message,
+                    })?;
+            Ok((v, false))
         }
     }
 }

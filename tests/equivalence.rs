@@ -113,6 +113,110 @@ fn blocks_evaluators_agree() {
 }
 
 // ---------------------------------------------------------------------------
+// Mini-Pascal: a full front-end grammar through all three evaluators
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minipascal_evaluators_agree() {
+    let compiled = Pipeline::new()
+        .compile(fnc2_corpus::minipascal().0)
+        .unwrap();
+    let g = &compiled.grammar;
+    for blocks in [0, 1, 3, 6] {
+        let src = fnc2_corpus::sample_program(blocks);
+        let tree = fnc2_corpus::parse_minipascal(g, &src).unwrap();
+        let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let c = compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .unwrap();
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for attr in g.phylum(ph).attrs() {
+                assert_eq!(a.get(g, n, *attr), b.get(g, n, *attr), "blocks {blocks}");
+                // The space plan keeps node storage only where needed, so
+                // compare wherever the optimized run materialized a value.
+                if let Some(v) = c.node_values.get(g, n, *attr) {
+                    assert_eq!(a.get(g, n, *attr), Some(v), "blocks {blocks}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pathological corpus grammars (AG 4/5/7 shapes): multi-partition phyla
+// and OAG(k) repairs must not change any value
+// ---------------------------------------------------------------------------
+
+fn pathological_tree(g: &Grammar, root_prod: &str, leaf_prod: &str, leaves: usize) -> Tree {
+    let mut tb = TreeBuilder::new(g);
+    let kids: Vec<NodeId> = (0..leaves)
+        .map(|_| tb.op(leaf_prod, &[]).unwrap())
+        .collect();
+    let root = tb.op(root_prod, &kids).unwrap();
+    tb.finish_root(root).unwrap()
+}
+
+#[test]
+fn pathological_evaluators_agree() {
+    let cases = [
+        (fnc2_corpus::snc_only(), "ctx_a", "leafx", 1),
+        (fnc2_corpus::snc_only(), "ctx_b", "leafx", 1),
+        (fnc2_corpus::oag1_not_oag0(), "cross", "leafx", 2),
+        (fnc2_corpus::dnc_not_oag(3), "cross0", "leaf0", 2),
+        (fnc2_corpus::dnc_not_oag(3), "cross2", "leaf2", 2),
+    ];
+    for (grammar, root_prod, leaf_prod, leaves) in cases {
+        let name = format!("{}/{root_prod}", grammar.name());
+        let compiled = Pipeline::new().compile(grammar).unwrap();
+        let g = &compiled.grammar;
+        let tree = pathological_tree(g, root_prod, leaf_prod, leaves);
+        let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+        let (b, _) = DynamicEvaluator::new(g)
+            .evaluate(&tree, &RootInputs::new())
+            .unwrap();
+        let c = compiled
+            .evaluate_optimized(&tree, &RootInputs::new())
+            .unwrap();
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for attr in g.phylum(ph).attrs() {
+                assert_eq!(a.get(g, n, *attr), b.get(g, n, *attr), "{name}");
+                if let Some(v) = c.node_values.get(g, n, *attr) {
+                    assert_eq!(a.get(g, n, *attr), Some(v), "{name}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated grammars with incremental edit scripts: the fuzzing oracle run
+// as a deterministic regression (all four evaluators + space-plan
+// re-validation per case)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn generated_grammars_with_edit_scripts_agree() {
+    use fnc2::fuzz::{render_reproducer, run_case, CaseParams};
+    for case in 0..12 {
+        let mut p = CaseParams::for_case(0x9e4e, case);
+        p.edits = p.edits.max(2);
+        if let Err(d) = run_case(&p) {
+            panic!(
+                "case {case} diverged at `{}`: {}\n{}",
+                d.stage,
+                d.detail,
+                render_reproducer(&d)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Incremental vs. from-scratch under random edit sequences
 // ---------------------------------------------------------------------------
 
