@@ -1,7 +1,7 @@
 //! Incremental construction and validation of [`Grammar`]s.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::GrammarError;
 use crate::grammar::{
@@ -161,7 +161,7 @@ impl GrammarBuilder {
         &mut self,
         name: impl Into<String>,
         arity: usize,
-        f: impl Fn(&[Value]) -> Value + 'static,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> FuncId {
         self.func_with_cost(name, arity, 1, f)
     }
@@ -173,7 +173,7 @@ impl GrammarBuilder {
         name: impl Into<String>,
         arity: usize,
         cost: u32,
-        f: impl Fn(&[Value]) -> Value + 'static,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
     ) -> FuncId {
         self.func_fallible_with_cost(name, arity, cost, move |args| Ok(f(args)))
     }
@@ -184,7 +184,7 @@ impl GrammarBuilder {
         &mut self,
         name: impl Into<String>,
         arity: usize,
-        f: impl Fn(&[Value]) -> Result<Value, SemError> + 'static,
+        f: impl Fn(&[Value]) -> Result<Value, SemError> + Send + Sync + 'static,
     ) -> FuncId {
         self.func_fallible_with_cost(name, arity, 1, f)
     }
@@ -196,7 +196,7 @@ impl GrammarBuilder {
         name: impl Into<String>,
         arity: usize,
         cost: u32,
-        f: impl Fn(&[Value]) -> Result<Value, SemError> + 'static,
+        f: impl Fn(&[Value]) -> Result<Value, SemError> + Send + Sync + 'static,
     ) -> FuncId {
         let name = name.into();
         if self.func_names.contains_key(&name) {
@@ -210,7 +210,7 @@ impl GrammarBuilder {
         self.functions.push(SemFn {
             name,
             arity,
-            f: Rc::new(f),
+            f: Arc::new(f),
             cost,
         });
         id

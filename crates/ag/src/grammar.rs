@@ -6,7 +6,7 @@
 //! and the evaluator generator.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ids::{AttrId, FuncId, LocalId, ONode, Occ, PhylumId, ProductionId};
 use crate::value::Value;
@@ -262,8 +262,10 @@ impl fmt::Display for SemError {
 
 impl std::error::Error for SemError {}
 
-/// The boxed implementation of a semantic function.
-pub type SemFnImpl = Rc<dyn Fn(&[Value]) -> Result<Value, SemError>>;
+/// The boxed implementation of a semantic function. `Send + Sync` so a
+/// [`Grammar`] — and every evaluator borrowing it — can be shared across
+/// the parallel batch driver's worker threads.
+pub type SemFnImpl = Arc<dyn Fn(&[Value]) -> Result<Value, SemError> + Send + Sync>;
 
 /// A registered semantic function.
 #[derive(Clone)]

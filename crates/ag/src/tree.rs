@@ -9,7 +9,7 @@
 
 use crate::error::TreeError;
 use crate::grammar::Grammar;
-use crate::ids::{AttrId, NodeId, PhylumId, ProductionId};
+use crate::ids::{AttrId, LocalId, NodeId, PhylumId, ProductionId};
 use crate::value::Value;
 
 /// A node of an attributed tree.
@@ -141,6 +141,53 @@ impl Tree {
             None => self.root = new_root,
         }
         Ok(new_root)
+    }
+
+    /// Replaces the production applied at `at` **in place**, keeping the
+    /// node's children. The new production must derive the same phylum
+    /// with the same RHS signature (the paper's operator-swap edit, e.g.
+    /// exchanging `add` for `sub`); attribute stores shaped for the old
+    /// production re-shape themselves on [`AttrValues::sync`] /
+    /// [`LocalFrames::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TreeError::ReplacePhylum`] when the LHS phylum
+    /// differs, [`TreeError::ChildCount`] when the arity differs, or
+    /// [`TreeError::ChildPhylum`] when an RHS phylum differs.
+    pub fn replace_production(
+        &mut self,
+        grammar: &Grammar,
+        at: NodeId,
+        production: ProductionId,
+    ) -> Result<(), TreeError> {
+        let old = grammar.production(self.nodes[at.index()].production);
+        let new = grammar.production(production);
+        if old.lhs() != new.lhs() {
+            return Err(TreeError::ReplacePhylum {
+                expected: grammar.phylum(old.lhs()).name().to_string(),
+                found: grammar.phylum(new.lhs()).name().to_string(),
+            });
+        }
+        if old.arity() != new.arity() {
+            return Err(TreeError::ChildCount {
+                production: new.name().to_string(),
+                expected: new.arity(),
+                found: old.arity(),
+            });
+        }
+        for (i, (&have, &want)) in old.rhs().iter().zip(new.rhs()).enumerate() {
+            if have != want {
+                return Err(TreeError::ChildPhylum {
+                    production: new.name().to_string(),
+                    pos: i + 1,
+                    expected: grammar.phylum(want).name().to_string(),
+                    found: grammar.phylum(have).name().to_string(),
+                });
+            }
+        }
+        self.nodes[at.index()].production = production;
+        Ok(())
     }
 
     /// Depth of `id` (root has depth 0).
@@ -349,41 +396,73 @@ impl<'g> TreeBuilder<'g> {
 
 /// Dense per-node attribute storage: the "attributes at tree nodes" storage
 /// class, and the baseline the space optimizer improves on.
+///
+/// Values live in a single flat arena (`cells`) addressed by a per-node base
+/// offset plus the attribute's offset within its phylum — one contiguous
+/// allocation instead of one `Vec` per node, so the slot-compiled evaluators
+/// can turn an attribute fetch into two indexed loads.
 #[derive(Clone, Debug, Default)]
 pub struct AttrValues {
-    /// `slots[node][attr offset within phylum]`.
-    slots: Vec<Vec<Option<Value>>>,
+    /// The flat cell arena; node `n`'s block starts at `offsets[n]`.
+    cells: Vec<Option<Value>>,
+    /// Per-node base offset into `cells`.
+    offsets: Vec<u32>,
+    /// The production each node's block was shaped for, so [`sync`]
+    /// detects in-place production swaps (see
+    /// [`Tree::replace_production`]).
+    ///
+    /// [`sync`]: AttrValues::sync
+    shaped: Vec<ProductionId>,
 }
 
 impl AttrValues {
-    /// Creates an empty store shaped for `tree` under `grammar`.
-    pub fn new(grammar: &Grammar, tree: &Tree) -> Self {
-        let slots = tree
-            .nodes
-            .iter()
-            .map(|n| {
-                let ph = grammar.production(n.production).lhs();
-                vec![None; grammar.phylum(ph).attrs().len()]
-            })
-            .collect();
-        AttrValues { slots }
+    fn width(grammar: &Grammar, production: ProductionId) -> usize {
+        let ph = grammar.production(production).lhs();
+        grammar.phylum(ph).attrs().len()
     }
 
-    /// Grows the store to cover nodes grafted after creation.
+    /// Creates an empty store shaped for `tree` under `grammar`.
+    pub fn new(grammar: &Grammar, tree: &Tree) -> Self {
+        let mut vals = AttrValues::default();
+        vals.sync(grammar, tree);
+        vals
+    }
+
+    /// Re-shapes the store after a tree edit: grows it to cover nodes
+    /// grafted after creation, and drops the stale cells of any node whose
+    /// production changed in place (its attribute values are unknown again,
+    /// paper §2.1.2) so a subsequent evaluation pass recomputes them.
     pub fn sync(&mut self, grammar: &Grammar, tree: &Tree) {
-        for i in self.slots.len()..tree.nodes.len() {
-            let ph = grammar.production(tree.nodes[i].production).lhs();
-            self.slots
-                .push(vec![None; grammar.phylum(ph).attrs().len()]);
+        for (i, node) in tree.nodes.iter().enumerate().take(self.shaped.len()) {
+            if self.shaped[i] == node.production {
+                continue;
+            }
+            // `Tree::replace_production` keeps the phylum, so the block
+            // width cannot change.
+            let w = Self::width(grammar, node.production);
+            debug_assert_eq!(w, Self::width(grammar, self.shaped[i]));
+            let base = self.offsets[i] as usize;
+            for cell in &mut self.cells[base..base + w] {
+                *cell = None;
+            }
+            self.shaped[i] = node.production;
+        }
+        for node in &tree.nodes[self.shaped.len()..] {
+            self.offsets.push(self.cells.len() as u32);
+            self.shaped.push(node.production);
+            let w = Self::width(grammar, node.production);
+            self.cells.extend(std::iter::repeat_with(|| None).take(w));
         }
     }
 
     /// The value of `attr` at `node`, if evaluated.
+    #[inline]
     pub fn get(&self, grammar: &Grammar, node: NodeId, attr: AttrId) -> Option<&Value> {
-        self.slots[node.index()][grammar.attr(attr).offset()].as_ref()
+        self.get_slot(node, grammar.attr(attr).offset())
     }
 
     /// Sets the value of `attr` at `node`, returning the previous value.
+    #[inline]
     pub fn set(
         &mut self,
         grammar: &Grammar,
@@ -391,20 +470,126 @@ impl AttrValues {
         attr: AttrId,
         value: Value,
     ) -> Option<Value> {
-        self.slots[node.index()][grammar.attr(attr).offset()].replace(value)
+        self.set_slot(node, grammar.attr(attr).offset(), value)
     }
 
     /// Clears the value of `attr` at `node`.
+    #[inline]
     pub fn clear(&mut self, grammar: &Grammar, node: NodeId, attr: AttrId) -> Option<Value> {
-        self.slots[node.index()][grammar.attr(attr).offset()].take()
+        self.cells[self.offsets[node.index()] as usize + grammar.attr(attr).offset()].take()
+    }
+
+    /// The value in `node`'s block at pre-computed slot offset `off` (an
+    /// attribute's offset within its phylum, resolved once at evaluator
+    /// construction).
+    #[inline]
+    pub fn get_slot(&self, node: NodeId, off: usize) -> Option<&Value> {
+        self.cells[self.offsets[node.index()] as usize + off].as_ref()
+    }
+
+    /// Sets the slot at pre-computed offset `off` in `node`'s block.
+    #[inline]
+    pub fn set_slot(&mut self, node: NodeId, off: usize, value: Value) -> Option<Value> {
+        self.cells[self.offsets[node.index()] as usize + off].replace(value)
     }
 
     /// Number of currently stored (live) attribute values.
     pub fn live_count(&self) -> usize {
-        self.slots
+        self.cells.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Dense per-activation storage for production-local attributes, laid out as
+/// one flat arena with a frame per tree node sized by the node's production.
+/// Replaces the `(NodeId, LocalId)` hash map the evaluators used before slot
+/// compilation.
+#[derive(Clone, Debug, Default)]
+pub struct LocalFrames {
+    /// The flat cell arena; node `n`'s frame starts at `offsets[n]`.
+    cells: Vec<Option<Value>>,
+    /// Per-node frame base offset into `cells`.
+    offsets: Vec<u32>,
+    /// The production each frame was shaped for (see [`AttrValues::sync`]).
+    shaped: Vec<ProductionId>,
+}
+
+impl LocalFrames {
+    /// Creates empty frames shaped for `tree` under `grammar`.
+    pub fn new(grammar: &Grammar, tree: &Tree) -> Self {
+        let mut frames = LocalFrames::default();
+        frames.sync(grammar, tree);
+        frames
+    }
+
+    /// Re-shapes the frames after a tree edit: appends frames for grafted
+    /// nodes and resets the frame of any node whose production changed in
+    /// place. A production swap may change the frame width, in which case
+    /// the arena is re-laid while keeping untouched frames.
+    pub fn sync(&mut self, grammar: &Grammar, tree: &Tree) {
+        let width = |p: ProductionId| grammar.production(p).locals().len();
+        let relayout = tree
+            .nodes
             .iter()
-            .map(|s| s.iter().filter(|v| v.is_some()).count())
-            .sum()
+            .zip(&self.shaped)
+            .any(|(n, &s)| n.production != s && width(n.production) != width(s));
+        if relayout {
+            let mut old = std::mem::take(self);
+            for (i, node) in tree.nodes.iter().enumerate() {
+                self.offsets.push(self.cells.len() as u32);
+                self.shaped.push(node.production);
+                if i < old.shaped.len() && old.shaped[i] == node.production {
+                    let base = old.offsets[i] as usize;
+                    self.cells.extend(
+                        old.cells[base..base + width(node.production)]
+                            .iter_mut()
+                            .map(Option::take),
+                    );
+                } else {
+                    self.cells
+                        .extend(std::iter::repeat_with(|| None).take(width(node.production)));
+                }
+            }
+            return;
+        }
+        for (i, node) in tree.nodes.iter().enumerate().take(self.shaped.len()) {
+            if self.shaped[i] == node.production {
+                continue;
+            }
+            let base = self.offsets[i] as usize;
+            for cell in &mut self.cells[base..base + width(node.production)] {
+                *cell = None;
+            }
+            self.shaped[i] = node.production;
+        }
+        for node in &tree.nodes[self.shaped.len()..] {
+            self.offsets.push(self.cells.len() as u32);
+            self.shaped.push(node.production);
+            self.cells
+                .extend(std::iter::repeat_with(|| None).take(width(node.production)));
+        }
+    }
+
+    /// The value of `local` in `node`'s frame, if computed.
+    #[inline]
+    pub fn get(&self, node: NodeId, local: LocalId) -> Option<&Value> {
+        self.cells[self.offsets[node.index()] as usize + local.index()].as_ref()
+    }
+
+    /// Sets `local` in `node`'s frame, returning the previous value.
+    #[inline]
+    pub fn set(&mut self, node: NodeId, local: LocalId, value: Value) -> Option<Value> {
+        self.cells[self.offsets[node.index()] as usize + local.index()].replace(value)
+    }
+
+    /// Clears `local` in `node`'s frame.
+    #[inline]
+    pub fn clear(&mut self, node: NodeId, local: LocalId) -> Option<Value> {
+        self.cells[self.offsets[node.index()] as usize + local.index()].take()
+    }
+
+    /// Number of currently stored (live) local values.
+    pub fn live_count(&self) -> usize {
+        self.cells.iter().filter(|v| v.is_some()).count()
     }
 }
 
@@ -425,9 +610,12 @@ mod tests {
         g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
         let root = g.production("root", s, &[l]);
         let cons = g.production("cons", l, &[l]);
+        // Same signature as `cons` — the in-place production-swap target.
+        let cons2 = g.production("cons2", l, &[l]);
         let nil = g.production("nil", l, &[]);
         g.copy(root, Occ::lhs(n), Occ::new(1, len));
         g.call(cons, Occ::lhs(len), "succ", [Occ::new(1, len).into()]);
+        g.copy(cons2, Occ::lhs(len), Occ::new(1, len));
         g.constant(nil, Occ::lhs(len), Value::Int(0));
         g.finish().unwrap()
     }
@@ -539,5 +727,59 @@ mod tests {
         assert_eq!(vals.live_count(), 1);
         assert_eq!(vals.clear(&g, leaf, len), Some(Value::Int(5)));
         assert_eq!(vals.live_count(), 0);
+    }
+
+    #[test]
+    fn replace_production_validates_signature() {
+        let g = list_grammar();
+        let mut t = chain(&g, 2);
+        let target = t
+            .preorder()
+            .find(|&(id, _)| g.production(t.node(id).production()).name() == "cons")
+            .map(|(id, _)| id)
+            .unwrap();
+        // Wrong LHS phylum (root derives S, node is an L).
+        let root_p = g.production_by_name("root").unwrap();
+        assert!(matches!(
+            t.replace_production(&g, target, root_p),
+            Err(TreeError::ReplacePhylum { .. })
+        ));
+        // Wrong arity (nil has no children).
+        let nil_p = g.production_by_name("nil").unwrap();
+        assert!(matches!(
+            t.replace_production(&g, target, nil_p),
+            Err(TreeError::ChildCount { .. })
+        ));
+        // Same signature is accepted.
+        let cons2 = g.production_by_name("cons2").unwrap();
+        t.replace_production(&g, target, cons2).unwrap();
+        assert_eq!(g.production(t.node(target).production()).name(), "cons2");
+    }
+
+    #[test]
+    fn sync_reshapes_swapped_productions() {
+        let g = list_grammar();
+        let mut t = chain(&g, 2);
+        let l = g.phylum_by_name("L").unwrap();
+        let len = g.attr_by_name(l, "len").unwrap();
+        let mut vals = AttrValues::new(&g, &t);
+        let target = t
+            .preorder()
+            .find(|&(id, _)| g.production(t.node(id).production()).name() == "cons")
+            .map(|(id, _)| id)
+            .unwrap();
+        let leaf = t.preorder().last().unwrap().0;
+        vals.set(&g, target, len, Value::Int(2));
+        vals.set(&g, leaf, len, Value::Int(0));
+        let cons2 = g.production_by_name("cons2").unwrap();
+        t.replace_production(&g, target, cons2).unwrap();
+        vals.sync(&g, &t);
+        // The swapped node's stale cells were cleared; untouched nodes survive.
+        assert_eq!(vals.get(&g, target, len), None);
+        assert_eq!(vals.get(&g, leaf, len), Some(&Value::Int(0)));
+        assert_eq!(vals.live_count(), 1);
+        // A second sync with no edits is a no-op.
+        vals.sync(&g, &t);
+        assert_eq!(vals.get(&g, leaf, len), Some(&Value::Int(0)));
     }
 }

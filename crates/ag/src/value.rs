@@ -6,14 +6,15 @@
 //! lists, tuples, finite maps (symbol tables) and *terms* — the attributed
 //! output trees of the tree-to-tree mapping paradigm (paper §2.3).
 //!
-//! Compound values are reference-counted so that copy rules (the dominant
+//! Compound values are atomically reference-counted (shareable across the
+//! parallel batch driver's worker threads) so that copy rules (the dominant
 //! rule form in real AGs) are O(1), mirroring the pointer-copy semantics of
 //! the original C back-end.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A dynamically typed attribute value.
 #[derive(Clone, PartialEq, Default)]
@@ -28,15 +29,15 @@ pub enum Value {
     /// A double-precision real.
     Real(f64),
     /// An immutable string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// An immutable list.
-    List(Rc<Vec<Value>>),
+    List(Arc<Vec<Value>>),
     /// An immutable tuple.
-    Tuple(Rc<Vec<Value>>),
+    Tuple(Arc<Vec<Value>>),
     /// A finite map with string keys (symbol tables, environments).
-    Map(Rc<BTreeMap<String, Value>>),
+    Map(Arc<BTreeMap<String, Value>>),
     /// A term of an output tree (tree-to-tree mapping, paper §2.3).
-    Term(Rc<Term>),
+    Term(Arc<Term>),
 }
 
 /// A constructed output-tree term: an operator name applied to children.
@@ -51,27 +52,27 @@ pub struct Term {
 impl Value {
     /// Builds a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// Builds a list value.
     pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
-        Value::List(Rc::new(items.into_iter().collect()))
+        Value::List(Arc::new(items.into_iter().collect()))
     }
 
     /// Builds a tuple value.
     pub fn tuple(items: impl IntoIterator<Item = Value>) -> Value {
-        Value::Tuple(Rc::new(items.into_iter().collect()))
+        Value::Tuple(Arc::new(items.into_iter().collect()))
     }
 
     /// Builds an empty map value.
     pub fn empty_map() -> Value {
-        Value::Map(Rc::new(BTreeMap::new()))
+        Value::Map(Arc::new(BTreeMap::new()))
     }
 
     /// Builds a term value.
     pub fn term(op: impl Into<String>, children: impl IntoIterator<Item = Value>) -> Value {
-        Value::Term(Rc::new(Term {
+        Value::Term(Arc::new(Term {
             op: op.into(),
             children: children.into_iter().collect(),
         }))
@@ -183,7 +184,7 @@ impl Value {
     pub fn map_insert(&self, key: impl Into<String>, value: Value) -> Value {
         let mut m = self.as_map().clone();
         m.insert(key.into(), value);
-        Value::Map(Rc::new(m))
+        Value::Map(Arc::new(m))
     }
 
     /// Map lookup. Returns `None` when absent.
@@ -264,7 +265,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(Rc::from(v.as_str()))
+        Value::Str(Arc::from(v.as_str()))
     }
 }
 

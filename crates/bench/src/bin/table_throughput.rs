@@ -1,0 +1,144 @@
+//! Throughput scaling of the slot-compiled evaluator, sequentially and
+//! under the work-stealing batch driver.
+//!
+//! Two tables, two claims:
+//!
+//! * **eval_hotpath** — the slot-compiled interpretation (dense frames,
+//!   pre-resolved fetch descriptors, interned constants) against the
+//!   retained reference interpretation (`Evaluator::evaluate_reference`:
+//!   per-fetch `Arg` matching, hash-map local frames, constant clones) on
+//!   the same evaluator instance. Both legs are checked value-equal before
+//!   timing — the speedup is never bought with a divergence.
+//! * **throughput** — trees/sec over a batch of synthetic-corpus trees at
+//!   1, 2, 4 and 8 worker threads sharing one `&Evaluator`, plus the steal
+//!   counts the pool reports through `fnc2-obs`.
+//!
+//! Run with `cargo run --release --bin table_throughput -p fnc2-bench`.
+//! Set `FNC2_BENCH_JSON` to also write `BENCH_eval_hotpath.json` and
+//! `BENCH_throughput.json`.
+
+use std::time::{Duration, Instant};
+
+use fnc2::visit::{Evaluator, RootInputs};
+use fnc2::Pipeline;
+use fnc2_bench::{maybe_emit_json, render_table};
+use fnc2_corpus::{synthetic, synthetic_tree, TABLE1_PROFILES};
+use fnc2_par::batch_evaluate;
+
+fn time_n<F: FnMut()>(n: usize, mut f: F) -> Duration {
+    for _ in 0..3 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    t0.elapsed() / n as u32
+}
+
+fn main() {
+    // ---- Part 1: slot-compiled vs. reference interpretation. -----------
+    println!("Hot path: slot-compiled vs. reference interpretation (per-run times)\n");
+    let hot_headers = ["AG", "nodes", "reference", "compiled", "speedup"];
+    let mut hot_rows = Vec::new();
+    let reps = 20;
+    for profile in &TABLE1_PROFILES {
+        let g = synthetic(profile);
+        let compiled = Pipeline::new()
+            .compile(g)
+            .expect("synthetic corpus compiles");
+        let ev = Evaluator::new(&compiled.grammar, &compiled.seqs);
+        let tree = synthetic_tree(&compiled.grammar, profile, 600, profile.seed ^ 0xbeef);
+        let inputs = RootInputs::new();
+
+        // Differential guard: the timed legs must agree everywhere.
+        let (fast, _) = ev.evaluate(&tree, &inputs).expect("compiled leg");
+        let (slow, _) = ev
+            .evaluate_reference(&tree, &inputs)
+            .expect("reference leg");
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(&compiled.grammar, n);
+            for &attr in compiled.grammar.phylum(ph).attrs() {
+                assert_eq!(
+                    fast.get(&compiled.grammar, n, attr),
+                    slow.get(&compiled.grammar, n, attr),
+                    "{}: reference and compiled paths diverge",
+                    profile.name
+                );
+            }
+        }
+
+        let t_ref = time_n(reps, || {
+            std::hint::black_box(ev.evaluate_reference(&tree, &inputs).unwrap());
+        });
+        let t_fast = time_n(reps, || {
+            std::hint::black_box(ev.evaluate(&tree, &inputs).unwrap());
+        });
+        hot_rows.push(vec![
+            profile.name.to_string(),
+            tree.size().to_string(),
+            format!("{:.1}µs", t_ref.as_secs_f64() * 1e6),
+            format!("{:.1}µs", t_fast.as_secs_f64() * 1e6),
+            format!("{:.2}x", t_ref.as_secs_f64() / t_fast.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render_table(&hot_headers, &hot_rows));
+    if let Some(p) = maybe_emit_json("eval_hotpath", &hot_headers, &hot_rows) {
+        println!("wrote {}\n", p.display());
+    }
+
+    // ---- Part 2: batch throughput at 1..8 threads. ---------------------
+    println!("Throughput: work-stealing batch evaluation (trees/sec)\n");
+    let thr_headers = [
+        "AG", "trees", "threads", "total", "trees/s", "speedup", "steals",
+    ];
+    let mut thr_rows = Vec::new();
+    let batch_size = 256;
+    for profile in [
+        &TABLE1_PROFILES[0],
+        &TABLE1_PROFILES[3],
+        &TABLE1_PROFILES[6],
+    ] {
+        let g = synthetic(profile);
+        let compiled = Pipeline::new()
+            .compile(g)
+            .expect("synthetic corpus compiles");
+        let ev = Evaluator::new(&compiled.grammar, &compiled.seqs);
+        let trees: Vec<_> = (0..batch_size)
+            .map(|t| synthetic_tree(&compiled.grammar, profile, 400, profile.seed ^ t as u64))
+            .collect();
+        let inputs = RootInputs::new();
+        let mut base = 0f64;
+        for threads in [1usize, 2, 4, 8] {
+            // Median of 5 runs: batch wall-clock is scheduler-noisy.
+            let mut times = Vec::new();
+            let mut steals = 0u64;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let (results, stats) = batch_evaluate(&ev, &trees, &inputs, threads);
+                times.push(t0.elapsed().as_secs_f64());
+                steals = stats.steals;
+                assert!(results.iter().all(Result::is_ok), "batch evaluation failed");
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+            let dt = times[times.len() / 2];
+            let tps = batch_size as f64 / dt;
+            if threads == 1 {
+                base = tps;
+            }
+            thr_rows.push(vec![
+                profile.name.to_string(),
+                batch_size.to_string(),
+                threads.to_string(),
+                format!("{:.2}ms", dt * 1e3),
+                format!("{tps:.0}"),
+                format!("{:.2}x", tps / base),
+                steals.to_string(),
+            ]);
+        }
+    }
+    println!("{}", render_table(&thr_headers, &thr_rows));
+    if let Some(p) = maybe_emit_json("throughput", &thr_headers, &thr_rows) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -8,6 +8,9 @@
 //! fnc2c seqs    <file.olga>       # print the visit sequences
 //! fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]
 //!                                 # differential fuzzing oracle (no input file)
+//! fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N]
+//!             [--repeat N] [--metrics]
+//!                                 # parallel batch evaluation over synthetic AGs
 //! ```
 //!
 //! Instrumentation flags (any command that runs the generator):
@@ -41,7 +44,9 @@ const DEFAULT_TRACE_CAPACITY: usize = 4096;
 fn usage() -> String {
     "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] \
      <report|check|c|lisp|seqs> <file.olga | ->\n\
-     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]"
+     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]\n\
+     \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
+     [--repeat N] [--metrics]"
         .to_string()
 }
 
@@ -49,6 +54,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         return run_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch(&args[1..]);
     }
     let mut opts = Opts::default();
     let mut positional: Vec<String> = Vec::new();
@@ -283,6 +291,111 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `batch` subcommand: generates synthetic SNC grammars (the fuzz
+/// generator's, so a seed line is a full reproducer), builds a batch of
+/// random trees per grammar, and decorates them through the work-stealing
+/// parallel driver, printing trees/sec and steal counts.
+fn run_batch(args: &[String]) -> ExitCode {
+    let mut seed = 0u64;
+    let mut grammars = 4u64;
+    let mut trees = 64usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut repeat = 1usize;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("fnc2c: {name} takes a number\n{}", usage()))
+        };
+        let r = match arg.as_str() {
+            "--seed" => numeric("--seed").map(|n| seed = n),
+            "--grammars" => numeric("--grammars").map(|n| grammars = n),
+            "--trees" => numeric("--trees").map(|n| trees = n as usize),
+            "--threads" => numeric("--threads").map(|n| threads = (n as usize).max(1)),
+            "--repeat" => numeric("--repeat").map(|n| repeat = (n as usize).max(1)),
+            "--metrics" => {
+                metrics = true;
+                Ok(())
+            }
+            other => Err(format!("fnc2c: unknown batch flag `{other}`\n{}", usage())),
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut obs = Obs::new();
+    let mut total_trees = 0u64;
+    let mut total_steals = 0u64;
+    let mut total_secs = 0f64;
+    for gi in 0..grammars {
+        let params = fnc2::fuzz::CaseParams::for_case(seed, gi);
+        let gg = fnc2::fuzz::gen::build_grammar(&params);
+        let g = &gg.grammar;
+        let cls = match fnc2::analysis::classify(g, 2, fnc2::analysis::Inclusion::Long) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fnc2c: batch grammar {gi}: transformation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(lo) = cls.l_ordered.as_ref() else {
+            eprintln!("fnc2c: batch grammar {gi}: generated grammar rejected as non-SNC");
+            return ExitCode::FAILURE;
+        };
+        let seqs = fnc2::visit::build_visit_seqs(g, lo);
+        let ev = fnc2::visit::Evaluator::new(g, &seqs);
+        let batch: Vec<fnc2::ag::Tree> = (0..trees)
+            .map(|t| {
+                let tp = fnc2::fuzz::CaseParams {
+                    seed: params
+                        .seed
+                        .wrapping_add((t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    ..params
+                };
+                fnc2::fuzz::build_tree(&gg, &tp)
+            })
+            .collect();
+        let inputs = fnc2::visit::RootInputs::new();
+        let start = std::time::Instant::now();
+        let mut steals = 0u64;
+        for _ in 0..repeat {
+            let (results, stats) =
+                fnc2::par::batch_evaluate_recorded(&ev, &batch, &inputs, threads, &mut obs);
+            if let Some((i, Err(e))) = results.iter().enumerate().find(|(_, r)| r.is_err()) {
+                eprintln!("fnc2c: batch grammar {gi} tree {i}: evaluation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            steals += stats.steals;
+        }
+        let dt = start.elapsed().as_secs_f64();
+        let n = (trees * repeat) as u64;
+        println!(
+            "batch: grammar {gi}: {n} trees in {:.2}ms ({:.0} trees/s, {steals} steals)",
+            dt * 1e3,
+            n as f64 / dt.max(1e-9)
+        );
+        total_trees += n;
+        total_steals += steals;
+        total_secs += dt;
+    }
+    println!(
+        "batch: seed {seed}: {total_trees} trees over {grammars} grammars in {:.2}ms \
+         ({:.0} trees/s, {total_steals} steals, {threads} threads)",
+        total_secs * 1e3,
+        total_trees as f64 / total_secs.max(1e-9)
+    );
+    if metrics {
+        eprint!("{}", obs.render(&fnc2::obs::RawResolver));
+    }
+    ExitCode::SUCCESS
 }
 
 /// Prints the instrumentation report to stderr for commands whose stdout

@@ -59,6 +59,7 @@ pub use fnc2_gfa as gfa;
 pub use fnc2_incremental as incremental;
 pub use fnc2_obs as obs;
 pub use fnc2_olga as olga;
+pub use fnc2_par as par;
 pub use fnc2_space as space;
 pub use fnc2_syntax as syntax;
 pub use fnc2_tools as tools;

@@ -86,9 +86,41 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
     let inputs = RootInputs::new();
 
     // ---- Exhaustive visit-sequence evaluator (the reference). ----------
-    let (reference, _) = Evaluator::new(g, &seqs)
+    let ev = Evaluator::new(g, &seqs);
+    let (reference, ref_stats) = ev
         .evaluate(&tree, &inputs)
         .map_err(|e| div("exhaustive", format!("reference evaluation failed: {e}")))?;
+
+    // ---- Work-stealing batch driver: bit-identical to sequential. ------
+    let batch_trees = vec![tree.clone(), tree.clone(), tree.clone()];
+    let (batch_results, _) = fnc2_par::batch_evaluate(&ev, &batch_trees, &inputs, 4);
+    for (i, r) in batch_results.iter().enumerate() {
+        let (vals, stats) = r
+            .as_ref()
+            .map_err(|e| div("batch", format!("batch tree {i} failed: {e}")))?;
+        if *stats != ref_stats {
+            return Err(div(
+                "exhaustive-vs-batch",
+                format!("batch tree {i}: stats {stats:?} != sequential {ref_stats:?}"),
+            ));
+        }
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for &attr in g.phylum(ph).attrs() {
+                if vals.get(g, n, attr) != reference.get(g, n, attr) {
+                    return Err(div(
+                        "exhaustive-vs-batch",
+                        format!(
+                            "batch tree {i}: node {n:?} attr {}: batch {:?}, sequential {:?}",
+                            g.attr(attr).name(),
+                            vals.get(g, n, attr),
+                            reference.get(g, n, attr)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
 
     // ---- Demand-driven dynamic evaluator (gets the mutant, if any). ----
     let dyn_grammar: &Grammar = mutant.as_ref().unwrap_or(g);

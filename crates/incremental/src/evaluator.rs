@@ -7,11 +7,14 @@
 //! instance are reevaluated, and propagation is **cut** at instances whose
 //! new value equals the old one.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use fnc2_ag::{AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, TreeError, Value};
+use fnc2_ag::{
+    AttrKind, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, ProductionId, Tree,
+    TreeError, Value,
+};
 use fnc2_obs::{ChangeStatus, Counters, Event, Key, NoopRecorder, Recorder};
-use fnc2_visit::{eval_rule, EvalError, RootInputs, Store};
+use fnc2_visit::{CompiledProgram, EvalError, RootInputs};
 
 use crate::status::Equality;
 
@@ -54,26 +57,12 @@ impl IncrementalStats {
 #[derive(Debug)]
 pub struct IncrementalEvaluator<'g> {
     grammar: &'g Grammar,
+    program: CompiledProgram,
     tree: Tree,
     values: AttrValues,
-    locals: HashMap<(NodeId, LocalId), Value>,
+    locals: LocalFrames,
     inputs: RootInputs,
     eq: Equality,
-}
-
-struct ValStore<'a> {
-    grammar: &'a Grammar,
-    values: &'a AttrValues,
-    locals: &'a HashMap<(NodeId, LocalId), Value>,
-}
-
-impl Store for ValStore<'_> {
-    fn value(&self, node: NodeId, attr: fnc2_ag::AttrId) -> Option<Value> {
-        self.values.get(self.grammar, node, attr).cloned()
-    }
-    fn local(&self, node: NodeId, local: LocalId) -> Option<Value> {
-        self.locals.get(&(node, local)).cloned()
-    }
 }
 
 /// An attribute or local instance.
@@ -108,13 +97,15 @@ impl<'g> IncrementalEvaluator<'g> {
     ) -> Result<Self, EvalError> {
         let mut this = IncrementalEvaluator {
             grammar,
+            program: CompiledProgram::new(grammar),
             tree,
             values: AttrValues::default(),
-            locals: HashMap::new(),
+            locals: LocalFrames::default(),
             inputs,
             eq,
         };
         this.values = AttrValues::new(grammar, &this.tree);
+        this.locals = LocalFrames::new(grammar, &this.tree);
         let root = this.tree.root();
         let root_ph = grammar.production(this.tree.node(root).production()).lhs();
         for attr in grammar.inherited(root_ph) {
@@ -217,6 +208,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 .replace_subtree(g, at, &replacement)
                 .map_err(Box::<TreeError>::new)?;
             self.values.sync(g, &self.tree);
+            self.locals.sync(g, &self.tree);
 
             // Re-establish the inherited attributes of the new subtree root
             // (same defining rules in the parent, hence the old values).
@@ -269,11 +261,145 @@ impl<'g> IncrementalEvaluator<'g> {
         for inst in seed_changed {
             self.enqueue_dependents(inst, &mut queue);
         }
+        self.propagate(&mut queue, &mut stats, &mut unknown, rec)?;
+        let mut counters = stats.to_counters();
+        counters.set(Key::IncUnknown, unknown as u64);
+        counters.replay(rec);
+        Ok(stats)
+    }
+
+    /// Replaces the production applied at `at` **in place** (the
+    /// operator-swap edit — see [`Tree::replace_production`]) and
+    /// reevaluates incrementally: the node's attribute cells and everything
+    /// it dominates are invalidated and recomputed, then the usual
+    /// semantic-control propagation runs above it with equality cuts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new production has a different LHS phylum or RHS
+    /// signature ([`TreeError`]), or evaluation fails ([`EvalError`]).
+    pub fn swap_production(
+        &mut self,
+        at: NodeId,
+        production: ProductionId,
+    ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
+        self.swap_production_recorded(at, production, &mut NoopRecorder)
+    }
+
+    /// [`swap_production`](Self::swap_production), instrumented like
+    /// [`replace_subtrees_recorded`](Self::replace_subtrees_recorded).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`swap_production`](Self::swap_production).
+    pub fn swap_production_recorded<R: Recorder>(
+        &mut self,
+        at: NodeId,
+        production: ProductionId,
+        rec: &mut R,
+    ) -> Result<IncrementalStats, Box<dyn std::error::Error>> {
+        let g = self.grammar;
+        let mut stats = IncrementalStats::default();
+        let mut unknown = 0usize;
+        let ph = self.tree.phylum(g, at);
+        let old: Vec<(fnc2_ag::AttrId, Option<Value>)> = g
+            .phylum(ph)
+            .attrs()
+            .iter()
+            .map(|&a| (a, self.values.get(g, at, a).cloned()))
+            .collect();
+        self.tree
+            .replace_production(g, at, production)
+            .map_err(Box::<TreeError>::new)?;
+        // The stores detect the in-place swap and drop the node's stale
+        // cells; the subtree below is invalidated explicitly, since its
+        // inherited attributes flowed through the replaced rules.
+        self.values.sync(g, &self.tree);
+        self.locals.sync(g, &self.tree);
+        let mut subtree = vec![at];
+        let mut i = 0;
+        while i < subtree.len() {
+            let n = subtree[i];
+            i += 1;
+            subtree.extend(self.tree.node(n).children().iter().copied());
+        }
+        for &n in &subtree[1..] {
+            let nph = self.tree.phylum(g, n);
+            for &a in g.phylum(nph).attrs() {
+                self.values.clear(g, n, a);
+            }
+        }
+        for &n in &subtree {
+            let p = self.tree.node(n).production();
+            for li in 0..g.production(p).locals().len() {
+                self.locals.clear(n, LocalId::from_raw(li as u32));
+            }
+        }
+        // Re-establish the node's inherited attributes: their defining
+        // rules live in the (unchanged) parent production.
+        for (a, v) in &old {
+            if g.attr(*a).kind() == AttrKind::Inherited {
+                if let Some(v) = v.clone() {
+                    self.values.set(g, at, *a, v);
+                }
+            }
+        }
+        if self.tree.node(at).parent().is_none() {
+            for a in g.inherited(ph) {
+                if let Some(v) = self.inputs.get(&a) {
+                    self.values.set(g, at, a, v.clone());
+                }
+            }
+        }
+        self.eval_subtree(at, &mut stats, &mut unknown, rec)
+            .map_err(Box::new)?;
+        // Seed propagation with the synthesized attributes whose value
+        // differs from the pre-swap decoration.
+        let mut queue: VecDeque<Inst> = VecDeque::new();
+        let mut changed_syn = false;
+        for (a, oldv) in old {
+            if g.attr(a).kind() != AttrKind::Synthesized {
+                continue;
+            }
+            let newv = self.values.get(g, at, a);
+            let same = match (&oldv, newv) {
+                (Some(o), Some(n)) => self.eq.same(o, n),
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                stats.changed += 1;
+                changed_syn = true;
+            }
+        }
+        if changed_syn {
+            for a in g.synthesized(ph) {
+                self.enqueue_dependents(Inst::Attr(at, a), &mut queue);
+            }
+        }
+        self.propagate(&mut queue, &mut stats, &mut unknown, rec)?;
+        let mut counters = stats.to_counters();
+        counters.set(Key::IncUnknown, unknown as u64);
+        counters.replay(rec);
+        Ok(stats)
+    }
+
+    /// Drains the propagation queue: dependents of changed instances are
+    /// reevaluated, with propagation cut where the new value equals the
+    /// old one.
+    fn propagate<R: Recorder>(
+        &mut self,
+        queue: &mut VecDeque<Inst>,
+        stats: &mut IncrementalStats,
+        unknown: &mut usize,
+        rec: &mut R,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let g = self.grammar;
         while let Some(inst) = queue.pop_front() {
             let (newv, oldv) = {
                 let old = match inst {
                     Inst::Attr(n, a) => self.values.get(g, n, a).cloned(),
-                    Inst::Local(n, l) => self.locals.get(&(n, l)).cloned(),
+                    Inst::Local(n, l) => self.locals.get(n, l).cloned(),
                 };
                 let new = self.compute_instance(inst).map_err(Box::new)?;
                 (new, old)
@@ -284,7 +410,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 .map(|o| self.eq.same(o, &newv))
                 .unwrap_or(false);
             if oldv.is_none() {
-                unknown += 1;
+                *unknown += 1;
             }
             if rec.trace() {
                 if let Inst::Attr(n, a) = inst {
@@ -312,15 +438,12 @@ impl<'g> IncrementalEvaluator<'g> {
                     self.values.set(g, n, a, newv);
                 }
                 Inst::Local(n, l) => {
-                    self.locals.insert((n, l), newv);
+                    self.locals.set(n, l, newv);
                 }
             }
-            self.enqueue_dependents(inst, &mut queue);
+            self.enqueue_dependents(inst, queue);
         }
-        let mut counters = stats.to_counters();
-        counters.set(Key::IncUnknown, unknown as u64);
-        counters.replay(rec);
-        Ok(stats)
+        Ok(())
     }
 
     /// Exhaustively evaluates the subtree rooted at `node`, whose inherited
@@ -373,13 +496,18 @@ impl<'g> IncrementalEvaluator<'g> {
         let g = self.grammar;
         match goal {
             Inst::Attr(n, a) if self.values.get(g, n, a).is_some() => return Ok(()),
-            Inst::Local(n, l) if self.locals.contains_key(&(n, l)) => return Ok(()),
+            Inst::Local(n, l) if self.locals.get(n, l).is_some() => return Ok(()),
             _ => {}
         }
-        // Resolve the defining rule.
+        // Resolve the defining rule through the compiled index.
         let (def_node, target) = self.definition_of(goal);
         let p = self.tree.node(def_node).production();
-        let rule = g.rule_for(p, target).expect("validated grammar");
+        let rule_ix = self
+            .program
+            .production(p)
+            .rule_index(target)
+            .expect("validated grammar");
+        let rule = &g.production(p).rules()[rule_ix as usize];
         let subgoals: Vec<Inst> = rule
             .read_nodes()
             .map(|arg| match arg {
@@ -414,7 +542,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 self.values.set(g, n, a, v);
             }
             Inst::Local(n, l) => {
-                self.locals.insert((n, l), v);
+                self.locals.set(n, l, v);
             }
         }
         Ok(())
@@ -440,17 +568,31 @@ impl<'g> IncrementalEvaluator<'g> {
         }
     }
 
-    /// Recomputes an instance's value from its rule and current storage.
+    /// Recomputes an instance's value through the slot-compiled program.
     fn compute_instance(&self, inst: Inst) -> Result<Value, EvalError> {
         let g = self.grammar;
         let (def_node, target) = self.definition_of(inst);
         let p = self.tree.node(def_node).production();
-        let store = ValStore {
-            grammar: g,
-            values: &self.values,
-            locals: &self.locals,
-        };
-        eval_rule(g, &self.tree, p, def_node, target, &store).map(|(v, _)| v)
+        let rule = self
+            .program
+            .production(p)
+            .rule_index(target)
+            .expect("validated grammar");
+        let mut buf = Vec::with_capacity(4);
+        let mut counters = Counters::new();
+        self.program
+            .eval_rule(
+                g,
+                &self.tree,
+                p,
+                rule,
+                def_node,
+                &self.values,
+                &self.locals,
+                &mut buf,
+                &mut counters,
+            )
+            .map(|(v, _)| v)
     }
 
     /// Enqueues the instances that read `inst`.
@@ -530,6 +672,28 @@ mod tests {
         );
         let leaf = g.production("leafe", e, &[]);
         g.copy(leaf, Occ::lhs(sum), fnc2_ag::Arg::Token);
+        // Same signature as `fork` but combines with max — the in-place
+        // production-swap target.
+        g.func("maxf", 2, |v| Value::Int(v[0].as_int().max(v[1].as_int())));
+        let forkmax = g.production("forkmax", e, &[e, e]);
+        g.call(
+            forkmax,
+            Occ::new(1, depth),
+            "succ",
+            [Occ::lhs(depth).into()],
+        );
+        g.call(
+            forkmax,
+            Occ::new(2, depth),
+            "succ",
+            [Occ::lhs(depth).into()],
+        );
+        g.call(
+            forkmax,
+            Occ::lhs(sum),
+            "maxf",
+            [Occ::new(1, sum).into(), Occ::new(2, sum).into()],
+        );
         g.finish().unwrap()
     }
 
@@ -670,5 +834,73 @@ mod tests {
         let sub = tb.finish(nl);
         let stats = inc.replace_subtree(target, &sub).unwrap();
         assert_eq!(stats.changed, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn production_swap_reevaluates_subtree() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[1, 2, 3, 4]);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let total = g.attr_by_name(s, "total").unwrap();
+        assert_eq!(inc.value(inc.tree().root(), total), Some(&Value::Int(10)));
+
+        // Swap the topmost fork (sum) for forkmax (max) in place.
+        let fork = g.production_by_name("fork").unwrap();
+        let forkmax = g.production_by_name("forkmax").unwrap();
+        let target = inc
+            .tree()
+            .preorder()
+            .find(|&(n, _)| inc.tree().node(n).production() == fork)
+            .map(|(n, _)| n)
+            .unwrap();
+        inc.swap_production(target, forkmax).unwrap();
+
+        // The edited tree must match a from-scratch evaluation.
+        let dynev = DynamicEvaluator::new(&g);
+        let (want, _) = dynev.evaluate(inc.tree(), &RootInputs::new()).unwrap();
+        assert_eq!(
+            inc.value(inc.tree().root(), total),
+            want.get(&g, inc.tree().root(), total)
+        );
+        // fork(1, fork(2, fork(3, 4))) → max(1, 2+3+4) = 9.
+        assert_eq!(inc.value(inc.tree().root(), total), Some(&Value::Int(9)));
+
+        // Swapping back restores the original answer.
+        inc.swap_production(target, fork).unwrap();
+        assert_eq!(inc.value(inc.tree().root(), total), Some(&Value::Int(10)));
+
+        // Signature mismatches are rejected without mutating the tree.
+        let root_p = g.production_by_name("root").unwrap();
+        assert!(inc.swap_production(target, root_p).is_err());
+        assert_eq!(inc.value(inc.tree().root(), total), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn production_swap_deep_in_tree() {
+        let g = sum_grammar();
+        let tree = build_tree(&g, &[1, 2, 3, 4, 5]);
+        let mut inc = IncrementalEvaluator::new(&g, tree, Equality::default()).unwrap();
+        let fork = g.production_by_name("fork").unwrap();
+        let forkmax = g.production_by_name("forkmax").unwrap();
+        // Deepest fork: the last one in preorder.
+        let target = inc
+            .tree()
+            .preorder()
+            .filter(|&(n, _)| inc.tree().node(n).production() == fork)
+            .map(|(n, _)| n)
+            .last()
+            .unwrap();
+        let stats = inc.swap_production(target, forkmax).unwrap();
+        let dynev = DynamicEvaluator::new(&g);
+        let (want, _) = dynev.evaluate(inc.tree(), &RootInputs::new()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let total = g.attr_by_name(s, "total").unwrap();
+        assert_eq!(
+            inc.value(inc.tree().root(), total),
+            want.get(&g, inc.tree().root(), total)
+        );
+        // Propagation from a deep swap changes the spine above it.
+        assert!(stats.changed > 0, "{stats:?}");
     }
 }

@@ -1,7 +1,7 @@
 //! Semantic-control status and adaptable equality.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fnc2_ag::Value;
 
@@ -19,7 +19,7 @@ pub enum Status {
 }
 
 /// The boxed comparison implementation.
-type EqImpl = Rc<dyn Fn(&Value, &Value) -> bool>;
+type EqImpl = Arc<dyn Fn(&Value, &Value) -> bool + Send + Sync>;
 
 /// The notion of equality used to compare old and new attribute values.
 ///
@@ -34,8 +34,8 @@ pub struct Equality {
 
 impl Equality {
     /// Wraps a custom comparison.
-    pub fn new(eq: impl Fn(&Value, &Value) -> bool + 'static) -> Self {
-        Equality { eq: Rc::new(eq) }
+    pub fn new(eq: impl Fn(&Value, &Value) -> bool + Send + Sync + 'static) -> Self {
+        Equality { eq: Arc::new(eq) }
     }
 
     /// Applies the comparison.

@@ -66,6 +66,13 @@ pub enum Key {
     SpacePlanNode,
     /// Copy rules eliminated by storage grouping.
     SpacePlanCopiesEliminated,
+    /// Constant fetches served from the evaluator's interned pool
+    /// (proof that per-execution deep clones of `Arg::Const` are gone).
+    EvalConstHits,
+    /// Trees evaluated by the parallel batch driver.
+    ParTrees,
+    /// Successful steals performed by the work-stealing pool.
+    ParSteals,
 }
 
 impl Key {
@@ -73,7 +80,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 22] = [
+    pub const ALL: [Key; 25] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -96,6 +103,9 @@ impl Key {
         Key::SpacePlanStacks,
         Key::SpacePlanNode,
         Key::SpacePlanCopiesEliminated,
+        Key::EvalConstHits,
+        Key::ParTrees,
+        Key::ParSteals,
     ];
 
     /// The canonical dotted metric name.
@@ -123,6 +133,9 @@ impl Key {
             Key::SpacePlanStacks => "space.plan.stacks",
             Key::SpacePlanNode => "space.plan.node",
             Key::SpacePlanCopiesEliminated => "space.plan.copies_eliminated",
+            Key::EvalConstHits => "eval.const_hits",
+            Key::ParTrees => "par.trees",
+            Key::ParSteals => "par.steals",
         }
     }
 

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fnc2_ag::Value;
 
@@ -79,8 +79,8 @@ fn abort(message: String, pos: Pos) -> Box<EvalAbort> {
 /// Immutable evaluation context: functions and constant values.
 #[derive(Clone, Debug)]
 pub struct EvalCtx {
-    env: Rc<UnitEnv>,
-    consts: Rc<HashMap<String, Value>>,
+    env: Arc<UnitEnv>,
+    consts: Arc<HashMap<String, Value>>,
 }
 
 impl EvalCtx {
@@ -92,7 +92,7 @@ impl EvalCtx {
     /// Fails on circular constant definitions (the checker defers the cycle
     /// check to here) or when a constant's body aborts at evaluation time.
     pub fn new(env: &UnitEnv) -> Result<EvalCtx, EvalAbort> {
-        let env = Rc::new(env.clone());
+        let env = Arc::new(env.clone());
         // Dependency-order the constants by the constant names their
         // bodies reference.
         let mut names: Vec<&String> = env.consts.keys().collect();
@@ -133,14 +133,14 @@ impl EvalCtx {
         for n in order {
             let ctx = EvalCtx {
                 env: env.clone(),
-                consts: Rc::new(done.clone()),
+                consts: Arc::new(done.clone()),
             };
             let v = ctx.eval_closed(&env.consts[n].1.clone())?;
             done.insert(n.clone(), v);
         }
         Ok(EvalCtx {
             env,
-            consts: Rc::new(done),
+            consts: Arc::new(done),
         })
     }
 
@@ -365,7 +365,7 @@ impl EvalCtx {
             "remove" => {
                 let mut m = want_map(arg(0)?, pos)?.clone();
                 m.remove(want_str(arg(1)?, pos)?);
-                Ok(Value::Map(Rc::new(m)))
+                Ok(Value::Map(Arc::new(m)))
             }
             "itoa" => Ok(Value::str(want_int(arg(0)?, pos)?.to_string())),
             "rtoa" => Ok(Value::str(format!("{}", want_real(arg(0)?, pos)?))),

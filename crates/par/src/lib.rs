@@ -1,0 +1,306 @@
+//! # fnc2-par — work-stealing parallel batch evaluation
+//!
+//! The exhaustive [`Evaluator`] is read-only once constructed: evaluation
+//! writes only into the per-tree [`AttrValues`]/local frames it allocates.
+//! A batch of independent trees can therefore be decorated concurrently
+//! against **one shared `&Evaluator`** — the parallel analogue of FNC-2
+//! generating one evaluator and running it over a whole test suite.
+//!
+//! [`batch_evaluate`] does exactly that with a hand-rolled work-stealing
+//! pool over [`std::thread::scope`] (no external dependencies, matching
+//! the in-repo SplitMix64 precedent for `rand`):
+//!
+//! * tree indices are dealt round-robin into one deque per worker;
+//! * a worker pops its own deque from the **front** and, when empty,
+//!   steals from a victim's **back** (classic Chase–Lev discipline over a
+//!   `Mutex<VecDeque>` — contention is per-steal, not per-tree);
+//! * results carry their batch index and are merged by index, so output
+//!   order — and every value in it — is **bit-identical** to a sequential
+//!   run regardless of thread count or steal interleaving.
+//!
+//! Counters flow through the shared `fnc2-obs` vocabulary:
+//! [`Key::ParTrees`] counts trees evaluated and [`Key::ParSteals`] counts
+//! successful steals (0 on a single thread, and on perfectly balanced
+//! batches).
+//!
+//! ```
+//! use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder, Value};
+//! use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+//! use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+//! use fnc2_par::batch_evaluate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = GrammarBuilder::new("count");
+//! let s = g.phylum("S");
+//! let n = g.syn(s, "n");
+//! let leaf = g.production("leaf", s, &[]);
+//! g.constant(leaf, Occ::lhs(n), Value::Int(0));
+//! let node = g.production("node", s, &[s]);
+//! g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+//! g.call(node, Occ::lhs(n), "succ", [Occ::new(1, n).into()]);
+//! let grammar = g.finish()?;
+//! let snc = snc_test(&grammar);
+//! let lo = snc_to_l_ordered(&grammar, &snc, Inclusion::Long)?;
+//! let seqs = build_visit_seqs(&grammar, &lo);
+//! let ev = Evaluator::new(&grammar, &seqs);
+//!
+//! let trees: Vec<_> = (0..8)
+//!     .map(|depth| {
+//!         let mut tb = TreeBuilder::new(&grammar);
+//!         let mut cur = tb.op("leaf", &[]).unwrap();
+//!         for _ in 0..depth {
+//!             cur = tb.op("node", &[cur]).unwrap();
+//!         }
+//!         tb.finish_root(cur).unwrap()
+//!     })
+//!     .collect();
+//! let (results, stats) = batch_evaluate(&ev, &trees, &RootInputs::new(), 4);
+//! assert_eq!(stats.trees, 8);
+//! for (depth, r) in results.iter().enumerate() {
+//!     let (values, _) = r.as_ref().unwrap();
+//!     let root = trees[depth].root();
+//!     assert_eq!(values.get(&grammar, root, n), Some(&Value::Int(depth as i64)));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fnc2_ag::{AttrValues, Tree};
+use fnc2_obs::{Counters, Key, NoopRecorder, Recorder};
+use fnc2_visit::{EvalError, EvalStats, Evaluator, RootInputs};
+
+/// What one batch run did: fed into [`Key::ParTrees`] / [`Key::ParSteals`]
+/// by the recorded entry point, and returned for callers that aggregate
+/// their own reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Trees evaluated (successful or not).
+    pub trees: u64,
+    /// Successful steals: tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Worker threads actually spawned.
+    pub threads: u64,
+}
+
+/// The per-worker deques plus the shared steal counter.
+struct Pool<'a> {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+    trees: &'a [Tree],
+}
+
+impl<'a> Pool<'a> {
+    fn new(trees: &'a [Tree], workers: usize) -> Pool<'a> {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        // Round-robin deal: contiguous runs land on the same worker only
+        // when the batch is much larger than the pool, keeping the common
+        // case steal-free.
+        for (i, _) in trees.iter().enumerate() {
+            deques[i % workers].push_back(i);
+        }
+        Pool {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
+            trees,
+        }
+    }
+
+    /// Next task for worker `w`: own deque front first, then steal from
+    /// the other deques' backs. `None` means the whole batch is drained —
+    /// no task ever re-enters a deque, so one empty sweep is conclusive.
+    fn next_task(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.deques[w].lock().unwrap().pop_front() {
+            return Some(i);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(i) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// One tree's outcome, exactly what [`Evaluator::evaluate`] returns.
+pub type TreeResult = Result<(AttrValues, EvalStats), EvalError>;
+
+/// Evaluates every tree in `trees` against `evaluator` (all roots must
+/// derive the axiom; `inputs` supplies root inherited attributes, shared
+/// by all trees) on `threads` worker threads.
+///
+/// `results[i]` is always tree `i`'s outcome; order and contents are
+/// identical to calling [`Evaluator::evaluate`] in a sequential loop,
+/// whatever `threads` is. `threads` is clamped to `1..=trees.len()` (a
+/// worker with no possible work is never spawned).
+pub fn batch_evaluate(
+    evaluator: &Evaluator<'_>,
+    trees: &[Tree],
+    inputs: &RootInputs,
+    threads: usize,
+) -> (Vec<TreeResult>, BatchStats) {
+    batch_evaluate_recorded(evaluator, trees, inputs, threads, &mut NoopRecorder)
+}
+
+/// [`batch_evaluate`], instrumented: replays [`Key::ParTrees`] and
+/// [`Key::ParSteals`] into `rec` when the batch finishes.
+pub fn batch_evaluate_recorded<R: Recorder>(
+    evaluator: &Evaluator<'_>,
+    trees: &[Tree],
+    inputs: &RootInputs,
+    threads: usize,
+    rec: &mut R,
+) -> (Vec<TreeResult>, BatchStats) {
+    let workers = threads.clamp(1, trees.len().max(1));
+    let mut results: Vec<Option<TreeResult>> = Vec::new();
+    let mut stats = BatchStats {
+        trees: trees.len() as u64,
+        steals: 0,
+        threads: workers as u64,
+    };
+
+    if workers == 1 {
+        // No pool on one thread: the sequential loop *is* the semantics
+        // the parallel path must reproduce.
+        results.extend(trees.iter().map(|t| Some(evaluator.evaluate(t, inputs))));
+    } else {
+        let pool = Pool::new(trees, workers);
+        results.resize_with(trees.len(), || None);
+        let done: Vec<Vec<(usize, TreeResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, TreeResult)> = Vec::new();
+                        while let Some(i) = pool.next_task(w) {
+                            out.push((i, evaluator.evaluate(&pool.trees[i], inputs)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Index merge makes the output independent of scheduling.
+        for (i, r) in done.into_iter().flatten() {
+            debug_assert!(results[i].is_none(), "tree {i} evaluated twice");
+            results[i] = Some(r);
+        }
+        stats.steals = pool.steals.load(Ordering::Relaxed);
+    }
+
+    let mut counters = Counters::new();
+    counters.add(Key::ParTrees, stats.trees);
+    counters.add(Key::ParSteals, stats.steals);
+    counters.replay(rec);
+
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every dealt index is evaluated exactly once"))
+        .collect();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{Grammar, GrammarBuilder, Occ, TreeBuilder, Value};
+    use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_obs::Obs;
+    use fnc2_visit::{build_visit_seqs, VisitSeqs};
+
+    use super::*;
+
+    fn count_grammar() -> Grammar {
+        let mut g = GrammarBuilder::new("count");
+        let s = g.phylum("S");
+        let n = g.syn(s, "n");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(n), Value::Int(0));
+        let node = g.production("node", s, &[s]);
+        g.func("succ", 1, |a| Value::Int(a[0].as_int() + 1));
+        g.call(node, Occ::lhs(n), "succ", [Occ::new(1, n).into()]);
+        g.finish().unwrap()
+    }
+
+    fn seqs_for(g: &Grammar) -> VisitSeqs {
+        let snc = snc_test(g);
+        let lo = snc_to_l_ordered(g, &snc, Inclusion::Long).unwrap();
+        build_visit_seqs(g, &lo)
+    }
+
+    fn chains(g: &Grammar, count: usize) -> Vec<Tree> {
+        (0..count)
+            .map(|depth| {
+                let mut tb = TreeBuilder::new(g);
+                let mut cur = tb.op("leaf", &[]).unwrap();
+                for _ in 0..depth {
+                    cur = tb.op("node", &[cur]).unwrap();
+                }
+                tb.finish_root(cur).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 37);
+        let inputs = RootInputs::new();
+        let (seq_results, _) = batch_evaluate(&ev, &trees, &inputs, 1);
+        for threads in [2, 3, 4, 8] {
+            let (par_results, stats) = batch_evaluate(&ev, &trees, &inputs, threads);
+            assert_eq!(stats.trees, 37);
+            assert_eq!(stats.threads, threads as u64);
+            for (i, (a, b)) in seq_results.iter().zip(&par_results).enumerate() {
+                let (va, sa) = a.as_ref().unwrap();
+                let (vb, sb) = b.as_ref().unwrap();
+                assert_eq!(sa, sb, "stats diverge on tree {i} at {threads} threads");
+                let n = g.attr_by_name(g.phylum_by_name("S").unwrap(), "n").unwrap();
+                assert_eq!(
+                    va.get(&g, trees[i].root(), n),
+                    vb.get(&g, trees[i].root(), n),
+                    "values diverge on tree {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_trees_is_clamped() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 2);
+        let (results, stats) = batch_evaluate(&ev, &trees, &RootInputs::new(), 16);
+        assert_eq!(results.len(), 2);
+        assert_eq!(stats.threads, 2);
+        // Empty batch, zero threads: no panic, no work.
+        let (results, stats) = batch_evaluate(&ev, &[], &RootInputs::new(), 0);
+        assert!(results.is_empty());
+        assert_eq!(stats.trees, 0);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn counters_flow_through_recorder() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 5);
+        let mut obs = Obs::new();
+        let (_, stats) = batch_evaluate_recorded(&ev, &trees, &RootInputs::new(), 2, &mut obs);
+        assert_eq!(obs.metrics.counter("par.trees"), 5);
+        assert_eq!(obs.metrics.counter("par.steals"), stats.steals);
+    }
+}

@@ -7,11 +7,17 @@
 //! the high-water mark of live storage cells — the dynamic measure behind
 //! the paper's "decrease of the number of attribute storage cells by a
 //! factor of 4 to 8" (§4.1).
-
-use std::collections::HashMap;
+//!
+//! Like the exhaustive evaluator, the hot path is slot-compiled at
+//! construction: every `EVAL` step's rule is resolved once, its reads are
+//! fused with the plan's [`ReadPath`]s into [`CRead`] descriptors (with
+//! constants interned), and its write is reduced to a [`CWrite`] with node
+//! slots pre-computed. The run loop then interprets flat per-visit `COp`
+//! streams with no hash lookups or rule scans.
 
 use fnc2_ag::{
-    Arg, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, ProductionId, RuleBody, Tree, Value,
+    Arg, AttrValues, FuncId, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, ProductionId,
+    RuleBody, Tree, Value,
 };
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder, StorageClass};
 use fnc2_visit::{EvalError, Instr, RootInputs, VisitSeqs};
@@ -71,20 +77,78 @@ pub struct SpaceOutcome {
     pub stats: SpaceRunStats,
 }
 
+/// A pre-resolved read: where one rule argument comes from, with the plan's
+/// storage decision and the grammar's occurrence resolution fused at
+/// compile time.
+#[derive(Clone, Debug)]
+enum CRead {
+    /// An interned constant (index into the evaluator's pool).
+    Const(u32),
+    /// The node's lexical token.
+    Token,
+    /// A global variable.
+    Variable(usize),
+    /// A stack read at a static depth below the top.
+    Stack(usize, usize),
+    /// A tree-resident attribute slot (0 = the node itself).
+    NodeAttr { child: u16, off: u32 },
+    /// A tree-resident production local.
+    NodeLocal(LocalId),
+}
+
+/// A pre-resolved write target.
+#[derive(Clone, Copy, Debug)]
+enum CWrite {
+    Variable(usize),
+    Stack(usize),
+    NodeAttr { child: u16, off: u32 },
+    NodeLocal(LocalId),
+}
+
+/// One compiled step of a visit: the run loop interprets these with no
+/// rule lookups or per-step hash probes.
+#[derive(Clone, Debug)]
+enum COp {
+    /// An eliminated copy rule: nothing to compute, only scheduled pops.
+    Skip { pops: Vec<usize> },
+    /// Evaluate a rule and store the result.
+    Eval {
+        /// The defined occurrence or local (for trace events).
+        target: ONode,
+        /// `None` for copy rules (single read, transferred unchanged).
+        func: Option<FuncId>,
+        reads: Vec<CRead>,
+        write: CWrite,
+        pops: Vec<usize>,
+    },
+    /// Descend into a child.
+    Visit {
+        child: u16,
+        visit: usize,
+        partition: usize,
+        pops: Vec<usize>,
+    },
+}
+
 /// The space-optimized evaluator.
 #[derive(Debug)]
 pub struct SpaceEvaluator<'g> {
     grammar: &'g Grammar,
     seqs: &'g VisitSeqs,
-    fp: &'g FlatProgram,
-    plan: &'g SpacePlan,
+    /// `compiled[prod][partition][visit-1]` — fused instruction streams.
+    compiled: Vec<Vec<Vec<Vec<COp>>>>,
+    /// Interned `Arg::Const` values, cloned per fetch instead of rebuilt.
+    consts: Vec<Value>,
+    n_variables: usize,
+    n_stacks: usize,
 }
 
 struct RunState {
     globals: Vec<Option<Value>>,
     stacks: Vec<Vec<Value>>,
     node_values: AttrValues,
-    node_locals: HashMap<(NodeId, LocalId), Value>,
+    node_locals: LocalFrames,
+    buf: Vec<Value>,
     live: usize,
     max_live: usize,
     counters: Counters,
@@ -97,19 +161,134 @@ impl RunState {
     }
 }
 
+fn intern(consts: &mut Vec<Value>, v: &Value) -> u32 {
+    match consts.iter().position(|c| c == v) {
+        Some(i) => i as u32,
+        None => {
+            consts.push(v.clone());
+            (consts.len() - 1) as u32
+        }
+    }
+}
+
 impl<'g> SpaceEvaluator<'g> {
-    /// Creates the evaluator from the generator's artifacts.
+    /// Creates the evaluator from the generator's artifacts, fusing the
+    /// flat program with the storage plan into compiled step streams.
     pub fn new(
         grammar: &'g Grammar,
         seqs: &'g VisitSeqs,
         fp: &'g FlatProgram,
         plan: &'g SpacePlan,
     ) -> Self {
+        let mut consts = Vec::new();
+        let mut compiled: Vec<Vec<Vec<Vec<COp>>>> = vec![Vec::new(); grammar.production_count()];
+        for (p, pi) in seqs.keys() {
+            let key = (p, pi);
+            let fs = &fp.seqs[&key];
+            let acc = &plan.access[&key];
+            let n_visits = seqs.seq(p, pi).segments.len();
+            let mut per_visit: Vec<Vec<COp>> = vec![Vec::new(); n_visits];
+            for (pos, item) in fs.items.iter().enumerate() {
+                let FlatItem::Op { instr, .. } = item else {
+                    continue;
+                };
+                let v = fs.visit_at(pos);
+                let step = &acc.steps[pos];
+                let op = match instr {
+                    Instr::Eval(target) => {
+                        let write = step.write.as_ref().expect("eval step has a write");
+                        match write {
+                            WritePath::SkipVariable | WritePath::SkipStackTop => COp::Skip {
+                                pops: step.pops_after.clone(),
+                            },
+                            _ => Self::compile_eval(grammar, &mut consts, p, *target, write, step),
+                        }
+                    }
+                    Instr::Visit {
+                        child,
+                        visit: w,
+                        partition: cpart,
+                    } => COp::Visit {
+                        child: *child,
+                        visit: *w,
+                        partition: *cpart,
+                        pops: step.pops_after.clone(),
+                    },
+                };
+                per_visit[v - 1].push(op);
+            }
+            let slot = &mut compiled[p.index()];
+            if slot.len() <= pi {
+                slot.resize(pi + 1, Vec::new());
+            }
+            slot[pi] = per_visit;
+        }
         SpaceEvaluator {
             grammar,
             seqs,
-            fp,
-            plan,
+            compiled,
+            consts,
+            n_variables: plan.n_variables,
+            n_stacks: plan.n_stacks,
+        }
+    }
+
+    /// Fuses one `EVAL` step's rule with its storage paths.
+    fn compile_eval(
+        grammar: &Grammar,
+        consts: &mut Vec<Value>,
+        p: ProductionId,
+        target: ONode,
+        write: &WritePath,
+        step: &crate::alloc::StepAccess,
+    ) -> COp {
+        let rule = grammar.rule_for(p, target).expect("rule exists");
+        let (func, args): (Option<FuncId>, Vec<&Arg>) = match rule.body() {
+            RuleBody::Copy(a) => (None, vec![a]),
+            RuleBody::Call { func, args } => (Some(*func), args.iter().collect()),
+        };
+        debug_assert_eq!(args.len(), step.args.len());
+        let reads = args
+            .iter()
+            .zip(&step.args)
+            .map(|(arg, path)| match path {
+                ReadPath::Immediate => match arg {
+                    Arg::Const(v) => CRead::Const(intern(consts, v)),
+                    Arg::Token => CRead::Token,
+                    Arg::Node(_) => unreachable!("occurrence args have storage paths"),
+                },
+                ReadPath::Variable(id) => CRead::Variable(*id),
+                ReadPath::Stack(id, depth) => CRead::Stack(*id, *depth),
+                ReadPath::Node => match arg {
+                    Arg::Node(ONode::Attr(Occ { pos, attr })) => CRead::NodeAttr {
+                        child: *pos,
+                        off: grammar.attr(*attr).offset() as u32,
+                    },
+                    Arg::Node(ONode::Local(l)) => CRead::NodeLocal(*l),
+                    _ => unreachable!("Node path implies an occurrence arg"),
+                },
+            })
+            .collect();
+        let write = match write {
+            WritePath::Variable(id) => CWrite::Variable(*id),
+            WritePath::Stack(id) => CWrite::Stack(*id),
+            WritePath::Node => match target {
+                ONode::Attr(Occ { pos, attr }) => CWrite::NodeAttr {
+                    child: pos,
+                    off: grammar.attr(attr).offset() as u32,
+                },
+                ONode::Local(l) => CWrite::NodeLocal(l),
+            },
+            WritePath::SkipVariable | WritePath::SkipStackTop => {
+                unreachable!("skips compile to COp::Skip")
+            }
+        };
+        COp::Eval {
+            target,
+            func,
+            reads,
+            write,
+            pops: step.pops_after.clone(),
         }
     }
 
@@ -139,10 +318,11 @@ impl<'g> SpaceEvaluator<'g> {
     ) -> Result<SpaceOutcome, EvalError> {
         let g = self.grammar;
         let mut st = RunState {
-            globals: vec![None; self.plan.n_variables],
-            stacks: vec![Vec::new(); self.plan.n_stacks],
+            globals: vec![None; self.n_variables],
+            stacks: vec![Vec::new(); self.n_stacks],
             node_values: AttrValues::new(g, tree),
-            node_locals: HashMap::new(),
+            node_locals: LocalFrames::new(g, tree),
+            buf: Vec::with_capacity(8),
             live: 0,
             max_live: 0,
             counters: Counters::new(),
@@ -166,7 +346,7 @@ impl<'g> SpaceEvaluator<'g> {
             .raise(Key::SpaceMaxLiveCells, st.max_live as u64);
         st.counters.set(
             Key::SpaceFinalNodeCells,
-            (st.node_values.live_count() + st.node_locals.len()) as u64,
+            (st.node_values.live_count() + st.node_locals.live_count()) as u64,
         );
         st.counters.replay(rec);
         Ok(SpaceOutcome {
@@ -193,44 +373,37 @@ impl<'g> SpaceEvaluator<'g> {
             });
         }
         let p = tree.node(node).production();
-        let key = (p, partition);
-        let fs = &self.fp.seqs[&key];
-        let acc = &self.plan.access[&key];
-        for (pos, item) in fs.items.iter().enumerate() {
-            if fs.visit_at(pos) != visit {
-                continue;
-            }
-            let step = &acc.steps[pos];
-            match item {
-                FlatItem::Begin(_) | FlatItem::Leave(_) => {}
-                FlatItem::Op { instr, .. } => match instr {
-                    Instr::Eval(target) => {
-                        let write = step.write.as_ref().expect("eval step has a write");
-                        match write {
-                            WritePath::SkipVariable | WritePath::SkipStackTop => {
-                                st.counters.add(Key::SpaceCopiesSkipped, 1);
-                                self.pops(step, st);
-                            }
-                            _ => {
-                                let value = self.compute(tree, p, node, *target, step, st)?;
-                                st.counters.add(Key::SpaceEvals, 1);
-                                // Dead sources pop before the fresh push
-                                // (mirrors the static simulation).
-                                self.pops(step, st);
-                                self.write(tree, node, *target, write, value, st, rec);
-                            }
-                        }
-                    }
-                    Instr::Visit {
-                        child,
-                        visit: w,
-                        partition: cpart,
-                    } => {
-                        let c = tree.node(node).children()[*child as usize - 1];
-                        self.run_visit(tree, c, *cpart, *w, st, rec)?;
-                        self.pops(step, st);
-                    }
-                },
+        let ops: &[COp] = &self.compiled[p.index()][partition][visit - 1];
+        for op in ops {
+            match op {
+                COp::Skip { pops } => {
+                    st.counters.add(Key::SpaceCopiesSkipped, 1);
+                    self.pops(pops, st);
+                }
+                COp::Eval {
+                    target,
+                    func,
+                    reads,
+                    write,
+                    pops,
+                } => {
+                    let value = self.compute(tree, p, node, *func, reads, st)?;
+                    st.counters.add(Key::SpaceEvals, 1);
+                    // Dead sources pop before the fresh push (mirrors the
+                    // static simulation).
+                    self.pops(pops, st);
+                    self.write(tree, node, *target, write, value, st, rec);
+                }
+                COp::Visit {
+                    child,
+                    visit: w,
+                    partition: cpart,
+                    pops,
+                } => {
+                    let c = tree.node(node).children()[*child as usize - 1];
+                    self.run_visit(tree, c, *cpart, *w, st, rec)?;
+                    self.pops(pops, st);
+                }
             }
         }
         if rec.trace() {
@@ -243,8 +416,8 @@ impl<'g> SpaceEvaluator<'g> {
         Ok(())
     }
 
-    fn pops(&self, step: &crate::alloc::StepAccess, st: &mut RunState) {
-        for &sid in &step.pops_after {
+    fn pops(&self, pops: &[usize], st: &mut RunState) {
+        for &sid in pops {
             st.stacks[sid].pop().expect("scheduled pop finds a value");
             st.bump(-1);
         }
@@ -255,75 +428,76 @@ impl<'g> SpaceEvaluator<'g> {
         tree: &Tree,
         p: ProductionId,
         node: NodeId,
-        target: ONode,
-        step: &crate::alloc::StepAccess,
-        st: &RunState,
+        func: Option<FuncId>,
+        reads: &[CRead],
+        st: &mut RunState,
     ) -> Result<Value, EvalError> {
         let g = self.grammar;
-        let rule = g.rule_for(p, target).expect("rule exists");
-        let args: Vec<&Arg> = match rule.body() {
-            RuleBody::Copy(a) => vec![a],
-            RuleBody::Call { args, .. } => args.iter().collect(),
-        };
-        debug_assert_eq!(args.len(), step.args.len());
-        let mut vals = Vec::with_capacity(args.len());
-        for (arg, path) in args.iter().zip(&step.args) {
+        let RunState {
+            globals,
+            stacks,
+            node_values,
+            node_locals,
+            buf,
+            counters,
+            ..
+        } = st;
+        buf.clear();
+        for read in reads {
             let v =
-                match path {
-                    ReadPath::Immediate => match arg {
-                        Arg::Const(v) => v.clone(),
-                        Arg::Token => tree.node(node).token().cloned().ok_or_else(|| {
-                            EvalError::MissingToken {
+                match read {
+                    CRead::Const(i) => {
+                        counters.add(Key::EvalConstHits, 1);
+                        self.consts[*i as usize].clone()
+                    }
+                    CRead::Token => {
+                        tree.node(node)
+                            .token()
+                            .cloned()
+                            .ok_or_else(|| EvalError::MissingToken {
                                 node,
                                 production: g.production(p).name().to_string(),
-                            }
-                        })?,
-                        Arg::Node(_) => unreachable!("occurrence args have storage paths"),
-                    },
-                    ReadPath::Variable(id) => st.globals[*id]
+                            })?
+                    }
+                    CRead::Variable(id) => globals[*id]
                         .clone()
                         .unwrap_or_else(|| panic!("variable {id} read before write")),
-                    ReadPath::Stack(id, depth) => {
-                        let s = &st.stacks[*id];
+                    CRead::Stack(id, depth) => {
+                        let s = &stacks[*id];
                         s[s.len() - 1 - depth].clone()
                     }
-                    ReadPath::Node => match arg {
-                        Arg::Node(ONode::Attr(Occ { pos, attr })) => {
-                            let at = if *pos == 0 {
-                                node
-                            } else {
-                                tree.node(node).children()[*pos as usize - 1]
-                            };
-                            st.node_values.get(g, at, *attr).cloned().ok_or_else(|| {
-                                EvalError::MissingValue {
-                                    node: at,
-                                    what: g.attr(*attr).name().to_string(),
-                                }
+                    CRead::NodeAttr { child, off } => {
+                        let at = if *child == 0 {
+                            node
+                        } else {
+                            tree.node(node).children()[*child as usize - 1]
+                        };
+                        node_values
+                            .get_slot(at, *off as usize)
+                            .cloned()
+                            .ok_or_else(|| EvalError::MissingValue {
+                                node: at,
+                                what: format!("slot {off}"),
                             })?
+                    }
+                    CRead::NodeLocal(l) => node_locals.get(node, *l).cloned().ok_or_else(|| {
+                        EvalError::MissingValue {
+                            node,
+                            what: g.production(p).locals()[l.index()].name().to_string(),
                         }
-                        Arg::Node(ONode::Local(l)) => {
-                            st.node_locals.get(&(node, *l)).cloned().ok_or_else(|| {
-                                EvalError::MissingValue {
-                                    node,
-                                    what: g.production(p).locals()[l.index()].name().to_string(),
-                                }
-                            })?
-                        }
-                        _ => unreachable!("Node path implies an occurrence arg"),
-                    },
+                    })?,
                 };
-            vals.push(v);
+            buf.push(v);
         }
-        Ok(match rule.body() {
-            RuleBody::Copy(_) => vals.pop().expect("copy has one argument"),
-            RuleBody::Call { func, .. } => {
-                g.function(*func)
-                    .apply(&vals)
-                    .map_err(|e| EvalError::SemanticFailure {
-                        node,
-                        message: e.message,
-                    })?
-            }
+        Ok(match func {
+            None => buf.pop().expect("copy has one argument"),
+            Some(f) => g
+                .function(f)
+                .apply(buf)
+                .map_err(|e| EvalError::SemanticFailure {
+                    node,
+                    message: e.message,
+                })?,
         })
     }
 
@@ -333,12 +507,11 @@ impl<'g> SpaceEvaluator<'g> {
         tree: &Tree,
         node: NodeId,
         target: ONode,
-        write: &WritePath,
+        write: &CWrite,
         value: Value,
         st: &mut RunState,
         rec: &mut R,
     ) {
-        let g = self.grammar;
         if rec.trace() {
             if let ONode::Attr(Occ { pos, attr }) = target {
                 let at = if pos == 0 {
@@ -347,49 +520,41 @@ impl<'g> SpaceEvaluator<'g> {
                     tree.node(node).children()[pos as usize - 1]
                 };
                 let class = match write {
-                    WritePath::Variable(_) => Some(StorageClass::Global),
-                    WritePath::Stack(_) => Some(StorageClass::Stack),
-                    WritePath::Node => Some(StorageClass::Node),
-                    WritePath::SkipVariable | WritePath::SkipStackTop => None,
+                    CWrite::Variable(_) => StorageClass::Global,
+                    CWrite::Stack(_) => StorageClass::Stack,
+                    CWrite::NodeAttr { .. } | CWrite::NodeLocal(_) => StorageClass::Node,
                 };
-                if let Some(class) = class {
-                    rec.emit(Event::AttrStored {
-                        node: at.index() as u32,
-                        attr: attr.index() as u32,
-                        class,
-                    });
-                }
+                rec.emit(Event::AttrStored {
+                    node: at.index() as u32,
+                    attr: attr.index() as u32,
+                    class,
+                });
             }
         }
-        match write {
-            WritePath::Variable(id) => {
-                if st.globals[*id].replace(value).is_none() {
+        match *write {
+            CWrite::Variable(id) => {
+                if st.globals[id].replace(value).is_none() {
                     st.bump(1);
                 }
             }
-            WritePath::Stack(id) => {
-                st.stacks[*id].push(value);
+            CWrite::Stack(id) => {
+                st.stacks[id].push(value);
                 st.bump(1);
             }
-            WritePath::Node => match target {
-                ONode::Attr(Occ { pos, attr }) => {
-                    let at = if pos == 0 {
-                        node
-                    } else {
-                        tree.node(node).children()[pos as usize - 1]
-                    };
-                    if st.node_values.set(g, at, attr, value).is_none() {
-                        st.bump(1);
-                    }
+            CWrite::NodeAttr { child, off } => {
+                let at = if child == 0 {
+                    node
+                } else {
+                    tree.node(node).children()[child as usize - 1]
+                };
+                if st.node_values.set_slot(at, off as usize, value).is_none() {
+                    st.bump(1);
                 }
-                ONode::Local(l) => {
-                    if st.node_locals.insert((node, l), value).is_none() {
-                        st.bump(1);
-                    }
+            }
+            CWrite::NodeLocal(l) => {
+                if st.node_locals.set(node, l, value).is_none() {
+                    st.bump(1);
                 }
-            },
-            WritePath::SkipVariable | WritePath::SkipStackTop => {
-                unreachable!("skips are handled before computing")
             }
         }
     }

@@ -6,12 +6,20 @@
 //! Attribute instances live at tree nodes here; the space-optimized
 //! interpreter in `fnc2-space` replaces this storage with global variables
 //! and stacks.
+//!
+//! The hot path executes the slot-compiled programs of
+//! [`CompiledProgram`]: rule lookups, occurrence resolution and constant
+//! clones all happen once, at construction. The pre-compilation
+//! interpretation strategy survives as [`Evaluator::evaluate_reference`],
+//! both as a differential check and as the "before" leg of the hot-path
+//! benchmark.
 
 use std::collections::HashMap;
 
-use fnc2_ag::{AttrId, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, Value};
+use fnc2_ag::{AttrId, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, Tree, Value};
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder};
 
+use crate::program::CompiledProgram;
 use crate::rules::EvalError;
 use crate::seq::{Instr, VisitSeqs};
 
@@ -71,10 +79,17 @@ enum CInstr {
 }
 
 /// The exhaustive visit-sequence evaluator.
+///
+/// Construction compiles the grammar's rules into a [`CompiledProgram`]
+/// and the visit-sequences into flat instruction streams; evaluation is
+/// read-only on the evaluator, so a single instance can decorate many
+/// trees concurrently (the `fnc2-par` batch driver shares one `&Evaluator`
+/// across its worker threads).
 #[derive(Debug)]
 pub struct Evaluator<'g> {
     grammar: &'g Grammar,
     seqs: &'g VisitSeqs,
+    program: CompiledProgram,
     /// `compiled[prod][partition][visit-1]` — instruction streams with
     /// rule indices resolved.
     compiled: Vec<Vec<Vec<Vec<CInstr>>>>,
@@ -82,25 +97,13 @@ pub struct Evaluator<'g> {
 
 impl<'g> Evaluator<'g> {
     /// Creates an evaluator for `grammar` driven by `seqs`, resolving every
-    /// `EVAL` to its rule index up front.
+    /// `EVAL` to its rule index up front and slot-compiling every rule.
     pub fn new(grammar: &'g Grammar, seqs: &'g VisitSeqs) -> Self {
+        let program = CompiledProgram::new(grammar);
         let mut compiled: Vec<Vec<Vec<Vec<CInstr>>>> = vec![Vec::new(); grammar.production_count()];
-        // target → rule index, built once per production. The former
-        // linear `position()` scan per EVAL instruction made construction
-        // quadratic in rules-per-production, which shows on the large
-        // synthetic grammars.
-        let mut rule_maps: Vec<Option<HashMap<ONode, u32>>> =
-            vec![None; grammar.production_count()];
         for (p, pi) in seqs.keys() {
             let seq = seqs.seq(p, pi);
-            let prod = grammar.production(p);
-            let rule_map = rule_maps[p.index()].get_or_insert_with(|| {
-                prod.rules()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| (r.target(), i as u32))
-                    .collect()
-            });
+            let cp = program.production(p);
             let slot = &mut compiled[p.index()];
             if slot.len() <= pi {
                 slot.resize(pi + 1, Vec::new());
@@ -113,8 +116,8 @@ impl<'g> Evaluator<'g> {
                         .iter()
                         .map(|instr| match instr {
                             Instr::Eval(target) => CInstr::Eval {
-                                rule: *rule_map
-                                    .get(target)
+                                rule: cp
+                                    .rule_index(*target)
                                     .expect("validated grammar defines every output"),
                                 target: *target,
                             },
@@ -135,8 +138,20 @@ impl<'g> Evaluator<'g> {
         Evaluator {
             grammar,
             seqs,
+            program,
             compiled,
         }
+    }
+
+    /// The slot-compiled rule programs driving this evaluator, shared with
+    /// the other members of the cascade.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The grammar this evaluator decorates trees of.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
     }
 
     /// Evaluates every attribute instance of `tree`, whose root must derive
@@ -172,7 +187,7 @@ impl<'g> Evaluator<'g> {
         rec: &mut R,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
         let mut values = AttrValues::new(self.grammar, tree);
-        let mut locals = HashMap::new();
+        let mut locals = LocalFrames::new(self.grammar, tree);
         let mut counters = Counters::new();
         let root = tree.root();
         let root_ph = self.grammar.production(tree.node(root).production()).lhs();
@@ -205,7 +220,160 @@ impl<'g> Evaluator<'g> {
         Ok((values, EvalStats::from_counters(&counters)))
     }
 
-    /// Evaluates one rule with a reusable argument buffer — the hot path.
+    /// Performs visit `visit` of `node` under `partition`, iteratively
+    /// (an explicit frame stack: generated evaluators must digest trees of
+    /// arbitrary depth — list-like programs produce very deep spines).
+    #[allow(clippy::too_many_arguments)]
+    fn run_visit<R: Recorder>(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        partition: usize,
+        visit: usize,
+        values: &mut AttrValues,
+        locals: &mut LocalFrames,
+        counters: &mut Counters,
+        buf: &mut Vec<Value>,
+        rec: &mut R,
+    ) -> Result<(), EvalError> {
+        struct Frame {
+            node: NodeId,
+            partition: usize,
+            visit: usize,
+            at: usize,
+        }
+        let mut stack = vec![Frame {
+            node,
+            partition,
+            visit,
+            at: 0,
+        }];
+        counters.add(Key::EvalVisits, 1);
+        if rec.trace() {
+            rec.emit(Event::VisitEnter {
+                node: node.index() as u32,
+                production: tree.node(node).production().index() as u32,
+                visit: visit as u16,
+            });
+        }
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.node;
+            let p = tree.node(node).production();
+            let segment: &[CInstr] = &self.compiled[p.index()][frame.partition][frame.visit - 1];
+            if frame.at == segment.len() {
+                if rec.trace() {
+                    rec.emit(Event::VisitLeave {
+                        node: node.index() as u32,
+                        production: p.index() as u32,
+                        visit: frame.visit as u16,
+                    });
+                }
+                stack.pop();
+                continue;
+            }
+            let instr = &segment[frame.at];
+            frame.at += 1;
+            match instr {
+                CInstr::Eval { rule, target: _ } => {
+                    let rule_ix = *rule;
+                    let cr = &self.program.production(p).rules[rule_ix as usize];
+                    let (value, is_copy) = self.program.exec_rule(
+                        self.grammar,
+                        tree,
+                        p,
+                        cr,
+                        node,
+                        values,
+                        locals,
+                        buf,
+                        counters,
+                    )?;
+                    counters.add(Key::EvalEvals, 1);
+                    if is_copy {
+                        counters.add(Key::EvalCopies, 1);
+                    }
+                    if rec.trace() {
+                        rec.emit(Event::RuleFired {
+                            node: node.index() as u32,
+                            production: p.index() as u32,
+                            rule: rule_ix,
+                        });
+                    }
+                    cr.slot.store(tree, node, values, locals, value);
+                }
+                CInstr::Visit {
+                    child,
+                    visit: w,
+                    partition: cpart,
+                } => {
+                    let c = tree.node(node).children()[*child as usize - 1];
+                    counters.add(Key::EvalVisits, 1);
+                    if rec.trace() {
+                        rec.emit(Event::VisitEnter {
+                            node: c.index() as u32,
+                            production: tree.node(c).production().index() as u32,
+                            visit: *w,
+                        });
+                    }
+                    stack.push(Frame {
+                        node: c,
+                        partition: *cpart as usize,
+                        visit: *w as usize,
+                        at: 0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates `tree` with the *pre-slot-compilation* interpretation
+    /// strategy: per-fetch occurrence resolution over [`fnc2_ag::Arg`],
+    /// per-execution constant clones, and a `(NodeId, LocalId)` hash map
+    /// for production locals. Kept as the "before" leg of the hot-path
+    /// benchmark (`table_throughput`) and as an in-binary differential
+    /// check against the compiled path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`].
+    pub fn evaluate_reference(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        let mut values = AttrValues::new(self.grammar, tree);
+        let mut locals: HashMap<(NodeId, LocalId), Value> = HashMap::new();
+        let mut counters = Counters::new();
+        let root = tree.root();
+        let root_ph = self.grammar.production(tree.node(root).production()).lhs();
+        for attr in self.grammar.inherited(root_ph) {
+            let v = inputs
+                .get(&attr)
+                .ok_or_else(|| EvalError::MissingRootInput {
+                    what: self.grammar.attr(attr).name().to_string(),
+                })?;
+            values.set(self.grammar, root, attr, v.clone());
+        }
+        let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
+        let mut buf = Vec::with_capacity(8);
+        for v in 1..=visits {
+            self.run_visit_reference(
+                tree,
+                root,
+                0,
+                v,
+                &mut values,
+                &mut locals,
+                &mut counters,
+                &mut buf,
+            )?;
+        }
+        Ok((values, EvalStats::from_counters(&counters)))
+    }
+
+    /// Evaluates one rule the pre-compilation way: resolve each `Arg` on
+    /// the fly, clone constants, hash production locals.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     fn eval_with_buf(
@@ -280,11 +448,10 @@ impl<'g> Evaluator<'g> {
         }
     }
 
-    /// Performs visit `visit` of `node` under `partition`, iteratively
-    /// (an explicit frame stack: generated evaluators must digest trees of
-    /// arbitrary depth — list-like programs produce very deep spines).
+    /// [`run_visit`](Self::run_visit) with the pre-compilation fetch
+    /// strategy (see [`evaluate_reference`](Self::evaluate_reference)).
     #[allow(clippy::too_many_arguments)]
-    fn run_visit<R: Recorder>(
+    fn run_visit_reference(
         &self,
         tree: &Tree,
         node: NodeId,
@@ -294,7 +461,6 @@ impl<'g> Evaluator<'g> {
         locals: &mut HashMap<(NodeId, LocalId), Value>,
         counters: &mut Counters,
         buf: &mut Vec<Value>,
-        rec: &mut R,
     ) -> Result<(), EvalError> {
         struct Frame {
             node: NodeId,
@@ -309,25 +475,11 @@ impl<'g> Evaluator<'g> {
             at: 0,
         }];
         counters.add(Key::EvalVisits, 1);
-        if rec.trace() {
-            rec.emit(Event::VisitEnter {
-                node: node.index() as u32,
-                production: tree.node(node).production().index() as u32,
-                visit: visit as u16,
-            });
-        }
         while let Some(frame) = stack.last_mut() {
             let node = frame.node;
             let p = tree.node(node).production();
             let segment: &[CInstr] = &self.compiled[p.index()][frame.partition][frame.visit - 1];
             if frame.at == segment.len() {
-                if rec.trace() {
-                    rec.emit(Event::VisitLeave {
-                        node: node.index() as u32,
-                        production: p.index() as u32,
-                        visit: frame.visit as u16,
-                    });
-                }
                 stack.pop();
                 continue;
             }
@@ -335,21 +487,12 @@ impl<'g> Evaluator<'g> {
             frame.at += 1;
             match instr {
                 CInstr::Eval { rule, target } => {
-                    let prod = self.grammar.production(p);
-                    let rule_ix = *rule;
-                    let rule = &prod.rules()[rule_ix as usize];
+                    let rule = &self.grammar.production(p).rules()[*rule as usize];
                     let (value, is_copy) =
                         self.eval_with_buf(tree, rule, node, values, locals, buf)?;
                     counters.add(Key::EvalEvals, 1);
                     if is_copy {
                         counters.add(Key::EvalCopies, 1);
-                    }
-                    if rec.trace() {
-                        rec.emit(Event::RuleFired {
-                            node: node.index() as u32,
-                            production: p.index() as u32,
-                            rule: rule_ix,
-                        });
                     }
                     match target {
                         ONode::Attr(Occ { pos, attr }) => {
@@ -372,13 +515,6 @@ impl<'g> Evaluator<'g> {
                 } => {
                     let c = tree.node(node).children()[*child as usize - 1];
                     counters.add(Key::EvalVisits, 1);
-                    if rec.trace() {
-                        rec.emit(Event::VisitEnter {
-                            node: c.index() as u32,
-                            production: tree.node(c).production().index() as u32,
-                            visit: *w,
-                        });
-                    }
                     stack.push(Frame {
                         node: c,
                         partition: *cpart as usize,
@@ -396,6 +532,7 @@ impl<'g> Evaluator<'g> {
 mod tests {
     use fnc2_ag::{Grammar, GrammarBuilder, TreeBuilder};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_obs::Obs;
 
     use crate::seq::build_visit_seqs;
 
@@ -545,5 +682,40 @@ mod tests {
         inputs.insert(base, Value::Int(9));
         let (values, _) = ev.evaluate(&tree, &inputs).unwrap();
         assert_eq!(values.get(&g, tree.root(), out), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn reference_and_compiled_paths_agree() {
+        let g = binary();
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let tree = bits_tree(&g, "1011011101");
+        let (fast, fast_stats) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        let (slow, slow_stats) = ev.evaluate_reference(&tree, &RootInputs::new()).unwrap();
+        assert_eq!(fast_stats, slow_stats);
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(&g, n);
+            for &a in g.phylum(ph).attrs() {
+                assert_eq!(fast.get(&g, n, a), slow.get(&g, n, a), "{n} {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_fetches_hit_the_interned_pool() {
+        let g = binary();
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let tree = bits_tree(&g, "1001");
+        let mut obs = Obs::new();
+        ev.evaluate_recorded(&tree, &RootInputs::new(), &mut obs)
+            .unwrap();
+        // "1001": one `number` const-scale, one `single` const-length, and
+        // two `zero` const bit values — four interned-constant fetches.
+        assert_eq!(obs.metrics.counter("eval.const_hits"), 4);
     }
 }

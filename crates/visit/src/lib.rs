@@ -46,10 +46,12 @@
 
 mod dynamic;
 mod exhaustive;
+mod program;
 mod rules;
 mod seq;
 
 pub use dynamic::DynamicEvaluator;
 pub use exhaustive::{EvalStats, Evaluator, RootInputs};
+pub use program::{CBody, CompiledProduction, CompiledProgram, CompiledRule, FetchOp, SlotRef};
 pub use rules::{eval_rule, eval_rule_resolved, EvalError, Store};
 pub use seq::{build_visit_seqs, Instr, VisitSeq, VisitSeqs};

@@ -1,0 +1,373 @@
+//! Slot-compiled rule programs — the shared "compiled hot path" of the
+//! evaluator cascade.
+//!
+//! The generated evaluators of FNC-2 are ordinary compiled code: an
+//! attribute access in the C back-end is a struct-field load, not a lookup
+//! keyed by attribute name (paper §3.2). This module brings the
+//! reproduction to the same shape. At evaluator-construction time every
+//! semantic rule of every production is compiled once into a
+//! [`CompiledRule`]: each argument becomes a [`FetchOp`] with its storage
+//! location fully resolved — constants interned into a shared pool, node
+//! attributes reduced to `(child position, slot offset)` pairs addressing
+//! the flat [`AttrValues`] arena, production locals reduced to frame slots
+//! in [`LocalFrames`](fnc2_ag::LocalFrames). The exhaustive, space-optimized
+//! and incremental evaluators all execute these programs, so none of them
+//! pays per-evaluation rule lookups, occurrence resolution, or constant
+//! deep-clones.
+
+use std::collections::HashMap;
+
+use fnc2_ag::{
+    Arg, AttrId, AttrValues, FuncId, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ,
+    ProductionId, RuleBody, Tree, Value,
+};
+use fnc2_obs::{Counters, Key};
+
+use crate::rules::EvalError;
+
+/// A pre-resolved argument fetch: where one rule argument comes from, with
+/// every lookup done at compile time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FetchOp {
+    /// An interned constant — an index into [`CompiledProgram::consts`].
+    Const(u32),
+    /// The lexical token attached to the node the rule applies at.
+    Token,
+    /// An attribute occurrence: `child == 0` reads the node itself,
+    /// `child == i` reads child `i` (1-based); `off` is the attribute's
+    /// pre-computed slot offset within its phylum block.
+    Attr {
+        /// Position in the production: 0 = the node itself, 1-based = child.
+        child: u16,
+        /// The attribute read (kept for diagnostics).
+        attr: AttrId,
+        /// Slot offset of `attr` within its phylum's attribute block.
+        off: u32,
+    },
+    /// A production-local attribute of the node's frame.
+    Local(LocalId),
+}
+
+/// A pre-resolved store target: where a rule's result goes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SlotRef {
+    /// An attribute occurrence slot (same addressing as [`FetchOp::Attr`]).
+    Attr {
+        /// Position in the production: 0 = the node itself, 1-based = child.
+        child: u16,
+        /// The attribute written (kept for diagnostics).
+        attr: AttrId,
+        /// Slot offset within the phylum's attribute block.
+        off: u32,
+    },
+    /// A production-local slot in the node's frame.
+    Local(LocalId),
+}
+
+impl SlotRef {
+    /// Stores `value` into this slot for a rule applied at `node`.
+    #[inline]
+    pub fn store(
+        &self,
+        tree: &Tree,
+        node: NodeId,
+        values: &mut AttrValues,
+        locals: &mut LocalFrames,
+        value: Value,
+    ) {
+        match *self {
+            SlotRef::Attr { child, off, .. } => {
+                let at = if child == 0 {
+                    node
+                } else {
+                    tree.node(node).children()[child as usize - 1]
+                };
+                values.set_slot(at, off as usize, value);
+            }
+            SlotRef::Local(l) => {
+                locals.set(node, l, value);
+            }
+        }
+    }
+}
+
+/// The compiled body of a semantic rule.
+#[derive(Clone, Debug)]
+pub enum CBody {
+    /// Transfer one fetched value unchanged.
+    Copy(FetchOp),
+    /// Apply a semantic function to fetched arguments.
+    Call {
+        /// The semantic function to apply.
+        func: FuncId,
+        /// Pre-resolved argument fetches, in call order.
+        args: Vec<FetchOp>,
+    },
+}
+
+/// One semantic rule, compiled: its target slot and pre-resolved body.
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    /// The occurrence or local the rule defines (kept for diagnostics and
+    /// dependency queries).
+    pub target: ONode,
+    /// The pre-resolved store target.
+    pub slot: SlotRef,
+    /// The pre-resolved body.
+    pub body: CBody,
+    /// Whether the rule is an occurrence-to-occurrence copy rule (for the
+    /// copy statistics, paper §2.2's dominant rule form).
+    pub is_copy: bool,
+}
+
+/// The compiled rules of one production, indexed like
+/// [`Production::rules`](fnc2_ag::Production::rules).
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProduction {
+    /// Compiled rules, parallel to the production's declared rule order.
+    pub rules: Vec<CompiledRule>,
+    rule_of: HashMap<ONode, u32>,
+}
+
+impl CompiledProduction {
+    /// The index of the rule defining `target`, replacing the linear
+    /// [`Grammar::rule_for`] scan on the hot path.
+    #[inline]
+    pub fn rule_index(&self, target: ONode) -> Option<u32> {
+        self.rule_of.get(&target).copied()
+    }
+}
+
+/// All productions of a grammar, slot-compiled, plus the shared constant
+/// pool. Build once per evaluator with [`CompiledProgram::new`]; execution
+/// is read-only, so one program serves any number of concurrent workers.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    prods: Vec<CompiledProduction>,
+    consts: Vec<Value>,
+}
+
+fn intern(consts: &mut Vec<Value>, v: &Value) -> u32 {
+    match consts.iter().position(|c| c == v) {
+        Some(i) => i as u32,
+        None => {
+            consts.push(v.clone());
+            (consts.len() - 1) as u32
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Compiles every semantic rule of `grammar`.
+    pub fn new(grammar: &Grammar) -> Self {
+        let mut consts = Vec::new();
+        let compile_fetch = |consts: &mut Vec<Value>, arg: &Arg| match arg {
+            Arg::Const(v) => FetchOp::Const(intern(consts, v)),
+            Arg::Token => FetchOp::Token,
+            Arg::Node(ONode::Attr(Occ { pos, attr })) => FetchOp::Attr {
+                child: *pos,
+                attr: *attr,
+                off: grammar.attr(*attr).offset() as u32,
+            },
+            Arg::Node(ONode::Local(l)) => FetchOp::Local(*l),
+        };
+        let mut prods = Vec::with_capacity(grammar.production_count());
+        for pid in grammar.productions() {
+            let p = grammar.production(pid);
+            let mut cp = CompiledProduction::default();
+            for (i, rule) in p.rules().iter().enumerate() {
+                let target = rule.target();
+                let slot = match target {
+                    ONode::Attr(Occ { pos, attr }) => SlotRef::Attr {
+                        child: pos,
+                        attr,
+                        off: grammar.attr(attr).offset() as u32,
+                    },
+                    ONode::Local(l) => SlotRef::Local(l),
+                };
+                let body = match rule.body() {
+                    RuleBody::Copy(arg) => CBody::Copy(compile_fetch(&mut consts, arg)),
+                    RuleBody::Call { func, args } => CBody::Call {
+                        func: *func,
+                        args: args.iter().map(|a| compile_fetch(&mut consts, a)).collect(),
+                    },
+                };
+                cp.rule_of.insert(target, i as u32);
+                cp.rules.push(CompiledRule {
+                    target,
+                    slot,
+                    body,
+                    is_copy: rule.is_copy(),
+                });
+            }
+            prods.push(cp);
+        }
+        CompiledProgram { prods, consts }
+    }
+
+    /// The compiled rules of `production`.
+    #[inline]
+    pub fn production(&self, production: ProductionId) -> &CompiledProduction {
+        &self.prods[production.index()]
+    }
+
+    /// The interned constant pool shared by all rules.
+    pub fn consts(&self) -> &[Value] {
+        &self.consts
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn fetch(
+        &self,
+        grammar: &Grammar,
+        tree: &Tree,
+        p: ProductionId,
+        node: NodeId,
+        op: &FetchOp,
+        values: &AttrValues,
+        locals: &LocalFrames,
+        counters: &mut Counters,
+    ) -> Result<Value, EvalError> {
+        match op {
+            FetchOp::Const(i) => {
+                counters.add(Key::EvalConstHits, 1);
+                Ok(self.consts[*i as usize].clone())
+            }
+            FetchOp::Token => {
+                tree.node(node)
+                    .token()
+                    .cloned()
+                    .ok_or_else(|| EvalError::MissingToken {
+                        node,
+                        production: grammar.production(p).name().to_string(),
+                    })
+            }
+            FetchOp::Attr { child, attr, off } => {
+                let at = if *child == 0 {
+                    node
+                } else {
+                    tree.node(node).children()[*child as usize - 1]
+                };
+                values
+                    .get_slot(at, *off as usize)
+                    .cloned()
+                    .ok_or_else(|| EvalError::MissingValue {
+                        node: at,
+                        what: grammar.attr(*attr).name().to_string(),
+                    })
+            }
+            FetchOp::Local(l) => {
+                locals
+                    .get(node, *l)
+                    .cloned()
+                    .ok_or_else(|| EvalError::MissingValue {
+                        node,
+                        what: grammar.production(p).locals()[l.index()].name().to_string(),
+                    })
+            }
+        }
+    }
+
+    /// Executes rule `rule` of production `p` applied at `node`, reading
+    /// attribute slots from `values` and locals from `locals`. Returns the
+    /// computed value and whether the rule was a copy rule. `buf` is a
+    /// reusable argument buffer; `counters` accumulates
+    /// [`Key::EvalConstHits`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when an argument is unavailable, a token is missing, or a
+    /// semantic function aborts — same contract as
+    /// [`eval_rule`](crate::rules::eval_rule).
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval_rule(
+        &self,
+        grammar: &Grammar,
+        tree: &Tree,
+        p: ProductionId,
+        rule: u32,
+        node: NodeId,
+        values: &AttrValues,
+        locals: &LocalFrames,
+        buf: &mut Vec<Value>,
+        counters: &mut Counters,
+    ) -> Result<(Value, bool), EvalError> {
+        let cr = &self.prods[p.index()].rules[rule as usize];
+        self.exec_rule(grammar, tree, p, cr, node, values, locals, buf, counters)
+    }
+
+    /// [`eval_rule`](Self::eval_rule) with the [`CompiledRule`] already in
+    /// hand — the inner interpreter loops look the rule up once and reuse
+    /// it for both execution and the slot store, so this is forced inline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`eval_rule`](Self::eval_rule).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn exec_rule(
+        &self,
+        grammar: &Grammar,
+        tree: &Tree,
+        p: ProductionId,
+        cr: &CompiledRule,
+        node: NodeId,
+        values: &AttrValues,
+        locals: &LocalFrames,
+        buf: &mut Vec<Value>,
+        counters: &mut Counters,
+    ) -> Result<(Value, bool), EvalError> {
+        match &cr.body {
+            CBody::Copy(op) => Ok((
+                self.fetch(grammar, tree, p, node, op, values, locals, counters)?,
+                cr.is_copy,
+            )),
+            CBody::Call { func, args } => {
+                buf.clear();
+                for op in args {
+                    buf.push(self.fetch(grammar, tree, p, node, op, values, locals, counters)?);
+                }
+                let v =
+                    grammar
+                        .function(*func)
+                        .apply(buf)
+                        .map_err(|e| EvalError::SemanticFailure {
+                            node,
+                            message: e.message,
+                        })?;
+                Ok((v, false))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::GrammarBuilder;
+
+    use super::*;
+
+    #[test]
+    fn constants_are_interned_once() {
+        // Two productions both using the constant 0 share one pool slot.
+        let mut g = GrammarBuilder::new("t");
+        let s = g.phylum("S");
+        let a = g.phylum("A");
+        let out = g.syn(s, "out");
+        let w = g.syn(a, "w");
+        let root = g.production("root", s, &[a]);
+        g.constant(root, Occ::lhs(out), Value::Int(0));
+        let leaf = g.production("leaf", a, &[]);
+        g.constant(leaf, Occ::lhs(w), Value::Int(0));
+        let g = g.finish().unwrap();
+
+        let prog = CompiledProgram::new(&g);
+        assert_eq!(prog.consts(), &[Value::Int(0)]);
+        let root_p = g.production_by_name("root").unwrap();
+        assert_eq!(
+            prog.production(root_p).rule_index(Occ::lhs(out).into()),
+            Some(0)
+        );
+    }
+}

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .clone();
     println!(
         "desugared tree: {}",
-        Value::Term(std::rc::Rc::new(term.clone()))
+        Value::Term(std::sync::Arc::new(term.clone()))
     );
 
     // Feed it to phase 2 as an input tree.

@@ -217,6 +217,72 @@ fn generated_grammars_with_edit_scripts_agree() {
 }
 
 // ---------------------------------------------------------------------------
+// Work-stealing batch driver vs. the sequential exhaustive evaluator, over
+// fuzz-generated grammars at 1, 2, 4 and 8 threads
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batch_driver_is_deterministic_across_thread_counts() {
+    use fnc2::analysis::{classify, Inclusion};
+    use fnc2::fuzz::{build_tree, gen::build_grammar, CaseParams};
+    use fnc2::visit::{build_visit_seqs, Evaluator};
+
+    for case in 0..6 {
+        let params = CaseParams::for_case(0xba7c4, case);
+        let gg = build_grammar(&params);
+        let g = &gg.grammar;
+        let cls = classify(g, 2, Inclusion::Long).expect("generated grammar transforms");
+        let lo = cls.l_ordered.as_ref().expect("generated grammar is SNC");
+        let seqs = build_visit_seqs(g, lo);
+        let ev = Evaluator::new(g, &seqs);
+
+        // A batch of distinct trees of the same grammar.
+        let trees: Vec<Tree> = (0..23)
+            .map(|t| {
+                let tp = CaseParams {
+                    seed: params
+                        .seed
+                        .wrapping_add(u64::wrapping_mul(t, 0x9e37_79b9_7f4a_7c15)),
+                    ..params
+                };
+                build_tree(&gg, &tp)
+            })
+            .collect();
+        let inputs = RootInputs::new();
+
+        // Sequential reference: evaluate() in a plain loop.
+        let reference: Vec<_> = trees
+            .iter()
+            .map(|t| ev.evaluate(t, &inputs).expect("sequential evaluation"))
+            .collect();
+
+        for threads in [1usize, 2, 4, 8] {
+            let (results, stats) = fnc2::par::batch_evaluate(&ev, &trees, &inputs, threads);
+            assert_eq!(stats.trees, trees.len() as u64, "case {case}");
+            for (i, r) in results.iter().enumerate() {
+                let (vals, estats) = r.as_ref().expect("batch evaluation");
+                let (ref_vals, ref_stats) = &reference[i];
+                assert_eq!(
+                    estats, ref_stats,
+                    "case {case} tree {i} at {threads} threads: stats diverge"
+                );
+                for (n, _) in trees[i].preorder() {
+                    let ph = trees[i].phylum(g, n);
+                    for &attr in g.phylum(ph).attrs() {
+                        assert_eq!(
+                            vals.get(g, n, attr),
+                            ref_vals.get(g, n, attr),
+                            "case {case} tree {i} at {threads} threads: node {n:?} attr {} diverges",
+                            g.attr(attr).name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Incremental vs. from-scratch under random edit sequences
 // ---------------------------------------------------------------------------
 
