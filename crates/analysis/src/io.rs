@@ -118,9 +118,8 @@ pub fn snc_test_recorded<R: Recorder>(grammar: &Grammar, rec: &mut R) -> SncResu
         |pi| {
             let p = ProductionId::from_raw(pi as u32);
             let pasted = pasted_with_io(grammar, &ix, p, &io, None);
-            let closed = pasted.closure();
             let lhs = grammar.production(p).lhs();
-            let proj = pasted.project(grammar, &ix, &closed, 0, |i, j| {
+            let proj = pasted.project_reach(grammar, &ix, 0, |i, j| {
                 grammar.attr(ix.attr_at(lhs, i)).kind() == AttrKind::Inherited
                     && grammar.attr(ix.attr_at(lhs, j)).kind() == AttrKind::Synthesized
             });
@@ -133,10 +132,10 @@ pub fn snc_test_recorded<R: Recorder>(grammar: &Grammar, rec: &mut R) -> SncResu
     let mut witness = None;
     for p in grammar.productions() {
         let pasted = pasted_with_io(grammar, &ix, p, &io, None);
-        if !pasted.closure().is_irreflexive() {
+        if let Some(cycle) = pasted.find_cycle() {
             witness = Some(CircWitness {
                 production: p,
-                cycle: pasted.find_cycle().expect("cyclic graph has a cycle"),
+                cycle,
             });
             break;
         }
@@ -220,19 +219,27 @@ pub fn dnc_test_recorded<R: Recorder>(
         |pi| {
             let p = ProductionId::from_raw(pi as u32);
             let prod = grammar.production(p);
-            let arity = prod.arity() as u16;
+            // Paste everything once — D(p), the LHS context (OI), and every
+            // child's IO — then give each child its context view by
+            // *traversing around* its own IO instead of rebuilding the
+            // graph per position. Positions with identical signatures share
+            // one projection.
+            let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, None);
+            pasted.paste(grammar, &ix, 0, oi.get(prod.lhs()));
             let mut changed = false;
-            for pos in 1..=arity {
-                // Context of the child at `pos`: everything except its own
-                // subtree — D(p), the LHS context (OI), and the siblings' IO.
-                let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, Some(pos));
-                pasted.paste(grammar, &ix, 0, oi.get(prod.lhs()));
-                let closed = pasted.closure();
+            for group in pasted.rhs_position_groups(grammar, &ix) {
+                let pos = group[0];
                 let ph = prod.phylum_at(pos);
-                let proj = pasted.project(grammar, &ix, &closed, pos, |i, j| {
-                    grammar.attr(ix.attr_at(ph, i)).kind() == AttrKind::Synthesized
-                        && grammar.attr(ix.attr_at(ph, j)).kind() == AttrKind::Inherited
-                });
+                let proj = pasted.project_reach_excluding(
+                    grammar,
+                    &ix,
+                    pos,
+                    Some(snc.io.get(ph)),
+                    |i, j| {
+                        grammar.attr(ix.attr_at(ph, i)).kind() == AttrKind::Synthesized
+                            && grammar.attr(ix.attr_at(ph, j)).kind() == AttrKind::Inherited
+                    },
+                );
                 changed |= oi.absorb(ph, &proj);
             }
             changed
@@ -245,10 +252,10 @@ pub fn dnc_test_recorded<R: Recorder>(
     for p in grammar.productions() {
         let mut pasted = pasted_with_io(grammar, &ix, p, &snc.io, None);
         pasted.paste(grammar, &ix, 0, oi.get(grammar.production(p).lhs()));
-        if !pasted.closure().is_irreflexive() {
+        if let Some(cycle) = pasted.find_cycle() {
             witness = Some(CircWitness {
                 production: p,
-                cycle: pasted.find_cycle().expect("cyclic graph has a cycle"),
+                cycle,
             });
             break;
         }

@@ -166,10 +166,12 @@ fn induced_dependencies<R: Recorder>(
             for pos in 0..=prod.arity() as u16 {
                 pasted.paste(grammar, ix, pos, ds.get(prod.phylum_at(pos)));
             }
-            let closed = pasted.closure();
             let mut changed = false;
-            for pos in 0..=prod.arity() as u16 {
-                let proj = pasted.project(grammar, ix, &closed, pos, |_, _| true);
+            let proj = pasted.project_reach(grammar, ix, 0, |_, _| true);
+            changed |= ds.absorb(prod.lhs(), &proj);
+            for group in pasted.rhs_position_groups(grammar, ix) {
+                let pos = group[0];
+                let proj = pasted.project_reach(grammar, ix, pos, |_, _| true);
                 changed |= ds.absorb(prod.phylum_at(pos), &proj);
             }
             changed

@@ -3,6 +3,9 @@
 //! OI-graphs, induced dependencies, or partition orders) attached to chosen
 //! occurrence positions.
 
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
 use fnc2_ag::{DepGraph, Grammar, ONode, Occ, ProductionId};
 use fnc2_gfa::{BitMatrix, Digraph};
 
@@ -98,6 +101,158 @@ impl Pasted {
             }
         }
         out
+    }
+
+    /// Like [`project`](Self::project), but computed by breadth-first
+    /// search from the `k` occurrence nodes of `pos` instead of from a
+    /// dense all-pairs closure: `O(k · (V + E))` where the closure costs
+    /// `O(V³/64)`. The two agree because `closure().get(u, v)` for `u ≠ v`
+    /// is exactly "v reachable from u by a non-empty path".
+    pub fn project_reach(
+        &self,
+        grammar: &Grammar,
+        ix: &AttrIndex,
+        pos: u16,
+        keep: impl FnMut(usize, usize) -> bool,
+    ) -> BitMatrix {
+        self.project_reach_excluding(grammar, ix, pos, None, keep)
+    }
+
+    /// [`project_reach`](Self::project_reach) over the combined graph
+    /// *minus* the relation `excluded` pasted at `pos` itself: traversal
+    /// skips an edge between two `pos` occurrences if `excluded` relates
+    /// them — unless `D(p)` contributes the same edge, which stays (the
+    /// digraph dedups edges, so a pasted pair and a real local dependency
+    /// can share one edge). This reproduces "paste everywhere except at
+    /// `pos`" without rebuilding the graph per position, which is what the
+    /// DNC test needs for each child's context.
+    pub fn project_reach_excluding(
+        &self,
+        grammar: &Grammar,
+        ix: &AttrIndex,
+        pos: u16,
+        excluded: Option<&BitMatrix>,
+        mut keep: impl FnMut(usize, usize) -> bool,
+    ) -> BitMatrix {
+        let p = self.dep.production();
+        let ph = grammar.production(p).phylum_at(pos);
+        let k = ix.len(ph);
+        let node_of = |i: usize| {
+            self.dep
+                .index_of(ONode::Attr(Occ::new(pos, ix.attr_at(ph, i))))
+                .expect("occurrence exists")
+        };
+        let mut skip: HashSet<(usize, usize)> = HashSet::new();
+        if let Some(rel) = excluded {
+            debug_assert_eq!(rel.len(), k, "relation sized for phylum");
+            for (i, j) in rel.pairs() {
+                let (u, v) = (node_of(i), node_of(j));
+                if !self.dep.succs(u).contains(&v) {
+                    skip.insert((u, v));
+                }
+            }
+        }
+        let mut out = BitMatrix::new(k);
+        let mut seen = vec![false; self.dep.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for i in 0..k {
+            let start = node_of(i);
+            seen.iter_mut().for_each(|s| *s = false);
+            queue.clear();
+            // The start node is not marked reached: closure semantics give
+            // `(u, u)` only via a real cycle, and projections skip `i == j`
+            // anyway.
+            seen[start] = true;
+            queue.push(start);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in self.graph.succs(u) {
+                    if !seen[v] && !skip.contains(&(u, v)) {
+                        seen[v] = true;
+                        queue.push(v);
+                    }
+                }
+            }
+            for j in 0..k {
+                if i != j && seen[node_of(j)] && keep(i, j) {
+                    out.set(i, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Groups the RHS positions `1..=arity` into classes whose projections
+    /// are guaranteed identical, so a class-test fixpoint only projects one
+    /// representative per class. Two positions land in the same class when
+    /// they hold the same phylum and their occurrence nodes have identical
+    /// edge *signatures*: every neighbor is encoded as either
+    /// `(local attribute index)` when it belongs to the position itself or
+    /// `(absolute node id)` otherwise. Equal signatures make the map that
+    /// swaps the two positions' nodes (by local index) and fixes all other
+    /// nodes a graph automorphism — equality rules out edges between the
+    /// two positions, since such an edge would encode as an absolute id on
+    /// one side with no counterpart on the other — and an automorphism
+    /// fixing a `keep` predicate preserves reachability projections. A
+    /// production with thousands of interchangeable children (a wide list)
+    /// collapses to a handful of classes.
+    pub fn rhs_position_groups(&self, grammar: &Grammar, ix: &AttrIndex) -> Vec<Vec<u16>> {
+        let p = self.dep.production();
+        let prod = grammar.production(p);
+        let arity = prod.arity() as u16;
+        let n = self.dep.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, v) in self.graph.edges() {
+            preds[v].push(u);
+        }
+        // node -> its position, for "own node" testing during encoding.
+        let pos_of: Vec<Option<u16>> = (0..n)
+            .map(|u| self.dep.node(u).occ().map(|o| o.pos))
+            .collect();
+        let mut groups: HashMap<Vec<u64>, Vec<u16>> = HashMap::new();
+        let mut order: Vec<Vec<u64>> = Vec::new();
+        for pos in 1..=arity {
+            let ph = prod.phylum_at(pos);
+            let k = ix.len(ph);
+            // Signature: phylum, then per local attribute the sorted
+            // encodings of successor and predecessor neighbors, with
+            // sentinels separating the sections. Own-position neighbors
+            // encode as `2 * local`, everything else as `2 * node + 1`.
+            let mut sig: Vec<u64> = vec![ph.index() as u64];
+            let encode = |w: usize| -> u64 {
+                if pos_of[w] == Some(pos) {
+                    let a = self.dep.node(w).occ().expect("own node is an occurrence");
+                    2 * ix.local(grammar, a.attr) as u64
+                } else {
+                    2 * w as u64 + 1
+                }
+            };
+            for i in 0..k {
+                let u = self
+                    .dep
+                    .index_of(ONode::Attr(Occ::new(pos, ix.attr_at(ph, i))))
+                    .expect("occurrence exists");
+                for list in [self.graph.succs(u), &preds[u]] {
+                    let mut enc: Vec<u64> = list.iter().map(|&w| encode(w)).collect();
+                    enc.sort_unstable();
+                    sig.push(u64::MAX);
+                    sig.extend(enc);
+                }
+            }
+            match groups.entry(sig) {
+                Entry::Occupied(mut e) => e.get_mut().push(pos),
+                Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![pos]);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|sig| groups.remove(&sig).expect("group recorded"))
+            .collect()
     }
 
     /// Finds a dependency cycle in the combined graph, as occurrence nodes.

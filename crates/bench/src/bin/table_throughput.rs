@@ -7,8 +7,11 @@
 //!   pre-resolved fetch descriptors, interned constants) against the
 //!   retained reference interpretation (`Evaluator::evaluate_reference`:
 //!   per-fetch `Arg` matching, hash-map local frames, constant clones) on
-//!   the same evaluator instance. Both legs are checked value-equal before
-//!   timing — the speedup is never bought with a divergence.
+//!   the same evaluator instance, plus a **guarded** leg
+//!   (`evaluate_guarded` with the default `EvalBudget`) whose overhead
+//!   column is the price of the fnc2-guard budget meter on the hot path.
+//!   All legs are checked value-equal before timing — the speedup is
+//!   never bought with a divergence.
 //! * **throughput** — trees/sec over a batch of synthetic-corpus trees at
 //!   1, 2, 4 and 8 worker threads sharing one `&Evaluator`, plus the steal
 //!   counts the pool reports through `fnc2-obs`.
@@ -19,29 +22,46 @@
 
 use std::time::{Duration, Instant};
 
+use fnc2::guard::EvalBudget;
 use fnc2::visit::{Evaluator, RootInputs};
 use fnc2::Pipeline;
 use fnc2_bench::{maybe_emit_json, render_table};
 use fnc2_corpus::{synthetic, synthetic_tree, TABLE1_PROFILES};
 use fnc2_par::batch_evaluate;
 
+/// Median of `n` individually-timed runs (after 3 warmups). A median, not
+/// a mean: per-run times in the tens of microseconds are easily wrecked by
+/// a single scheduler preemption, which a mean would smear over every leg.
 fn time_n<F: FnMut()>(n: usize, mut f: F) -> Duration {
     for _ in 0..3 {
         f();
     }
-    let t0 = Instant::now();
-    for _ in 0..n {
-        f();
-    }
-    t0.elapsed() / n as u32
+    let mut times: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
 }
 
 fn main() {
     // ---- Part 1: slot-compiled vs. reference interpretation. -----------
     println!("Hot path: slot-compiled vs. reference interpretation (per-run times)\n");
-    let hot_headers = ["AG", "nodes", "reference", "compiled", "speedup"];
+    let hot_headers = [
+        "AG",
+        "nodes",
+        "reference",
+        "compiled",
+        "speedup",
+        "guarded",
+        "overhead",
+    ];
     let mut hot_rows = Vec::new();
     let reps = 20;
+    let budget = EvalBudget::default();
     for profile in &TABLE1_PROFILES {
         let g = synthetic(profile);
         let compiled = Pipeline::new()
@@ -56,6 +76,9 @@ fn main() {
         let (slow, _) = ev
             .evaluate_reference(&tree, &inputs)
             .expect("reference leg");
+        let (metered, _) = ev
+            .evaluate_guarded(&tree, &inputs, &budget, None)
+            .expect("guarded leg");
         for (n, _) in tree.preorder() {
             let ph = tree.phylum(&compiled.grammar, n);
             for &attr in compiled.grammar.phylum(ph).attrs() {
@@ -63,6 +86,12 @@ fn main() {
                     fast.get(&compiled.grammar, n, attr),
                     slow.get(&compiled.grammar, n, attr),
                     "{}: reference and compiled paths diverge",
+                    profile.name
+                );
+                assert_eq!(
+                    fast.get(&compiled.grammar, n, attr),
+                    metered.get(&compiled.grammar, n, attr),
+                    "{}: guarded and compiled paths diverge",
                     profile.name
                 );
             }
@@ -74,12 +103,20 @@ fn main() {
         let t_fast = time_n(reps, || {
             std::hint::black_box(ev.evaluate(&tree, &inputs).unwrap());
         });
+        let t_guard = time_n(reps, || {
+            std::hint::black_box(ev.evaluate_guarded(&tree, &inputs, &budget, None).unwrap());
+        });
         hot_rows.push(vec![
             profile.name.to_string(),
             tree.size().to_string(),
             format!("{:.1}µs", t_ref.as_secs_f64() * 1e6),
             format!("{:.1}µs", t_fast.as_secs_f64() * 1e6),
             format!("{:.2}x", t_ref.as_secs_f64() / t_fast.as_secs_f64()),
+            format!("{:.1}µs", t_guard.as_secs_f64() * 1e6),
+            format!(
+                "{:+.1}%",
+                (t_guard.as_secs_f64() / t_fast.as_secs_f64() - 1.0) * 100.0
+            ),
         ]);
     }
     println!("{}", render_table(&hot_headers, &hot_rows));

@@ -6,10 +6,10 @@
 //! fnc2c c       <file.olga>       # translate the AG to C on stdout
 //! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
 //! fnc2c seqs    <file.olga>       # print the visit sequences
-//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]
+//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]
 //!                                 # differential fuzzing oracle (no input file)
 //! fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N]
-//!             [--repeat N] [--metrics]
+//!             [--repeat N] [--retries N] [--fault-seed N] [--metrics]
 //!                                 # parallel batch evaluation over synthetic AGs
 //! ```
 //!
@@ -21,6 +21,24 @@
 //! --trace[=N]          capture an event trace (ring of N entries, default 4096)
 //! ```
 //!
+//! Budget flags (any command that evaluates):
+//!
+//! ```text
+//! --max-steps N        rule-evaluation step budget
+//! --max-depth N        visit/demand nesting depth budget
+//! --max-value-bytes N  aggregate produced-value size budget
+//! --deadline-ms N      wall-clock deadline
+//! ```
+//!
+//! Exit codes, uniform across every subcommand:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | diagnostics: bad usage, front-end/class errors, fuzz findings |
+//! | 2    | a budget was exceeded or an injected fault surfaced |
+//! | 101  | never — panics are caught and classified, not propagated |
+//!
 //! With flags but no command, `report` is assumed, so
 //! `fnc2c --report json grammar.olga` emits the single-document JSON
 //! report. The input is an OLGA text: any number of modules followed by
@@ -29,25 +47,59 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
+use fnc2::guard::{Deadline, EvalBudget};
 use fnc2::obs::Obs;
 use fnc2::{GrammarResolver, Pipeline, PipelineError};
+
+/// Exit code for ordinary diagnostics (usage, front-end, class errors).
+const EXIT_DIAGNOSTICS: u8 = 1;
+/// Exit code for budget exhaustion and injected/classified faults.
+const EXIT_BUDGET: u8 = 2;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Opts {
     metrics: bool,
     trace: Option<usize>,
     report_json: bool,
+    budget: Option<EvalBudget>,
 }
 
 const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 fn usage() -> String {
-    "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] \
+    "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [budget flags] \
      <report|check|c|lisp|seqs> <file.olga | ->\n\
-     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--no-shrink]\n\
+     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
-     [--repeat N] [--metrics]"
+     [--repeat N] [--retries N] [--fault-seed N] [--metrics] [budget flags]\n\
+     budget flags: --max-steps N --max-depth N --max-value-bytes N --deadline-ms N"
         .to_string()
+}
+
+/// Applies one `--max-*`/`--deadline-ms` flag to `budget`. Returns `None`
+/// when `flag` is not a budget flag; `Some(Err)` on a malformed value.
+fn apply_budget_flag(
+    flag: &str,
+    value: Option<&str>,
+    budget: &mut EvalBudget,
+) -> Option<Result<(), String>> {
+    let numeric = |name: &str| -> Result<u64, String> {
+        value
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("fnc2c: {name} takes a number\n{}", usage()))
+    };
+    let r = match flag {
+        "--max-steps" => numeric("--max-steps").map(|n| budget.max_steps = n),
+        "--max-depth" => numeric("--max-depth").map(|n| budget.max_depth = n as usize),
+        "--max-value-bytes" => numeric("--max-value-bytes").map(|n| {
+            budget.max_value_cells = (n / std::mem::size_of::<fnc2::ag::Value>() as u64).max(1);
+        }),
+        "--deadline-ms" => {
+            numeric("--deadline-ms").map(|n| budget.deadline = Some(Deadline::after_ms(n)))
+        }
+        _ => return None,
+    };
+    Some(r)
 }
 
 fn main() -> ExitCode {
@@ -70,21 +122,33 @@ fn main() -> ExitCode {
                 Some("text") => opts.report_json = false,
                 _ => {
                     eprintln!("fnc2c: --report takes `json` or `text`\n{}", usage());
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
                 }
             },
+            flag @ ("--max-steps" | "--max-depth" | "--max-value-bytes" | "--deadline-ms") => {
+                let mut budget = opts.budget.unwrap_or_default();
+                let value = it.next();
+                match apply_budget_flag(flag, value.as_deref(), &mut budget) {
+                    Some(Ok(())) => opts.budget = Some(budget),
+                    Some(Err(msg)) => {
+                        eprintln!("{msg}");
+                        return ExitCode::from(EXIT_DIAGNOSTICS);
+                    }
+                    None => unreachable!("matched budget flags only"),
+                }
+            }
             other if other.starts_with("--trace=") => {
                 match other["--trace=".len()..].parse::<usize>() {
                     Ok(n) if n > 0 => opts.trace = Some(n),
                     _ => {
                         eprintln!("fnc2c: --trace=N needs a positive count\n{}", usage());
-                        return ExitCode::from(2);
+                        return ExitCode::from(EXIT_DIAGNOSTICS);
                     }
                 }
             }
             other if other.starts_with("--") => {
                 eprintln!("fnc2c: unknown flag `{other}`\n{}", usage());
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_DIAGNOSTICS);
             }
             _ => positional.push(arg),
         }
@@ -95,14 +159,14 @@ fn main() -> ExitCode {
         [path] => ("report".to_string(), path.clone()),
         _ => {
             eprintln!("{}", usage());
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
     let source = if path == "-" {
         let mut s = String::new();
         if std::io::stdin().read_to_string(&mut s).is_err() {
             eprintln!("fnc2c: cannot read standard input");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
         s
     } else {
@@ -110,7 +174,7 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("fnc2c: {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_DIAGNOSTICS);
             }
         }
     };
@@ -120,29 +184,36 @@ fn main() -> ExitCode {
             print!("{out}");
             ExitCode::SUCCESS
         }
-        Err(msg) => {
+        Err((msg, code)) => {
             eprintln!("{msg}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }
 
-fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
+/// A diagnostic message plus the exit code it maps to.
+type CliError = (String, u8);
+
+fn diag(msg: impl Into<String>) -> CliError {
+    (msg.into(), EXIT_DIAGNOSTICS)
+}
+
+fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
     // The checked AG is needed for the translators.
-    let checked = || -> Result<fnc2::olga::CheckedAg, String> {
-        let units = fnc2::olga::parse_units(source).map_err(|e| e.to_string())?;
+    let checked = || -> Result<fnc2::olga::CheckedAg, CliError> {
+        let units = fnc2::olga::parse_units(source).map_err(|e| diag(e.to_string()))?;
         let mut compiler = fnc2::olga::Compiler::new();
         let mut ag = None;
         for u in units {
             match u {
                 fnc2::olga::ast::Unit::Module(m) => {
-                    compiler.add_module(m).map_err(|e| e.to_string())?
+                    compiler.add_module(m).map_err(|e| diag(e.to_string()))?
                 }
                 fnc2::olga::ast::Unit::Ag(a) => ag = Some(a),
             }
         }
-        let ag = ag.ok_or_else(|| "fnc2c: source contains no attribute grammar".to_string())?;
-        compiler.check_ag(ag).map_err(|e| e.to_string())
+        let ag = ag.ok_or_else(|| diag("fnc2c: source contains no attribute grammar"))?;
+        compiler.check_ag(ag).map_err(|e| diag(e.to_string()))
     };
 
     let mut obs = match opts.trace {
@@ -153,7 +224,7 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
     match cmd {
         "check" => {
             let checked = checked()?;
-            let (grammar, info) = fnc2::olga::lower(&checked).map_err(|e| e.to_string())?;
+            let (grammar, info) = fnc2::olga::lower(&checked).map_err(|e| diag(e.to_string()))?;
             Ok(format!(
                 "ok: {} phyla, {} operators, {} rules ({} explicit copies, {} auto copies)\n",
                 grammar.phylum_count(),
@@ -164,14 +235,27 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
             ))
         }
         "report" => {
-            let compiled = compile(source, &mut obs)?;
+            let mut compiled = compile(source, &mut obs)?;
+            let budget = opts.budget.unwrap_or_default();
+            // Graceful degradation: a space plan that fails re-validation
+            // or the plan-time budget check is dropped — the report falls
+            // back to the exhaustive evaluator instead of failing.
+            if let Some(reason) = compiled.degrade_to_exhaustive_recorded(&budget, &mut obs) {
+                eprintln!("fnc2c: warning: degrading to exhaustive evaluator: {reason}");
+            }
             // Exercise the generated evaluators on a minimal tree so the
             // run counters (visits, evals, copies, storage classes) are
             // populated alongside the static generator statistics.
-            if let fnc2::SmokeOutcome::SemanticFailure(msg) = compiled.smoke_evaluate(&mut obs) {
-                return Err(format!(
-                    "fnc2c: error: semantic rule aborted during evaluation: {msg}"
-                ));
+            match compiled.smoke_evaluate_guarded(&budget, &mut obs) {
+                fnc2::SmokeOutcome::SemanticFailure(msg) => {
+                    return Err(diag(format!(
+                        "fnc2c: error: semantic rule aborted during evaluation: {msg}"
+                    )));
+                }
+                fnc2::SmokeOutcome::BudgetExceeded(msg) => {
+                    return Err((format!("fnc2c: error: {msg}"), EXIT_BUDGET));
+                }
+                fnc2::SmokeOutcome::Ok | fnc2::SmokeOutcome::Skipped => {}
             }
             if opts.report_json {
                 Ok(format!("{}\n", compiled.report_json(&obs)))
@@ -227,7 +311,7 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, String> {
             emit_side_channel(&opts, &obs, &compiled.grammar);
             Ok(out)
         }
-        other => Err(format!("fnc2c: unknown command `{other}`")),
+        other => Err(diag(format!("fnc2c: unknown command `{other}`"))),
     }
 }
 
@@ -247,6 +331,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             "--seed" => numeric("--seed").map(|n| cfg.seed = n),
             "--cases" => numeric("--cases").map(|n| cfg.grammar_cases = n),
             "--front" => numeric("--front").map(|n| cfg.front_cases = n),
+            "--fault" => numeric("--fault").map(|n| cfg.fault_cases = n),
             "--no-shrink" => {
                 cfg.shrink = false;
                 Ok(())
@@ -255,7 +340,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         };
         if let Err(msg) = r {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     }
 
@@ -263,24 +348,28 @@ fn run_fuzz(args: &[String]) -> ExitCode {
     let report = fnc2::fuzz::run(&cfg, &mut obs);
     println!(
         "fuzz: seed {}: {} grammar cases ({} tree nodes, {} edits), \
-         {} front-end cases ({} accepted, {} rejected)",
+         {} front-end cases ({} accepted, {} rejected), \
+         {} fault cases ({} faults injected, {} panics caught)",
         cfg.seed,
         report.grammar_cases,
         report.nodes,
         report.edits,
         report.front_cases,
         report.front_accepted,
-        report.front_rejected
+        report.front_rejected,
+        report.fault_cases,
+        report.faults_injected,
+        report.panics_caught
     );
     match report.failure {
         None => {
-            println!("fuzz: no divergence, no panic");
+            println!("fuzz: no divergence, no panic, no fault escape");
             ExitCode::SUCCESS
         }
         Some(fnc2::fuzz::FuzzFailure::Divergence(d)) => {
             eprintln!("fuzz: DIVERGENCE at stage `{}`", d.stage);
             eprint!("{}", fnc2::fuzz::render_reproducer(&d));
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_DIAGNOSTICS)
         }
         Some(fnc2::fuzz::FuzzFailure::FrontPanic(f)) => {
             eprintln!(
@@ -288,15 +377,22 @@ fn run_fuzz(args: &[String]) -> ExitCode {
                 f.case, f.base, f.mutations, f.panic
             );
             eprintln!("-- mutated source --\n{}", f.source);
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+        Some(fnc2::fuzz::FuzzFailure::Fault(f)) => {
+            eprintln!("fuzz: FAULT-ISOLATION VIOLATION: {f}");
+            ExitCode::from(EXIT_BUDGET)
         }
     }
 }
 
 /// The `batch` subcommand: generates synthetic SNC grammars (the fuzz
 /// generator's, so a seed line is a full reproducer), builds a batch of
-/// random trees per grammar, and decorates them through the work-stealing
-/// parallel driver, printing trees/sec and steal counts.
+/// random trees per grammar, and decorates them through the guarded
+/// work-stealing parallel driver, printing trees/sec, steal counts and the
+/// per-batch outcome report. A failed or poisoned tree never aborts the
+/// batch: the other trees' results are kept, the failure is classified,
+/// and the run exits with the budget/fault code.
 fn run_batch(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut grammars = 4u64;
@@ -305,7 +401,10 @@ fn run_batch(args: &[String]) -> ExitCode {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut repeat = 1usize;
+    let mut retries = 0u32;
+    let mut fault_seed: Option<u64> = None;
     let mut metrics = false;
+    let mut budget = EvalBudget::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut numeric = |name: &str| -> Result<u64, String> {
@@ -319,15 +418,24 @@ fn run_batch(args: &[String]) -> ExitCode {
             "--trees" => numeric("--trees").map(|n| trees = n as usize),
             "--threads" => numeric("--threads").map(|n| threads = (n as usize).max(1)),
             "--repeat" => numeric("--repeat").map(|n| repeat = (n as usize).max(1)),
+            "--retries" => numeric("--retries").map(|n| retries = n as u32),
+            "--fault-seed" => numeric("--fault-seed").map(|n| fault_seed = Some(n)),
             "--metrics" => {
                 metrics = true;
                 Ok(())
+            }
+            flag @ ("--max-steps" | "--max-depth" | "--max-value-bytes" | "--deadline-ms") => {
+                let value = it.next().cloned();
+                match apply_budget_flag(flag, value.as_deref(), &mut budget) {
+                    Some(r) => r,
+                    None => unreachable!("matched budget flags only"),
+                }
             }
             other => Err(format!("fnc2c: unknown batch flag `{other}`\n{}", usage())),
         };
         if let Err(msg) = r {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     }
 
@@ -335,6 +443,7 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut total_trees = 0u64;
     let mut total_steals = 0u64;
     let mut total_secs = 0f64;
+    let mut any_lost = false;
     for gi in 0..grammars {
         let params = fnc2::fuzz::CaseParams::for_case(seed, gi);
         let gg = fnc2::fuzz::gen::build_grammar(&params);
@@ -343,12 +452,12 @@ fn run_batch(args: &[String]) -> ExitCode {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("fnc2c: batch grammar {gi}: transformation failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_DIAGNOSTICS);
             }
         };
         let Some(lo) = cls.l_ordered.as_ref() else {
             eprintln!("fnc2c: batch grammar {gi}: generated grammar rejected as non-SNC");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_DIAGNOSTICS);
         };
         let seqs = fnc2::visit::build_visit_seqs(g, lo);
         let ev = fnc2::visit::Evaluator::new(g, &seqs);
@@ -363,25 +472,47 @@ fn run_batch(args: &[String]) -> ExitCode {
                 fnc2::fuzz::build_tree(&gg, &tp)
             })
             .collect();
+        let plan = fault_seed.map(|fs| fnc2::guard::FaultPlan::from_seed(fs ^ gi, batch.len()));
         let inputs = fnc2::visit::RootInputs::new();
         let start = std::time::Instant::now();
         let mut steals = 0u64;
+        let mut last_report = None;
         for _ in 0..repeat {
-            let (results, stats) =
-                fnc2::par::batch_evaluate_recorded(&ev, &batch, &inputs, threads, &mut obs);
-            if let Some((i, Err(e))) = results.iter().enumerate().find(|(_, r)| r.is_err()) {
-                eprintln!("fnc2c: batch grammar {gi} tree {i}: evaluation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-            steals += stats.steals;
+            let report = fnc2::par::batch_evaluate_guarded_recorded(
+                &ev,
+                &batch,
+                &inputs,
+                threads,
+                &budget,
+                retries,
+                plan.as_ref(),
+                &mut obs,
+            );
+            steals += report.stats.steals;
+            last_report = Some(report);
         }
         let dt = start.elapsed().as_secs_f64();
         let n = (trees * repeat) as u64;
+        let report = last_report.expect("repeat >= 1");
+        let (ok, failed, panicked) = report.counts();
         println!(
-            "batch: grammar {gi}: {n} trees in {:.2}ms ({:.0} trees/s, {steals} steals)",
+            "batch: grammar {gi}: {n} trees in {:.2}ms ({:.0} trees/s, {steals} steals); \
+             outcomes: {ok} ok, {failed} failed, {panicked} panicked; \
+             {} retries, {} panics caught, {} budget trips",
             dt * 1e3,
-            n as f64 / dt.max(1e-9)
+            n as f64 / dt.max(1e-9),
+            report.retries,
+            report.panics_caught,
+            report.budget_exceeded
         );
+        for (i, o) in report.outcomes.iter().enumerate() {
+            if let Some(e) = o.error() {
+                eprintln!("fnc2c: batch grammar {gi} tree {i}: {e}");
+            } else if let Some(m) = o.panic_message() {
+                eprintln!("fnc2c: batch grammar {gi} tree {i}: panicked: {m}");
+            }
+        }
+        any_lost |= !report.all_ok();
         total_trees += n;
         total_steals += steals;
         total_secs += dt;
@@ -395,7 +526,11 @@ fn run_batch(args: &[String]) -> ExitCode {
     if metrics {
         eprint!("{}", obs.render(&fnc2::obs::RawResolver));
     }
-    ExitCode::SUCCESS
+    if any_lost {
+        ExitCode::from(EXIT_BUDGET)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Prints the instrumentation report to stderr for commands whose stdout
@@ -406,11 +541,11 @@ fn emit_side_channel(opts: &Opts, obs: &Obs, grammar: &fnc2::ag::Grammar) {
     }
 }
 
-fn compile(source: &str, obs: &mut Obs) -> Result<fnc2::Compiled, String> {
+fn compile(source: &str, obs: &mut Obs) -> Result<fnc2::Compiled, CliError> {
     Pipeline::new()
         .compile_olga_recorded(source, obs)
         .map_err(|e| match e {
-            PipelineError::NotSnc(trace) => format!("fnc2c: grammar is not SNC\n{trace}"),
-            other => format!("fnc2c: {other}"),
+            PipelineError::NotSnc(trace) => diag(format!("fnc2c: grammar is not SNC\n{trace}")),
+            other => diag(format!("fnc2c: {other}")),
         })
 }

@@ -47,6 +47,7 @@ use fnc2_ag::{
     AttrId, AttrValues, Grammar, NodeId, PhylumId, ProductionId, Tree, TreeBuilder, Value,
 };
 use fnc2_analysis::{classify_recorded, AgClass, Classification, Inclusion};
+use fnc2_guard::EvalBudget;
 use fnc2_obs::{Json, Key, Obs, Recorder, Resolver};
 use fnc2_space::{analyze_space, FlatProgram, Lifetimes, ObjectIndex, SpacePlan};
 use fnc2_visit::{build_visit_seqs, EvalError, EvalStats, Evaluator, RootInputs, VisitSeqs};
@@ -56,6 +57,7 @@ pub use fnc2_analysis as analysis;
 pub use fnc2_codegen as codegen;
 pub use fnc2_fuzz as fuzz;
 pub use fnc2_gfa as gfa;
+pub use fnc2_guard as guard;
 pub use fnc2_incremental as incremental;
 pub use fnc2_obs as obs;
 pub use fnc2_olga as olga;
@@ -223,6 +225,9 @@ pub enum SmokeOutcome {
     /// A semantic function aborted — user-level AG code called the OLGA
     /// `error` builtin (or hit a partial builtin out of domain).
     SemanticFailure(String),
+    /// The evaluation tripped an [`EvalBudget`] limit (or an injected
+    /// fault); the payload is the classified diagnostic.
+    BudgetExceeded(String),
 }
 
 impl Compiled {
@@ -311,6 +316,18 @@ impl Compiled {
     /// OLGA `error` builtin) is reported distinctly so callers can turn it
     /// into a diagnostic.
     pub fn smoke_evaluate<R: Recorder>(&self, rec: &mut R) -> SmokeOutcome {
+        self.smoke_evaluate_guarded(&EvalBudget::default(), rec)
+    }
+
+    /// [`smoke_evaluate`](Self::smoke_evaluate) under an explicit
+    /// [`EvalBudget`]: a tripped budget is reported as
+    /// [`SmokeOutcome::BudgetExceeded`] instead of being folded into
+    /// `Skipped`, so callers can map it to the budget exit code.
+    pub fn smoke_evaluate_guarded<R: Recorder>(
+        &self,
+        budget: &EvalBudget,
+        rec: &mut R,
+    ) -> SmokeOutcome {
         let Some(tree) = smoke_tree(&self.grammar) else {
             return SmokeOutcome::Skipped;
         };
@@ -319,21 +336,76 @@ impl Compiled {
             inputs.insert(attr, Value::Int(0));
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            match self.evaluate_recorded(&tree, &inputs, rec) {
+            let ev = Evaluator::new(&self.grammar, &self.seqs);
+            match ev.evaluate_recorded_guarded(&tree, &inputs, budget, None, rec) {
                 Ok(_) => SmokeOutcome::Ok,
                 Err(EvalError::SemanticFailure { message, .. }) => {
                     SmokeOutcome::SemanticFailure(message)
                 }
+                Err(e) if e.is_budget() => SmokeOutcome::BudgetExceeded(e.to_string()),
                 Err(_) => SmokeOutcome::Skipped,
             }
         }))
         .unwrap_or(SmokeOutcome::Skipped);
-        if matches!(outcome, SmokeOutcome::Ok) && self.space_plan.is_some() {
-            let _ = catch_unwind(AssertUnwindSafe(|| {
-                let _ = self.evaluate_optimized_recorded(&tree, &inputs, rec);
-            }));
+        if matches!(outcome, SmokeOutcome::Ok) {
+            if let (Some(fp), Some(plan)) = (self.flat.as_ref(), self.space_plan.as_ref()) {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan)
+                        .evaluate_recorded_guarded(&tree, &inputs, budget, None, rec);
+                }));
+            }
         }
         outcome
+    }
+
+    /// Re-validates the space plan from first principles and checks it
+    /// against a plan-time budget bound. On failure the plan is dropped —
+    /// subsequent evaluation (including [`smoke_evaluate`](Self::smoke_evaluate))
+    /// degrades to the exhaustive node-storage evaluator — the degradation
+    /// is counted under [`Key::GuardDegraded`], and the reason is returned
+    /// for logging. `None` means the plan stands (or none was built).
+    ///
+    /// The plan-time budget check: a plan that allocates more global
+    /// variable/stack slots than the budget's value-cell allowance cannot
+    /// possibly run to completion within it, so it is rejected before any
+    /// evaluation starts.
+    pub fn degrade_to_exhaustive_recorded<R: Recorder>(
+        &mut self,
+        budget: &EvalBudget,
+        rec: &mut R,
+    ) -> Option<String> {
+        let (Some(fp), Some(ox), Some(lt), Some(plan)) = (
+            self.flat.as_ref(),
+            self.objects.as_ref(),
+            self.lifetimes.as_ref(),
+            self.space_plan.as_ref(),
+        ) else {
+            return None;
+        };
+        let reason = match fnc2_space::validate_plan(&self.grammar, &self.seqs, fp, ox, lt, plan) {
+            Err(e) => Some(format!("space plan failed re-validation: {e}")),
+            Ok(()) => {
+                let slots = (plan.stats.variables_after + plan.stats.stacks_after) as u64;
+                if slots > budget.max_value_cells {
+                    Some(format!(
+                        "space plan needs {slots} storage slots but the budget \
+                         allows {} value cells",
+                        budget.max_value_cells
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+        let reason = reason?;
+        self.flat = None;
+        self.objects = None;
+        self.lifetimes = None;
+        self.space_plan = None;
+        let mut counters = fnc2_obs::Counters::new();
+        counters.add(Key::GuardDegraded, 1);
+        counters.replay(rec);
+        Some(reason)
     }
 
     /// The report and the instrumentation layer's view of the run as one

@@ -116,7 +116,30 @@ end
 
 #[test]
 fn usage_on_bad_arguments() {
+    // Bad usage is an ordinary diagnostic (exit 1); exit 2 is reserved
+    // for budget exhaustion and injected faults.
     let out = fnc2c().output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn budget_exhaustion_maps_to_exit_2() {
+    let mut child = fnc2c()
+        .args(["--max-steps", "0", "report", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(COUNT.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget exceeded"), "{err}");
 }

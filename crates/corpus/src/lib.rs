@@ -16,6 +16,7 @@ mod minipascal;
 mod olga_sources;
 mod pathological;
 pub mod rng;
+mod shapes;
 mod synthetic;
 
 pub use blocks_olga::{blocks_olga, BLOCKS_OLGA_LIST};
@@ -25,4 +26,8 @@ pub use minipascal::{
 };
 pub use olga_sources::{module_source, sized_ag_source, TABLE3_MODULES};
 pub use pathological::{circular, dnc_not_oag, nc_not_snc, oag1_not_oag0, snc_only};
+pub use shapes::{
+    balloon, balloon_expected, balloon_tree, chain, chain_expected, chain_tree, flat,
+    flat_expected, flat_tree,
+};
 pub use synthetic::{synthetic, synthetic_tree, SynthProfile, TargetClass, TABLE1_PROFILES};

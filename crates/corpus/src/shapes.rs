@@ -1,0 +1,182 @@
+//! Pathological tree *shapes* for the robustness suite: grammars that are
+//! classification-friendly (plain SNC, one visit) but whose instances
+//! stress the evaluators' resource envelope — chains deep enough to
+//! overflow any recursive driver, nodes wide enough to stress per-visit
+//! fan-out, and concat rules whose values balloon geometrically so the
+//! value-cell budget has something real to meter.
+
+use fnc2_ag::{Grammar, GrammarBuilder, NodeId, Occ, Tree, TreeBuilder, Value};
+
+/// A chain grammar: `root : S ::= C`, `link : C ::= C`, `nil : C ::= ;`
+/// with an inherited `level` counting down the spine and a synthesized
+/// `depth` counting back up. On a chain of `n` links the root's `out` is
+/// `2 n`: every link contributes one increment in each direction, so the
+/// value doubles as a self-check of both attribute flows.
+pub fn chain() -> Grammar {
+    let mut g = GrammarBuilder::new("chain");
+    let s = g.phylum("S");
+    let c = g.phylum("C");
+    g.set_root(s);
+    let out = g.syn(s, "out");
+    let level = g.inh(c, "level");
+    let depth = g.syn(c, "depth");
+    g.func("inc", 1, |v| Value::Int(v[0].as_int() + 1));
+    let root = g.production("root", s, &[c]);
+    g.constant(root, Occ::new(1, level), Value::Int(0));
+    g.copy(root, Occ::lhs(out), Occ::new(1, depth));
+    let link = g.production("link", c, &[c]);
+    g.call(link, Occ::new(1, level), "inc", [Occ::lhs(level).into()]);
+    g.call(link, Occ::lhs(depth), "inc", [Occ::new(1, depth).into()]);
+    let nil = g.production("nil", c, &[]);
+    g.copy(nil, Occ::lhs(depth), Occ::lhs(level));
+    g.finish().expect("well-defined")
+}
+
+/// Builds a chain tree with `links` `link` nodes above the `nil` leaf.
+/// `links = 100_000` gives a tree more than 100k deep — any evaluator
+/// still recursing over the spine dies here, which is the point.
+pub fn chain_tree(g: &Grammar, links: usize) -> Tree {
+    let mut tb = TreeBuilder::new(g);
+    let mut spine = tb.op("nil", &[]).expect("nil");
+    for _ in 0..links {
+        spine = tb.op("link", &[spine]).expect("link");
+    }
+    let root = tb.op("root", &[spine]).expect("root");
+    tb.finish_root(root).expect("chain tree")
+}
+
+/// The expected root `out` of [`chain_tree`] with `links` links.
+pub fn chain_expected(links: usize) -> i64 {
+    2 * links as i64
+}
+
+/// A flat grammar with one `wide : S ::= C × width` production: a single
+/// node owning `width` children, each child seeded with its position and
+/// the root summing all of them. `flat(10_000)` puts ten thousand child
+/// visits (and a 10k-ary semantic rule) inside one visit sequence.
+pub fn flat(width: usize) -> Grammar {
+    assert!(width >= 1, "at least one child");
+    let mut g = GrammarBuilder::new("flat");
+    let s = g.phylum("S");
+    let c = g.phylum("C");
+    g.set_root(s);
+    let out = g.syn(s, "out");
+    let seed = g.inh(c, "seed");
+    let v = g.syn(c, "v");
+    g.func("inc", 1, |vals| Value::Int(vals[0].as_int() + 1));
+    g.func("sum_all", width, |vals| {
+        Value::Int(vals.iter().map(Value::as_int).sum())
+    });
+    let rhs = vec![c; width];
+    let wide = g.production("wide", s, &rhs);
+    for j in 1..=width {
+        g.constant(wide, Occ::new(j as u16, seed), Value::Int(j as i64));
+    }
+    let args: Vec<_> = (1..=width).map(|j| Occ::new(j as u16, v).into()).collect();
+    g.call(wide, Occ::lhs(out), "sum_all", args);
+    let leaf = g.production("leaf", c, &[]);
+    g.call(leaf, Occ::lhs(v), "inc", [Occ::lhs(seed).into()]);
+    g.finish().expect("well-defined")
+}
+
+/// Builds the single flat tree of a [`flat`] grammar: one `wide` node with
+/// as many `leaf` children as the grammar's `wide` production declares.
+pub fn flat_tree(g: &Grammar) -> Tree {
+    let wide = g.production_by_name("wide").expect("flat grammar");
+    let width = g.production(wide).rhs().len();
+    let mut tb = TreeBuilder::new(g);
+    let leaves: Vec<NodeId> = (0..width)
+        .map(|_| tb.op("leaf", &[]).expect("leaf"))
+        .collect();
+    let root = tb.op("wide", &leaves).expect("wide");
+    tb.finish_root(root).expect("flat tree")
+}
+
+/// The expected root `out` of [`flat_tree`]: `seed + 1` summed over seeds
+/// `1..=width`.
+pub fn flat_expected(width: usize) -> i64 {
+    let w = width as i64;
+    w * (w + 3) / 2
+}
+
+/// A value-ballooning concat grammar: each `grow` link doubles the list
+/// flowing up the spine (`blob := blob ++ blob`), so a chain of `d` grow
+/// nodes materializes a list of `2^d` elements — geometric growth that
+/// only a value-cell budget can stop before memory does. The root reports
+/// the final length, so survivors are still cheap to check.
+pub fn balloon() -> Grammar {
+    let mut g = GrammarBuilder::new("balloon");
+    let s = g.phylum("S");
+    let c = g.phylum("C");
+    g.set_root(s);
+    let out = g.syn(s, "out");
+    let blob = g.syn(c, "blob");
+    g.func("double", 1, |v| {
+        let items = v[0].as_list();
+        Value::list(items.iter().chain(items.iter()).cloned())
+    });
+    g.func("len", 1, |v| Value::Int(v[0].as_list().len() as i64));
+    let root = g.production("root", s, &[c]);
+    g.call(root, Occ::lhs(out), "len", [Occ::new(1, blob).into()]);
+    let grow = g.production("grow", c, &[c]);
+    g.call(grow, Occ::lhs(blob), "double", [Occ::new(1, blob).into()]);
+    let base = g.production("base", c, &[]);
+    g.constant(base, Occ::lhs(blob), Value::list([Value::Int(1)]));
+    g.finish().expect("well-defined")
+}
+
+/// Builds a balloon tree with `doublings` `grow` nodes: the root sees a
+/// list of `2^doublings` elements.
+pub fn balloon_tree(g: &Grammar, doublings: usize) -> Tree {
+    let mut tb = TreeBuilder::new(g);
+    let mut spine = tb.op("base", &[]).expect("base");
+    for _ in 0..doublings {
+        spine = tb.op("grow", &[spine]).expect("grow");
+    }
+    let root = tb.op("root", &[spine]).expect("root");
+    tb.finish_root(root).expect("balloon tree")
+}
+
+/// The expected root `out` of [`balloon_tree`] with `doublings` grows.
+pub fn balloon_expected(doublings: usize) -> i64 {
+    1_i64 << doublings
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_analysis::{classify, Inclusion};
+    use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+    use super::*;
+
+    fn eval_out(g: &Grammar, tree: &Tree) -> i64 {
+        let cls = classify(g, 1, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(g, cls.l_ordered.as_ref().unwrap());
+        let ev = Evaluator::new(g, &seqs);
+        let (vals, _) = ev.evaluate(tree, &RootInputs::new()).unwrap();
+        let s = g.phylum_by_name("S").unwrap();
+        let out = g.attr_by_name(s, "out").unwrap();
+        vals.get(g, tree.root(), out).unwrap().as_int()
+    }
+
+    #[test]
+    fn chain_self_checks() {
+        let g = chain();
+        let t = chain_tree(&g, 500);
+        assert_eq!(eval_out(&g, &t), chain_expected(500));
+    }
+
+    #[test]
+    fn flat_self_checks() {
+        let g = flat(64);
+        let t = flat_tree(&g);
+        assert_eq!(eval_out(&g, &t), flat_expected(64));
+    }
+
+    #[test]
+    fn balloon_self_checks() {
+        let g = balloon();
+        let t = balloon_tree(&g, 10);
+        assert_eq!(eval_out(&g, &t), balloon_expected(10));
+    }
+}

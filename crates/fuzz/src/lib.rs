@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod front;
 pub mod gen;
 pub mod oracle;
 
+pub use fault::{run_fault_case, FaultFailure, FaultStats};
 pub use front::{FrontFailure, FrontStats};
 pub use gen::{build_grammar_pair, build_tree, CaseParams, GenGrammar, MUTANT_CONSTANT};
 pub use oracle::{render_reproducer, run_case, shrink, CaseStats, Divergence};
@@ -44,6 +46,8 @@ pub struct FuzzConfig {
     pub grammar_cases: u64,
     /// Number of front-end mutation cases.
     pub front_cases: u64,
+    /// Number of fault-injection cases (guarded batch + [`fault`] stage).
+    pub fault_cases: u64,
     /// Whether to shrink the first divergence before reporting it.
     pub shrink: bool,
 }
@@ -54,6 +58,7 @@ impl Default for FuzzConfig {
             seed: 0,
             grammar_cases: 256,
             front_cases: 512,
+            fault_cases: 128,
             shrink: true,
         }
     }
@@ -66,6 +71,8 @@ pub enum FuzzFailure {
     Divergence(Divergence),
     /// The OLGA front end panicked on a mutated source.
     FrontPanic(FrontFailure),
+    /// An injected fault escaped classification or corrupted a survivor.
+    Fault(FaultFailure),
 }
 
 /// The outcome of a fuzzing run: counters plus the first failure.
@@ -83,6 +90,12 @@ pub struct FuzzReport {
     pub front_accepted: u64,
     /// Front-end mutants rejected with a proper error.
     pub front_rejected: u64,
+    /// Fault-injection cases run.
+    pub fault_cases: u64,
+    /// Faults injected across clean fault cases.
+    pub faults_injected: u64,
+    /// Panics caught and classified across clean fault cases.
+    pub panics_caught: u64,
     /// First failure found, already shrunk when shrinking is on.
     pub failure: Option<FuzzFailure>,
 }
@@ -147,6 +160,25 @@ fn run_inner(cfg: &FuzzConfig, obs: &mut Obs) -> FuzzReport {
         }
     }
 
+    for case in 0..cfg.fault_cases {
+        report.fault_cases += 1;
+        obs.metrics.count("fuzz.fault_cases", 1);
+        match fault::run_fault_case(cfg.seed, case) {
+            Ok(stats) => {
+                report.faults_injected += stats.faults;
+                report.panics_caught += stats.panics_caught;
+                obs.metrics.count("fuzz.faults_injected", stats.faults);
+                obs.metrics
+                    .count("fuzz.fault_panics_caught", stats.panics_caught);
+            }
+            Err(f) => {
+                obs.metrics.count("fuzz.fault_failures", 1);
+                report.failure = Some(FuzzFailure::Fault(f));
+                return report;
+            }
+        }
+    }
+
     report
 }
 
@@ -160,6 +192,7 @@ mod tests {
             seed: 0,
             grammar_cases: 12,
             front_cases: 24,
+            fault_cases: 8,
             shrink: true,
         };
         let mut obs = Obs::new();
@@ -170,10 +203,13 @@ mod tests {
                     panic!("divergence: {}", render_reproducer(d))
                 }
                 FuzzFailure::FrontPanic(p) => panic!("front panic: {p:?}"),
+                FuzzFailure::Fault(p) => panic!("fault contract violation: {p}"),
             }
         }
         assert_eq!(report.grammar_cases, 12);
         assert_eq!(report.front_cases, 24);
+        assert_eq!(report.fault_cases, 8);
+        assert_eq!(obs.metrics.counter("fuzz.fault_cases"), 8);
         assert!(report.nodes > 0);
         assert_eq!(obs.metrics.counter("fuzz.grammar_cases"), 12);
         assert_eq!(obs.metrics.counter("fuzz.front_cases"), 24);

@@ -68,27 +68,27 @@ impl Digraph {
     /// lets the visit-sequence generator group actions by visit while still
     /// respecting dependencies.
     pub fn topo_order_by<K: Ord>(&self, key: impl Fn(usize) -> K) -> Option<Vec<usize>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
         let n = self.len();
         let mut indeg = vec![0usize; n];
         for (_, v) in self.edges() {
             indeg[v] += 1;
         }
-        // Simple selection loop: n is small for production graphs, and
-        // determinism matters more than asymptotics here.
-        let mut ready: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        // Min-heap on (key, node): pops in exactly the order the naive
+        // "scan ready for the minimum" loop would, but survives wide
+        // productions where thousands of nodes are ready at once.
+        let mut ready: BinaryHeap<Reverse<(K, usize)>> = (0..n)
+            .filter(|&u| indeg[u] == 0)
+            .map(|u| Reverse((key(u), u)))
+            .collect();
         let mut out = Vec::with_capacity(n);
-        while !ready.is_empty() {
-            let (pos, _) = ready
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &u)| (key(u), u))
-                .expect("nonempty");
-            let u = ready.swap_remove(pos);
+        while let Some(Reverse((_, u))) = ready.pop() {
             out.push(u);
             for &v in &self.succs[u] {
                 indeg[v] -= 1;
                 if indeg[v] == 0 {
-                    ready.push(v);
+                    ready.push(Reverse((key(v), v)));
                 }
             }
         }

@@ -13,6 +13,7 @@ use fnc2_ag::{
     AttrKind, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, ProductionId, Tree,
     TreeError, Value,
 };
+use fnc2_guard::{BudgetMeter, EvalBudget};
 use fnc2_obs::{ChangeStatus, Counters, Event, Key, NoopRecorder, Recorder};
 use fnc2_visit::{CompiledProgram, EvalError, RootInputs};
 
@@ -63,6 +64,7 @@ pub struct IncrementalEvaluator<'g> {
     locals: LocalFrames,
     inputs: RootInputs,
     eq: Equality,
+    budget: EvalBudget,
 }
 
 /// An attribute or local instance.
@@ -95,6 +97,23 @@ impl<'g> IncrementalEvaluator<'g> {
         inputs: RootInputs,
         eq: Equality,
     ) -> Result<Self, EvalError> {
+        Self::with_inputs_guarded(grammar, tree, inputs, eq, EvalBudget::default())
+    }
+
+    /// Like [`with_inputs`](Self::with_inputs) under an explicit
+    /// [`EvalBudget`]; the budget also governs every later edit wave.
+    ///
+    /// # Errors
+    ///
+    /// As for [`with_inputs`](Self::with_inputs), plus
+    /// [`EvalError::BudgetExceeded`] when a limit is exhausted.
+    pub fn with_inputs_guarded(
+        grammar: &'g Grammar,
+        tree: Tree,
+        inputs: RootInputs,
+        eq: Equality,
+        budget: EvalBudget,
+    ) -> Result<Self, EvalError> {
         let mut this = IncrementalEvaluator {
             grammar,
             program: CompiledProgram::new(grammar),
@@ -103,6 +122,7 @@ impl<'g> IncrementalEvaluator<'g> {
             locals: LocalFrames::default(),
             inputs,
             eq,
+            budget,
         };
         this.values = AttrValues::new(grammar, &this.tree);
         this.locals = LocalFrames::new(grammar, &this.tree);
@@ -120,8 +140,20 @@ impl<'g> IncrementalEvaluator<'g> {
         }
         let mut stats = IncrementalStats::default();
         let mut unknown = 0usize;
-        this.eval_subtree(root, &mut stats, &mut unknown, &mut NoopRecorder)?;
+        let mut meter = BudgetMeter::new(&this.budget);
+        this.eval_subtree(
+            root,
+            &mut stats,
+            &mut unknown,
+            &mut meter,
+            &mut NoopRecorder,
+        )?;
         Ok(this)
+    }
+
+    /// Replaces the budget governing subsequent edit waves.
+    pub fn set_budget(&mut self, budget: EvalBudget) {
+        self.budget = budget;
     }
 
     /// The decorated tree.
@@ -192,6 +224,7 @@ impl<'g> IncrementalEvaluator<'g> {
         let g = self.grammar;
         let mut stats = IncrementalStats::default();
         let mut unknown = 0usize;
+        let mut meter = BudgetMeter::new(&self.budget);
         let mut frontier: Vec<NodeId> = Vec::new();
 
         for (at, replacement) in edits {
@@ -228,7 +261,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 }
             }
             // Evaluate the fresh subtree, starting at its root (DNC).
-            self.eval_subtree(new_root, &mut stats, &mut unknown, rec)
+            self.eval_subtree(new_root, &mut stats, &mut unknown, &mut meter, rec)
                 .map_err(Box::new)?;
             // Seed propagation with the synthesized attributes whose value
             // differs from the replaced node's.
@@ -261,7 +294,7 @@ impl<'g> IncrementalEvaluator<'g> {
         for inst in seed_changed {
             self.enqueue_dependents(inst, &mut queue);
         }
-        self.propagate(&mut queue, &mut stats, &mut unknown, rec)?;
+        self.propagate(&mut queue, &mut stats, &mut unknown, &mut meter, rec)?;
         let mut counters = stats.to_counters();
         counters.set(Key::IncUnknown, unknown as u64);
         counters.replay(rec);
@@ -301,6 +334,7 @@ impl<'g> IncrementalEvaluator<'g> {
         let g = self.grammar;
         let mut stats = IncrementalStats::default();
         let mut unknown = 0usize;
+        let mut meter = BudgetMeter::new(&self.budget);
         let ph = self.tree.phylum(g, at);
         let old: Vec<(fnc2_ag::AttrId, Option<Value>)> = g
             .phylum(ph)
@@ -351,7 +385,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 }
             }
         }
-        self.eval_subtree(at, &mut stats, &mut unknown, rec)
+        self.eval_subtree(at, &mut stats, &mut unknown, &mut meter, rec)
             .map_err(Box::new)?;
         // Seed propagation with the synthesized attributes whose value
         // differs from the pre-swap decoration.
@@ -377,7 +411,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 self.enqueue_dependents(Inst::Attr(at, a), &mut queue);
             }
         }
-        self.propagate(&mut queue, &mut stats, &mut unknown, rec)?;
+        self.propagate(&mut queue, &mut stats, &mut unknown, &mut meter, rec)?;
         let mut counters = stats.to_counters();
         counters.set(Key::IncUnknown, unknown as u64);
         counters.replay(rec);
@@ -392,10 +426,14 @@ impl<'g> IncrementalEvaluator<'g> {
         queue: &mut VecDeque<Inst>,
         stats: &mut IncrementalStats,
         unknown: &mut usize,
+        meter: &mut BudgetMeter,
         rec: &mut R,
     ) -> Result<(), Box<dyn std::error::Error>> {
         let g = self.grammar;
         while let Some(inst) = queue.pop_front() {
+            meter
+                .step()
+                .map_err(|k| Box::new(EvalError::budget(k, "incremental propagation")))?;
             let (newv, oldv) = {
                 let old = match inst {
                     Inst::Attr(n, a) => self.values.get(g, n, a).cloned(),
@@ -404,6 +442,9 @@ impl<'g> IncrementalEvaluator<'g> {
                 let new = self.compute_instance(inst).map_err(Box::new)?;
                 (new, old)
             };
+            meter
+                .grow_cells(newv.cell_count() as u64)
+                .map_err(|k| Box::new(EvalError::budget(k, "incremental propagation")))?;
             stats.reevaluated += 1;
             let same = oldv
                 .as_ref()
@@ -453,6 +494,7 @@ impl<'g> IncrementalEvaluator<'g> {
         node: NodeId,
         stats: &mut IncrementalStats,
         unknown: &mut usize,
+        meter: &mut BudgetMeter,
         rec: &mut R,
     ) -> Result<(), EvalError> {
         let g = self.grammar;
@@ -479,70 +521,98 @@ impl<'g> IncrementalEvaluator<'g> {
             })
             .collect();
         for goal in goals {
-            self.demand(goal, stats, unknown, rec)?;
+            self.demand(goal, stats, unknown, meter, rec)?;
         }
         Ok(())
     }
 
     /// Demand-evaluates `goal` within the subtree rooted at `limit`;
     /// instances outside the subtree must already have values.
+    ///
+    /// Runs on an explicit work-stack so tree depth is a checked budget
+    /// rather than native stack exhaustion. DNC membership guarantees the
+    /// demand graph is acyclic; the depth budget bounds accidental cycles
+    /// from malformed programs.
     fn demand<R: Recorder>(
         &mut self,
         goal: Inst,
         stats: &mut IncrementalStats,
         unknown: &mut usize,
+        meter: &mut BudgetMeter,
         rec: &mut R,
     ) -> Result<(), EvalError> {
+        enum Task {
+            Enter(Inst),
+            Finish(Inst),
+        }
         let g = self.grammar;
-        match goal {
-            Inst::Attr(n, a) if self.values.get(g, n, a).is_some() => return Ok(()),
-            Inst::Local(n, l) if self.locals.get(n, l).is_some() => return Ok(()),
-            _ => {}
-        }
-        // Resolve the defining rule through the compiled index.
-        let (def_node, target) = self.definition_of(goal);
-        let p = self.tree.node(def_node).production();
-        let rule_ix = self
-            .program
-            .production(p)
-            .rule_index(target)
-            .expect("validated grammar");
-        let rule = &g.production(p).rules()[rule_ix as usize];
-        let subgoals: Vec<Inst> = rule
-            .read_nodes()
-            .map(|arg| match arg {
-                ONode::Attr(Occ { pos, attr }) => {
-                    let at = if pos == 0 {
-                        def_node
-                    } else {
-                        self.tree.node(def_node).children()[pos as usize - 1]
-                    };
-                    Inst::Attr(at, attr)
+        let mut stack: Vec<Task> = vec![Task::Enter(goal)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Enter(goal) => {
+                    match goal {
+                        Inst::Attr(n, a) if self.values.get(g, n, a).is_some() => continue,
+                        Inst::Local(n, l) if self.locals.get(n, l).is_some() => continue,
+                        _ => {}
+                    }
+                    // Resolve the defining rule through the compiled index.
+                    let (def_node, target) = self.definition_of(goal);
+                    let p = self.tree.node(def_node).production();
+                    let rule_ix = self
+                        .program
+                        .production(p)
+                        .rule_index(target)
+                        .expect("validated grammar");
+                    let rule = &g.production(p).rules()[rule_ix as usize];
+                    stack.push(Task::Finish(goal));
+                    let base = stack.len();
+                    for arg in rule.read_nodes() {
+                        let sub = match arg {
+                            ONode::Attr(Occ { pos, attr }) => {
+                                let at = if pos == 0 {
+                                    def_node
+                                } else {
+                                    self.tree.node(def_node).children()[pos as usize - 1]
+                                };
+                                Inst::Attr(at, attr)
+                            }
+                            ONode::Local(l) => Inst::Local(def_node, l),
+                        };
+                        stack.push(Task::Enter(sub));
+                    }
+                    stack[base..].reverse();
+                    meter.check_depth(stack.len()).map_err(|k| {
+                        EvalError::budget(k, format!("incremental evaluator, {def_node}"))
+                    })?;
                 }
-                ONode::Local(l) => Inst::Local(def_node, l),
-            })
-            .collect();
-        for sub in subgoals {
-            self.demand(sub, stats, unknown, rec)?;
-        }
-        let v = self.compute_instance(goal)?;
-        stats.reevaluated += 1;
-        *unknown += 1;
-        if rec.trace() {
-            if let Inst::Attr(n, a) = goal {
-                rec.emit(Event::StatusComputed {
-                    node: n.index() as u32,
-                    attr: a.index() as u32,
-                    status: ChangeStatus::Unknown,
-                });
-            }
-        }
-        match goal {
-            Inst::Attr(n, a) => {
-                self.values.set(g, n, a, v);
-            }
-            Inst::Local(n, l) => {
-                self.locals.set(n, l, v);
+                Task::Finish(goal) => {
+                    meter
+                        .step()
+                        .map_err(|k| EvalError::budget(k, "incremental evaluator"))?;
+                    let v = self.compute_instance(goal)?;
+                    meter
+                        .grow_cells(v.cell_count() as u64)
+                        .map_err(|k| EvalError::budget(k, "incremental evaluator"))?;
+                    stats.reevaluated += 1;
+                    *unknown += 1;
+                    if rec.trace() {
+                        if let Inst::Attr(n, a) = goal {
+                            rec.emit(Event::StatusComputed {
+                                node: n.index() as u32,
+                                attr: a.index() as u32,
+                                status: ChangeStatus::Unknown,
+                            });
+                        }
+                    }
+                    match goal {
+                        Inst::Attr(n, a) => {
+                            self.values.set(g, n, a, v);
+                        }
+                        Inst::Local(n, l) => {
+                            self.locals.set(n, l, v);
+                        }
+                    }
+                }
             }
         }
         Ok(())

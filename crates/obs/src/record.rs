@@ -73,6 +73,14 @@ pub enum Key {
     ParTrees,
     /// Successful steals performed by the work-stealing pool.
     ParSteals,
+    /// Evaluations cut short by an exhausted [`fnc2-guard`] budget.
+    GuardBudgetExceeded,
+    /// Worker panics caught and classified by the batch driver.
+    GuardPanicsCaught,
+    /// Space-plan → exhaustive degradations taken by the pipeline.
+    GuardDegraded,
+    /// Per-tree retry attempts performed by the batch driver.
+    ParRetries,
 }
 
 impl Key {
@@ -80,7 +88,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 25] = [
+    pub const ALL: [Key; 29] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -106,6 +114,10 @@ impl Key {
         Key::EvalConstHits,
         Key::ParTrees,
         Key::ParSteals,
+        Key::GuardBudgetExceeded,
+        Key::GuardPanicsCaught,
+        Key::GuardDegraded,
+        Key::ParRetries,
     ];
 
     /// The canonical dotted metric name.
@@ -136,6 +148,10 @@ impl Key {
             Key::EvalConstHits => "eval.const_hits",
             Key::ParTrees => "par.trees",
             Key::ParSteals => "par.steals",
+            Key::GuardBudgetExceeded => "guard.budget_exceeded",
+            Key::GuardPanicsCaught => "guard.panics_caught",
+            Key::GuardDegraded => "guard.degraded",
+            Key::ParRetries => "par.retries",
         }
     }
 

@@ -122,14 +122,25 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                 }
             }
         }
-        let resolve_occ = |o: &crate::ast::OccRef| -> ONode {
-            let (pos, _, _) = octx.resolve(o).expect("checker validated occurrences");
+        let resolve_occ = |o: &crate::ast::OccRef| -> Result<ONode, LowerError> {
+            let (pos, _, _) = octx.resolve(o).map_err(|e| {
+                LowerError::Internal(format!("occurrence failed to re-resolve: {e}"), o.pos)
+            })?;
             let ph = if pos == 0 {
                 &op.lhs
             } else {
                 &op.rhs[pos as usize - 1]
             };
-            ONode::Attr(Occ::new(pos, attr_ids[&(ph.as_str(), o.attr.as_str())]))
+            let id = attr_ids
+                .get(&(ph.as_str(), o.attr.as_str()))
+                .copied()
+                .ok_or_else(|| {
+                    LowerError::Internal(
+                        format!("attribute `{}` is not declared of phylum `{ph}`", o.attr),
+                        o.pos,
+                    )
+                })?;
+            Ok(ONode::Attr(Occ::new(pos, id)))
         };
 
         for phase in &ag.phases {
@@ -146,12 +157,12 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                         &local_ids,
                         &ctx,
                         &mut info,
-                    );
+                    )?;
                     defined.entry(pid).or_default().insert(target);
                 }
                 for rule in &block.rules {
                     let target = match &rule.target {
-                        RuleTarget::Occ(o) => resolve_occ(o),
+                        RuleTarget::Occ(o) => resolve_occ(o)?,
                         RuleTarget::Local(name, _) => ONode::Local(local_ids[name.as_str()]),
                     };
                     add_rule(
@@ -163,7 +174,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                         &local_ids,
                         &ctx,
                         &mut info,
-                    );
+                    )?;
                     defined.entry(pid).or_default().insert(target);
                 }
             }
@@ -249,8 +260,8 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                 })
                 .collect();
             let is_str = matches!(ty, crate::types::Ty::Str);
-            match (carriers.len(), class) {
-                (0, crate::ast::AttrClass::Concat) => {
+            match (carriers.as_slice(), class) {
+                ([], crate::ast::AttrClass::Concat) => {
                     let empty = if is_str {
                         fnc2_ag::Value::str("")
                     } else {
@@ -259,15 +270,16 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                     b.constant(pid, target, empty);
                     info.computed_rules += 1;
                 }
-                (0, crate::ast::AttrClass::Sum) => {
+                ([], crate::ast::AttrClass::Sum) => {
                     b.constant(pid, target, fnc2_ag::Value::Int(0));
                     info.computed_rules += 1;
                 }
-                (1, _) => {
-                    b.copy(pid, target, carriers.into_iter().next().expect("one"));
+                ([one], _) => {
+                    b.copy(pid, target, one.clone());
                     info.auto_copies += 1;
                 }
-                (n, cls) => {
+                (many, cls) => {
+                    let n = many.len();
                     let fname = format!("model@{cls:?}@{n}@{}@{aname}", op.name);
                     let summing = matches!(cls, crate::ast::AttrClass::Sum);
                     b.func(fname.clone(), n, move |vals: &[fnc2_ag::Value]| {
@@ -279,7 +291,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
                             fnc2_ag::Value::list(vals.iter().flat_map(|v| v.as_list().to_vec()))
                         }
                     });
-                    b.call(pid, target, &fname, carriers);
+                    b.call(pid, target, &fname, many.to_vec());
                     info.computed_rules += 1;
                 }
             }
@@ -353,32 +365,32 @@ fn add_rule(
     pid: ProductionId,
     target: ONode,
     body: &Expr,
-    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> ONode,
+    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> Result<ONode, LowerError>,
     local_ids: &HashMap<&str, LocalId>,
     ctx: &EvalCtx,
     info: &mut LowerInfo,
-) {
+) -> Result<(), LowerError> {
     // Literal constants.
     match body {
         Expr::Int(i, _) => {
             b.constant(pid, target, fnc2_ag::Value::Int(*i));
             info.computed_rules += 1;
-            return;
+            return Ok(());
         }
         Expr::Real(r, _) => {
             b.constant(pid, target, fnc2_ag::Value::Real(*r));
             info.computed_rules += 1;
-            return;
+            return Ok(());
         }
         Expr::Bool(v, _) => {
             b.constant(pid, target, fnc2_ag::Value::Bool(*v));
             info.computed_rules += 1;
-            return;
+            return Ok(());
         }
         Expr::Str(s, _) => {
             b.constant(pid, target, fnc2_ag::Value::str(s));
             info.computed_rules += 1;
-            return;
+            return Ok(());
         }
         _ => {}
     }
@@ -394,7 +406,7 @@ fn add_rule(
         &mut args,
         &mut keys,
         &mut bound,
-    );
+    )?;
 
     // A bare occurrence/local/token reference is a copy rule.
     if args.len() == 1 {
@@ -402,7 +414,7 @@ fn add_rule(
             if v == "$0" {
                 b.copy(pid, target, args.remove(0));
                 info.explicit_copies += 1;
-                return;
+                return Ok(());
             }
         }
     }
@@ -421,6 +433,7 @@ fn add_rule(
     });
     b.call(pid, target, &fname, args);
     info.computed_rules += 1;
+    Ok(())
 }
 
 /// Identity of an extracted argument, for deduplication.
@@ -434,12 +447,12 @@ enum ArgKey {
 /// `token()` calls into `$k` variables, collecting the argument list.
 fn extract(
     e: &Expr,
-    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> ONode,
+    resolve_occ: &dyn Fn(&crate::ast::OccRef) -> Result<ONode, LowerError>,
     local_ids: &HashMap<&str, LocalId>,
     args: &mut Vec<Arg>,
     keys: &mut Vec<ArgKey>,
     bound: &mut Vec<String>,
-) -> Expr {
+) -> Result<Expr, LowerError> {
     let slot = |key: ArgKey, args: &mut Vec<Arg>, keys: &mut Vec<ArgKey>| -> Expr {
         let i = match keys.iter().position(|k| *k == key) {
             Some(i) => i,
@@ -454,12 +467,12 @@ fn extract(
         };
         Expr::Var(format!("${i}"), Pos { line: 0, col: 0 })
     };
-    match e {
-        Expr::Occ(o) => slot(ArgKey::Node(resolve_occ(o)), args, keys),
+    Ok(match e {
+        Expr::Occ(o) => slot(ArgKey::Node(resolve_occ(o)?), args, keys),
         Expr::Var(n, p) => {
             if !bound.contains(n) {
                 if let Some(&l) = local_ids.get(n.as_str()) {
-                    return slot(ArgKey::Node(ONode::Local(l)), args, keys);
+                    return Ok(slot(ArgKey::Node(ONode::Local(l)), args, keys));
                 }
             }
             Expr::Var(n.clone(), *p)
@@ -467,7 +480,7 @@ fn extract(
         Expr::Call {
             name,
             args: cargs,
-            pos,
+            pos: _,
         } if name == "token" && cargs.is_empty() => slot(ArgKey::Token, args, keys),
         Expr::Call {
             name,
@@ -478,18 +491,18 @@ fn extract(
             args: cargs
                 .iter()
                 .map(|a| extract(a, resolve_occ, local_ids, args, keys, bound))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             pos: *pos,
         },
         Expr::Unop { op, expr, pos } => Expr::Unop {
             op,
-            expr: Box::new(extract(expr, resolve_occ, local_ids, args, keys, bound)),
+            expr: Box::new(extract(expr, resolve_occ, local_ids, args, keys, bound)?),
             pos: *pos,
         },
         Expr::Binop { op, lhs, rhs, pos } => Expr::Binop {
             op,
-            lhs: Box::new(extract(lhs, resolve_occ, local_ids, args, keys, bound)),
-            rhs: Box::new(extract(rhs, resolve_occ, local_ids, args, keys, bound)),
+            lhs: Box::new(extract(lhs, resolve_occ, local_ids, args, keys, bound)?),
+            rhs: Box::new(extract(rhs, resolve_occ, local_ids, args, keys, bound)?),
             pos: *pos,
         },
         Expr::If {
@@ -498,9 +511,9 @@ fn extract(
             els,
             pos,
         } => Expr::If {
-            cond: Box::new(extract(cond, resolve_occ, local_ids, args, keys, bound)),
-            then: Box::new(extract(then, resolve_occ, local_ids, args, keys, bound)),
-            els: Box::new(extract(els, resolve_occ, local_ids, args, keys, bound)),
+            cond: Box::new(extract(cond, resolve_occ, local_ids, args, keys, bound)?),
+            then: Box::new(extract(then, resolve_occ, local_ids, args, keys, bound)?),
+            els: Box::new(extract(els, resolve_occ, local_ids, args, keys, bound)?),
             pos: *pos,
         },
         Expr::Let {
@@ -509,14 +522,14 @@ fn extract(
             body,
             pos,
         } => {
-            let value = Box::new(extract(value, resolve_occ, local_ids, args, keys, bound));
+            let value = Box::new(extract(value, resolve_occ, local_ids, args, keys, bound)?);
             bound.push(name.clone());
-            let body = Box::new(extract(body, resolve_occ, local_ids, args, keys, bound));
+            let body = extract(body, resolve_occ, local_ids, args, keys, bound);
             bound.pop();
             Expr::Let {
                 name: name.clone(),
                 value,
-                body,
+                body: Box::new(body?),
                 pos: *pos,
             }
         }
@@ -532,7 +545,7 @@ fn extract(
                 args,
                 keys,
                 bound,
-            ));
+            )?);
             let arms = arms
                 .iter()
                 .map(|(p, b)| {
@@ -541,9 +554,9 @@ fn extract(
                     bound.extend(binders);
                     let b = extract(b, resolve_occ, local_ids, args, keys, bound);
                     bound.truncate(bound.len() - n);
-                    (clone_pat(p), b)
+                    Ok((clone_pat(p), b?))
                 })
-                .collect();
+                .collect::<Result<_, LowerError>>()?;
             Expr::Case {
                 scrutinee,
                 arms,
@@ -554,14 +567,14 @@ fn extract(
             items
                 .iter()
                 .map(|i| extract(i, resolve_occ, local_ids, args, keys, bound))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             *pos,
         ),
         Expr::TupleLit(items, pos) => Expr::TupleLit(
             items
                 .iter()
                 .map(|i| extract(i, resolve_occ, local_ids, args, keys, bound))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             *pos,
         ),
         Expr::TreeCons {
@@ -573,11 +586,11 @@ fn extract(
             args: targs
                 .iter()
                 .map(|a| extract(a, resolve_occ, local_ids, args, keys, bound))
-                .collect(),
+                .collect::<Result<_, _>>()?,
             pos: *pos,
         },
         other => other.clone(),
-    }
+    })
 }
 
 fn clone_pat(p: &Pat) -> Pat {
@@ -757,6 +770,75 @@ mod tests {
         let err = lower(&checked).unwrap_err();
         // S.v has no rule and no same-named child attribute.
         assert!(err.to_string().contains("S.v"), "{err}");
+    }
+
+    #[test]
+    fn stale_rule_target_is_diagnosed_not_panicked() {
+        let Unit::Ag(ag) = parse_unit(
+            r#"
+            attribute grammar t;
+              phylum S, A;
+              operator mk : S ::= A;
+              operator leaf : A ::= ;
+              synthesized v : int of S, A;
+              for mk { S.v := A.v; }
+              for leaf { A.v := 7; }
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let mut checked = Compiler::new().check_ag(ag).unwrap();
+        // Corrupt a rule target *after* checking: lowering must surface an
+        // internal diagnostic instead of panicking on the stale occurrence.
+        for phase in &mut checked.ast.phases {
+            for block in &mut phase.blocks {
+                for rule in &mut block.rules {
+                    if let RuleTarget::Occ(o) = &mut rule.target {
+                        o.attr = "no_such_attr".to_string();
+                    }
+                }
+            }
+        }
+        let err = lower(&checked).unwrap_err();
+        assert!(matches!(err, LowerError::Internal(..)), "{err}");
+        assert!(err.to_string().contains("internal lowering error"), "{err}");
+    }
+
+    #[test]
+    fn stale_body_occurrence_is_diagnosed_not_panicked() {
+        let Unit::Ag(ag) = parse_unit(
+            r#"
+            attribute grammar t;
+              phylum S, A;
+              operator mk : S ::= A;
+              operator leaf : A ::= ;
+              synthesized v : int of S, A;
+              for mk { S.v := A.v + 1; }
+              for leaf { A.v := 7; }
+            end
+            "#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let mut checked = Compiler::new().check_ag(ag).unwrap();
+        // Corrupt an occurrence inside a rule *body* to exercise the
+        // extraction path.
+        for phase in &mut checked.ast.phases {
+            for block in &mut phase.blocks {
+                for rule in &mut block.rules {
+                    if let Expr::Binop { lhs, .. } = &mut rule.body {
+                        if let Expr::Occ(o) = lhs.as_mut() {
+                            o.attr = "no_such_attr".to_string();
+                        }
+                    }
+                }
+            }
+        }
+        let err = lower(&checked).unwrap_err();
+        assert!(matches!(err, LowerError::Internal(..)), "{err}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! # fnc2-par — work-stealing parallel batch evaluation
+//! # fnc2-par — work-stealing, fault-isolated parallel batch evaluation
 //!
 //! The exhaustive [`Evaluator`] is read-only once constructed: evaluation
 //! writes only into the per-tree [`AttrValues`]/local frames it allocates.
@@ -18,10 +18,23 @@
 //!   order — and every value in it — is **bit-identical** to a sequential
 //!   run regardless of thread count or steal interleaving.
 //!
+//! ## Fault isolation
+//!
+//! [`batch_evaluate_guarded`] is the robust entry point: each tree is
+//! evaluated under [`std::panic::catch_unwind`] against an
+//! [`EvalBudget`], and its outcome is *classified* as a [`TreeOutcome`] —
+//! `Ok`, `Failed` (a well-formed [`EvalError`], including budget trips) or
+//! `Panicked` (the captured panic message). One poisoned tree never loses
+//! the other N−1 results, and the worker pool stays alive: a failed tree
+//! is re-enqueued at the **back** of its worker's deque (per-tree backoff
+//! — retries run behind remaining fresh work) up to `retries` times.
+//! Deterministic [`FaultPlan`]s inject faults per `(tree, attempt)`, which
+//! is how the fuzz oracle proves that transient faults converge to
+//! bit-identical results after retry.
+//!
 //! Counters flow through the shared `fnc2-obs` vocabulary:
-//! [`Key::ParTrees`] counts trees evaluated and [`Key::ParSteals`] counts
-//! successful steals (0 on a single thread, and on perfectly balanced
-//! batches).
+//! [`Key::ParTrees`], [`Key::ParSteals`], [`Key::ParRetries`],
+//! [`Key::GuardPanicsCaught`] and [`Key::GuardBudgetExceeded`].
 //!
 //! ```
 //! use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder, Value};
@@ -69,10 +82,12 @@
 #![warn(missing_debug_implementations)]
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 use fnc2_ag::{AttrValues, Tree};
+use fnc2_guard::{EvalBudget, FaultPlan, InjectedFault, INJECTED_PANIC_MSG};
 use fnc2_obs::{Counters, Key, NoopRecorder, Recorder};
 use fnc2_visit::{EvalError, EvalStats, Evaluator, RootInputs};
 
@@ -89,50 +104,207 @@ pub struct BatchStats {
     pub threads: u64,
 }
 
-/// The per-worker deques plus the shared steal counter.
+/// The classified outcome of one tree in a guarded batch.
+#[derive(Debug)]
+pub enum TreeOutcome {
+    /// The tree decorated successfully.
+    Ok(AttrValues, EvalStats),
+    /// Evaluation returned a well-formed error (diagnostics, budget trips,
+    /// injected failures) — the tree is poisoned, the batch is not.
+    Failed(EvalError),
+    /// Evaluation panicked; the panic was caught at the tree boundary and
+    /// its message captured. The worker — and the batch — survived.
+    Panicked(String),
+}
+
+impl TreeOutcome {
+    /// True for [`TreeOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TreeOutcome::Ok(..))
+    }
+
+    /// The decorated attribute values, when evaluation succeeded.
+    pub fn values(&self) -> Option<&AttrValues> {
+        match self {
+            TreeOutcome::Ok(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The classified error, when evaluation failed without panicking.
+    pub fn error(&self) -> Option<&EvalError> {
+        match self {
+            TreeOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The captured panic message, when evaluation panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            TreeOutcome::Panicked(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label for reports: `ok`, `failed` or `panicked`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeOutcome::Ok(..) => "ok",
+            TreeOutcome::Failed(_) => "failed",
+            TreeOutcome::Panicked(_) => "panicked",
+        }
+    }
+}
+
+/// Everything a guarded batch run produced: per-tree classified outcomes
+/// plus the aggregate fault/retry counters.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// `outcomes[i]` is tree `i`'s final (post-retry) outcome.
+    pub outcomes: Vec<TreeOutcome>,
+    /// Pool statistics (trees, steals, threads).
+    pub stats: BatchStats,
+    /// Tree re-enqueues: one per failed attempt that was retried.
+    pub retries: u64,
+    /// Panics caught at the tree boundary (over all attempts).
+    pub panics_caught: u64,
+    /// Budget/fault trips observed (over all attempts).
+    pub budget_exceeded: u64,
+}
+
+impl BatchReport {
+    /// `(ok, failed, panicked)` final-outcome counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for o in &self.outcomes {
+            match o {
+                TreeOutcome::Ok(..) => c.0 += 1,
+                TreeOutcome::Failed(_) => c.1 += 1,
+                TreeOutcome::Panicked(_) => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// True when every tree succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.is_ok())
+    }
+}
+
+/// A work item: batch index plus the retry attempt it is on (0 = first).
+type Task = (usize, u32);
+
+/// The per-worker deques plus the shared steal/pending counters.
 struct Pool<'a> {
-    deques: Vec<Mutex<VecDeque<usize>>>,
+    deques: Vec<Mutex<VecDeque<Task>>>,
     steals: AtomicU64,
+    /// Trees without a terminal outcome yet. Re-enqueues keep it constant;
+    /// it drops only when an outcome is recorded, so `pending == 0` is the
+    /// authoritative "batch drained" signal even with tasks in flight.
+    pending: AtomicU64,
     trees: &'a [Tree],
 }
 
 impl<'a> Pool<'a> {
     fn new(trees: &'a [Tree], workers: usize) -> Pool<'a> {
-        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut deques: Vec<VecDeque<Task>> = (0..workers).map(|_| VecDeque::new()).collect();
         // Round-robin deal: contiguous runs land on the same worker only
         // when the batch is much larger than the pool, keeping the common
         // case steal-free.
         for (i, _) in trees.iter().enumerate() {
-            deques[i % workers].push_back(i);
+            deques[i % workers].push_back((i, 0));
         }
         Pool {
             deques: deques.into_iter().map(Mutex::new).collect(),
             steals: AtomicU64::new(0),
+            pending: AtomicU64::new(trees.len() as u64),
             trees,
         }
     }
 
     /// Next task for worker `w`: own deque front first, then steal from
-    /// the other deques' backs. `None` means the whole batch is drained —
-    /// no task ever re-enters a deque, so one empty sweep is conclusive.
-    fn next_task(&self, w: usize) -> Option<usize> {
-        if let Some(i) = self.deques[w].lock().unwrap().pop_front() {
-            return Some(i);
+    /// the other deques' backs.
+    fn next_task(&self, w: usize) -> Option<Task> {
+        if let Some(t) = self.deques[w].lock().unwrap().pop_front() {
+            return Some(t);
         }
         let n = self.deques.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(i) = self.deques[victim].lock().unwrap().pop_back() {
+            if let Some(t) = self.deques[victim].lock().unwrap().pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(i);
+                return Some(t);
             }
         }
         None
+    }
+
+    /// Re-enqueues a failed tree at the **back** of worker `w`'s deque:
+    /// the retry runs after the worker's remaining fresh work (per-tree
+    /// backoff ordering), and `pending` is untouched so the pool stays
+    /// alive until the retry resolves.
+    fn requeue(&self, w: usize, i: usize, attempt: u32) {
+        self.deques[w].lock().unwrap().push_back((i, attempt));
     }
 }
 
 /// One tree's outcome, exactly what [`Evaluator::evaluate`] returns.
 pub type TreeResult = Result<(AttrValues, EvalStats), EvalError>;
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Injected panics are expected, caught and classified; keep their default
+/// panic-hook stack traces out of stderr. The replacement hook delegates
+/// to the previous hook for every *real* panic.
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains(INJECTED_PANIC_MSG))
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Evaluates tree `i` (attempt `attempt`) with the panic boundary and
+/// classifies the result.
+fn run_one(
+    evaluator: &Evaluator<'_>,
+    tree: &Tree,
+    inputs: &RootInputs,
+    budget: &EvalBudget,
+    fault: Option<InjectedFault>,
+) -> TreeOutcome {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        if matches!(fault, Some(InjectedFault::PanicOnEntry)) {
+            panic!("{INJECTED_PANIC_MSG} (on entry)");
+        }
+        evaluator.evaluate_guarded(tree, inputs, budget, fault)
+    }));
+    match r {
+        Ok(Ok((values, stats))) => TreeOutcome::Ok(values, stats),
+        Ok(Err(e)) => TreeOutcome::Failed(e),
+        Err(payload) => TreeOutcome::Panicked(panic_message(payload)),
+    }
+}
 
 /// Evaluates every tree in `trees` against `evaluator` (all roots must
 /// derive the axiom; `inputs` supplies root inherited attributes, shared
@@ -142,6 +314,10 @@ pub type TreeResult = Result<(AttrValues, EvalStats), EvalError>;
 /// identical to calling [`Evaluator::evaluate`] in a sequential loop,
 /// whatever `threads` is. `threads` is clamped to `1..=trees.len()` (a
 /// worker with no possible work is never spawned).
+///
+/// This legacy entry point propagates evaluator panics (after the batch
+/// completes); use [`batch_evaluate_guarded`] to have them classified
+/// per-tree instead.
 pub fn batch_evaluate(
     evaluator: &Evaluator<'_>,
     trees: &[Tree],
@@ -160,29 +336,148 @@ pub fn batch_evaluate_recorded<R: Recorder>(
     threads: usize,
     rec: &mut R,
 ) -> (Vec<TreeResult>, BatchStats) {
+    let report = batch_evaluate_guarded_recorded(
+        evaluator,
+        trees,
+        inputs,
+        threads,
+        &EvalBudget::default(),
+        0,
+        None,
+        rec,
+    );
+    let stats = report.stats;
+    let results = report
+        .outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            TreeOutcome::Ok(v, s) => Ok((v, s)),
+            TreeOutcome::Failed(e) => Err(e),
+            TreeOutcome::Panicked(msg) => panic!("tree {i} panicked during evaluation: {msg}"),
+        })
+        .collect();
+    (results, stats)
+}
+
+/// The robust batch entry point: evaluates every tree under `budget` with
+/// a per-tree panic boundary, retries failed trees up to `retries` times
+/// (re-enqueued behind the worker's remaining work), and returns every
+/// tree's classified [`TreeOutcome`] — one poisoned tree never loses the
+/// other N−1 results.
+///
+/// `plan` optionally injects deterministic faults per `(tree, attempt)`;
+/// see [`FaultPlan`]. Surviving trees are bit-identical to an unfaulted
+/// sequential run regardless of `threads`.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_evaluate_guarded(
+    evaluator: &Evaluator<'_>,
+    trees: &[Tree],
+    inputs: &RootInputs,
+    threads: usize,
+    budget: &EvalBudget,
+    retries: u32,
+    plan: Option<&FaultPlan>,
+) -> BatchReport {
+    batch_evaluate_guarded_recorded(
+        evaluator,
+        trees,
+        inputs,
+        threads,
+        budget,
+        retries,
+        plan,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`batch_evaluate_guarded`], instrumented: replays [`Key::ParTrees`],
+/// [`Key::ParSteals`], [`Key::ParRetries`], [`Key::GuardPanicsCaught`] and
+/// [`Key::GuardBudgetExceeded`] into `rec` when the batch finishes.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_evaluate_guarded_recorded<R: Recorder>(
+    evaluator: &Evaluator<'_>,
+    trees: &[Tree],
+    inputs: &RootInputs,
+    threads: usize,
+    budget: &EvalBudget,
+    retries: u32,
+    plan: Option<&FaultPlan>,
+    rec: &mut R,
+) -> BatchReport {
+    if plan.is_some_and(|p| !p.is_empty()) {
+        silence_injected_panics();
+    }
     let workers = threads.clamp(1, trees.len().max(1));
-    let mut results: Vec<Option<TreeResult>> = Vec::new();
+    let mut outcomes: Vec<Option<TreeOutcome>> = Vec::new();
     let mut stats = BatchStats {
         trees: trees.len() as u64,
         steals: 0,
         threads: workers as u64,
     };
+    let retried = AtomicU64::new(0);
+    let panics = AtomicU64::new(0);
+    let budgets = AtomicU64::new(0);
+
+    let classify = |o: &TreeOutcome| match o {
+        TreeOutcome::Panicked(_) => {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
+        TreeOutcome::Failed(e) if e.is_budget() => {
+            budgets.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    };
 
     if workers == 1 {
         // No pool on one thread: the sequential loop *is* the semantics
-        // the parallel path must reproduce.
-        results.extend(trees.iter().map(|t| Some(evaluator.evaluate(t, inputs))));
+        // the parallel path must reproduce — including retry ordering
+        // (failures go to the back of the queue).
+        outcomes.resize_with(trees.len(), || None);
+        let mut queue: VecDeque<Task> = (0..trees.len()).map(|i| (i, 0)).collect();
+        while let Some((i, attempt)) = queue.pop_front() {
+            let fault = plan.and_then(|p| p.fault_for(i, attempt));
+            let o = run_one(evaluator, &trees[i], inputs, budget, fault);
+            classify(&o);
+            if !o.is_ok() && attempt < retries {
+                retried.fetch_add(1, Ordering::Relaxed);
+                queue.push_back((i, attempt + 1));
+            } else {
+                outcomes[i] = Some(o);
+            }
+        }
     } else {
         let pool = Pool::new(trees, workers);
-        results.resize_with(trees.len(), || None);
-        let done: Vec<Vec<(usize, TreeResult)>> = std::thread::scope(|scope| {
+        outcomes.resize_with(trees.len(), || None);
+        let done: Vec<Vec<(usize, TreeOutcome)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let pool = &pool;
+                    let retried = &retried;
+                    let classify = &classify;
                     scope.spawn(move || {
-                        let mut out: Vec<(usize, TreeResult)> = Vec::new();
-                        while let Some(i) = pool.next_task(w) {
-                            out.push((i, evaluator.evaluate(&pool.trees[i], inputs)));
+                        let mut out: Vec<(usize, TreeOutcome)> = Vec::new();
+                        loop {
+                            let Some((i, attempt)) = pool.next_task(w) else {
+                                // Tasks may still be in flight on other
+                                // workers and about to be re-enqueued;
+                                // only `pending == 0` ends the batch.
+                                if pool.pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                                continue;
+                            };
+                            let fault = plan.and_then(|p| p.fault_for(i, attempt));
+                            let o = run_one(evaluator, &pool.trees[i], inputs, budget, fault);
+                            classify(&o);
+                            if !o.is_ok() && attempt < retries {
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                pool.requeue(w, i, attempt + 1);
+                            } else {
+                                out.push((i, o));
+                                pool.pending.fetch_sub(1, Ordering::Release);
+                            }
                         }
                         out
                     })
@@ -191,29 +486,40 @@ pub fn batch_evaluate_recorded<R: Recorder>(
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         // Index merge makes the output independent of scheduling.
-        for (i, r) in done.into_iter().flatten() {
-            debug_assert!(results[i].is_none(), "tree {i} evaluated twice");
-            results[i] = Some(r);
+        for (i, o) in done.into_iter().flatten() {
+            debug_assert!(outcomes[i].is_none(), "tree {i} resolved twice");
+            outcomes[i] = Some(o);
         }
         stats.steals = pool.steals.load(Ordering::Relaxed);
     }
 
+    let report = BatchReport {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every dealt index resolves exactly once"))
+            .collect(),
+        stats,
+        retries: retried.load(Ordering::Relaxed),
+        panics_caught: panics.load(Ordering::Relaxed),
+        budget_exceeded: budgets.load(Ordering::Relaxed),
+    };
+
     let mut counters = Counters::new();
-    counters.add(Key::ParTrees, stats.trees);
-    counters.add(Key::ParSteals, stats.steals);
+    counters.add(Key::ParTrees, report.stats.trees);
+    counters.add(Key::ParSteals, report.stats.steals);
+    counters.add(Key::ParRetries, report.retries);
+    counters.add(Key::GuardPanicsCaught, report.panics_caught);
+    counters.add(Key::GuardBudgetExceeded, report.budget_exceeded);
     counters.replay(rec);
 
-    let results = results
-        .into_iter()
-        .map(|r| r.expect("every dealt index is evaluated exactly once"))
-        .collect();
-    (results, stats)
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use fnc2_ag::{Grammar, GrammarBuilder, Occ, TreeBuilder, Value};
     use fnc2_analysis::{snc_test, snc_to_l_ordered, Inclusion};
+    use fnc2_guard::PlannedFault;
     use fnc2_obs::Obs;
     use fnc2_visit::{build_visit_seqs, VisitSeqs};
 
@@ -302,5 +608,159 @@ mod tests {
         let (_, stats) = batch_evaluate_recorded(&ev, &trees, &RootInputs::new(), 2, &mut obs);
         assert_eq!(obs.metrics.counter("par.trees"), 5);
         assert_eq!(obs.metrics.counter("par.steals"), stats.steals);
+    }
+
+    #[test]
+    fn one_poisoned_tree_never_loses_the_others() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 12);
+        let inputs = RootInputs::new();
+        let clean =
+            batch_evaluate_guarded(&ev, &trees, &inputs, 1, &EvalBudget::default(), 0, None);
+        assert!(clean.all_ok());
+
+        for fault in [
+            InjectedFault::PanicOnEntry,
+            InjectedFault::PanicAtStep { step: 2 },
+            InjectedFault::FailRule { step: 1 },
+        ] {
+            let plan = FaultPlan::with_faults(vec![PlannedFault {
+                tree: 5,
+                fault,
+                transient: false,
+            }]);
+            for threads in [1, 2, 4, 8] {
+                let report = batch_evaluate_guarded(
+                    &ev,
+                    &trees,
+                    &inputs,
+                    threads,
+                    &EvalBudget::default(),
+                    0,
+                    Some(&plan),
+                );
+                assert_eq!(report.outcomes.len(), 12);
+                for (i, o) in report.outcomes.iter().enumerate() {
+                    if i == 5 {
+                        assert!(!o.is_ok(), "poisoned tree must not succeed ({fault})");
+                        continue;
+                    }
+                    // Survivors are bit-identical to the clean run.
+                    let a = o.values().expect("survivor decorated");
+                    let b = clean.outcomes[i].values().unwrap();
+                    let n = g.attr_by_name(g.phylum_by_name("S").unwrap(), "n").unwrap();
+                    assert_eq!(a.get(&g, trees[i].root(), n), b.get(&g, trees[i].root(), n));
+                }
+                match fault {
+                    InjectedFault::FailRule { .. } => {
+                        assert_eq!(report.panics_caught, 0);
+                        assert_eq!(report.budget_exceeded, 1);
+                    }
+                    _ => assert_eq!(report.panics_caught, 1, "{fault} at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fault_retry_converges() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 6);
+        let inputs = RootInputs::new();
+        let plan = FaultPlan::with_faults(vec![PlannedFault {
+            tree: 3,
+            fault: InjectedFault::PanicAtStep { step: 1 },
+            transient: true,
+        }]);
+        // Without retries the poisoned tree is lost...
+        let report = batch_evaluate_guarded(
+            &ev,
+            &trees,
+            &inputs,
+            2,
+            &EvalBudget::default(),
+            0,
+            Some(&plan),
+        );
+        assert!(report.outcomes[3].panic_message().is_some());
+        // ...with one retry the transient fault clears and the tree's
+        // result is bit-identical to an unfaulted run.
+        let report = batch_evaluate_guarded(
+            &ev,
+            &trees,
+            &inputs,
+            2,
+            &EvalBudget::default(),
+            1,
+            Some(&plan),
+        );
+        assert!(report.all_ok());
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.panics_caught, 1);
+        let (plain, _) = ev.evaluate(&trees[3], &inputs).unwrap();
+        let n = g.attr_by_name(g.phylum_by_name("S").unwrap(), "n").unwrap();
+        assert_eq!(
+            report.outcomes[3]
+                .values()
+                .unwrap()
+                .get(&g, trees[3].root(), n),
+            plain.get(&g, trees[3].root(), n)
+        );
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retries() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 4);
+        let plan = FaultPlan::with_faults(vec![PlannedFault {
+            tree: 0,
+            fault: InjectedFault::FailRule { step: 1 },
+            transient: false,
+        }]);
+        let report = batch_evaluate_guarded(
+            &ev,
+            &trees,
+            &RootInputs::new(),
+            2,
+            &EvalBudget::default(),
+            3,
+            Some(&plan),
+        );
+        assert!(report.outcomes[0].error().is_some_and(|e| e.is_budget()));
+        assert_eq!(report.retries, 3, "every retry was spent");
+        assert_eq!(report.budget_exceeded, 4, "initial attempt + 3 retries");
+    }
+
+    #[test]
+    fn budget_trips_are_classified_per_tree() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        // Tree depths 0..8: deep trees trip a 5-step budget, shallow ones fit.
+        let trees = chains(&g, 8);
+        let budget = EvalBudget::default().with_max_steps(5);
+        let mut obs = Obs::new();
+        let report = batch_evaluate_guarded_recorded(
+            &ev,
+            &trees,
+            &RootInputs::new(),
+            3,
+            &budget,
+            0,
+            None,
+            &mut obs,
+        );
+        let (ok, failed, panicked) = report.counts();
+        assert!(ok >= 1 && failed >= 1, "mixed outcomes expected");
+        assert_eq!(panicked, 0);
+        assert_eq!(report.budget_exceeded, failed as u64);
+        assert_eq!(obs.metrics.counter("guard.budget_exceeded"), failed as u64);
+        assert_eq!(obs.metrics.counter("par.trees"), 8);
     }
 }

@@ -581,8 +581,12 @@ impl StackSim {
                 .unwrap_or(false)
         };
         // Pop schedule: position → instances whose last use is there (and
-        // that this sequence must pop: ChildInh, ChildSyn, Local).
+        // that this sequence must pop: ChildInh, ChildSyn, Local). Member
+        // child-side instances are also bucketed by child position so the
+        // VISIT handoff checks don't rescan every instance of a wide
+        // production at every visit.
         let mut pops_at: HashMap<usize, Vec<ONode>> = HashMap::new();
+        let mut member_child: HashMap<u16, Vec<&crate::flat::Instance>> = HashMap::new();
         for inst in insts {
             if !members.contains(&objects.index(inst.object)) {
                 continue;
@@ -593,10 +597,19 @@ impl StackSim {
             ) {
                 pops_at.entry(inst.last_use()).or_default().push(inst.node);
             }
+            if matches!(inst.kind, InstanceKind::ChildInh | InstanceKind::ChildSyn) {
+                if let ONode::Attr(o) = inst.node {
+                    member_child.entry(o.pos).or_default().push(inst);
+                }
+            }
         }
 
         let mut rec = SimRecord::default();
+        // The symbolic stack plus a mirror index (node → stack slot) so
+        // membership and depth queries stay O(1) on stacks holding one
+        // instance per child of a wide production.
         let mut stack: Vec<ONode> = Vec::new();
+        let mut in_stack: HashMap<ONode, usize> = HashMap::new();
         let mut pending: HashSet<ONode> = HashSet::new();
         let mut baseline = 0usize;
 
@@ -605,29 +618,34 @@ impl StackSim {
         // For EVAL positions this runs between the reads and the push, so
         // dead sources never get trapped under the fresh value.
         let do_pops = |stack: &mut Vec<ONode>,
+                       in_stack: &mut HashMap<ONode, usize>,
                        pending: &mut HashSet<ONode>,
                        rec: &mut SimRecord,
                        pops_at: &HashMap<usize, Vec<ONode>>,
                        pos: usize|
          -> bool {
-            let drain =
-                |stack: &mut Vec<ONode>, pending: &mut HashSet<ONode>, rec: &mut SimRecord| {
-                    while let Some(top) = stack.last().copied() {
-                        if pending.remove(&top) {
-                            stack.pop();
-                            *rec.pops.entry(pos).or_insert(0) += 1;
-                        } else {
-                            break;
-                        }
+            let drain = |stack: &mut Vec<ONode>,
+                         in_stack: &mut HashMap<ONode, usize>,
+                         pending: &mut HashSet<ONode>,
+                         rec: &mut SimRecord| {
+                while let Some(top) = stack.last().copied() {
+                    if pending.remove(&top) {
+                        stack.pop();
+                        in_stack.remove(&top);
+                        *rec.pops.entry(pos).or_insert(0) += 1;
+                    } else {
+                        break;
                     }
-                };
+                }
+            };
             if let Some(nodes) = pops_at.get(&pos) {
                 for &node in nodes {
                     if stack.last() == Some(&node) {
                         stack.pop();
+                        in_stack.remove(&node);
                         *rec.pops.entry(pos).or_insert(0) += 1;
-                        drain(stack, pending, rec);
-                    } else if stack.contains(&node) {
+                        drain(stack, in_stack, pending, rec);
+                    } else if in_stack.contains_key(&node) {
                         pending.insert(node); // delayed pop
                     } else {
                         return false;
@@ -655,7 +673,10 @@ impl StackSim {
                         return None; // ambiguous handoff order
                     }
                     virt.sort();
-                    stack.extend(virt);
+                    for n in virt {
+                        in_stack.insert(n, stack.len());
+                        stack.push(n);
+                    }
                     baseline = stack.len();
                 }
                 FlatItem::Leave(v) => {
@@ -689,7 +710,7 @@ impl StackSim {
                         // Reads first.
                         for read in rule.read_nodes() {
                             if is_member(read) {
-                                let at = stack.iter().rposition(|&x| x == read)?;
+                                let at = *in_stack.get(&read)?;
                                 rec.depths.insert((pos, read), stack.len() - 1 - at);
                             }
                         }
@@ -711,15 +732,25 @@ impl StackSim {
                                 v.retain(|&n| n != src);
                             }
                             *stack.last_mut().expect("nonempty") = *target;
+                            in_stack.remove(&src);
+                            in_stack.insert(*target, stack.len() - 1);
                             rec.renames.insert(pos);
                             renamed = true;
                         }
                         // Dead sources are popped before the fresh push so
                         // they are not trapped under it.
-                        if !do_pops(&mut stack, &mut pending, &mut rec, &pops_at, pos) {
+                        if !do_pops(
+                            &mut stack,
+                            &mut in_stack,
+                            &mut pending,
+                            &mut rec,
+                            &pops_at,
+                            pos,
+                        ) {
                             return None;
                         }
                         if is_member(*target) && !renamed {
+                            in_stack.insert(*target, stack.len());
                             stack.push(*target);
                         }
                     }
@@ -730,14 +761,13 @@ impl StackSim {
                     } => {
                         let ph = prod.phylum_at(*child);
                         let part = &seqs.partitions_of(ph)[*partition];
+                        let of_child = member_child.get(child).map(Vec::as_slice).unwrap_or(&[]);
                         // Handoff check: this visit's inherited members must
                         // be exactly the topmost items, in canonical order.
-                        let mut handoff: Vec<ONode> = insts
+                        let mut handoff: Vec<ONode> = of_child
                             .iter()
                             .filter(|i| {
                                 i.kind == InstanceKind::ChildInh
-                                    && members.contains(&objects.index(i.object))
-                                    && matches!(i.node, ONode::Attr(o) if o.pos == *child)
                                     && matches!(i.node, ONode::Attr(o)
                                         if part.visit_of(o.attr) == Some(*visit))
                             })
@@ -754,20 +784,28 @@ impl StackSim {
                         }
                         // The child's synthesized members of this visit
                         // materialize on top, in canonical order.
-                        let mut syn: Vec<ONode> = insts
+                        let mut syn: Vec<ONode> = of_child
                             .iter()
                             .filter(|i| {
                                 i.kind == InstanceKind::ChildSyn
-                                    && members.contains(&objects.index(i.object))
-                                    && matches!(i.node, ONode::Attr(o) if o.pos == *child)
                                     && matches!(i.node, ONode::Attr(o)
                                         if part.visit_of(o.attr) == Some(*visit))
                             })
                             .map(|i| i.node)
                             .collect();
                         syn.sort();
-                        stack.extend(syn);
-                        if !do_pops(&mut stack, &mut pending, &mut rec, &pops_at, pos) {
+                        for n in syn {
+                            in_stack.insert(n, stack.len());
+                            stack.push(n);
+                        }
+                        if !do_pops(
+                            &mut stack,
+                            &mut in_stack,
+                            &mut pending,
+                            &mut rec,
+                            &pops_at,
+                            pos,
+                        ) {
                             return None;
                         }
                     }

@@ -195,6 +195,7 @@ fn build_instances(
     let mut begin_pos: HashMap<usize, usize> = HashMap::new(); // visit -> position
     let mut leave_pos: HashMap<usize, usize> = HashMap::new();
     let mut visit_pos: HashMap<(u16, usize), (usize, usize)> = HashMap::new(); // (child, visit) -> (pos, partition)
+    let mut child_part: HashMap<u16, usize> = HashMap::new(); // child -> partition
     for (pos, item) in fs.items.iter().enumerate() {
         match item {
             FlatItem::Begin(v) => {
@@ -213,6 +214,7 @@ fn build_instances(
                     partition,
                 } => {
                     visit_pos.insert((*child, *visit), (pos, *partition));
+                    child_part.insert(*child, *partition);
                 }
             },
         }
@@ -270,10 +272,8 @@ fn build_instances(
         for &attr in grammar.phylum(ph).attrs() {
             let node = ONode::Attr(Occ::new(pos_j, attr));
             // Partition used on this child: from any VISIT instruction.
-            let (_, cpart) = visit_pos
-                .iter()
-                .find(|((c, _), _)| *c == pos_j)
-                .map(|(_, v)| *v)
+            let cpart = *child_part
+                .get(&pos_j)
                 .expect("every child is visited at least once");
             let part = &seqs.partitions_of(ph)[cpart];
             let w = part.visit_of(attr).expect("partition is complete");

@@ -19,6 +19,7 @@ use fnc2_ag::{
     Arg, AttrValues, FuncId, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, ProductionId,
     RuleBody, Tree, Value,
 };
+use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder, StorageClass};
 use fnc2_visit::{EvalError, Instr, RootInputs, VisitSeqs};
 
@@ -302,6 +303,25 @@ impl<'g> SpaceEvaluator<'g> {
         self.evaluate_recorded(tree, inputs, &mut NoopRecorder)
     }
 
+    /// [`SpaceEvaluator::evaluate`] under an explicit
+    /// [`fnc2_guard::EvalBudget`], with an optional deterministic
+    /// [`InjectedFault`] armed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpaceEvaluator::evaluate`], plus
+    /// [`EvalError::BudgetExceeded`] when a limit is exhausted or the
+    /// injected fault fires.
+    pub fn evaluate_guarded(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+    ) -> Result<SpaceOutcome, EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, budget, fault, &mut NoopRecorder)
+    }
+
     /// [`SpaceEvaluator::evaluate`], instrumented: run counters are
     /// replayed into `rec` under the `space.*` keys, and when tracing is
     /// on each storage write emits an `AttrStored` event tagged with its
@@ -316,7 +336,25 @@ impl<'g> SpaceEvaluator<'g> {
         inputs: &RootInputs,
         rec: &mut R,
     ) -> Result<SpaceOutcome, EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, &EvalBudget::default(), None, rec)
+    }
+
+    /// [`SpaceEvaluator::evaluate_recorded`] under an explicit budget and
+    /// optional injected fault — the fully general entry point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpaceEvaluator::evaluate_guarded`].
+    pub fn evaluate_recorded_guarded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+        rec: &mut R,
+    ) -> Result<SpaceOutcome, EvalError> {
         let g = self.grammar;
+        let mut meter = BudgetMeter::with_fault(budget, fault);
         let mut st = RunState {
             globals: vec![None; self.n_variables],
             stacks: vec![Vec::new(); self.n_stacks],
@@ -340,7 +378,7 @@ impl<'g> SpaceEvaluator<'g> {
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         for v in 1..=visits {
-            self.run_visit(tree, root, 0, v, &mut st, rec)?;
+            self.run_visit(tree, root, 0, v, &mut st, &mut meter, rec)?;
         }
         st.counters
             .raise(Key::SpaceMaxLiveCells, st.max_live as u64);
@@ -355,6 +393,12 @@ impl<'g> SpaceEvaluator<'g> {
         })
     }
 
+    /// Performs visit `visit` of `node` under `partition`, iteratively: an
+    /// explicit frame stack replaces recursion so visit depth is a checked
+    /// budget instead of a thread-stack overflow. When a child frame
+    /// finishes, the parent resumes at the op *after* its suspended
+    /// `COp::Visit` and first runs that op's scheduled pops.
+    #[allow(clippy::too_many_arguments)]
     fn run_visit<R: Recorder>(
         &self,
         tree: &Tree,
@@ -362,8 +406,21 @@ impl<'g> SpaceEvaluator<'g> {
         partition: usize,
         visit: usize,
         st: &mut RunState,
+        meter: &mut BudgetMeter,
         rec: &mut R,
     ) -> Result<(), EvalError> {
+        struct Frame {
+            node: NodeId,
+            partition: usize,
+            visit: usize,
+            at: usize,
+        }
+        let mut stack = vec![Frame {
+            node,
+            partition,
+            visit,
+            at: 0,
+        }];
         st.counters.add(Key::SpaceVisits, 1);
         if rec.trace() {
             rec.emit(Event::VisitEnter {
@@ -372,9 +429,35 @@ impl<'g> SpaceEvaluator<'g> {
                 visit: visit as u16,
             });
         }
-        let p = tree.node(node).production();
-        let ops: &[COp] = &self.compiled[p.index()][partition][visit - 1];
-        for op in ops {
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.node;
+            let p = tree.node(node).production();
+            let ops: &[COp] = &self.compiled[p.index()][frame.partition][frame.visit - 1];
+            if frame.at == ops.len() {
+                if rec.trace() {
+                    rec.emit(Event::VisitLeave {
+                        node: node.index() as u32,
+                        production: p.index() as u32,
+                        visit: frame.visit as u16,
+                    });
+                }
+                stack.pop();
+                // Resume the parent: the op it suspended at is the Visit
+                // that spawned this frame; run its delayed pops now.
+                if let Some(parent) = stack.last() {
+                    let pp = tree.node(parent.node).production();
+                    let pops = match &self.compiled[pp.index()][parent.partition][parent.visit - 1]
+                        [parent.at - 1]
+                    {
+                        COp::Visit { pops, .. } => pops,
+                        _ => unreachable!("parent frames suspend only at COp::Visit"),
+                    };
+                    self.pops(pops, st);
+                }
+                continue;
+            }
+            let op = &ops[frame.at];
+            frame.at += 1;
             match op {
                 COp::Skip { pops } => {
                     st.counters.add(Key::SpaceCopiesSkipped, 1);
@@ -387,7 +470,13 @@ impl<'g> SpaceEvaluator<'g> {
                     write,
                     pops,
                 } => {
+                    meter
+                        .step()
+                        .map_err(|k| EvalError::budget(k, format!("space evaluator, {node}")))?;
                     let value = self.compute(tree, p, node, *func, reads, st)?;
+                    meter
+                        .grow_cells(value.cell_count() as u64)
+                        .map_err(|k| EvalError::budget(k, format!("space evaluator, {node}")))?;
                     st.counters.add(Key::SpaceEvals, 1);
                     // Dead sources pop before the fresh push (mirrors the
                     // static simulation).
@@ -398,20 +487,28 @@ impl<'g> SpaceEvaluator<'g> {
                     child,
                     visit: w,
                     partition: cpart,
-                    pops,
+                    pops: _,
                 } => {
                     let c = tree.node(node).children()[*child as usize - 1];
-                    self.run_visit(tree, c, *cpart, *w, st, rec)?;
-                    self.pops(pops, st);
+                    meter
+                        .check_depth(stack.len() + 1)
+                        .map_err(|k| EvalError::budget(k, format!("space evaluator, {c}")))?;
+                    st.counters.add(Key::SpaceVisits, 1);
+                    if rec.trace() {
+                        rec.emit(Event::VisitEnter {
+                            node: c.index() as u32,
+                            production: tree.node(c).production().index() as u32,
+                            visit: *w as u16,
+                        });
+                    }
+                    stack.push(Frame {
+                        node: c,
+                        partition: *cpart,
+                        visit: *w,
+                        at: 0,
+                    });
                 }
             }
-        }
-        if rec.trace() {
-            rec.emit(Event::VisitLeave {
-                node: node.index() as u32,
-                production: p.index() as u32,
-                visit: visit as u16,
-            });
         }
         Ok(())
     }

@@ -10,7 +10,10 @@
 
 use std::collections::HashMap;
 
-use fnc2_ag::{AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, Tree, Value};
+use fnc2_ag::{
+    AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, ProductionId, Tree, Value,
+};
+use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
 
 use crate::exhaustive::{EvalStats, RootInputs};
 use crate::rules::{eval_rule, EvalError, Store};
@@ -63,7 +66,26 @@ impl<'g> DynamicEvaluator<'g> {
         tree: &Tree,
         inputs: &RootInputs,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_guarded(tree, inputs, &EvalBudget::default(), None)
+    }
+
+    /// [`DynamicEvaluator::evaluate`] under an explicit [`EvalBudget`],
+    /// with an optional deterministic [`InjectedFault`] armed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DynamicEvaluator::evaluate`], plus
+    /// [`EvalError::BudgetExceeded`] when a limit is exhausted or the
+    /// injected fault fires.
+    pub fn evaluate_guarded(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
         let g = self.grammar;
+        let mut meter = BudgetMeter::with_fault(budget, fault);
         let mut values = AttrValues::new(g, tree);
         let mut locals: HashMap<(NodeId, LocalId), Value> = HashMap::new();
         let mut stats = EvalStats::default();
@@ -99,12 +121,17 @@ impl<'g> DynamicEvaluator<'g> {
                 &mut locals,
                 &mut in_progress,
                 &mut stats,
+                &mut meter,
             )?;
         }
         Ok((values, stats))
     }
 
-    /// Recursively evaluates `goal` with memoization and cycle detection.
+    /// Evaluates `goal` with memoization and cycle detection, iteratively:
+    /// the demand chain lives on an explicit heap stack (a list-like tree
+    /// produces demand chains as deep as the tree), and its length is a
+    /// checked [`fnc2_guard::BudgetKind::Depth`] budget instead of a
+    /// thread-stack overflow.
     #[allow(clippy::too_many_arguments)]
     fn demand(
         &self,
@@ -114,90 +141,115 @@ impl<'g> DynamicEvaluator<'g> {
         locals: &mut HashMap<(NodeId, LocalId), Value>,
         in_progress: &mut HashMap<Goal, bool>,
         stats: &mut EvalStats,
+        meter: &mut BudgetMeter,
     ) -> Result<(), EvalError> {
         let g = self.grammar;
-        match goal {
-            Goal::Attr(n, a) if values.get(g, n, a).is_some() => return Ok(()),
-            Goal::Local(n, l) if locals.contains_key(&(n, l)) => return Ok(()),
-            _ => {}
+        /// `Enter` demands a goal (memo check, cycle mark, push args);
+        /// `Finish` fires its rule once every argument below it completed.
+        enum Task {
+            Enter(Goal),
+            Finish(Goal, NodeId, ProductionId, ONode),
         }
-        if in_progress.insert(goal, true).is_some() {
-            let what = match goal {
-                Goal::Attr(_, a) => g.attr(a).name().to_string(),
-                Goal::Local(n, l) => {
-                    let p = tree.node(n).production();
-                    g.production(p).locals()[l.index()].name().to_string()
-                }
-            };
-            let node = match goal {
-                Goal::Attr(n, _) | Goal::Local(n, _) => n,
-            };
-            return Err(EvalError::CircularInstance { node, what });
-        }
+        let mut stack: Vec<Task> = vec![Task::Enter(goal)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Enter(goal) => {
+                    match goal {
+                        Goal::Attr(n, a) if values.get(g, n, a).is_some() => continue,
+                        Goal::Local(n, l) if locals.contains_key(&(n, l)) => continue,
+                        _ => {}
+                    }
+                    if in_progress.insert(goal, true).is_some() {
+                        let what = match goal {
+                            Goal::Attr(_, a) => g.attr(a).name().to_string(),
+                            Goal::Local(n, l) => {
+                                let p = tree.node(n).production();
+                                g.production(p).locals()[l.index()].name().to_string()
+                            }
+                        };
+                        let node = match goal {
+                            Goal::Attr(n, _) | Goal::Local(n, _) => n,
+                        };
+                        return Err(EvalError::CircularInstance { node, what });
+                    }
 
-        // Locate the defining production and the occurrence to evaluate.
-        let (def_node, def_prod, target) = match goal {
-            Goal::Attr(n, a) => match g.attr(a).kind() {
-                AttrKind::Synthesized => {
-                    let p = tree.node(n).production();
-                    (n, p, ONode::Attr(Occ::lhs(a)))
-                }
-                AttrKind::Inherited => {
-                    let parent = tree
-                        .node(n)
-                        .parent()
-                        .expect("root inherited supplied as inputs");
-                    let pos = tree.child_index(n).expect("child has an index") as u16;
-                    let p = tree.node(parent).production();
-                    (parent, p, ONode::Attr(Occ::new(pos, a)))
-                }
-            },
-            Goal::Local(n, l) => (n, tree.node(n).production(), ONode::Local(l)),
-        };
-
-        // Demand the rule's arguments first.
-        let rule = g
-            .rule_for(def_prod, target)
-            .expect("validated grammar defines every output");
-        let arg_goals: Vec<Goal> = rule
-            .read_nodes()
-            .map(|arg| match arg {
-                ONode::Attr(Occ { pos, attr }) => {
-                    let at = if pos == 0 {
-                        def_node
-                    } else {
-                        tree.node(def_node).children()[pos as usize - 1]
+                    // Locate the defining production and the occurrence.
+                    let (def_node, def_prod, target) = match goal {
+                        Goal::Attr(n, a) => match g.attr(a).kind() {
+                            AttrKind::Synthesized => {
+                                let p = tree.node(n).production();
+                                (n, p, ONode::Attr(Occ::lhs(a)))
+                            }
+                            AttrKind::Inherited => {
+                                let parent = tree
+                                    .node(n)
+                                    .parent()
+                                    .expect("root inherited supplied as inputs");
+                                let pos = tree.child_index(n).expect("child has an index") as u16;
+                                let p = tree.node(parent).production();
+                                (parent, p, ONode::Attr(Occ::new(pos, a)))
+                            }
+                        },
+                        Goal::Local(n, l) => (n, tree.node(n).production(), ONode::Local(l)),
                     };
-                    Goal::Attr(at, attr)
-                }
-                ONode::Local(l) => Goal::Local(def_node, l),
-            })
-            .collect();
-        for sub in arg_goals {
-            self.demand(tree, sub, values, locals, in_progress, stats)?;
-        }
 
-        let (value, is_copy) = {
-            let store = DynStore {
-                grammar: g,
-                values,
-                locals,
-            };
-            eval_rule(g, tree, def_prod, def_node, target, &store)?
-        };
-        stats.evals += 1;
-        if is_copy {
-            stats.copies += 1;
-        }
-        match goal {
-            Goal::Attr(n, a) => {
-                values.set(g, n, a, value);
+                    // Finish after the arguments; push them reversed so they
+                    // are demanded in rule order.
+                    let rule = g
+                        .rule_for(def_prod, target)
+                        .expect("validated grammar defines every output");
+                    stack.push(Task::Finish(goal, def_node, def_prod, target));
+                    let base = stack.len();
+                    for arg in rule.read_nodes() {
+                        let sub = match arg {
+                            ONode::Attr(Occ { pos, attr }) => {
+                                let at = if pos == 0 {
+                                    def_node
+                                } else {
+                                    tree.node(def_node).children()[pos as usize - 1]
+                                };
+                                Goal::Attr(at, attr)
+                            }
+                            ONode::Local(l) => Goal::Local(def_node, l),
+                        };
+                        stack.push(Task::Enter(sub));
+                    }
+                    stack[base..].reverse();
+                    meter.check_depth(stack.len()).map_err(|k| {
+                        EvalError::budget(k, format!("dynamic evaluator, {def_node}"))
+                    })?;
+                }
+                Task::Finish(goal, def_node, def_prod, target) => {
+                    meter.step().map_err(|k| {
+                        EvalError::budget(k, format!("dynamic evaluator, {def_node}"))
+                    })?;
+                    let (value, is_copy) = {
+                        let store = DynStore {
+                            grammar: g,
+                            values,
+                            locals,
+                        };
+                        eval_rule(g, tree, def_prod, def_node, target, &store)?
+                    };
+                    meter.grow_cells(value.cell_count() as u64).map_err(|k| {
+                        EvalError::budget(k, format!("dynamic evaluator, {def_node}"))
+                    })?;
+                    stats.evals += 1;
+                    if is_copy {
+                        stats.copies += 1;
+                    }
+                    match goal {
+                        Goal::Attr(n, a) => {
+                            values.set(g, n, a, value);
+                        }
+                        Goal::Local(n, l) => {
+                            locals.insert((n, l), value);
+                        }
+                    }
+                    in_progress.remove(&goal);
+                }
             }
-            Goal::Local(n, l) => {
-                locals.insert((n, l), value);
-            }
         }
-        in_progress.remove(&goal);
         Ok(())
     }
 }

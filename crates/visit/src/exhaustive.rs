@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use fnc2_ag::{AttrId, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, Tree, Value};
+use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder};
 
 use crate::program::CompiledProgram;
@@ -171,6 +172,24 @@ impl<'g> Evaluator<'g> {
         self.evaluate_recorded(tree, inputs, &mut NoopRecorder)
     }
 
+    /// [`Evaluator::evaluate`] under an explicit [`EvalBudget`], with an
+    /// optional deterministic [`InjectedFault`] armed (tests/fuzzing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate`], plus
+    /// [`EvalError::BudgetExceeded`] when a limit is exhausted or the
+    /// injected fault fires.
+    pub fn evaluate_guarded(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, budget, fault, &mut NoopRecorder)
+    }
+
     /// [`Evaluator::evaluate`], instrumented: counters are replayed into
     /// `rec` when the run finishes, and (when `rec.trace()` is on)
     /// `VisitEnter`/`VisitLeave`/`RuleFired` events are emitted along the
@@ -186,6 +205,25 @@ impl<'g> Evaluator<'g> {
         inputs: &RootInputs,
         rec: &mut R,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, &EvalBudget::default(), None, rec)
+    }
+
+    /// [`Evaluator::evaluate_recorded`] under an explicit [`EvalBudget`]
+    /// and optional injected fault — the fully general entry point all the
+    /// others specialize.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Evaluator::evaluate_guarded`].
+    pub fn evaluate_recorded_guarded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        let mut meter = BudgetMeter::with_fault(budget, fault);
         let mut values = AttrValues::new(self.grammar, tree);
         let mut locals = LocalFrames::new(self.grammar, tree);
         let mut counters = Counters::new();
@@ -213,6 +251,7 @@ impl<'g> Evaluator<'g> {
                 &mut locals,
                 &mut counters,
                 &mut buf,
+                &mut meter,
                 rec,
             )?;
         }
@@ -234,6 +273,7 @@ impl<'g> Evaluator<'g> {
         locals: &mut LocalFrames,
         counters: &mut Counters,
         buf: &mut Vec<Value>,
+        meter: &mut BudgetMeter,
         rec: &mut R,
     ) -> Result<(), EvalError> {
         struct Frame {
@@ -275,6 +315,9 @@ impl<'g> Evaluator<'g> {
             frame.at += 1;
             match instr {
                 CInstr::Eval { rule, target: _ } => {
+                    meter.step().map_err(|k| {
+                        EvalError::budget(k, format!("exhaustive evaluator, {node}"))
+                    })?;
                     let rule_ix = *rule;
                     let cr = &self.program.production(p).rules[rule_ix as usize];
                     let (value, is_copy) = self.program.exec_rule(
@@ -288,6 +331,9 @@ impl<'g> Evaluator<'g> {
                         buf,
                         counters,
                     )?;
+                    meter.grow_cells(value.cell_count() as u64).map_err(|k| {
+                        EvalError::budget(k, format!("exhaustive evaluator, {node}"))
+                    })?;
                     counters.add(Key::EvalEvals, 1);
                     if is_copy {
                         counters.add(Key::EvalCopies, 1);
@@ -307,6 +353,9 @@ impl<'g> Evaluator<'g> {
                     partition: cpart,
                 } => {
                     let c = tree.node(node).children()[*child as usize - 1];
+                    meter
+                        .check_depth(stack.len() + 1)
+                        .map_err(|k| EvalError::budget(k, format!("exhaustive evaluator, {c}")))?;
                     counters.add(Key::EvalVisits, 1);
                     if rec.trace() {
                         rec.emit(Event::VisitEnter {
@@ -357,6 +406,7 @@ impl<'g> Evaluator<'g> {
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         let mut buf = Vec::with_capacity(8);
+        let mut meter = BudgetMeter::new(&EvalBudget::default());
         for v in 1..=visits {
             self.run_visit_reference(
                 tree,
@@ -367,6 +417,7 @@ impl<'g> Evaluator<'g> {
                 &mut locals,
                 &mut counters,
                 &mut buf,
+                &mut meter,
             )?;
         }
         Ok((values, EvalStats::from_counters(&counters)))
@@ -461,6 +512,7 @@ impl<'g> Evaluator<'g> {
         locals: &mut HashMap<(NodeId, LocalId), Value>,
         counters: &mut Counters,
         buf: &mut Vec<Value>,
+        meter: &mut BudgetMeter,
     ) -> Result<(), EvalError> {
         struct Frame {
             node: NodeId,
@@ -487,6 +539,9 @@ impl<'g> Evaluator<'g> {
             frame.at += 1;
             match instr {
                 CInstr::Eval { rule, target } => {
+                    meter.step().map_err(|k| {
+                        EvalError::budget(k, format!("reference evaluator, {node}"))
+                    })?;
                     let rule = &self.grammar.production(p).rules()[*rule as usize];
                     let (value, is_copy) =
                         self.eval_with_buf(tree, rule, node, values, locals, buf)?;
@@ -514,6 +569,9 @@ impl<'g> Evaluator<'g> {
                     partition: cpart,
                 } => {
                     let c = tree.node(node).children()[*child as usize - 1];
+                    meter
+                        .check_depth(stack.len() + 1)
+                        .map_err(|k| EvalError::budget(k, format!("reference evaluator, {c}")))?;
                     counters.add(Key::EvalVisits, 1);
                     stack.push(Frame {
                         node: c,
@@ -699,6 +757,96 @@ mod tests {
             let ph = tree.phylum(&g, n);
             for &a in g.phylum(ph).attrs() {
                 assert_eq!(fast.get(&g, n, a), slow.get(&g, n, a), "{n} {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_trip_as_classified_errors() {
+        use fnc2_guard::BudgetKind;
+        let g = binary();
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let ev = Evaluator::new(&g, &seqs);
+        let tree = bits_tree(&g, "1011011101");
+
+        let err = ev
+            .evaluate_guarded(
+                &tree,
+                &RootInputs::new(),
+                &EvalBudget::unlimited().with_max_steps(3),
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::BudgetExceeded {
+                    kind: BudgetKind::Steps,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        let err = ev
+            .evaluate_guarded(
+                &tree,
+                &RootInputs::new(),
+                &EvalBudget::unlimited().with_max_depth(2),
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::BudgetExceeded {
+                    kind: BudgetKind::Depth,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        let err = ev
+            .evaluate_guarded(
+                &tree,
+                &RootInputs::new(),
+                &EvalBudget::unlimited().with_max_value_cells(2),
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::BudgetExceeded {
+                    kind: BudgetKind::ValueCells,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // An injected fault surfaces as a classified error, and the same
+        // call without the fault still succeeds (transient-retry shape).
+        let err = ev
+            .evaluate_guarded(
+                &tree,
+                &RootInputs::new(),
+                &EvalBudget::default(),
+                Some(InjectedFault::FailRule { step: 2 }),
+            )
+            .unwrap_err();
+        assert!(err.is_budget(), "{err}");
+        let (ok, _) = ev
+            .evaluate_guarded(&tree, &RootInputs::new(), &EvalBudget::default(), None)
+            .unwrap();
+        let (plain, _) = ev.evaluate(&tree, &RootInputs::new()).unwrap();
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(&g, n);
+            for &a in g.phylum(ph).attrs() {
+                assert_eq!(ok.get(&g, n, a), plain.get(&g, n, a), "bit-identical");
             }
         }
     }

@@ -44,6 +44,30 @@ pub enum EvalError {
         /// The failure message reported by the function.
         message: String,
     },
+    /// An [`fnc2_guard::EvalBudget`] limit was exhausted (or a
+    /// deterministic fault was injected): the evaluation was cut short and
+    /// degraded to this diagnostic instead of a stack overflow or OOM.
+    BudgetExceeded {
+        /// The exhausted budget dimension.
+        kind: fnc2_guard::BudgetKind,
+        /// Where evaluation stopped (evaluator + node, best effort).
+        at: String,
+    },
+}
+
+impl EvalError {
+    /// Builds a [`EvalError::BudgetExceeded`] for `kind` at location `at`.
+    pub fn budget(kind: fnc2_guard::BudgetKind, at: impl Into<String>) -> Self {
+        EvalError::BudgetExceeded {
+            kind,
+            at: at.into(),
+        }
+    }
+
+    /// True for budget/fault outcomes (exit code 2 in `fnc2c`).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, EvalError::BudgetExceeded { .. })
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -63,6 +87,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::SemanticFailure { node, message } => {
                 write!(f, "semantic function failed at {node}: {message}")
+            }
+            EvalError::BudgetExceeded { kind, at } => {
+                write!(f, "evaluation budget exceeded ({kind}) at {at}")
             }
         }
     }

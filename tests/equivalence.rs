@@ -411,3 +411,275 @@ fn incremental_matches_from_scratch() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pathological shapes under default budgets: 100k-deep chains, 10k-child
+// flat nodes, and value-ballooning concat spines must evaluate (or be
+// stopped by a budget) without any evaluator blowing the call stack
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deep_chain_evaluates_under_all_four_evaluators() {
+    const LINKS: usize = 100_000;
+    let compiled = Pipeline::new().compile(fnc2_corpus::chain()).unwrap();
+    let g = &compiled.grammar;
+    let tree = fnc2_corpus::chain_tree(g, LINKS);
+    let want = Value::Int(fnc2_corpus::chain_expected(LINKS));
+    let s = g.phylum_by_name("S").unwrap();
+    let out = g.attr_by_name(s, "out").unwrap();
+
+    let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+    assert_eq!(a.get(g, tree.root(), out), Some(&want), "exhaustive");
+
+    let (b, _) = DynamicEvaluator::new(g)
+        .evaluate(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(b.get(g, tree.root(), out), Some(&want), "dynamic");
+
+    let c = compiled
+        .evaluate_optimized(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(
+        c.node_values.get(g, tree.root(), out),
+        Some(&want),
+        "space-optimized"
+    );
+
+    let inc = IncrementalEvaluator::new(g, fnc2_corpus::chain_tree(g, LINKS), Equality::default())
+        .unwrap();
+    assert_eq!(
+        inc.value(inc.tree().root(), out),
+        Some(&want),
+        "incremental"
+    );
+}
+
+#[test]
+fn wide_flat_tree_evaluates_under_all_four_evaluators() {
+    const WIDTH: usize = 10_000;
+    let compiled = Pipeline::new().compile(fnc2_corpus::flat(WIDTH)).unwrap();
+    let g = &compiled.grammar;
+    let tree = fnc2_corpus::flat_tree(g);
+    let want = Value::Int(fnc2_corpus::flat_expected(WIDTH));
+    let s = g.phylum_by_name("S").unwrap();
+    let out = g.attr_by_name(s, "out").unwrap();
+
+    let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+    assert_eq!(a.get(g, tree.root(), out), Some(&want), "exhaustive");
+
+    let (b, _) = DynamicEvaluator::new(g)
+        .evaluate(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(b.get(g, tree.root(), out), Some(&want), "dynamic");
+
+    let c = compiled
+        .evaluate_optimized(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(
+        c.node_values.get(g, tree.root(), out),
+        Some(&want),
+        "space-optimized"
+    );
+
+    let inc = IncrementalEvaluator::new(g, fnc2_corpus::flat_tree(g), Equality::default()).unwrap();
+    assert_eq!(
+        inc.value(inc.tree().root(), out),
+        Some(&want),
+        "incremental"
+    );
+}
+
+#[test]
+fn balloon_grammar_agrees_while_in_budget() {
+    const DOUBLINGS: usize = 12;
+    let compiled = Pipeline::new().compile(fnc2_corpus::balloon()).unwrap();
+    let g = &compiled.grammar;
+    let tree = fnc2_corpus::balloon_tree(g, DOUBLINGS);
+    let want = Value::Int(fnc2_corpus::balloon_expected(DOUBLINGS));
+    let s = g.phylum_by_name("S").unwrap();
+    let out = g.attr_by_name(s, "out").unwrap();
+
+    let (a, _) = compiled.evaluate(&tree, &RootInputs::new()).unwrap();
+    assert_eq!(a.get(g, tree.root(), out), Some(&want), "exhaustive");
+    let (b, _) = DynamicEvaluator::new(g)
+        .evaluate(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(b.get(g, tree.root(), out), Some(&want), "dynamic");
+    let c = compiled
+        .evaluate_optimized(&tree, &RootInputs::new())
+        .unwrap();
+    assert_eq!(
+        c.node_values.get(g, tree.root(), out),
+        Some(&want),
+        "space-optimized"
+    );
+    let inc = IncrementalEvaluator::new(
+        g,
+        fnc2_corpus::balloon_tree(g, DOUBLINGS),
+        Equality::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        inc.value(inc.tree().root(), out),
+        Some(&want),
+        "incremental"
+    );
+}
+
+#[test]
+fn exceeded_budgets_surface_as_classified_errors() {
+    use fnc2::guard::EvalBudget;
+    use fnc2::visit::{build_visit_seqs, Evaluator};
+
+    let compiled = Pipeline::new().compile(fnc2_corpus::chain()).unwrap();
+    let g = &compiled.grammar;
+    let seqs = build_visit_seqs(g, compiled.classification.l_ordered.as_ref().unwrap());
+    let ev = Evaluator::new(g, &seqs);
+    let tree = fnc2_corpus::chain_tree(g, 5_000);
+    let inputs = RootInputs::new();
+
+    // Step budget: far fewer steps than instances.
+    let err = ev
+        .evaluate_guarded(
+            &tree,
+            &inputs,
+            &EvalBudget::default().with_max_steps(100),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.is_budget(), "steps: {err}");
+
+    // Depth budget: shallower than the spine.
+    let err = ev
+        .evaluate_guarded(
+            &tree,
+            &inputs,
+            &EvalBudget::default().with_max_depth(64),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.is_budget(), "depth: {err}");
+
+    // Value-cell budget on the ballooning grammar: stops the geometric
+    // growth long before it would materialize 2^24 cells.
+    let bg = Pipeline::new().compile(fnc2_corpus::balloon()).unwrap();
+    let bseqs = build_visit_seqs(&bg.grammar, bg.classification.l_ordered.as_ref().unwrap());
+    let bev = Evaluator::new(&bg.grammar, &bseqs);
+    let btree = fnc2_corpus::balloon_tree(&bg.grammar, 24);
+    let err = bev
+        .evaluate_guarded(
+            &btree,
+            &inputs,
+            &EvalBudget::default().with_max_value_cells(10_000),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.is_budget(), "cells: {err}");
+
+    // The dynamic evaluator honors the same budgets.
+    let err = DynamicEvaluator::new(g)
+        .evaluate_guarded(
+            &tree,
+            &inputs,
+            &EvalBudget::default().with_max_steps(100),
+            None,
+        )
+        .unwrap_err();
+    assert!(err.is_budget(), "dynamic steps: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// Guarded batch determinism under injected worker panics: whatever the
+// thread count, the surviving trees must be bit-identical to a no-fault
+// run and the poisoned trees must surface as classified outcomes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn guarded_batch_survives_injected_panics_deterministically() {
+    use fnc2::guard::{EvalBudget, FaultPlan, InjectedFault, PlannedFault, INJECTED_PANIC_MSG};
+    use fnc2::par::{batch_evaluate_guarded, TreeOutcome};
+    use fnc2::visit::{build_visit_seqs, Evaluator};
+
+    let compiled = Pipeline::new().compile(fnc2_corpus::chain()).unwrap();
+    let g = &compiled.grammar;
+    let seqs = build_visit_seqs(g, compiled.classification.l_ordered.as_ref().unwrap());
+    let ev = Evaluator::new(g, &seqs);
+    let trees: Vec<Tree> = (0..10)
+        .map(|i| fnc2_corpus::chain_tree(g, 50 + 37 * i))
+        .collect();
+    let inputs = RootInputs::new();
+
+    // No-fault reference, computed once.
+    let reference: Vec<_> = trees
+        .iter()
+        .map(|t| ev.evaluate(t, &inputs).expect("reference").0)
+        .collect();
+
+    let plan = FaultPlan::with_faults(vec![
+        PlannedFault {
+            tree: 1,
+            fault: InjectedFault::PanicAtStep { step: 9 },
+            transient: true,
+        },
+        PlannedFault {
+            tree: 3,
+            fault: InjectedFault::PanicAtStep { step: 17 },
+            transient: false,
+        },
+        PlannedFault {
+            tree: 5,
+            fault: InjectedFault::FailRule { step: 4 },
+            transient: false,
+        },
+        PlannedFault {
+            tree: 7,
+            fault: InjectedFault::PanicOnEntry,
+            transient: false,
+        },
+    ]);
+
+    for threads in [1usize, 2, 4, 8] {
+        let report = batch_evaluate_guarded(
+            &ev,
+            &trees,
+            &inputs,
+            threads,
+            &EvalBudget::default(),
+            1,
+            Some(&plan),
+        );
+        assert_eq!(report.outcomes.len(), trees.len(), "{threads} threads");
+        assert!(report.panics_caught >= 1, "{threads} threads");
+        assert!(report.retries >= 1, "{threads} threads");
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            match (i, outcome) {
+                (3 | 7, TreeOutcome::Panicked(msg)) => {
+                    assert!(msg.contains(INJECTED_PANIC_MSG), "{threads} threads: {msg}")
+                }
+                (5, TreeOutcome::Failed(e)) => {
+                    assert!(e.is_budget(), "{threads} threads: {e}")
+                }
+                (_, TreeOutcome::Ok(vals, _)) => {
+                    // Survivors (including the retried transient tree 1)
+                    // are bit-identical to the no-fault reference.
+                    for (n, _) in trees[i].preorder() {
+                        let ph = trees[i].phylum(g, n);
+                        for &attr in g.phylum(ph).attrs() {
+                            assert_eq!(
+                                vals.get(g, n, attr),
+                                reference[i].get(g, n, attr),
+                                "{threads} threads: tree {i} node {n:?}"
+                            );
+                        }
+                    }
+                }
+                (_, other) => {
+                    panic!(
+                        "{threads} threads: tree {i} unexpected outcome {}",
+                        other.label()
+                    )
+                }
+            }
+        }
+    }
+}
