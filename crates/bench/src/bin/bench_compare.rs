@@ -1,0 +1,379 @@
+//! Regression gate over the `BENCH_*.json` table dumps.
+//!
+//! Compares a fresh benchmark run (written by the table binaries when
+//! `FNC2_BENCH_JSON` is set) against a committed baseline and fails —
+//! nonzero exit — when the **median** per-row regression of any tracked
+//! column exceeds the threshold (15% by default).
+//!
+//! By default only *ratio* columns are compared (`speedup`, `overhead`,
+//! `prof ovh`, and anything else rendered as `N.NNx` or `±N.N%`): ratios
+//! are computed from two legs of the *same* run on the *same* machine, so
+//! they survive CI runners with wildly different absolute clock speeds.
+//! `--absolute` additionally compares time columns (`µs`/`ms`/`s` cells)
+//! for local, same-machine investigations.
+//!
+//! ```text
+//! bench_compare [--threshold PCT] [--absolute] <baseline-dir> <fresh-dir> [table...]
+//! ```
+//!
+//! With no explicit table names, every `BENCH_<table>.json` present in the
+//! baseline directory is compared; a baseline with no matching fresh dump
+//! is an error (the run script forgot a table). The medians-not-maxima
+//! choice is deliberate: a single scheduler-preempted row should not gate
+//! a merge, a systematic slowdown across rows should.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fnc2_obs::Json;
+
+/// Default regression threshold, in percent.
+const DEFAULT_THRESHOLD: f64 = 15.0;
+
+/// One parsed `BENCH_*.json` document.
+struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn load_table(path: &Path) -> Result<Table, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: bad JSON: {e}", path.display()))?;
+    let name = doc
+        .get("table")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: missing \"table\"", path.display()))?
+        .to_string();
+    let strings = |v: &Json| -> Option<Vec<String>> {
+        v.as_arr()?
+            .iter()
+            .map(|c| c.as_str().map(str::to_string))
+            .collect()
+    };
+    let headers = doc
+        .get("headers")
+        .and_then(&strings)
+        .ok_or_else(|| format!("{}: missing \"headers\"", path.display()))?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing \"rows\"", path.display()))?
+        .iter()
+        .map(|r| strings(r).ok_or_else(|| format!("{}: non-string row cell", path.display())))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Table {
+        name,
+        headers,
+        rows,
+    })
+}
+
+/// How a column's cells are interpreted for comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Kind {
+    /// `"3.41x"` — a speedup ratio; bigger is better.
+    Ratio(f64),
+    /// `"+1.3%"` — an overhead percentage; compared as the factor
+    /// `1 + pct/100`, smaller is better.
+    Overhead(f64),
+    /// `"12.3µs"` / `"4.56ms"` / `"1.2 s"` — a wall-clock time in
+    /// nanoseconds; smaller is better, but only compared with
+    /// `--absolute` (cross-runner clock speeds differ).
+    TimeNs(f64),
+    /// Anything else (labels, counts): identity only.
+    Label,
+}
+
+fn classify(cell: &str) -> Kind {
+    let c = cell.trim();
+    if let Some(n) = c.strip_suffix('x').and_then(|s| s.parse::<f64>().ok()) {
+        return Kind::Ratio(n);
+    }
+    if let Some(n) = c.strip_suffix('%').and_then(|s| s.parse::<f64>().ok()) {
+        return Kind::Overhead(n);
+    }
+    for (suffix, scale) in [("µs", 1e3), ("ms", 1e6), ("ns", 1.0), ("s", 1e9)] {
+        if let Some(n) = c
+            .strip_suffix(suffix)
+            .and_then(|s| s.trim_end().parse::<f64>().ok())
+        {
+            return Kind::TimeNs(n * scale);
+        }
+    }
+    Kind::Label
+}
+
+/// The per-row "badness" change factor for one cell pair, or `None` when
+/// the column kind is not comparable under the current mode. `> 1` means
+/// the fresh run is worse than the baseline.
+fn change_factor(base: Kind, fresh: Kind, absolute: bool) -> Option<f64> {
+    match (base, fresh) {
+        (Kind::Ratio(b), Kind::Ratio(f)) if f > 0.0 => Some(b / f),
+        (Kind::Overhead(b), Kind::Overhead(f)) => {
+            let (b, f) = (1.0 + b / 100.0, 1.0 + f / 100.0);
+            (b > 0.0).then(|| f / b)
+        }
+        (Kind::TimeNs(b), Kind::TimeNs(f)) if absolute && b > 0.0 => Some(f / b),
+        _ => None,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN factors"));
+    xs[xs.len() / 2]
+}
+
+/// Compares one table pair; returns the list of regression messages.
+fn compare(
+    base: &Table,
+    fresh: &Table,
+    threshold: f64,
+    absolute: bool,
+) -> Result<Vec<String>, String> {
+    if base.headers != fresh.headers {
+        return Err(format!(
+            "table `{}`: header mismatch (baseline {:?} vs fresh {:?}) — regenerate the baseline",
+            base.name, base.headers, fresh.headers
+        ));
+    }
+    if base.rows.len() != fresh.rows.len() {
+        return Err(format!(
+            "table `{}`: row count changed ({} vs {}) — regenerate the baseline",
+            base.name,
+            base.rows.len(),
+            fresh.rows.len()
+        ));
+    }
+    for (i, (b, f)) in base.rows.iter().zip(&fresh.rows).enumerate() {
+        if b.first() != f.first() {
+            return Err(format!(
+                "table `{}` row {i}: key mismatch ({:?} vs {:?}) — regenerate the baseline",
+                base.name,
+                b.first(),
+                f.first()
+            ));
+        }
+    }
+    let mut regressions = Vec::new();
+    for (col, header) in base.headers.iter().enumerate() {
+        let mut factors = Vec::new();
+        let mut worst: Option<(f64, usize)> = None;
+        for (i, (b, f)) in base.rows.iter().zip(&fresh.rows).enumerate() {
+            let (bc, fc) = (classify(&b[col]), classify(&f[col]));
+            if let Some(factor) = change_factor(bc, fc, absolute) {
+                if worst.is_none_or(|(w, _)| factor > w) {
+                    worst = Some((factor, i));
+                }
+                factors.push(factor);
+            }
+        }
+        if factors.is_empty() {
+            continue;
+        }
+        let med = median(factors);
+        let limit = 1.0 + threshold / 100.0;
+        let verdict = if med > limit { "REGRESSION" } else { "ok" };
+        let (w, wi) = worst.expect("factors nonempty");
+        println!(
+            "{:<14} {:<10} median {:+6.1}%  worst {:+6.1}% (row {}: {})  {}",
+            base.name,
+            header,
+            (med - 1.0) * 100.0,
+            (w - 1.0) * 100.0,
+            wi,
+            base.rows[wi][0],
+            verdict
+        );
+        if med > limit {
+            regressions.push(format!(
+                "table `{}` column `{}`: median {:+.1}% worse than baseline (threshold {threshold}%)",
+                base.name,
+                header,
+                (med - 1.0) * 100.0
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+fn usage() -> String {
+    "usage: bench_compare [--threshold PCT] [--absolute] <baseline-dir> <fresh-dir> [table...]"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut absolute = false;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--threshold needs a number".to_string())?;
+            }
+            "--absolute" => absolute = true,
+            "--help" | "-h" => return Err(usage()),
+            _ => positional.push(a.clone()),
+        }
+    }
+    if positional.len() < 2 {
+        return Err(usage());
+    }
+    let base_dir = PathBuf::from(&positional[0]);
+    let fresh_dir = PathBuf::from(&positional[1]);
+    let tables: Vec<String> = if positional.len() > 2 {
+        positional[2..].to_vec()
+    } else {
+        // Every baseline present gates the run.
+        let mut names: Vec<String> = std::fs::read_dir(&base_dir)
+            .map_err(|e| format!("cannot list {}: {e}", base_dir.display()))?
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                Some(
+                    name.strip_prefix("BENCH_")?
+                        .strip_suffix(".json")?
+                        .to_string(),
+                )
+            })
+            .collect();
+        names.sort();
+        names
+    };
+    if tables.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            base_dir.display()
+        ));
+    }
+    let mut regressions = Vec::new();
+    for t in &tables {
+        let file = format!("BENCH_{t}.json");
+        let base = load_table(&base_dir.join(&file))?;
+        let fresh = load_table(&fresh_dir.join(&file))?;
+        if base.name != fresh.name {
+            return Err(format!(
+                "{file}: table name mismatch ({} vs {})",
+                base.name, fresh.name
+            ));
+        }
+        regressions.extend(compare(&base, &fresh, threshold, absolute)?);
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench_compare: no median regression beyond threshold");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            for r in &regressions {
+                eprintln!("bench_compare: {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(name: &str, rows: &[&[&str]]) -> Table {
+        Table {
+            name: name.into(),
+            headers: vec![
+                "AG".into(),
+                "compiled".into(),
+                "speedup".into(),
+                "overhead".into(),
+            ],
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|c| c.to_string()).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn classifies_cells() {
+        assert_eq!(classify("3.41x"), Kind::Ratio(3.41));
+        assert_eq!(classify("+1.3%"), Kind::Overhead(1.3));
+        assert_eq!(classify("-0.5%"), Kind::Overhead(-0.5));
+        assert_eq!(classify("12.5µs"), Kind::TimeNs(12.5e3));
+        assert_eq!(classify("2.00ms"), Kind::TimeNs(2e6));
+        assert_eq!(classify("flat_wide"), Kind::Label);
+        assert_eq!(classify("256"), Kind::Label);
+    }
+
+    #[test]
+    fn ratio_regression_detected_by_median() {
+        let base = table(
+            "t",
+            &[
+                &["a", "10.0µs", "3.00x", "+1.0%"],
+                &["b", "10.0µs", "3.00x", "+1.0%"],
+                &["c", "10.0µs", "3.00x", "+1.0%"],
+            ],
+        );
+        // One noisy row does not trip the gate …
+        let noisy = table(
+            "t",
+            &[
+                &["a", "10.0µs", "2.00x", "+1.0%"],
+                &["b", "10.0µs", "3.00x", "+1.0%"],
+                &["c", "10.0µs", "3.00x", "+1.0%"],
+            ],
+        );
+        assert!(compare(&base, &noisy, 15.0, false).unwrap().is_empty());
+        // … a systematic slowdown does.
+        let slow = table(
+            "t",
+            &[
+                &["a", "10.0µs", "2.00x", "+1.0%"],
+                &["b", "10.0µs", "2.00x", "+1.0%"],
+                &["c", "10.0µs", "2.00x", "+1.0%"],
+            ],
+        );
+        let regs = compare(&base, &slow, 15.0, false).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("speedup"), "{regs:?}");
+    }
+
+    #[test]
+    fn overhead_compared_as_factor() {
+        let base = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let worse = table("t", &[&["a", "10.0µs", "3.00x", "+25.0%"]]);
+        let regs = compare(&base, &worse, 15.0, false).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("overhead"), "{regs:?}");
+    }
+
+    #[test]
+    fn absolute_times_only_with_flag() {
+        let base = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let slow = table("t", &[&["a", "20.0µs", "3.00x", "+1.0%"]]);
+        assert!(compare(&base, &slow, 15.0, false).unwrap().is_empty());
+        assert_eq!(compare(&base, &slow, 15.0, true).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shape_mismatch_demands_regeneration() {
+        let base = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let mut renamed = table("t", &[&["b", "10.0µs", "3.00x", "+1.0%"]]);
+        assert!(compare(&base, &renamed, 15.0, false).is_err());
+        renamed.rows.clear();
+        assert!(compare(&base, &renamed, 15.0, false).is_err());
+    }
+}

@@ -9,9 +9,12 @@
 //!   per-fetch `Arg` matching, hash-map local frames, constant clones) on
 //!   the same evaluator instance, plus a **guarded** leg
 //!   (`evaluate_guarded` with the default `EvalBudget`) whose overhead
-//!   column is the price of the fnc2-guard budget meter on the hot path.
-//!   All legs are checked value-equal before timing — the speedup is
-//!   never bought with a divergence.
+//!   column is the price of the fnc2-guard budget meter on the hot path,
+//!   plus a **profiled** leg (`evaluate_recorded` with the rule-cost
+//!   profiler enabled) whose overhead column is the price of per-rule
+//!   cost attribution when it is switched *on*. All legs are checked
+//!   value-equal before timing — the speedup is never bought with a
+//!   divergence.
 //! * **throughput** — trees/sec over a batch of synthetic-corpus trees at
 //!   1, 2, 4 and 8 worker threads sharing one `&Evaluator`, plus the steal
 //!   counts the pool reports through `fnc2-obs`.
@@ -58,6 +61,8 @@ fn main() {
         "speedup",
         "guarded",
         "overhead",
+        "profiled",
+        "prof ovh",
     ];
     let mut hot_rows = Vec::new();
     let reps = 20;
@@ -79,6 +84,11 @@ fn main() {
         let (metered, _) = ev
             .evaluate_guarded(&tree, &inputs, &budget, None)
             .expect("guarded leg");
+        let mut obs = fnc2::obs::Obs::new();
+        obs.enable_profile(fnc2::obs::DEFAULT_SAMPLE_EVERY);
+        let (profiled, _) = ev
+            .evaluate_recorded(&tree, &inputs, &mut obs)
+            .expect("profiled leg");
         for (n, _) in tree.preorder() {
             let ph = tree.phylum(&compiled.grammar, n);
             for &attr in compiled.grammar.phylum(ph).attrs() {
@@ -94,6 +104,12 @@ fn main() {
                     "{}: guarded and compiled paths diverge",
                     profile.name
                 );
+                assert_eq!(
+                    fast.get(&compiled.grammar, n, attr),
+                    profiled.get(&compiled.grammar, n, attr),
+                    "{}: profiled and compiled paths diverge",
+                    profile.name
+                );
             }
         }
 
@@ -106,6 +122,9 @@ fn main() {
         let t_guard = time_n(reps, || {
             std::hint::black_box(ev.evaluate_guarded(&tree, &inputs, &budget, None).unwrap());
         });
+        let t_prof = time_n(reps, || {
+            std::hint::black_box(ev.evaluate_recorded(&tree, &inputs, &mut obs).unwrap());
+        });
         hot_rows.push(vec![
             profile.name.to_string(),
             tree.size().to_string(),
@@ -116,6 +135,11 @@ fn main() {
             format!(
                 "{:+.1}%",
                 (t_guard.as_secs_f64() / t_fast.as_secs_f64() - 1.0) * 100.0
+            ),
+            format!("{:.1}µs", t_prof.as_secs_f64() * 1e6),
+            format!(
+                "{:+.1}%",
+                (t_prof.as_secs_f64() / t_fast.as_secs_f64() - 1.0) * 100.0
             ),
         ]);
     }

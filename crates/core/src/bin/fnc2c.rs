@@ -6,6 +6,9 @@
 //! fnc2c c       <file.olga>       # translate the AG to C on stdout
 //! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
 //! fnc2c seqs    <file.olga>       # print the visit sequences
+//! fnc2c profile <file.olga>       # ranked per-(production, rule) cost profile
+//! fnc2c explain <attr@node> <file.olga>
+//!                                 # dynamic dependency slice of one instance
 //! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]
 //!                                 # differential fuzzing oracle (no input file)
 //! fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N]
@@ -19,6 +22,7 @@
 //! --report json|text   report format (json bundles phases+counters+trace)
 //! --metrics            print phase times and counters (stderr for c/lisp/seqs)
 //! --trace[=N]          capture an event trace (ring of N entries, default 4096)
+//! --chrome-trace FILE  write a Chrome trace-event JSON (open in Perfetto)
 //! ```
 //!
 //! Budget flags (any command that evaluates):
@@ -56,22 +60,28 @@ const EXIT_DIAGNOSTICS: u8 = 1;
 /// Exit code for budget exhaustion and injected/classified faults.
 const EXIT_BUDGET: u8 = 2;
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Opts {
     metrics: bool,
     trace: Option<usize>,
     report_json: bool,
     budget: Option<EvalBudget>,
+    chrome_trace: Option<String>,
 }
 
 const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 fn usage() -> String {
-    "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [budget flags] \
-     <report|check|c|lisp|seqs> <file.olga | ->\n\
+    "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [--chrome-trace FILE] \
+     [budget flags] <report|check|c|lisp|seqs> <file.olga | ->\n\
+     \u{20}      fnc2c profile [--repeat N] [--sample-every N] [--top N] [--report json|text] \
+     [budget flags] <file.olga | ->\n\
+     \u{20}      fnc2c explain [--trace=N] [--report json|text] <[Phylum.]attr@node> \
+     <file.olga | ->\n\
      \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
-     [--repeat N] [--retries N] [--fault-seed N] [--metrics] [budget flags]\n\
+     [--repeat N] [--retries N] [--fault-seed N] [--metrics] [--chrome-trace FILE] \
+     [budget flags]\n\
      budget flags: --max-steps N --max-depth N --max-value-bytes N --deadline-ms N"
         .to_string()
 }
@@ -110,6 +120,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("profile") {
+        return run_profile(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        return run_explain(&args[1..]);
+    }
     let mut opts = Opts::default();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -117,6 +133,13 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--metrics" => opts.metrics = true,
             "--trace" => opts.trace = Some(DEFAULT_TRACE_CAPACITY),
+            "--chrome-trace" => match it.next() {
+                Some(path) => opts.chrome_trace = Some(path),
+                None => {
+                    eprintln!("fnc2c: --chrome-trace takes a file path\n{}", usage());
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            },
             "--report" => match it.next().as_deref() {
                 Some("json") => opts.report_json = true,
                 Some("text") => opts.report_json = false,
@@ -162,20 +185,11 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
-    let source = if path == "-" {
-        let mut s = String::new();
-        if std::io::stdin().read_to_string(&mut s).is_err() {
-            eprintln!("fnc2c: cannot read standard input");
-            return ExitCode::from(EXIT_DIAGNOSTICS);
-        }
-        s
-    } else {
-        match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("fnc2c: {path}: {e}");
-                return ExitCode::from(EXIT_DIAGNOSTICS);
-            }
+    let source = match read_source(&path) {
+        Ok(s) => s,
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            return ExitCode::from(code);
         }
     };
 
@@ -198,7 +212,44 @@ fn diag(msg: impl Into<String>) -> CliError {
     (msg.into(), EXIT_DIAGNOSTICS)
 }
 
+/// Reads an OLGA source file (`-` reads standard input).
+fn read_source(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|_| diag("fnc2c: cannot read standard input"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| diag(format!("fnc2c: {path}: {e}")))
+    }
+}
+
+/// Writes the Chrome trace-event JSON collected in `obs` to `path`
+/// (load the file in Perfetto / `chrome://tracing`).
+fn write_chrome_trace(path: &str, obs: &Obs) -> Result<(), CliError> {
+    std::fs::write(path, format!("{}\n", obs.chrome_trace()))
+        .map_err(|e| diag(format!("fnc2c: cannot write {path}: {e}")))
+}
+
 fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
+    let mut obs = match opts.trace {
+        Some(n) => Obs::with_trace(n),
+        None => Obs::new(),
+    };
+    if opts.chrome_trace.is_some() {
+        obs.enable_spans();
+    }
+    let r = run_cmd(cmd, source, &opts, &mut obs);
+    // The trace is written even when the command failed — a budget trip
+    // mid-cascade is exactly when the timeline is most interesting.
+    if let Some(path) = &opts.chrome_trace {
+        write_chrome_trace(path, &obs)?;
+    }
+    r
+}
+
+fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String, CliError> {
     // The checked AG is needed for the translators.
     let checked = || -> Result<fnc2::olga::CheckedAg, CliError> {
         let units = fnc2::olga::parse_units(source).map_err(|e| diag(e.to_string()))?;
@@ -216,11 +267,6 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
         compiler.check_ag(ag).map_err(|e| diag(e.to_string()))
     };
 
-    let mut obs = match opts.trace {
-        Some(n) => Obs::with_trace(n),
-        None => Obs::new(),
-    };
-
     match cmd {
         "check" => {
             let checked = checked()?;
@@ -235,18 +281,18 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
             ))
         }
         "report" => {
-            let mut compiled = compile(source, &mut obs)?;
+            let mut compiled = compile(source, obs)?;
             let budget = opts.budget.unwrap_or_default();
             // Graceful degradation: a space plan that fails re-validation
             // or the plan-time budget check is dropped — the report falls
             // back to the exhaustive evaluator instead of failing.
-            if let Some(reason) = compiled.degrade_to_exhaustive_recorded(&budget, &mut obs) {
+            if let Some(reason) = compiled.degrade_to_exhaustive_recorded(&budget, obs) {
                 eprintln!("fnc2c: warning: degrading to exhaustive evaluator: {reason}");
             }
             // Exercise the generated evaluators on a minimal tree so the
             // run counters (visits, evals, copies, storage classes) are
             // populated alongside the static generator statistics.
-            match compiled.smoke_evaluate_guarded(&budget, &mut obs) {
+            match compiled.smoke_evaluate_guarded(&budget, obs) {
                 fnc2::SmokeOutcome::SemanticFailure(msg) => {
                     return Err(diag(format!(
                         "fnc2c: error: semantic rule aborted during evaluation: {msg}"
@@ -258,7 +304,7 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
                 fnc2::SmokeOutcome::Ok | fnc2::SmokeOutcome::Skipped => {}
             }
             if opts.report_json {
-                Ok(format!("{}\n", compiled.report_json(&obs)))
+                Ok(format!("{}\n", compiled.report_json(obs)))
             } else {
                 let mut out = format!("{}\n", compiled.report);
                 if opts.metrics || opts.trace.is_some() {
@@ -269,20 +315,20 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
         }
         "c" => {
             let checked = checked()?;
-            let compiled = compile(source, &mut obs)?;
+            let compiled = compile(source, obs)?;
             let out = fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs);
-            emit_side_channel(&opts, &obs, &compiled.grammar);
+            emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
         "lisp" => {
             let checked = checked()?;
-            let compiled = compile(source, &mut obs)?;
+            let compiled = compile(source, obs)?;
             let out = fnc2::codegen::to_lisp(&checked, &compiled.grammar, &compiled.seqs);
-            emit_side_channel(&opts, &obs, &compiled.grammar);
+            emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
         "seqs" => {
-            let compiled = compile(source, &mut obs)?;
+            let compiled = compile(source, obs)?;
             let mut out = String::new();
             for (p, pi) in compiled.seqs.keys() {
                 let seq = compiled.seqs.seq(p, pi);
@@ -308,10 +354,281 @@ fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
                     out.push_str(&format!("  LEAVE {}\n", v + 1));
                 }
             }
-            emit_side_channel(&opts, &obs, &compiled.grammar);
+            emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
         other => Err(diag(format!("fnc2c: unknown command `{other}`"))),
+    }
+}
+
+/// The `profile` subcommand: compiles the grammar, runs the generated
+/// evaluators repeatedly over the smoke tree with the rule profiler
+/// enabled, and prints the ranked hot-`(production, rule)` report —
+/// firing counts, copy shares, and estimated total time from periodic
+/// wall-clock samples.
+fn run_profile(args: &[String]) -> ExitCode {
+    let mut repeat = 64u64;
+    let mut sample_every = fnc2::obs::DEFAULT_SAMPLE_EVERY;
+    let mut top = 20usize;
+    let mut json = false;
+    let mut budget = EvalBudget::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("fnc2c: {name} takes a number\n{}", usage()))
+        };
+        let r = match arg.as_str() {
+            "--repeat" => numeric("--repeat").map(|n| repeat = n.max(1)),
+            "--sample-every" => numeric("--sample-every").map(|n| sample_every = (n as u32).max(1)),
+            "--top" => numeric("--top").map(|n| top = (n as usize).max(1)),
+            "--report" => match it.next().map(String::as_str) {
+                Some("json") => {
+                    json = true;
+                    Ok(())
+                }
+                Some("text") => {
+                    json = false;
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "fnc2c: --report takes `json` or `text`\n{}",
+                    usage()
+                )),
+            },
+            flag @ ("--max-steps" | "--max-depth" | "--max-value-bytes" | "--deadline-ms") => {
+                let value = it.next().cloned();
+                match apply_budget_flag(flag, value.as_deref(), &mut budget) {
+                    Some(r) => r,
+                    None => unreachable!("matched budget flags only"),
+                }
+            }
+            other if other.starts_with("--") => Err(format!(
+                "fnc2c: unknown profile flag `{other}`\n{}",
+                usage()
+            )),
+            _ => {
+                positional.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_DIAGNOSTICS);
+        }
+    }
+    let [path] = positional.as_slice() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    };
+
+    match profile_source(path, repeat, sample_every, top, json, &budget) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+fn profile_source(
+    path: &str,
+    repeat: u64,
+    sample_every: u32,
+    top: usize,
+    json: bool,
+    budget: &EvalBudget,
+) -> Result<String, CliError> {
+    let source = read_source(path)?;
+    let mut obs = Obs::new();
+    let mut compiled = compile(&source, &mut obs)?;
+    if let Some(reason) = compiled.degrade_to_exhaustive_recorded(budget, &mut obs) {
+        eprintln!("fnc2c: warning: degrading to exhaustive evaluator: {reason}");
+    }
+    obs.enable_profile(sample_every);
+    for _ in 0..repeat {
+        match compiled.smoke_evaluate_guarded(budget, &mut obs) {
+            fnc2::SmokeOutcome::SemanticFailure(msg) => {
+                return Err(diag(format!(
+                    "fnc2c: error: semantic rule aborted during evaluation: {msg}"
+                )));
+            }
+            fnc2::SmokeOutcome::BudgetExceeded(msg) => {
+                return Err((format!("fnc2c: error: {msg}"), EXIT_BUDGET));
+            }
+            fnc2::SmokeOutcome::Ok | fnc2::SmokeOutcome::Skipped => {}
+        }
+    }
+    let profile = obs.profile.as_ref().expect("profiling enabled above");
+    if profile.is_empty() {
+        return Err(diag(
+            "fnc2c: no rule firings recorded (the grammar has no evaluable smoke tree)",
+        ));
+    }
+    let resolver = GrammarResolver(&compiled.grammar);
+    if json {
+        let doc = fnc2::obs::Json::obj([
+            ("grammar", fnc2::obs::Json::str(compiled.grammar.name())),
+            ("repeat", fnc2::obs::Json::Int(repeat as i64)),
+            ("profile", profile.to_json(&resolver)),
+        ]);
+        Ok(format!("{doc}\n"))
+    } else {
+        Ok(profile.render(&resolver, top))
+    }
+}
+
+/// The `explain` subcommand: evaluates the grammar's smoke tree with the
+/// event trace on, then reconstructs and prints the dynamic dependency
+/// slice of `attr@node` — which firings, in which visits, fed the value.
+fn run_explain(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut capacity: usize = 1 << 20;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let r = match arg.as_str() {
+            "--report" => match it.next().map(String::as_str) {
+                Some("json") => {
+                    json = true;
+                    Ok(())
+                }
+                Some("text") => {
+                    json = false;
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "fnc2c: --report takes `json` or `text`\n{}",
+                    usage()
+                )),
+            },
+            other if other.starts_with("--trace=") => {
+                match other["--trace=".len()..].parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        capacity = n;
+                        Ok(())
+                    }
+                    _ => Err(format!(
+                        "fnc2c: --trace=N needs a positive count\n{}",
+                        usage()
+                    )),
+                }
+            }
+            other if other.starts_with("--") => Err(format!(
+                "fnc2c: unknown explain flag `{other}`\n{}",
+                usage()
+            )),
+            _ => {
+                positional.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_DIAGNOSTICS);
+        }
+    }
+    let [target, path] = positional.as_slice() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    };
+
+    match explain_source(target, path, capacity, json) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+/// Resolves `[Phylum.]attr` against the grammar. Without a phylum
+/// qualifier the attribute name must be unambiguous across phyla.
+fn resolve_attr(grammar: &fnc2::ag::Grammar, spec: &str) -> Result<fnc2::ag::AttrId, CliError> {
+    if let Some((ph_name, attr_name)) = spec.split_once('.') {
+        let ph = grammar
+            .phylum_by_name(ph_name)
+            .ok_or_else(|| diag(format!("fnc2c: no phylum named `{ph_name}`")))?;
+        return grammar.attr_by_name(ph, attr_name).ok_or_else(|| {
+            diag(format!(
+                "fnc2c: phylum `{ph_name}` has no attribute `{attr_name}`"
+            ))
+        });
+    }
+    let matches: Vec<_> = grammar
+        .phyla()
+        .filter_map(|ph| grammar.attr_by_name(ph, spec))
+        .collect();
+    match matches.as_slice() {
+        [a] => Ok(*a),
+        [] => Err(diag(format!("fnc2c: no attribute named `{spec}`"))),
+        _ => Err(diag(format!(
+            "fnc2c: attribute `{spec}` is ambiguous; qualify it as `Phylum.{spec}`"
+        ))),
+    }
+}
+
+fn explain_source(
+    target: &str,
+    path: &str,
+    capacity: usize,
+    json: bool,
+) -> Result<String, CliError> {
+    let source = read_source(path)?;
+    let mut obs = Obs::new();
+    let compiled = compile(&source, &mut obs)?;
+    let g = &compiled.grammar;
+
+    let (attr_spec, node_spec) = target.split_once('@').ok_or_else(|| {
+        diag(format!(
+            "fnc2c: explain target `{target}` must look like `attr@node` or `Phylum.attr@node`"
+        ))
+    })?;
+    let attr = resolve_attr(g, attr_spec)?;
+    let node_ix: usize = node_spec
+        .parse()
+        .map_err(|_| diag(format!("fnc2c: `{node_spec}` is not a node index")))?;
+
+    let tree = fnc2::smoke_tree(g)
+        .ok_or_else(|| diag("fnc2c: the grammar's axiom derives no finite tree"))?;
+    if node_ix >= tree.arena_len() {
+        return Err(diag(format!(
+            "fnc2c: node {node_ix} is out of range (the smoke tree has {} nodes; \
+             rerun with a node index below that)",
+            tree.arena_len()
+        )));
+    }
+
+    let mut trace_obs = Obs::with_trace(capacity);
+    let mut inputs = fnc2::visit::RootInputs::new();
+    for a in g.inherited(g.root()) {
+        inputs.insert(a, fnc2::ag::Value::Int(0));
+    }
+    compiled
+        .evaluate_recorded(&tree, &inputs, &mut trace_obs)
+        .map_err(|e| diag(format!("fnc2c: evaluation failed: {e}")))?;
+
+    let buf = trace_obs.events.as_ref().expect("trace enabled above");
+    if let Some((from, to)) = buf.dropped_span() {
+        eprintln!(
+            "fnc2c: warning: the trace ring wrapped (events {from}..{to} discarded); \
+             the slice may bottom out early — rerun with --trace=N larger than {capacity}"
+        );
+    }
+    let node = fnc2::ag::NodeId::from_raw(node_ix as u32);
+    let slice = fnc2::visit::dependency_slice(g, &tree, buf.iter(), node, attr);
+    if json {
+        Ok(format!("{}\n", slice.to_json(g, &tree)))
+    } else {
+        Ok(slice.render(g, &tree))
     }
 }
 
@@ -404,6 +721,7 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut retries = 0u32;
     let mut fault_seed: Option<u64> = None;
     let mut metrics = false;
+    let mut chrome_trace: Option<String> = None;
     let mut budget = EvalBudget::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -424,6 +742,16 @@ fn run_batch(args: &[String]) -> ExitCode {
                 metrics = true;
                 Ok(())
             }
+            "--chrome-trace" => match it.next() {
+                Some(path) => {
+                    chrome_trace = Some(path.clone());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fnc2c: --chrome-trace takes a file path\n{}",
+                    usage()
+                )),
+            },
             flag @ ("--max-steps" | "--max-depth" | "--max-value-bytes" | "--deadline-ms") => {
                 let value = it.next().cloned();
                 match apply_budget_flag(flag, value.as_deref(), &mut budget) {
@@ -440,6 +768,9 @@ fn run_batch(args: &[String]) -> ExitCode {
     }
 
     let mut obs = Obs::new();
+    if chrome_trace.is_some() {
+        obs.enable_spans();
+    }
     let mut total_trees = 0u64;
     let mut total_steals = 0u64;
     let mut total_secs = 0f64;
@@ -525,6 +856,12 @@ fn run_batch(args: &[String]) -> ExitCode {
     );
     if metrics {
         eprint!("{}", obs.render(&fnc2::obs::RawResolver));
+    }
+    if let Some(path) = &chrome_trace {
+        if let Err((msg, code)) = write_chrome_trace(path, &obs) {
+            eprintln!("{msg}");
+            return ExitCode::from(code);
+        }
     }
     if any_lost {
         ExitCode::from(EXIT_BUDGET)

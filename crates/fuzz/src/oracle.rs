@@ -5,12 +5,13 @@
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use fnc2_ag::{Grammar, Tree};
+use fnc2_ag::{AttrId, Grammar, NodeId, Tree};
 use fnc2_analysis::{classify, Inclusion};
 use fnc2_corpus::rng::Rng;
 use fnc2_incremental::{Equality, IncrementalEvaluator};
+use fnc2_obs::Obs;
 use fnc2_space::{analyze_space, validate_plan, SpaceEvaluator};
-use fnc2_visit::{build_visit_seqs, DynamicEvaluator, Evaluator, RootInputs};
+use fnc2_visit::{build_visit_seqs, dependency_slice, DynamicEvaluator, Evaluator, RootInputs};
 
 use crate::gen::{
     build_grammar_pair, build_subtree, build_tree, render_tree, CaseParams, GenGrammar,
@@ -136,9 +137,10 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
                 return Err(div(
                     "exhaustive-vs-dynamic",
                     format!(
-                        "node {n:?} ({}) attr {}: exhaustive {a:?}, dynamic {b:?}",
+                        "node {n:?} ({}) attr {}: exhaustive {a:?}, dynamic {b:?}{}",
                         g.production(tree.node(n).production()).name(),
-                        g.attr(attr).name()
+                        g.attr(attr).name(),
+                        divergence_slice(g, &ev, &tree, &inputs, n, attr)
                     ),
                 ));
             }
@@ -206,10 +208,11 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
                     return Err(div(
                         "incremental-vs-scratch",
                         format!(
-                            "after edit {edit}: node {n:?} attr {}: incremental {:?}, scratch {:?}",
+                            "after edit {edit}: node {n:?} attr {}: incremental {:?}, scratch {:?}{}",
                             g.attr(attr).name(),
                             inc.value(n, attr),
-                            want.get(g, n, attr)
+                            want.get(g, n, attr),
+                            divergence_slice(g, &ev, inc.tree(), &inputs, n, attr)
                         ),
                     ));
                 }
@@ -221,6 +224,28 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
         nodes: tree.size(),
         edits: params.edits,
     })
+}
+
+/// Re-runs the exhaustive evaluator over `tree` with the event trace on
+/// and renders the dynamic dependency slice of one instance — turning a
+/// raw value mismatch into the chain of firings (and their inputs) that
+/// produced the reference value, so a divergence report is actionable.
+/// Returns an empty string when the reference run itself fails.
+fn divergence_slice(
+    g: &Grammar,
+    ev: &Evaluator<'_>,
+    tree: &Tree,
+    inputs: &RootInputs,
+    node: NodeId,
+    attr: AttrId,
+) -> String {
+    let mut obs = Obs::with_trace(1 << 16);
+    if ev.evaluate_recorded(tree, inputs, &mut obs).is_err() {
+        return String::new();
+    }
+    let buf = obs.events.as_ref().expect("trace enabled above");
+    let slice = dependency_slice(g, tree, buf.iter(), node, attr);
+    format!("\nreference {}", slice.render(g, tree))
 }
 
 /// Chooses the next edit: a random non-root node and a fresh random

@@ -439,7 +439,7 @@ impl<'g> IncrementalEvaluator<'g> {
                     Inst::Attr(n, a) => self.values.get(g, n, a).cloned(),
                     Inst::Local(n, l) => self.locals.get(n, l).cloned(),
                 };
-                let new = self.compute_instance(inst).map_err(Box::new)?;
+                let new = self.compute_instance(inst, rec).map_err(Box::new)?;
                 (new, old)
             };
             meter
@@ -589,7 +589,7 @@ impl<'g> IncrementalEvaluator<'g> {
                     meter
                         .step()
                         .map_err(|k| EvalError::budget(k, "incremental evaluator"))?;
-                    let v = self.compute_instance(goal)?;
+                    let v = self.compute_instance(goal, rec)?;
                     meter
                         .grow_cells(v.cell_count() as u64)
                         .map_err(|k| EvalError::budget(k, "incremental evaluator"))?;
@@ -638,8 +638,10 @@ impl<'g> IncrementalEvaluator<'g> {
         }
     }
 
-    /// Recomputes an instance's value through the slot-compiled program.
-    fn compute_instance(&self, inst: Inst) -> Result<Value, EvalError> {
+    /// Recomputes an instance's value through the slot-compiled program,
+    /// replaying fetch counters into `rec` and — when profiling or tracing
+    /// is on — attributing the firing to its `(production, rule)` pair.
+    fn compute_instance<R: Recorder>(&self, inst: Inst, rec: &mut R) -> Result<Value, EvalError> {
         let g = self.grammar;
         let (def_node, target) = self.definition_of(inst);
         let p = self.tree.node(def_node).production();
@@ -650,19 +652,39 @@ impl<'g> IncrementalEvaluator<'g> {
             .expect("validated grammar");
         let mut buf = Vec::with_capacity(4);
         let mut counters = Counters::new();
-        self.program
-            .eval_rule(
-                g,
-                &self.tree,
-                p,
+        let t0 = if rec.profiling() && rec.sample_rule() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let (v, is_copy) = self.program.eval_rule(
+            g,
+            &self.tree,
+            p,
+            rule,
+            def_node,
+            &self.values,
+            &self.locals,
+            &mut buf,
+            &mut counters,
+        )?;
+        counters.replay(rec);
+        if rec.profiling() {
+            rec.rule_cost(
+                p.index() as u32,
                 rule,
-                def_node,
-                &self.values,
-                &self.locals,
-                &mut buf,
-                &mut counters,
-            )
-            .map(|(v, _)| v)
+                is_copy,
+                t0.map(|t| t.elapsed().as_nanos() as u64),
+            );
+        }
+        if rec.trace() {
+            rec.emit(Event::RuleFired {
+                node: def_node.index() as u32,
+                production: p.index() as u32,
+                rule,
+            });
+        }
+        Ok(v)
     }
 
     /// Enqueues the instances that read `inst`.

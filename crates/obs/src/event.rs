@@ -247,6 +247,14 @@ impl TraceBuffer {
         self.next_seq - self.events.len() as u64
     }
 
+    /// The discarded sequence span as a half-open range `[from, to)`,
+    /// or `None` if nothing was dropped. The ring evicts oldest-first,
+    /// so the lost prefix is always `0..dropped()`.
+    pub fn dropped_span(&self) -> Option<(u64, u64)> {
+        let d = self.dropped();
+        (d > 0).then_some((0, d))
+    }
+
     /// Retained events, oldest first, with their sequence numbers.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Event)> {
         self.events[self.head..]
@@ -298,9 +306,9 @@ impl TraceBuffer {
     /// names. Visit nesting is shown by indentation.
     pub fn render(&self, resolver: &dyn Resolver) -> String {
         let mut out = String::new();
-        if self.dropped() > 0 {
+        if let Some((from, to)) = self.dropped_span() {
             out.push_str(&format!(
-                "... {} earlier events dropped (buffer capacity {})\n",
+                "... {} earlier events dropped (seq {from}..{to} discarded; buffer capacity {})\n",
                 self.dropped(),
                 self.capacity
             ));
@@ -461,6 +469,8 @@ mod tests {
         buf.push(ev(7));
         let text = buf.render(&RawResolver);
         assert!(text.contains("1 earlier events dropped"));
+        assert!(text.contains("seq 0..1 discarded"));
+        assert_eq!(buf.dropped_span(), Some((0, 1)));
         assert!(text.contains("visit 1 of node 0 [p1]"));
         // The rule inside the visit is indented one level deeper than the
         // trailing rule outside it.

@@ -13,6 +13,11 @@
 //! * [`TraceBuffer`] — a bounded ring of evaluation [`Event`]s
 //!   (`VisitEnter`, `RuleFired`, `AttrStored`, `StatusComputed`, …) with
 //!   a JSON-lines exporter and a human-readable pretty-printer.
+//! * [`SpanTracer`] — hierarchical, thread-aware spans with Chrome
+//!   trace-event JSON export (Perfetto-loadable), aligned with the phase
+//!   timer through a shared epoch.
+//! * [`RuleProfiler`] — per-`(production, rule)` firing counts and
+//!   sampled wall time, ranked into a "hot rules" report.
 //!
 //! Instrumented code is generic over [`Recorder`]; the default
 //! [`NoopRecorder`] compiles to nothing, so runs without `--metrics` or
@@ -24,10 +29,14 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod phase;
+pub mod profile;
 pub mod record;
+pub mod span;
 
 pub use event::{ChangeStatus, Event, RawResolver, Resolver, StorageClass, TraceBuffer};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use phase::{PhaseSpan, PhaseTimer};
+pub use profile::{RuleCost, RuleProfiler, DEFAULT_SAMPLE_EVERY};
 pub use record::{Counters, Key, NoopRecorder, Obs, Recorder};
+pub use span::{chrome_trace, validate_chrome_trace, SpanEvent, SpanTracer};

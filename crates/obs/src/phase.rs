@@ -20,15 +20,22 @@ pub struct PhaseSpan {
     pub depth: usize,
     /// Elapsed wall-clock nanoseconds; 0 while the span is open.
     pub nanos: u128,
+    /// Nanoseconds from the timer's epoch to the span's start — the
+    /// offset the Chrome trace exporter places the span at.
+    pub start_nanos: u128,
 }
 
 /// A stack-disciplined phase timer.
 ///
 /// `enter`/`leave` must nest; [`PhaseTimer::time`] enforces that shape.
+/// All start offsets are measured against one epoch, set lazily at the
+/// first `enter` (or explicitly with [`set_epoch`](Self::set_epoch) to
+/// align with a span tracer).
 #[derive(Debug, Default)]
 pub struct PhaseTimer {
     spans: Vec<PhaseSpan>,
     open: Vec<(usize, Instant)>,
+    epoch: Option<Instant>,
 }
 
 impl PhaseTimer {
@@ -37,15 +44,30 @@ impl PhaseTimer {
         PhaseTimer::default()
     }
 
+    /// The epoch start offsets are measured against, once any span has
+    /// been entered (or an epoch was supplied).
+    pub fn epoch(&self) -> Option<Instant> {
+        self.epoch
+    }
+
+    /// Supplies the epoch explicitly. No-op once one is established —
+    /// recorded offsets must not shift under already-captured spans.
+    pub fn set_epoch(&mut self, epoch: Instant) {
+        self.epoch.get_or_insert(epoch);
+    }
+
     /// Opens a span named `name` nested under the currently open span.
     pub fn enter(&mut self, name: &'static str) {
+        let now = Instant::now();
+        let epoch = *self.epoch.get_or_insert(now);
         let depth = self.open.len();
         self.spans.push(PhaseSpan {
             name,
             depth,
             nanos: 0,
+            start_nanos: now.duration_since(epoch).as_nanos(),
         });
-        self.open.push((self.spans.len() - 1, Instant::now()));
+        self.open.push((self.spans.len() - 1, now));
     }
 
     /// Closes the innermost open span.
@@ -107,6 +129,10 @@ impl PhaseTimer {
                         ("name", Json::str(s.name)),
                         ("depth", Json::Int(s.depth as i64)),
                         ("nanos", Json::Int(s.nanos.min(i64::MAX as u128) as i64)),
+                        (
+                            "start_nanos",
+                            Json::Int(s.start_nanos.min(i64::MAX as u128) as i64),
+                        ),
                     ])
                 })
                 .collect(),
@@ -143,6 +169,16 @@ mod tests {
         assert_eq!(t.spans().len(), 2);
         let total = t.nanos_of("oag");
         assert_eq!(total, t.spans().iter().map(|s| s.nanos).sum::<u128>());
+    }
+
+    #[test]
+    fn start_offsets_grow_with_enter_order() {
+        let mut t = PhaseTimer::new();
+        t.time("a", |t| t.time("b", |_| {}));
+        t.time("c", |_| {});
+        let starts: Vec<u128> = t.spans().iter().map(|s| s.start_nanos).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{starts:?}");
+        assert!(t.epoch().is_some());
     }
 
     #[test]

@@ -12,6 +12,8 @@ use crate::event::{Event, Resolver, TraceBuffer};
 use crate::json::Json;
 use crate::metrics::MetricsRegistry;
 use crate::phase::PhaseTimer;
+use crate::profile::RuleProfiler;
+use crate::span::{chrome_trace, SpanEvent, SpanTracer};
 
 /// The shared counter vocabulary.
 ///
@@ -225,6 +227,34 @@ impl Counters {
             }
         }
     }
+
+    /// Merges another block into this one, respecting each key's
+    /// additive or high-water semantics. Used by the batch driver to
+    /// combine worker-local shards deterministically.
+    pub fn merge(&mut self, other: &Counters) {
+        for key in Key::ALL {
+            let v = other.get(key);
+            if key.is_high_water() {
+                self.raise(key, v);
+            } else {
+                self.add(key, v);
+            }
+        }
+    }
+}
+
+/// Worker shards count directly into a dense block; the batch driver
+/// merges the shards and replays the sum into the real recorder.
+impl Recorder for Counters {
+    #[inline]
+    fn count(&mut self, key: Key, delta: u64) {
+        self.add(key, delta);
+    }
+
+    #[inline]
+    fn count_max(&mut self, key: Key, value: u64) {
+        self.raise(key, value);
+    }
 }
 
 /// The instrumentation sink the cascade and the evaluators are generic
@@ -264,6 +294,67 @@ pub trait Recorder {
     fn emit(&mut self, event: Event) {
         let _ = event;
     }
+
+    /// Whether per-rule cost profiling is active. Call sites must gate
+    /// the profiling block on this so the disabled path stays free.
+    #[inline]
+    fn profiling(&self) -> bool {
+        false
+    }
+
+    /// Decides whether the next rule firing should be wall-clock
+    /// sampled. Only called when `profiling()` is true.
+    #[inline]
+    fn sample_rule(&mut self) -> bool {
+        false
+    }
+
+    /// Attributes one rule firing to `(production, rule)`; `nanos`
+    /// carries the elapsed time when the firing was sampled. Only called
+    /// when `profiling()` is true.
+    #[inline]
+    fn rule_cost(&mut self, production: u32, rule: u32, is_copy: bool, nanos: Option<u64>) {
+        let _ = (production, rule, is_copy, nanos);
+    }
+
+    /// Whether span tracing is active. Call sites must gate the span
+    /// methods on this so uninstrumented runs never format span names.
+    #[inline]
+    fn spans(&self) -> bool {
+        false
+    }
+
+    /// Opens a span. Only called when `spans()` is true.
+    #[inline]
+    fn span_begin(&mut self, cat: &'static str, name: String) {
+        let _ = (cat, name);
+    }
+
+    /// Closes the innermost open span. Only called when `spans()` is true.
+    #[inline]
+    fn span_end(&mut self) {}
+
+    /// Records a point-in-time marker. Only called when `spans()` is true.
+    #[inline]
+    fn span_instant(&mut self, cat: &'static str, name: String) {
+        let _ = (cat, name);
+    }
+
+    /// A worker-local span shard with thread id `tid` sharing this
+    /// recorder's epoch, or `None` when span tracing is off. The batch
+    /// driver records per-tree spans into shards and merges them back
+    /// with [`absorb_spans`](Self::absorb_spans).
+    #[inline]
+    fn span_shard(&self, tid: u32) -> Option<SpanTracer> {
+        let _ = tid;
+        None
+    }
+
+    /// Merges a worker shard's span events back into this recorder.
+    #[inline]
+    fn absorb_spans(&mut self, shard: SpanTracer) {
+        let _ = shard;
+    }
 }
 
 /// The zero-cost recorder: every method is a no-op and `trace()` is
@@ -276,7 +367,8 @@ impl Recorder for NoopRecorder {}
 impl Recorder for &mut NoopRecorder {}
 
 /// A live instrumentation session: phase timer + metrics registry +
-/// optional bounded event trace.
+/// optional bounded event trace + optional span tracer and rule
+/// profiler.
 #[derive(Debug, Default)]
 pub struct Obs {
     /// Cascade phase spans.
@@ -285,6 +377,10 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     /// The event ring, when tracing is enabled.
     pub events: Option<TraceBuffer>,
+    /// The span timeline, when span tracing is enabled.
+    pub span_tracer: Option<SpanTracer>,
+    /// The per-rule cost profiler, when profiling is enabled.
+    pub profile: Option<RuleProfiler>,
 }
 
 impl Obs {
@@ -302,6 +398,84 @@ impl Obs {
         }
     }
 
+    /// Enables span tracing. The tracer's epoch is shared with the phase
+    /// timer so the two timestamp sources align in the exported
+    /// timeline.
+    pub fn enable_spans(&mut self) {
+        if self.span_tracer.is_some() {
+            return;
+        }
+        let tracer = match self.phases.epoch() {
+            Some(epoch) => SpanTracer::with_epoch(epoch, 0),
+            None => {
+                let t = SpanTracer::new();
+                self.phases.set_epoch(t.epoch());
+                t
+            }
+        };
+        self.span_tracer = Some(tracer);
+    }
+
+    /// Enables per-rule cost profiling with sampling period
+    /// `sample_every` (see [`RuleProfiler::with_sample_every`]).
+    pub fn enable_profile(&mut self, sample_every: u32) {
+        if self.profile.is_none() {
+            self.profile = Some(RuleProfiler::with_sample_every(sample_every));
+        }
+    }
+
+    /// The whole session — cascade phases (tid 0) plus recorded spans —
+    /// as a Chrome trace-event document, loadable in Perfetto.
+    pub fn chrome_trace(&self) -> Json {
+        let mut events: Vec<SpanEvent> = Vec::new();
+        // Phase spans become B/E pairs on tid 0. Ids live in their own
+        // namespace (bit 62 set — tracer ids are `tid << 32 | seq`, far
+        // below it, and the id still fits a JSON i64) so they never
+        // collide with tracer ids.
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        for (i, s) in self.phases.spans().iter().enumerate() {
+            while stack.last().is_some_and(|&(d, _)| d >= s.depth) {
+                stack.pop();
+            }
+            let id = (1u64 << 62) | i as u64;
+            let start = (s.start_nanos / 1_000).min(u64::MAX as u128) as u64;
+            let end = ((s.start_nanos + s.nanos) / 1_000).min(u64::MAX as u128) as u64;
+            events.push(SpanEvent::Begin {
+                id,
+                parent: stack.last().map(|&(_, p)| p),
+                tid: 0,
+                ts_us: start,
+                name: s.name.to_string(),
+                cat: "phase",
+            });
+            events.push(SpanEvent::End {
+                id,
+                tid: 0,
+                ts_us: end,
+            });
+            stack.push((s.depth, id));
+        }
+        if let Some(t) = &self.span_tracer {
+            events.extend(t.events().iter().cloned());
+        }
+        let mut tids: Vec<u32> = events.iter().map(SpanEvent::tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let names: Vec<(u32, String)> = tids
+            .into_iter()
+            .map(|tid| {
+                let name = if tid == 0 {
+                    "cascade".to_string()
+                } else {
+                    format!("worker {tid}")
+                };
+                (tid, name)
+            })
+            .collect();
+        let name_refs: Vec<(u32, &str)> = names.iter().map(|(t, n)| (*t, n.as_str())).collect();
+        chrome_trace(&events, &name_refs)
+    }
+
     /// The full report — `{phases, counters, histograms, trace?}` — as a
     /// single JSON document.
     pub fn to_json(&self) -> Json {
@@ -317,13 +491,29 @@ impl Obs {
                 metrics.get("histograms").cloned().unwrap_or(Json::Null),
             ),
         ];
+        if let Some(p) = &self.profile {
+            if !p.is_empty() {
+                pairs.push(("profile".to_string(), p.to_json(&crate::event::RawResolver)));
+            }
+        }
         if let Some(buf) = &self.events {
+            let mut trace_pairs = vec![
+                ("total", Json::Int(buf.total() as i64)),
+                ("dropped", Json::Int(buf.dropped() as i64)),
+            ];
+            if let Some((from, to)) = buf.dropped_span() {
+                trace_pairs.push((
+                    "dropped_span",
+                    Json::obj([
+                        ("from", Json::Int(from as i64)),
+                        ("to", Json::Int(to as i64)),
+                    ]),
+                ));
+            }
             pairs.push((
                 "trace".to_string(),
-                Json::obj([
-                    ("total", Json::Int(buf.total() as i64)),
-                    ("dropped", Json::Int(buf.dropped() as i64)),
-                    (
+                Json::obj(
+                    trace_pairs.into_iter().chain([(
                         "events",
                         Json::Arr(
                             buf.iter()
@@ -337,8 +527,8 @@ impl Obs {
                                 })
                                 .collect(),
                         ),
-                    ),
-                ]),
+                    )]),
+                ),
             ));
         }
         Json::Obj(pairs)
@@ -355,6 +545,11 @@ impl Obs {
         if !self.metrics.is_empty() {
             out.push_str("metrics:\n");
             out.push_str(&self.metrics.render());
+        }
+        if let Some(p) = &self.profile {
+            if !p.is_empty() {
+                out.push_str(&p.render(resolver, 20));
+            }
         }
         if let Some(buf) = &self.events {
             out.push_str(&format!(
@@ -395,6 +590,64 @@ impl Recorder for Obs {
             buf.push(event);
         }
     }
+
+    #[inline]
+    fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    #[inline]
+    fn sample_rule(&mut self) -> bool {
+        self.profile
+            .as_mut()
+            .map(RuleProfiler::should_sample)
+            .unwrap_or(false)
+    }
+
+    #[inline]
+    fn rule_cost(&mut self, production: u32, rule: u32, is_copy: bool, nanos: Option<u64>) {
+        if let Some(p) = &mut self.profile {
+            p.record(production, rule, is_copy, nanos);
+        }
+    }
+
+    #[inline]
+    fn spans(&self) -> bool {
+        self.span_tracer.is_some()
+    }
+
+    #[inline]
+    fn span_begin(&mut self, cat: &'static str, name: String) {
+        if let Some(t) = &mut self.span_tracer {
+            t.begin(cat, name);
+        }
+    }
+
+    #[inline]
+    fn span_end(&mut self) {
+        if let Some(t) = &mut self.span_tracer {
+            t.end();
+        }
+    }
+
+    #[inline]
+    fn span_instant(&mut self, cat: &'static str, name: String) {
+        if let Some(t) = &mut self.span_tracer {
+            t.instant(cat, name);
+        }
+    }
+
+    #[inline]
+    fn span_shard(&self, tid: u32) -> Option<SpanTracer> {
+        self.span_tracer.as_ref().map(|t| t.shard(tid))
+    }
+
+    #[inline]
+    fn absorb_spans(&mut self, shard: SpanTracer) {
+        if let Some(t) = &mut self.span_tracer {
+            t.absorb(shard);
+        }
+    }
 }
 
 impl Recorder for &mut Obs {
@@ -421,6 +674,51 @@ impl Recorder for &mut Obs {
     #[inline]
     fn emit(&mut self, event: Event) {
         (**self).emit(event);
+    }
+
+    #[inline]
+    fn profiling(&self) -> bool {
+        (**self).profiling()
+    }
+
+    #[inline]
+    fn sample_rule(&mut self) -> bool {
+        (**self).sample_rule()
+    }
+
+    #[inline]
+    fn rule_cost(&mut self, production: u32, rule: u32, is_copy: bool, nanos: Option<u64>) {
+        (**self).rule_cost(production, rule, is_copy, nanos);
+    }
+
+    #[inline]
+    fn spans(&self) -> bool {
+        (**self).spans()
+    }
+
+    #[inline]
+    fn span_begin(&mut self, cat: &'static str, name: String) {
+        (**self).span_begin(cat, name);
+    }
+
+    #[inline]
+    fn span_end(&mut self) {
+        (**self).span_end();
+    }
+
+    #[inline]
+    fn span_instant(&mut self, cat: &'static str, name: String) {
+        (**self).span_instant(cat, name);
+    }
+
+    #[inline]
+    fn span_shard(&self, tid: u32) -> Option<SpanTracer> {
+        (**self).span_shard(tid)
+    }
+
+    #[inline]
+    fn absorb_spans(&mut self, shard: SpanTracer) {
+        (**self).absorb_spans(shard);
     }
 }
 

@@ -34,7 +34,14 @@
 //!
 //! Counters flow through the shared `fnc2-obs` vocabulary:
 //! [`Key::ParTrees`], [`Key::ParSteals`], [`Key::ParRetries`],
-//! [`Key::GuardPanicsCaught`] and [`Key::GuardBudgetExceeded`].
+//! [`Key::GuardPanicsCaught`] and [`Key::GuardBudgetExceeded`] — plus the
+//! per-tree evaluation counters (`eval.*`), which each worker accumulates
+//! in a thread-local [`Counters`] shard merged in worker-index order on
+//! join, so recorded totals are deterministic whatever the steal
+//! interleaving. When the caller's recorder has spans enabled
+//! ([`Obs::enable_spans`](fnc2_obs::Obs::enable_spans)), every worker gets
+//! a [`SpanTracer`] shard on the shared epoch and each `(tree, attempt)`
+//! work item becomes a span on that worker's timeline.
 //!
 //! ```
 //! use fnc2_ag::{GrammarBuilder, Occ, TreeBuilder, Value};
@@ -88,7 +95,7 @@ use std::sync::{Mutex, Once};
 
 use fnc2_ag::{AttrValues, Tree};
 use fnc2_guard::{EvalBudget, FaultPlan, InjectedFault, INJECTED_PANIC_MSG};
-use fnc2_obs::{Counters, Key, NoopRecorder, Recorder};
+use fnc2_obs::{Counters, Key, NoopRecorder, Recorder, SpanTracer};
 use fnc2_visit::{EvalError, EvalStats, Evaluator, RootInputs};
 
 /// What one batch run did: fed into [`Key::ParTrees`] / [`Key::ParSteals`]
@@ -285,24 +292,50 @@ fn silence_injected_panics() {
 }
 
 /// Evaluates tree `i` (attempt `attempt`) with the panic boundary and
-/// classifies the result.
+/// classifies the result. Evaluation counters land in the worker's
+/// `shard` ([`Counters`] is itself a [`Recorder`]) so they survive the
+/// join and merge deterministically — workers used to evaluate through a
+/// `NoopRecorder`, silently dropping per-tree eval counters.
 fn run_one(
     evaluator: &Evaluator<'_>,
     tree: &Tree,
     inputs: &RootInputs,
     budget: &EvalBudget,
     fault: Option<InjectedFault>,
+    shard: &mut Counters,
 ) -> TreeOutcome {
     let r = catch_unwind(AssertUnwindSafe(|| {
         if matches!(fault, Some(InjectedFault::PanicOnEntry)) {
             panic!("{INJECTED_PANIC_MSG} (on entry)");
         }
-        evaluator.evaluate_guarded(tree, inputs, budget, fault)
+        evaluator.evaluate_recorded_guarded(tree, inputs, budget, fault, shard)
     }));
     match r {
         Ok(Ok((values, stats))) => TreeOutcome::Ok(values, stats),
         Ok(Err(e)) => TreeOutcome::Failed(e),
         Err(payload) => TreeOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// Opens a span for one `(tree, attempt)` work item in a worker's shard.
+fn span_tree_begin(sp: &mut Option<SpanTracer>, i: usize, attempt: u32) {
+    if let Some(sp) = sp.as_mut() {
+        sp.begin("par", format!("tree {i} attempt {attempt}"));
+    }
+}
+
+/// Closes the work-item span, tagging failures as instant events.
+fn span_tree_end(sp: &mut Option<SpanTracer>, i: usize, o: &TreeOutcome) {
+    let Some(sp) = sp.as_mut() else { return };
+    sp.end();
+    match o {
+        TreeOutcome::Failed(e) if e.is_budget() => {
+            sp.instant("guard", format!("tree {i}: budget trip: {e}"));
+        }
+        TreeOutcome::Panicked(m) => {
+            sp.instant("guard", format!("tree {i}: panic caught: {m}"));
+        }
+        _ => {}
     }
 }
 
@@ -429,15 +462,32 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
         _ => {}
     };
 
+    // One recorder shard per worker: evaluation counters accumulate
+    // thread-locally (a plain [`Counters`] is a [`Recorder`]) and merge in
+    // worker-index order after the join, so recorded totals are
+    // deterministic whatever the steal interleaving. Span shards carry the
+    // session epoch, so per-tree spans from every worker line up on one
+    // timeline.
+    let mut eval_counters = Counters::new();
     if workers == 1 {
         // No pool on one thread: the sequential loop *is* the semantics
         // the parallel path must reproduce — including retry ordering
         // (failures go to the back of the queue).
+        let mut spans = rec.span_shard(1);
         outcomes.resize_with(trees.len(), || None);
         let mut queue: VecDeque<Task> = (0..trees.len()).map(|i| (i, 0)).collect();
         while let Some((i, attempt)) = queue.pop_front() {
             let fault = plan.and_then(|p| p.fault_for(i, attempt));
-            let o = run_one(evaluator, &trees[i], inputs, budget, fault);
+            span_tree_begin(&mut spans, i, attempt);
+            let o = run_one(
+                evaluator,
+                &trees[i],
+                inputs,
+                budget,
+                fault,
+                &mut eval_counters,
+            );
+            span_tree_end(&mut spans, i, &o);
             classify(&o);
             if !o.is_ok() && attempt < retries {
                 retried.fetch_add(1, Ordering::Relaxed);
@@ -446,12 +496,23 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
                 outcomes[i] = Some(o);
             }
         }
+        if let Some(sp) = spans {
+            rec.absorb_spans(sp);
+        }
     } else {
         let pool = Pool::new(trees, workers);
         outcomes.resize_with(trees.len(), || None);
-        let done: Vec<Vec<(usize, TreeOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
+        let shards: Vec<(Counters, Option<SpanTracer>)> = (0..workers)
+            .map(|w| (Counters::new(), rec.span_shard(w as u32 + 1)))
+            .collect();
+        // What each worker returns on join: its tree outcomes, its counter
+        // shard, and its span shard.
+        type WorkerDone = (Vec<(usize, TreeOutcome)>, Counters, Option<SpanTracer>);
+        let done: Vec<WorkerDone> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(w, (mut counters, mut spans))| {
                     let pool = &pool;
                     let retried = &retried;
                     let classify = &classify;
@@ -469,7 +530,16 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
                                 continue;
                             };
                             let fault = plan.and_then(|p| p.fault_for(i, attempt));
-                            let o = run_one(evaluator, &pool.trees[i], inputs, budget, fault);
+                            span_tree_begin(&mut spans, i, attempt);
+                            let o = run_one(
+                                evaluator,
+                                &pool.trees[i],
+                                inputs,
+                                budget,
+                                fault,
+                                &mut counters,
+                            );
+                            span_tree_end(&mut spans, i, &o);
                             classify(&o);
                             if !o.is_ok() && attempt < retries {
                                 retried.fetch_add(1, Ordering::Relaxed);
@@ -479,16 +549,23 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
                                 pool.pending.fetch_sub(1, Ordering::Release);
                             }
                         }
-                        out
+                        (out, counters, spans)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        // Index merge makes the output independent of scheduling.
-        for (i, o) in done.into_iter().flatten() {
-            debug_assert!(outcomes[i].is_none(), "tree {i} resolved twice");
-            outcomes[i] = Some(o);
+        // Index merge makes the output independent of scheduling; shard
+        // merges run in worker-index order for the same reason.
+        for (per_worker, counters, spans) in done {
+            for (i, o) in per_worker {
+                debug_assert!(outcomes[i].is_none(), "tree {i} resolved twice");
+                outcomes[i] = Some(o);
+            }
+            eval_counters.merge(&counters);
+            if let Some(sp) = spans {
+                rec.absorb_spans(sp);
+            }
         }
         stats.steals = pool.steals.load(Ordering::Relaxed);
     }
@@ -504,13 +581,12 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
         budget_exceeded: budgets.load(Ordering::Relaxed),
     };
 
-    let mut counters = Counters::new();
-    counters.add(Key::ParTrees, report.stats.trees);
-    counters.add(Key::ParSteals, report.stats.steals);
-    counters.add(Key::ParRetries, report.retries);
-    counters.add(Key::GuardPanicsCaught, report.panics_caught);
-    counters.add(Key::GuardBudgetExceeded, report.budget_exceeded);
-    counters.replay(rec);
+    eval_counters.add(Key::ParTrees, report.stats.trees);
+    eval_counters.add(Key::ParSteals, report.stats.steals);
+    eval_counters.add(Key::ParRetries, report.retries);
+    eval_counters.add(Key::GuardPanicsCaught, report.panics_caught);
+    eval_counters.add(Key::GuardBudgetExceeded, report.budget_exceeded);
+    eval_counters.replay(rec);
 
     report
 }
@@ -608,6 +684,69 @@ mod tests {
         let (_, stats) = batch_evaluate_recorded(&ev, &trees, &RootInputs::new(), 2, &mut obs);
         assert_eq!(obs.metrics.counter("par.trees"), 5);
         assert_eq!(obs.metrics.counter("par.steals"), stats.steals);
+    }
+
+    #[test]
+    fn worker_shards_preserve_eval_counters() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 9);
+        let inputs = RootInputs::new();
+        // Ground truth: per-tree eval counters from sequential recorded runs.
+        let mut expect = Counters::new();
+        for t in &trees {
+            ev.evaluate_recorded(t, &inputs, &mut expect).unwrap();
+        }
+        for threads in [1, 2, 4] {
+            let mut obs = Obs::new();
+            batch_evaluate_recorded(&ev, &trees, &inputs, threads, &mut obs);
+            for key in ["eval.visits", "eval.evals", "eval.copies"] {
+                assert_eq!(
+                    obs.metrics.counter(key),
+                    expect.get(match key {
+                        "eval.visits" => Key::EvalVisits,
+                        "eval.evals" => Key::EvalEvals,
+                        _ => Key::EvalCopies,
+                    }),
+                    "{key} diverges at {threads} threads"
+                );
+            }
+            assert!(
+                obs.metrics.counter("eval.evals") > 0,
+                "counters were dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_spans_merge_onto_one_timeline() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let ev = Evaluator::new(&g, &seqs);
+        let trees = chains(&g, 7);
+        let mut obs = Obs::new();
+        obs.enable_spans();
+        batch_evaluate_guarded_recorded(
+            &ev,
+            &trees,
+            &RootInputs::new(),
+            3,
+            &EvalBudget::default(),
+            0,
+            None,
+            &mut obs,
+        );
+        let tracer = obs.span_tracer.as_ref().unwrap();
+        // One "tree i attempt 0" span per tree, spread across worker tids.
+        let begins: Vec<_> = tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e, fnc2_obs::SpanEvent::Begin { cat: "par", .. }))
+            .collect();
+        assert_eq!(begins.len(), 7);
+        let doc = obs.chrome_trace();
+        fnc2_obs::validate_chrome_trace(&doc).unwrap();
     }
 
     #[test]

@@ -116,6 +116,8 @@ enum COp {
     Eval {
         /// The defined occurrence or local (for trace events).
         target: ONode,
+        /// Rule index within the production (for profiling/trace events).
+        rule: u32,
         /// `None` for copy rules (single read, transferred unchanged).
         func: Option<FuncId>,
         reads: Vec<CRead>,
@@ -244,6 +246,12 @@ impl<'g> SpaceEvaluator<'g> {
         step: &crate::alloc::StepAccess,
     ) -> COp {
         let rule = grammar.rule_for(p, target).expect("rule exists");
+        let rule_ix = grammar
+            .production(p)
+            .rules()
+            .iter()
+            .position(|r| r.target() == target)
+            .expect("rule_for found the rule above") as u32;
         let (func, args): (Option<FuncId>, Vec<&Arg>) = match rule.body() {
             RuleBody::Copy(a) => (None, vec![a]),
             RuleBody::Call { func, args } => (Some(*func), args.iter().collect()),
@@ -286,6 +294,7 @@ impl<'g> SpaceEvaluator<'g> {
         };
         COp::Eval {
             target,
+            rule: rule_ix,
             func,
             reads,
             write,
@@ -378,7 +387,19 @@ impl<'g> SpaceEvaluator<'g> {
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         for v in 1..=visits {
-            self.run_visit(tree, root, 0, v, &mut st, &mut meter, rec)?;
+            if rec.spans() {
+                rec.span_begin("visit", format!("space visit {v}/{visits} (root)"));
+            }
+            let r = self.run_visit(tree, root, 0, v, &mut st, &mut meter, rec);
+            if rec.spans() {
+                rec.span_end();
+                if let Err(e) = &r {
+                    if e.is_budget() {
+                        rec.span_instant("guard", format!("budget trip: {e}"));
+                    }
+                }
+            }
+            r?;
         }
         st.counters
             .raise(Key::SpaceMaxLiveCells, st.max_live as u64);
@@ -465,6 +486,7 @@ impl<'g> SpaceEvaluator<'g> {
                 }
                 COp::Eval {
                     target,
+                    rule,
                     func,
                     reads,
                     write,
@@ -473,7 +495,27 @@ impl<'g> SpaceEvaluator<'g> {
                     meter
                         .step()
                         .map_err(|k| EvalError::budget(k, format!("space evaluator, {node}")))?;
+                    let t0 = if rec.profiling() && rec.sample_rule() {
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
                     let value = self.compute(tree, p, node, *func, reads, st)?;
+                    if rec.profiling() {
+                        rec.rule_cost(
+                            p.index() as u32,
+                            *rule,
+                            func.is_none(),
+                            t0.map(|t| t.elapsed().as_nanos() as u64),
+                        );
+                    }
+                    if rec.trace() {
+                        rec.emit(Event::RuleFired {
+                            node: node.index() as u32,
+                            production: p.index() as u32,
+                            rule: *rule,
+                        });
+                    }
                     meter
                         .grow_cells(value.cell_count() as u64)
                         .map_err(|k| EvalError::budget(k, format!("space evaluator, {node}")))?;

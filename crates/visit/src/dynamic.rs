@@ -14,6 +14,7 @@ use fnc2_ag::{
     AttrId, AttrKind, AttrValues, Grammar, LocalId, NodeId, ONode, Occ, ProductionId, Tree, Value,
 };
 use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
+use fnc2_obs::{Event, NoopRecorder, Recorder};
 
 use crate::exhaustive::{EvalStats, RootInputs};
 use crate::rules::{eval_rule, EvalError, Store};
@@ -84,6 +85,41 @@ impl<'g> DynamicEvaluator<'g> {
         budget: &EvalBudget,
         fault: Option<InjectedFault>,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, budget, fault, &mut NoopRecorder)
+    }
+
+    /// [`DynamicEvaluator::evaluate`], instrumented: run counters are
+    /// replayed into `rec`, every fired rule emits a `RuleFired` event
+    /// when tracing is on, and the per-rule profiler hooks are honored.
+    /// With [`NoopRecorder`] this monomorphizes to the bare loop.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DynamicEvaluator::evaluate`].
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_recorded_guarded(tree, inputs, &EvalBudget::default(), None, rec)
+    }
+
+    /// [`DynamicEvaluator::evaluate_recorded`] under an explicit
+    /// [`EvalBudget`] and optional injected fault — the fully general
+    /// entry point the others specialize.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DynamicEvaluator::evaluate_guarded`].
+    pub fn evaluate_recorded_guarded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
         let g = self.grammar;
         let mut meter = BudgetMeter::with_fault(budget, fault);
         let mut values = AttrValues::new(g, tree);
@@ -122,8 +158,10 @@ impl<'g> DynamicEvaluator<'g> {
                 &mut in_progress,
                 &mut stats,
                 &mut meter,
+                rec,
             )?;
         }
+        stats.to_counters().replay(rec);
         Ok((values, stats))
     }
 
@@ -133,7 +171,7 @@ impl<'g> DynamicEvaluator<'g> {
     /// checked [`fnc2_guard::BudgetKind::Depth`] budget instead of a
     /// thread-stack overflow.
     #[allow(clippy::too_many_arguments)]
-    fn demand(
+    fn demand<R: Recorder>(
         &self,
         tree: &Tree,
         goal: Goal,
@@ -142,6 +180,7 @@ impl<'g> DynamicEvaluator<'g> {
         in_progress: &mut HashMap<Goal, bool>,
         stats: &mut EvalStats,
         meter: &mut BudgetMeter,
+        rec: &mut R,
     ) -> Result<(), EvalError> {
         let g = self.grammar;
         /// `Enter` demands a goal (memo check, cycle mark, push args);
@@ -223,6 +262,11 @@ impl<'g> DynamicEvaluator<'g> {
                     meter.step().map_err(|k| {
                         EvalError::budget(k, format!("dynamic evaluator, {def_node}"))
                     })?;
+                    let t0 = if rec.profiling() && rec.sample_rule() {
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
                     let (value, is_copy) = {
                         let store = DynStore {
                             grammar: g,
@@ -231,6 +275,32 @@ impl<'g> DynamicEvaluator<'g> {
                         };
                         eval_rule(g, tree, def_prod, def_node, target, &store)?
                     };
+                    if rec.profiling() || rec.trace() {
+                        // The rule index only matters to the instrumented
+                        // paths, so the scan stays off the bare loop.
+                        let rule_ix = g
+                            .production(def_prod)
+                            .rules()
+                            .iter()
+                            .position(|r| r.target() == target)
+                            .expect("validated grammar defines every output")
+                            as u32;
+                        if rec.profiling() {
+                            rec.rule_cost(
+                                def_prod.index() as u32,
+                                rule_ix,
+                                is_copy,
+                                t0.map(|t| t.elapsed().as_nanos() as u64),
+                            );
+                        }
+                        if rec.trace() {
+                            rec.emit(Event::RuleFired {
+                                node: def_node.index() as u32,
+                                production: def_prod.index() as u32,
+                                rule: rule_ix,
+                            });
+                        }
+                    }
                     meter.grow_cells(value.cell_count() as u64).map_err(|k| {
                         EvalError::budget(k, format!("dynamic evaluator, {def_node}"))
                     })?;

@@ -242,7 +242,10 @@ impl<'g> Evaluator<'g> {
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         let mut buf = Vec::with_capacity(8);
         for v in 1..=visits {
-            self.run_visit(
+            if rec.spans() {
+                rec.span_begin("visit", format!("exhaustive visit {v}/{visits} (root)"));
+            }
+            let r = self.run_visit(
                 tree,
                 root,
                 0,
@@ -253,7 +256,16 @@ impl<'g> Evaluator<'g> {
                 &mut buf,
                 &mut meter,
                 rec,
-            )?;
+            );
+            if rec.spans() {
+                rec.span_end();
+                if let Err(e) = &r {
+                    if e.is_budget() {
+                        rec.span_instant("guard", format!("budget trip: {e}"));
+                    }
+                }
+            }
+            r?;
         }
         counters.replay(rec);
         Ok((values, EvalStats::from_counters(&counters)))
@@ -320,6 +332,11 @@ impl<'g> Evaluator<'g> {
                     })?;
                     let rule_ix = *rule;
                     let cr = &self.program.production(p).rules[rule_ix as usize];
+                    let t0 = if rec.profiling() && rec.sample_rule() {
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
                     let (value, is_copy) = self.program.exec_rule(
                         self.grammar,
                         tree,
@@ -331,6 +348,14 @@ impl<'g> Evaluator<'g> {
                         buf,
                         counters,
                     )?;
+                    if rec.profiling() {
+                        rec.rule_cost(
+                            p.index() as u32,
+                            rule_ix,
+                            is_copy,
+                            t0.map(|t| t.elapsed().as_nanos() as u64),
+                        );
+                    }
                     meter.grow_cells(value.cell_count() as u64).map_err(|k| {
                         EvalError::budget(k, format!("exhaustive evaluator, {node}"))
                     })?;
