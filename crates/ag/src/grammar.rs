@@ -392,6 +392,11 @@ impl Grammar {
         &self.functions[id.index()]
     }
 
+    /// Number of semantic functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
     /// Looks up a phylum by name.
     pub fn phylum_by_name(&self, name: &str) -> Option<PhylumId> {
         self.phyla

@@ -61,6 +61,16 @@ impl PhylumRels {
     pub fn total_pairs(&self) -> usize {
         self.rels.iter().map(BitMatrix::count).sum()
     }
+
+    /// The per-phylum relations, indexed by phylum, for serialization.
+    pub fn rels(&self) -> &[BitMatrix] {
+        &self.rels
+    }
+
+    /// Rebuilds relations from a per-phylum matrix list.
+    pub fn from_rels(rels: Vec<BitMatrix>) -> Self {
+        PhylumRels { rels }
+    }
 }
 
 /// Result of the SNC test.

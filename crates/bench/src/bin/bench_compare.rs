@@ -120,9 +120,24 @@ fn change_factor(base: Kind, fresh: Kind, absolute: bool) -> Option<f64> {
     }
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN factors"));
-    xs[xs.len() / 2]
+/// The median change factor. Non-finite factors (a `NaNx` cell in a
+/// malformed dump would otherwise poison the sort and panic) are rejected
+/// as a proper error, and even-length inputs take the mean of the two
+/// middle elements — the true median, not the upper one.
+fn median(mut xs: Vec<f64>) -> Result<f64, String> {
+    if xs.is_empty() {
+        return Err("median of an empty factor list".into());
+    }
+    if let Some(bad) = xs.iter().find(|x| !x.is_finite()) {
+        return Err(format!("non-finite change factor {bad} in dump"));
+    }
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    Ok(if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    })
 }
 
 /// Compares one table pair; returns the list of regression messages.
@@ -156,6 +171,22 @@ fn compare(
             ));
         }
     }
+    // Every row must carry exactly one cell per header: a short row would
+    // panic on indexing below, a long one would be silently ignored.
+    for (which, t) in [("baseline", base), ("fresh", fresh)] {
+        for (i, row) in t.rows.iter().enumerate() {
+            if row.len() != t.headers.len() {
+                return Err(format!(
+                    "table `{}` {which} row {i} ({:?}): {} cells but {} headers — \
+                     truncated or malformed dump",
+                    t.name,
+                    row.first(),
+                    row.len(),
+                    t.headers.len()
+                ));
+            }
+        }
+    }
     let mut regressions = Vec::new();
     for (col, header) in base.headers.iter().enumerate() {
         let mut factors = Vec::new();
@@ -172,7 +203,8 @@ fn compare(
         if factors.is_empty() {
             continue;
         }
-        let med = median(factors);
+        let med =
+            median(factors).map_err(|e| format!("table `{}` column `{header}`: {e}", base.name))?;
         let limit = 1.0 + threshold / 100.0;
         let verdict = if med > limit { "REGRESSION" } else { "ok" };
         let (w, wi) = worst.expect("factors nonempty");
@@ -366,6 +398,63 @@ mod tests {
         let slow = table("t", &[&["a", "20.0µs", "3.00x", "+1.0%"]]);
         assert!(compare(&base, &slow, 15.0, false).unwrap().is_empty());
         assert_eq!(compare(&base, &slow, 15.0, true).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn median_averages_the_middle_pair_for_even_length() {
+        // Old code returned the upper middle element (2.0 here), biasing
+        // even-length columns pessimistically.
+        assert_eq!(median(vec![1.0, 2.0]).unwrap(), 1.5);
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+        assert_eq!(median(vec![3.0, 1.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn median_rejects_nan_instead_of_panicking() {
+        let err = median(vec![1.0, f64::NAN, 2.0]).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        assert!(median(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn nan_cell_is_a_comparison_error_not_a_panic() {
+        // A fresh overhead cell of NaN yields a NaN change factor; the old
+        // code panicked inside median's sort comparator.
+        let base = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let bad = table("t", &[&["a", "10.0µs", "3.00x", "+NaN%"]]);
+        let err = compare(&base, &bad, 15.0, false).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn short_row_is_an_error_not_a_panic() {
+        // A fresh row missing trailing cells made the old code index out
+        // of bounds; rows longer than the header list were silently
+        // truncated. Both are now hard errors.
+        let base = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let mut short = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        short.rows[0].pop();
+        let err = compare(&base, &short, 15.0, false).unwrap_err();
+        assert!(err.contains("cells but"), "{err}");
+        let mut long = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        long.rows[0].push("extra".into());
+        assert!(compare(&base, &long, 15.0, false).is_err());
+    }
+
+    #[test]
+    fn row_count_change_is_a_hard_error() {
+        // rows.iter().zip(&fresh.rows) would silently drop the unmatched
+        // tail without the explicit length check.
+        let base = table(
+            "t",
+            &[
+                &["a", "10.0µs", "3.00x", "+1.0%"],
+                &["b", "10.0µs", "3.00x", "+1.0%"],
+            ],
+        );
+        let dropped = table("t", &[&["a", "10.0µs", "3.00x", "+1.0%"]]);
+        let err = compare(&base, &dropped, 15.0, false).unwrap_err();
+        assert!(err.contains("row count changed"), "{err}");
     }
 
     #[test]

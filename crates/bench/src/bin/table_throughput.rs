@@ -18,10 +18,15 @@
 //! * **throughput** — trees/sec over a batch of synthetic-corpus trees at
 //!   1, 2, 4 and 8 worker threads sharing one `&Evaluator`, plus the steal
 //!   counts the pool reports through `fnc2-obs`.
+//! * **startup** — the generate-once/evaluate-many claim in miniature:
+//!   loading a compiled-table artifact (`fnc2::artifact::load_tables`,
+//!   which re-runs only the OLGA front end and deserializes the Figure-3
+//!   cascade results) against rerunning the full generator cascade
+//!   (`Pipeline::compile_olga`) on the same source.
 //!
 //! Run with `cargo run --release --bin table_throughput -p fnc2-bench`.
-//! Set `FNC2_BENCH_JSON` to also write `BENCH_eval_hotpath.json` and
-//! `BENCH_throughput.json`.
+//! Set `FNC2_BENCH_JSON` to also write `BENCH_eval_hotpath.json`,
+//! `BENCH_throughput.json` and `BENCH_startup.json`.
 
 use std::time::{Duration, Instant};
 
@@ -29,7 +34,9 @@ use fnc2::guard::EvalBudget;
 use fnc2::visit::{Evaluator, RootInputs};
 use fnc2::Pipeline;
 use fnc2_bench::{maybe_emit_json, render_table};
-use fnc2_corpus::{synthetic, synthetic_tree, TABLE1_PROFILES};
+use fnc2_corpus::{
+    sized_ag_source, synthetic, synthetic_tree, BLOCKS_OLGA_LIST, MINIPASCAL_OLGA, TABLE1_PROFILES,
+};
 use fnc2_par::batch_evaluate;
 
 /// Median of `n` individually-timed runs (after 3 warmups). A median, not
@@ -200,6 +207,45 @@ fn main() {
     }
     println!("{}", render_table(&thr_headers, &thr_rows));
     if let Some(p) = maybe_emit_json("throughput", &thr_headers, &thr_rows) {
+        println!("wrote {}\n", p.display());
+    }
+
+    // ---- Part 3: startup — full cascade vs. artifact load. -------------
+    println!("Startup: full generator cascade vs. compiled-table artifact load\n");
+    let start_headers = ["AG", "artifact", "full compile", "table load", "speedup"];
+    let mut start_rows = Vec::new();
+    let sized = sized_ag_source("s40", 2000);
+    for (name, source) in [
+        ("minipascal", MINIPASCAL_OLGA),
+        ("blocks", BLOCKS_OLGA_LIST),
+        ("sized-2000", sized.as_str()),
+    ] {
+        let pipeline = Pipeline::new();
+        let compiled = pipeline.compile_olga(source).expect("corpus AG compiles");
+        let bytes = fnc2::artifact::emit_tables(&compiled, &pipeline, source);
+        // Differential guard: the artifact path must reproduce the cascade.
+        let loaded =
+            fnc2::artifact::load_tables(&bytes, source, &pipeline).expect("artifact loads");
+        assert_eq!(
+            loaded.report.class, compiled.report.class,
+            "{name}: artifact load diverges from the full cascade"
+        );
+        let t_full = time_n(reps, || {
+            std::hint::black_box(pipeline.compile_olga(source).unwrap());
+        });
+        let t_load = time_n(reps, || {
+            std::hint::black_box(fnc2::artifact::load_tables(&bytes, source, &pipeline).unwrap());
+        });
+        start_rows.push(vec![
+            name.to_string(),
+            format!("{} B", bytes.len()),
+            format!("{:.2}ms", t_full.as_secs_f64() * 1e3),
+            format!("{:.2}ms", t_load.as_secs_f64() * 1e3),
+            format!("{:.1}x", t_full.as_secs_f64() / t_load.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render_table(&start_headers, &start_rows));
+    if let Some(p) = maybe_emit_json("startup", &start_headers, &start_rows) {
         println!("wrote {}", p.display());
     }
 }

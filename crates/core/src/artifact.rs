@@ -1,0 +1,365 @@
+//! Persistent compiled-table artifacts: emit, load, and cache.
+//!
+//! FNC-2 is generate-once / evaluate-many. This module makes the "once"
+//! hold across process boundaries: [`emit_tables`] serializes everything
+//! downstream of the OLGA front end into a fingerprinted binary artifact
+//! (see [`fnc2_tables`]), and [`load_tables`] turns such an artifact back
+//! into a [`Compiled`] — re-running only the cheap front end to rebuild
+//! the semantic closures, while the expensive Figure-3 cascade results
+//! (classification, visit sequences, storage plan) are deserialized.
+//!
+//! [`compile_olga_cached`] wraps the two in an on-disk cache keyed by the
+//! content fingerprint. The cache is never trusted: a stale, corrupt,
+//! truncated or version-skewed artifact is rejected with a classified
+//! [`ArtifactError`], counted under `tables.cache_rejected`, and silently
+//! replaced by a full recompilation — never a panic, never a wrong
+//! answer.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use fnc2_obs::{Key, Obs, Recorder as _};
+use fnc2_space::ObjectIndex;
+use fnc2_tables::fingerprint_source;
+pub use fnc2_tables::{ArtifactError, Tables, TablesConfig};
+
+use crate::{olga_front_end_recorded, Compiled, PhaseTimes, Pipeline, PipelineError, Report};
+
+impl Pipeline {
+    /// The artifact-facing view of this configuration (the knobs that
+    /// change analysis results and therefore partake in the fingerprint).
+    pub fn tables_config(&self) -> TablesConfig {
+        TablesConfig {
+            max_oag_k: self.max_oag_k,
+            inclusion: self.inclusion,
+            optimize_space: self.optimize_space,
+        }
+    }
+}
+
+/// Why loading an artifact did not produce a [`Compiled`].
+#[derive(Debug)]
+pub enum TablesError {
+    /// The artifact is unusable — stale fingerprint, version skew,
+    /// corruption, or a configuration mismatch. The caller should fall
+    /// back to full recompilation.
+    Rejected(ArtifactError),
+    /// The source itself fails the OLGA front end. This is a user
+    /// diagnostic that a recompilation would reproduce, not an artifact
+    /// problem, so callers surface it instead of falling back.
+    Source(Box<PipelineError>),
+}
+
+impl fmt::Display for TablesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TablesError::Rejected(e) => write!(f, "{e}"),
+            TablesError::Source(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TablesError {}
+
+/// Serializes a finished compilation into artifact bytes for `source`
+/// under `pipeline`'s configuration.
+pub fn emit_tables(compiled: &Compiled, pipeline: &Pipeline, source: &str) -> Vec<u8> {
+    Tables::build(
+        &compiled.grammar,
+        pipeline.tables_config(),
+        Some(source),
+        &compiled.classification,
+        &compiled.seqs,
+        compiled.flat.as_ref(),
+        compiled.lifetimes.as_ref(),
+        compiled.space_plan.as_ref(),
+    )
+    .to_bytes()
+}
+
+/// [`load_tables_recorded`] without instrumentation.
+///
+/// # Errors
+///
+/// See [`TablesError`].
+pub fn load_tables(
+    bytes: &[u8],
+    source: &str,
+    pipeline: &Pipeline,
+) -> Result<Compiled, TablesError> {
+    load_tables_recorded(bytes, source, pipeline, &mut Obs::new())
+}
+
+/// Loads a compiled grammar from artifact bytes: verifies header,
+/// checksum, configuration and fingerprint, re-runs the OLGA front end on
+/// `source` to rebuild the grammar (with its semantic closures), verifies
+/// the artifact's grammar-shape and compiled-program sections against it,
+/// and assembles a [`Compiled`] from the deserialized cascade results.
+///
+/// The whole load runs inside a `tables.load` phase span, with the
+/// nested `olga.*` front-end spans inside it.
+///
+/// # Errors
+///
+/// [`TablesError::Rejected`] for every artifact defect (fall back to
+/// recompilation); [`TablesError::Source`] when `source` itself does not
+/// compile.
+pub fn load_tables_recorded(
+    bytes: &[u8],
+    source: &str,
+    pipeline: &Pipeline,
+    obs: &mut Obs,
+) -> Result<Compiled, TablesError> {
+    obs.phases.enter("tables.load");
+    let r = load_inner(bytes, source, pipeline, obs);
+    obs.phases.leave();
+    r
+}
+
+fn load_inner(
+    bytes: &[u8],
+    source: &str,
+    pipeline: &Pipeline,
+    obs: &mut Obs,
+) -> Result<Compiled, TablesError> {
+    let config = pipeline.tables_config();
+    let (tables, found) = Tables::from_bytes(bytes).map_err(TablesError::Rejected)?;
+    if tables.config != config {
+        return Err(TablesError::Rejected(ArtifactError::ConfigMismatch));
+    }
+    let expected = fingerprint_source(source, &config);
+    if found != expected {
+        return Err(TablesError::Rejected(ArtifactError::FingerprintMismatch {
+            found,
+            expected,
+        }));
+    }
+    // The space sections must be present exactly when the configuration
+    // says the optimizer ran.
+    let space_sections = [
+        tables.flat.is_some(),
+        tables.lifetimes.is_some(),
+        tables.space_plan.is_some(),
+    ];
+    if space_sections != [config.optimize_space; 3] {
+        return Err(TablesError::Rejected(ArtifactError::Corrupt(
+            "space sections do not match the recorded configuration".into(),
+        )));
+    }
+    let grammar =
+        olga_front_end_recorded(source, obs).map_err(|e| TablesError::Source(Box::new(e)))?;
+    tables
+        .verify_against(&grammar)
+        .map_err(TablesError::Rejected)?;
+
+    let Tables {
+        classification,
+        seqs,
+        flat,
+        lifetimes,
+        space_plan,
+        ..
+    } = tables;
+    // The object index is a cheap deterministic function of the grammar;
+    // it is rebuilt rather than serialized.
+    let objects = flat.is_some().then(|| ObjectIndex::new(&grammar));
+    let report = Report {
+        class: classification.class,
+        phyla: grammar.phylum_count(),
+        operators: grammar.production_count(),
+        occurrences: grammar.attr_count(),
+        rules: grammar.rule_count(),
+        transform: classification.l_ordered.as_ref().map(|l| l.stats.clone()),
+        space: space_plan.as_ref().map(|p| p.stats.clone()),
+        // The cascade did not run, so the generator phase times are zero.
+        times: PhaseTimes::default(),
+    };
+    Ok(Compiled {
+        grammar,
+        classification,
+        seqs,
+        flat,
+        objects,
+        lifetimes,
+        space_plan,
+        report,
+    })
+}
+
+/// Outcome of one consultation of the artifact cache.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// A valid artifact was found and loaded; the cascade was skipped.
+    Hit,
+    /// No artifact existed for this fingerprint; the grammar was compiled
+    /// and the result stored.
+    Miss,
+    /// An artifact existed but was rejected for the carried reason; the
+    /// grammar was recompiled and the artifact replaced.
+    Rejected(ArtifactError),
+}
+
+/// The file an artifact for `fingerprint` is cached under.
+pub fn cache_path(dir: &Path, fingerprint: u64) -> PathBuf {
+    dir.join(format!("fnc2-{fingerprint:016x}.tbl"))
+}
+
+/// Compiles OLGA source through an on-disk artifact cache: on a hit the
+/// Figure-3 cascade is skipped entirely; on a miss (or a rejected stale /
+/// corrupt artifact) the source is compiled in full and the artifact
+/// (re)written. Cache consultation bumps exactly one of the
+/// `tables.cache_hit` / `tables.cache_miss` / `tables.cache_rejected`
+/// counters. Cache writes are best-effort and atomic (write to a
+/// temporary file, then rename): an unwritable cache directory never
+/// fails the compilation.
+///
+/// # Errors
+///
+/// Exactly the failure modes of
+/// [`compile_olga`](Pipeline::compile_olga) — cache trouble is never an
+/// error.
+pub fn compile_olga_cached(
+    pipeline: &Pipeline,
+    source: &str,
+    cache_dir: &Path,
+    obs: &mut Obs,
+) -> Result<(Compiled, CacheOutcome), PipelineError> {
+    let fingerprint = fingerprint_source(source, &pipeline.tables_config());
+    let path = cache_path(cache_dir, fingerprint);
+    let outcome = match std::fs::read(&path) {
+        Ok(bytes) => match load_tables_recorded(&bytes, source, pipeline, obs) {
+            Ok(compiled) => {
+                obs.count(Key::TablesCacheHit, 1);
+                return Ok((compiled, CacheOutcome::Hit));
+            }
+            Err(TablesError::Source(e)) => return Err(*e),
+            Err(TablesError::Rejected(e)) => CacheOutcome::Rejected(e),
+        },
+        Err(_) => CacheOutcome::Miss,
+    };
+    match outcome {
+        CacheOutcome::Rejected(_) => obs.count(Key::TablesCacheRejected, 1),
+        _ => obs.count(Key::TablesCacheMiss, 1),
+    }
+    let compiled = pipeline.compile_olga_recorded(source, obs)?;
+    let bytes = emit_tables(&compiled, pipeline, source);
+    write_cache(&path, &bytes);
+    Ok((compiled, outcome))
+}
+
+/// Best-effort atomic cache write: a concurrent reader sees either the
+/// old artifact or the new one, never a torn file.
+fn write_cache(path: &Path, bytes: &[u8]) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNT: &str = r#"
+        attribute grammar count;
+          phylum S;
+          operator leaf : S ::= ;
+          operator node : S ::= S;
+          synthesized n : int of S;
+          for leaf { S.n := 0; }
+          for node { S$1.n := S$2.n + 1; }
+        end
+    "#;
+
+    fn emit(source: &str, pipeline: &Pipeline) -> Vec<u8> {
+        let compiled = pipeline.compile_olga(source).unwrap();
+        emit_tables(&compiled, pipeline, source)
+    }
+
+    #[test]
+    fn emit_then_load_round_trips() {
+        let pipeline = Pipeline::new();
+        let bytes = emit(COUNT, &pipeline);
+        let loaded = load_tables(&bytes, COUNT, &pipeline).unwrap();
+        let fresh = pipeline.compile_olga(COUNT).unwrap();
+        assert_eq!(loaded.report.class, fresh.report.class);
+        assert!(loaded.flat.is_some());
+        assert!(loaded.objects.is_some());
+        // The loaded evaluator computes the same answers.
+        let tree = crate::smoke_tree(&loaded.grammar).unwrap();
+        let (vals, _) = loaded.evaluate(&tree, &Default::default()).unwrap();
+        let (fresh_vals, _) = fresh.evaluate(&tree, &Default::default()).unwrap();
+        let s = loaded.grammar.phylum_by_name("S").unwrap();
+        let n = loaded.grammar.attr_by_name(s, "n").unwrap();
+        assert_eq!(
+            vals.get(&loaded.grammar, tree.root(), n),
+            fresh_vals.get(&fresh.grammar, tree.root(), n)
+        );
+    }
+
+    #[test]
+    fn stale_source_is_a_fingerprint_mismatch() {
+        let pipeline = Pipeline::new();
+        let bytes = emit(COUNT, &pipeline);
+        let edited = COUNT.replace("+ 1", "+ 2");
+        match load_tables(&bytes, &edited, &pipeline) {
+            Err(TablesError::Rejected(ArtifactError::FingerprintMismatch { .. })) => {}
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let pipeline = Pipeline::new();
+        let bytes = emit(COUNT, &pipeline);
+        let no_space = Pipeline {
+            optimize_space: false,
+            ..Pipeline::new()
+        };
+        match load_tables(&bytes, COUNT, &no_space) {
+            Err(TablesError::Rejected(ArtifactError::ConfigMismatch)) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_miss_then_hit_with_counters() {
+        let pipeline = Pipeline::new();
+        let dir = std::env::temp_dir().join(format!("fnc2-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut obs = Obs::new();
+        let (_, first) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        assert!(matches!(first, CacheOutcome::Miss), "{first:?}");
+        assert_eq!(obs.metrics.counter("tables.cache_miss"), 1);
+        let (_, second) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        assert!(matches!(second, CacheOutcome::Hit), "{second:?}");
+        assert_eq!(obs.metrics.counter("tables.cache_hit"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cached_artifact_is_rejected_and_replaced() {
+        let pipeline = Pipeline::new();
+        let dir = std::env::temp_dir().join(format!("fnc2-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut obs = Obs::new();
+        compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        let fp = fingerprint_source(COUNT, &pipeline.tables_config());
+        let path = cache_path(&dir, fp);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, outcome) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        assert!(matches!(outcome, CacheOutcome::Rejected(_)), "{outcome:?}");
+        assert_eq!(obs.metrics.counter("tables.cache_rejected"), 1);
+        // The artifact was rewritten; the next consultation hits.
+        let (_, third) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        assert!(matches!(third, CacheOutcome::Hit), "{third:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

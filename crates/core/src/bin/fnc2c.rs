@@ -6,6 +6,8 @@
 //! fnc2c c       <file.olga>       # translate the AG to C on stdout
 //! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
 //! fnc2c seqs    <file.olga>       # print the visit sequences
+//! fnc2c compile --emit-tables FILE <file.olga>
+//!                                 # persist the compiled tables artifact
 //! fnc2c profile <file.olga>       # ranked per-(production, rule) cost profile
 //! fnc2c explain <attr@node> <file.olga>
 //!                                 # dynamic dependency slice of one instance
@@ -23,6 +25,16 @@
 //! --metrics            print phase times and counters (stderr for c/lisp/seqs)
 //! --trace[=N]          capture an event trace (ring of N entries, default 4096)
 //! --chrome-trace FILE  write a Chrome trace-event JSON (open in Perfetto)
+//! ```
+//!
+//! Tables flags (report/c/lisp/seqs/profile/explain; mutually exclusive):
+//!
+//! ```text
+//! --tables FILE        load the compiled tables artifact FILE instead of
+//!                      re-running the generator cascade; a stale or
+//!                      corrupt artifact falls back to full recompilation
+//! --cache-dir DIR      consult (and populate) an on-disk artifact cache
+//!                      keyed by the source + configuration fingerprint
 //! ```
 //!
 //! Budget flags (any command that evaluates):
@@ -67,16 +79,26 @@ struct Opts {
     report_json: bool,
     budget: Option<EvalBudget>,
     chrome_trace: Option<String>,
+    /// `--tables FILE`: load the compiled tables artifact instead of
+    /// running the cascade (falls back to recompilation when rejected).
+    tables: Option<String>,
+    /// `--cache-dir DIR`: consult/populate an on-disk artifact cache.
+    cache_dir: Option<String>,
+    /// `--emit-tables FILE` (compile command only): artifact destination.
+    emit_tables: Option<String>,
 }
 
 const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 fn usage() -> String {
     "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [--chrome-trace FILE] \
-     [budget flags] <report|check|c|lisp|seqs> <file.olga | ->\n\
+     [--tables FILE | --cache-dir DIR] [budget flags] <report|check|c|lisp|seqs> \
+     <file.olga | ->\n\
+     \u{20}      fnc2c compile --emit-tables FILE <file.olga | ->\n\
      \u{20}      fnc2c profile [--repeat N] [--sample-every N] [--top N] [--report json|text] \
-     [budget flags] <file.olga | ->\n\
-     \u{20}      fnc2c explain [--trace=N] [--report json|text] <[Phylum.]attr@node> \
+     [--tables FILE | --cache-dir DIR] [budget flags] <file.olga | ->\n\
+     \u{20}      fnc2c explain [--trace=N] [--report json|text] \
+     [--tables FILE | --cache-dir DIR] <[Phylum.]attr@node> \
      <file.olga | ->\n\
      \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
@@ -140,6 +162,27 @@ fn main() -> ExitCode {
                     return ExitCode::from(EXIT_DIAGNOSTICS);
                 }
             },
+            "--tables" => match it.next() {
+                Some(path) => opts.tables = Some(path),
+                None => {
+                    eprintln!("fnc2c: --tables takes a file path\n{}", usage());
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => opts.cache_dir = Some(dir),
+                None => {
+                    eprintln!("fnc2c: --cache-dir takes a directory path\n{}", usage());
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            },
+            "--emit-tables" => match it.next() {
+                Some(path) => opts.emit_tables = Some(path),
+                None => {
+                    eprintln!("fnc2c: --emit-tables takes a file path\n{}", usage());
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            },
             "--report" => match it.next().as_deref() {
                 Some("json") => opts.report_json = true,
                 Some("text") => opts.report_json = false,
@@ -185,6 +228,10 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
+    if let Err(msg) = validate_tables_flags(&cmd, &opts) {
+        eprintln!("{msg}");
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
     let source = match read_source(&path) {
         Ok(s) => s,
         Err((msg, code)) => {
@@ -281,7 +328,12 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
             ))
         }
         "report" => {
-            let mut compiled = compile(source, obs)?;
+            let mut compiled = compile_via(
+                source,
+                opts.tables.as_deref(),
+                opts.cache_dir.as_deref(),
+                obs,
+            )?;
             let budget = opts.budget.unwrap_or_default();
             // Graceful degradation: a space plan that fails re-validation
             // or the plan-time budget check is dropped — the report falls
@@ -315,20 +367,35 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
         }
         "c" => {
             let checked = checked()?;
-            let compiled = compile(source, obs)?;
+            let compiled = compile_via(
+                source,
+                opts.tables.as_deref(),
+                opts.cache_dir.as_deref(),
+                obs,
+            )?;
             let out = fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs);
             emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
         "lisp" => {
             let checked = checked()?;
-            let compiled = compile(source, obs)?;
+            let compiled = compile_via(
+                source,
+                opts.tables.as_deref(),
+                opts.cache_dir.as_deref(),
+                obs,
+            )?;
             let out = fnc2::codegen::to_lisp(&checked, &compiled.grammar, &compiled.seqs);
             emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
         "seqs" => {
-            let compiled = compile(source, obs)?;
+            let compiled = compile_via(
+                source,
+                opts.tables.as_deref(),
+                opts.cache_dir.as_deref(),
+                obs,
+            )?;
             let mut out = String::new();
             for (p, pi) in compiled.seqs.keys() {
                 let seq = compiled.seqs.seq(p, pi);
@@ -357,6 +424,23 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
             emit_side_channel(opts, obs, &compiled.grammar);
             Ok(out)
         }
+        "compile" => {
+            let compiled = compile(source, obs)?;
+            let out_path = opts
+                .emit_tables
+                .as_deref()
+                .expect("validated by validate_tables_flags");
+            let pipeline = Pipeline::new();
+            let bytes = fnc2::artifact::emit_tables(&compiled, &pipeline, source);
+            std::fs::write(out_path, &bytes)
+                .map_err(|e| diag(format!("fnc2c: cannot write {out_path}: {e}")))?;
+            let fp = fnc2::tables::fingerprint_source(source, &pipeline.tables_config());
+            Ok(format!(
+                "wrote compiled tables to {out_path}: {} bytes, fingerprint {fp:016x}, class {}\n",
+                bytes.len(),
+                compiled.report.class
+            ))
+        }
         other => Err(diag(format!("fnc2c: unknown command `{other}`"))),
     }
 }
@@ -371,6 +455,8 @@ fn run_profile(args: &[String]) -> ExitCode {
     let mut sample_every = fnc2::obs::DEFAULT_SAMPLE_EVERY;
     let mut top = 20usize;
     let mut json = false;
+    let mut tables: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut budget = EvalBudget::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -384,6 +470,23 @@ fn run_profile(args: &[String]) -> ExitCode {
             "--repeat" => numeric("--repeat").map(|n| repeat = n.max(1)),
             "--sample-every" => numeric("--sample-every").map(|n| sample_every = (n as u32).max(1)),
             "--top" => numeric("--top").map(|n| top = (n as usize).max(1)),
+            "--tables" => match it.next() {
+                Some(path) => {
+                    tables = Some(path.clone());
+                    Ok(())
+                }
+                None => Err(format!("fnc2c: --tables takes a file path\n{}", usage())),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => {
+                    cache_dir = Some(dir.clone());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fnc2c: --cache-dir takes a directory path\n{}",
+                    usage()
+                )),
+            },
             "--report" => match it.next().map(String::as_str) {
                 Some("json") => {
                     json = true;
@@ -423,8 +526,24 @@ fn run_profile(args: &[String]) -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(EXIT_DIAGNOSTICS);
     };
+    if tables.is_some() && cache_dir.is_some() {
+        eprintln!(
+            "fnc2c: --tables and --cache-dir are mutually exclusive\n{}",
+            usage()
+        );
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
 
-    match profile_source(path, repeat, sample_every, top, json, &budget) {
+    match profile_source(
+        path,
+        repeat,
+        sample_every,
+        top,
+        json,
+        tables.as_deref(),
+        cache_dir.as_deref(),
+        &budget,
+    ) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -436,17 +555,20 @@ fn run_profile(args: &[String]) -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn profile_source(
     path: &str,
     repeat: u64,
     sample_every: u32,
     top: usize,
     json: bool,
+    tables: Option<&str>,
+    cache_dir: Option<&str>,
     budget: &EvalBudget,
 ) -> Result<String, CliError> {
     let source = read_source(path)?;
     let mut obs = Obs::new();
-    let mut compiled = compile(&source, &mut obs)?;
+    let mut compiled = compile_via(&source, tables, cache_dir, &mut obs)?;
     if let Some(reason) = compiled.degrade_to_exhaustive_recorded(budget, &mut obs) {
         eprintln!("fnc2c: warning: degrading to exhaustive evaluator: {reason}");
     }
@@ -489,10 +611,29 @@ fn profile_source(
 fn run_explain(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut capacity: usize = 1 << 20;
+    let mut tables: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let r = match arg.as_str() {
+            "--tables" => match it.next() {
+                Some(path) => {
+                    tables = Some(path.clone());
+                    Ok(())
+                }
+                None => Err(format!("fnc2c: --tables takes a file path\n{}", usage())),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => {
+                    cache_dir = Some(dir.clone());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fnc2c: --cache-dir takes a directory path\n{}",
+                    usage()
+                )),
+            },
             "--report" => match it.next().map(String::as_str) {
                 Some("json") => {
                     json = true;
@@ -537,8 +678,22 @@ fn run_explain(args: &[String]) -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(EXIT_DIAGNOSTICS);
     };
+    if tables.is_some() && cache_dir.is_some() {
+        eprintln!(
+            "fnc2c: --tables and --cache-dir are mutually exclusive\n{}",
+            usage()
+        );
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
 
-    match explain_source(target, path, capacity, json) {
+    match explain_source(
+        target,
+        path,
+        capacity,
+        json,
+        tables.as_deref(),
+        cache_dir.as_deref(),
+    ) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -581,10 +736,12 @@ fn explain_source(
     path: &str,
     capacity: usize,
     json: bool,
+    tables: Option<&str>,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
     let source = read_source(path)?;
     let mut obs = Obs::new();
-    let compiled = compile(&source, &mut obs)?;
+    let compiled = compile_via(&source, tables, cache_dir, &mut obs)?;
     let g = &compiled.grammar;
 
     let (attr_spec, node_spec) = target.split_once('@').ok_or_else(|| {
@@ -878,11 +1035,103 @@ fn emit_side_channel(opts: &Opts, obs: &Obs, grammar: &fnc2::ag::Grammar) {
     }
 }
 
+fn pipeline_diag(e: PipelineError) -> CliError {
+    match e {
+        PipelineError::NotSnc(trace) => diag(format!("fnc2c: grammar is not SNC\n{trace}")),
+        other => diag(format!("fnc2c: {other}")),
+    }
+}
+
 fn compile(source: &str, obs: &mut Obs) -> Result<fnc2::Compiled, CliError> {
     Pipeline::new()
         .compile_olga_recorded(source, obs)
-        .map_err(|e| match e {
-            PipelineError::NotSnc(trace) => diag(format!("fnc2c: grammar is not SNC\n{trace}")),
-            other => diag(format!("fnc2c: {other}")),
-        })
+        .map_err(pipeline_diag)
+}
+
+/// Rejects flag combinations that contradict each other before any work
+/// starts, so every conflict is a crisp exit-1 diagnostic instead of a
+/// silently ignored flag.
+fn validate_tables_flags(cmd: &str, opts: &Opts) -> Result<(), String> {
+    if opts.tables.is_some() && opts.cache_dir.is_some() {
+        return Err(format!(
+            "fnc2c: --tables and --cache-dir are mutually exclusive\n{}",
+            usage()
+        ));
+    }
+    if cmd == "compile" {
+        if opts.emit_tables.is_none() {
+            return Err(format!(
+                "fnc2c: the compile command requires --emit-tables FILE\n{}",
+                usage()
+            ));
+        }
+        if opts.tables.is_some() {
+            return Err(format!(
+                "fnc2c: --tables conflicts with the compile command (it would skip \
+                 the very cascade being persisted)\n{}",
+                usage()
+            ));
+        }
+        if opts.cache_dir.is_some() {
+            return Err(format!(
+                "fnc2c: --cache-dir conflicts with the compile command; use \
+                 --emit-tables for an explicit artifact\n{}",
+                usage()
+            ));
+        }
+    } else {
+        if opts.emit_tables.is_some() {
+            return Err(format!(
+                "fnc2c: --emit-tables is only valid with the compile command\n{}",
+                usage()
+            ));
+        }
+        if cmd == "check" && (opts.tables.is_some() || opts.cache_dir.is_some()) {
+            return Err(format!(
+                "fnc2c: check runs the front end only; --tables/--cache-dir do not apply\n{}",
+                usage()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Obtains a [`fnc2::Compiled`], honoring `--tables` (load the artifact,
+/// falling back to recompilation with a warning when it is rejected) and
+/// `--cache-dir` (fingerprint-keyed on-disk cache). Plain compilation
+/// otherwise.
+fn compile_via(
+    source: &str,
+    tables: Option<&str>,
+    cache_dir: Option<&str>,
+    obs: &mut Obs,
+) -> Result<fnc2::Compiled, CliError> {
+    use fnc2::artifact::{self, CacheOutcome, TablesError};
+    use fnc2::obs::{Key, Recorder as _};
+
+    if let Some(path) = tables {
+        let bytes = std::fs::read(path).map_err(|e| diag(format!("fnc2c: {path}: {e}")))?;
+        match artifact::load_tables_recorded(&bytes, source, &Pipeline::new(), obs) {
+            Ok(compiled) => {
+                obs.count(Key::TablesCacheHit, 1);
+                return Ok(compiled);
+            }
+            Err(TablesError::Source(e)) => return Err(pipeline_diag(*e)),
+            Err(TablesError::Rejected(e)) => {
+                obs.count(Key::TablesCacheRejected, 1);
+                eprintln!("fnc2c: warning: ignoring tables artifact {path}: {e}; recompiling");
+            }
+        }
+        compile(source, obs)
+    } else if let Some(dir) = cache_dir {
+        let (compiled, outcome) =
+            artifact::compile_olga_cached(&Pipeline::new(), source, std::path::Path::new(dir), obs)
+                .map_err(pipeline_diag)?;
+        if let CacheOutcome::Rejected(e) = outcome {
+            eprintln!("fnc2c: warning: rejected cached tables artifact: {e}; recompiled");
+        }
+        Ok(compiled)
+    } else {
+        compile(source, obs)
+    }
 }

@@ -64,8 +64,11 @@ pub use fnc2_olga as olga;
 pub use fnc2_par as par;
 pub use fnc2_space as space;
 pub use fnc2_syntax as syntax;
+pub use fnc2_tables as tables;
 pub use fnc2_tools as tools;
 pub use fnc2_visit as visit;
+
+pub mod artifact;
 
 /// Pipeline configuration (the knobs of the paper's §3.1).
 #[derive(Clone, Debug)]
@@ -663,49 +666,60 @@ impl Pipeline {
         source: &str,
         obs: &mut Obs,
     ) -> Result<Compiled, PipelineError> {
-        use fnc2_olga::ast::Unit;
-
-        obs.phases.enter("olga.parse");
-        let parsed = fnc2_olga::parse_units(source);
-        obs.phases.leave();
-        let units = parsed.map_err(|e| PipelineError::Olga(e.into()))?;
-
-        obs.phases.enter("olga.check");
-        let checked = (|| {
-            let mut compiler = fnc2_olga::Compiler::new();
-            let mut ag = None;
-            for unit in units {
-                match unit {
-                    Unit::Module(m) => compiler.add_module(m)?,
-                    Unit::Ag(a) => {
-                        if ag.is_some() {
-                            return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
-                                message: "source contains more than one attribute grammar".into(),
-                                pos: fnc2_olga::Pos { line: 1, col: 1 },
-                            }));
-                        }
-                        ag = Some(a);
-                    }
-                }
-            }
-            let Some(ag) = ag else {
-                return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
-                    message: "source contains no attribute grammar".into(),
-                    pos: fnc2_olga::Pos { line: 1, col: 1 },
-                }));
-            };
-            Ok(compiler.check_ag(ag)?)
-        })();
-        obs.phases.leave();
-        let checked = checked.map_err(PipelineError::Olga)?;
-
-        obs.phases.enter("olga.lower");
-        let lowered = fnc2_olga::lower(&checked);
-        obs.phases.leave();
-        let (grammar, _) = lowered.map_err(|e| PipelineError::Olga(e.into()))?;
-
+        let grammar = olga_front_end_recorded(source, obs)?;
         self.compile_recorded(grammar, obs)
     }
+}
+
+/// Runs the OLGA front end alone (parse, check, lower) inside its phase
+/// spans and returns the lowered grammar. This is the cheap, linear part
+/// of the pipeline — the artifact loader re-runs it to rebuild semantic
+/// closures while the cascade results are deserialized.
+pub(crate) fn olga_front_end_recorded(
+    source: &str,
+    obs: &mut Obs,
+) -> Result<Grammar, PipelineError> {
+    use fnc2_olga::ast::Unit;
+
+    obs.phases.enter("olga.parse");
+    let parsed = fnc2_olga::parse_units(source);
+    obs.phases.leave();
+    let units = parsed.map_err(|e| PipelineError::Olga(e.into()))?;
+
+    obs.phases.enter("olga.check");
+    let checked = (|| {
+        let mut compiler = fnc2_olga::Compiler::new();
+        let mut ag = None;
+        for unit in units {
+            match unit {
+                Unit::Module(m) => compiler.add_module(m)?,
+                Unit::Ag(a) => {
+                    if ag.is_some() {
+                        return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
+                            message: "source contains more than one attribute grammar".into(),
+                            pos: fnc2_olga::Pos { line: 1, col: 1 },
+                        }));
+                    }
+                    ag = Some(a);
+                }
+            }
+        }
+        let Some(ag) = ag else {
+            return Err(fnc2_olga::OlgaError::Parse(fnc2_olga::ParseError {
+                message: "source contains no attribute grammar".into(),
+                pos: fnc2_olga::Pos { line: 1, col: 1 },
+            }));
+        };
+        Ok(compiler.check_ag(ag)?)
+    })();
+    obs.phases.leave();
+    let checked = checked.map_err(PipelineError::Olga)?;
+
+    obs.phases.enter("olga.lower");
+    let lowered = fnc2_olga::lower(&checked);
+    obs.phases.leave();
+    let (grammar, _) = lowered.map_err(|e| PipelineError::Olga(e.into()))?;
+    Ok(grammar)
 }
 
 #[cfg(test)]

@@ -143,3 +143,118 @@ fn budget_exhaustion_maps_to_exit_2() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("budget exceeded"), "{err}");
 }
+
+fn run_with_stdin(args: &[&str], input: &str) -> std::process::Output {
+    let mut child = fnc2c()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Best-effort: a child that rejects its flags exits without reading
+    // stdin, and that EPIPE is part of the scenario, not a test failure.
+    let _ = child.stdin.take().unwrap().write_all(input.as_bytes());
+    child.wait_with_output().unwrap()
+}
+
+#[test]
+fn conflicting_tables_flags_are_diagnostics() {
+    // Every inconsistent flag combination is an ordinary diagnostic
+    // (exit 1) with an explanation — not a silent pick-one, not a panic.
+    let cases: &[&[&str]] = &[
+        // --tables and --cache-dir are mutually exclusive.
+        &["report", "--tables", "x.tbl", "--cache-dir", "d", "-"],
+        // compile without a destination.
+        &["compile", "-"],
+        // --emit-tables only makes sense for compile.
+        &["report", "--emit-tables", "x.tbl", "-"],
+        // compile consumes no tables.
+        &[
+            "compile",
+            "--emit-tables",
+            "x.tbl",
+            "--tables",
+            "y.tbl",
+            "-",
+        ],
+        &["compile", "--emit-tables", "x.tbl", "--cache-dir", "d", "-"],
+        // check never builds evaluation tables.
+        &["check", "--tables", "x.tbl", "-"],
+        &["check", "--cache-dir", "d", "-"],
+        // value-taking flags with no value.
+        &["report", "--tables"],
+        &["report", "--cache-dir"],
+    ];
+    for args in cases {
+        let out = run_with_stdin(args, COUNT);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("fnc2c:"), "{args:?}: {err}");
+    }
+}
+
+/// Strips the one line that legitimately differs between a full compile
+/// and an artifact load: the generator wall-clock.
+fn stable_lines(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| !l.contains("generator time"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn report_via_tables_matches_uncached_report() {
+    let tbl = std::env::temp_dir().join(format!("fnc2-cli-tables-{}.tbl", std::process::id()));
+    let out = run_with_stdin(
+        &["compile", "--emit-tables", tbl.to_str().unwrap(), "-"],
+        COUNT,
+    );
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote compiled tables"), "{text}");
+    assert!(text.contains("fingerprint"), "{text}");
+
+    let via_tables = run_with_stdin(&["report", "--tables", tbl.to_str().unwrap(), "-"], COUNT);
+    let plain = run_with_stdin(&["report", "-"], COUNT);
+    assert_eq!(via_tables.status.code(), Some(0));
+    assert_eq!(plain.status.code(), Some(0));
+    assert_eq!(
+        stable_lines(&via_tables.stdout),
+        stable_lines(&plain.stdout)
+    );
+    let _ = std::fs::remove_file(&tbl);
+}
+
+#[test]
+fn corrupt_tables_artifact_falls_back_with_warning() {
+    let tbl = std::env::temp_dir().join(format!("fnc2-cli-corrupt-{}.tbl", std::process::id()));
+    std::fs::write(&tbl, b"not an artifact at all").unwrap();
+    let out = run_with_stdin(&["report", "--tables", tbl.to_str().unwrap(), "-"], COUNT);
+    // Fallback to recompilation: the run still succeeds...
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("class OAG(0)"), "{text}");
+    // ...but the rejection is reported.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ignoring tables artifact"), "{err}");
+    let _ = std::fs::remove_file(&tbl);
+}
+
+#[test]
+fn stale_tables_artifact_falls_back_with_warning() {
+    let tbl = std::env::temp_dir().join(format!("fnc2-cli-stale-{}.tbl", std::process::id()));
+    let out = run_with_stdin(
+        &["compile", "--emit-tables", tbl.to_str().unwrap(), "-"],
+        COUNT,
+    );
+    assert_eq!(out.status.code(), Some(0));
+    // Same artifact, edited source: fingerprint mismatch, clean fallback.
+    let edited = COUNT.replace("+ 1", "+ 2");
+    let out = run_with_stdin(&["report", "--tables", tbl.to_str().unwrap(), "-"], &edited);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ignoring tables artifact"), "{err}");
+    let _ = std::fs::remove_file(&tbl);
+}

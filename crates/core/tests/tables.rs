@@ -1,0 +1,207 @@
+//! Corruption matrix for the compiled-table artifact loader.
+//!
+//! Every class of damaged artifact — truncated, bit-flipped fingerprint,
+//! version skew, checksum failure, artifact for a different grammar —
+//! must be *classified* (the right [`ArtifactError`] variant) and must
+//! *fall back* to full recompilation when it arrives through the cache:
+//! never a panic, never a wrong answer, always the `tables.cache_rejected`
+//! counter.
+
+use std::path::PathBuf;
+
+use fnc2::artifact::{
+    cache_path, compile_olga_cached, emit_tables, load_tables, CacheOutcome, TablesError,
+};
+use fnc2::obs::Obs;
+use fnc2::tables::{fingerprint_source, ArtifactError, HEADER_LEN};
+use fnc2::Pipeline;
+
+const COUNT: &str = r#"
+attribute grammar count;
+  phylum S;
+  operator leaf : S ::= ;
+  operator node : S ::= S;
+  synthesized n : int of S;
+  for leaf { S.n := 0; }
+  for node { S$1.n := S$2.n + 1; }
+end
+"#;
+
+const DEPTH: &str = r#"
+attribute grammar depth;
+  phylum S;
+  operator leaf : S ::= ;
+  operator node : S ::= S;
+  inherited d : int of S;
+  for node { S$2.d := S$1.d + 1; }
+end
+"#;
+
+fn emit(source: &str) -> Vec<u8> {
+    let pipeline = Pipeline::new();
+    let compiled = pipeline.compile_olga(source).unwrap();
+    emit_tables(&compiled, &pipeline, source)
+}
+
+/// Loads `bytes` as an artifact for [`COUNT`] and returns the rejection.
+fn rejection(bytes: &[u8]) -> ArtifactError {
+    match load_tables(bytes, COUNT, &Pipeline::new()) {
+        Err(TablesError::Rejected(e)) => e,
+        other => panic!("expected a classified rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_point_is_classified() {
+    let bytes = emit(COUNT);
+    // Every prefix must produce a classified error, not a panic. (The
+    // loader sees arbitrary prefixes after a crashed or racing writer.)
+    for len in 0..bytes.len() {
+        let e = rejection(&bytes[..len]);
+        assert!(
+            matches!(
+                e,
+                ArtifactError::Truncated
+                    | ArtifactError::ChecksumMismatch
+                    | ArtifactError::Corrupt(_)
+            ),
+            "prefix of {len} bytes: unexpected classification {e:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_fingerprint_byte_is_a_fingerprint_mismatch() {
+    let bytes = emit(COUNT);
+    // The fingerprint field sits at header offsets 12..20 and is
+    // deliberately outside the payload checksum, so damage here must be
+    // caught by the fingerprint comparison itself.
+    for off in 12..20 {
+        let mut b = bytes.clone();
+        b[off] ^= 0x01;
+        match rejection(&b) {
+            ArtifactError::FingerprintMismatch { .. } => {}
+            other => panic!("offset {off}: expected FingerprintMismatch, got {other:?}"),
+        }
+    }
+    // Sanity: the unflipped artifact still loads.
+    assert!(load_tables(&bytes, COUNT, &Pipeline::new()).is_ok());
+}
+
+#[test]
+fn wrong_format_version_is_version_skew() {
+    let mut bytes = emit(COUNT);
+    bytes[8] ^= 0xFF; // low byte of the little-endian format version
+    match rejection(&bytes) {
+        ArtifactError::VersionSkew { found, expected } => {
+            assert_eq!(expected, fnc2::tables::FORMAT_VERSION);
+            assert_ne!(found, expected);
+        }
+        other => panic!("expected VersionSkew, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_damage_is_a_checksum_mismatch() {
+    let mut bytes = emit(COUNT);
+    let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+    bytes[mid] ^= 0x40;
+    match rejection(&bytes) {
+        ArtifactError::ChecksumMismatch => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn artifact_for_a_different_grammar_is_rejected() {
+    // A perfectly valid artifact — for someone else's grammar. The source
+    // fingerprint catches it before any front-end work runs.
+    let depth_bytes = emit(DEPTH);
+    match rejection(&depth_bytes) {
+        ArtifactError::FingerprintMismatch { .. } => {}
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fnc2-tbl-matrix-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Plants `bytes` at the cache slot for [`COUNT`] and runs the cached
+/// compile; returns the outcome, the rejected-counter value, and the
+/// compiled result of the fallback.
+fn run_with_planted(tag: &str, bytes: &[u8]) -> (CacheOutcome, u64) {
+    let pipeline = Pipeline::new();
+    let dir = scratch_dir(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    let fp = fingerprint_source(COUNT, &pipeline.tables_config());
+    std::fs::write(cache_path(&dir, fp), bytes).unwrap();
+    let mut obs = Obs::new();
+    let (compiled, outcome) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+    // Whatever the damage, the fallback must produce a working compile.
+    let tree = fnc2::smoke_tree(&compiled.grammar).unwrap();
+    compiled.evaluate(&tree, &Default::default()).unwrap();
+    let rejected = obs.metrics.counter("tables.cache_rejected");
+    let _ = std::fs::remove_dir_all(&dir);
+    (outcome, rejected)
+}
+
+#[test]
+fn cache_falls_back_cleanly_on_each_damage_class() {
+    let good = emit(COUNT);
+
+    // Truncated mid-payload.
+    let (outcome, rejected) = run_with_planted("trunc", &good[..good.len() / 2]);
+    assert!(
+        matches!(outcome, CacheOutcome::Rejected(ArtifactError::Truncated)),
+        "{outcome:?}"
+    );
+    assert_eq!(rejected, 1);
+
+    // Flipped fingerprint byte.
+    let mut b = good.clone();
+    b[15] ^= 0x08;
+    let (outcome, rejected) = run_with_planted("fp", &b);
+    assert!(
+        matches!(
+            outcome,
+            CacheOutcome::Rejected(ArtifactError::FingerprintMismatch { .. })
+        ),
+        "{outcome:?}"
+    );
+    assert_eq!(rejected, 1);
+
+    // Wrong format version.
+    let mut b = good.clone();
+    b[8] = b[8].wrapping_add(1);
+    let (outcome, rejected) = run_with_planted("ver", &b);
+    assert!(
+        matches!(
+            outcome,
+            CacheOutcome::Rejected(ArtifactError::VersionSkew { .. })
+        ),
+        "{outcome:?}"
+    );
+    assert_eq!(rejected, 1);
+
+    // Valid artifact, wrong grammar, planted at COUNT's cache slot.
+    let (outcome, rejected) = run_with_planted("xgrammar", &emit(DEPTH));
+    assert!(
+        matches!(
+            outcome,
+            CacheOutcome::Rejected(ArtifactError::FingerprintMismatch { .. })
+        ),
+        "{outcome:?}"
+    );
+    assert_eq!(rejected, 1);
+
+    // Zero-length file (crashed writer).
+    let (outcome, rejected) = run_with_planted("empty", &[]);
+    assert!(
+        matches!(outcome, CacheOutcome::Rejected(ArtifactError::Truncated)),
+        "{outcome:?}"
+    );
+    assert_eq!(rejected, 1);
+}

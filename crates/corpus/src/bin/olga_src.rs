@@ -1,0 +1,24 @@
+//! Prints an embedded corpus OLGA source by name — plumbing for shell
+//! scripts and CI jobs that feed `fnc2c` real grammars without keeping a
+//! second copy of the sources in the tree.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(name), None) = (args.next(), args.next()) else {
+        eprintln!("usage: olga_src <minipascal | desk | blocks>");
+        return ExitCode::FAILURE;
+    };
+    let src = match name.as_str() {
+        "minipascal" => fnc2_corpus::MINIPASCAL_OLGA,
+        "desk" => fnc2_corpus::DESK_OLGA,
+        "blocks" => fnc2_corpus::BLOCKS_OLGA_LIST,
+        other => {
+            eprintln!("olga_src: unknown corpus grammar `{other}` (minipascal, desk, blocks)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{src}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! The desk calculator written in OLGA — the same language as
+//! [`classic::desk`](crate::desk) (a `let`-bound environment threaded
+//! down as an inherited map, values synthesized back up), but arriving
+//! through the whole front-end chain so that tools needing *source* (the
+//! compiled-table cache, the CI smoke tests, `fnc2c compile`) have a
+//! small canonical L-attributed input alongside the mini-Pascal flagship.
+
+use fnc2_ag::Grammar;
+use fnc2_olga::{compile_ag_source, LowerInfo};
+
+/// The OLGA source of the desk-calculator AG.
+///
+/// `letx`'s token is the bound name; `var`'s token is the name looked
+/// up; `lit`'s value is derived from its token (its length — OLGA has no
+/// string-to-int builtin, and the corpus only needs a deterministic
+/// integer out of the leaf). `zero` is the token-free leaf, which keeps
+/// the minimal derivation evaluable under default (integer) tokens.
+pub const DESK_OLGA: &str = r#"
+-- A desk calculator: the canonical L-attributed AG.
+attribute grammar desk;
+  phylum Prog, Expr;
+  root Prog;
+
+  operator prog : Prog ::= Expr;
+  operator add  : Expr ::= Expr Expr;
+  operator mul  : Expr ::= Expr Expr;
+  operator letx : Expr ::= Expr Expr;
+  operator zero : Expr ::= ;
+  operator var  : Expr ::= ;
+  operator lit  : Expr ::= ;
+
+  type env = map of int;
+
+  synthesized value : int of Prog, Expr;
+  inherited  env : env of Expr;
+
+  function deref(e : env, k : string) : int =
+    if bound(e, k) then lookup(e, k) else 0 end;
+
+  for prog {
+    Prog.value := Expr.value;
+    Expr.env := empty_map();
+  }
+  for add {
+    Expr$1.value := Expr$2.value + Expr$3.value;
+    Expr$2.env := Expr$1.env;
+    Expr$3.env := Expr$1.env;
+  }
+  for mul {
+    Expr$1.value := Expr$2.value * Expr$3.value;
+    Expr$2.env := Expr$1.env;
+    Expr$3.env := Expr$1.env;
+  }
+  for letx {
+    Expr$2.env := Expr$1.env;
+    Expr$3.env := insert(Expr$1.env, token(), Expr$2.value);
+    Expr$1.value := Expr$3.value;
+  }
+  for zero { Expr.value := 0; }
+  for var { Expr.value := deref(Expr.env, token()); }
+  for lit { Expr.value := strlen(token()); }
+end
+"#;
+
+/// Compiles [`DESK_OLGA`] through the full front end.
+///
+/// # Panics
+///
+/// Panics if the embedded source stops compiling — a corpus regression.
+#[must_use]
+pub fn desk_olga() -> (Grammar, LowerInfo) {
+    compile_ag_source(DESK_OLGA).expect("embedded desk AG compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desk_olga_compiles_and_is_oag() {
+        let (g, _) = desk_olga();
+        assert_eq!(g.phylum_count(), 2);
+        assert_eq!(g.production_count(), 7);
+        let cls = fnc2_analysis::classify(&g, 1, fnc2_analysis::Inclusion::Long).unwrap();
+        assert!(
+            cls.is_evaluable(),
+            "desk must be evaluable: {:?}",
+            cls.class
+        );
+    }
+}

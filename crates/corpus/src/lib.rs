@@ -12,6 +12,7 @@
 
 mod blocks_olga;
 mod classic;
+mod desk_olga;
 mod minipascal;
 mod olga_sources;
 mod pathological;
@@ -21,6 +22,7 @@ mod synthetic;
 
 pub use blocks_olga::{blocks_olga, BLOCKS_OLGA_LIST};
 pub use classic::{binary, binary_tree, blocks, blocks_tree, blocks_tree_generic, desk};
+pub use desk_olga::{desk_olga, DESK_OLGA};
 pub use minipascal::{
     minipascal, minipascal_scanner, parse_minipascal, sample_program, MINIPASCAL_OLGA,
 };

@@ -11,6 +11,7 @@ use fnc2_corpus::rng::Rng;
 use fnc2_incremental::{Equality, IncrementalEvaluator};
 use fnc2_obs::Obs;
 use fnc2_space::{analyze_space, validate_plan, SpaceEvaluator};
+use fnc2_tables::{Tables, TablesConfig};
 use fnc2_visit::{build_visit_seqs, dependency_slice, DynamicEvaluator, Evaluator, RootInputs};
 
 use crate::gen::{
@@ -184,6 +185,112 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
                     g.attr(attr).name()
                 ),
             ));
+        }
+    }
+
+    // ---- Tables artifact: serialize, decode, verify, re-evaluate. ------
+    // The round trip must be bit-canonical, and evaluators driven by the
+    // *deserialized* tables must be bit-identical to the fresh ones.
+    {
+        let config = TablesConfig {
+            max_oag_k: 2,
+            inclusion: Inclusion::Long,
+            optimize_space: true,
+        };
+        let tables = Tables::build(
+            g,
+            config,
+            None,
+            &cls,
+            &seqs,
+            Some(&fp),
+            Some(&lt),
+            Some(&plan),
+        );
+        let bytes = tables.to_bytes();
+        let (loaded, loaded_fp) = Tables::from_bytes(&bytes)
+            .map_err(|e| div("tables-roundtrip", format!("artifact decode failed: {e}")))?;
+        if loaded_fp != tables.fingerprint() {
+            return Err(div(
+                "tables-roundtrip",
+                format!(
+                    "fingerprint drift: decoded {loaded_fp:016x} != fresh {:016x}",
+                    tables.fingerprint()
+                ),
+            ));
+        }
+        loaded
+            .verify_against(g)
+            .map_err(|e| div("tables-roundtrip", format!("verification failed: {e}")))?;
+        let reencoded = loaded.to_bytes();
+        if reencoded != bytes {
+            return Err(div(
+                "tables-roundtrip",
+                format!(
+                    "re-encoding is not canonical: {} bytes vs {} bytes",
+                    reencoded.len(),
+                    bytes.len()
+                ),
+            ));
+        }
+        let (vals, stats) = Evaluator::new(g, &loaded.seqs)
+            .evaluate(&tree, &inputs)
+            .map_err(|e| {
+                div(
+                    "tables-roundtrip",
+                    format!("evaluation over decoded visit sequences failed: {e}"),
+                )
+            })?;
+        if stats != ref_stats {
+            return Err(div(
+                "tables-vs-exhaustive",
+                format!("decoded-seqs stats {stats:?} != reference {ref_stats:?}"),
+            ));
+        }
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for &attr in g.phylum(ph).attrs() {
+                if vals.get(g, n, attr) != reference.get(g, n, attr) {
+                    return Err(div(
+                        "tables-vs-exhaustive",
+                        format!(
+                            "node {n:?} attr {}: decoded tables {:?}, reference {:?}",
+                            g.attr(attr).name(),
+                            vals.get(g, n, attr),
+                            reference.get(g, n, attr)
+                        ),
+                    ));
+                }
+            }
+        }
+        let dfp = loaded.flat.as_ref().expect("built with space sections");
+        let dplan = loaded
+            .space_plan
+            .as_ref()
+            .expect("built with space sections");
+        let sp2 = SpaceEvaluator::new(g, &loaded.seqs, dfp, dplan)
+            .evaluate(&tree, &inputs)
+            .map_err(|e| {
+                div(
+                    "tables-roundtrip",
+                    format!("space evaluation over decoded tables failed: {e}"),
+                )
+            })?;
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for &attr in g.phylum(ph).attrs() {
+                if sp2.node_values.get(g, n, attr) != sp.node_values.get(g, n, attr) {
+                    return Err(div(
+                        "tables-vs-space",
+                        format!(
+                            "node {n:?} attr {}: decoded tables {:?}, fresh {:?}",
+                            g.attr(attr).name(),
+                            sp2.node_values.get(g, n, attr),
+                            sp.node_values.get(g, n, attr)
+                        ),
+                    ));
+                }
+            }
         }
     }
 

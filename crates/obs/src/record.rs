@@ -83,6 +83,13 @@ pub enum Key {
     GuardDegraded,
     /// Per-tree retry attempts performed by the batch driver.
     ParRetries,
+    /// Compiled-table artifacts loaded from the cache (or `--tables`).
+    TablesCacheHit,
+    /// Cache lookups that found no artifact for the fingerprint.
+    TablesCacheMiss,
+    /// Artifacts rejected (stale fingerprint, version skew, corruption)
+    /// and recovered from by full recompilation.
+    TablesCacheRejected,
 }
 
 impl Key {
@@ -90,7 +97,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 29] = [
+    pub const ALL: [Key; 32] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -120,6 +127,9 @@ impl Key {
         Key::GuardPanicsCaught,
         Key::GuardDegraded,
         Key::ParRetries,
+        Key::TablesCacheHit,
+        Key::TablesCacheMiss,
+        Key::TablesCacheRejected,
     ];
 
     /// The canonical dotted metric name.
@@ -154,6 +164,9 @@ impl Key {
             Key::GuardPanicsCaught => "guard.panics_caught",
             Key::GuardDegraded => "guard.degraded",
             Key::ParRetries => "par.retries",
+            Key::TablesCacheHit => "tables.cache_hit",
+            Key::TablesCacheMiss => "tables.cache_miss",
+            Key::TablesCacheRejected => "tables.cache_rejected",
         }
     }
 

@@ -8,7 +8,7 @@
 //! only define output occurrences. Exactly-once definition (after automatic
 //! copy-rule insertion) is enforced by the lowering step.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::ast::*;
@@ -98,7 +98,7 @@ pub struct CheckedAg {
     /// Attribute table.
     pub attr_table: AgAttrTable,
     /// Rule models per attribute name (`with concat` / `with sum`).
-    pub classes: HashMap<String, AttrClass>,
+    pub classes: BTreeMap<String, AttrClass>,
     /// Threaded pairs (the threading rule model).
     pub threads: Vec<ThreadInfo>,
 }
@@ -215,7 +215,7 @@ impl Compiler {
                 .map(|&p| (p.to_string(), HashMap::new()))
                 .collect(),
         };
-        let mut classes: HashMap<String, AttrClass> = HashMap::new();
+        let mut classes: BTreeMap<String, AttrClass> = BTreeMap::new();
         for a in &ag.attrs {
             let ty = resolve_type(&a.ty, &env.types, a.pos).map_err(|(n, pos)| CheckError {
                 message: format!("unknown type `{n}`"),

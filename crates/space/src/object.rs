@@ -129,6 +129,16 @@ impl ObjectSet {
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The raw bit words, for serialization.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from [`raw_words`](Self::raw_words) output.
+    pub fn from_raw_words(words: Vec<u64>) -> Self {
+        ObjectSet { words }
+    }
 }
 
 #[cfg(test)]

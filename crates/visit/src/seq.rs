@@ -92,6 +92,21 @@ impl VisitSeqs {
         &self.partitions[phylum.index()]
     }
 
+    /// All partition lists, indexed by phylum, for serialization.
+    pub fn partitions(&self) -> &[Vec<TotalOrder>] {
+        &self.partitions
+    }
+
+    /// Reassembles visit sequences from serialized parts. The caller is
+    /// responsible for internal consistency (every sequence's key must
+    /// reference a registered partition).
+    pub fn from_parts(
+        seqs: HashMap<(ProductionId, usize), VisitSeq>,
+        partitions: Vec<Vec<TotalOrder>>,
+    ) -> VisitSeqs {
+        VisitSeqs { seqs, partitions }
+    }
+
     /// Number of visits the root partition prescribes.
     pub fn root_visits(&self, grammar: &Grammar) -> usize {
         self.partitions[grammar.root().index()][0].visit_count()
