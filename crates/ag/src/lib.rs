@@ -69,6 +69,7 @@ mod deps;
 mod error;
 mod grammar;
 mod ids;
+pub mod intern;
 mod tree;
 mod value;
 
@@ -80,5 +81,6 @@ pub use grammar::{
     SemRule,
 };
 pub use ids::{AttrId, FuncId, LocalId, NodeId, ONode, Occ, PhylumId, ProductionId};
+pub use intern::{InternStats, Interner, MemoCache, MemoKey, SharedInterner};
 pub use tree::{term_to_tree, AttrValues, LocalFrames, Node, Preorder, Tree, TreeBuilder};
-pub use value::{Term, Value};
+pub use value::{Term, Value, ValueIdent};

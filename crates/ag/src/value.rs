@@ -17,7 +17,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A dynamically typed attribute value.
-#[derive(Clone, PartialEq, Default)]
+#[derive(Clone, Default)]
 pub enum Value {
     /// The unit (void) value.
     #[default]
@@ -182,9 +182,43 @@ impl Value {
     /// # Panics
     /// Panics if the value is not a `Map`.
     pub fn map_insert(&self, key: impl Into<String>, value: Value) -> Value {
-        let mut m = self.as_map().clone();
-        m.insert(key.into(), value);
-        Value::Map(Arc::new(m))
+        // Copy-on-write: `Arc::make_mut` mutates in place when this map is
+        // the sole owner (the common fold-style threading pattern) and only
+        // deep-clones when the old version is still shared — the functional
+        // semantics observed by callers are identical either way.
+        let Value::Map(m) = self else {
+            panic!("expected map, got {self:?}")
+        };
+        let mut m = Arc::clone(m);
+        Arc::make_mut(&mut m).insert(key.into(), value);
+        Value::Map(m)
+    }
+
+    /// Functional map removal: returns a map equal to `self` without `key`.
+    ///
+    /// # Panics
+    /// Panics if the value is not a `Map`.
+    pub fn map_remove(&self, key: &str) -> Value {
+        let Value::Map(m) = self else {
+            panic!("expected map, got {self:?}")
+        };
+        let mut m = Arc::clone(m);
+        Arc::make_mut(&mut m).remove(key);
+        Value::Map(m)
+    }
+
+    /// Functional list append: returns a list equal to `self` with `value`
+    /// pushed at the back, mutating in place when uniquely owned.
+    ///
+    /// # Panics
+    /// Panics if the value is not a `List`.
+    pub fn list_push(&self, value: Value) -> Value {
+        let Value::List(l) = self else {
+            panic!("expected list, got {self:?}")
+        };
+        let mut l = Arc::clone(l);
+        Arc::make_mut(&mut l).push(value);
+        Value::List(l)
     }
 
     /// Map lookup. Returns `None` when absent.
@@ -210,6 +244,29 @@ impl Value {
         }
     }
 
+    /// The identity token of this value: scalars by payload (reals by bit
+    /// pattern), compound values by the address of their shared allocation.
+    ///
+    /// Two values with equal identities are bitwise-structurally equal
+    /// **provided** compound allocations are kept alive for the comparison
+    /// window (an address can be reused once its `Arc` drops) — the
+    /// [`Interner`](crate::intern::Interner) guarantees exactly that for
+    /// canonical values, which is what makes identity comparison a sound
+    /// O(1) equality for interned attribute stores.
+    pub fn ident(&self) -> ValueIdent {
+        match self {
+            Value::Unit => ValueIdent::Unit,
+            Value::Bool(b) => ValueIdent::Bool(*b),
+            Value::Int(i) => ValueIdent::Int(*i),
+            Value::Real(r) => ValueIdent::Real(r.to_bits()),
+            Value::Str(s) => ValueIdent::Str(Arc::as_ptr(s) as *const u8 as usize),
+            Value::List(l) => ValueIdent::List(Arc::as_ptr(l) as usize),
+            Value::Tuple(t) => ValueIdent::Tuple(Arc::as_ptr(t) as usize),
+            Value::Map(m) => ValueIdent::Map(Arc::as_ptr(m) as usize),
+            Value::Term(t) => ValueIdent::Term(Arc::as_ptr(t) as usize),
+        }
+    }
+
     /// A coarse measure of the number of heap cells this value transitively
     /// owns; used by the space-consumption benchmarks (paper §4.1).
     pub fn cell_count(&self) -> usize {
@@ -221,6 +278,57 @@ impl Value {
             }
             Value::Map(m) => 1 + m.values().map(Value::cell_count).sum::<usize>(),
             Value::Term(t) => 1 + t.children.iter().map(Value::cell_count).sum::<usize>(),
+        }
+    }
+}
+
+/// A value's identity: the payload for scalars (reals by bit pattern), the
+/// shared allocation's address for compound values, tagged by variant.
+///
+/// Identity equality implies structural equality whenever the compound
+/// allocations involved are pinned (see [`Value::ident`]); the converse
+/// holds only for values canonicalized in the *same*
+/// [`Interner`](crate::intern::Interner). `ValueIdent` is `Copy + Eq +
+/// Hash`, which is what makes it usable as a memo-cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ValueIdent {
+    /// The unit value.
+    Unit,
+    /// A boolean, by payload.
+    Bool(bool),
+    /// An integer, by payload.
+    Int(i64),
+    /// A real, by IEEE-754 bit pattern.
+    Real(u64),
+    /// A string, by allocation address.
+    Str(usize),
+    /// A list, by allocation address.
+    List(usize),
+    /// A tuple, by allocation address.
+    Tuple(usize),
+    /// A map, by allocation address.
+    Map(usize),
+    /// A term, by allocation address.
+    Term(usize),
+}
+
+impl PartialEq for Value {
+    /// Structural equality with an O(1) fast path: compound values sharing
+    /// one allocation (copy rules, interned canonical representatives) are
+    /// equal without recursion. The slow path is the usual deep recursion,
+    /// which itself short-circuits on shared subtrees.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Map(a), Value::Map(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Term(a), Value::Term(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
         }
     }
 }

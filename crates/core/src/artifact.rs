@@ -183,6 +183,7 @@ fn load_inner(
         lifetimes,
         space_plan,
         report,
+        intern: pipeline.intern,
     })
 }
 

@@ -25,6 +25,8 @@
 //! --metrics            print phase times and counters (stderr for c/lisp/seqs)
 //! --trace[=N]          capture an event trace (ring of N entries, default 4096)
 //! --chrome-trace FILE  write a Chrome trace-event JSON (open in Perfetto)
+//! --no-intern          disable hash-consed value interning (on by default;
+//!                      the escape hatch for differential comparison)
 //! ```
 //!
 //! Tables flags (report/c/lisp/seqs/profile/explain; mutually exclusive):
@@ -86,24 +88,26 @@ struct Opts {
     cache_dir: Option<String>,
     /// `--emit-tables FILE` (compile command only): artifact destination.
     emit_tables: Option<String>,
+    /// `--no-intern`: disable hash-consed value interning.
+    no_intern: bool,
 }
 
 const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 fn usage() -> String {
     "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [--chrome-trace FILE] \
-     [--tables FILE | --cache-dir DIR] [budget flags] <report|check|c|lisp|seqs> \
+     [--tables FILE | --cache-dir DIR] [--no-intern] [budget flags] <report|check|c|lisp|seqs> \
      <file.olga | ->\n\
      \u{20}      fnc2c compile --emit-tables FILE <file.olga | ->\n\
      \u{20}      fnc2c profile [--repeat N] [--sample-every N] [--top N] [--report json|text] \
-     [--tables FILE | --cache-dir DIR] [budget flags] <file.olga | ->\n\
+     [--tables FILE | --cache-dir DIR] [--no-intern] [budget flags] <file.olga | ->\n\
      \u{20}      fnc2c explain [--trace=N] [--report json|text] \
-     [--tables FILE | --cache-dir DIR] <[Phylum.]attr@node> \
+     [--tables FILE | --cache-dir DIR] [--no-intern] <[Phylum.]attr@node> \
      <file.olga | ->\n\
      \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
      [--repeat N] [--retries N] [--fault-seed N] [--metrics] [--chrome-trace FILE] \
-     [budget flags]\n\
+     [--no-intern] [budget flags]\n\
      budget flags: --max-steps N --max-depth N --max-value-bytes N --deadline-ms N"
         .to_string()
 }
@@ -154,6 +158,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics" => opts.metrics = true,
+            "--no-intern" => opts.no_intern = true,
             "--trace" => opts.trace = Some(DEFAULT_TRACE_CAPACITY),
             "--chrome-trace" => match it.next() {
                 Some(path) => opts.chrome_trace = Some(path),
@@ -332,6 +337,7 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
                 source,
                 opts.tables.as_deref(),
                 opts.cache_dir.as_deref(),
+                opts.no_intern,
                 obs,
             )?;
             let budget = opts.budget.unwrap_or_default();
@@ -371,6 +377,7 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
                 source,
                 opts.tables.as_deref(),
                 opts.cache_dir.as_deref(),
+                opts.no_intern,
                 obs,
             )?;
             let out = fnc2::codegen::to_c(&checked, &compiled.grammar, &compiled.seqs);
@@ -383,6 +390,7 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
                 source,
                 opts.tables.as_deref(),
                 opts.cache_dir.as_deref(),
+                opts.no_intern,
                 obs,
             )?;
             let out = fnc2::codegen::to_lisp(&checked, &compiled.grammar, &compiled.seqs);
@@ -394,6 +402,7 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
                 source,
                 opts.tables.as_deref(),
                 opts.cache_dir.as_deref(),
+                opts.no_intern,
                 obs,
             )?;
             let mut out = String::new();
@@ -425,12 +434,12 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
             Ok(out)
         }
         "compile" => {
-            let compiled = compile(source, obs)?;
+            let compiled = compile(source, opts.no_intern, obs)?;
             let out_path = opts
                 .emit_tables
                 .as_deref()
                 .expect("validated by validate_tables_flags");
-            let pipeline = Pipeline::new();
+            let pipeline = pipeline(opts.no_intern);
             let bytes = fnc2::artifact::emit_tables(&compiled, &pipeline, source);
             std::fs::write(out_path, &bytes)
                 .map_err(|e| diag(format!("fnc2c: cannot write {out_path}: {e}")))?;
@@ -457,6 +466,7 @@ fn run_profile(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut tables: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut no_intern = false;
     let mut budget = EvalBudget::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -470,6 +480,10 @@ fn run_profile(args: &[String]) -> ExitCode {
             "--repeat" => numeric("--repeat").map(|n| repeat = n.max(1)),
             "--sample-every" => numeric("--sample-every").map(|n| sample_every = (n as u32).max(1)),
             "--top" => numeric("--top").map(|n| top = (n as usize).max(1)),
+            "--no-intern" => {
+                no_intern = true;
+                Ok(())
+            }
             "--tables" => match it.next() {
                 Some(path) => {
                     tables = Some(path.clone());
@@ -542,6 +556,7 @@ fn run_profile(args: &[String]) -> ExitCode {
         json,
         tables.as_deref(),
         cache_dir.as_deref(),
+        no_intern,
         &budget,
     ) {
         Ok(out) => {
@@ -564,11 +579,12 @@ fn profile_source(
     json: bool,
     tables: Option<&str>,
     cache_dir: Option<&str>,
+    no_intern: bool,
     budget: &EvalBudget,
 ) -> Result<String, CliError> {
     let source = read_source(path)?;
     let mut obs = Obs::new();
-    let mut compiled = compile_via(&source, tables, cache_dir, &mut obs)?;
+    let mut compiled = compile_via(&source, tables, cache_dir, no_intern, &mut obs)?;
     if let Some(reason) = compiled.degrade_to_exhaustive_recorded(budget, &mut obs) {
         eprintln!("fnc2c: warning: degrading to exhaustive evaluator: {reason}");
     }
@@ -613,10 +629,15 @@ fn run_explain(args: &[String]) -> ExitCode {
     let mut capacity: usize = 1 << 20;
     let mut tables: Option<String> = None;
     let mut cache_dir: Option<String> = None;
+    let mut no_intern = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let r = match arg.as_str() {
+            "--no-intern" => {
+                no_intern = true;
+                Ok(())
+            }
             "--tables" => match it.next() {
                 Some(path) => {
                     tables = Some(path.clone());
@@ -693,6 +714,7 @@ fn run_explain(args: &[String]) -> ExitCode {
         json,
         tables.as_deref(),
         cache_dir.as_deref(),
+        no_intern,
     ) {
         Ok(out) => {
             print!("{out}");
@@ -731,6 +753,7 @@ fn resolve_attr(grammar: &fnc2::ag::Grammar, spec: &str) -> Result<fnc2::ag::Att
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn explain_source(
     target: &str,
     path: &str,
@@ -738,10 +761,11 @@ fn explain_source(
     json: bool,
     tables: Option<&str>,
     cache_dir: Option<&str>,
+    no_intern: bool,
 ) -> Result<String, CliError> {
     let source = read_source(path)?;
     let mut obs = Obs::new();
-    let compiled = compile_via(&source, tables, cache_dir, &mut obs)?;
+    let compiled = compile_via(&source, tables, cache_dir, no_intern, &mut obs)?;
     let g = &compiled.grammar;
 
     let (attr_spec, node_spec) = target.split_once('@').ok_or_else(|| {
@@ -878,6 +902,7 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut retries = 0u32;
     let mut fault_seed: Option<u64> = None;
     let mut metrics = false;
+    let mut no_intern = false;
     let mut chrome_trace: Option<String> = None;
     let mut budget = EvalBudget::default();
     let mut it = args.iter();
@@ -897,6 +922,10 @@ fn run_batch(args: &[String]) -> ExitCode {
             "--fault-seed" => numeric("--fault-seed").map(|n| fault_seed = Some(n)),
             "--metrics" => {
                 metrics = true;
+                Ok(())
+            }
+            "--no-intern" => {
+                no_intern = true;
                 Ok(())
             }
             "--chrome-trace" => match it.next() {
@@ -948,7 +977,7 @@ fn run_batch(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         };
         let seqs = fnc2::visit::build_visit_seqs(g, lo);
-        let ev = fnc2::visit::Evaluator::new(g, &seqs);
+        let ev = fnc2::visit::Evaluator::new(g, &seqs).with_interning(!no_intern);
         let batch: Vec<fnc2::ag::Tree> = (0..trees)
             .map(|t| {
                 let tp = fnc2::fuzz::CaseParams {
@@ -1042,8 +1071,16 @@ fn pipeline_diag(e: PipelineError) -> CliError {
     }
 }
 
-fn compile(source: &str, obs: &mut Obs) -> Result<fnc2::Compiled, CliError> {
-    Pipeline::new()
+/// The pipeline configuration honoring `--no-intern`.
+fn pipeline(no_intern: bool) -> Pipeline {
+    Pipeline {
+        intern: !no_intern,
+        ..Pipeline::new()
+    }
+}
+
+fn compile(source: &str, no_intern: bool, obs: &mut Obs) -> Result<fnc2::Compiled, CliError> {
+    pipeline(no_intern)
         .compile_olga_recorded(source, obs)
         .map_err(pipeline_diag)
 }
@@ -1104,6 +1141,7 @@ fn compile_via(
     source: &str,
     tables: Option<&str>,
     cache_dir: Option<&str>,
+    no_intern: bool,
     obs: &mut Obs,
 ) -> Result<fnc2::Compiled, CliError> {
     use fnc2::artifact::{self, CacheOutcome, TablesError};
@@ -1111,7 +1149,7 @@ fn compile_via(
 
     if let Some(path) = tables {
         let bytes = std::fs::read(path).map_err(|e| diag(format!("fnc2c: {path}: {e}")))?;
-        match artifact::load_tables_recorded(&bytes, source, &Pipeline::new(), obs) {
+        match artifact::load_tables_recorded(&bytes, source, &pipeline(no_intern), obs) {
             Ok(compiled) => {
                 obs.count(Key::TablesCacheHit, 1);
                 return Ok(compiled);
@@ -1122,16 +1160,20 @@ fn compile_via(
                 eprintln!("fnc2c: warning: ignoring tables artifact {path}: {e}; recompiling");
             }
         }
-        compile(source, obs)
+        compile(source, no_intern, obs)
     } else if let Some(dir) = cache_dir {
-        let (compiled, outcome) =
-            artifact::compile_olga_cached(&Pipeline::new(), source, std::path::Path::new(dir), obs)
-                .map_err(pipeline_diag)?;
+        let (compiled, outcome) = artifact::compile_olga_cached(
+            &pipeline(no_intern),
+            source,
+            std::path::Path::new(dir),
+            obs,
+        )
+        .map_err(pipeline_diag)?;
         if let CacheOutcome::Rejected(e) = outcome {
             eprintln!("fnc2c: warning: rejected cached tables artifact: {e}; recompiled");
         }
         Ok(compiled)
     } else {
-        compile(source, obs)
+        compile(source, no_intern, obs)
     }
 }

@@ -79,6 +79,9 @@ pub struct Pipeline {
     pub inclusion: Inclusion,
     /// Whether to run the space optimizer.
     pub optimize_space: bool,
+    /// Whether the generated evaluators hash-cons the values they build
+    /// (the `--no-intern` escape hatch turns this off).
+    pub intern: bool,
 }
 
 impl Default for Pipeline {
@@ -87,6 +90,7 @@ impl Default for Pipeline {
             max_oag_k: 1,
             inclusion: Inclusion::Long,
             optimize_space: true,
+            intern: true,
         }
     }
 }
@@ -215,6 +219,9 @@ pub struct Compiled {
     pub space_plan: Option<SpacePlan>,
     /// The generator's summary.
     pub report: Report,
+    /// Whether the evaluators hash-cons the values they build (on by
+    /// default; `--no-intern` turns it off).
+    pub intern: bool,
 }
 
 /// Result of [`Compiled::smoke_evaluate`].
@@ -244,7 +251,9 @@ impl Compiled {
         tree: &Tree,
         inputs: &RootInputs,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
-        Evaluator::new(&self.grammar, &self.seqs).evaluate(tree, inputs)
+        Evaluator::new(&self.grammar, &self.seqs)
+            .with_interning(self.intern)
+            .evaluate(tree, inputs)
     }
 
     /// Evaluates `tree` with the space-optimized evaluator.
@@ -266,7 +275,9 @@ impl Compiled {
             .space_plan
             .as_ref()
             .expect("space optimization enabled");
-        fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan).evaluate(tree, inputs)
+        fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan)
+            .with_interning(self.intern)
+            .evaluate(tree, inputs)
     }
 
     /// [`evaluate`](Self::evaluate), instrumented: run counters are
@@ -282,7 +293,9 @@ impl Compiled {
         inputs: &RootInputs,
         rec: &mut R,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
-        Evaluator::new(&self.grammar, &self.seqs).evaluate_recorded(tree, inputs, rec)
+        Evaluator::new(&self.grammar, &self.seqs)
+            .with_interning(self.intern)
+            .evaluate_recorded(tree, inputs, rec)
     }
 
     /// [`evaluate_optimized`](Self::evaluate_optimized), instrumented
@@ -307,6 +320,7 @@ impl Compiled {
             .as_ref()
             .expect("space optimization enabled");
         fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan)
+            .with_interning(self.intern)
             .evaluate_recorded(tree, inputs, rec)
     }
 
@@ -339,7 +353,7 @@ impl Compiled {
             inputs.insert(attr, Value::Int(0));
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let ev = Evaluator::new(&self.grammar, &self.seqs);
+            let ev = Evaluator::new(&self.grammar, &self.seqs).with_interning(self.intern);
             match ev.evaluate_recorded_guarded(&tree, &inputs, budget, None, rec) {
                 Ok(_) => SmokeOutcome::Ok,
                 Err(EvalError::SemanticFailure { message, .. }) => {
@@ -354,6 +368,7 @@ impl Compiled {
             if let (Some(fp), Some(plan)) = (self.flat.as_ref(), self.space_plan.as_ref()) {
                 let _ = catch_unwind(AssertUnwindSafe(|| {
                     let _ = fnc2_space::SpaceEvaluator::new(&self.grammar, &self.seqs, fp, plan)
+                        .with_interning(self.intern)
                         .evaluate_recorded_guarded(&tree, &inputs, budget, None, rec);
                 }));
             }
@@ -642,6 +657,7 @@ impl Pipeline {
             lifetimes,
             space_plan,
             report,
+            intern: self.intern,
         })
     }
 

@@ -93,6 +93,38 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
         .evaluate(&tree, &inputs)
         .map_err(|e| div("exhaustive", format!("reference evaluation failed: {e}")))?;
 
+    // ---- Interned evaluation: hash-consing must be invisible. ----------
+    // The canonical-representative transport may share allocations but
+    // must never change a single attribute value or run counter.
+    {
+        let (vals, stats) = Evaluator::new(g, &seqs)
+            .with_interning(true)
+            .evaluate(&tree, &inputs)
+            .map_err(|e| div("interned", format!("interned evaluation failed: {e}")))?;
+        if stats != ref_stats {
+            return Err(div(
+                "interned-vs-plain",
+                format!("interned stats {stats:?} != plain {ref_stats:?}"),
+            ));
+        }
+        for (n, _) in tree.preorder() {
+            let ph = tree.phylum(g, n);
+            for &attr in g.phylum(ph).attrs() {
+                if vals.get(g, n, attr) != reference.get(g, n, attr) {
+                    return Err(div(
+                        "interned-vs-plain",
+                        format!(
+                            "node {n:?} attr {}: interned {:?}, plain {:?}",
+                            g.attr(attr).name(),
+                            vals.get(g, n, attr),
+                            reference.get(g, n, attr)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     // ---- Work-stealing batch driver: bit-identical to sequential. ------
     let batch_trees = vec![tree.clone(), tree.clone(), tree.clone()];
     let (batch_results, _) = fnc2_par::batch_evaluate(&ev, &batch_trees, &inputs, 4);
@@ -295,16 +327,47 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
     }
 
     // ---- Incremental evaluator under random edit scripts. --------------
+    // Two instances march through the same edit script: one interned (the
+    // default, with the O(1) identity cutoff and the memo cache) and one
+    // with interning off (the `--no-intern` deep-equality path). Their
+    // values AND their Changed/Unchanged status sets must agree exactly.
     let mut inc = IncrementalEvaluator::new(g, tree.clone(), Equality::default())
         .map_err(|e| div("incremental", format!("initial evaluation failed: {e}")))?;
+    let mut inc_plain = IncrementalEvaluator::with_inputs_guarded_interned(
+        g,
+        tree.clone(),
+        RootInputs::new(),
+        Equality::default(),
+        Default::default(),
+        false,
+    )
+    .map_err(|e| {
+        div(
+            "incremental",
+            format!("initial uninterned evaluation failed: {e}"),
+        )
+    })?;
+    debug_assert!(inc.interning() && !inc_plain.interning());
     let mut rng = Rng::seed_from_u64(params.seed ^ 0x0ed1_7000);
     for edit in 0..params.edits {
         let (at, sub) = match pick_edit(&gg, &mut rng, inc.tree()) {
             Some(e) => e,
             None => break,
         };
-        inc.replace_subtree(at, &sub)
+        let wave = inc
+            .replace_subtree(at, &sub)
             .map_err(|e| div("incremental", format!("edit {edit} failed: {e}")))?;
+        let wave_plain = inc_plain
+            .replace_subtree(at, &sub)
+            .map_err(|e| div("incremental", format!("uninterned edit {edit} failed: {e}")))?;
+        if wave != wave_plain {
+            return Err(div(
+                "incremental-intern-vs-plain",
+                format!(
+                    "after edit {edit}: interned wave {wave:?} != uninterned wave {wave_plain:?}"
+                ),
+            ));
+        }
         let (want, _) = DynamicEvaluator::new(g)
             .evaluate(inc.tree(), &inputs)
             .map_err(|e| div("incremental", format!("re-evaluation failed: {e}")))?;
@@ -320,6 +383,17 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
                             inc.value(n, attr),
                             want.get(g, n, attr),
                             divergence_slice(g, &ev, inc.tree(), &inputs, n, attr)
+                        ),
+                    ));
+                }
+                if inc_plain.value(n, attr) != inc.value(n, attr) {
+                    return Err(div(
+                        "incremental-intern-vs-plain",
+                        format!(
+                            "after edit {edit}: node {n:?} attr {}: interned {:?}, uninterned {:?}",
+                            g.attr(attr).name(),
+                            inc.value(n, attr),
+                            inc_plain.value(n, attr)
                         ),
                     ));
                 }

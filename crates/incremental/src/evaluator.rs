@@ -15,7 +15,7 @@ use fnc2_ag::{
 };
 use fnc2_guard::{BudgetMeter, EvalBudget};
 use fnc2_obs::{ChangeStatus, Counters, Event, Key, NoopRecorder, Recorder};
-use fnc2_visit::{CompiledProgram, EvalError, RootInputs};
+use fnc2_visit::{CompiledProgram, EvalError, InternCtx, RootInputs};
 
 use crate::status::Equality;
 
@@ -65,6 +65,11 @@ pub struct IncrementalEvaluator<'g> {
     inputs: RootInputs,
     eq: Equality,
     budget: EvalBudget,
+    /// The hash-cons context, owned for the evaluator's whole lifetime so
+    /// canonical identities stay comparable across edit waves (the O(1)
+    /// cutoff compares a value interned in one wave with one interned in a
+    /// later wave). `None` disables interning (`--no-intern`).
+    ictx: Option<InternCtx>,
 }
 
 /// An attribute or local instance.
@@ -114,6 +119,27 @@ impl<'g> IncrementalEvaluator<'g> {
         eq: Equality,
         budget: EvalBudget,
     ) -> Result<Self, EvalError> {
+        Self::with_inputs_guarded_interned(grammar, tree, inputs, eq, budget, true)
+    }
+
+    /// The fully general constructor:
+    /// [`with_inputs_guarded`](Self::with_inputs_guarded) with hash-cons
+    /// interning explicitly on or off. Interning is on by default — with
+    /// the default structural [`Equality`] the change cutoff is then an
+    /// O(1) identity comparison and semantic functions are memoized;
+    /// `intern: false` is the `--no-intern` differential escape hatch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`with_inputs_guarded`](Self::with_inputs_guarded).
+    pub fn with_inputs_guarded_interned(
+        grammar: &'g Grammar,
+        tree: Tree,
+        inputs: RootInputs,
+        eq: Equality,
+        budget: EvalBudget,
+        intern: bool,
+    ) -> Result<Self, EvalError> {
         let mut this = IncrementalEvaluator {
             grammar,
             program: CompiledProgram::new(grammar),
@@ -123,11 +149,13 @@ impl<'g> IncrementalEvaluator<'g> {
             inputs,
             eq,
             budget,
+            ictx: intern.then(InternCtx::local),
         };
         this.values = AttrValues::new(grammar, &this.tree);
         this.locals = LocalFrames::new(grammar, &this.tree);
         let root = this.tree.root();
         let root_ph = grammar.production(this.tree.node(root).production()).lhs();
+        let mut icounters = Counters::new();
         for attr in grammar.inherited(root_ph) {
             let v = this
                 .inputs
@@ -136,6 +164,10 @@ impl<'g> IncrementalEvaluator<'g> {
                     what: grammar.attr(attr).name().to_string(),
                 })?
                 .clone();
+            let v = match &mut this.ictx {
+                Some(ictx) => ictx.intern(v, &mut icounters).0,
+                None => v,
+            };
             this.values.set(grammar, root, attr, v);
         }
         let mut stats = IncrementalStats::default();
@@ -154,6 +186,45 @@ impl<'g> IncrementalEvaluator<'g> {
     /// Replaces the budget governing subsequent edit waves.
     pub fn set_budget(&mut self, budget: EvalBudget) {
         self.budget = budget;
+    }
+
+    /// True when this evaluator hash-conses its values.
+    pub fn interning(&self) -> bool {
+        self.ictx.is_some()
+    }
+
+    /// Decides whether `old` and `new` are the same value for the change
+    /// cutoff. Identity equality short-circuits first (two live values
+    /// with one identity are the same allocation, and any reflexive
+    /// equality accepts them); with interning and the default structural
+    /// equality, two *stable* values with distinct identities are known
+    /// different in O(1) — no deep traversal in either direction.
+    fn values_same(&self, old: &Value, new: &Value) -> bool {
+        if old.ident() == new.ident() {
+            return true;
+        }
+        if self.eq.is_structural() {
+            if let Some(ictx) = &self.ictx {
+                if ictx.is_stable(old) && ictx.is_stable(new) {
+                    return false;
+                }
+            }
+            old == new
+        } else {
+            self.eq.same(old, new)
+        }
+    }
+
+    /// Canonicalizes `v` when interning is on (setup paths outside the
+    /// compiled rule programs).
+    fn intern_value(&mut self, v: Value) -> Value {
+        match &mut self.ictx {
+            Some(ictx) => {
+                let mut scratch = Counters::new();
+                ictx.intern(v, &mut scratch).0
+            }
+            None => v,
+        }
     }
 
     /// The decorated tree.
@@ -256,7 +327,9 @@ impl<'g> IncrementalEvaluator<'g> {
                 // Replacing the root: supply the root inputs.
                 for a in g.inherited(ph) {
                     if let Some(v) = self.inputs.get(&a) {
-                        self.values.set(g, new_root, a, v.clone());
+                        let v = v.clone();
+                        let v = self.intern_value(v);
+                        self.values.set(g, new_root, a, v);
                     }
                 }
             }
@@ -271,7 +344,7 @@ impl<'g> IncrementalEvaluator<'g> {
                 }
                 let newv = self.values.get(g, new_root, a);
                 let same = match (&oldv, newv) {
-                    (Some(o), Some(n)) => self.eq.same(o, n),
+                    (Some(o), Some(n)) => self.values_same(o, n),
                     (None, None) => true,
                     _ => false,
                 };
@@ -381,7 +454,9 @@ impl<'g> IncrementalEvaluator<'g> {
         if self.tree.node(at).parent().is_none() {
             for a in g.inherited(ph) {
                 if let Some(v) = self.inputs.get(&a) {
-                    self.values.set(g, at, a, v.clone());
+                    let v = v.clone();
+                    let v = self.intern_value(v);
+                    self.values.set(g, at, a, v);
                 }
             }
         }
@@ -397,7 +472,7 @@ impl<'g> IncrementalEvaluator<'g> {
             }
             let newv = self.values.get(g, at, a);
             let same = match (&oldv, newv) {
-                (Some(o), Some(n)) => self.eq.same(o, n),
+                (Some(o), Some(n)) => self.values_same(o, n),
                 (None, None) => true,
                 _ => false,
             };
@@ -448,7 +523,7 @@ impl<'g> IncrementalEvaluator<'g> {
             stats.reevaluated += 1;
             let same = oldv
                 .as_ref()
-                .map(|o| self.eq.same(o, &newv))
+                .map(|o| self.values_same(o, &newv))
                 .unwrap_or(false);
             if oldv.is_none() {
                 *unknown += 1;
@@ -641,7 +716,13 @@ impl<'g> IncrementalEvaluator<'g> {
     /// Recomputes an instance's value through the slot-compiled program,
     /// replaying fetch counters into `rec` and — when profiling or tracing
     /// is on — attributing the firing to its `(production, rule)` pair.
-    fn compute_instance<R: Recorder>(&self, inst: Inst, rec: &mut R) -> Result<Value, EvalError> {
+    /// With interning on, the result is canonical and the memo cache may
+    /// answer without firing the semantic function at all.
+    fn compute_instance<R: Recorder>(
+        &mut self,
+        inst: Inst,
+        rec: &mut R,
+    ) -> Result<Value, EvalError> {
         let g = self.grammar;
         let (def_node, target) = self.definition_of(inst);
         let p = self.tree.node(def_node).production();
@@ -667,6 +748,7 @@ impl<'g> IncrementalEvaluator<'g> {
             &self.locals,
             &mut buf,
             &mut counters,
+            self.ictx.as_mut(),
         )?;
         counters.replay(rec);
         if rec.profiling() {

@@ -90,6 +90,14 @@ pub enum Key {
     /// Artifacts rejected (stale fingerprint, version skew, corruption)
     /// and recovered from by full recompilation.
     TablesCacheRejected,
+    /// Values found already canonical in the hash-cons intern table.
+    EvalInternHits,
+    /// Fresh values canonicalized into the hash-cons intern table.
+    EvalInternMisses,
+    /// Semantic-function applications served from the memo cache.
+    EvalMemoHits,
+    /// High-water occupancy of the hash-cons intern table.
+    EvalInternSize,
 }
 
 impl Key {
@@ -97,7 +105,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 32] = [
+    pub const ALL: [Key; 36] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -130,6 +138,10 @@ impl Key {
         Key::TablesCacheHit,
         Key::TablesCacheMiss,
         Key::TablesCacheRejected,
+        Key::EvalInternHits,
+        Key::EvalInternMisses,
+        Key::EvalMemoHits,
+        Key::EvalInternSize,
     ];
 
     /// The canonical dotted metric name.
@@ -167,13 +179,17 @@ impl Key {
             Key::TablesCacheHit => "tables.cache_hit",
             Key::TablesCacheMiss => "tables.cache_miss",
             Key::TablesCacheRejected => "tables.cache_rejected",
+            Key::EvalInternHits => "eval.intern_hits",
+            Key::EvalInternMisses => "eval.intern_misses",
+            Key::EvalMemoHits => "eval.memo_hits",
+            Key::EvalInternSize => "eval.intern_size",
         }
     }
 
     /// True for keys with high-water-mark (max) semantics rather than
     /// additive semantics.
     pub fn is_high_water(self) -> bool {
-        matches!(self, Key::SpaceMaxLiveCells)
+        matches!(self, Key::SpaceMaxLiveCells | Key::EvalInternSize)
     }
 }
 

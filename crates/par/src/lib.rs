@@ -96,7 +96,7 @@ use std::sync::{Mutex, Once};
 use fnc2_ag::{AttrValues, Tree};
 use fnc2_guard::{EvalBudget, FaultPlan, InjectedFault, INJECTED_PANIC_MSG};
 use fnc2_obs::{Counters, Key, NoopRecorder, Recorder, SpanTracer};
-use fnc2_visit::{EvalError, EvalStats, Evaluator, RootInputs};
+use fnc2_visit::{EvalError, EvalStats, Evaluator, InternMode, RootInputs};
 
 /// What one batch run did: fed into [`Key::ParTrees`] / [`Key::ParSteals`]
 /// by the recorded entry point, and returned for callers that aggregate
@@ -586,6 +586,15 @@ pub fn batch_evaluate_guarded_recorded<R: Recorder>(
     eval_counters.add(Key::ParRetries, report.retries);
     eval_counters.add(Key::GuardPanicsCaught, report.panics_caught);
     eval_counters.add(Key::GuardBudgetExceeded, report.budget_exceeded);
+    // With a shared interner, workers defer per-call hit/miss accounting
+    // (streaming it would serialize them on the stats cells); the sharded
+    // table's merged totals are read once here, at the join.
+    if let InternMode::Shared(table) = evaluator.intern_mode() {
+        let s = table.stats();
+        eval_counters.set(Key::EvalInternHits, s.hits);
+        eval_counters.set(Key::EvalInternMisses, s.misses);
+        eval_counters.raise(Key::EvalInternSize, s.len);
+    }
     eval_counters.replay(rec);
 
     report
@@ -747,6 +756,77 @@ mod tests {
         assert_eq!(begins.len(), 7);
         let doc = obs.chrome_trace();
         fnc2_obs::validate_chrome_trace(&doc).unwrap();
+    }
+
+    #[test]
+    fn interned_batch_is_bit_identical_across_thread_counts() {
+        let g = count_grammar();
+        let seqs = seqs_for(&g);
+        let trees = chains(&g, 24);
+        let inputs = RootInputs::new();
+        let n = g.attr_by_name(g.phylum_by_name("S").unwrap(), "n").unwrap();
+
+        // Ground truth: the plain uninterned sequential evaluator.
+        let plain = Evaluator::new(&g, &seqs);
+        let (want, _) = batch_evaluate(&plain, &trees, &inputs, 1);
+
+        // Private per-evaluation interner and the thread-safe shared one,
+        // each at every thread count, must reproduce it bit for bit.
+        let local = Evaluator::new(&g, &seqs).with_interning(true);
+        let shared = Evaluator::new(&g, &seqs)
+            .with_shared_interner(std::sync::Arc::new(fnc2_ag::SharedInterner::new(8)));
+        for (label, ev) in [("local", &local), ("shared", &shared)] {
+            for threads in [1, 2, 4, 8] {
+                let (got, _) = batch_evaluate(ev, &trees, &inputs, threads);
+                for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                    let (va, sa) = a.as_ref().unwrap();
+                    let (vb, sb) = b.as_ref().unwrap();
+                    assert_eq!(
+                        sa, sb,
+                        "{label} interner: stats diverge on tree {i} at {threads} threads"
+                    );
+                    assert_eq!(
+                        va.get(&g, trees[i].root(), n),
+                        vb.get(&g, trees[i].root(), n),
+                        "{label} interner: values diverge on tree {i} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Like [`count_grammar`] but the counter is carried inside a list, so
+    /// every rule builds a compound value and exercises the interner
+    /// (scalars are identified by payload and never enter the table).
+    fn listy_grammar() -> Grammar {
+        let mut g = GrammarBuilder::new("listy");
+        let s = g.phylum("S");
+        let n = g.syn(s, "n");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(n), Value::list(vec![Value::Int(0)]));
+        let node = g.production("node", s, &[s]);
+        g.func("succ", 1, |a| {
+            let prev = a[0].as_list()[0].as_int();
+            Value::list(vec![Value::Int(prev + 1)])
+        });
+        g.call(node, Occ::lhs(n), "succ", [Occ::new(1, n).into()]);
+        g.finish().unwrap()
+    }
+
+    #[test]
+    fn shared_interner_stats_merge_at_join() {
+        let g = listy_grammar();
+        let seqs = seqs_for(&g);
+        let table = std::sync::Arc::new(fnc2_ag::SharedInterner::new(4));
+        let ev = Evaluator::new(&g, &seqs).with_shared_interner(std::sync::Arc::clone(&table));
+        let trees = chains(&g, 10);
+        let mut obs = Obs::new();
+        batch_evaluate_recorded(&ev, &trees, &RootInputs::new(), 4, &mut obs);
+        let s = table.stats();
+        assert!(s.hits + s.misses > 0, "interner saw no traffic");
+        assert_eq!(obs.metrics.counter("eval.intern_hits"), s.hits);
+        assert_eq!(obs.metrics.counter("eval.intern_misses"), s.misses);
+        assert_eq!(obs.metrics.counter("eval.intern_size"), s.len);
     }
 
     #[test]

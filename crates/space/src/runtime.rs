@@ -21,7 +21,7 @@ use fnc2_ag::{
 };
 use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder, StorageClass};
-use fnc2_visit::{EvalError, Instr, RootInputs, VisitSeqs};
+use fnc2_visit::{EvalError, Instr, InternCtx, InternMode, RootInputs, VisitSeqs};
 
 use crate::alloc::{ReadPath, SpacePlan, WritePath};
 use crate::flat::{FlatItem, FlatProgram};
@@ -144,6 +144,7 @@ pub struct SpaceEvaluator<'g> {
     consts: Vec<Value>,
     n_variables: usize,
     n_stacks: usize,
+    intern: InternMode,
 }
 
 struct RunState {
@@ -233,7 +234,23 @@ impl<'g> SpaceEvaluator<'g> {
             consts,
             n_variables: plan.n_variables,
             n_stacks: plan.n_stacks,
+            intern: InternMode::Off,
         }
+    }
+
+    /// Turns hash-consed value interning on or off (off by default).
+    /// With interning on, every value stored in a global variable, stack
+    /// slot, or node cell is the canonical representative from a private
+    /// per-evaluation intern table, so structurally equal cells share one
+    /// allocation.
+    #[must_use]
+    pub fn with_interning(mut self, on: bool) -> Self {
+        self.intern = if on {
+            InternMode::Local
+        } else {
+            InternMode::Off
+        };
+        self
     }
 
     /// Fuses one `EVAL` step's rule with its storage paths.
@@ -374,6 +391,7 @@ impl<'g> SpaceEvaluator<'g> {
             max_live: 0,
             counters: Counters::new(),
         };
+        let mut ictx = self.intern.ctx();
         let root = tree.root();
         let root_ph = g.production(tree.node(root).production()).lhs();
         for attr in g.inherited(root_ph) {
@@ -382,7 +400,11 @@ impl<'g> SpaceEvaluator<'g> {
                 .ok_or_else(|| EvalError::MissingRootInput {
                     what: g.attr(attr).name().to_string(),
                 })?;
-            st.node_values.set(g, root, attr, v.clone());
+            let v = match ictx.as_mut() {
+                Some(ictx) => ictx.intern(v.clone(), &mut st.counters).0,
+                None => v.clone(),
+            };
+            st.node_values.set(g, root, attr, v);
             st.bump(1);
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
@@ -390,7 +412,7 @@ impl<'g> SpaceEvaluator<'g> {
             if rec.spans() {
                 rec.span_begin("visit", format!("space visit {v}/{visits} (root)"));
             }
-            let r = self.run_visit(tree, root, 0, v, &mut st, &mut meter, rec);
+            let r = self.run_visit(tree, root, 0, v, &mut st, &mut meter, &mut ictx, rec);
             if rec.spans() {
                 rec.span_end();
                 if let Err(e) = &r {
@@ -428,6 +450,7 @@ impl<'g> SpaceEvaluator<'g> {
         visit: usize,
         st: &mut RunState,
         meter: &mut BudgetMeter,
+        ictx: &mut Option<InternCtx>,
         rec: &mut R,
     ) -> Result<(), EvalError> {
         struct Frame {
@@ -501,6 +524,10 @@ impl<'g> SpaceEvaluator<'g> {
                         None
                     };
                     let value = self.compute(tree, p, node, *func, reads, st)?;
+                    let value = match ictx.as_mut() {
+                        Some(ictx) => ictx.intern(value, &mut st.counters).0,
+                        None => value,
+                    };
                     if rec.profiling() {
                         rec.rule_cost(
                             p.index() as u32,
@@ -793,6 +820,43 @@ mod tests {
             stats.max_live_cells
         );
         assert!(stats.copies_skipped > 0 || stats.evals > 0);
+    }
+
+    #[test]
+    fn interned_run_matches_plain() {
+        let g = two_pass();
+        let mut tb = TreeBuilder::new(&g);
+        let mut cur = tb.op("leaf", &[]).unwrap();
+        for _ in 0..20 {
+            cur = tb.op("mid", &[cur]).unwrap();
+        }
+        let root = tb.op("root", &[cur]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+
+        let snc = snc_test(&g);
+        let lo = snc_to_l_ordered(&g, &snc, Inclusion::Long).unwrap();
+        let seqs = build_visit_seqs(&g, &lo);
+        let fp = FlatProgram::new(&g, &seqs);
+        let objects = ObjectIndex::new(&g);
+        let lt = Lifetimes::analyze(&g, &seqs, &fp, &objects);
+        let plan = crate::alloc::plan_storage(&g, &seqs, &fp, &objects, &lt);
+
+        let plain = SpaceEvaluator::new(&g, &seqs, &fp, &plan);
+        let want = plain.evaluate(&tree, &RootInputs::new()).unwrap();
+        let interned = SpaceEvaluator::new(&g, &seqs, &fp, &plan).with_interning(true);
+        let got = interned.evaluate(&tree, &RootInputs::new()).unwrap();
+
+        let root_ph = g.production(tree.node(tree.root()).production()).lhs();
+        for attr in g.synthesized(root_ph) {
+            assert_eq!(
+                got.node_values.get(&g, tree.root(), attr),
+                want.node_values.get(&g, tree.root(), attr),
+                "root attribute {}",
+                g.attr(attr).name()
+            );
+        }
+        // Interning must not change the storage accounting.
+        assert_eq!(got.stats, want.stats);
     }
 
     #[test]

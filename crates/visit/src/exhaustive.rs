@@ -15,14 +15,46 @@
 //! benchmark.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use fnc2_ag::{AttrId, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, Tree, Value};
+use fnc2_ag::{
+    AttrId, AttrValues, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ, SharedInterner, Tree,
+    Value,
+};
 use fnc2_guard::{BudgetMeter, EvalBudget, InjectedFault};
 use fnc2_obs::{Counters, Event, Key, NoopRecorder, Recorder};
 
-use crate::program::CompiledProgram;
+use crate::program::{CompiledProgram, InternCtx};
 use crate::rules::EvalError;
 use crate::seq::{Instr, VisitSeqs};
+
+/// How an evaluator canonicalizes the values it produces.
+#[derive(Clone, Debug, Default)]
+pub enum InternMode {
+    /// No interning: values are transported as built (the historical
+    /// behavior, and the `--no-intern` escape hatch).
+    #[default]
+    Off,
+    /// A private hash-cons table per evaluation.
+    Local,
+    /// A thread-safe sharded table shared across evaluations (the batch
+    /// driver's workers unify canonical representatives through it; its
+    /// statistics are merged once at join).
+    Shared(Arc<SharedInterner>),
+}
+
+impl InternMode {
+    /// The per-evaluation context for this mode, if interning is on.
+    /// Downstream evaluators (the space runtime, the incremental
+    /// evaluator) call this to share the same backend selection logic.
+    pub fn ctx(&self) -> Option<InternCtx> {
+        match self {
+            InternMode::Off => None,
+            InternMode::Local => Some(InternCtx::local()),
+            InternMode::Shared(table) => Some(InternCtx::shared(Arc::clone(table))),
+        }
+    }
+}
 
 /// Counters describing one evaluation run (feed the §4 claims: visit
 /// overhead of partition replacement, copy-rule volume, cell counts).
@@ -94,6 +126,7 @@ pub struct Evaluator<'g> {
     /// `compiled[prod][partition][visit-1]` — instruction streams with
     /// rule indices resolved.
     compiled: Vec<Vec<Vec<Vec<CInstr>>>>,
+    intern: InternMode,
 }
 
 impl<'g> Evaluator<'g> {
@@ -141,7 +174,31 @@ impl<'g> Evaluator<'g> {
             seqs,
             program,
             compiled,
+            intern: InternMode::Off,
         }
+    }
+
+    /// Enables or disables hash-cons interning for this evaluator
+    /// (private per-evaluation table; see [`InternMode`]).
+    pub fn with_interning(mut self, on: bool) -> Self {
+        self.intern = if on {
+            InternMode::Local
+        } else {
+            InternMode::Off
+        };
+        self
+    }
+
+    /// Routes this evaluator's interning through a shared sharded table —
+    /// the batch driver's workers unify canonical values through it.
+    pub fn with_shared_interner(mut self, table: Arc<SharedInterner>) -> Self {
+        self.intern = InternMode::Shared(table);
+        self
+    }
+
+    /// This evaluator's interning mode.
+    pub fn intern_mode(&self) -> &InternMode {
+        &self.intern
     }
 
     /// The slot-compiled rule programs driving this evaluator, shared with
@@ -241,6 +298,7 @@ impl<'g> Evaluator<'g> {
         }
         let visits = self.seqs.partitions_of(root_ph)[0].visit_count();
         let mut buf = Vec::with_capacity(8);
+        let mut ictx = self.intern.ctx();
         for v in 1..=visits {
             if rec.spans() {
                 rec.span_begin("visit", format!("exhaustive visit {v}/{visits} (root)"));
@@ -255,6 +313,7 @@ impl<'g> Evaluator<'g> {
                 &mut counters,
                 &mut buf,
                 &mut meter,
+                &mut ictx,
                 rec,
             );
             if rec.spans() {
@@ -286,6 +345,7 @@ impl<'g> Evaluator<'g> {
         counters: &mut Counters,
         buf: &mut Vec<Value>,
         meter: &mut BudgetMeter,
+        ictx: &mut Option<InternCtx>,
         rec: &mut R,
     ) -> Result<(), EvalError> {
         struct Frame {
@@ -341,12 +401,14 @@ impl<'g> Evaluator<'g> {
                         self.grammar,
                         tree,
                         p,
+                        rule_ix,
                         cr,
                         node,
                         values,
                         locals,
                         buf,
                         counters,
+                        ictx.as_mut(),
                     )?;
                     if rec.profiling() {
                         rec.rule_cost(

@@ -52,8 +52,10 @@ mod rules;
 mod seq;
 
 pub use dynamic::DynamicEvaluator;
-pub use exhaustive::{EvalStats, Evaluator, RootInputs};
-pub use program::{CBody, CompiledProduction, CompiledProgram, CompiledRule, FetchOp, SlotRef};
+pub use exhaustive::{EvalStats, Evaluator, InternMode, RootInputs};
+pub use program::{
+    CBody, CompiledProduction, CompiledProgram, CompiledRule, FetchOp, InternCtx, SlotRef,
+};
 pub use provenance::{dependency_slice, Inst, Slice, SliceStep};
 pub use rules::{eval_rule, eval_rule_resolved, EvalError, Store};
 pub use seq::{build_visit_seqs, Instr, VisitSeq, VisitSeqs};

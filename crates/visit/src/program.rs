@@ -16,14 +16,109 @@
 //! deep-clones.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fnc2_ag::{
-    Arg, AttrId, AttrValues, FuncId, Grammar, LocalFrames, LocalId, NodeId, ONode, Occ,
-    ProductionId, RuleBody, Tree, Value,
+    Arg, AttrId, AttrValues, FuncId, Grammar, Interner, LocalFrames, LocalId, MemoCache, MemoKey,
+    NodeId, ONode, Occ, ProductionId, RuleBody, SharedInterner, Tree, Value,
 };
 use fnc2_obs::{Counters, Key};
 
 use crate::rules::EvalError;
+
+/// The hash-cons backend of an [`InternCtx`]: a private per-evaluation
+/// table, or a thread-safe sharded table shared by the batch workers.
+#[derive(Debug)]
+enum InternBackend {
+    Local(Interner),
+    Shared(Arc<SharedInterner>),
+}
+
+/// The per-evaluation interning context: a hash-cons backend plus the
+/// `(rule, canonical argument ids) → result` memo cache.
+///
+/// When an evaluator runs with one of these, every value a rule produces
+/// or transports is canonicalized, so structural equality downstream
+/// (most importantly the incremental cutoff) is id comparison, and
+/// repeated applications of a pure semantic function to bitwise-equal
+/// arguments are served from the memo cache without calling the function.
+#[derive(Debug)]
+pub struct InternCtx {
+    backend: InternBackend,
+    memo: MemoCache,
+}
+
+impl InternCtx {
+    /// A context with a private (single-threaded) intern table.
+    pub fn local() -> InternCtx {
+        InternCtx {
+            backend: InternBackend::Local(Interner::new()),
+            memo: MemoCache::new(),
+        }
+    }
+
+    /// A context backed by a shared sharded table; the memo cache stays
+    /// worker-private (hits on it are free wins, misses are just calls).
+    pub fn shared(table: Arc<SharedInterner>) -> InternCtx {
+        InternCtx {
+            backend: InternBackend::Shared(table),
+            memo: MemoCache::new(),
+        }
+    }
+
+    /// Canonicalizes `v`; returns the representative and whether its
+    /// identity is stable (pinned by the table) and therefore usable in
+    /// memo keys and O(1) equality cuts. Local-table statistics stream
+    /// into `counters`; shared-table statistics are merged once at batch
+    /// join (see [`SharedInterner::stats`]).
+    pub fn intern(&mut self, v: Value, counters: &mut Counters) -> (Value, bool) {
+        match &mut self.backend {
+            InternBackend::Local(it) => {
+                let before = it.stats();
+                let v = it.intern(v);
+                let after = it.stats();
+                counters.add(Key::EvalInternHits, after.hits - before.hits);
+                counters.add(Key::EvalInternMisses, after.misses - before.misses);
+                counters.raise(Key::EvalInternSize, after.len);
+                let stable = it.is_stable(&v);
+                (v, stable)
+            }
+            InternBackend::Shared(sh) => {
+                let v = sh.intern(v);
+                let stable = sh.is_stable(&v);
+                (v, stable)
+            }
+        }
+    }
+
+    /// True when `v`'s identity is stable for this context's lifetime.
+    pub fn is_stable(&self, v: &Value) -> bool {
+        match &self.backend {
+            InternBackend::Local(it) => it.is_stable(v),
+            InternBackend::Shared(sh) => sh.is_stable(v),
+        }
+    }
+
+    /// Current occupancy of the backing intern table.
+    pub fn occupancy(&self) -> u64 {
+        match &self.backend {
+            InternBackend::Local(it) => it.len() as u64,
+            InternBackend::Shared(sh) => sh.stats().len,
+        }
+    }
+
+    fn memo_get(&mut self, key: &MemoKey, counters: &mut Counters) -> Option<Value> {
+        let hit = self.memo.get(key);
+        if hit.is_some() {
+            counters.add(Key::EvalMemoHits, 1);
+        }
+        hit
+    }
+
+    fn memo_put(&mut self, key: MemoKey, result: Value) {
+        self.memo.put(key, result);
+    }
+}
 
 /// A pre-resolved argument fetch: where one rule argument comes from, with
 /// every lookup done at compile time.
@@ -273,7 +368,8 @@ impl CompiledProgram {
     /// attribute slots from `values` and locals from `locals`. Returns the
     /// computed value and whether the rule was a copy rule. `buf` is a
     /// reusable argument buffer; `counters` accumulates
-    /// [`Key::EvalConstHits`].
+    /// [`Key::EvalConstHits`]. With an [`InternCtx`], every produced value
+    /// is canonicalized and function calls consult the memo cache.
     ///
     /// # Errors
     ///
@@ -292,9 +388,12 @@ impl CompiledProgram {
         locals: &LocalFrames,
         buf: &mut Vec<Value>,
         counters: &mut Counters,
+        ictx: Option<&mut InternCtx>,
     ) -> Result<(Value, bool), EvalError> {
         let cr = &self.prods[p.index()].rules[rule as usize];
-        self.exec_rule(grammar, tree, p, cr, node, values, locals, buf, counters)
+        self.exec_rule(
+            grammar, tree, p, rule, cr, node, values, locals, buf, counters, ictx,
+        )
     }
 
     /// [`eval_rule`](Self::eval_rule) with the [`CompiledRule`] already in
@@ -311,22 +410,64 @@ impl CompiledProgram {
         grammar: &Grammar,
         tree: &Tree,
         p: ProductionId,
+        rule: u32,
         cr: &CompiledRule,
         node: NodeId,
         values: &AttrValues,
         locals: &LocalFrames,
         buf: &mut Vec<Value>,
         counters: &mut Counters,
+        ictx: Option<&mut InternCtx>,
     ) -> Result<(Value, bool), EvalError> {
         match &cr.body {
-            CBody::Copy(op) => Ok((
-                self.fetch(grammar, tree, p, node, op, values, locals, counters)?,
-                cr.is_copy,
-            )),
+            CBody::Copy(op) => {
+                let v = self.fetch(grammar, tree, p, node, op, values, locals, counters)?;
+                let v = match ictx {
+                    Some(ictx) => ictx.intern(v, counters).0,
+                    None => v,
+                };
+                Ok((v, cr.is_copy))
+            }
             CBody::Call { func, args } => {
                 buf.clear();
                 for op in args {
                     buf.push(self.fetch(grammar, tree, p, node, op, values, locals, counters)?);
+                }
+                if let Some(ictx) = ictx {
+                    // Canonicalize the argument vector; copy-rule transport
+                    // keeps stores canonical, so these are O(1) hits in the
+                    // steady state.
+                    let mut stable = true;
+                    for a in buf.iter_mut() {
+                        let (v, s) = ictx.intern(std::mem::take(a), counters);
+                        *a = v;
+                        stable &= s;
+                    }
+                    let key: Option<MemoKey> = stable.then(|| {
+                        (
+                            p.index() as u32,
+                            rule,
+                            buf.iter().map(Value::ident).collect(),
+                        )
+                    });
+                    if let Some(key) = &key {
+                        if let Some(hit) = ictx.memo_get(key, counters) {
+                            return Ok((hit, false));
+                        }
+                    }
+                    let v = grammar.function(*func).apply(buf).map_err(|e| {
+                        EvalError::SemanticFailure {
+                            node,
+                            message: e.message,
+                        }
+                    })?;
+                    let (v, result_stable) = ictx.intern(v, counters);
+                    if let Some(key) = key {
+                        if result_stable {
+                            ictx.memo_put(key, v.clone());
+                        }
+                    }
+                    return Ok((v, false));
                 }
                 let v =
                     grammar
