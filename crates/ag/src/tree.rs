@@ -497,6 +497,14 @@ impl AttrValues {
     pub fn live_count(&self) -> usize {
         self.cells.iter().filter(|v| v.is_some()).count()
     }
+
+    /// All cells in dense arena order (node id order, each node's block
+    /// in phylum attribute order). The order is a pure function of the
+    /// tree shape, which makes it usable for deterministic digests
+    /// without any per-cell grammar lookups.
+    pub fn cells(&self) -> impl Iterator<Item = Option<&Value>> {
+        self.cells.iter().map(Option::as_ref)
+    }
 }
 
 /// Dense per-activation storage for production-local attributes, laid out as

@@ -32,11 +32,18 @@
 //!   script's values have been seen. Both legs replay the same script and
 //!   are checked for identical values *and* identical Changed/Unchanged
 //!   wave statistics before timing.
+//! * **checkpoint** — the crash-consistency tax: the same guarded batch
+//!   with and without the append-only checkpoint journal
+//!   (`batch_evaluate_checkpointed`: one checksummed 25-byte record per
+//!   tree, unsynced appends, atomic compaction on completion). The
+//!   overhead column is the whole journal life-cycle — create, appends,
+//!   compact-and-rename — amortised over the batch; the per-index outcome
+//!   digests are checked identical between the two legs before timing.
 //!
 //! Run with `cargo run --release --bin table_throughput -p fnc2-bench`.
 //! Set `FNC2_BENCH_JSON` to also write `BENCH_eval_hotpath.json`,
-//! `BENCH_throughput.json`, `BENCH_startup.json` and
-//! `BENCH_incremental.json`.
+//! `BENCH_throughput.json`, `BENCH_startup.json`,
+//! `BENCH_incremental.json` and `BENCH_checkpoint.json`.
 
 use std::time::{Duration, Instant};
 
@@ -49,7 +56,9 @@ use fnc2_bench::{maybe_emit_json, render_table};
 use fnc2_corpus::{
     sized_ag_source, synthetic, synthetic_tree, BLOCKS_OLGA_LIST, MINIPASCAL_OLGA, TABLE1_PROFILES,
 };
-use fnc2_par::batch_evaluate;
+use fnc2_par::{
+    batch_evaluate, batch_evaluate_checkpointed, batch_evaluate_guarded, outcome_digest, Checkpoint,
+};
 
 /// Median of `n` individually-timed runs (after 3 warmups). A median, not
 /// a mean: per-run times in the tens of microseconds are easily wrecked by
@@ -432,5 +441,128 @@ fn main() {
     println!("Expected shape: the plain leg rebuilds and deep-compares an O(depth) trace at");
     println!("every spine level (O(depth²) per wave); once the toggle script's values have");
     println!("been seen, the interned leg serves each level from the memo cache and decides");
-    println!("the cutoff by identity, so its replay time grows linearly with depth.");
+    println!("the cutoff by identity, so its replay time grows linearly with depth.\n");
+
+    // ---- Part 5: checkpointed batch — the crash-consistency tax. -------
+    println!("Checkpoint: guarded batch vs checkpointed batch (journal overhead)\n");
+    let ckpt_headers = [
+        "AG",
+        "trees",
+        "threads",
+        "guarded",
+        "checkpointed",
+        "overhead",
+        "journal",
+    ];
+    let mut ckpt_rows = Vec::new();
+    let vfs = fnc2::vfs::RealVfs;
+    // A RAM-backed journal when the platform has one: the gated overhead
+    // column measures the driver's structural cost (digests, journaling,
+    // compaction), not the device's fsync latency — which on a loaded VM
+    // swings by an order of magnitude run to run. The real-disk per-batch
+    // constant (two fsynced writes) is reported in EXPERIMENTS.md instead.
+    let shm = std::path::Path::new("/dev/shm");
+    let journal_dir = if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    let journal = journal_dir.join(format!(
+        "fnc2-bench-checkpoint-{}.journal",
+        std::process::id()
+    ));
+    for profile in [&TABLE1_PROFILES[0], &TABLE1_PROFILES[6]] {
+        let g = synthetic(profile);
+        let compiled = Pipeline::new()
+            .compile(g)
+            .expect("synthetic corpus compiles");
+        let ev = Evaluator::new(&compiled.grammar, &compiled.seqs);
+        let trees: Vec<_> = (0..batch_size)
+            .map(|t| synthetic_tree(&compiled.grammar, profile, 400, profile.seed ^ t as u64))
+            .collect();
+        let inputs = RootInputs::new();
+        let threads = 4;
+        let fingerprint = 0xbe9c_0000 ^ profile.seed;
+
+        // Differential guard: the journaled leg must classify every tree
+        // exactly like the plain guarded leg — same class, same digest.
+        let guarded = batch_evaluate_guarded(&ev, &trees, &inputs, threads, &budget, 0, None);
+        let mut ckpt =
+            Checkpoint::create(&vfs, &journal, fingerprint).expect("bench journal creates");
+        let report = batch_evaluate_checkpointed(
+            &ev, &trees, &inputs, threads, &budget, 0, None, 0, &vfs, &mut ckpt, 0,
+        )
+        .expect("checkpointed batch runs");
+        assert_eq!(report.records.len(), trees.len(), "batch lost trees");
+        assert_eq!(report.resumed, 0, "fresh journal resumed records");
+        for (i, record) in report.records.iter().enumerate() {
+            assert_eq!(
+                record.digest,
+                outcome_digest(&guarded.outcomes[i]),
+                "{}: tree {i} diverges between guarded and checkpointed legs",
+                profile.name
+            );
+        }
+        let journal_bytes = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+
+        // Paired rounds, median-of-ratios: each round times the guarded and
+        // the checkpointed leg back to back, so slow drift cancels inside a
+        // round and a single scheduler-preempted round cannot move the
+        // (gated) overhead cell past the median. The checkpointed leg
+        // recreates the journal each round — a journaled tree is never
+        // re-evaluated, so resuming a finished journal would measure
+        // nothing. Create + appends + compaction are the overhead.
+        let rounds = 7;
+        let mut t_guards = Vec::with_capacity(rounds);
+        let mut t_ckpts = Vec::with_capacity(rounds);
+        let mut ratios = Vec::with_capacity(rounds);
+        for round in 0..rounds + 2 {
+            let t0 = Instant::now();
+            std::hint::black_box(batch_evaluate_guarded(
+                &ev, &trees, &inputs, threads, &budget, 0, None,
+            ));
+            let g = t0.elapsed();
+            let t0 = Instant::now();
+            let mut ckpt =
+                Checkpoint::create(&vfs, &journal, fingerprint).expect("bench journal creates");
+            std::hint::black_box(
+                batch_evaluate_checkpointed(
+                    &ev, &trees, &inputs, threads, &budget, 0, None, 0, &vfs, &mut ckpt, 0,
+                )
+                .expect("checkpointed batch runs"),
+            );
+            let c = t0.elapsed();
+            if round < 2 {
+                continue; // warmup
+            }
+            t_guards.push(g);
+            t_ckpts.push(c);
+            ratios.push(c.as_secs_f64() / g.as_secs_f64());
+        }
+        t_guards.sort();
+        t_ckpts.sort();
+        ratios.sort_by(f64::total_cmp);
+        let t_guard = t_guards[rounds / 2];
+        let t_ckpt = t_ckpts[rounds / 2];
+        let ratio = ratios[rounds / 2];
+        ckpt_rows.push(vec![
+            profile.name.to_string(),
+            batch_size.to_string(),
+            threads.to_string(),
+            format!("{:.2}ms", t_guard.as_secs_f64() * 1e3),
+            format!("{:.2}ms", t_ckpt.as_secs_f64() * 1e3),
+            format!("{:+.1}%", (ratio - 1.0) * 100.0),
+            format!("{journal_bytes} B"),
+        ]);
+    }
+    let _ = std::fs::remove_file(&journal);
+    println!("{}", render_table(&ckpt_headers, &ckpt_rows));
+    if let Some(p) = maybe_emit_json("checkpoint", &ckpt_headers, &ckpt_rows) {
+        println!("wrote {}", p.display());
+    }
+    println!("Expected shape: the journal buffers 25-byte checksummed records and appends");
+    println!("them in unsynced groups, compacting once at completion. The gap between the");
+    println!("columns prices crash consistency: per-tree outcome digests (a few percent of");
+    println!("evaluation, dominated by re-walking the decoration) plus a small per-batch");
+    println!("constant — never a per-tree fsync.");
 }

@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 use fnc2_obs::{Key, Obs, Recorder as _};
 use fnc2_space::ObjectIndex;
 use fnc2_tables::fingerprint_source;
+pub use fnc2_tables::store::{GcReport, TableStore};
 pub use fnc2_tables::{ArtifactError, Tables, TablesConfig};
+use fnc2_vfs::{RealVfs, Vfs};
 
 use crate::{olga_front_end_recorded, Compiled, PhaseTimes, Pipeline, PipelineError, Report};
 
@@ -208,11 +210,9 @@ pub fn cache_path(dir: &Path, fingerprint: u64) -> PathBuf {
 /// Compiles OLGA source through an on-disk artifact cache: on a hit the
 /// Figure-3 cascade is skipped entirely; on a miss (or a rejected stale /
 /// corrupt artifact) the source is compiled in full and the artifact
-/// (re)written. Cache consultation bumps exactly one of the
-/// `tables.cache_hit` / `tables.cache_miss` / `tables.cache_rejected`
-/// counters. Cache writes are best-effort and atomic (write to a
-/// temporary file, then rename): an unwritable cache directory never
-/// fails the compilation.
+/// (re)written. All disk traffic goes through [`RealVfs`]; see
+/// [`compile_olga_cached_vfs`] for the injectable-backend variant the
+/// crash harness drives.
 ///
 /// # Errors
 ///
@@ -225,18 +225,52 @@ pub fn compile_olga_cached(
     cache_dir: &Path,
     obs: &mut Obs,
 ) -> Result<(Compiled, CacheOutcome), PipelineError> {
+    compile_olga_cached_vfs(pipeline, source, cache_dir, &RealVfs, obs)
+}
+
+/// [`compile_olga_cached`] over an explicit [`Vfs`] backend.
+///
+/// Cache consultation bumps exactly one of the `tables.cache_hit` /
+/// `tables.cache_miss` / `tables.cache_rejected` counters. Crash
+/// consistency:
+///
+/// - orphaned temp files from earlier crashed writers are swept before
+///   the cache is consulted (counted under `tables.temps_swept`);
+/// - a rejected artifact is moved to the `quarantine/` subdirectory —
+///   tagged with the rejection class, counted under `tables.quarantined`
+///   — instead of being silently overwritten, so the evidence survives;
+/// - cache writes are best-effort and atomic (temp file + rename): a
+///   full, faulty or unwritable cache directory never fails the
+///   compilation.
+pub fn compile_olga_cached_vfs(
+    pipeline: &Pipeline,
+    source: &str,
+    cache_dir: &Path,
+    vfs: &dyn Vfs,
+    obs: &mut Obs,
+) -> Result<(Compiled, CacheOutcome), PipelineError> {
     let fingerprint = fingerprint_source(source, &pipeline.tables_config());
-    let path = cache_path(cache_dir, fingerprint);
-    let outcome = match std::fs::read(&path) {
-        Ok(bytes) => match load_tables_recorded(&bytes, source, pipeline, obs) {
+    let store = TableStore::new(cache_dir, vfs);
+    if let Ok(swept @ 1..) = store.sweep_temps() {
+        obs.count(Key::TablesTempsSwept, swept as u64);
+    }
+    let outcome = match store.load(fingerprint) {
+        Ok(Some(bytes)) => match load_tables_recorded(&bytes, source, pipeline, obs) {
             Ok(compiled) => {
                 obs.count(Key::TablesCacheHit, 1);
                 return Ok((compiled, CacheOutcome::Hit));
             }
             Err(TablesError::Source(e)) => return Err(*e),
-            Err(TablesError::Rejected(e)) => CacheOutcome::Rejected(e),
+            Err(TablesError::Rejected(e)) => {
+                if let Ok(Some(_)) = store.quarantine(fingerprint, e.tag()) {
+                    obs.count(Key::TablesQuarantined, 1);
+                }
+                CacheOutcome::Rejected(e)
+            }
         },
-        Err(_) => CacheOutcome::Miss,
+        // A clean miss — or a cache directory too faulty to read, which
+        // is the same thing to the compiler.
+        Ok(None) | Err(_) => CacheOutcome::Miss,
     };
     match outcome {
         CacheOutcome::Rejected(_) => obs.count(Key::TablesCacheRejected, 1),
@@ -244,21 +278,8 @@ pub fn compile_olga_cached(
     }
     let compiled = pipeline.compile_olga_recorded(source, obs)?;
     let bytes = emit_tables(&compiled, pipeline, source);
-    write_cache(&path, &bytes);
+    let _ = store.store(fingerprint, &bytes);
     Ok((compiled, outcome))
-}
-
-/// Best-effort atomic cache write: a concurrent reader sees either the
-/// old artifact or the new one, never a torn file.
-fn write_cache(path: &Path, bytes: &[u8]) {
-    let Some(dir) = path.parent() else { return };
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
 }
 
 #[cfg(test)]
@@ -358,9 +379,56 @@ mod tests {
         let (_, outcome) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
         assert!(matches!(outcome, CacheOutcome::Rejected(_)), "{outcome:?}");
         assert_eq!(obs.metrics.counter("tables.cache_rejected"), 1);
-        // The artifact was rewritten; the next consultation hits.
+        // The corrupt artifact went to quarantine, tagged with the
+        // rejection class, and a fresh one was written in its place.
+        assert_eq!(obs.metrics.counter("tables.quarantined"), 1);
+        let store = TableStore::new(&dir, &RealVfs);
+        let quarantined = store.quarantined().unwrap();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(std::fs::read(&quarantined[0]).unwrap(), bytes);
         let (_, third) = compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
         assert!(matches!(third, CacheOutcome::Hit), "{third:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_writer_temp_is_swept_on_consultation() {
+        let pipeline = Pipeline::new();
+        let dir = std::env::temp_dir().join(format!("fnc2-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stranded = dir.join("fnc2-0000000000000001.tbl.tmp-999-0");
+        std::fs::write(&stranded, b"half an artifact").unwrap();
+        let mut obs = Obs::new();
+        compile_olga_cached(&pipeline, COUNT, &dir, &mut obs).unwrap();
+        assert!(!stranded.exists(), "orphaned temp survived the sweep");
+        assert_eq!(obs.metrics.counter("tables.temps_swept"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_cache_never_fails_compilation() {
+        use fnc2_vfs::{FaultVfs, IoFaultKind, IoFaultPlan, PlannedIoFault};
+        let pipeline = Pipeline::new();
+        let dir = std::env::temp_dir().join(format!("fnc2-cache-faulty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A permanently full disk: every write fails from op 0 on.
+        let vfs = FaultVfs::new(IoFaultPlan::with_faults(vec![PlannedIoFault {
+            nth: 0,
+            kind: IoFaultKind::NoSpace,
+            transient: false,
+        }]));
+        let mut obs = Obs::new();
+        let (compiled, outcome) =
+            compile_olga_cached_vfs(&pipeline, COUNT, &dir, &vfs, &mut obs).unwrap();
+        assert!(matches!(outcome, CacheOutcome::Miss), "{outcome:?}");
+        let tree = crate::smoke_tree(&compiled.grammar).unwrap();
+        compiled.evaluate(&tree, &Default::default()).unwrap();
+        // Nothing but (possibly) an empty directory was left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.map(|e| e.unwrap().path()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftovers: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

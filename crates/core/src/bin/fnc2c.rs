@@ -11,11 +11,13 @@
 //! fnc2c profile <file.olga>       # ranked per-(production, rule) cost profile
 //! fnc2c explain <attr@node> <file.olga>
 //!                                 # dynamic dependency slice of one instance
-//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]
+//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--crash N] [--no-shrink]
 //!                                 # differential fuzzing oracle (no input file)
 //! fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N]
 //!             [--repeat N] [--retries N] [--fault-seed N] [--metrics]
+//!             [--checkpoint FILE [--resume]] [--backoff-ms N]
 //!                                 # parallel batch evaluation over synthetic AGs
+//! fnc2c cache-gc <dir>            # sweep orphaned temps + quarantined artifacts
 //! ```
 //!
 //! Instrumentation flags (any command that runs the generator):
@@ -54,8 +56,8 @@
 //! |------|---------|
 //! | 0    | success |
 //! | 1    | diagnostics: bad usage, front-end/class errors, fuzz findings |
-//! | 2    | a budget was exceeded or an injected fault surfaced |
-//! | 101  | never — panics are caught and classified, not propagated |
+//! | 2    | a budget was exceeded, an injected fault surfaced, or a storage fault was classified |
+//! | 101  | never — panics and I/O errors are caught and classified, not propagated |
 //!
 //! With flags but no command, `report` is assumed, so
 //! `fnc2c --report json grammar.olga` emits the single-document JSON
@@ -67,6 +69,7 @@ use std::process::ExitCode;
 
 use fnc2::guard::{Deadline, EvalBudget};
 use fnc2::obs::Obs;
+use fnc2::vfs::Vfs as _;
 use fnc2::{GrammarResolver, Pipeline, PipelineError};
 
 /// Exit code for ordinary diagnostics (usage, front-end, class errors).
@@ -104,10 +107,12 @@ fn usage() -> String {
      \u{20}      fnc2c explain [--trace=N] [--report json|text] \
      [--tables FILE | --cache-dir DIR] [--no-intern] <[Phylum.]attr@node> \
      <file.olga | ->\n\
-     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--no-shrink]\n\
+     \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--crash N] \
+     [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
      [--repeat N] [--retries N] [--fault-seed N] [--metrics] [--chrome-trace FILE] \
-     [--no-intern] [budget flags]\n\
+     [--no-intern] [--checkpoint FILE [--resume]] [--backoff-ms N] [budget flags]\n\
+     \u{20}      fnc2c cache-gc <dir>\n\
      budget flags: --max-steps N --max-depth N --max-value-bytes N --deadline-ms N"
         .to_string()
 }
@@ -151,6 +156,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("explain") {
         return run_explain(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("cache-gc") {
+        return run_cache_gc(&args[1..]);
     }
     let mut opts = Opts::default();
     let mut positional: Vec<String> = Vec::new();
@@ -277,11 +285,55 @@ fn read_source(path: &str) -> Result<String, CliError> {
     }
 }
 
+/// Maps a classified storage fault onto the budget/fault exit code: the
+/// output path was valid, the work was done, and the disk failed — that
+/// is an environmental fault, not a usage diagnostic, and it must never
+/// surface as a panic.
+fn storage_fault(e: fnc2::vfs::VfsError) -> CliError {
+    (format!("fnc2c: {e}"), EXIT_BUDGET)
+}
+
+/// Writes `bytes` to `path` through the storage layer, classifying any
+/// fault (full disk, failed rename, interrupted write) as exit code 2.
+fn write_artifact(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    fnc2::vfs::RealVfs
+        .write(std::path::Path::new(path), bytes)
+        .map_err(storage_fault)
+}
+
 /// Writes the Chrome trace-event JSON collected in `obs` to `path`
 /// (load the file in Perfetto / `chrome://tracing`).
 fn write_chrome_trace(path: &str, obs: &Obs) -> Result<(), CliError> {
-    std::fs::write(path, format!("{}\n", obs.chrome_trace()))
-        .map_err(|e| diag(format!("fnc2c: cannot write {path}: {e}")))
+    write_artifact(path, format!("{}\n", obs.chrome_trace()).as_bytes())
+}
+
+/// The `cache-gc` subcommand: sweeps orphaned temp files left by crashed
+/// writers and deletes quarantined artifacts under the given cache
+/// directory. Storage faults during the sweep exit with the fault code.
+fn run_cache_gc(args: &[String]) -> ExitCode {
+    let [dir] = args else {
+        eprintln!(
+            "fnc2c: cache-gc takes exactly one cache directory\n{}",
+            usage()
+        );
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    };
+    let vfs = fnc2::vfs::RealVfs;
+    let store = fnc2::artifact::TableStore::new(std::path::Path::new(dir.as_str()), &vfs);
+    match store.gc() {
+        Ok(report) => {
+            println!(
+                "cache-gc: {dir}: removed {} orphaned temp file(s), {} quarantined artifact(s)",
+                report.temps_removed, report.quarantined_removed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            let (msg, code) = storage_fault(e);
+            eprintln!("{msg}");
+            ExitCode::from(code)
+        }
+    }
 }
 
 fn run(cmd: &str, source: &str, opts: Opts) -> Result<String, CliError> {
@@ -441,8 +493,7 @@ fn run_cmd(cmd: &str, source: &str, opts: &Opts, obs: &mut Obs) -> Result<String
                 .expect("validated by validate_tables_flags");
             let pipeline = pipeline(opts.no_intern);
             let bytes = fnc2::artifact::emit_tables(&compiled, &pipeline, source);
-            std::fs::write(out_path, &bytes)
-                .map_err(|e| diag(format!("fnc2c: cannot write {out_path}: {e}")))?;
+            write_artifact(out_path, &bytes)?;
             let fp = fnc2::tables::fingerprint_source(source, &pipeline.tables_config());
             Ok(format!(
                 "wrote compiled tables to {out_path}: {} bytes, fingerprint {fp:016x}, class {}\n",
@@ -830,6 +881,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             "--cases" => numeric("--cases").map(|n| cfg.grammar_cases = n),
             "--front" => numeric("--front").map(|n| cfg.front_cases = n),
             "--fault" => numeric("--fault").map(|n| cfg.fault_cases = n),
+            "--crash" => numeric("--crash").map(|n| cfg.crash_cases = n),
             "--no-shrink" => {
                 cfg.shrink = false;
                 Ok(())
@@ -847,7 +899,8 @@ fn run_fuzz(args: &[String]) -> ExitCode {
     println!(
         "fuzz: seed {}: {} grammar cases ({} tree nodes, {} edits), \
          {} front-end cases ({} accepted, {} rejected), \
-         {} fault cases ({} faults injected, {} panics caught)",
+         {} fault cases ({} faults injected, {} panics caught), \
+         {} crash cases ({} storage faults, {} records resumed)",
         cfg.seed,
         report.grammar_cases,
         report.nodes,
@@ -857,11 +910,14 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         report.front_rejected,
         report.fault_cases,
         report.faults_injected,
-        report.panics_caught
+        report.panics_caught,
+        report.crash_cases,
+        report.io_faults,
+        report.crash_resumed
     );
     match report.failure {
         None => {
-            println!("fuzz: no divergence, no panic, no fault escape");
+            println!("fuzz: no divergence, no panic, no fault escape, no crash inconsistency");
             ExitCode::SUCCESS
         }
         Some(fnc2::fuzz::FuzzFailure::Divergence(d)) => {
@@ -881,7 +937,45 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             eprintln!("fuzz: FAULT-ISOLATION VIOLATION: {f}");
             ExitCode::from(EXIT_BUDGET)
         }
+        Some(fnc2::fuzz::FuzzFailure::Crash(f)) => {
+            eprintln!("fuzz: CRASH-CONSISTENCY VIOLATION: {f}");
+            ExitCode::from(EXIT_BUDGET)
+        }
     }
+}
+
+/// FNV-1a over everything that determines a batch's work-list and
+/// outcomes. The checkpoint journal is bound to this, so `--resume`
+/// against a different seed, shape, fault plan, interning mode, or
+/// budget is rejected instead of silently skipping the wrong trees.
+fn batch_fingerprint(
+    seed: u64,
+    grammars: u64,
+    trees: usize,
+    fault_seed: Option<u64>,
+    no_intern: bool,
+    budget: &EvalBudget,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in [
+        b"fnc2c-batch-v1".as_slice(),
+        &seed.to_le_bytes(),
+        &grammars.to_le_bytes(),
+        &(trees as u64).to_le_bytes(),
+        &[u8::from(fault_seed.is_some())],
+        &fault_seed.unwrap_or(0).to_le_bytes(),
+        &[u8::from(no_intern)],
+        &budget.max_steps.to_le_bytes(),
+        &(budget.max_depth as u64).to_le_bytes(),
+        &budget.max_value_cells.to_le_bytes(),
+        &[u8::from(budget.deadline.is_some())],
+    ] {
+        for &b in chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// The `batch` subcommand: generates synthetic SNC grammars (the fuzz
@@ -904,6 +998,9 @@ fn run_batch(args: &[String]) -> ExitCode {
     let mut metrics = false;
     let mut no_intern = false;
     let mut chrome_trace: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut backoff_ms = 0u64;
     let mut budget = EvalBudget::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -938,6 +1035,21 @@ fn run_batch(args: &[String]) -> ExitCode {
                     usage()
                 )),
             },
+            "--checkpoint" => match it.next() {
+                Some(path) => {
+                    checkpoint = Some(path.clone());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fnc2c: --checkpoint takes a file path\n{}",
+                    usage()
+                )),
+            },
+            "--resume" => {
+                resume = true;
+                Ok(())
+            }
+            "--backoff-ms" => numeric("--backoff-ms").map(|n| backoff_ms = n),
             flag @ ("--max-steps" | "--max-depth" | "--max-value-bytes" | "--deadline-ms") => {
                 let value = it.next().cloned();
                 match apply_budget_flag(flag, value.as_deref(), &mut budget) {
@@ -952,6 +1064,58 @@ fn run_batch(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     }
+
+    if resume && checkpoint.is_none() {
+        eprintln!("fnc2c: --resume requires --checkpoint FILE\n{}", usage());
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
+    if checkpoint.is_some() && repeat > 1 {
+        eprintln!(
+            "fnc2c: --checkpoint conflicts with --repeat (a journaled tree is never re-run, \
+             so repeated passes would measure nothing)\n{}",
+            usage()
+        );
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
+
+    let vfs = fnc2::vfs::RealVfs;
+    // The journal is bound to everything that determines the batch's
+    // work-list, so a resume against a different configuration is a
+    // crisp fingerprint-mismatch diagnostic instead of silent skips.
+    let batch_fp = batch_fingerprint(seed, grammars, trees, fault_seed, no_intern, &budget);
+    let mut ckpt = match &checkpoint {
+        None => None,
+        Some(path) => {
+            let p = std::path::Path::new(path);
+            let opened = if resume && vfs.exists(p) {
+                fnc2::par::Checkpoint::open(&vfs, p, batch_fp).map(|(c, info)| {
+                    println!(
+                        "batch: checkpoint {path}: resumed {} record(s){}",
+                        info.resumed,
+                        if info.compacted {
+                            format!(" (dropped {} torn byte(s))", info.torn_bytes)
+                        } else {
+                            String::new()
+                        }
+                    );
+                    c
+                })
+            } else {
+                fnc2::par::Checkpoint::create(&vfs, p, batch_fp)
+            };
+            match opened {
+                Ok(c) => Some(c),
+                Err(fnc2::par::CkptError::Io(e)) => {
+                    eprintln!("fnc2c: {e}");
+                    return ExitCode::from(EXIT_BUDGET);
+                }
+                Err(e) => {
+                    eprintln!("fnc2c: checkpoint {path}: {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            }
+        }
+    };
 
     let mut obs = Obs::new();
     if chrome_trace.is_some() {
@@ -992,6 +1156,75 @@ fn run_batch(args: &[String]) -> ExitCode {
         let plan = fault_seed.map(|fs| fnc2::guard::FaultPlan::from_seed(fs ^ gi, batch.len()));
         let inputs = fnc2::visit::RootInputs::new();
         let start = std::time::Instant::now();
+        if let Some(ckpt) = ckpt.as_mut() {
+            // Checkpointed leg: every terminal outcome is journaled as it
+            // lands; trees already in the journal are not re-evaluated.
+            let index_base = gi * trees as u64;
+            let report = match fnc2::par::batch_evaluate_checkpointed_recorded(
+                &ev,
+                &batch,
+                &inputs,
+                threads,
+                &budget,
+                retries,
+                plan.as_ref(),
+                backoff_ms,
+                &vfs,
+                ckpt,
+                index_base,
+                &mut obs,
+            ) {
+                Ok(r) => r,
+                Err(fnc2::par::CkptError::Io(e)) => {
+                    eprintln!("fnc2c: {e}");
+                    return ExitCode::from(EXIT_BUDGET);
+                }
+                Err(e) => {
+                    eprintln!("fnc2c: checkpoint: {e}");
+                    return ExitCode::from(EXIT_DIAGNOSTICS);
+                }
+            };
+            let dt = start.elapsed().as_secs_f64();
+            let n = trees as u64;
+            let (ok, failed, panicked, budget_trips) = report.counts();
+            println!(
+                "batch: grammar {gi}: {n} trees in {:.2}ms ({:.0} trees/s, {} steals, \
+                 {} resumed); outcomes: {ok} ok, {failed} failed, {panicked} panicked, \
+                 {budget_trips} budget-exceeded; {} retries, {} panics caught",
+                dt * 1e3,
+                n as f64 / dt.max(1e-9),
+                report.stats.steals,
+                report.resumed,
+                report.retries,
+                report.panics_caught
+            );
+            // The per-tree classification is printed from the journal
+            // records, so the lines are bit-identical between an
+            // uninterrupted run and any kill -> resume sequence.
+            for r in &report.records {
+                if r.outcome != fnc2::par::CkptOutcome::Ok {
+                    println!(
+                        "batch: grammar {gi} tree {}: {} (digest {:016x})",
+                        r.index - index_base,
+                        r.outcome,
+                        r.digest
+                    );
+                }
+            }
+            for (i, o) in report.fresh.iter().enumerate() {
+                let Some(o) = o else { continue };
+                if let Some(e) = o.error() {
+                    eprintln!("fnc2c: batch grammar {gi} tree {i}: {e}");
+                } else if let Some(m) = o.panic_message() {
+                    eprintln!("fnc2c: batch grammar {gi} tree {i}: panicked: {m}");
+                }
+            }
+            any_lost |= ok != report.records.len();
+            total_trees += n;
+            total_steals += report.stats.steals;
+            total_secs += dt;
+            continue;
+        }
         let mut steals = 0u64;
         let mut last_report = None;
         for _ in 0..repeat {

@@ -66,6 +66,7 @@ pub use fnc2_space as space;
 pub use fnc2_syntax as syntax;
 pub use fnc2_tables as tables;
 pub use fnc2_tools as tools;
+pub use fnc2_vfs as vfs;
 pub use fnc2_visit as visit;
 
 pub mod artifact;

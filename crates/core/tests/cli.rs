@@ -258,3 +258,249 @@ fn stale_tables_artifact_falls_back_with_warning() {
     assert!(err.contains("ignoring tables artifact"), "{err}");
     let _ = std::fs::remove_file(&tbl);
 }
+
+/// The per-index classification lines a checkpointed batch prints on
+/// stdout: `batch: grammar G tree T: <class> (digest ...)`.
+fn classification_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.starts_with("batch: grammar") && l.contains(" tree "))
+        .map(str::to_string)
+        .collect()
+}
+
+/// One batch can mix all four outcome classes; the per-index
+/// classification is deterministic across runs and the process exits
+/// with the budget/fault code — the batch is degraded, never aborted.
+#[test]
+fn batch_mixed_outcomes_are_classified_deterministically() {
+    let dir = std::env::temp_dir().join(format!("fnc2-cli-mixed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch_args = |ckpt: &str| {
+        vec![
+            "batch".to_string(),
+            "--seed".into(),
+            "2".into(),
+            "--grammars".into(),
+            "4".into(),
+            "--trees".into(),
+            "8".into(),
+            "--threads".into(),
+            "2".into(),
+            "--fault-seed".into(),
+            "8".into(),
+            "--max-steps".into(),
+            "3000".into(),
+            "--checkpoint".into(),
+            dir.join(ckpt).to_str().unwrap().to_string(),
+        ]
+    };
+    let a = fnc2c().args(batch_args("a.ckpt")).output().unwrap();
+    let b = fnc2c().args(batch_args("b.ckpt")).output().unwrap();
+    // Lost trees map to the budget/fault exit code, not a panic abort.
+    assert_eq!(a.status.code(), Some(2), "{a:?}");
+    assert_eq!(b.status.code(), Some(2));
+
+    let lines = classification_lines(&a.stdout);
+    for class in ["failed", "panicked", "budget-exceeded"] {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("{class} (digest"))),
+            "expected a {class} tree in {lines:?}"
+        );
+    }
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains(" ok, "), "some trees must survive: {text}");
+    // Same seed, same faults, fresh journal: bit-identical classification.
+    assert_eq!(lines, classification_lines(&b.stdout));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming a completed journal re-evaluates nothing and reproduces the
+/// per-index classification (and digests) bit-identically.
+#[test]
+fn batch_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("fnc2-cli-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("j.ckpt");
+    let args = |resume: bool| {
+        let mut v = vec![
+            "batch".to_string(),
+            "--seed".into(),
+            "2".into(),
+            "--grammars".into(),
+            "2".into(),
+            "--trees".into(),
+            "8".into(),
+            "--threads".into(),
+            "2".into(),
+            "--fault-seed".into(),
+            "8".into(),
+            "--max-steps".into(),
+            "3000".into(),
+            "--checkpoint".into(),
+            ckpt.to_str().unwrap().to_string(),
+        ];
+        if resume {
+            v.push("--resume".into());
+        }
+        v
+    };
+    let full = fnc2c().args(args(false)).output().unwrap();
+    let resumed = fnc2c().args(args(true)).output().unwrap();
+    assert_eq!(full.status.code(), resumed.status.code());
+    assert_eq!(
+        classification_lines(&full.stdout),
+        classification_lines(&resumed.stdout)
+    );
+    let text = String::from_utf8_lossy(&resumed.stdout);
+    assert!(text.contains("resumed 16 record(s)"), "{text}");
+    assert!(text.contains("8 resumed"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_checkpoint_flag_conflicts_are_diagnostics() {
+    let out = fnc2c().args(["batch", "--resume"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume requires --checkpoint"));
+
+    let out = fnc2c()
+        .args(["batch", "--checkpoint", "x.ckpt", "--repeat", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint conflicts with --repeat"));
+}
+
+/// Resuming against a different batch configuration is a crisp
+/// fingerprint diagnostic, not a silent skip of the wrong trees.
+#[test]
+fn batch_resume_config_mismatch_is_a_diagnostic() {
+    let dir = std::env::temp_dir().join(format!("fnc2-cli-mismatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("j.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let out = fnc2c()
+        .args([
+            "batch",
+            "--seed",
+            "1",
+            "--grammars",
+            "1",
+            "--trees",
+            "4",
+            "--checkpoint",
+            ckpt,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = fnc2c()
+        .args([
+            "batch",
+            "--seed",
+            "9",
+            "--grammars",
+            "1",
+            "--trees",
+            "4",
+            "--checkpoint",
+            ckpt,
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fingerprint"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: every write-path storage fault is a classified
+/// exit-2 error — never an unwrap panic (exit 101). The fault here is
+/// real, not injected: the destination parent is a regular file, so
+/// every create under it fails with ENOTDIR.
+#[test]
+fn storage_faults_exit_classified_never_panic() {
+    let dir = std::env::temp_dir().join(format!("fnc2-cli-enotdir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"a regular file, not a directory").unwrap();
+    let under = |name: &str| blocker.join(name).to_str().unwrap().to_string();
+
+    // compile --emit-tables into a path under a regular file.
+    let out = run_with_stdin(&["compile", "--emit-tables", &under("x.tbl"), "-"], COUNT);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("storage fault"),
+        "{out:?}"
+    );
+
+    // --chrome-trace into a path under a regular file.
+    let out = run_with_stdin(&["report", "--chrome-trace", &under("t.json"), "-"], COUNT);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("storage fault"),
+        "{out:?}"
+    );
+
+    // batch --checkpoint into a path under a regular file.
+    let out = fnc2c()
+        .args([
+            "batch",
+            "--grammars",
+            "1",
+            "--trees",
+            "2",
+            "--checkpoint",
+            &under("j.ckpt"),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("storage fault"),
+        "{out:?}"
+    );
+
+    // cache-gc over a "directory" that is a file.
+    let out = fnc2c()
+        .args(["cache-gc", blocker.join("cache").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("storage fault"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `cache-gc` sweeps crashed writers' temp files and deletes quarantined
+/// artifacts, leaving a clean cache directory.
+#[test]
+fn cache_gc_sweeps_temps_and_quarantine() {
+    let dir = std::env::temp_dir().join(format!("fnc2-cli-gc-{}", std::process::id()));
+    let qdir = dir.join("quarantine");
+    std::fs::create_dir_all(&qdir).unwrap();
+    std::fs::write(dir.join("fnc2-0000000000000001.tbl.tmp-999-0"), b"torn").unwrap();
+    std::fs::write(qdir.join("fnc2-0000000000000002.corrupt.tbl"), b"bad").unwrap();
+    std::fs::write(dir.join("fnc2-0000000000000003.tbl"), b"keep me").unwrap();
+
+    let out = fnc2c()
+        .args(["cache-gc", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("removed 1 orphaned temp file(s), 1 quarantined artifact(s)"),
+        "{text}"
+    );
+    // The live artifact survives; the junk is gone.
+    assert!(dir.join("fnc2-0000000000000003.tbl").exists());
+    assert!(!dir.join("fnc2-0000000000000001.tbl.tmp-999-0").exists());
+    assert!(!qdir.join("fnc2-0000000000000002.corrupt.tbl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,365 @@
+//! The crash-recovery oracle stage: injected storage faults over the
+//! crash-consistent storage layer.
+//!
+//! Each case derives a deterministic
+//! [`IoFaultPlan`](fnc2_vfs::IoFaultPlan) from its seed and crashes one
+//! of the two durable write paths mid-flight:
+//!
+//! * **artifact publication** ([`TableStore::store`]) — torn/short
+//!   writes, ENOSPC, EINTR, failed renames, and power cuts against the
+//!   temp-file + rename protocol;
+//! * **checkpointed batch evaluation**
+//!   ([`fnc2_par::batch_evaluate_checkpointed`]) — the same faults
+//!   against the append-only journal, with a mixed-outcome
+//!   [`FaultPlan`] poisoning some trees so there is real state worth
+//!   journaling.
+//!
+//! After the crash the case *recovers* over a healthy backend and
+//! asserts the storage contract:
+//!
+//! 1. a published artifact is **complete or absent** — a bit-different
+//!    artifact under its fingerprint name is a violation;
+//! 2. a crashed batch, resumed, produces records **bit-identical** to an
+//!    uninterrupted run (outcome classes *and* value digests);
+//! 3. recovery leaves **zero stray files** — no orphaned temps, no
+//!    leftover journal copies;
+//! 4. every storage fault surfaces as a classified error, never a panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fnc2_analysis::{classify, Inclusion};
+use fnc2_guard::{EvalBudget, FaultPlan};
+use fnc2_par::{batch_evaluate_checkpointed, Checkpoint, CkptError};
+use fnc2_tables::store::TableStore;
+use fnc2_vfs::{FaultVfs, RealVfs, Vfs};
+use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
+
+use crate::gen::{build_grammar_pair, build_tree, CaseParams};
+use crate::oracle::panic_message;
+
+/// Trees per checkpointed-batch crash case.
+const BATCH: usize = 6;
+
+/// Distinct scratch directories across cases and runs.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A violation of the crash-consistency contract on one case.
+#[derive(Clone, Debug)]
+pub struct CrashFailure {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Case index (reproduces the fault plan and workload).
+    pub case: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crash case (seed {}, case {}): {}",
+            self.seed, self.case, self.detail
+        )
+    }
+}
+
+/// Size counters of one passing crash case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrashStats {
+    /// Storage faults the plan actually injected.
+    pub io_faults: u64,
+    /// Journal records recovered by the post-crash resume.
+    pub resumed: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh scratch directory unique to this case and process.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "fnc2-fuzz-crash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// Runs one crash-recovery case. The whole case runs under
+/// `catch_unwind`, so "a storage fault escaped as a panic" is reported
+/// as a [`CrashFailure`], never as a harness abort.
+pub fn run_crash_case(seed: u64, case: u64) -> Result<CrashStats, CrashFailure> {
+    let fail = |detail: String| CrashFailure { seed, case, detail };
+    match catch_unwind(AssertUnwindSafe(|| run_crash_case_inner(seed, case))) {
+        Ok(r) => r,
+        Err(payload) => Err(fail(format!(
+            "case escaped the storage layer as a panic: {}",
+            panic_message(&payload)
+        ))),
+    }
+}
+
+fn run_crash_case_inner(seed: u64, case: u64) -> Result<CrashStats, CrashFailure> {
+    let fault_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case ^ 0xc4a5_4e51;
+    // Alternate between the two durable write paths.
+    if case.is_multiple_of(2) {
+        run_store_crash(seed, case, fault_seed)
+    } else {
+        run_checkpoint_crash(seed, case, fault_seed)
+    }
+}
+
+/// Asserts `dir` contains exactly `keep` (sorted) after recovery — in
+/// particular no `*.tmp-*` stragglers from the crashed writer.
+fn assert_clean_dir(
+    dir: &Path,
+    keep: &[PathBuf],
+    fail: &dyn Fn(String) -> CrashFailure,
+) -> Result<(), CrashFailure> {
+    let entries = RealVfs
+        .read_dir(dir)
+        .map_err(|e| fail(format!("listing recovered dir failed: {e}")))?;
+    if entries != keep {
+        return Err(fail(format!(
+            "recovery left stray files: found {entries:?}, expected {keep:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Crash point family A: artifact publication through [`TableStore`].
+fn run_store_crash(seed: u64, case: u64, fault_seed: u64) -> Result<CrashStats, CrashFailure> {
+    let fail = |detail: String| CrashFailure { seed, case, detail };
+    let dir = scratch_dir("store");
+
+    // A deterministic artifact blob (content is irrelevant to the
+    // protocol; bit-identity after recovery is what matters).
+    let mut st = fault_seed;
+    let len = 64 + (splitmix(&mut st) % 192) as usize;
+    let bytes: Vec<u8> = (0..len).map(|_| splitmix(&mut st) as u8).collect();
+    let fingerprint = splitmix(&mut st) | 1;
+
+    let faulty = FaultVfs::from_seed(fault_seed);
+    let store = TableStore::new(&dir, &faulty);
+    // The write may succeed or die on any injected fault — both are
+    // legitimate; what is *not* legitimate is a panic (caught by the
+    // driver) or a torn artifact visible after recovery.
+    let wrote = store.store(fingerprint, &bytes).is_ok();
+    let io_faults = faulty.injected_faults();
+
+    // Recovery: healthy backend, startup sweep, then the contract.
+    let real = RealVfs;
+    let recovered = TableStore::new(&dir, &real);
+    recovered
+        .sweep_temps()
+        .map_err(|e| fail(format!("recovery sweep failed: {e}")))?;
+    let artifact = recovered.artifact_path(fingerprint);
+    match recovered.load(fingerprint) {
+        Ok(Some(got)) => {
+            if got != bytes {
+                return Err(fail(format!(
+                    "torn artifact published: {} bytes stored, {} expected",
+                    got.len(),
+                    bytes.len()
+                )));
+            }
+            assert_clean_dir(&dir, &[artifact], &fail)?;
+        }
+        Ok(None) => {
+            if wrote {
+                return Err(fail(
+                    "store reported success but the artifact is absent after recovery".into(),
+                ));
+            }
+            assert_clean_dir(&dir, &[], &fail)?;
+        }
+        Err(e) => {
+            return Err(fail(format!(
+                "recovered artifact unreadable over a healthy backend: {e}"
+            )));
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(CrashStats {
+        io_faults,
+        resumed: 0,
+    })
+}
+
+/// Crash point family B: the checkpointed batch journal.
+fn run_checkpoint_crash(seed: u64, case: u64, fault_seed: u64) -> Result<CrashStats, CrashFailure> {
+    let fail = |detail: String| CrashFailure { seed, case, detail };
+    let params = CaseParams {
+        inject: 0,
+        edits: 0,
+        ..CaseParams::for_case(seed ^ 0xc8a5_1000, case)
+    };
+
+    let (gg, _) = build_grammar_pair(&params);
+    let g = &gg.grammar;
+    let cls =
+        classify(g, 2, Inclusion::Long).map_err(|e| fail(format!("transformation failed: {e}")))?;
+    let lo = cls
+        .l_ordered
+        .as_ref()
+        .ok_or_else(|| fail("generated grammar rejected as non-SNC".to_string()))?;
+    let seqs = build_visit_seqs(g, lo);
+    let ev = Evaluator::new(g, &seqs);
+    let inputs = RootInputs::new();
+    let trees: Vec<_> = (0..BATCH)
+        .map(|i| {
+            build_tree(
+                &gg,
+                &CaseParams {
+                    tree_budget: params.tree_budget + 3 * i,
+                    ..params
+                },
+            )
+        })
+        .collect();
+
+    // Poison some trees so the journal holds mixed outcome classes.
+    let plan = FaultPlan::from_seed(fault_seed, trees.len());
+    let budget = EvalBudget::default();
+    let threads = 1 + (fault_seed % 3) as usize;
+    let batch_fp = fault_seed ^ 0x5eed_c0de;
+    let real = RealVfs;
+
+    // Ground truth: an uninterrupted checkpointed run.
+    let truth_dir = scratch_dir("ckpt-truth");
+    let mut truth = Checkpoint::create(&real, &truth_dir.join("b.ckpt"), batch_fp)
+        .map_err(|e| fail(format!("ground-truth journal failed: {e}")))?;
+    let want = batch_evaluate_checkpointed(
+        &ev,
+        &trees,
+        &inputs,
+        threads,
+        &budget,
+        1,
+        Some(&plan),
+        0,
+        &real,
+        &mut truth,
+        0,
+    )
+    .map_err(|e| fail(format!("ground-truth batch failed: {e}")))?;
+
+    // Crash run: same batch over a fault-injecting backend.
+    let crash_dir = scratch_dir("ckpt-crash");
+    let path = crash_dir.join("b.ckpt");
+    let faulty = FaultVfs::from_seed(fault_seed);
+    let crashed = Checkpoint::create(&faulty, &path, batch_fp).and_then(|mut ckpt| {
+        batch_evaluate_checkpointed(
+            &ev,
+            &trees,
+            &inputs,
+            threads,
+            &budget,
+            1,
+            Some(&plan),
+            0,
+            &faulty,
+            &mut ckpt,
+            0,
+        )
+    });
+    let io_faults = faulty.injected_faults();
+
+    let mut resumed_records = 0u64;
+    let got = match crashed {
+        // No fault fired before completion — the records must already
+        // match the uninterrupted run.
+        Ok(report) => report.records,
+        Err(CkptError::Io(_)) => {
+            // The classified crash. Recover over a healthy backend: a
+            // journal with a readable header resumes (torn tails are
+            // compacted away); a journal torn inside the header — or
+            // never created — starts over, which is recovery too.
+            let mut ckpt = match Checkpoint::open(&real, &path, batch_fp) {
+                Ok((c, info)) => {
+                    resumed_records = info.resumed as u64;
+                    c
+                }
+                Err(_) => Checkpoint::create(&real, &path, batch_fp)
+                    .map_err(|e| fail(format!("post-crash journal re-creation failed: {e}")))?,
+            };
+            batch_evaluate_checkpointed(
+                &ev,
+                &trees,
+                &inputs,
+                threads,
+                &budget,
+                1,
+                Some(&plan),
+                0,
+                &real,
+                &mut ckpt,
+                0,
+            )
+            .map_err(|e| fail(format!("post-crash resume failed: {e}")))?
+            .records
+        }
+        Err(e) => {
+            return Err(fail(format!("crash surfaced as a non-storage error: {e}")));
+        }
+    };
+
+    if got != want.records {
+        return Err(fail(format!(
+            "resumed batch diverged from the uninterrupted run:\n  want {:?}\n  got  {:?}",
+            want.records, got
+        )));
+    }
+    // Compaction on completion leaves exactly the canonical journal.
+    assert_clean_dir(&crash_dir, &[path], &fail)?;
+
+    let _ = std::fs::remove_dir_all(&truth_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    Ok(CrashStats {
+        io_faults,
+        resumed: resumed_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_crash_cases_hold_the_contract() {
+        let mut io_faults = 0;
+        let mut resumed = 0;
+        for case in 0..24 {
+            match run_crash_case(0, case) {
+                Ok(stats) => {
+                    io_faults += stats.io_faults;
+                    resumed += stats.resumed;
+                }
+                Err(f) => panic!("{f}"),
+            }
+        }
+        assert!(io_faults > 0, "the plans must inject storage faults");
+        assert!(resumed > 0, "some crashes must resume journaled records");
+    }
+
+    #[test]
+    fn crash_cases_are_deterministic() {
+        for case in 0..4 {
+            let a = run_crash_case(11, case).expect("clean");
+            let b = run_crash_case(11, case).expect("clean");
+            assert_eq!(a.io_faults, b.io_faults);
+            assert_eq!(a.resumed, b.resumed);
+        }
+    }
+}

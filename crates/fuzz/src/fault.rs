@@ -3,15 +3,16 @@
 //!
 //! Each case derives an SNC grammar and a small batch of trees from its
 //! seed, poisons some of them with a [`FaultPlan`] (failed rules, panics
-//! mid-evaluation or on worker entry, spurious deadline expiry — each
-//! transient or permanent), runs the batch through
-//! [`fnc2_par::batch_evaluate_guarded`] with retries, and asserts the
-//! guard contract:
+//! mid-evaluation or on worker entry, semantic failures on entry,
+//! spurious deadline expiry — each transient or permanent), runs the
+//! batch through [`fnc2_par::batch_evaluate_guarded`] with retries, and
+//! asserts the guard contract:
 //!
 //! 1. every injected fault surfaces as a *classified* outcome
-//!    ([`TreeOutcome::Failed`] with a budget-kind error, or
-//!    [`TreeOutcome::Panicked`] carrying the injected marker message) —
-//!    never a process abort and never a silent wrong answer;
+//!    ([`TreeOutcome::Failed`] with a budget-kind error or the injected
+//!    semantic-failure marker, or [`TreeOutcome::Panicked`] carrying the
+//!    injected marker message) — never a process abort and never a
+//!    silent wrong answer;
 //! 2. trees whose faults are transient converge, after retry, to results
 //!    **bit-identical** to a sequential unfaulted exhaustive run;
 //! 3. unfaulted trees in the same batch are never disturbed.
@@ -19,7 +20,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use fnc2_analysis::{classify, Inclusion};
-use fnc2_guard::{EvalBudget, FaultPlan, INJECTED_PANIC_MSG};
+use fnc2_guard::{EvalBudget, FaultPlan, INJECTED_FAILURE_MSG, INJECTED_PANIC_MSG};
 use fnc2_par::{batch_evaluate_guarded, TreeOutcome};
 use fnc2_visit::{build_visit_seqs, Evaluator, RootInputs};
 
@@ -178,7 +179,7 @@ fn run_fault_case_inner(params: &CaseParams, fault_seed: u64) -> Result<FaultSta
                         "tree {i} failed ({e}) without a surviving planned fault"
                     )));
                 }
-                if !e.is_budget() {
+                if !e.is_budget() && !e.to_string().contains(INJECTED_FAILURE_MSG) {
                     return Err(fail(format!(
                         "tree {i}: injected fault surfaced as an unclassified error: {e}"
                     )));

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crash;
 pub mod fault;
 pub mod front;
 pub mod gen;
 pub mod oracle;
 
+pub use crash::{run_crash_case, CrashFailure, CrashStats};
 pub use fault::{run_fault_case, FaultFailure, FaultStats};
 pub use front::{FrontFailure, FrontStats};
 pub use gen::{build_grammar_pair, build_tree, CaseParams, GenGrammar, MUTANT_CONSTANT};
@@ -48,6 +50,8 @@ pub struct FuzzConfig {
     pub front_cases: u64,
     /// Number of fault-injection cases (guarded batch + [`fault`] stage).
     pub fault_cases: u64,
+    /// Number of crash-recovery cases (storage faults + [`crash`] stage).
+    pub crash_cases: u64,
     /// Whether to shrink the first divergence before reporting it.
     pub shrink: bool,
 }
@@ -59,6 +63,7 @@ impl Default for FuzzConfig {
             grammar_cases: 256,
             front_cases: 512,
             fault_cases: 128,
+            crash_cases: 64,
             shrink: true,
         }
     }
@@ -73,6 +78,8 @@ pub enum FuzzFailure {
     FrontPanic(FrontFailure),
     /// An injected fault escaped classification or corrupted a survivor.
     Fault(FaultFailure),
+    /// A storage fault violated the crash-consistency contract.
+    Crash(CrashFailure),
 }
 
 /// The outcome of a fuzzing run: counters plus the first failure.
@@ -96,6 +103,12 @@ pub struct FuzzReport {
     pub faults_injected: u64,
     /// Panics caught and classified across clean fault cases.
     pub panics_caught: u64,
+    /// Crash-recovery cases run.
+    pub crash_cases: u64,
+    /// Storage faults injected across clean crash cases.
+    pub io_faults: u64,
+    /// Journal records recovered by post-crash resumes.
+    pub crash_resumed: u64,
     /// First failure found, already shrunk when shrinking is on.
     pub failure: Option<FuzzFailure>,
 }
@@ -179,6 +192,24 @@ fn run_inner(cfg: &FuzzConfig, obs: &mut Obs) -> FuzzReport {
         }
     }
 
+    for case in 0..cfg.crash_cases {
+        report.crash_cases += 1;
+        obs.metrics.count("fuzz.crash_cases", 1);
+        match crash::run_crash_case(cfg.seed, case) {
+            Ok(stats) => {
+                report.io_faults += stats.io_faults;
+                report.crash_resumed += stats.resumed;
+                obs.metrics.count("fuzz.crash_io_faults", stats.io_faults);
+                obs.metrics.count("fuzz.crash_resumed", stats.resumed);
+            }
+            Err(f) => {
+                obs.metrics.count("fuzz.crash_failures", 1);
+                report.failure = Some(FuzzFailure::Crash(f));
+                return report;
+            }
+        }
+    }
+
     report
 }
 
@@ -193,6 +224,7 @@ mod tests {
             grammar_cases: 12,
             front_cases: 24,
             fault_cases: 8,
+            crash_cases: 6,
             shrink: true,
         };
         let mut obs = Obs::new();
@@ -204,12 +236,15 @@ mod tests {
                 }
                 FuzzFailure::FrontPanic(p) => panic!("front panic: {p:?}"),
                 FuzzFailure::Fault(p) => panic!("fault contract violation: {p}"),
+                FuzzFailure::Crash(p) => panic!("crash contract violation: {p}"),
             }
         }
         assert_eq!(report.grammar_cases, 12);
         assert_eq!(report.front_cases, 24);
         assert_eq!(report.fault_cases, 8);
+        assert_eq!(report.crash_cases, 6);
         assert_eq!(obs.metrics.counter("fuzz.fault_cases"), 8);
+        assert_eq!(obs.metrics.counter("fuzz.crash_cases"), 6);
         assert!(report.nodes > 0);
         assert_eq!(obs.metrics.counter("fuzz.grammar_cases"), 12);
         assert_eq!(obs.metrics.counter("fuzz.front_cases"), 24);

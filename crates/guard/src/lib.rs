@@ -190,6 +190,11 @@ pub enum InjectedFault {
     },
     /// The worker panics before the evaluation even starts.
     PanicOnEntry,
+    /// The worker reports a *semantic* failure (a non-budget classified
+    /// error carrying [`INJECTED_FAILURE_MSG`]) before the evaluation
+    /// starts — the only injected fault that exercises the plain
+    /// `Failed` classification rather than a budget trip or a panic.
+    FailOnEntry,
     /// The deadline "expires" at step `step` ([`BudgetKind::Deadline`]).
     ExpireDeadline {
         /// 1-based step at which the deadline reports expiry.
@@ -203,6 +208,7 @@ impl fmt::Display for InjectedFault {
             InjectedFault::FailRule { step } => write!(f, "fail-rule@{step}"),
             InjectedFault::PanicAtStep { step } => write!(f, "panic@{step}"),
             InjectedFault::PanicOnEntry => write!(f, "panic-on-entry"),
+            InjectedFault::FailOnEntry => write!(f, "fail-on-entry"),
             InjectedFault::ExpireDeadline { step } => write!(f, "deadline@{step}"),
         }
     }
@@ -211,6 +217,10 @@ impl fmt::Display for InjectedFault {
 /// The message used by injected panics, so tests can tell an injected
 /// panic apart from a real defect.
 pub const INJECTED_PANIC_MSG: &str = "fnc2-guard injected fault: panic";
+
+/// The message carried by [`InjectedFault::FailOnEntry`] errors, so tests
+/// can tell an injected semantic failure apart from a real defect.
+pub const INJECTED_FAILURE_MSG: &str = "fnc2-guard injected fault: semantic failure";
 
 /// Per-evaluation enforcement state for an [`EvalBudget`].
 ///
@@ -241,8 +251,8 @@ impl BudgetMeter {
             Some(InjectedFault::ExpireDeadline { step }) => {
                 Some((step, FaultAction::ExpireDeadline))
             }
-            // Entry panics are the batch driver's job, not the meter's.
-            Some(InjectedFault::PanicOnEntry) | None => None,
+            // Entry faults are the batch driver's job, not the meter's.
+            Some(InjectedFault::PanicOnEntry) | Some(InjectedFault::FailOnEntry) | None => None,
         };
         BudgetMeter {
             steps: 0,
@@ -374,10 +384,11 @@ impl FaultPlan {
                 continue;
             }
             let step = 1 + splitmix(&mut st) % 16;
-            let fault = match splitmix(&mut st) % 4 {
+            let fault = match splitmix(&mut st) % 5 {
                 0 => InjectedFault::FailRule { step },
                 1 => InjectedFault::PanicAtStep { step },
                 2 => InjectedFault::PanicOnEntry,
+                3 => InjectedFault::FailOnEntry,
                 _ => InjectedFault::ExpireDeadline { step },
             };
             let transient = splitmix(&mut st) & 1 == 0;
@@ -420,9 +431,46 @@ impl FaultPlan {
     }
 }
 
+/// Hard ceiling for [`backoff_delay`], whatever the caller passes.
+pub const MAX_BACKOFF_MS: u64 = 1_000;
+
+/// Bounded exponential backoff before retry `attempt` (1-based: the delay
+/// *preceding* that attempt; attempt 0 — the first try — never waits).
+///
+/// The delay doubles per attempt starting from `base_ms` and is clamped to
+/// `min(cap_ms, `[`MAX_BACKOFF_MS`]`)`, so a retry loop over transient
+/// faults (EINTR, a briefly-full disk) is polite but can never stall a
+/// batch for more than a bounded, configuration-independent time.
+pub fn backoff_delay(attempt: u32, base_ms: u64, cap_ms: u64) -> Duration {
+    if attempt == 0 || base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let cap = cap_ms.min(MAX_BACKOFF_MS);
+    let ms = base_ms
+        .checked_shl(attempt.saturating_sub(1).min(20))
+        .unwrap_or(cap)
+        .min(cap);
+    Duration::from_millis(ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_is_zero_then_doubles_then_caps() {
+        assert_eq!(backoff_delay(0, 10, 500), Duration::ZERO);
+        assert_eq!(backoff_delay(1, 10, 500), Duration::from_millis(10));
+        assert_eq!(backoff_delay(2, 10, 500), Duration::from_millis(20));
+        assert_eq!(backoff_delay(3, 10, 500), Duration::from_millis(40));
+        assert_eq!(backoff_delay(9, 10, 500), Duration::from_millis(500));
+        // The hard ceiling binds even a generous cap.
+        assert_eq!(
+            backoff_delay(30, 10, u64::MAX),
+            Duration::from_millis(MAX_BACKOFF_MS)
+        );
+        assert_eq!(backoff_delay(5, 0, 500), Duration::ZERO);
+    }
 
     #[test]
     fn default_budget_is_generous_but_finite() {

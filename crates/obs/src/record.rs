@@ -98,6 +98,15 @@ pub enum Key {
     EvalMemoHits,
     /// High-water occupancy of the hash-cons intern table.
     EvalInternSize,
+    /// Corrupt/mismatched artifacts moved to the cache's `quarantine/`
+    /// subdirectory instead of being silently overwritten.
+    TablesQuarantined,
+    /// Orphaned cache temp files removed by startup sweeps or `cache-gc`.
+    TablesTempsSwept,
+    /// Records appended to a batch checkpoint journal.
+    ParCkptAppended,
+    /// Trees skipped on `--resume` because the journal already had them.
+    ParCkptResumed,
 }
 
 impl Key {
@@ -105,7 +114,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 36] = [
+    pub const ALL: [Key; 40] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -142,6 +151,10 @@ impl Key {
         Key::EvalInternMisses,
         Key::EvalMemoHits,
         Key::EvalInternSize,
+        Key::TablesQuarantined,
+        Key::TablesTempsSwept,
+        Key::ParCkptAppended,
+        Key::ParCkptResumed,
     ];
 
     /// The canonical dotted metric name.
@@ -183,6 +196,10 @@ impl Key {
             Key::EvalInternMisses => "eval.intern_misses",
             Key::EvalMemoHits => "eval.memo_hits",
             Key::EvalInternSize => "eval.intern_size",
+            Key::TablesQuarantined => "tables.quarantined",
+            Key::TablesTempsSwept => "tables.temps_swept",
+            Key::ParCkptAppended => "par.ckpt_appended",
+            Key::ParCkptResumed => "par.ckpt_resumed",
         }
     }
 

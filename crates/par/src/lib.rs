@@ -94,9 +94,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, Once};
 
 use fnc2_ag::{AttrValues, Tree};
-use fnc2_guard::{EvalBudget, FaultPlan, InjectedFault, INJECTED_PANIC_MSG};
+use fnc2_guard::{EvalBudget, FaultPlan, InjectedFault, INJECTED_FAILURE_MSG, INJECTED_PANIC_MSG};
 use fnc2_obs::{Counters, Key, NoopRecorder, Recorder, SpanTracer};
 use fnc2_visit::{EvalError, EvalStats, Evaluator, InternMode, RootInputs};
+
+pub mod checkpoint;
+
+pub use checkpoint::{
+    batch_evaluate_checkpointed, batch_evaluate_checkpointed_recorded, outcome_digest, Checkpoint,
+    CkptBatchReport, CkptError, CkptOutcome, CkptRecord, ResumeInfo,
+};
 
 /// What one batch run did: fed into [`Key::ParTrees`] / [`Key::ParSteals`]
 /// by the recorded entry point, and returned for callers that aggregate
@@ -216,17 +223,24 @@ struct Pool<'a> {
 
 impl<'a> Pool<'a> {
     fn new(trees: &'a [Tree], workers: usize) -> Pool<'a> {
+        let all: Vec<usize> = (0..trees.len()).collect();
+        Pool::with_indices(trees, &all, workers)
+    }
+
+    /// A pool over a subset of the batch — the checkpointed driver deals
+    /// only the trees the journal does not already have.
+    fn with_indices(trees: &'a [Tree], indices: &[usize], workers: usize) -> Pool<'a> {
         let mut deques: Vec<VecDeque<Task>> = (0..workers).map(|_| VecDeque::new()).collect();
         // Round-robin deal: contiguous runs land on the same worker only
         // when the batch is much larger than the pool, keeping the common
         // case steal-free.
-        for (i, _) in trees.iter().enumerate() {
-            deques[i % workers].push_back((i, 0));
+        for (k, &i) in indices.iter().enumerate() {
+            deques[k % workers].push_back((i, 0));
         }
         Pool {
             deques: deques.into_iter().map(Mutex::new).collect(),
             steals: AtomicU64::new(0),
-            pending: AtomicU64::new(trees.len() as u64),
+            pending: AtomicU64::new(indices.len() as u64),
             trees,
         }
     }
@@ -304,6 +318,12 @@ fn run_one(
     fault: Option<InjectedFault>,
     shard: &mut Counters,
 ) -> TreeOutcome {
+    if matches!(fault, Some(InjectedFault::FailOnEntry)) {
+        return TreeOutcome::Failed(EvalError::SemanticFailure {
+            node: tree.root(),
+            message: format!("{INJECTED_FAILURE_MSG} (on entry)"),
+        });
+    }
     let r = catch_unwind(AssertUnwindSafe(|| {
         if matches!(fault, Some(InjectedFault::PanicOnEntry)) {
             panic!("{INJECTED_PANIC_MSG} (on entry)");

@@ -46,6 +46,7 @@ use fnc2_space::{FlatProgram, Lifetimes, SpacePlan};
 use fnc2_visit::{CompiledProgram, VisitSeqs};
 
 pub mod codec;
+pub mod store;
 pub mod wire;
 
 use wire::{Dec, Enc, WireError};
@@ -133,6 +134,24 @@ impl fmt::Display for ArtifactError {
                 f,
                 "artifact's compiled rule program does not match this build's slot compiler"
             ),
+        }
+    }
+}
+
+impl ArtifactError {
+    /// Short stable slug naming the rejection class — used to tag
+    /// quarantined artifacts (`fnc2-<fp>.<tag>.tbl`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ArtifactError::Truncated => "truncated",
+            ArtifactError::BadMagic => "bad-magic",
+            ArtifactError::VersionSkew { .. } => "version-skew",
+            ArtifactError::FingerprintMismatch { .. } => "stale",
+            ArtifactError::ChecksumMismatch => "checksum",
+            ArtifactError::Corrupt(_) => "corrupt",
+            ArtifactError::ConfigMismatch => "config",
+            ArtifactError::GrammarMismatch => "grammar",
+            ArtifactError::ProgramMismatch => "program",
         }
     }
 }
@@ -434,7 +453,7 @@ mod tests {
 
     use super::*;
 
-    fn desk_tables() -> (Grammar, Tables) {
+    pub(crate) fn desk_tables() -> (Grammar, Tables) {
         let g = fnc2_corpus::desk();
         let cls = classify(&g, 1, Inclusion::Long).unwrap();
         let lo = cls.l_ordered.as_ref().unwrap();

@@ -1,0 +1,383 @@
+//! Crash-consistent on-disk artifact store.
+//!
+//! [`TableStore`] owns the layout of a compiled-table cache directory and
+//! performs every disk operation through a [`Vfs`] handle, so the fuzz
+//! oracle can drive it with an injected-fault backend. The invariants it
+//! maintains:
+//!
+//! - **Atomic publication** — an artifact appears under its final
+//!   `fnc2-<fingerprint>.tbl` name only via `rename` of a fully-written,
+//!   synced temp file. Readers never observe a torn artifact under the
+//!   final name (torn *contents* are still possible after a real power
+//!   cut, which is why the artifact format carries a checksum).
+//! - **No stranded temps** — a failed write or rename removes its temp
+//!   file; anything that survives a crash is recognisable by the
+//!   [`TEMP_MARKER`] infix and swept by [`TableStore::sweep_temps`].
+//! - **Quarantine, not overwrite** — corrupt or mismatched artifacts are
+//!   moved into a `quarantine/` subdirectory for post-mortem instead of
+//!   being silently replaced, so a flaky disk cannot hide its evidence.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fnc2_vfs::{Vfs, VfsError, VfsErrorKind};
+
+/// Infix that marks an in-flight (or crash-stranded) temp file.
+pub const TEMP_MARKER: &str = ".tmp-";
+
+/// Name of the quarantine subdirectory.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on a temp name (the pid separates processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// What a [`TableStore::gc`] sweep removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Orphaned temp files removed (cache dir + quarantine dir).
+    pub temps_removed: usize,
+    /// Quarantined artifacts removed.
+    pub quarantined_removed: usize,
+}
+
+/// A compiled-table cache directory addressed through a [`Vfs`].
+#[derive(Debug)]
+pub struct TableStore<'v> {
+    dir: PathBuf,
+    vfs: &'v dyn Vfs,
+}
+
+impl<'v> TableStore<'v> {
+    /// A store rooted at `dir`, performing all I/O through `vfs`. The
+    /// directory is created lazily on first write.
+    pub fn new(dir: impl Into<PathBuf>, vfs: &'v dyn Vfs) -> Self {
+        TableStore {
+            dir: dir.into(),
+            vfs,
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The quarantine subdirectory.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Final path of the artifact for `fingerprint`.
+    pub fn artifact_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("fnc2-{fingerprint:016x}.tbl"))
+    }
+
+    /// Read the artifact bytes for `fingerprint`. `Ok(None)` on a clean
+    /// miss; storage faults are classified errors. The caller is
+    /// responsible for decoding/verifying the bytes (a fault backend may
+    /// return a silently truncated read — the artifact checksum catches
+    /// it).
+    pub fn load(&self, fingerprint: u64) -> Result<Option<Vec<u8>>, VfsError> {
+        match self.vfs.read(&self.artifact_path(fingerprint)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind == VfsErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically publish artifact bytes under `fingerprint`.
+    ///
+    /// Writes a temp file next to the final path, syncs it, then renames.
+    /// On *any* failure the temp file is removed (best-effort — after a
+    /// power-cut even the removal fails, which is what
+    /// [`TableStore::sweep_temps`] is for) and a classified error is
+    /// returned.
+    pub fn store(&self, fingerprint: u64, bytes: &[u8]) -> Result<PathBuf, VfsError> {
+        self.vfs.create_dir_all(&self.dir)?;
+        let final_path = self.artifact_path(fingerprint);
+        let tmp = self.temp_path(&final_path);
+        if let Err(e) = self.vfs.write(&tmp, bytes) {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = self.vfs.rename(&tmp, &final_path) {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(final_path)
+    }
+
+    /// Move the artifact for `fingerprint` into `quarantine/`, tagged with
+    /// a short reason slug. Returns the destination, or `Ok(None)` if the
+    /// artifact no longer exists (already quarantined by a racing reader).
+    pub fn quarantine(&self, fingerprint: u64, reason: &str) -> Result<Option<PathBuf>, VfsError> {
+        let src = self.artifact_path(fingerprint);
+        if !self.vfs.exists(&src) {
+            return Ok(None);
+        }
+        let qdir = self.quarantine_dir();
+        self.vfs.create_dir_all(&qdir)?;
+        let dest = qdir.join(format!(
+            "fnc2-{fingerprint:016x}.{}.tbl",
+            reason_slug(reason)
+        ));
+        match self.vfs.rename(&src, &dest) {
+            Ok(()) => Ok(Some(dest)),
+            Err(e) if e.kind == VfsErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Artifacts currently in quarantine (sorted).
+    pub fn quarantined(&self) -> Result<Vec<PathBuf>, VfsError> {
+        self.list_dir(&self.quarantine_dir())
+    }
+
+    /// Remove orphaned temp files from the cache and quarantine
+    /// directories. Returns how many were removed. Missing directories
+    /// count as clean.
+    pub fn sweep_temps(&self) -> Result<usize, VfsError> {
+        let mut removed = 0;
+        for dir in [self.dir.clone(), self.quarantine_dir()] {
+            for path in self.list_dir(&dir)? {
+                if is_temp_path(&path) {
+                    match self.vfs.remove_file(&path) {
+                        Ok(()) => removed += 1,
+                        // A racing sweep already got it.
+                        Err(e) if e.kind == VfsErrorKind::NotFound => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Full garbage collection: sweep orphaned temps and delete
+    /// quarantined artifacts.
+    pub fn gc(&self) -> Result<GcReport, VfsError> {
+        let temps_removed = self.sweep_temps()?;
+        let mut quarantined_removed = 0;
+        for path in self.list_dir(&self.quarantine_dir())? {
+            match self.vfs.remove_file(&path) {
+                Ok(()) => quarantined_removed += 1,
+                Err(e) if e.kind == VfsErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(GcReport {
+            temps_removed,
+            quarantined_removed,
+        })
+    }
+
+    fn temp_path(&self, final_path: &Path) -> PathBuf {
+        let mut name = final_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(TEMP_MARKER);
+        name.push_str(&format!(
+            "{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        final_path.with_file_name(name)
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>, VfsError> {
+        match self.vfs.read_dir(dir) {
+            Ok(entries) => Ok(entries),
+            Err(e) if e.kind == VfsErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Is this a (possibly crash-stranded) temp file of ours?
+pub fn is_temp_path(path: &Path) -> bool {
+    path.file_name()
+        .map(|n| n.to_string_lossy().contains(TEMP_MARKER))
+        .unwrap_or(false)
+}
+
+fn reason_slug(reason: &str) -> String {
+    let slug: String = reason
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let trimmed: String = slug.trim_matches('-').chars().take(32).collect();
+    if trimmed.is_empty() {
+        "corrupt".to_string()
+    } else {
+        trimmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnc2_vfs::{FaultVfs, IoFaultKind, IoFaultPlan, PlannedIoFault, RealVfs};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fnc2-store-{}-{}-{}",
+            tag,
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn non_temp_entries(dir: &Path) -> Vec<PathBuf> {
+        let mut out: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn store_load_round_trip_is_atomic() {
+        let d = temp_dir("roundtrip");
+        let vfs = RealVfs;
+        let store = TableStore::new(&d, &vfs);
+        assert_eq!(store.load(0xfeed).unwrap(), None);
+        let path = store.store(0xfeed, b"artifact-bytes").unwrap();
+        assert_eq!(path, store.artifact_path(0xfeed));
+        assert_eq!(store.load(0xfeed).unwrap().unwrap(), b"artifact-bytes");
+        // Nothing but the final artifact in the directory.
+        assert_eq!(non_temp_entries(&d), vec![path]);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn failed_rename_leaves_a_clean_directory() {
+        let d = temp_dir("failrename");
+        let vfs = FaultVfs::new(IoFaultPlan::with_faults(vec![PlannedIoFault {
+            nth: 0,
+            kind: IoFaultKind::FailRename,
+            transient: true,
+        }]));
+        let store = TableStore::new(&d, &vfs);
+        let err = store.store(0xabc, b"data").unwrap_err();
+        assert_eq!(err.kind, VfsErrorKind::RenameFailed);
+        // The temp file was cleaned up on the failure path.
+        assert!(non_temp_entries(&d).is_empty(), "directory not clean");
+        // A retry on the same store succeeds (fault was transient).
+        store.store(0xabc, b"data").unwrap();
+        assert_eq!(store.load(0xabc).unwrap().unwrap(), b"data");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_classified_and_cleaned() {
+        let d = temp_dir("torn");
+        let vfs = FaultVfs::new(IoFaultPlan::with_faults(vec![PlannedIoFault {
+            nth: 0,
+            kind: IoFaultKind::TornWrite { keep: 2 },
+            transient: true,
+        }]));
+        let store = TableStore::new(&d, &vfs);
+        let err = store.store(1, b"payload").unwrap_err();
+        assert_eq!(err.kind, VfsErrorKind::TornWrite);
+        assert!(non_temp_entries(&d).is_empty());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn power_cut_strands_a_temp_and_sweep_recovers() {
+        let d = temp_dir("cut");
+        let vfs = FaultVfs::new(IoFaultPlan::with_faults(vec![PlannedIoFault {
+            nth: 0,
+            kind: IoFaultKind::PowerCut { keep: 3 },
+            transient: true,
+        }]));
+        let store = TableStore::new(&d, &vfs);
+        let err = store.store(2, b"artifact").unwrap_err();
+        assert_eq!(err.kind, VfsErrorKind::PowerCut);
+        // The cleanup itself failed (store is dead) — a temp is stranded,
+        // exactly what a real crash leaves behind.
+        let stranded = non_temp_entries(&d);
+        assert_eq!(stranded.len(), 1);
+        assert!(is_temp_path(&stranded[0]));
+        // Recovery: fresh handle over the same dir sweeps it.
+        let real = RealVfs;
+        let recovered = TableStore::new(&d, &real);
+        assert_eq!(recovered.sweep_temps().unwrap(), 1);
+        assert!(non_temp_entries(&d).is_empty());
+        assert_eq!(recovered.load(2).unwrap(), None);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn quarantine_moves_artifact_out_of_the_cache() {
+        let d = temp_dir("quarantine");
+        let vfs = RealVfs;
+        let store = TableStore::new(&d, &vfs);
+        store.store(0xdead, b"bad artifact").unwrap();
+        let dest = store
+            .quarantine(0xdead, "checksum mismatch")
+            .unwrap()
+            .unwrap();
+        assert!(dest.starts_with(store.quarantine_dir()));
+        assert_eq!(
+            dest.file_name().unwrap().to_string_lossy(),
+            "fnc2-000000000000dead.checksum-mismatch.tbl"
+        );
+        assert_eq!(store.load(0xdead).unwrap(), None);
+        assert_eq!(store.quarantined().unwrap(), vec![dest]);
+        // Quarantining a missing artifact is a no-op.
+        assert_eq!(store.quarantine(0xdead, "again").unwrap(), None);
+        // gc removes the quarantined artifact.
+        let report = store.gc().unwrap();
+        assert_eq!(report.quarantined_removed, 1);
+        assert!(store.quarantined().unwrap().is_empty());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn sweep_is_clean_on_missing_directory() {
+        let d = temp_dir("missing").join("never-created");
+        let vfs = RealVfs;
+        let store = TableStore::new(&d, &vfs);
+        assert_eq!(store.sweep_temps().unwrap(), 0);
+        assert_eq!(store.gc().unwrap(), GcReport::default());
+    }
+
+    #[test]
+    fn short_read_is_caught_by_artifact_checksum() {
+        use crate::Tables;
+        let d = temp_dir("shortread");
+        let real = RealVfs;
+        let (_, t) = crate::tests::desk_tables();
+        let bytes = t.to_bytes();
+        TableStore::new(&d, &real)
+            .store(t.fingerprint(), &bytes)
+            .unwrap();
+        let vfs = FaultVfs::new(IoFaultPlan::with_faults(vec![PlannedIoFault {
+            nth: 0,
+            kind: IoFaultKind::ShortRead {
+                keep: bytes.len() / 2,
+            },
+            transient: true,
+        }]));
+        let store = TableStore::new(&d, &vfs);
+        let short = store.load(t.fingerprint()).unwrap().unwrap();
+        assert!(short.len() < bytes.len());
+        // The silent truncation must be caught downstream by the format.
+        assert!(Tables::from_bytes(&short).is_err());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}
