@@ -273,13 +273,28 @@ impl GrammarBuilder {
     /// unknown functions, arity), then per-production checks: occurrence
     /// positions in range, attributes on the right phyla, no rule defining
     /// an input occurrence, every output occurrence (including locals)
-    /// defined exactly once, every phylum productive.
+    /// defined exactly once, every phylum productive. Use
+    /// [`finish_verbose`](Self::finish_verbose) to get *every* violation
+    /// instead of the first.
     pub fn finish(self) -> Result<Grammar, GrammarError> {
-        if let Some(e) = self.errors.into_iter().next() {
-            return Err(e);
-        }
+        self.finish_verbose().map_err(|mut errs| errs.remove(0))
+    }
+
+    /// Like [`finish`](Self::finish), but reports **all** well-definedness
+    /// violations instead of collapsing them to the first.
+    ///
+    /// The order is deterministic: eager errors in declaration order, then
+    /// the per-production checks in production order, then unproductive
+    /// phyla in phylum order.
+    ///
+    /// # Errors
+    ///
+    /// The non-empty list of every violation found.
+    pub fn finish_verbose(self) -> Result<Grammar, Vec<GrammarError>> {
+        let mut errors = self.errors;
         if self.phyla.is_empty() {
-            return Err(GrammarError::Empty);
+            errors.push(GrammarError::Empty);
+            return Err(errors);
         }
         let g = Grammar {
             name: self.name,
@@ -289,53 +304,59 @@ impl GrammarBuilder {
             functions: self.functions,
             root: self.root.expect("non-empty grammar has a root"),
         };
-        validate(&g)?;
-        Ok(g)
+        validate(&g, &mut errors);
+        if errors.is_empty() {
+            Ok(g)
+        } else {
+            Err(errors)
+        }
     }
 }
 
-fn validate(g: &Grammar) -> Result<(), GrammarError> {
+/// Appends every well-definedness violation of `g` to `errors`, in
+/// deterministic production-then-phylum order.
+fn validate(g: &Grammar, errors: &mut Vec<GrammarError>) {
     for pid in g.productions() {
         let prod = g.production(pid);
         let arity = prod.arity();
-        let check_node = |node: ONode| -> Result<(), GrammarError> {
-            match node {
-                ONode::Attr(o) => {
-                    if o.pos as usize > arity {
-                        return Err(GrammarError::PositionOutOfRange {
-                            production: prod.name().to_string(),
-                            pos: o.pos,
-                            arity,
-                        });
-                    }
-                    let ph = prod.phylum_at(o.pos);
-                    if g.attr(o.attr).phylum() != ph {
-                        return Err(GrammarError::AttrNotOnPhylum {
-                            production: prod.name().to_string(),
-                            attr: g.attr(o.attr).name().to_string(),
-                            phylum: g.phylum(ph).name().to_string(),
-                        });
-                    }
+        let check_node = |node: ONode, errors: &mut Vec<GrammarError>| match node {
+            ONode::Attr(o) => {
+                if o.pos as usize > arity {
+                    errors.push(GrammarError::PositionOutOfRange {
+                        production: prod.name().to_string(),
+                        pos: o.pos,
+                        arity,
+                    });
+                    return;
                 }
-                ONode::Local(l) => {
-                    if l.index() >= prod.locals().len() {
-                        return Err(GrammarError::UnknownName {
-                            kind: "local attribute",
-                            name: format!("{l}"),
-                        });
-                    }
+                let ph = prod.phylum_at(o.pos);
+                if g.attr(o.attr).phylum() != ph {
+                    errors.push(GrammarError::AttrNotOnPhylum {
+                        production: prod.name().to_string(),
+                        attr: g.attr(o.attr).name().to_string(),
+                        phylum: g.phylum(ph).name().to_string(),
+                    });
                 }
             }
-            Ok(())
+            ONode::Local(l) => {
+                if l.index() >= prod.locals().len() {
+                    errors.push(GrammarError::UnknownName {
+                        kind: "local attribute",
+                        name: format!("{l}"),
+                    });
+                }
+            }
         };
         for rule in prod.rules() {
-            check_node(rule.target())?;
+            check_node(rule.target(), errors);
             for n in rule.read_nodes() {
-                check_node(n)?;
+                check_node(n, errors);
             }
             if let ONode::Attr(o) = rule.target() {
-                if !g.is_output(pid, o) {
-                    return Err(GrammarError::RuleDefinesInput {
+                let placed =
+                    o.pos as usize <= arity && g.attr(o.attr).phylum() == prod.phylum_at(o.pos);
+                if placed && !g.is_output(pid, o) {
+                    errors.push(GrammarError::RuleDefinesInput {
                         production: prod.name().to_string(),
                         target: g.occ_name(pid, rule.target()),
                     });
@@ -347,13 +368,13 @@ fn validate(g: &Grammar) -> Result<(), GrammarError> {
         for &out in &outputs {
             let n = prod.rules().iter().filter(|r| r.target() == out).count();
             if n == 0 {
-                return Err(GrammarError::MissingRule {
+                errors.push(GrammarError::MissingRule {
                     production: prod.name().to_string(),
                     target: g.occ_name(pid, out),
                 });
             }
             if n > 1 {
-                return Err(GrammarError::DuplicateRule {
+                errors.push(GrammarError::DuplicateRule {
                     production: prod.name().to_string(),
                     target: g.occ_name(pid, out),
                 });
@@ -363,8 +384,17 @@ fn validate(g: &Grammar) -> Result<(), GrammarError> {
         // outputs; inputs were rejected above, so only count rules whose
         // target is not in `outputs` at all — e.g. a stray local id).
         for rule in prod.rules() {
-            if !outputs.contains(&rule.target()) {
-                return Err(GrammarError::RuleDefinesInput {
+            // Skip targets the earlier checks already reported.
+            let already_flagged = match rule.target() {
+                ONode::Attr(o) => {
+                    o.pos as usize > arity
+                        || g.attr(o.attr).phylum() != prod.phylum_at(o.pos)
+                        || !g.is_output(pid, o)
+                }
+                ONode::Local(l) => l.index() >= prod.locals().len(),
+            };
+            if !already_flagged && !outputs.contains(&rule.target()) {
+                errors.push(GrammarError::RuleDefinesInput {
                     production: prod.name().to_string(),
                     target: g.occ_name(pid, rule.target()),
                 });
@@ -373,12 +403,11 @@ fn validate(g: &Grammar) -> Result<(), GrammarError> {
     }
     for ph in g.phyla() {
         if g.phylum(ph).productions().is_empty() {
-            return Err(GrammarError::NoProduction {
+            errors.push(GrammarError::NoProduction {
                 phylum: g.phylum(ph).name().to_string(),
             });
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -495,6 +524,65 @@ mod tests {
         let l = g.local(leaf, "tmp");
         g.copy(leaf, Occ::lhs(v), ONode::Local(l));
         assert!(matches!(g.finish(), Err(GrammarError::MissingRule { .. })));
+    }
+
+    /// `finish` historically collapsed multiple violations into the first;
+    /// `finish_verbose` must surface every one, deterministically ordered.
+    #[test]
+    fn finish_verbose_reports_every_violation() {
+        let mut g = GrammarBuilder::new("bad");
+        let s = g.phylum("S");
+        let t = g.phylum("T");
+        let _v = g.syn(s, "v"); // never defined in `leaf`
+        let _w = g.syn(t, "w"); // never defined in `leaft`
+        g.production("leaf", s, &[]);
+        g.production("leaft", t, &[]);
+        let errs = g.finish_verbose().unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        let targets: Vec<String> = errs
+            .iter()
+            .map(|e| match e {
+                GrammarError::MissingRule { target, .. } => target.clone(),
+                other => panic!("expected MissingRule, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(targets, vec!["S.v", "T.w"]);
+    }
+
+    /// `finish` still returns exactly the first of the verbose errors.
+    #[test]
+    fn finish_takes_first_verbose_error() {
+        let build = || {
+            let mut g = GrammarBuilder::new("bad");
+            let s = g.phylum("S");
+            let _v = g.syn(s, "v");
+            let _u = g.syn(s, "u");
+            g.production("leaf", s, &[]);
+            g
+        };
+        let first = build().finish().unwrap_err();
+        let all = build().finish_verbose().unwrap_err();
+        assert_eq!(all.len(), 2);
+        assert_eq!(format!("{first:?}"), format!("{:?}", all[0]));
+    }
+
+    /// A rule on a wrong-phylum attribute yields one error, not a cascade.
+    #[test]
+    fn wrong_phylum_target_is_reported_once() {
+        let mut g = GrammarBuilder::new("bad");
+        let s = g.phylum("S");
+        let t = g.phylum("T");
+        let v = g.syn(s, "v");
+        let w = g.syn(t, "w");
+        let leaf_t = g.production("leaft", t, &[]);
+        g.constant(leaf_t, Occ::lhs(w), Value::Int(0));
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        // `w` belongs to T, not S: exactly one AttrNotOnPhylum.
+        g.constant(leaf, Occ::lhs(w), Value::Int(2));
+        let errs = g.finish_verbose().unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(matches!(errs[0], GrammarError::AttrNotOnPhylum { .. }));
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn emit_tables(compiled: &Compiled, pipeline: &Pipeline, source: &str) -> Ve
         compiled.flat.as_ref(),
         compiled.lifetimes.as_ref(),
         compiled.space_plan.as_ref(),
+        &compiled.lint.diags,
     )
     .to_bytes()
 }
@@ -160,8 +161,14 @@ fn load_inner(
         flat,
         lifetimes,
         space_plan,
+        lint,
         ..
     } = tables;
+    // Replay the cached diagnostics: cached startups report the same
+    // lint findings (and feed the same `lint.*` counters) as a full
+    // compile, without re-running the analyses.
+    let lint = fnc2_lint::LintReport::new(lint);
+    fnc2_lint::record_report(&lint, obs);
     // The object index is a cheap deterministic function of the grammar;
     // it is rebuilt rather than serialized.
     let objects = flat.is_some().then(|| ObjectIndex::new(&grammar));
@@ -184,6 +191,7 @@ fn load_inner(
         objects,
         lifetimes,
         space_plan,
+        lint,
         report,
         intern: pipeline.intern,
     })

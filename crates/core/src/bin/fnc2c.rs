@@ -3,6 +3,7 @@
 //! ```text
 //! fnc2c report  <file.olga>       # class, sizes, partitions, storage plan
 //! fnc2c check   <file.olga>       # front-end + well-definedness only
+//! fnc2c lint    <file.olga>       # grammar-level static analyses (L001..L102)
 //! fnc2c c       <file.olga>       # translate the AG to C on stdout
 //! fnc2c lisp    <file.olga>       # translate the AG to Lisp on stdout
 //! fnc2c seqs    <file.olga>       # print the visit sequences
@@ -11,7 +12,8 @@
 //! fnc2c profile <file.olga>       # ranked per-(production, rule) cost profile
 //! fnc2c explain <attr@node> <file.olga>
 //!                                 # dynamic dependency slice of one instance
-//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--crash N] [--no-shrink]
+//! fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--crash N] [--lint N]
+//!            [--no-shrink]
 //!                                 # differential fuzzing oracle (no input file)
 //! fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N]
 //!             [--repeat N] [--retries N] [--fault-seed N] [--metrics]
@@ -101,6 +103,8 @@ fn usage() -> String {
     "usage: fnc2c [--metrics] [--trace[=N]] [--report json|text] [--chrome-trace FILE] \
      [--tables FILE | --cache-dir DIR] [--no-intern] [budget flags] <report|check|c|lisp|seqs> \
      <file.olga | ->\n\
+     \u{20}      fnc2c lint [--deny warnings] [--report json|text] \
+     [--tables FILE | --cache-dir DIR] <file.olga | ->\n\
      \u{20}      fnc2c compile --emit-tables FILE <file.olga | ->\n\
      \u{20}      fnc2c profile [--repeat N] [--sample-every N] [--top N] [--report json|text] \
      [--tables FILE | --cache-dir DIR] [--no-intern] [budget flags] <file.olga | ->\n\
@@ -108,7 +112,7 @@ fn usage() -> String {
      [--tables FILE | --cache-dir DIR] [--no-intern] <[Phylum.]attr@node> \
      <file.olga | ->\n\
      \u{20}      fnc2c fuzz [--seed N] [--cases N] [--front N] [--fault N] [--crash N] \
-     [--no-shrink]\n\
+     [--lint N] [--no-shrink]\n\
      \u{20}      fnc2c batch [--seed N] [--grammars N] [--trees N] [--threads N] \
      [--repeat N] [--retries N] [--fault-seed N] [--metrics] [--chrome-trace FILE] \
      [--no-intern] [--checkpoint FILE [--resume]] [--backoff-ms N] [budget flags]\n\
@@ -147,6 +151,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fuzz") {
         return run_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return run_lint(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
@@ -864,6 +871,126 @@ fn explain_source(
     }
 }
 
+/// The `lint` subcommand: runs the grammar-level static analyses over an
+/// OLGA source and prints the diagnostic report. Front-end rejections are
+/// diagnostics (`L100`–`L102`), not hard errors, so the exit contract is
+/// uniform: 0 when the report is clean (no errors; warnings allowed
+/// unless `--deny warnings`), 1 when findings deny the grammar, 2 only
+/// for environmental faults (an unreadable input).
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut tables: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let r = match arg.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => {
+                    deny_warnings = true;
+                    Ok(())
+                }
+                _ => Err(format!("fnc2c: --deny takes `warnings`\n{}", usage())),
+            },
+            "--report" => match it.next().map(String::as_str) {
+                Some("json") => {
+                    json = true;
+                    Ok(())
+                }
+                Some("text") => {
+                    json = false;
+                    Ok(())
+                }
+                _ => Err(format!(
+                    "fnc2c: --report takes `json` or `text`\n{}",
+                    usage()
+                )),
+            },
+            "--tables" => match it.next() {
+                Some(path) => {
+                    tables = Some(path.clone());
+                    Ok(())
+                }
+                None => Err(format!("fnc2c: --tables takes a file path\n{}", usage())),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => {
+                    cache_dir = Some(dir.clone());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "fnc2c: --cache-dir takes a directory path\n{}",
+                    usage()
+                )),
+            },
+            other if other.starts_with("--") => {
+                Err(format!("fnc2c: unknown lint flag `{other}`\n{}", usage()))
+            }
+            _ => {
+                positional.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            return ExitCode::from(EXIT_DIAGNOSTICS);
+        }
+    }
+    let [path] = positional.as_slice() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    };
+    if tables.is_some() && cache_dir.is_some() {
+        eprintln!(
+            "fnc2c: --tables and --cache-dir are mutually exclusive\n{}",
+            usage()
+        );
+        return ExitCode::from(EXIT_DIAGNOSTICS);
+    }
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            // An unreadable input is environmental, not a lint finding.
+            return ExitCode::from(if code == EXIT_DIAGNOSTICS {
+                EXIT_BUDGET
+            } else {
+                code
+            });
+        }
+    };
+
+    let mut obs = Obs::new();
+    let pipeline = Pipeline::new();
+    // With an artifact source the diagnostics are replayed from the
+    // embedded lint section (no re-analysis on a cache hit); anything
+    // that prevents that — a rejected artifact, a source that no longer
+    // compiles — falls back to the full never-failing lint path.
+    let report = match (tables.as_deref(), cache_dir.as_deref()) {
+        (None, None) => pipeline.lint_olga_recorded(&source, &mut obs),
+        (t, c) => match compile_via(&source, t, c, false, &mut obs) {
+            Ok(compiled) => compiled.lint,
+            Err(_) => pipeline.lint_olga_recorded(&source, &mut obs),
+        },
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    let denied = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    if denied {
+        if report.errors() == 0 {
+            eprintln!("fnc2c: denying warnings (--deny warnings)");
+        }
+        ExitCode::from(EXIT_DIAGNOSTICS)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The `fuzz` subcommand: runs the differential oracle with the given
 /// seed and budgets, prints the counter summary, and on failure prints
 /// the (shrunk) reproducer to stderr and exits nonzero.
@@ -882,6 +1009,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             "--front" => numeric("--front").map(|n| cfg.front_cases = n),
             "--fault" => numeric("--fault").map(|n| cfg.fault_cases = n),
             "--crash" => numeric("--crash").map(|n| cfg.crash_cases = n),
+            "--lint" => numeric("--lint").map(|n| cfg.lint_cases = n),
             "--no-shrink" => {
                 cfg.shrink = false;
                 Ok(())
@@ -900,7 +1028,8 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         "fuzz: seed {}: {} grammar cases ({} tree nodes, {} edits), \
          {} front-end cases ({} accepted, {} rejected), \
          {} fault cases ({} faults injected, {} panics caught), \
-         {} crash cases ({} storage faults, {} records resumed)",
+         {} crash cases ({} storage faults, {} records resumed), \
+         {} lint cases ({} L001 + {} L002 verdicts checked, {} flips, {} witnesses replayed)",
         cfg.seed,
         report.grammar_cases,
         report.nodes,
@@ -913,11 +1042,19 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         report.panics_caught,
         report.crash_cases,
         report.io_faults,
-        report.crash_resumed
+        report.crash_resumed,
+        report.lint_cases,
+        report.lint_unused_checked,
+        report.lint_dead_checked,
+        report.lint_flips,
+        report.lint_witnesses
     );
     match report.failure {
         None => {
-            println!("fuzz: no divergence, no panic, no fault escape, no crash inconsistency");
+            println!(
+                "fuzz: no divergence, no panic, no fault escape, no crash inconsistency, \
+                 no unsound lint"
+            );
             ExitCode::SUCCESS
         }
         Some(fnc2::fuzz::FuzzFailure::Divergence(d)) => {
@@ -940,6 +1077,10 @@ fn run_fuzz(args: &[String]) -> ExitCode {
         Some(fnc2::fuzz::FuzzFailure::Crash(f)) => {
             eprintln!("fuzz: CRASH-CONSISTENCY VIOLATION: {f}");
             ExitCode::from(EXIT_BUDGET)
+        }
+        Some(fnc2::fuzz::FuzzFailure::Lint(f)) => {
+            eprintln!("fuzz: LINT-SOUNDNESS VIOLATION: {f}");
+            ExitCode::from(EXIT_DIAGNOSTICS)
         }
     }
 }

@@ -59,6 +59,7 @@ pub use fnc2_fuzz as fuzz;
 pub use fnc2_gfa as gfa;
 pub use fnc2_guard as guard;
 pub use fnc2_incremental as incremental;
+pub use fnc2_lint as lint;
 pub use fnc2_obs as obs;
 pub use fnc2_olga as olga;
 pub use fnc2_par as par;
@@ -106,12 +107,14 @@ pub struct PhaseTimes {
     pub visit_sequences: Duration,
     /// Space optimization.
     pub space: Duration,
+    /// Grammar-level lint pass.
+    pub lint: Duration,
 }
 
 impl PhaseTimes {
     /// Total generator time.
     pub fn total(&self) -> Duration {
-        self.analysis + self.visit_sequences + self.space
+        self.analysis + self.visit_sequences + self.space + self.lint
     }
 }
 
@@ -218,6 +221,9 @@ pub struct Compiled {
     pub lifetimes: Option<Lifetimes>,
     /// The storage plan (when space optimization ran).
     pub space_plan: Option<SpacePlan>,
+    /// The lint findings (grammar-level static analyses; see
+    /// [`fnc2_lint`]). Loaded artifacts replay these from the cache.
+    pub lint: fnc2_lint::LintReport,
     /// The generator's summary.
     pub report: Report,
     /// Whether the evaluators hash-cons the values they build (on by
@@ -608,6 +614,10 @@ impl Pipeline {
             .as_ref()
             .expect("evaluable grammars have plans");
 
+        obs.phases.enter("lint");
+        let lint = fnc2_lint::lint_grammar_recorded(&grammar, Some(&classification), obs);
+        obs.phases.leave();
+
         obs.phases.enter("visit.sequences");
         let seqs = build_visit_seqs(&grammar, lo);
         obs.phases.leave();
@@ -634,6 +644,7 @@ impl Pipeline {
         let analysis_time = nanos("analysis");
         let vs_time = nanos("visit.sequences");
         let space_time = nanos("space.analysis");
+        let lint_time = nanos("lint");
 
         let report = Report {
             class: classification.class,
@@ -647,6 +658,7 @@ impl Pipeline {
                 analysis: analysis_time,
                 visit_sequences: vs_time,
                 space: space_time,
+                lint: lint_time,
             },
         };
         Ok(Compiled {
@@ -657,6 +669,7 @@ impl Pipeline {
             objects,
             lifetimes,
             space_plan,
+            lint,
             report,
             intern: self.intern,
         })
@@ -685,6 +698,81 @@ impl Pipeline {
     ) -> Result<Compiled, PipelineError> {
         let grammar = olga_front_end_recorded(source, obs)?;
         self.compile_recorded(grammar, obs)
+    }
+
+    /// [`lint_olga_recorded`](Self::lint_olga_recorded) without
+    /// instrumentation.
+    pub fn lint_olga(&self, source: &str) -> fnc2_lint::LintReport {
+        self.lint_olga_recorded(source, &mut Obs::new())
+    }
+
+    /// Runs the lint pass over OLGA `source` and never fails: front-end
+    /// rejections become `L100`–`L102` diagnostics in the report, and a
+    /// grammar that lowers gets the full grammar-level lint — including
+    /// the circularity lints `L010`–`L012` — even when it is not
+    /// evaluable (which is exactly when the witnesses matter most).
+    pub fn lint_olga_recorded(&self, source: &str, obs: &mut Obs) -> fnc2_lint::LintReport {
+        use fnc2_lint::{Code, Diagnostic, LintReport, Span};
+
+        let grammar = match olga_front_end_recorded(source, obs) {
+            Ok(grammar) => grammar,
+            Err(e) => {
+                let diags = match e {
+                    PipelineError::Olga(fnc2_olga::OlgaError::Parse(pe)) => {
+                        vec![Diagnostic::new(
+                            Code::FrontSyntax,
+                            Span::at(pe.pos.line, pe.pos.col, "olga source"),
+                            pe.message,
+                        )]
+                    }
+                    PipelineError::Olga(fnc2_olga::OlgaError::Check(ce)) => {
+                        vec![Diagnostic::new(
+                            Code::FrontCheck,
+                            Span::at(ce.pos.line, ce.pos.col, "olga source"),
+                            ce.message,
+                        )]
+                    }
+                    PipelineError::Olga(fnc2_olga::OlgaError::Lower(le)) => {
+                        let gerrs = le.grammar_errors();
+                        if gerrs.is_empty() {
+                            vec![Diagnostic::new(
+                                Code::FrontCheck,
+                                Span::anchor("lowering"),
+                                le.to_string(),
+                            )]
+                        } else {
+                            gerrs
+                                .iter()
+                                .map(|ge| {
+                                    Diagnostic::new(
+                                        Code::WellFormedness,
+                                        Span::anchor("lowered grammar"),
+                                        ge.to_string(),
+                                    )
+                                })
+                                .collect()
+                        }
+                    }
+                    other => vec![Diagnostic::new(
+                        Code::FrontCheck,
+                        Span::anchor("front end"),
+                        other.to_string(),
+                    )],
+                };
+                let report = LintReport::new(diags);
+                fnc2_lint::record_report(&report, obs);
+                return report;
+            }
+        };
+        // Classification feeds the circularity lints; a transform failure
+        // (impossible for SNC grammars) just drops them.
+        obs.phases.enter("analysis");
+        let class = classify_recorded(&grammar, self.max_oag_k, self.inclusion, obs).ok();
+        obs.phases.leave();
+        obs.phases.enter("lint");
+        let report = fnc2_lint::lint_grammar_recorded(&grammar, class.as_ref(), obs);
+        obs.phases.leave();
+        report
     }
 }
 

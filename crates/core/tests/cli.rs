@@ -504,3 +504,73 @@ fn cache_gc_sweeps_temps_and_quarantine() {
     assert!(!qdir.join("fnc2-0000000000000002.corrupt.tbl").exists());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A grammar with findings but no errors: `scratch` is computed and
+/// never read, so `lint` reports warnings and the exit code answers to
+/// `--deny warnings`.
+const SLOPPY: &str = r#"
+attribute grammar sloppy;
+  phylum S, T;
+  operator top  : S ::= T;
+  operator leaf : T ::= ;
+  synthesized n : int of S;
+  synthesized v : int of T;
+  synthesized scratch : int of T;
+  for top  { S.n := T.v; }
+  for leaf { T.v := 1;  T.scratch := 2; }
+end
+"#;
+
+#[test]
+fn lint_exit_codes_follow_the_contract() {
+    // Clean grammar: exit 0, summary says so.
+    let out = run_with_stdin(&["lint", "-"], COUNT);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lint: 0 error(s), 0 warning(s)"), "{text}");
+
+    // Warnings alone keep exit 0 — unless the caller denies them.
+    let out = run_with_stdin(&["lint", "-"], SLOPPY);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warning[L001]"), "{text}");
+    let out = run_with_stdin(&["lint", "--deny", "warnings", "-"], SLOPPY);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // A front-end rejection is a diagnostic (exit 1), not a crash.
+    let out = run_with_stdin(
+        &["lint", "-"],
+        "attribute grammar broken;\n  phylum ;\nend\n",
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[L102]"), "{text}");
+}
+
+#[test]
+fn lint_json_report_is_byte_stable() {
+    let a = run_with_stdin(&["lint", "--report", "json", "-"], SLOPPY);
+    let b = run_with_stdin(&["lint", "--report", "json", "-"], SLOPPY);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "lint --report json must be byte-stable");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("\"code\":\"L001\""), "{text}");
+}
+
+#[test]
+fn lint_via_cache_replays_the_same_report() {
+    let dir = std::env::temp_dir().join(format!("fnc2-lint-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.to_str().unwrap();
+
+    // Miss (full compile), then hit (artifact replay): identical bytes.
+    let miss = run_with_stdin(&["lint", "--cache-dir", cache, "-"], SLOPPY);
+    let hit = run_with_stdin(&["lint", "--cache-dir", cache, "-"], SLOPPY);
+    assert_eq!(miss.status.code(), Some(0), "{miss:?}");
+    assert_eq!(hit.status.code(), Some(0), "{hit:?}");
+    assert_eq!(
+        miss.stdout, hit.stdout,
+        "cached lint must replay identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

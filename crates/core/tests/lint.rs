@@ -1,0 +1,210 @@
+//! Lint pass vs. the corpus.
+//!
+//! The classics must come back clean, a deliberately degraded grammar
+//! must trip every warning code the structural lints own, the
+//! pathological ladder must map onto the circularity codes with
+//! verified witnesses, front-end rejections must surface as `L101`/
+//! `L102` diagnostics (never a hard failure), the JSON report must be
+//! byte-stable run over run, and a compiled-table artifact must replay
+//! the exact diagnostics of the compile that produced it.
+
+use fnc2::analysis::{classify, Inclusion};
+use fnc2::artifact::{emit_tables, load_tables};
+use fnc2::lint::{lint_grammar, Code, Severity};
+use fnc2::Pipeline;
+use fnc2_corpus::{circular, dnc_not_oag, oag1_not_oag0, snc_only, DESK_OLGA, MINIPASCAL_OLGA};
+
+/// Every structural warning in one small grammar: `scratch` is computed
+/// but never read (L001) by a rule that feeds nothing else (L002), `U`
+/// is disconnected from the root (L003 for `lost`), `W` only derives
+/// itself (L004, plus L003 for `spin`), and `out <- a <- b` is pure
+/// copy plumbing (L005).
+const DEGRADED: &str = r#"
+attribute grammar degraded;
+  phylum S, T, V, U, W;
+  operator top   : S ::= T;
+  operator mid   : T ::= V;
+  operator leafv : V ::= ;
+  operator lost  : U ::= ;
+  operator spin  : W ::= W;
+
+  synthesized out : int of S;
+  synthesized a : int of T;
+  synthesized b : int of V;
+  synthesized scratch : int of T;
+  synthesized uv : int of U;
+  synthesized wv : int of W;
+
+  for top   { S.out := T.a; }
+  for mid   { T.a := V.b;  T.scratch := V.b + 1; }
+  for leafv { V.b := 7; }
+  for lost  { U.uv := 1; }
+  for spin  { W$1.wv := W$2.wv; }
+end
+"#;
+
+#[test]
+fn corpus_classics_lint_clean() {
+    let pipeline = Pipeline::new();
+    for (name, source) in [("desk", DESK_OLGA), ("minipascal", MINIPASCAL_OLGA)] {
+        let report = pipeline.lint_olga(source);
+        assert!(
+            report.is_clean(),
+            "{name} should lint clean, got:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn degraded_grammar_trips_every_structural_code() {
+    let report = Pipeline::new().lint_olga(DEGRADED);
+    assert_eq!(report.errors(), 0, "{}", report.render_text());
+    for code in [
+        Code::UnusedAttribute,
+        Code::DeadRule,
+        Code::UnreachableProduction,
+        Code::UnderivablePhylum,
+        Code::CopyChain,
+    ] {
+        assert!(
+            report.with_code(code).count() > 0,
+            "expected at least one {} finding, got:\n{}",
+            code.as_str(),
+            report.render_text()
+        );
+    }
+    // Spot-check the stories the messages tell.
+    assert!(report
+        .with_code(Code::UnusedAttribute)
+        .any(|d| d.message.contains("T.scratch")));
+    assert!(report
+        .with_code(Code::UnreachableProduction)
+        .any(|d| d.message.contains("`lost`")));
+    assert!(report
+        .with_code(Code::UnderivablePhylum)
+        .any(|d| d.message.contains("`W`")));
+    assert!(report
+        .with_code(Code::CopyChain)
+        .any(|d| d.message.contains("S.out <- T.a <- V.b")));
+}
+
+#[test]
+fn pathological_ladder_maps_to_circularity_codes() {
+    // Not SNC: the hard stop, an error with a verified witness.
+    let g = circular();
+    let cls = classify(&g, 2, Inclusion::Long).unwrap();
+    let report = lint_grammar(&g, Some(&cls));
+    let not_snc: Vec<_> = report.with_code(Code::NotSnc).collect();
+    assert_eq!(not_snc.len(), 1, "{}", report.render_text());
+    assert_eq!(not_snc[0].severity, Severity::Error);
+    assert!(
+        not_snc[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("witness verified")),
+        "witness must verify: {:?}",
+        not_snc[0].notes
+    );
+
+    // SNC but not DNC: a warning — the transformation still applies.
+    let g = snc_only();
+    let cls = classify(&g, 2, Inclusion::Long).unwrap();
+    let report = lint_grammar(&g, Some(&cls));
+    assert_eq!(
+        report.with_code(Code::NotDnc).count(),
+        1,
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.errors(), 0);
+
+    // DNC but not OAG(k): a warning pointing at the ordered test.
+    // Three independent conflicts need three repairs, so k = 1 fails.
+    let g = dnc_not_oag(3);
+    let cls = classify(&g, 1, Inclusion::Long).unwrap();
+    let report = lint_grammar(&g, Some(&cls));
+    assert_eq!(
+        report.with_code(Code::NotOag).count(),
+        1,
+        "{}",
+        report.render_text()
+    );
+    assert_eq!(report.errors(), 0);
+
+    // OAG(1) passes the circularity lints when k=1 is tested (the
+    // ladder grammars still carry incidental copy-chain warnings),
+    // L012 when only k=0 is.
+    let g = oag1_not_oag0();
+    let cls = classify(&g, 1, Inclusion::Long).unwrap();
+    let report = lint_grammar(&g, Some(&cls));
+    for code in [Code::NotSnc, Code::NotDnc, Code::NotOag] {
+        assert_eq!(
+            report.with_code(code).count(),
+            0,
+            "{}",
+            report.render_text()
+        );
+    }
+    let cls = classify(&g, 0, Inclusion::Long).unwrap();
+    let report = lint_grammar(&g, Some(&cls));
+    assert_eq!(
+        report.with_code(Code::NotOag).count(),
+        1,
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn front_end_rejections_become_diagnostics() {
+    let pipeline = Pipeline::new();
+
+    // A parse error: L102 with the source position.
+    let report = pipeline.lint_olga("attribute grammar broken;\n  phylum ;\nend\n");
+    assert_eq!(report.errors(), 1, "{}", report.render_text());
+    let syntax: Vec<_> = report.with_code(Code::FrontSyntax).collect();
+    assert_eq!(syntax.len(), 1);
+    assert_ne!((syntax[0].span.line, syntax[0].span.col), (0, 0));
+
+    // A check error (undeclared attribute): L101, still not a panic.
+    let report = pipeline.lint_olga(
+        "attribute grammar broken;\n  phylum S;\n  operator leaf : S ::= ;\n  \
+         for leaf { S.ghost := 1; }\nend\n",
+    );
+    assert!(report.errors() >= 1, "{}", report.render_text());
+    assert!(report.with_code(Code::FrontCheck).count() >= 1);
+}
+
+#[test]
+fn json_report_is_byte_stable() {
+    // Two pipelines, two runs: the rendered JSON must be identical
+    // byte for byte — the ordering contract `sort_diagnostics` pins.
+    let a = Pipeline::new().lint_olga(DEGRADED).to_json().to_string();
+    let b = Pipeline::new().lint_olga(DEGRADED).to_json().to_string();
+    assert_eq!(a, b);
+    let ta = Pipeline::new().lint_olga(DEGRADED).render_text();
+    let tb = Pipeline::new().lint_olga(DEGRADED).render_text();
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn cached_artifact_replays_lint_diagnostics() {
+    let pipeline = Pipeline::new();
+    let compiled = pipeline.compile_olga(DEGRADED).unwrap();
+    assert!(
+        !compiled.lint.diags.is_empty(),
+        "degraded grammar must warn"
+    );
+
+    let bytes = emit_tables(&compiled, &pipeline, DEGRADED);
+    let loaded = load_tables(&bytes, DEGRADED, &pipeline).unwrap();
+    assert_eq!(
+        loaded.lint.diags, compiled.lint.diags,
+        "cached startup must replay the compile's diagnostics"
+    );
+    assert_eq!(
+        loaded.lint.to_json().to_string(),
+        compiled.lint.to_json().to_string()
+    );
+}

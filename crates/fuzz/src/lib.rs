@@ -29,12 +29,14 @@ pub mod crash;
 pub mod fault;
 pub mod front;
 pub mod gen;
+pub mod lints;
 pub mod oracle;
 
 pub use crash::{run_crash_case, CrashFailure, CrashStats};
 pub use fault::{run_fault_case, FaultFailure, FaultStats};
 pub use front::{FrontFailure, FrontStats};
 pub use gen::{build_grammar_pair, build_tree, CaseParams, GenGrammar, MUTANT_CONSTANT};
+pub use lints::{run_lint_case, LintFailure, LintStats};
 pub use oracle::{render_reproducer, run_case, shrink, CaseStats, Divergence};
 
 use fnc2_obs::Obs;
@@ -52,6 +54,8 @@ pub struct FuzzConfig {
     pub fault_cases: u64,
     /// Number of crash-recovery cases (storage faults + [`crash`] stage).
     pub crash_cases: u64,
+    /// Number of lint-soundness cases ([`lints`] stage).
+    pub lint_cases: u64,
     /// Whether to shrink the first divergence before reporting it.
     pub shrink: bool,
 }
@@ -64,6 +68,7 @@ impl Default for FuzzConfig {
             front_cases: 512,
             fault_cases: 128,
             crash_cases: 64,
+            lint_cases: 256,
             shrink: true,
         }
     }
@@ -80,6 +85,8 @@ pub enum FuzzFailure {
     Fault(FaultFailure),
     /// A storage fault violated the crash-consistency contract.
     Crash(CrashFailure),
+    /// A static lint verdict was refuted by a dynamic evaluator.
+    Lint(LintFailure),
 }
 
 /// The outcome of a fuzzing run: counters plus the first failure.
@@ -109,6 +116,16 @@ pub struct FuzzReport {
     pub io_faults: u64,
     /// Journal records recovered by post-crash resumes.
     pub crash_resumed: u64,
+    /// Lint-soundness cases run.
+    pub lint_cases: u64,
+    /// `L001` verdicts checked against the exhaustive read trace.
+    pub lint_unused_checked: u64,
+    /// `L002` verdicts checked against demand evaluation.
+    pub lint_dead_checked: u64,
+    /// Attributes flipped to `L001` by injected mutations, as required.
+    pub lint_flips: u64,
+    /// Circularity witnesses verified and replayed.
+    pub lint_witnesses: u64,
     /// First failure found, already shrunk when shrinking is on.
     pub failure: Option<FuzzFailure>,
 }
@@ -210,6 +227,30 @@ fn run_inner(cfg: &FuzzConfig, obs: &mut Obs) -> FuzzReport {
         }
     }
 
+    for case in 0..cfg.lint_cases {
+        report.lint_cases += 1;
+        obs.metrics.count("fuzz.lint_cases", 1);
+        match lints::run_lint_case(cfg.seed, case) {
+            Ok(stats) => {
+                report.lint_unused_checked += stats.unused_checked;
+                report.lint_dead_checked += stats.dead_checked;
+                report.lint_flips += stats.flips;
+                report.lint_witnesses += stats.witnesses;
+                obs.metrics
+                    .count("fuzz.lint_unused_checked", stats.unused_checked);
+                obs.metrics
+                    .count("fuzz.lint_dead_checked", stats.dead_checked);
+                obs.metrics.count("fuzz.lint_flips", stats.flips);
+                obs.metrics.count("fuzz.lint_witnesses", stats.witnesses);
+            }
+            Err(f) => {
+                obs.metrics.count("fuzz.lint_failures", 1);
+                report.failure = Some(FuzzFailure::Lint(f));
+                return report;
+            }
+        }
+    }
+
     report
 }
 
@@ -225,6 +266,7 @@ mod tests {
             front_cases: 24,
             fault_cases: 8,
             crash_cases: 6,
+            lint_cases: 10,
             shrink: true,
         };
         let mut obs = Obs::new();
@@ -237,12 +279,16 @@ mod tests {
                 FuzzFailure::FrontPanic(p) => panic!("front panic: {p:?}"),
                 FuzzFailure::Fault(p) => panic!("fault contract violation: {p}"),
                 FuzzFailure::Crash(p) => panic!("crash contract violation: {p}"),
+                FuzzFailure::Lint(p) => panic!("lint soundness violation: {p}"),
             }
         }
         assert_eq!(report.grammar_cases, 12);
         assert_eq!(report.front_cases, 24);
         assert_eq!(report.fault_cases, 8);
         assert_eq!(report.crash_cases, 6);
+        assert_eq!(report.lint_cases, 10);
+        assert_eq!(obs.metrics.counter("fuzz.lint_cases"), 10);
+        assert_eq!(report.lint_witnesses, 10);
         assert_eq!(obs.metrics.counter("fuzz.fault_cases"), 8);
         assert_eq!(obs.metrics.counter("fuzz.crash_cases"), 6);
         assert!(report.nodes > 0);

@@ -238,6 +238,7 @@ fn run_case_inner(params: &CaseParams) -> Result<CaseStats, Divergence> {
             Some(&fp),
             Some(&lt),
             Some(&plan),
+            &fnc2_lint::lint_grammar(g, Some(&cls)).diags,
         );
         let bytes = tables.to_bytes();
         let (loaded, loaded_fp) = Tables::from_bytes(&bytes)

@@ -1,0 +1,183 @@
+//! Copy-chain analysis (`L005`): attributes whose value is only ever a
+//! copy of another attribute.
+//!
+//! FNC-2's transport machinery (and this reproduction's auto-copy
+//! insertion) makes pure copy rules cheap, but an attribute *every* one
+//! of whose defining rules is a copy of the same other attribute is pure
+//! plumbing: its value is always that attribute's value, hop by hop. The
+//! lint follows unique-copy edges to their origin and reports chains of
+//! two or more hops — the longer the chain, the more stores and visit
+//! instructions the grammar spends moving a value that never changes.
+
+use std::collections::BTreeMap;
+
+use fnc2_ag::{Arg, AttrId, Grammar, ONode, RuleBody};
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::live::attr_name;
+
+/// Per-attribute copy facts, exposed for tests and the fuzz oracle.
+#[derive(Clone, Debug, Default)]
+pub struct CopyGraph {
+    /// `edges[a] = b` — every rule defining `a` is a pure copy of `b`.
+    pub edges: BTreeMap<AttrId, AttrId>,
+}
+
+impl CopyGraph {
+    /// Builds the unique-copy-source graph of `grammar`.
+    ///
+    /// An edge `a -> b` exists when `a` has at least one defining rule,
+    /// every defining rule of `a` is `Copy` of an attribute occurrence,
+    /// and all those occurrences name the same attribute `b != a`.
+    pub fn compute(grammar: &Grammar) -> CopyGraph {
+        // For each attribute: None = no defining rule seen yet;
+        // Some(None) = disqualified; Some(Some(b)) = all copies of b so far.
+        let mut src: Vec<Option<Option<AttrId>>> = vec![None; grammar.attr_count()];
+        for p in grammar.productions() {
+            for rule in grammar.production(p).rules() {
+                let ONode::Attr(target) = rule.target() else {
+                    continue;
+                };
+                let a = target.attr.index();
+                let this_src = match rule.body() {
+                    RuleBody::Copy(Arg::Node(ONode::Attr(o))) if o.attr != target.attr => {
+                        Some(o.attr)
+                    }
+                    _ => None,
+                };
+                src[a] = Some(match (src[a], this_src) {
+                    (None, s) => s,
+                    (Some(Some(prev)), Some(next)) if prev == next => Some(prev),
+                    _ => None,
+                });
+            }
+        }
+        let edges = src
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.flatten().map(|b| (AttrId::from_raw(i as u32), b)))
+            .collect();
+        CopyGraph { edges }
+    }
+
+    /// Maximal chains of unique-copy edges with at least `min_hops` hops,
+    /// each as the sequence of attributes from consumer to origin.
+    ///
+    /// A chain starts at an attribute that is not itself the source of a
+    /// unique-copy edge (so every maximal chain is reported exactly once)
+    /// and follows edges until an attribute with no edge — or, for copy
+    /// cycles, until the walk would revisit its own start.
+    pub fn chains(&self, min_hops: usize) -> Vec<Vec<AttrId>> {
+        let mut is_source = std::collections::HashSet::new();
+        for b in self.edges.values() {
+            is_source.insert(*b);
+        }
+        let mut out = Vec::new();
+        for a in self.edges.keys() {
+            if is_source.contains(a) {
+                continue;
+            }
+            let mut chain = vec![*a];
+            let mut cur = *a;
+            while let Some(&next) = self.edges.get(&cur) {
+                if chain.contains(&next) {
+                    break; // copy cycle; circularity lints own that story
+                }
+                chain.push(next);
+                cur = next;
+            }
+            if chain.len() > min_hops {
+                out.push(chain);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the copy-chain lint, appending `L005` diagnostics.
+pub fn lint_copies(grammar: &Grammar, copies: &CopyGraph, diags: &mut Vec<Diagnostic>) {
+    for chain in copies.chains(2) {
+        let head = attr_name(grammar, chain[0]);
+        let rendered: Vec<String> = chain.iter().map(|&a| attr_name(grammar, a)).collect();
+        diags.push(
+            Diagnostic::new(
+                Code::CopyChain,
+                Span::anchor(head.clone()),
+                format!(
+                    "attribute `{head}` is pure copy plumbing: {}",
+                    rendered.join(" <- ")
+                ),
+            )
+            .with_note(format!(
+                "{} hop(s); every defining rule along the chain is a copy, so the value \
+                 originates at `{}`",
+                chain.len() - 1,
+                rendered.last().unwrap()
+            )),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ, Value};
+
+    use super::*;
+
+    /// R.out <- S.mid <- T.v, with T.v computed from a constant.
+    #[test]
+    fn two_hop_chain_is_reported() {
+        let mut g = GrammarBuilder::new("chain");
+        let r = g.phylum("R");
+        let s = g.phylum("S");
+        let t = g.phylum("T");
+        let out = g.syn(r, "out");
+        let mid = g.syn(s, "mid");
+        let v = g.syn(t, "v");
+        let top = g.production("top", r, &[s]);
+        g.copy(top, Occ::lhs(out), Occ::new(1, mid));
+        let step = g.production("step", s, &[t]);
+        g.copy(step, Occ::lhs(mid), Occ::new(1, v));
+        let leaf = g.production("leaf", t, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(7));
+        let grammar = g.finish().unwrap();
+
+        let copies = CopyGraph::compute(&grammar);
+        assert_eq!(copies.edges.len(), 2);
+        let chains = copies.chains(2);
+        assert_eq!(chains.len(), 1, "{chains:?}");
+        assert_eq!(chains[0], vec![out, mid, v]);
+
+        let mut diags = Vec::new();
+        lint_copies(&grammar, &copies, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("R.out <- S.mid <- T.v"));
+    }
+
+    /// A single copy hop is idiomatic transport, not a finding; an
+    /// attribute defined by copies of *different* sources is not pure
+    /// plumbing either.
+    #[test]
+    fn single_hops_and_mixed_sources_are_not_flagged() {
+        let mut g = GrammarBuilder::new("ok");
+        let r = g.phylum("R");
+        let s = g.phylum("S");
+        let out = g.syn(r, "out");
+        let a = g.syn(s, "a");
+        let b = g.syn(s, "b");
+        let top = g.production("top", r, &[s]);
+        g.copy(top, Occ::lhs(out), Occ::new(1, a));
+        let alt = g.production("alt", r, &[s]);
+        g.copy(alt, Occ::lhs(out), Occ::new(1, b));
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(a), Value::Int(1));
+        g.constant(leaf, Occ::lhs(b), Value::Int(2));
+        let grammar = g.finish().unwrap();
+
+        let copies = CopyGraph::compute(&grammar);
+        assert!(copies.edges.is_empty(), "{:?}", copies.edges);
+        let mut diags = Vec::new();
+        lint_copies(&grammar, &copies, &mut diags);
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! The severity-graded, stable-ordered diagnostic framework.
+//!
+//! Every finding of the lint pass — and every front-end finding threaded
+//! through it — is a [`Diagnostic`]: a stable code, a severity, a span
+//! (source position and/or grammar-entity anchor), a one-line message,
+//! and related notes. Diagnostics sort deterministically by
+//! `(code, span, message)` so text and JSON reports are byte-stable
+//! across runs.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use fnc2_obs::Json;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The grammar is usable, but something is off.
+    Warning,
+    /// The grammar is rejected (circularity, well-formedness).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase tag used in reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a report tag back into a severity.
+    pub fn from_tag(tag: &str) -> Option<Severity> {
+        match tag {
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The stable lint-code vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// `L001` — an attribute no semantic rule ever reads.
+    UnusedAttribute,
+    /// `L002` — a semantic rule whose target cannot reach a root output.
+    DeadRule,
+    /// `L003` — a production that can appear in no derivation tree.
+    UnreachableProduction,
+    /// `L004` — a phylum that derives no finite tree.
+    UnderivablePhylum,
+    /// `L005` — a pure copy-propagation chain across attributes.
+    CopyChain,
+    /// `L010` — the grammar is not strongly non-circular (rejected).
+    NotSnc,
+    /// `L011` — SNC but not doubly non-circular (no start-anywhere).
+    NotDnc,
+    /// `L012` — SNC/DNC but not OAG within the allowed ladder.
+    NotOag,
+    /// `L100` — a well-formedness violation from the front end
+    /// (missing/duplicate rules after auto-copy insertion).
+    WellFormedness,
+    /// `L101` — a front-end semantic (type/resolution) error.
+    FrontCheck,
+    /// `L102` — a front-end syntax error.
+    FrontSyntax,
+}
+
+impl Code {
+    /// Every code, in code order.
+    pub const ALL: [Code; 11] = [
+        Code::UnusedAttribute,
+        Code::DeadRule,
+        Code::UnreachableProduction,
+        Code::UnderivablePhylum,
+        Code::CopyChain,
+        Code::NotSnc,
+        Code::NotDnc,
+        Code::NotOag,
+        Code::WellFormedness,
+        Code::FrontCheck,
+        Code::FrontSyntax,
+    ];
+
+    /// The stable report code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnusedAttribute => "L001",
+            Code::DeadRule => "L002",
+            Code::UnreachableProduction => "L003",
+            Code::UnderivablePhylum => "L004",
+            Code::CopyChain => "L005",
+            Code::NotSnc => "L010",
+            Code::NotDnc => "L011",
+            Code::NotOag => "L012",
+            Code::WellFormedness => "L100",
+            Code::FrontCheck => "L101",
+            Code::FrontSyntax => "L102",
+        }
+    }
+
+    /// Parses a stable report code (`"L001"`) back into a [`Code`].
+    pub fn from_code_str(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The code's default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnusedAttribute
+            | Code::DeadRule
+            | Code::UnreachableProduction
+            | Code::UnderivablePhylum
+            | Code::CopyChain
+            | Code::NotDnc
+            | Code::NotOag => Severity::Warning,
+            Code::NotSnc | Code::WellFormedness | Code::FrontCheck | Code::FrontSyntax => {
+                Severity::Error
+            }
+        }
+    }
+}
+
+/// Where a diagnostic points: an optional source position (front-end
+/// findings) and a grammar-entity anchor (grammar-level findings).
+///
+/// Spans order by `(line, col, anchor)`; position `0:0` means "no source
+/// position" and sorts first.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based source line, or 0 when the finding has no source position.
+    pub line: u32,
+    /// 1-based source column, or 0.
+    pub col: u32,
+    /// Grammar-entity anchor, e.g. `Seq.length` or `production pair`.
+    pub anchor: String,
+}
+
+impl Span {
+    /// A span anchored to a grammar entity, with no source position.
+    pub fn anchor(anchor: impl Into<String>) -> Span {
+        Span {
+            line: 0,
+            col: 0,
+            anchor: anchor.into(),
+        }
+    }
+
+    /// A span at a source position.
+    pub fn at(line: u32, col: u32, anchor: impl Into<String>) -> Span {
+        Span {
+            line,
+            col,
+            anchor: anchor.into(),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}", self.line, self.col)?;
+            if !self.anchor.is_empty() {
+                write!(f, " ({})", self.anchor)?;
+            }
+            Ok(())
+        } else {
+            write!(f, "{}", self.anchor)
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (defaults to the code's, but `--deny warnings` style
+    /// promotion happens at render time, not here).
+    pub severity: Severity,
+    /// Where the finding points.
+    pub span: Span,
+    /// The one-line message.
+    pub message: String,
+    /// Related notes (e.g. the cycle edges of a circularity witness).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no notes.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The deterministic ordering key: code, then span, then message.
+    fn sort_key(&self) -> (&'static str, &Span, &str) {
+        (self.code.as_str(), &self.span, &self.message)
+    }
+
+    /// This diagnostic as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("code", Json::str(self.code.as_str())),
+            ("severity", Json::str(self.severity.tag())),
+            (
+                "span",
+                Json::obj([
+                    ("line", Json::Int(self.span.line as i64)),
+                    ("col", Json::Int(self.span.col as i64)),
+                    ("anchor", Json::str(self.span.anchor.clone())),
+                ]),
+            ),
+            ("message", Json::str(self.message.clone())),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::str(n.as_str())).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the diagnostic as compiler-style text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}\n",
+            self.severity.tag(),
+            self.code.as_str(),
+            self.message,
+            self.span
+        );
+        for note in &self.notes {
+            out.push_str("  note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Sorts diagnostics into the canonical deterministic order:
+/// code, then span, then message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.sort_key()
+            .cmp(&b.sort_key())
+            .then_with(|| a.notes.cmp(&b.notes))
+            .then(Ordering::Equal)
+    });
+}
+
+/// The outcome of a lint run: the sorted findings plus tallies.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// The findings, in canonical order.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Wraps and canonically sorts `diags`.
+    pub fn new(mut diags: Vec<Diagnostic>) -> LintReport {
+        sort_diagnostics(&mut diags);
+        LintReport { diags }
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// All findings of `code`.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// The report as a JSON object (deterministic: findings are sorted).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "diagnostics",
+                Json::Arr(self.diags.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("errors", Json::Int(self.errors() as i64)),
+            ("warnings", Json::Int(self.warnings() as i64)),
+        ])
+    }
+
+    /// The report as compiler-style text, ending with a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.render_text());
+        }
+        out.push_str(&format!(
+            "lint: {} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "codes must be unique and in code order");
+    }
+
+    #[test]
+    fn sorting_is_by_code_then_span_then_message() {
+        let mk =
+            |code: Code, anchor: &str, msg: &str| Diagnostic::new(code, Span::anchor(anchor), msg);
+        let mut diags = vec![
+            mk(Code::CopyChain, "b", "z"),
+            mk(Code::UnusedAttribute, "c", "y"),
+            mk(Code::CopyChain, "b", "a"),
+            mk(Code::CopyChain, "a", "z"),
+            mk(Code::UnusedAttribute, "c", "x"),
+        ];
+        sort_diagnostics(&mut diags);
+        let keys: Vec<(&str, &str, &str)> = diags
+            .iter()
+            .map(|d| (d.code.as_str(), d.span.anchor.as_str(), d.message.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("L001", "c", "x"),
+                ("L001", "c", "y"),
+                ("L005", "a", "z"),
+                ("L005", "b", "a"),
+                ("L005", "b", "z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn text_and_json_are_deterministic() {
+        let d = Diagnostic::new(
+            Code::UnusedAttribute,
+            Span::anchor("S.n"),
+            "attribute `S.n` is never read",
+        )
+        .with_note("declared synthesized of S");
+        let r1 = LintReport::new(vec![d.clone()]);
+        let r2 = LintReport::new(vec![d]);
+        assert_eq!(r1.to_json().to_string(), r2.to_json().to_string());
+        assert_eq!(r1.render_text(), r2.render_text());
+        assert!(r1.render_text().contains("warning[L001]"));
+        assert!(r1.to_json().to_string().contains("\"code\":\"L001\""));
+    }
+
+    #[test]
+    fn severity_tags_round_trip() {
+        for s in [Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(Severity::from_tag("fatal"), None);
+    }
+}

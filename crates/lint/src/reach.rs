@@ -1,0 +1,175 @@
+//! Useless-symbol analysis: unreachable productions (`L003`) and
+//! underivable phyla (`L004`).
+//!
+//! Classic grammar hygiene, transposed to the abstract AG: a phylum is
+//! *derivable* when at least one of its productions has only derivable
+//! RHS phyla (least fixpoint — the same bottom-up height argument as the
+//! pipeline's smoke-tree builder), and a phylum is *reachable* when the
+//! root derives it. A production is useless when its LHS is unreachable
+//! or any RHS phylum is underivable: no derivation tree can ever contain
+//! it, so the evaluators can never visit it.
+
+use fnc2_ag::{Grammar, PhylumId};
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Reachability/derivability facts, exposed for the fuzz oracle.
+#[derive(Clone, Debug)]
+pub struct Usefulness {
+    /// `derivable[ph]` — the phylum derives at least one finite tree.
+    pub derivable: Vec<bool>,
+    /// `reachable[ph]` — the root derives the phylum.
+    pub reachable: Vec<bool>,
+}
+
+impl Usefulness {
+    /// Computes both fixpoints for `grammar`.
+    pub fn compute(grammar: &Grammar) -> Usefulness {
+        let mut derivable = vec![false; grammar.phylum_count()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in grammar.productions() {
+                let prod = grammar.production(p);
+                if derivable[prod.lhs().index()] {
+                    continue;
+                }
+                if prod.rhs().iter().all(|ph| derivable[ph.index()]) {
+                    derivable[prod.lhs().index()] = true;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut reachable = vec![false; grammar.phylum_count()];
+        let mut work = vec![grammar.root()];
+        reachable[grammar.root().index()] = true;
+        while let Some(ph) = work.pop() {
+            for &p in grammar.phylum(ph).productions() {
+                for &child in grammar.production(p).rhs() {
+                    if !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        work.push(child);
+                    }
+                }
+            }
+        }
+        Usefulness {
+            derivable,
+            reachable,
+        }
+    }
+
+    /// True when the production can appear in a derivation tree.
+    pub fn production_useful(&self, grammar: &Grammar, p: fnc2_ag::ProductionId) -> bool {
+        let prod = grammar.production(p);
+        self.reachable[prod.lhs().index()] && prod.rhs().iter().all(|ph| self.derivable[ph.index()])
+    }
+
+    /// Phyla that derive no finite tree, in id order.
+    pub fn underivable(&self, grammar: &Grammar) -> Vec<PhylumId> {
+        grammar
+            .phyla()
+            .filter(|ph| !self.derivable[ph.index()])
+            .collect()
+    }
+}
+
+/// Runs the usefulness lints, appending `L003`/`L004` diagnostics.
+pub fn lint_usefulness(grammar: &Grammar, useful: &Usefulness, diags: &mut Vec<Diagnostic>) {
+    for ph in useful.underivable(grammar) {
+        let name = grammar.phylum(ph).name();
+        diags.push(
+            Diagnostic::new(
+                Code::UnderivablePhylum,
+                Span::anchor(name),
+                format!("phylum `{name}` derives no finite tree"),
+            )
+            .with_note("every production of this phylum mentions an underivable phylum"),
+        );
+    }
+    for p in grammar.productions() {
+        if useful.production_useful(grammar, p) {
+            continue;
+        }
+        let prod = grammar.production(p);
+        let name = prod.name();
+        let reason = if !useful.reachable[prod.lhs().index()] {
+            format!(
+                "its left-hand side `{}` is unreachable from the root `{}`",
+                grammar.phylum(prod.lhs()).name(),
+                grammar.phylum(grammar.root()).name()
+            )
+        } else {
+            "a right-hand-side phylum derives no finite tree".to_string()
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::UnreachableProduction,
+                Span::anchor(format!("production {name}")),
+                format!("production `{name}` can appear in no derivation tree"),
+            )
+            .with_note(reason),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fnc2_ag::{GrammarBuilder, Occ, Value};
+
+    use super::*;
+
+    #[test]
+    fn orphan_phylum_and_bottomless_recursion_are_flagged() {
+        let mut g = GrammarBuilder::new("useless");
+        let s = g.phylum("S");
+        let orphan = g.phylum("Orphan"); // never on any RHS reachable from S
+        let pit = g.phylum("Pit"); // only derives itself
+        let v = g.syn(s, "v");
+        let ov = g.syn(orphan, "v");
+        let pv = g.syn(pit, "v");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        let oleaf = g.production("oleaf", orphan, &[]);
+        g.constant(oleaf, Occ::lhs(ov), Value::Int(2));
+        let spin = g.production("spin", pit, &[pit]);
+        g.copy(spin, Occ::lhs(pv), Occ::new(1, pv));
+        let grammar = g.finish().unwrap();
+
+        let useful = Usefulness::compute(&grammar);
+        assert!(useful.derivable[s.index()]);
+        assert!(useful.derivable[orphan.index()]);
+        assert!(!useful.derivable[pit.index()]);
+        assert!(useful.reachable[s.index()]);
+        assert!(!useful.reachable[orphan.index()]);
+
+        let mut diags = Vec::new();
+        lint_usefulness(&grammar, &useful, &mut diags);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::UnderivablePhylum && d.message.contains("`Pit`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::UnreachableProduction && d.message.contains("`oleaf`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::UnreachableProduction && d.message.contains("`spin`")));
+    }
+
+    #[test]
+    fn clean_grammar_has_no_usefulness_findings() {
+        let mut g = GrammarBuilder::new("clean");
+        let s = g.phylum("S");
+        let v = g.syn(s, "v");
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(0));
+        let node = g.production("node", s, &[s]);
+        g.copy(node, Occ::lhs(v), Occ::new(1, v));
+        let grammar = g.finish().unwrap();
+        let useful = Usefulness::compute(&grammar);
+        let mut diags = Vec::new();
+        lint_usefulness(&grammar, &useful, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -87,6 +87,13 @@ pub enum Event {
         /// Rule index within the production.
         rule: u32,
     },
+    /// A semantic rule read an attribute instance as an argument.
+    AttrRead {
+        /// Tree node index the instance belongs to.
+        node: u32,
+        /// Attribute id.
+        attr: u32,
+    },
     /// The space-optimized runtime wrote an attribute instance.
     AttrStored {
         /// Tree node index.
@@ -114,6 +121,7 @@ impl Event {
             Event::VisitEnter { .. } => "visit_enter",
             Event::VisitLeave { .. } => "visit_leave",
             Event::RuleFired { .. } => "rule_fired",
+            Event::AttrRead { .. } => "attr_read",
             Event::AttrStored { .. } => "attr_stored",
             Event::StatusComputed { .. } => "status_computed",
         }
@@ -146,6 +154,11 @@ impl Event {
                 ("node", Json::Int(node as i64)),
                 ("production", Json::Int(production as i64)),
                 ("rule", Json::Int(rule as i64)),
+            ]),
+            Event::AttrRead { node, attr } => Json::obj([
+                ("event", Json::str(self.kind())),
+                ("node", Json::Int(node as i64)),
+                ("attr", Json::Int(attr as i64)),
             ]),
             Event::AttrStored { node, attr, class } => Json::obj([
                 ("event", Json::str(self.kind())),
@@ -336,6 +349,9 @@ impl TraceBuffer {
                     production,
                     rule,
                 } => format!("fire {} at node {node}", resolver.rule(production, rule)),
+                Event::AttrRead { node, attr } => {
+                    format!("read {}@{node}", resolver.attribute(attr))
+                }
                 Event::AttrStored { node, attr, class } => format!(
                     "store {}@{node} -> {}",
                     resolver.attribute(attr),

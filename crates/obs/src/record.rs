@@ -107,6 +107,14 @@ pub enum Key {
     ParCkptAppended,
     /// Trees skipped on `--resume` because the journal already had them.
     ParCkptResumed,
+    /// Diagnostics produced by the grammar lint pass.
+    LintDiags,
+    /// Error-severity lint diagnostics.
+    LintErrors,
+    /// Warning-severity lint diagnostics.
+    LintWarnings,
+    /// Circularity witnesses extracted and verified by the lint pass.
+    LintWitnesses,
 }
 
 impl Key {
@@ -114,7 +122,7 @@ impl Key {
     pub const COUNT: usize = Key::ALL.len();
 
     /// Every key, in numbering order.
-    pub const ALL: [Key; 40] = [
+    pub const ALL: [Key; 44] = [
         Key::EvalVisits,
         Key::EvalEvals,
         Key::EvalCopies,
@@ -155,6 +163,10 @@ impl Key {
         Key::TablesTempsSwept,
         Key::ParCkptAppended,
         Key::ParCkptResumed,
+        Key::LintDiags,
+        Key::LintErrors,
+        Key::LintWarnings,
+        Key::LintWitnesses,
     ];
 
     /// The canonical dotted metric name.
@@ -200,6 +212,10 @@ impl Key {
             Key::TablesTempsSwept => "tables.temps_swept",
             Key::ParCkptAppended => "par.ckpt_appended",
             Key::ParCkptResumed => "par.ckpt_resumed",
+            Key::LintDiags => "lint.diagnostics",
+            Key::LintErrors => "lint.errors",
+            Key::LintWarnings => "lint.warnings",
+            Key::LintWitnesses => "lint.witnesses",
         }
     }
 

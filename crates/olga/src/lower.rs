@@ -26,8 +26,13 @@ use crate::lexer::Pos;
 /// their grammar-level description.
 #[derive(Debug)]
 pub enum LowerError {
-    /// Well-definedness failure (missing/duplicate rules after auto-copy).
+    /// A single well-definedness failure (missing/duplicate rules after
+    /// auto-copy).
     Grammar(fnc2_ag::GrammarError),
+    /// Two or more well-definedness failures. Historically the lowering
+    /// collapsed these to the first; they are now all surfaced so the
+    /// diagnostic pass can report every violation at once.
+    Grammars(Vec<fnc2_ag::GrammarError>),
     /// Constant evaluation aborted while building the interpreter context
     /// (a circular constant definition or a failing constant body).
     Eval(EvalAbort),
@@ -36,10 +41,28 @@ pub enum LowerError {
     Internal(String, Pos),
 }
 
+impl LowerError {
+    /// The well-definedness violations carried by this error, if any.
+    pub fn grammar_errors(&self) -> &[fnc2_ag::GrammarError] {
+        match self {
+            LowerError::Grammar(e) => std::slice::from_ref(e),
+            LowerError::Grammars(v) => v,
+            _ => &[],
+        }
+    }
+}
+
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::Grammar(e) => write!(f, "{e}"),
+            LowerError::Grammars(v) => {
+                write!(f, "{} well-definedness violations:", v.len())?;
+                for e in v {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
             LowerError::Eval(e) => write!(f, "constant evaluation failed: {e}"),
             LowerError::Internal(m, p) => write!(f, "{p}: internal lowering error: {m}"),
         }
@@ -51,6 +74,16 @@ impl std::error::Error for LowerError {}
 impl From<fnc2_ag::GrammarError> for LowerError {
     fn from(e: fnc2_ag::GrammarError) -> Self {
         LowerError::Grammar(e)
+    }
+}
+
+impl From<Vec<fnc2_ag::GrammarError>> for LowerError {
+    fn from(mut v: Vec<fnc2_ag::GrammarError>) -> Self {
+        if v.len() == 1 {
+            LowerError::Grammar(v.remove(0))
+        } else {
+            LowerError::Grammars(v)
+        }
     }
 }
 
@@ -352,7 +385,7 @@ pub fn lower(checked: &CheckedAg) -> Result<(Grammar, LowerInfo), LowerError> {
         }
     }
 
-    let grammar = b.finish()?;
+    let grammar = b.finish_verbose()?;
     Ok((grammar, info))
 }
 
@@ -610,11 +643,56 @@ mod tests {
     use super::*;
 
     fn lower_src(src: &str) -> (Grammar, LowerInfo) {
+        lower(&check_src(src)).unwrap()
+    }
+
+    fn check_src(src: &str) -> CheckedAg {
         let Unit::Ag(ag) = parse_unit(src).unwrap() else {
             panic!("expected AG")
         };
-        let checked = Compiler::new().check_ag(ag).unwrap();
-        lower(&checked).unwrap()
+        Compiler::new().check_ag(ag).unwrap()
+    }
+
+    /// Regression for the diagnostics audit: lowering used to collapse
+    /// several well-definedness violations into the first one. Two
+    /// missing-rule occurrences (no auto-copy candidate for either) must
+    /// both be reported.
+    #[test]
+    fn lowering_reports_every_well_definedness_violation() {
+        let err = lower(&check_src(
+            r#"
+            attribute grammar bad;
+              phylum S;
+              operator leaf : S ::= ;
+              synthesized a : int of S;
+              synthesized b : int of S;
+            end
+            "#,
+        ))
+        .unwrap_err();
+        let grammar_errs = err.grammar_errors();
+        assert_eq!(grammar_errs.len(), 2, "{err}");
+        assert!(matches!(err, LowerError::Grammars(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("S.a"), "{msg}");
+        assert!(msg.contains("S.b"), "{msg}");
+    }
+
+    /// A single violation keeps the historical single-error shape.
+    #[test]
+    fn single_violation_stays_singular() {
+        let err = lower(&check_src(
+            r#"
+            attribute grammar bad;
+              phylum S;
+              operator leaf : S ::= ;
+              synthesized a : int of S;
+            end
+            "#,
+        ))
+        .unwrap_err();
+        assert!(matches!(err, LowerError::Grammar(_)), "{err}");
+        assert_eq!(err.grammar_errors().len(), 1);
     }
 
     #[test]

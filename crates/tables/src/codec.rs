@@ -17,6 +17,7 @@ use fnc2_analysis::{
     SncResult, TotalOrder, TransformStats, VisitSlot,
 };
 use fnc2_gfa::{BitMatrix, FixpointStats};
+use fnc2_lint::{Code as LintCode, Diagnostic, Severity as LintSeverity, Span};
 use fnc2_space::{
     FlatItem, FlatProgram, FlatSeq, Instance, InstanceKind, Lifetimes, Object, ObjectIndex,
     ObjectSet, ReadPath, SeqAccess, SpacePlan, SpaceStats, StepAccess, Storage, WritePath,
@@ -805,6 +806,49 @@ pub(crate) fn dec_space_plan(d: &mut Dec<'_>) -> WireResult<SpacePlan> {
         eliminated,
         access,
         stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lint diagnostics
+// ---------------------------------------------------------------------------
+
+pub(crate) fn enc_lint(e: &mut Enc, diags: &[Diagnostic]) {
+    enc_vec(e, diags, |e, d| {
+        e.str(d.code.as_str());
+        e.u8(match d.severity {
+            LintSeverity::Warning => 0,
+            LintSeverity::Error => 1,
+        });
+        e.u32(d.span.line);
+        e.u32(d.span.col);
+        e.str(&d.span.anchor);
+        e.str(&d.message);
+        enc_vec(e, &d.notes, |e, n| e.str(n));
+    });
+}
+
+pub(crate) fn dec_lint(d: &mut Dec<'_>) -> WireResult<Vec<Diagnostic>> {
+    dec_vec(d, |d| {
+        let code_str = d.str()?;
+        let code = LintCode::from_code_str(&code_str).ok_or_else(|| invalid("lint code", d))?;
+        let severity = match d.u8()? {
+            0 => LintSeverity::Warning,
+            1 => LintSeverity::Error,
+            _ => return Err(invalid("lint severity", d)),
+        };
+        let line = d.u32()?;
+        let col = d.u32()?;
+        let anchor = d.str()?;
+        let message = d.str()?;
+        let notes = dec_vec(d, |d| d.str())?;
+        Ok(Diagnostic {
+            code,
+            severity,
+            span: Span { line, col, anchor },
+            message,
+            notes,
+        })
     })
 }
 

@@ -60,7 +60,7 @@ pub const MAGIC: [u8; 8] = *b"FNC2TBL\0";
 /// Current artifact format version. Bump on ANY change to the wire
 /// encoding of any serialized structure — version skew is detected before
 /// the payload is touched and rejected as [`ArtifactError::VersionSkew`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Header size in bytes: magic (8) + version (4) + fingerprint (8) +
 /// payload checksum (8) + payload length (8).
@@ -234,6 +234,9 @@ pub struct Tables {
     pub lifetimes: Option<Lifetimes>,
     /// The storage plan, when space optimization ran.
     pub space_plan: Option<SpacePlan>,
+    /// The lint findings recorded when the cascade ran, so cached
+    /// startups replay diagnostics without re-running the analyses.
+    pub lint: Vec<fnc2_lint::Diagnostic>,
     /// Canonical slot-compiled program bytes (verification section).
     pub program: Vec<u8>,
 }
@@ -252,6 +255,7 @@ impl Tables {
         flat: Option<&FlatProgram>,
         lifetimes: Option<&Lifetimes>,
         space_plan: Option<&SpacePlan>,
+        lint: &[fnc2_lint::Diagnostic],
     ) -> Tables {
         let program = encode_compiled_program(grammar, &CompiledProgram::new(grammar));
         Tables {
@@ -263,6 +267,7 @@ impl Tables {
             flat: flat.cloned(),
             lifetimes: lifetimes.cloned(),
             space_plan: space_plan.cloned(),
+            lint: lint.to_vec(),
             program,
         }
     }
@@ -313,6 +318,7 @@ impl Tables {
             }
             None => p.bool(false),
         }
+        codec::enc_lint(&mut p, &self.lint);
         p.bytes(&self.program);
         let payload = p.into_bytes();
 
@@ -364,6 +370,7 @@ impl Tables {
         } else {
             None
         };
+        let lint = codec::dec_lint(&mut d).map_err(ArtifactError::from)?;
         let program = d.bytes().map_err(ArtifactError::from)?.to_vec();
         d.finish().map_err(ArtifactError::from)?;
         let tables = Tables {
@@ -375,6 +382,7 @@ impl Tables {
             flat,
             lifetimes,
             space_plan,
+            lint,
             program,
         };
         Ok((tables, fingerprint))
@@ -473,6 +481,7 @@ mod tests {
             Some(&fp),
             Some(&lt),
             Some(&plan),
+            &fnc2_lint::lint_grammar(&g, Some(&cls)).diags,
         );
         (g, t)
     }

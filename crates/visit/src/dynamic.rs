@@ -136,6 +136,41 @@ impl<'g> DynamicEvaluator<'g> {
         fault: Option<InjectedFault>,
         rec: &mut R,
     ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_inner(tree, inputs, budget, fault, rec, false)
+    }
+
+    /// Demand-driven evaluation of the **root outputs only**: demands just
+    /// the root phylum's synthesized attributes and whatever they
+    /// transitively require, leaving every other instance unevaluated.
+    ///
+    /// This is the oracle for the dead-rule lint (`L002`): a rule whose
+    /// target cannot reach a root output through the static liveness
+    /// fixpoint must never fire here, on any tree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DynamicEvaluator::evaluate_guarded`].
+    pub fn evaluate_outputs_recorded_guarded<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+        rec: &mut R,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
+        self.evaluate_inner(tree, inputs, budget, fault, rec, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_inner<R: Recorder>(
+        &self,
+        tree: &Tree,
+        inputs: &RootInputs,
+        budget: &EvalBudget,
+        fault: Option<InjectedFault>,
+        rec: &mut R,
+        outputs_only: bool,
+    ) -> Result<(AttrValues, EvalStats), EvalError> {
         let g = self.grammar;
         let mut meter = BudgetMeter::with_fault(budget, fault);
         let mut values = AttrValues::new(g, tree);
@@ -152,18 +187,25 @@ impl<'g> DynamicEvaluator<'g> {
             values.set(g, root, attr, v.clone());
         }
 
-        // Demand every instance of every node.
-        let all: Vec<(NodeId, AttrId)> = tree
-            .preorder()
-            .flat_map(|(n, _)| {
-                let ph = tree.phylum(g, n);
-                g.phylum(ph)
-                    .attrs()
-                    .iter()
-                    .map(move |&a| (n, a))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        // Demand every instance of every node — or, outputs-only, just the
+        // root synthesized attributes.
+        let all: Vec<(NodeId, AttrId)> = if outputs_only {
+            g.synthesized(root_ph)
+                .into_iter()
+                .map(|a| (root, a))
+                .collect()
+        } else {
+            tree.preorder()
+                .flat_map(|(n, _)| {
+                    let ph = tree.phylum(g, n);
+                    g.phylum(ph)
+                        .attrs()
+                        .iter()
+                        .map(move |&a| (n, a))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
         let mut in_progress: HashMap<Goal, bool> = HashMap::new();
         let mut ictx = self.intern.ctx();
         let mut icounters = Counters::new();
@@ -383,6 +425,75 @@ mod tests {
             Some(&Value::Int(10))
         );
         assert_eq!(stats.evals, 11, "memoized: one eval per instance");
+    }
+
+    /// Outputs-only demand must leave instances a dead rule would define
+    /// untouched, and never fire the dead rule.
+    #[test]
+    fn outputs_only_skips_dead_rules() {
+        struct Fired(Vec<(u32, u32)>);
+        impl Recorder for Fired {
+            fn trace(&self) -> bool {
+                true
+            }
+            fn emit(&mut self, event: Event) {
+                if let Event::RuleFired {
+                    production, rule, ..
+                } = event
+                {
+                    self.0.push((production, rule));
+                }
+            }
+        }
+
+        // R.out <- S.v; S.w is defined but feeds nothing.
+        let mut g = GrammarBuilder::new("junk");
+        let r = g.phylum("R");
+        let out = g.syn(r, "out");
+        let s = g.phylum("S");
+        let v = g.syn(s, "v");
+        let w = g.syn(s, "w");
+        let top = g.production("top", r, &[s]);
+        g.copy(top, Occ::lhs(out), Occ::new(1, v));
+        let leaf = g.production("leaf", s, &[]);
+        g.constant(leaf, Occ::lhs(v), Value::Int(1));
+        g.constant(leaf, Occ::lhs(w), Value::Int(2));
+        let g = g.finish().unwrap();
+
+        let mut tb = TreeBuilder::new(&g);
+        let l = tb.op("leaf", &[]).unwrap();
+        let root = tb.op("top", &[l]).unwrap();
+        let tree = tb.finish_root(root).unwrap();
+
+        let ev = DynamicEvaluator::new(&g);
+        let mut rec = Fired(Vec::new());
+        let (values, _) = ev
+            .evaluate_outputs_recorded_guarded(
+                &tree,
+                &RootInputs::new(),
+                &EvalBudget::default(),
+                None,
+                &mut rec,
+            )
+            .unwrap();
+        assert_eq!(
+            values.get(&g, tree.root(), out),
+            Some(&Value::Int(1)),
+            "root output still computed"
+        );
+        assert_eq!(values.get(&g, l, w), None, "dead instance never evaluated");
+        let leaf_p = g.production_by_name("leaf").unwrap();
+        let w_rule = g
+            .production(leaf_p)
+            .rules()
+            .iter()
+            .position(|rl| rl.target() == ONode::Attr(Occ::lhs(w)))
+            .unwrap() as u32;
+        assert!(
+            !rec.0.contains(&(leaf_p.index() as u32, w_rule)),
+            "dead rule fired: {:?}",
+            rec.0
+        );
     }
 
     #[test]

@@ -431,6 +431,24 @@ impl<'g> Evaluator<'g> {
                             production: p.index() as u32,
                             rule: rule_ix,
                         });
+                        // One AttrRead per attribute-occurrence argument,
+                        // resolved to the instance actually fetched — the
+                        // lint soundness oracle checks no `L001` attribute
+                        // ever appears here.
+                        let sem = &self.grammar.production(p).rules()[rule_ix as usize];
+                        for n in sem.read_nodes() {
+                            if let fnc2_ag::ONode::Attr(o) = n {
+                                let at = if o.pos == 0 {
+                                    node
+                                } else {
+                                    tree.node(node).children()[o.pos as usize - 1]
+                                };
+                                rec.emit(Event::AttrRead {
+                                    node: at.index() as u32,
+                                    attr: o.attr.index() as u32,
+                                });
+                            }
+                        }
                     }
                     cr.slot.store(tree, node, values, locals, value);
                 }

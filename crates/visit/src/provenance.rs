@@ -250,7 +250,7 @@ pub fn dependency_slice<'a>(
                     },
                 );
             }
-            Event::AttrStored { .. } | Event::StatusComputed { .. } => {}
+            Event::AttrRead { .. } | Event::AttrStored { .. } | Event::StatusComputed { .. } => {}
         }
     }
 

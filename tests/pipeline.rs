@@ -115,6 +115,7 @@ fn instrumented_pipeline_reports_phases_and_rule_firings() {
             ("analysis.dnc", 1),
             ("analysis.oag", 1),
             ("analysis.transform", 1),
+            ("lint", 0),
             ("visit.sequences", 0),
             ("space.analysis", 0),
         ]
